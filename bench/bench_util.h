@@ -1,0 +1,71 @@
+// Shared helpers for the experiment harness (E1..E8). Each experiment binary
+// prints a fixed-format table; EXPERIMENTS.md records and discusses the
+// output. Simulated time, message and byte counts come from the accounted
+// channel, so results are exactly reproducible.
+
+#ifndef FINELOG_BENCH_BENCH_UTIL_H_
+#define FINELOG_BENCH_BENCH_UTIL_H_
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+
+#include "core/oracle.h"
+#include "core/system.h"
+#include "core/workload.h"
+
+namespace finelog {
+namespace bench {
+
+inline std::string FreshDir(const std::string& name) {
+  std::string dir = "/tmp/finelog_bench_" + name + "_" + std::to_string(getpid());
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+inline SystemConfig BenchConfig(const std::string& name) {
+  SystemConfig config;
+  config.dir = FreshDir(name);
+  config.num_clients = 4;
+  config.page_size = 4096;
+  config.num_pages = 128;
+  config.preloaded_pages = 64;
+  config.objects_per_page = 16;
+  config.object_size = 128;
+  config.client_cache_pages = 32;
+  config.server_cache_pages = 96;
+  return config;
+}
+
+inline std::unique_ptr<System> MustCreate(const SystemConfig& config) {
+  auto sys = System::Create(config);
+  if (!sys.ok()) {
+    std::fprintf(stderr, "System::Create failed: %s\n",
+                 sys.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(sys).value();
+}
+
+inline const char* PolicyName(LoggingPolicy p) {
+  switch (p) {
+    case LoggingPolicy::kClientLocal: return "client-local";
+    case LoggingPolicy::kShipLogsAtCommit: return "ship-logs";
+    case LoggingPolicy::kShipPagesAtCommit: return "ship-pages";
+  }
+  return "?";
+}
+
+inline const char* SamePageName(SamePageUpdatePolicy p) {
+  return p == SamePageUpdatePolicy::kMergeCopies ? "merge-copies"
+                                                 : "update-token";
+}
+
+}  // namespace bench
+}  // namespace finelog
+
+#endif  // FINELOG_BENCH_BENCH_UTIL_H_

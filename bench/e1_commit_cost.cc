@@ -1,0 +1,88 @@
+// E1 -- Commit-time network cost: client-local logging (the paper) vs
+// ARIES/CSA-style log shipping [18] vs Versant-style page shipping [24].
+//
+// Claim (Sections 1, 4.1, advantage 1): commit is a purely local log force
+// under client-based logging; the baselines pay a message round trip plus
+// log-record or page payloads on every commit.
+//
+// One client runs update transactions of varying size; we report the
+// commit-path messages and bytes per transaction and the simulated time per
+// commit.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+using namespace finelog;
+using namespace finelog::bench;
+
+namespace {
+
+struct Row {
+  LoggingPolicy policy;
+  uint32_t txn_size;
+  double msgs_per_commit;
+  double bytes_per_commit;
+  double us_per_commit;
+};
+
+Row RunOne(LoggingPolicy policy, uint32_t txn_size) {
+  SystemConfig config = BenchConfig("e1");
+  config.num_clients = 1;
+  config.logging_policy = policy;
+  auto system = MustCreate(config);
+  Client& c = system->client(0);
+  const int kTxns = 50;
+
+  // Warm the cache and locks so only commit-path costs differ.
+  {
+    TxnId txn = c.Begin().value();
+    for (uint32_t k = 0; k < txn_size; ++k) {
+      ObjectId oid{static_cast<PageId>(k / 16 % 48),
+                   static_cast<SlotId>(k % 16)};
+      (void)c.Write(txn, oid, std::string(config.object_size, 'w'));
+    }
+    (void)c.Commit(txn);
+  }
+
+  uint64_t msgs0 = system->channel().total_messages();
+  uint64_t bytes0 = system->channel().total_bytes();
+  uint64_t time0 = system->clock().now_us();
+  for (int i = 0; i < kTxns; ++i) {
+    TxnId txn = c.Begin().value();
+    for (uint32_t k = 0; k < txn_size; ++k) {
+      ObjectId oid{static_cast<PageId>(k / 16 % 48),
+                   static_cast<SlotId>(k % 16)};
+      (void)c.Write(txn, oid, std::string(config.object_size, 'a' + i % 26));
+    }
+    (void)c.Commit(txn);
+  }
+  Row row;
+  row.policy = policy;
+  row.txn_size = txn_size;
+  row.msgs_per_commit =
+      double(system->channel().total_messages() - msgs0) / kTxns;
+  row.bytes_per_commit =
+      double(system->channel().total_bytes() - bytes0) / kTxns;
+  row.us_per_commit = double(system->clock().now_us() - time0) / kTxns;
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E1: commit-path cost per transaction (1 client, warm cache)\n");
+  std::printf("%-14s %8s %14s %16s %14s\n", "policy", "txn_size",
+              "msgs/commit", "bytes/commit", "sim_us/commit");
+  for (LoggingPolicy policy :
+       {LoggingPolicy::kClientLocal, LoggingPolicy::kShipLogsAtCommit,
+        LoggingPolicy::kShipPagesAtCommit}) {
+    for (uint32_t size : {1u, 4u, 16u, 64u}) {
+      Row r = RunOne(policy, size);
+      std::printf("%-14s %8u %14.2f %16.1f %14.1f\n", PolicyName(r.policy),
+                  r.txn_size, r.msgs_per_commit, r.bytes_per_commit,
+                  r.us_per_commit);
+    }
+  }
+  return 0;
+}

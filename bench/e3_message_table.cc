@@ -1,0 +1,83 @@
+// E3 -- Message complexity by type for the three same-page policies
+// (Section 3.1: the update-token approach "tends to be communication
+// intensive due to the synchronization messages").
+//
+// Fixed SHARED-HOT run; the table reports messages per 1000 committed
+// transactions, broken down by message type.
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+using namespace finelog;
+using namespace finelog::bench;
+
+namespace {
+
+std::map<std::string, double> RunOne(LockGranularity granularity,
+                                     SamePageUpdatePolicy same_page,
+                                     uint64_t* commits) {
+  SystemConfig config = BenchConfig("e3");
+  config.num_clients = 4;
+  config.lock_granularity = granularity;
+  config.same_page_policy = same_page;
+  auto system = MustCreate(config);
+
+  Oracle oracle;
+  WorkloadOptions options;
+  options.txns_per_client = 60;
+  options.ops_per_txn = 6;
+  options.write_fraction = 0.8;
+  options.pattern = AccessPattern::kSharedHot;
+  options.shared_pages = 4;
+  options.seed = 11;
+  Workload workload(system.get(), &oracle, options);
+  (void)workload.Run();
+  *commits = workload.stats().commits;
+
+  std::map<std::string, double> out;
+  double scale = 1000.0 / double(*commits ? *commits : 1);
+  for (int t = 0; t < static_cast<int>(MessageType::kMaxMessageType); ++t) {
+    const auto& s = system->channel().stats(static_cast<MessageType>(t));
+    if (s.count > 0) {
+      out[MessageTypeName(static_cast<MessageType>(t))] = s.count * scale;
+    }
+  }
+  out["TOTAL"] = system->channel().total_messages() * scale;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  uint64_t commits;
+  auto merge = RunOne(LockGranularity::kObject,
+                      SamePageUpdatePolicy::kMergeCopies, &commits);
+  auto token = RunOne(LockGranularity::kObject,
+                      SamePageUpdatePolicy::kUpdateToken, &commits);
+  auto page = RunOne(LockGranularity::kPage,
+                     SamePageUpdatePolicy::kMergeCopies, &commits);
+
+  std::printf("E3: messages per 1000 committed txns (SHARED-HOT, 4 clients)\n");
+  std::printf("%-22s %14s %14s %14s\n", "message type", "merge-copies",
+              "update-token", "page-locking");
+  std::map<std::string, int> all;
+  for (const auto& [k, v] : merge) all[k] = 1;
+  for (const auto& [k, v] : token) all[k] = 1;
+  for (const auto& [k, v] : page) all[k] = 1;
+  for (const auto& [k, one] : all) {
+    if (k == "TOTAL") continue;
+    auto get = [&](std::map<std::string, double>& m) {
+      auto it = m.find(k);
+      return it == m.end() ? 0.0 : it->second;
+    };
+    std::printf("%-22s %14.1f %14.1f %14.1f\n", k.c_str(), get(merge),
+                get(token), get(page));
+  }
+  std::printf("%-22s %14.1f %14.1f %14.1f\n", "TOTAL", merge["TOTAL"],
+              token["TOTAL"], page["TOTAL"]);
+  return 0;
+}

@@ -1,0 +1,71 @@
+// E6 -- Complex crash matrix (Section 3.5).
+//
+// Claim (Section 1): "the database state is recovered correctly even if the
+// server and several clients crash at the same time". Each row runs a
+// randomized mixed workload, injects the crash combination, recovers, and
+// verifies every committed object against the oracle. `ok` must be yes on
+// every row; the cost columns show how recovery work scales with the blast
+// radius.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+using namespace finelog;
+using namespace finelog::bench;
+
+namespace {
+
+void RunOne(const char* label, uint32_t crash_clients, bool crash_server) {
+  SystemConfig config = BenchConfig("e6");
+  config.num_clients = 4;
+  auto system = MustCreate(config);
+
+  Oracle oracle;
+  WorkloadOptions options;
+  options.txns_per_client = 25;
+  options.ops_per_txn = 5;
+  options.pattern = AccessPattern::kHotCold;
+  options.seed = 99;
+  Workload workload(system.get(), &oracle, options);
+  (void)workload.RunSteps(300);
+
+  for (uint32_t i = 0; i < crash_clients; ++i) {
+    (void)system->CrashClient(i);
+    oracle.CrashClient(i);
+    workload.OnClientCrashed(i);
+  }
+  if (crash_server) (void)system->CrashServer();
+
+  uint64_t msgs0 = system->channel().total_messages();
+  uint64_t time0 = system->clock().now_us();
+  Status st = system->RecoverAll();
+  uint64_t rec_msgs = system->channel().total_messages() - msgs0;
+  uint64_t rec_us = system->clock().now_us() - time0;
+
+  for (size_t i = 0; i < system->num_clients(); ++i) {
+    workload.OnClientRecovered(i);
+  }
+  (void)workload.Run();
+  (void)system->FlushEverything();
+  auto mismatches = oracle.Verify(system.get(), 3);
+  bool ok = st.ok() && mismatches.ok() && mismatches.value() == 0;
+  std::printf("%-22s %4s %10llu %12llu %10llu\n", label, ok ? "yes" : "NO",
+              (unsigned long long)rec_msgs, (unsigned long long)rec_us,
+              (unsigned long long)(mismatches.ok() ? mismatches.value() : 999));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E6: crash matrix -- correctness and recovery cost\n");
+  std::printf("%-22s %4s %10s %12s %10s\n", "scenario", "ok", "rec_msgs",
+              "rec_sim_us", "mismatches");
+  RunOne("1 client", 1, false);
+  RunOne("2 clients", 2, false);
+  RunOne("server", 0, true);
+  RunOne("server + 1 client", 1, true);
+  RunOne("server + 2 clients", 2, true);
+  RunOne("server + all clients", 4, true);
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Quickstart: create a deployment, run transactions on two clients, survive
+// a client crash, and read everything back.
+//
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+
+#include <cstdio>
+#include <filesystem>
+
+#include "core/system.h"
+
+using namespace finelog;
+
+int main() {
+  // A finelog System simulates a page server plus N client workstations in
+  // one process. Files live under `dir`; everything else is volatile and
+  // crash injection wipes exactly that.
+  SystemConfig config;
+  config.dir = "/tmp/finelog_quickstart";
+  std::filesystem::remove_all(config.dir);
+  config.num_clients = 2;
+  config.preloaded_pages = 8;  // Small demo database.
+
+  auto system_or = System::Create(config);
+  if (!system_or.ok()) {
+    std::fprintf(stderr, "create failed: %s\n",
+                 system_or.status().ToString().c_str());
+    return 1;
+  }
+  auto system = std::move(system_or).value();
+  Client& alice = system->client(0);
+  Client& bob = system->client(1);
+
+  // A transaction executes entirely at its client. ObjectId{page, slot}
+  // addresses an object; bootstrap objects are zero-filled.
+  TxnId txn = alice.Begin().value();
+  std::string value(config.object_size, '\0');
+  std::string("hello from alice").copy(value.data(), value.size());
+  if (!alice.Write(txn, ObjectId{0, 0}, value).ok()) return 1;
+
+  // Commit forces only Alice's private log -- watch the message counter.
+  uint64_t msgs_before = system->channel().total_messages();
+  if (!alice.Commit(txn).ok()) return 1;
+  std::printf("commit sent %llu messages to the server\n",
+              (unsigned long long)(system->channel().total_messages() -
+                                   msgs_before));
+
+  // Bob reads the object: the server calls Alice back, she ships her dirty
+  // page, the copies are merged, and Bob sees the committed value.
+  TxnId bob_txn = bob.Begin().value();
+  auto read = bob.Read(bob_txn, ObjectId{0, 0});
+  std::printf("bob reads: \"%.16s\"\n", read.value().c_str());
+  (void)bob.Commit(bob_txn);
+
+  // Crash Alice: her cache, lock table and unforced log tail are gone. Her
+  // private log survives, and restart recovery (ARIES analysis / redo /
+  // undo, Section 3.3 of the paper) rebuilds her committed state.
+  (void)system->CrashClient(0);
+  if (!system->RecoverClient(0).ok()) return 1;
+
+  TxnId check = alice.Begin().value();
+  auto after = alice.Read(check, ObjectId{0, 0});
+  std::printf("after crash+recovery, alice reads: \"%.16s\"\n",
+              after.value().c_str());
+  (void)alice.Commit(check);
+
+  std::printf("quickstart OK\n");
+  return 0;
+}

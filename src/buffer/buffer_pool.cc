@@ -1,0 +1,117 @@
+#include "buffer/buffer_pool.h"
+
+namespace finelog {
+
+BufferPool::Frame* BufferPool::Get(PageId pid) {
+  auto it = frames_.find(pid);
+  if (it == frames_.end()) return nullptr;
+  Touch(pid);
+  return &it->second;
+}
+
+BufferPool::Frame* BufferPool::Peek(PageId pid) {
+  auto it = frames_.find(pid);
+  return it == frames_.end() ? nullptr : &it->second;
+}
+
+const BufferPool::Frame* BufferPool::Peek(PageId pid) const {
+  auto it = frames_.find(pid);
+  return it == frames_.end() ? nullptr : &it->second;
+}
+
+void BufferPool::Touch(PageId pid) {
+  auto pos = lru_pos_.find(pid);
+  if (pos != lru_pos_.end()) {
+    lru_.erase(pos->second);
+  }
+  lru_.push_front(pid);
+  lru_pos_[pid] = lru_.begin();
+}
+
+Status BufferPool::EvictOne(const EvictHandler& evict) {
+  for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+    PageId victim = *it;
+    Frame& frame = frames_.at(victim);
+    if (frame.pin_count > 0) continue;
+    if (evict) {
+      FINELOG_RETURN_IF_ERROR(evict(victim, frame));
+    }
+    Drop(victim);
+    return Status::OK();
+  }
+  return Status::FailedPrecondition("buffer pool full of pinned pages");
+}
+
+Result<BufferPool::Frame*> BufferPool::Put(PageId pid, Page page,
+                                           const EvictHandler& evict) {
+  auto it = frames_.find(pid);
+  if (it != frames_.end()) {
+    it->second.page = std::move(page);
+    Touch(pid);
+    return &it->second;
+  }
+  if (frames_.size() >= capacity_) {
+    FINELOG_RETURN_IF_ERROR(EvictOne(evict));
+  }
+  auto [ins, ok] = frames_.emplace(pid, Frame(std::move(page)));
+  (void)ok;
+  Touch(pid);
+  return &ins->second;
+}
+
+Status BufferPool::Evict(PageId pid, const EvictHandler& evict) {
+  auto it = frames_.find(pid);
+  if (it == frames_.end()) {
+    return Status::NotFound("page not cached");
+  }
+  if (it->second.pin_count > 0) {
+    return Status::FailedPrecondition("page pinned");
+  }
+  if (evict) {
+    FINELOG_RETURN_IF_ERROR(evict(pid, it->second));
+  }
+  Drop(pid);
+  return Status::OK();
+}
+
+void BufferPool::Drop(PageId pid) {
+  auto pos = lru_pos_.find(pid);
+  if (pos != lru_pos_.end()) {
+    lru_.erase(pos->second);
+    lru_pos_.erase(pos);
+  }
+  frames_.erase(pid);
+}
+
+void BufferPool::Pin(PageId pid) {
+  auto it = frames_.find(pid);
+  if (it != frames_.end()) ++it->second.pin_count;
+}
+
+void BufferPool::Unpin(PageId pid) {
+  auto it = frames_.find(pid);
+  if (it != frames_.end() && it->second.pin_count > 0) --it->second.pin_count;
+}
+
+bool BufferPool::IsPinned(PageId pid) const {
+  auto it = frames_.find(pid);
+  return it != frames_.end() && it->second.pin_count > 0;
+}
+
+std::vector<PageId> BufferPool::PageIds() const {
+  std::vector<PageId> out;
+  out.reserve(frames_.size());
+  for (const auto& [pid, frame] : frames_) {
+    (void)frame;
+    out.push_back(pid);
+  }
+  return out;
+}
+
+void BufferPool::Clear() {
+  frames_.clear();
+  lru_.clear();
+  lru_pos_.clear();
+}
+
+}  // namespace finelog

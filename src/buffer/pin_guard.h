@@ -1,0 +1,29 @@
+// ScopedPin: RAII pin on a buffer pool frame. An operation that holds a
+// frame pointer across a log append must pin the page: appending can invoke
+// the log space protocol (Section 3.6), which evicts pages.
+
+#ifndef FINELOG_BUFFER_PIN_GUARD_H_
+#define FINELOG_BUFFER_PIN_GUARD_H_
+
+#include "buffer/buffer_pool.h"
+
+namespace finelog {
+
+class ScopedPin {
+ public:
+  ScopedPin(BufferPool* pool, PageId pid) : pool_(pool), pid_(pid) {
+    pool_->Pin(pid_);
+  }
+  ~ScopedPin() { pool_->Unpin(pid_); }
+
+  ScopedPin(const ScopedPin&) = delete;
+  ScopedPin& operator=(const ScopedPin&) = delete;
+
+ private:
+  BufferPool* pool_;
+  PageId pid_;
+};
+
+}  // namespace finelog
+
+#endif  // FINELOG_BUFFER_PIN_GUARD_H_

@@ -1,0 +1,1048 @@
+#include "client/client.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "buffer/pin_guard.h"
+#include "server/page_merge.h"
+
+namespace finelog {
+
+Result<std::unique_ptr<Client>> Client::Create(ClientId id,
+                                               const SystemConfig& config,
+                                               ServerEndpoint* server,
+                                               Channel* channel,
+                                               Metrics* metrics) {
+  auto client = std::unique_ptr<Client>(
+      new Client(id, config, server, channel, metrics));
+  FINELOG_ASSIGN_OR_RETURN(
+      client->log_,
+      LogManager::Open(config.dir + "/client" + std::to_string(id) + ".log",
+                       config.client_log_capacity));
+  client->cache_ = std::make_unique<BufferPool>(config.client_cache_pages);
+  return client;
+}
+
+size_t Client::active_txns() const {
+  size_t n = 0;
+  for (const auto& [id, t] : txns_) {
+    (void)id;
+    if (t.state == Txn::State::kActive) ++n;
+  }
+  return n;
+}
+
+Result<Client::Txn*> Client::GetActiveTxn(TxnId txn) {
+  auto it = txns_.find(txn);
+  if (it == txns_.end() || it->second.state != Txn::State::kActive) {
+    return Status::InvalidArgument("no such active transaction");
+  }
+  return &it->second;
+}
+
+Result<TxnId> Client::Begin() {
+  if (crashed_) return Status::Crashed("client down");
+  TxnId id = (static_cast<TxnId>(id_ + 1) << 32) | next_txn_seq_++;
+  txns_[id] = Txn{};
+  metrics_->Add("client.txn_begins");
+  return id;
+}
+
+// ---------------------------------------------------------------------------
+// Locking
+// ---------------------------------------------------------------------------
+
+Status Client::AcquireObjectLock(TxnId txn, ObjectId oid, LockMode mode) {
+  if (config_.lock_granularity == LockGranularity::kPage) {
+    // Page-locking baseline: every object access locks the whole page.
+    return AcquirePageLock(txn, oid.page, mode);
+  }
+  switch (llm_.TryAcquireObject(txn, oid, mode)) {
+    case LocalLockManager::Acquire::kHit:
+      metrics_->Add("client.lock_hits");
+      return Status::OK();
+    case LocalLockManager::Acquire::kLocalConflict:
+      return Status::WouldBlock("local transaction holds conflicting lock");
+    case LocalLockManager::Acquire::kMiss:
+      break;
+  }
+  metrics_->Add("client.lock_misses");
+  BufferPool::Frame* frame = cache_->Peek(oid.page);
+  Psn cached_psn = frame != nullptr ? frame->page.psn() : kNullPsn;
+  auto reply = server_->LockObject(id_, oid, mode, cached_psn);
+  if (!reply.ok()) return reply.status();
+
+  llm_.AddObjectLock(txn, oid, mode);
+  for (const XCallbackInfo& info : reply.value().x_callbacks) {
+    pending_callbacks_[info.object].push_back(info);
+  }
+  if (mode == LockMode::kExclusive) {
+    // Authority for the object now rests here: our (just refreshed) copy is
+    // the latest version, and restart pulls must overlay it even if we
+    // never update it ourselves.
+    unflushed_slots_[oid.page].insert(oid.slot);
+  }
+
+  if (frame != nullptr) {
+    // Install the fresh object value into the cached copy (Section 2).
+    std::optional<std::string> image;
+    if (reply.value().object_present && reply.value().object_image) {
+      image = *reply.value().object_image;
+    }
+    FINELOG_RETURN_IF_ERROR(InstallObject(&frame->page, oid.slot, image,
+                                          reply.value().server_psn));
+  } else if (reply.value().page_image) {
+    Page page(config_.page_size);
+    page.raw() = *reply.value().page_image;
+    auto put = cache_->Put(oid.page, std::move(page), EvictHandler());
+    if (!put.ok()) return put.status();
+  }
+
+  // Adaptive escalation [3]: many exclusive object locks on one page ->
+  // try to trade them for a page lock (best effort).
+  if (mode == LockMode::kExclusive &&
+      llm_.ExclusiveObjectCountOnPage(oid.page) > config_.escalation_threshold &&
+      !llm_.CoversPage(oid.page, LockMode::kExclusive)) {
+    Status st = AcquirePageLock(txn, oid.page, LockMode::kExclusive);
+    if (st.ok()) metrics_->Add("client.escalations");
+    // A WouldBlock here is fine: object locks still cover the access.
+    if (!st.ok() && !st.IsWouldBlock() && !st.IsCrashed()) return st;
+  }
+  return Status::OK();
+}
+
+Status Client::AcquirePageLock(TxnId txn, PageId pid, LockMode mode) {
+  switch (llm_.TryAcquirePage(txn, pid, mode)) {
+    case LocalLockManager::Acquire::kHit:
+      metrics_->Add("client.lock_hits");
+      return Status::OK();
+    case LocalLockManager::Acquire::kLocalConflict:
+      return Status::WouldBlock("local transaction holds conflicting lock");
+    case LocalLockManager::Acquire::kMiss:
+      break;
+  }
+  metrics_->Add("client.lock_misses");
+  BufferPool::Frame* frame = cache_->Peek(pid);
+  Psn cached_psn = frame != nullptr ? frame->page.psn() : kNullPsn;
+  auto reply = server_->LockPage(id_, pid, mode, cached_psn);
+  if (!reply.ok()) return reply.status();
+
+  llm_.AddPageLock(txn, pid, mode);
+  for (const XCallbackInfo& info : reply.value().x_callbacks) {
+    pending_callbacks_[info.object].push_back(info);
+  }
+
+  if (reply.value().page_image) {
+    if (frame != nullptr && frame->dirty) {
+      // Merge: adopt the server's copy, then re-apply our unshipped
+      // modifications on top (they are strictly newer for those slots --
+      // our locks protected them).
+      Page incoming(config_.page_size);
+      incoming.raw() = *reply.value().page_image;
+      Psn merged = std::max(frame->page.psn(), incoming.psn()) + 1;
+      for (SlotId slot : frame->modified_slots) {
+        if (frame->page.SlotExists(slot)) {
+          auto data = frame->page.ReadObject(slot);
+          if (!data.ok()) return data.status();
+          if (incoming.SlotExists(slot) &&
+              incoming.ObjectSize(slot) == data.value().size()) {
+            FINELOG_RETURN_IF_ERROR(incoming.WriteObject(slot, data.value()));
+          } else if (incoming.SlotExists(slot)) {
+            FINELOG_RETURN_IF_ERROR(incoming.ResizeObject(slot, data.value()));
+          } else {
+            FINELOG_RETURN_IF_ERROR(incoming.CreateObjectAt(slot, data.value()));
+          }
+        } else if (incoming.SlotExists(slot)) {
+          FINELOG_RETURN_IF_ERROR(incoming.DeleteObject(slot));
+        }
+      }
+      incoming.set_psn(merged);
+      frame->page = std::move(incoming);
+    } else {
+      Page page(config_.page_size);
+      page.raw() = *reply.value().page_image;
+      auto put = cache_->Put(pid, std::move(page), EvictHandler());
+      if (!put.ok()) return put.status();
+      frame = put.value();
+    }
+  }
+  if (mode == LockMode::kExclusive) {
+    // A page-level exclusive grant transfers update authority for the whole
+    // page: every conflicting holder shipped its copy and relinquished its
+    // unflushed claims, so this client's copy is now the newest version of
+    // every object. Claim them all, or a server restart that pulls our
+    // cached copy would resurrect the disk version of slots we never
+    // modified ourselves.
+    if (frame == nullptr) frame = cache_->Peek(pid);
+    if (frame != nullptr) {
+      std::set<SlotId>& unflushed = unflushed_slots_[pid];
+      for (SlotId slot : frame->page.LiveSlots()) {
+        unflushed.insert(slot);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status Client::LogPendingCallback(TxnId txn, ObjectId oid) {
+  auto pit = pending_callbacks_.find(oid);
+  if (pit == pending_callbacks_.end()) return Status::OK();
+  std::vector<XCallbackInfo> infos = std::move(pit->second);
+  pending_callbacks_.erase(pit);
+  auto it = txns_.find(txn);
+  Txn* t = it != txns_.end() ? &it->second : nullptr;
+  for (const XCallbackInfo& info : infos) {
+    LogRecord rec = LogRecord::Callback(
+        txn, t != nullptr ? t->last_lsn : kNullLsn, info.object,
+        info.responder, info.psn);
+    auto lsn = AppendLog(rec);
+    if (!lsn.ok()) return lsn.status();
+    if (t != nullptr) {
+      if (t->first_lsn == kNullLsn) t->first_lsn = lsn.value();
+      t->last_lsn = lsn.value();
+    }
+    metrics_->Add("client.callback_records");
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Cache
+// ---------------------------------------------------------------------------
+
+ShippedPage Client::BuildShip(PageId pid, BufferPool::Frame& frame) {
+  ShippedPage s;
+  s.page = pid;
+  s.image = frame.page.raw();
+  s.modified_slots.assign(frame.modified_slots.begin(),
+                          frame.modified_slots.end());
+  s.structural = frame.structurally_modified;
+  frame.modified_slots.clear();
+  frame.structurally_modified = false;
+  frame.dirty = false;
+  ship_info_[pid] = ShipInfo{frame.page.psn(), log_->end_lsn()};
+  frame.ship_log_lsn = log_->end_lsn();
+  return s;
+}
+
+BufferPool::EvictHandler Client::EvictHandler() {
+  return [this](PageId pid, BufferPool::Frame& frame) -> Status {
+    if (!frame.dirty) return Status::OK();
+    // WAL: log records covering the updates must be durable before the page
+    // leaves the client (Section 2).
+    FINELOG_RETURN_IF_ERROR(log_->Force());
+    channel_->clock()->Advance(channel_->costs().log_force_us);
+    metrics_->Add("client.wal_forces_on_replace");
+    ShippedPage shipped = BuildShip(pid, frame);
+    metrics_->Add("client.pages_shipped");
+    return server_->ShipPage(id_, shipped);
+  };
+}
+
+Result<BufferPool::Frame*> Client::GetCachedPage(PageId pid) {
+  if (BufferPool::Frame* f = cache_->Get(pid)) return f;
+  auto reply = server_->FetchPage(id_, pid);
+  if (!reply.ok()) return reply.status();
+  Page page(config_.page_size);
+  page.raw() = reply.value().page_image;
+  // The DCT PSN sent along is ignored during normal processing (Section 3.2).
+  metrics_->Add("client.page_fetches");
+  return cache_->Put(pid, std::move(page), EvictHandler());
+}
+
+// ---------------------------------------------------------------------------
+// Log management
+// ---------------------------------------------------------------------------
+
+void Client::TrackModification(BufferPool::Frame* frame, PageId pid,
+                               SlotId slot) {
+  frame->dirty = true;
+  frame->modified_slots.insert(slot);
+  unflushed_slots_[pid].insert(slot);
+}
+
+void Client::EnsureDptEntry(PageId pid) {
+  if (dpt_.count(pid) == 0) {
+    // Conservative RedoLSN: the current end of the log (Section 3.2).
+    dpt_[pid] = log_->end_lsn();
+  }
+}
+
+void Client::UpdateReclaimLsn() {
+  Lsn reclaim = log_->end_lsn();
+  for (const auto& [pid, redo] : dpt_) {
+    (void)pid;
+    reclaim = std::min(reclaim, redo);
+  }
+  for (const auto& [id, t] : txns_) {
+    (void)id;
+    if (t.state == Txn::State::kActive && t.first_lsn != kNullLsn) {
+      reclaim = std::min(reclaim, t.first_lsn);
+    }
+  }
+  if (log_->checkpoint_lsn() != kNullLsn) {
+    reclaim = std::min(reclaim, log_->checkpoint_lsn());
+  }
+  log_->SetReclaimLsn(reclaim);
+  if (config_.punch_reclaimed_log_space) {
+    // Hand the reclaimed prefix back to the filesystem (hole punch
+    // preserves LSN = offset, so no record addressing changes). Off by
+    // default: recovery after complex crashes can consult records below
+    // the reclaim point (old callback log records ordering another
+    // client's replay), which the paper's flush-coverage argument bounds
+    // only when the DCT survives. See DESIGN.md section 8.
+    auto punched = log_->PunchReclaimedSpace();
+    if (punched.ok() && punched.value() > 0) {
+      metrics_->Add("client.log_bytes_punched", punched.value());
+    }
+  }
+}
+
+Result<Lsn> Client::AppendLog(const LogRecord& rec) {
+  auto lsn = log_->Append(rec);
+  if (lsn.ok()) return lsn;
+  if (!lsn.status().IsLogFull()) return lsn;
+  metrics_->Add("client.log_full_events");
+  FINELOG_RETURN_IF_ERROR(TryFreeLogSpace());
+  return log_->Append(rec);
+}
+
+Status Client::TryFreeLogSpace() {
+  // Section 3.6: replace the page with the minimum RedoLSN from the cache
+  // (shipping it) and ask the server to force it; the flush notification
+  // advances our DPT RedoLSN, letting the log tail move forward. A fresh
+  // checkpoint first keeps the analysis anchor from pinning the tail.
+  FINELOG_RETURN_IF_ERROR(TakeCheckpoint());
+  for (int attempts = 0; attempts < 64; ++attempts) {
+    UpdateReclaimLsn();
+    if (log_->capacity() == 0 ||
+        log_->used_bytes() < log_->capacity() * 3 / 4) {
+      return Status::OK();
+    }
+    // Find the DPT entry with the minimum RedoLSN.
+    PageId victim = kInvalidPageId;
+    Lsn min_redo = kMaxLsn;
+    for (const auto& [pid, redo] : dpt_) {
+      if (redo < min_redo) {
+        min_redo = redo;
+        victim = pid;
+      }
+    }
+    if (victim == kInvalidPageId) {
+      return Status::LogFull("log pinned by active transactions");
+    }
+    BufferPool::Frame* frame = cache_->Peek(victim);
+    if (frame != nullptr && frame->dirty) {
+      if (cache_->IsPinned(victim)) {
+        // The page is in use by the very operation that ran out of log
+        // space: ship a copy without evicting it.
+        FINELOG_RETURN_IF_ERROR(log_->Force());
+        channel_->clock()->Advance(channel_->costs().log_force_us);
+        ShippedPage shipped = BuildShip(victim, *frame);
+        metrics_->Add("client.pages_shipped");
+        FINELOG_RETURN_IF_ERROR(server_->ShipPage(id_, shipped));
+      } else {
+        FINELOG_RETURN_IF_ERROR(cache_->Evict(victim, EvictHandler()));
+      }
+    }
+    Lsn before = dpt_.count(victim) ? dpt_[victim] : kNullLsn;
+    FINELOG_RETURN_IF_ERROR(server_->ForcePage(id_, victim));
+    metrics_->Add("client.log_space_forces");
+    Lsn after = dpt_.count(victim) ? dpt_[victim] : kMaxLsn;
+    if (after <= before && dpt_.count(victim)) {
+      // No progress (e.g. the entry is pinned by an active transaction's
+      // unshipped update newer than the flush): give up.
+      return Status::LogFull("log space protocol made no progress");
+    }
+  }
+  return Status::LogFull("log space protocol exhausted attempts");
+}
+
+Status Client::ShipAllDirtyPages() {
+  if (crashed_) return Status::Crashed("client down");
+  for (PageId pid : cache_->PageIds()) {
+    BufferPool::Frame* frame = cache_->Peek(pid);
+    if (frame != nullptr && frame->dirty) {
+      FINELOG_RETURN_IF_ERROR(cache_->Evict(pid, EvictHandler()));
+    }
+  }
+  return Status::OK();
+}
+
+Status Client::ReleaseIdleLocks() {
+  if (crashed_) return Status::Crashed("client down");
+  FINELOG_RETURN_IF_ERROR(ShipAllDirtyPages());
+  auto snap = llm_.GetSnapshot();
+  std::vector<ObjectId> objects;
+  std::vector<PageId> pages;
+  for (const auto& [oid, mode] : snap.objects) {
+    (void)mode;
+    if (llm_.CanReleaseObject(oid)) {
+      objects.push_back(oid);
+    }
+  }
+  for (const auto& [pid, mode] : snap.pages) {
+    (void)mode;
+    if (llm_.CanDeescalatePage(pid)) {
+      pages.push_back(pid);
+    }
+  }
+  FINELOG_RETURN_IF_ERROR(server_->ReleaseLocks(id_, objects, pages));
+  for (const ObjectId& oid : objects) {
+    llm_.ReleaseObject(oid);
+    pending_callbacks_.erase(oid);
+    auto uit = unflushed_slots_.find(oid.page);
+    if (uit != unflushed_slots_.end()) {
+      uit->second.erase(oid.slot);
+      if (uit->second.empty()) unflushed_slots_.erase(uit);
+    }
+  }
+  for (PageId pid : pages) {
+    llm_.ReleasePage(pid);
+    unflushed_slots_.erase(pid);
+  }
+  // Drop cached pages no longer covered by any lock.
+  for (PageId pid : cache_->PageIds()) {
+    if (!llm_.HasAnyLockOnPage(pid)) {
+      cache_->Drop(pid);
+    }
+  }
+  metrics_->Add("client.idle_releases");
+  return Status::OK();
+}
+
+Status Client::TakeCheckpoint() {
+  if (crashed_) return Status::Crashed("client down");
+  std::vector<TxnCheckpointInfo> active;
+  for (const auto& [id, t] : txns_) {
+    if (t.state == Txn::State::kActive) {
+      active.push_back(TxnCheckpointInfo{id, t.first_lsn, t.last_lsn});
+    }
+  }
+  std::vector<DptEntry> dpt;
+  dpt.reserve(dpt_.size());
+  for (const auto& [pid, redo] : dpt_) {
+    dpt.push_back(DptEntry{pid, redo});
+  }
+  LogRecord rec = LogRecord::ClientCheckpoint(std::move(active), std::move(dpt));
+  // Checkpoints bypass both the Section 3.6 retry path and the capacity
+  // check: a successful checkpoint is what lets the log tail advance.
+  auto lsn = log_->Append(rec, /*enforce_capacity=*/false);
+  if (!lsn.ok()) return lsn.status();
+  FINELOG_RETURN_IF_ERROR(log_->Force());
+  channel_->clock()->Advance(channel_->costs().log_force_us);
+  FINELOG_RETURN_IF_ERROR(log_->SetCheckpointLsn(lsn.value()));
+  UpdateReclaimLsn();
+  metrics_->Add("client.checkpoints");
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Data operations
+// ---------------------------------------------------------------------------
+
+Status Client::EnsureToken(PageId pid) {
+  if (config_.same_page_policy != SamePageUpdatePolicy::kUpdateToken) {
+    return Status::OK();
+  }
+  if (tokens_held_.count(pid) > 0) return Status::OK();
+  auto reply = server_->AcquireToken(id_, pid);
+  if (!reply.ok()) return reply.status();
+  tokens_held_.insert(pid);
+  if (reply.value().page_image) {
+    // The page travels with the token (Section 3.1). Our own committed
+    // values are already in the server's copy (we shipped when the token
+    // was recalled from us), so plain adoption is safe.
+    Page page(config_.page_size);
+    page.raw() = *reply.value().page_image;
+    BufferPool::Frame* frame = cache_->Peek(pid);
+    if (frame != nullptr && frame->dirty) {
+      // Unshipped modifications exist only while we held the token; keep
+      // our newer copy.
+      return Status::OK();
+    }
+    auto put = cache_->Put(pid, std::move(page), EvictHandler());
+    if (!put.ok()) return put.status();
+  }
+  return Status::OK();
+}
+
+Result<std::string> Client::Read(TxnId txn, ObjectId oid) {
+  if (crashed_) return Status::Crashed("client down");
+  FINELOG_ASSIGN_OR_RETURN(Txn * t, GetActiveTxn(txn));
+  (void)t;
+  FINELOG_RETURN_IF_ERROR(AcquireObjectLock(txn, oid, LockMode::kShared));
+  FINELOG_ASSIGN_OR_RETURN(BufferPool::Frame * frame, GetCachedPage(oid.page));
+  metrics_->Add("client.reads");
+  return frame->page.ReadObject(oid.slot);
+}
+
+Status Client::Write(TxnId txn, ObjectId oid, Slice data) {
+  if (crashed_) return Status::Crashed("client down");
+  FINELOG_ASSIGN_OR_RETURN(Txn * t, GetActiveTxn(txn));
+  FINELOG_RETURN_IF_ERROR(AcquireObjectLock(txn, oid, LockMode::kExclusive));
+  FINELOG_RETURN_IF_ERROR(EnsureToken(oid.page));
+  FINELOG_ASSIGN_OR_RETURN(BufferPool::Frame * frame, GetCachedPage(oid.page));
+  ScopedPin pin(cache_.get(), oid.page);
+  Page& page = frame->page;
+  auto old = page.ReadObject(oid.slot);
+  if (!old.ok()) return old.status();
+  if (old.value().size() != data.size()) {
+    return Status::InvalidArgument(
+        "Write() requires a same-sized value; use Resize()");
+  }
+  EnsureDptEntry(oid.page);
+  FINELOG_RETURN_IF_ERROR(LogPendingCallback(txn, oid));
+  FINELOG_RETURN_IF_ERROR(
+      LogPendingCallback(txn, ObjectId{oid.page, kInvalidSlotId}));
+  LogRecord rec = LogRecord::Update(txn, t->last_lsn, oid.page, oid.slot,
+                                    UpdateOp::kOverwrite, page.psn(),
+                                    data.ToString(), std::move(old).value());
+  FINELOG_ASSIGN_OR_RETURN(Lsn lsn, AppendLog(rec));
+  if (t->first_lsn == kNullLsn) t->first_lsn = lsn;
+  t->last_lsn = lsn;
+  t->dirtied_pages.insert(oid.page);
+
+  FINELOG_RETURN_IF_ERROR(page.WriteObject(oid.slot, data));
+  page.BumpPsn();
+  TrackModification(frame, oid.page, oid.slot);
+  metrics_->Add("client.writes");
+  return Status::OK();
+}
+
+Result<ObjectId> Client::Create(TxnId txn, PageId pid, Slice data) {
+  if (crashed_) return Status::Crashed("client down");
+  FINELOG_ASSIGN_OR_RETURN(Txn * t, GetActiveTxn(txn));
+  FINELOG_RETURN_IF_ERROR(AcquirePageLock(txn, pid, LockMode::kExclusive));
+  FINELOG_RETURN_IF_ERROR(EnsureToken(pid));
+  FINELOG_ASSIGN_OR_RETURN(BufferPool::Frame * frame, GetCachedPage(pid));
+  ScopedPin pin(cache_.get(), pid);
+  Page& page = frame->page;
+  Psn before = page.psn();
+  // Footnote-3 reservation: create with headroom so later growth can stay
+  // in place (and therefore mergeable).
+  uint16_t capacity = static_cast<uint16_t>(
+      std::min<size_t>(0xFFFF, data.size() * (1.0 + config_.resize_reserve)));
+  auto slot = page.CreateObject(data, capacity);
+  if (!slot.ok()) return slot.status();
+
+  EnsureDptEntry(pid);
+  FINELOG_RETURN_IF_ERROR(
+      LogPendingCallback(txn, ObjectId{pid, kInvalidSlotId}));
+  LogRecord rec = LogRecord::Update(txn, t->last_lsn, pid, slot.value(),
+                                    UpdateOp::kCreate, before, data.ToString(),
+                                    std::string());
+  rec.capacity = capacity;
+  FINELOG_ASSIGN_OR_RETURN(Lsn lsn, AppendLog(rec));
+  if (t->first_lsn == kNullLsn) t->first_lsn = lsn;
+  t->last_lsn = lsn;
+  t->dirtied_pages.insert(pid);
+
+  page.BumpPsn();
+  TrackModification(frame, pid, slot.value());
+  frame->structurally_modified = true;
+  metrics_->Add("client.creates");
+  return ObjectId{pid, slot.value()};
+}
+
+Status Client::Resize(TxnId txn, ObjectId oid, Slice data) {
+  if (crashed_) return Status::Crashed("client down");
+  FINELOG_ASSIGN_OR_RETURN(Txn * t, GetActiveTxn(txn));
+
+  // Footnote-3 fast path: take the object lock first; if the new size fits
+  // the slot's reserved capacity, the resize is in place and mergeable --
+  // no page-level lock, no structural flag, full same-page concurrency.
+  FINELOG_RETURN_IF_ERROR(AcquireObjectLock(txn, oid, LockMode::kExclusive));
+  FINELOG_RETURN_IF_ERROR(EnsureToken(oid.page));
+  {
+    FINELOG_ASSIGN_OR_RETURN(BufferPool::Frame * frame,
+                             GetCachedPage(oid.page));
+    ScopedPin pin(cache_.get(), oid.page);
+    Page& page = frame->page;
+    if (config_.lock_granularity == LockGranularity::kObject &&
+        page.ResizeFitsInPlace(oid.slot, data.size())) {
+      auto old = page.ReadObject(oid.slot);
+      if (!old.ok()) return old.status();
+      EnsureDptEntry(oid.page);
+      FINELOG_RETURN_IF_ERROR(LogPendingCallback(txn, oid));
+      LogRecord rec = LogRecord::Update(
+          txn, t->last_lsn, oid.page, oid.slot, UpdateOp::kResizeInPlace,
+          page.psn(), data.ToString(), std::move(old).value());
+      FINELOG_ASSIGN_OR_RETURN(Lsn lsn, AppendLog(rec));
+      if (t->first_lsn == kNullLsn) t->first_lsn = lsn;
+      t->last_lsn = lsn;
+      t->dirtied_pages.insert(oid.page);
+      FINELOG_RETURN_IF_ERROR(page.ResizeObject(oid.slot, data));
+      page.BumpPsn();
+      TrackModification(frame, oid.page, oid.slot);
+      metrics_->Add("client.resizes_in_place");
+      return Status::OK();
+    }
+  }
+
+  // Structural path: the object must be reallocated on the page.
+  FINELOG_RETURN_IF_ERROR(AcquirePageLock(txn, oid.page, LockMode::kExclusive));
+  FINELOG_ASSIGN_OR_RETURN(BufferPool::Frame * frame, GetCachedPage(oid.page));
+  ScopedPin pin(cache_.get(), oid.page);
+  Page& page = frame->page;
+  auto old = page.ReadObject(oid.slot);
+  if (!old.ok()) return old.status();
+
+  EnsureDptEntry(oid.page);
+  FINELOG_RETURN_IF_ERROR(LogPendingCallback(txn, oid));
+  FINELOG_RETURN_IF_ERROR(
+      LogPendingCallback(txn, ObjectId{oid.page, kInvalidSlotId}));
+  LogRecord rec = LogRecord::Update(txn, t->last_lsn, oid.page, oid.slot,
+                                    UpdateOp::kResize, page.psn(),
+                                    data.ToString(), std::move(old).value());
+  FINELOG_ASSIGN_OR_RETURN(Lsn lsn, AppendLog(rec));
+  if (t->first_lsn == kNullLsn) t->first_lsn = lsn;
+  t->last_lsn = lsn;
+  t->dirtied_pages.insert(oid.page);
+
+  FINELOG_RETURN_IF_ERROR(page.ResizeObject(oid.slot, data));
+  page.BumpPsn();
+  TrackModification(frame, oid.page, oid.slot);
+  frame->structurally_modified = true;
+  metrics_->Add("client.resizes");
+  return Status::OK();
+}
+
+Status Client::Delete(TxnId txn, ObjectId oid) {
+  if (crashed_) return Status::Crashed("client down");
+  FINELOG_ASSIGN_OR_RETURN(Txn * t, GetActiveTxn(txn));
+  FINELOG_RETURN_IF_ERROR(AcquirePageLock(txn, oid.page, LockMode::kExclusive));
+  FINELOG_RETURN_IF_ERROR(EnsureToken(oid.page));
+  FINELOG_ASSIGN_OR_RETURN(BufferPool::Frame * frame, GetCachedPage(oid.page));
+  ScopedPin pin(cache_.get(), oid.page);
+  Page& page = frame->page;
+  auto old = page.ReadObject(oid.slot);
+  if (!old.ok()) return old.status();
+
+  EnsureDptEntry(oid.page);
+  FINELOG_RETURN_IF_ERROR(LogPendingCallback(txn, oid));
+  FINELOG_RETURN_IF_ERROR(
+      LogPendingCallback(txn, ObjectId{oid.page, kInvalidSlotId}));
+  LogRecord rec = LogRecord::Update(txn, t->last_lsn, oid.page, oid.slot,
+                                    UpdateOp::kDelete, page.psn(), std::string(),
+                                    std::move(old).value());
+  FINELOG_ASSIGN_OR_RETURN(Lsn lsn, AppendLog(rec));
+  if (t->first_lsn == kNullLsn) t->first_lsn = lsn;
+  t->last_lsn = lsn;
+  t->dirtied_pages.insert(oid.page);
+
+  FINELOG_RETURN_IF_ERROR(page.DeleteObject(oid.slot));
+  page.BumpPsn();
+  TrackModification(frame, oid.page, oid.slot);
+  frame->structurally_modified = true;
+  metrics_->Add("client.deletes");
+  return Status::OK();
+}
+
+Result<PageId> Client::AllocatePage(TxnId txn) {
+  if (crashed_) return Status::Crashed("client down");
+  FINELOG_ASSIGN_OR_RETURN(Txn * t, GetActiveTxn(txn));
+  (void)t;
+  auto reply = server_->AllocatePage(id_);
+  if (!reply.ok()) return reply.status();
+  llm_.AddPageLock(txn, reply.value().page, LockMode::kExclusive);
+  Page page(config_.page_size);
+  page.raw() = reply.value().page_image;
+  auto put = cache_->Put(reply.value().page, std::move(page), EvictHandler());
+  if (!put.ok()) return put.status();
+  return reply.value().page;
+}
+
+// ---------------------------------------------------------------------------
+// Commit / rollback
+// ---------------------------------------------------------------------------
+
+Status Client::Commit(TxnId txn_id) {
+  if (crashed_) return Status::Crashed("client down");
+  FINELOG_ASSIGN_OR_RETURN(Txn * t, GetActiveTxn(txn_id));
+
+  LogRecord commit = LogRecord::Control(LogRecordType::kCommit, txn_id,
+                                        t->last_lsn);
+  FINELOG_ASSIGN_OR_RETURN(Lsn lsn, AppendLog(commit));
+  t->last_lsn = lsn;
+
+  switch (config_.logging_policy) {
+    case LoggingPolicy::kClientLocal: {
+      // The headline property: commit is a purely local log force; no
+      // server interaction, no page or log shipping (Section 5, item 1).
+      FINELOG_RETURN_IF_ERROR(log_->Force());
+      channel_->clock()->Advance(channel_->costs().log_force_us);
+      break;
+    }
+    case LoggingPolicy::kShipLogsAtCommit: {
+      // ARIES/CSA: ship the transaction's log records to the server, which
+      // forces them to its log before acknowledging (Section 4.1).
+      size_t bytes = 0;
+      Lsn cur = t->last_lsn;
+      while (cur != kNullLsn) {
+        auto rec = log_->Read(cur);
+        if (!rec.ok()) return rec.status();
+        bytes += rec.value().Encode().size() + 8;
+        cur = rec.value().prev_lsn;
+      }
+      FINELOG_RETURN_IF_ERROR(server_->CommitShipLogs(id_, bytes));
+      break;
+    }
+    case LoggingPolicy::kShipPagesAtCommit: {
+      // Versant-style: every page the transaction modified travels to the
+      // server at commit (Section 4.1).
+      std::vector<ShippedPage> pages;
+      for (PageId pid : t->dirtied_pages) {
+        BufferPool::Frame* frame = cache_->Peek(pid);
+        if (frame != nullptr && frame->dirty) {
+          pages.push_back(BuildShip(pid, *frame));
+        }
+      }
+      if (!pages.empty()) {
+        FINELOG_RETURN_IF_ERROR(server_->CommitShipPages(id_, pages));
+      }
+      break;
+    }
+  }
+
+  LogRecord end = LogRecord::Control(LogRecordType::kTxnEnd, txn_id, t->last_lsn);
+  auto end_lsn = AppendLog(end);
+  if (!end_lsn.ok()) return end_lsn.status();
+
+  t->state = Txn::State::kCommitted;
+  llm_.OnTxnEnd(txn_id);  // Locks stay cached (inter-transaction caching).
+  UpdateReclaimLsn();
+  ++commits_;
+  metrics_->Add("client.commits");
+  return Status::OK();
+}
+
+Status Client::ApplyRedo(Page* page, const LogRecord& rec) {
+  switch (rec.op) {
+    case UpdateOp::kOverwrite:
+      if (!page->SlotExists(rec.slot) ||
+          page->ObjectSize(rec.slot) != rec.redo.size()) {
+        // Defensive: the slot should exist with the right size; recreate.
+        if (page->SlotExists(rec.slot)) {
+          return page->ResizeObject(rec.slot, rec.redo);
+        }
+        return page->CreateObjectAt(rec.slot, rec.redo);
+      }
+      return page->WriteObject(rec.slot, rec.redo);
+    case UpdateOp::kCreate:
+      if (page->SlotExists(rec.slot)) {
+        return page->ResizeObject(rec.slot, rec.redo);
+      }
+      return page->CreateObjectAt(rec.slot, rec.redo, rec.capacity);
+    case UpdateOp::kResize:
+    case UpdateOp::kResizeInPlace:
+      if (!page->SlotExists(rec.slot)) {
+        return page->CreateObjectAt(rec.slot, rec.redo);
+      }
+      return page->ResizeObject(rec.slot, rec.redo);
+    case UpdateOp::kDelete:
+      if (page->SlotExists(rec.slot)) {
+        return page->DeleteObject(rec.slot);
+      }
+      return Status::OK();
+  }
+  return Status::Internal("unknown update op");
+}
+
+Status Client::ApplyUndo(Page* page, const LogRecord& rec) {
+  switch (rec.op) {
+    case UpdateOp::kOverwrite:
+      return page->WriteObject(rec.slot, rec.undo);
+    case UpdateOp::kCreate:
+      return page->DeleteObject(rec.slot);
+    case UpdateOp::kResize:
+    case UpdateOp::kResizeInPlace:
+      return page->ResizeObject(rec.slot, rec.undo);
+    case UpdateOp::kDelete:
+      return page->CreateObjectAt(rec.slot, rec.undo);
+  }
+  return Status::Internal("unknown update op");
+}
+
+Status Client::RollbackTo(TxnId txn_id, Txn* txn, Lsn stop_lsn) {
+  // ARIES undo with compensation records. Walk the transaction's backward
+  // chain from last_lsn; CLRs redirect via undo_next_lsn so compensated
+  // work is never undone twice.
+  Lsn cur = txn->last_lsn;
+  while (cur != kNullLsn && cur > stop_lsn) {
+    auto rec_or = log_->Read(cur);
+    if (!rec_or.ok()) return rec_or.status();
+    const LogRecord& rec = rec_or.value();
+    if (rec.type == LogRecordType::kClr) {
+      cur = rec.undo_next_lsn;
+      continue;
+    }
+    if (rec.type != LogRecordType::kUpdate) {
+      cur = rec.prev_lsn;
+      continue;
+    }
+    FINELOG_RETURN_IF_ERROR(EnsureToken(rec.page));
+    FINELOG_ASSIGN_OR_RETURN(BufferPool::Frame * frame, GetCachedPage(rec.page));
+    ScopedPin pin(cache_.get(), rec.page);
+    Page& page = frame->page;
+
+    // Compensation record: redo-able inverse of `rec`.
+    UpdateOp inverse = rec.op;
+    if (rec.op == UpdateOp::kCreate) inverse = UpdateOp::kDelete;
+    if (rec.op == UpdateOp::kDelete) inverse = UpdateOp::kCreate;
+    LogRecord clr = LogRecord::Clr(txn_id, txn->last_lsn, rec.page, rec.slot,
+                                   inverse, page.psn(), rec.undo, rec.prev_lsn);
+    EnsureDptEntry(rec.page);
+    // Rollback must always succeed: compensation records bypass the log
+    // capacity check (rolling back is what ultimately frees the space).
+    auto clr_lsn_or = log_->Append(clr, /*enforce_capacity=*/false);
+    if (!clr_lsn_or.ok()) return clr_lsn_or.status();
+    Lsn clr_lsn = clr_lsn_or.value();
+    txn->last_lsn = clr_lsn;
+
+    FINELOG_RETURN_IF_ERROR(ApplyUndo(&page, rec));
+    page.BumpPsn();
+    TrackModification(frame, rec.page, rec.slot);
+    if (rec.op != UpdateOp::kOverwrite &&
+        rec.op != UpdateOp::kResizeInPlace) {
+      frame->structurally_modified = true;
+    }
+    metrics_->Add("client.undos");
+    cur = rec.prev_lsn;
+  }
+  return Status::OK();
+}
+
+Status Client::Abort(TxnId txn_id) {
+  if (crashed_) return Status::Crashed("client down");
+  FINELOG_ASSIGN_OR_RETURN(Txn * t, GetActiveTxn(txn_id));
+
+  LogRecord abort = LogRecord::Control(LogRecordType::kAbort, txn_id, t->last_lsn);
+  auto lsn_or = log_->Append(abort, /*enforce_capacity=*/false);
+  if (!lsn_or.ok()) return lsn_or.status();
+  t->last_lsn = lsn_or.value();
+
+  FINELOG_RETURN_IF_ERROR(RollbackTo(txn_id, t, kNullLsn));
+
+  LogRecord end = LogRecord::Control(LogRecordType::kTxnEnd, txn_id, t->last_lsn);
+  auto end_lsn_or = log_->Append(end, /*enforce_capacity=*/false);
+  if (!end_lsn_or.ok()) return end_lsn_or.status();
+  Lsn end_lsn = end_lsn_or.value();
+  t->last_lsn = end_lsn;
+  FINELOG_RETURN_IF_ERROR(log_->Force());
+  channel_->clock()->Advance(channel_->costs().log_force_us);
+
+  t->state = Txn::State::kAborted;
+  llm_.OnTxnEnd(txn_id);  // Locks retained even after rollback (Section 2).
+  UpdateReclaimLsn();
+  ++aborts_;
+  metrics_->Add("client.aborts");
+  return Status::OK();
+}
+
+Result<size_t> Client::SetSavepoint(TxnId txn_id) {
+  if (crashed_) return Status::Crashed("client down");
+  FINELOG_ASSIGN_OR_RETURN(Txn * t, GetActiveTxn(txn_id));
+  LogRecord rec = LogRecord::Control(LogRecordType::kSavepoint, txn_id,
+                                     t->last_lsn);
+  FINELOG_ASSIGN_OR_RETURN(Lsn lsn, AppendLog(rec));
+  t->last_lsn = lsn;
+  t->savepoints.push_back(lsn);
+  metrics_->Add("client.savepoints");
+  return t->savepoints.size() - 1;
+}
+
+Status Client::RollbackToSavepoint(TxnId txn_id, size_t savepoint) {
+  if (crashed_) return Status::Crashed("client down");
+  FINELOG_ASSIGN_OR_RETURN(Txn * t, GetActiveTxn(txn_id));
+  if (savepoint >= t->savepoints.size()) {
+    return Status::InvalidArgument("no such savepoint");
+  }
+  Lsn stop = t->savepoints[savepoint];
+  FINELOG_RETURN_IF_ERROR(RollbackTo(txn_id, t, stop));
+  t->savepoints.resize(savepoint + 1);
+  metrics_->Add("client.partial_rollbacks");
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Callback handling (ClientEndpoint)
+// ---------------------------------------------------------------------------
+
+Client::CallbackReply Client::HandleObjectCallback(ObjectId oid,
+                                                   LockMode requested) {
+  CallbackReply reply;
+  if (crashed_) return reply;  // Denied; the server queues the request.
+  if (requested == LockMode::kExclusive) {
+    if (!llm_.CanReleaseObject(oid)) return reply;  // In use: deny.
+  } else {
+    if (!llm_.CanDowngradeObject(oid)) return reply;
+  }
+  reply.granted = true;
+
+  BufferPool::Frame* frame = cache_->Peek(oid.page);
+  if (frame != nullptr) {
+    reply.psn_at_response = frame->page.psn();
+    if (frame->dirty) {
+      // WAL before the copy leaves the client.
+      Status st = log_->Force();
+      if (!st.ok()) {
+        reply.granted = false;
+        return reply;
+      }
+      channel_->clock()->Advance(channel_->costs().log_force_us);
+      reply.page = BuildShip(oid.page, *frame);
+    }
+  } else {
+    auto si = ship_info_.find(oid.page);
+    reply.psn_at_response = si != ship_info_.end() ? si->second.psn : kNullPsn;
+  }
+
+  if (requested == LockMode::kExclusive) {
+    llm_.ReleaseObject(oid);
+    pending_callbacks_.erase(oid);  // We never updated it; ordering is moot.
+    // Update authority for the object moves to the requester: our (just
+    // shipped) value is at the server and must never overlay the new
+    // holder's later updates via a restart cache pull. If the merged copy
+    // is later lost with the server, our *log* (replayed with CallBack_P
+    // ordering) restores the value.
+    auto uit = unflushed_slots_.find(oid.page);
+    if (uit != unflushed_slots_.end()) {
+      uit->second.erase(oid.slot);
+      if (uit->second.empty()) unflushed_slots_.erase(uit);
+    }
+    // Drop the page if no other locks cover objects on it (Section 3.2).
+    if (frame != nullptr && !llm_.HasAnyLockOnPage(oid.page)) {
+      cache_->Drop(oid.page);
+      reply.dropped_page = true;
+    }
+  } else {
+    llm_.DowngradeObject(oid);
+  }
+  metrics_->Add("client.callbacks_handled");
+  return reply;
+}
+
+Client::DeescalateReply Client::HandleDeescalate(PageId pid) {
+  DeescalateReply reply;
+  if (crashed_) return reply;
+  if (!llm_.CanDeescalatePage(pid)) return reply;  // Structural txn active.
+  reply.granted = true;
+  reply.object_locks = llm_.Deescalate(pid);
+
+  BufferPool::Frame* frame = cache_->Peek(pid);
+  if (frame != nullptr) {
+    reply.psn_at_response = frame->page.psn();
+    if (frame->dirty) {
+      Status st = log_->Force();
+      if (!st.ok()) {
+        reply.granted = false;
+        return reply;
+      }
+      channel_->clock()->Advance(channel_->costs().log_force_us);
+      reply.page = BuildShip(pid, *frame);
+    }
+    if (!llm_.HasAnyLockOnPage(pid)) {
+      cache_->Drop(pid);
+    }
+  }
+  metrics_->Add("client.deescalations_handled");
+  return reply;
+}
+
+Client::CallbackReply Client::HandlePageCallback(PageId pid,
+                                                 LockMode requested) {
+  CallbackReply reply;
+  if (crashed_) return reply;
+  // Deny while any local transaction uses the page (or objects on it).
+  if (requested == LockMode::kExclusive) {
+    if (!llm_.CanDeescalatePage(pid)) return reply;
+    for (const ObjectId& oid : llm_.ExclusiveObjects()) {
+      if (oid.page == pid && !llm_.CanReleaseObject(oid)) return reply;
+    }
+  } else {
+    if (!llm_.CanDeescalatePage(pid)) return reply;
+  }
+  reply.granted = true;
+
+  BufferPool::Frame* frame = cache_->Peek(pid);
+  if (frame != nullptr) {
+    reply.psn_at_response = frame->page.psn();
+    if (frame->dirty) {
+      Status st = log_->Force();
+      if (!st.ok()) {
+        reply.granted = false;
+        return reply;
+      }
+      channel_->clock()->Advance(channel_->costs().log_force_us);
+      reply.page = BuildShip(pid, *frame);
+    }
+  }
+  if (requested == LockMode::kExclusive) {
+    llm_.ReleasePage(pid);
+    // Authority over the whole page moves on.
+    unflushed_slots_.erase(pid);
+    if (frame != nullptr) {
+      cache_->Drop(pid);
+      reply.dropped_page = true;
+    }
+  } else {
+    // Downgrade: keep the page cached under the shared lock.
+    llm_.DowngradePage(pid);
+  }
+  metrics_->Add("client.page_callbacks_handled");
+  return reply;
+}
+
+void Client::HandleFlushNotify(PageId pid, Psn flushed_psn) {
+  if (crashed_) return;
+  auto si = ship_info_.find(pid);
+  if (si == ship_info_.end()) return;
+  if (flushed_psn == kNullPsn || flushed_psn < si->second.psn) {
+    return;  // Stale flush: our latest ship is not on disk yet.
+  }
+  BufferPool::Frame* frame = cache_->Peek(pid);
+  if (frame != nullptr && frame->dirty) {
+    // Updated again since the ship: advance the RedoLSN to the remembered
+    // end-of-log (Section 3.6). Only the post-ship modifications remain
+    // unflushed.
+    auto it = dpt_.find(pid);
+    if (it != dpt_.end() && it->second < si->second.log_end) {
+      it->second = si->second.log_end;
+    }
+    unflushed_slots_[pid] = frame->modified_slots;
+  } else {
+    // All our updates for this page are on disk: drop the DPT entry
+    // (Section 3.2).
+    dpt_.erase(pid);
+    ship_info_.erase(si);
+    unflushed_slots_.erase(pid);
+  }
+  UpdateReclaimLsn();
+  metrics_->Add("client.flush_notifies");
+}
+
+Result<ShippedPage> Client::HandleTokenRecall(PageId pid) {
+  if (crashed_) return Status::Crashed("client down");
+  tokens_held_.erase(pid);
+  BufferPool::Frame* frame = cache_->Peek(pid);
+  if (frame == nullptr || !frame->dirty) {
+    ShippedPage empty;
+    empty.page = pid;
+    return empty;  // Nothing unshipped; token moves without data.
+  }
+  FINELOG_RETURN_IF_ERROR(log_->Force());
+  channel_->clock()->Advance(channel_->costs().log_force_us);
+  return BuildShip(pid, *frame);
+}
+
+Status Client::HandleCheckpointSync() {
+  if (crashed_) return Status::Crashed("client down");
+  // ARIES/CSA-style synchronized checkpoint: the client forces its state so
+  // the server checkpoint can bound recovery (Section 4.1).
+  FINELOG_RETURN_IF_ERROR(log_->Force());
+  channel_->clock()->Advance(channel_->costs().log_force_us);
+  return Status::OK();
+}
+
+}  // namespace finelog

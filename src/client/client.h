@@ -1,0 +1,267 @@
+// Client: a workstation offering full local transactional facilities
+// (Sections 2 and 3). Owns a private write-ahead log, a local page cache,
+// a local lock manager (LLM) with inter-transaction lock caching, a dirty
+// page table (DPT), and a transaction manager with savepoints.
+//
+// Transactions execute entirely at the client: commit forces only the
+// private log (no server interaction under the paper's policy); rollback and
+// crash recovery replay the private log. The client implements the
+// ClientEndpoint surface for callbacks, flush notifications and the recovery
+// protocol.
+
+#ifndef FINELOG_CLIENT_CLIENT_H_
+#define FINELOG_CLIENT_CLIENT_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "buffer/buffer_pool.h"
+#include "common/config.h"
+#include "common/result.h"
+#include "common/types.h"
+#include "lock/llm.h"
+#include "log/log_manager.h"
+#include "net/channel.h"
+#include "net/endpoints.h"
+#include "util/metrics.h"
+
+namespace finelog {
+
+class Client : public ClientEndpoint {
+ public:
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  static Result<std::unique_ptr<Client>> Create(ClientId id,
+                                                const SystemConfig& config,
+                                                ServerEndpoint* server,
+                                                Channel* channel,
+                                                Metrics* metrics);
+
+  ClientId id() const { return id_; }
+
+  // Transaction API ----------------------------------------------------------
+
+  Result<TxnId> Begin();
+
+  // Reads an object under a shared lock.
+  Result<std::string> Read(TxnId txn, ObjectId oid);
+
+  // Overwrites an object in place with a same-sized value -- the "mergeable"
+  // update of Section 3.1; requires only an object-level exclusive lock, so
+  // other clients may concurrently update other objects of the same page.
+  Status Write(TxnId txn, ObjectId oid, Slice data);
+
+  // Structure-modifying (non-mergeable) updates; require a page-level
+  // exclusive lock (Section 3.1).
+  Result<ObjectId> Create(TxnId txn, PageId pid, Slice data);
+  Status Resize(TxnId txn, ObjectId oid, Slice data);
+  Status Delete(TxnId txn, ObjectId oid);
+
+  // Allocates a fresh page from the server (the caller gets a page X lock).
+  Result<PageId> AllocatePage(TxnId txn);
+
+  // Commit: forces the private log (client-local policy) or ships log
+  // records / pages to the server (baseline policies, Section 4.1). Locks
+  // are retained in the LLM as cached.
+  Status Commit(TxnId txn);
+
+  // Total rollback with CLRs, handled entirely by the client.
+  Status Abort(TxnId txn);
+
+  // Savepoints and partial rollback (Section 3.2).
+  Result<size_t> SetSavepoint(TxnId txn);
+  Status RollbackToSavepoint(TxnId txn, size_t savepoint);
+
+  // Independent fuzzy checkpoint: active transactions + DPT (Section 3.2).
+  Status TakeCheckpoint();
+
+  // Ships every dirty cached page to the server (evicting it), as cache
+  // pressure eventually would. Used to reach quiescent states.
+  Status ShipAllDirtyPages();
+
+  // Orderly resource release (a client preparing to disconnect): ships all
+  // dirty pages, then gives up every cached lock not used by an active
+  // transaction and drops the corresponding cached pages.
+  Status ReleaseIdleLocks();
+
+  // Crash / recovery ----------------------------------------------------------
+
+  // Simulated crash: lock tables, cache, DPT and unforced log tail are lost;
+  // the private log file survives.
+  Status Crash();
+  bool crashed() const { return crashed_; }
+
+  // Restart recovery (Section 3.3): ARIES analysis / conditional redo / undo
+  // against the private log, fetching base pages (with DCT PSNs installed)
+  // from the server.
+  Status Restart();
+
+  // ClientEndpoint ------------------------------------------------------------
+
+  CallbackReply HandleObjectCallback(ObjectId oid, LockMode requested) override;
+  DeescalateReply HandleDeescalate(PageId pid) override;
+  CallbackReply HandlePageCallback(PageId pid, LockMode requested) override;
+  void HandleFlushNotify(PageId pid, Psn flushed_psn) override;
+  Result<ShippedPage> HandleTokenRecall(PageId pid) override;
+  Status HandleCheckpointSync() override;
+  Result<ClientRecoveryState> HandleRecGetState() override;
+  Result<ShippedPage> HandleRecFetchCachedPage(
+      PageId pid, const std::vector<CallbackListEntry>& suppress) override;
+  Result<std::vector<CallbackListEntry>> HandleRecScanCallbacks(
+      PageId pid, ClientId crashed) override;
+  Status HandleRecRecoverPage(PageId pid,
+                              const std::vector<CallbackListEntry>& callback_list,
+                              const std::string& base_image, Psn base_psn,
+                              Psn psn_limit) override;
+
+  // Introspection -------------------------------------------------------------
+
+  LocalLockManager& llm() { return llm_; }
+  BufferPool& cache() { return *cache_; }
+  LogManager& log() { return *log_; }
+  const std::map<PageId, Lsn>& dpt() const { return dpt_; }
+  size_t active_txns() const;
+  uint64_t commits() const { return commits_; }
+  uint64_t aborts() const { return aborts_; }
+
+ private:
+  struct Txn {
+    enum class State { kActive, kCommitted, kAborted };
+    State state = State::kActive;
+    Lsn first_lsn = kNullLsn;
+    Lsn last_lsn = kNullLsn;
+    std::vector<Lsn> savepoints;
+    std::set<PageId> dirtied_pages;  // For the ship-pages-at-commit baseline.
+  };
+
+  // Remembered per page at ship time (Section 3.6): the PSN the page had and
+  // the end of the private log, used to advance the DPT RedoLSN when the
+  // server reports the page flushed.
+  struct ShipInfo {
+    Psn psn = 0;
+    Lsn log_end = kNullLsn;
+  };
+
+  // State of one page's replay during coordinated server-crash recovery
+  // (Section 3.4): a resumable cursor so a parallel-recovery handshake can
+  // ask for a bounded prefix (all records with PSN < limit).
+  struct RecoverySession {
+    Page page{0};
+    std::vector<LogRecord> records;  // LSN-ordered, for this page.
+    size_t cursor = 0;
+    std::map<ObjectId, Psn> callback_list;
+    std::set<SlotId> modified;
+    bool complete = false;
+  };
+
+  Client(ClientId id, const SystemConfig& config, ServerEndpoint* server,
+         Channel* channel, Metrics* metrics)
+      : id_(id), config_(config), server_(server), channel_(channel),
+        metrics_(metrics) {}
+
+  Result<Txn*> GetActiveTxn(TxnId txn);
+
+  // Lock acquisition with LLM caching; a miss goes to the server and the
+  // reply's object/page image is installed (client-side merge, Section 2).
+  Status AcquireObjectLock(TxnId txn, ObjectId oid, LockMode mode);
+  Status AcquirePageLock(TxnId txn, PageId pid, LockMode mode);
+
+  // Returns the cached frame for `pid`, fetching from the server on a miss.
+  Result<BufferPool::Frame*> GetCachedPage(PageId pid);
+
+  // The cache eviction handler: WAL-force the private log, then ship dirty
+  // victims to the server (Section 2).
+  BufferPool::EvictHandler EvictHandler();
+
+  // Builds a ShippedPage from a frame and resets its modification tracking
+  // (the frame is then "clean" = in sync with what the server has been sent).
+  ShippedPage BuildShip(PageId pid, BufferPool::Frame& frame);
+
+  // Appends to the private log, running the log space protocol of Section
+  // 3.6 on kLogFull.
+  Result<Lsn> AppendLog(const LogRecord& rec);
+
+  // Log space management (Section 3.6): replace/force the page with the
+  // minimum RedoLSN until an append fits.
+  Status TryFreeLogSpace();
+  void UpdateReclaimLsn();
+
+  // Ensures a DPT entry exists for `pid` before an update is logged.
+  void EnsureDptEntry(PageId pid);
+
+  // Records a local modification of (pid, slot) in both tracking sets.
+  void TrackModification(BufferPool::Frame* frame, PageId pid, SlotId slot);
+
+  // Writes the pending callback log record for `oid`, if any (Section 3.1).
+  // Callback records are logged lazily at the first update of the
+  // called-back object: a grant that is never followed by an update must
+  // not suppress the responder's recovery replay.
+  Status LogPendingCallback(TxnId txn, ObjectId oid);
+
+  // Update-token baseline: acquire the page's update token before a
+  // physical update (Section 3.1).
+  Status EnsureToken(PageId pid);
+
+  // Applies one logged operation (redo direction) to a page.
+  static Status ApplyRedo(Page* page, const LogRecord& rec);
+  // Applies the inverse of an update record (undo direction).
+  static Status ApplyUndo(Page* page, const LogRecord& rec);
+
+  // Rolls `txn` back to `stop_lsn` (kNullLsn = total rollback), writing CLRs.
+  Status RollbackTo(TxnId txn_id, Txn* txn, Lsn stop_lsn);
+
+  // Restart helpers (client_recovery.cc).
+  struct AnalysisResult {
+    std::map<TxnId, Txn> txns;
+    std::map<PageId, Lsn> dpt;
+    std::vector<ObjectId> x_objects;   // Derived from update records.
+    std::vector<PageId> x_pages;       // Derived from structural records.
+    std::map<ObjectId, Psn> max_psn;   // Highest record PSN per object.
+    // Our own callback records per page: responder -> latest hand-off PSN.
+    std::map<PageId, std::map<ClientId, Psn>> own_handoffs;
+  };
+  Result<AnalysisResult> RunAnalysis();
+  Status RunRedo(const AnalysisResult& analysis,
+                 const std::map<PageId, Psn>& dct_psn, bool dct_authoritative,
+                 const std::map<ObjectId, Psn>& callback_lists);
+  Status RunUndo(std::map<TxnId, Txn> losers);
+
+  ClientId id_;
+  SystemConfig config_;
+  ServerEndpoint* server_;
+  Channel* channel_;
+  Metrics* metrics_;
+
+  std::unique_ptr<LogManager> log_;
+  std::unique_ptr<BufferPool> cache_;
+  LocalLockManager llm_;
+
+  std::map<TxnId, Txn> txns_;
+  std::map<PageId, Lsn> dpt_;
+  std::map<PageId, ShipInfo> ship_info_;
+  // Exclusive callbacks granted to us, not yet covered by an update record.
+  // One X request can call back several holders of the same object (the
+  // previous writer plus readers), so each object keeps a list.
+  std::map<ObjectId, std::vector<XCallbackInfo>> pending_callbacks_;
+  // Slots modified since the server last confirmed a flush of the page.
+  // Unlike Frame::modified_slots (since last *ship*), this set survives
+  // ships, evictions and re-fetches; it is what a restarting server needs
+  // merged when it pulls our cached copy (Section 3.4, step 4).
+  std::map<PageId, std::set<SlotId>> unflushed_slots_;
+  std::set<PageId> tokens_held_;
+  std::map<PageId, RecoverySession> recovery_sessions_;
+
+  uint64_t next_txn_seq_ = 1;
+  bool crashed_ = false;
+  uint64_t commits_ = 0;
+  uint64_t aborts_ = 0;
+};
+
+}  // namespace finelog
+
+#endif  // FINELOG_CLIENT_CLIENT_H_

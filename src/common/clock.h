@@ -1,0 +1,33 @@
+// SimClock: the simulated clock driving all cost accounting.
+//
+// finelog runs clients and the server in one process; elapsed "time" is the
+// sum of modelled costs (network latency, disk I/O, log forces) charged to
+// the clock by the component that incurs them. The paper's algorithms do not
+// require synchronized client clocks -- accordingly, nothing in the protocol
+// code reads the clock; it exists purely for the benchmark harness.
+
+#ifndef FINELOG_COMMON_CLOCK_H_
+#define FINELOG_COMMON_CLOCK_H_
+
+#include <cstdint>
+
+namespace finelog {
+
+class SimClock {
+ public:
+  SimClock() = default;
+
+  SimClock(const SimClock&) = delete;
+  SimClock& operator=(const SimClock&) = delete;
+
+  uint64_t now_us() const { return now_us_; }
+  void Advance(uint64_t us) { now_us_ += us; }
+  void Reset() { now_us_ = 0; }
+
+ private:
+  uint64_t now_us_ = 0;
+};
+
+}  // namespace finelog
+
+#endif  // FINELOG_COMMON_CLOCK_H_

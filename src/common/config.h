@@ -1,0 +1,95 @@
+// SystemConfig: every tunable of a finelog deployment, including the policy
+// knobs that select between the paper's algorithms and the baseline systems
+// the paper compares against (Section 4).
+
+#ifndef FINELOG_COMMON_CONFIG_H_
+#define FINELOG_COMMON_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/cost_model.h"
+
+namespace finelog {
+
+// Where log records are made durable (Section 4.1).
+enum class LoggingPolicy {
+  // The paper: each client writes log records to its own private log disk;
+  // nothing is shipped at commit.
+  kClientLocal,
+  // ARIES/CSA [18]: clients ship all of a transaction's log records to the
+  // server at commit; the server forces them to its log before acking.
+  kShipLogsAtCommit,
+  // Versant-style [24]: all pages modified by the transaction are shipped to
+  // the server at commit so the server can log the changes.
+  kShipPagesAtCommit,
+};
+
+// Granularity of concurrency control.
+enum class LockGranularity {
+  kObject,  // The paper: fine-granularity (object) locking.
+  kPage,    // The companion ICDE'96 system [20]: page-level locking.
+};
+
+// How concurrent updates by different clients to the same page are handled
+// (Section 3.1).
+enum class SamePageUpdatePolicy {
+  // The paper: multiple outstanding copies, reconciled by merging page
+  // copies with PSN = max+1.
+  kMergeCopies,
+  // Update-privilege / update-token serialization [17, 18]: a page may only
+  // be physically updated by the current token holder; token transfer ships
+  // the page through the server.
+  kUpdateToken,
+};
+
+struct SystemConfig {
+  // Topology.
+  uint32_t num_clients = 4;
+
+  // Storage geometry.
+  uint32_t page_size = 4096;
+  uint32_t num_pages = 256;          // Database capacity in pages.
+  uint32_t preloaded_pages = 128;    // Pages populated at bootstrap.
+  uint32_t objects_per_page = 16;    // Initial objects allocated per page.
+  uint32_t object_size = 128;        // Initial object payload bytes.
+
+  // Cache sizes (in pages).
+  uint32_t client_cache_pages = 64;
+  uint32_t server_cache_pages = 128;
+
+  // Private log capacity per client, in bytes. 0 = unbounded. Bounded logs
+  // exercise the log space management protocol of Section 3.6.
+  uint64_t client_log_capacity = 0;
+
+  // Escalation: a client asks for a page-level lock once it holds exclusive
+  // locks on more than this many objects of one page (adaptive scheme [3]).
+  uint32_t escalation_threshold = 8;
+
+  // Physically release reclaimed private-log space back to the filesystem
+  // (hole punching). Safe for client/server crashes; kept off by default
+  // because complex-crash recovery may consult old callback log records
+  // below the reclaim point (DESIGN.md section 8).
+  bool punch_reclaimed_log_space = false;
+
+  // Footnote-3 extension: fraction of extra capacity reserved when an
+  // object is created (0.5 = 50% headroom). A resize within reserved
+  // capacity is performed in place and is mergeable -- it needs only an
+  // object-level lock instead of a page-level one. 0 disables reservation.
+  double resize_reserve = 0.0;
+
+  // Policies (paper defaults).
+  LoggingPolicy logging_policy = LoggingPolicy::kClientLocal;
+  LockGranularity lock_granularity = LockGranularity::kObject;
+  SamePageUpdatePolicy same_page_policy = SamePageUpdatePolicy::kMergeCopies;
+
+  // Simulated cost model.
+  CostModel costs;
+
+  // Workspace directory for database, server log and client logs.
+  std::string dir = "/tmp/finelog";
+};
+
+}  // namespace finelog
+
+#endif  // FINELOG_COMMON_CONFIG_H_

@@ -1,0 +1,35 @@
+// CostModel: the simulated-time cost of the primitive operations.
+//
+// The defaults approximate the mid-90s LAN environment the paper assumes:
+// a network round trip costs far more than a local log append, and a disk
+// I/O costs more than either. The benchmark conclusions (who wins, where
+// crossovers fall) depend only on these orderings, not on absolute values.
+
+#ifndef FINELOG_COMMON_COST_MODEL_H_
+#define FINELOG_COMMON_COST_MODEL_H_
+
+#include <cstdint>
+
+namespace finelog {
+
+struct CostModel {
+  // Fixed per-message network latency (both directions charged per message).
+  uint64_t msg_latency_us = 1000;
+  // Additional transfer cost per KB of payload.
+  uint64_t per_kb_us = 250;
+  // Random page read / in-place page write at either tier.
+  uint64_t disk_read_us = 12000;
+  uint64_t disk_write_us = 12000;
+  // Forcing buffered log records to the log disk (sequential write).
+  uint64_t log_force_us = 4000;
+  // CPU cost of merging two copies of one page (Section 3.1: "CPU cost and
+  // usually no server disk I/O").
+  uint64_t page_merge_us = 50;
+  // CPU cost of merging one log record into a page (the rejected
+  // merge-log-records alternative, used by the E9 ablation).
+  uint64_t log_record_merge_us = 20;
+};
+
+}  // namespace finelog
+
+#endif  // FINELOG_COMMON_COST_MODEL_H_

@@ -1,0 +1,71 @@
+// Result<T>: a value-or-Status type, in the spirit of arrow::Result /
+// absl::StatusOr. Used for all fallible operations that produce a value.
+
+#ifndef FINELOG_COMMON_RESULT_H_
+#define FINELOG_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace finelog {
+
+template <typename T>
+class Result {
+ public:
+  // Implicit construction from a value or a non-OK Status keeps call sites
+  // terse: `return value;` / `return Status::NotFound(...)`.
+  Result(T value) : value_(std::move(value)) {}          // NOLINT
+  Result(Status status) : status_(std::move(status)) {   // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;  // OK iff value_ holds a value.
+  std::optional<T> value_;
+};
+
+// Assigns the value of a Result expression to `lhs`, or propagates its error.
+#define FINELOG_ASSIGN_OR_RETURN(lhs, expr)          \
+  FINELOG_ASSIGN_OR_RETURN_IMPL(                     \
+      FINELOG_CONCAT_(_result_tmp_, __LINE__), lhs, expr)
+
+#define FINELOG_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                  \
+  if (!tmp.ok()) return tmp.status();                 \
+  lhs = std::move(tmp).value()
+
+#define FINELOG_CONCAT_(a, b) FINELOG_CONCAT_IMPL_(a, b)
+#define FINELOG_CONCAT_IMPL_(a, b) a##b
+
+}  // namespace finelog
+
+#endif  // FINELOG_COMMON_RESULT_H_

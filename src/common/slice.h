@@ -1,0 +1,41 @@
+// Slice: a non-owning view of a byte range, following the RocksDB idiom.
+
+#ifndef FINELOG_COMMON_SLICE_H_
+#define FINELOG_COMMON_SLICE_H_
+
+#include <cstddef>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace finelog {
+
+class Slice {
+ public:
+  Slice() : data_(""), size_(0) {}
+  Slice(const char* data, size_t size) : data_(data), size_(size) {}
+  Slice(const std::string& s) : data_(s.data()), size_(s.size()) {}  // NOLINT
+  Slice(const char* s) : data_(s), size_(std::strlen(s)) {}          // NOLINT
+  Slice(std::string_view sv) : data_(sv.data()), size_(sv.size()) {} // NOLINT
+
+  const char* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  char operator[](size_t i) const { return data_[i]; }
+
+  std::string ToString() const { return std::string(data_, size_); }
+  std::string_view view() const { return std::string_view(data_, size_); }
+
+  friend bool operator==(const Slice& a, const Slice& b) {
+    return a.view() == b.view();
+  }
+
+ private:
+  const char* data_;
+  size_t size_;
+};
+
+}  // namespace finelog
+
+#endif  // FINELOG_COMMON_SLICE_H_

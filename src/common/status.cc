@@ -1,0 +1,31 @@
+#include "common/status.h"
+
+namespace finelog {
+
+std::string_view StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "Ok";
+    case StatusCode::kNotFound: return "NotFound";
+    case StatusCode::kCorruption: return "Corruption";
+    case StatusCode::kInvalidArgument: return "InvalidArgument";
+    case StatusCode::kIoError: return "IoError";
+    case StatusCode::kWouldBlock: return "WouldBlock";
+    case StatusCode::kAborted: return "Aborted";
+    case StatusCode::kLogFull: return "LogFull";
+    case StatusCode::kFailedPrecondition: return "FailedPrecondition";
+    case StatusCode::kNotSupported: return "NotSupported";
+    case StatusCode::kInternal: return "Internal";
+    case StatusCode::kCrashed: return "Crashed";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "Ok";
+  std::string out(StatusCodeName(code_));
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+}  // namespace finelog

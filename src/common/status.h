@@ -1,0 +1,110 @@
+// Status: the error model used throughout finelog.
+//
+// finelog does not use exceptions; every fallible operation returns a Status
+// (or a Result<T>, see result.h). The set of codes mirrors the situations
+// that arise in the client/server protocols of the paper: lock conflicts
+// surface as kWouldBlock, a full private log surfaces as kLogFull, and so on.
+
+#ifndef FINELOG_COMMON_STATUS_H_
+#define FINELOG_COMMON_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace finelog {
+
+enum class StatusCode : int {
+  kOk = 0,
+  kNotFound = 1,
+  kCorruption = 2,
+  kInvalidArgument = 3,
+  kIoError = 4,
+  kWouldBlock = 5,        // Lock or token unavailable; caller should retry.
+  kAborted = 6,           // Transaction was aborted.
+  kLogFull = 7,           // Private log out of space (Section 3.6).
+  kFailedPrecondition = 8,
+  kNotSupported = 9,
+  kInternal = 10,
+  kCrashed = 11,          // Target node is crashed; request queued/refused.
+};
+
+// Human-readable name of a StatusCode ("Ok", "WouldBlock", ...).
+std::string_view StatusCodeName(StatusCode code);
+
+class Status {
+ public:
+  // Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status WouldBlock(std::string msg) {
+    return Status(StatusCode::kWouldBlock, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status LogFull(std::string msg) {
+    return Status(StatusCode::kLogFull, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Crashed(std::string msg) {
+    return Status(StatusCode::kCrashed, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsWouldBlock() const { return code_ == StatusCode::kWouldBlock; }
+  bool IsLogFull() const { return code_ == StatusCode::kLogFull; }
+  bool IsAborted() const { return code_ == StatusCode::kAborted; }
+  bool IsCrashed() const { return code_ == StatusCode::kCrashed; }
+
+  // "Ok" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// Propagates a non-OK status to the caller.
+#define FINELOG_RETURN_IF_ERROR(expr)            \
+  do {                                           \
+    ::finelog::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                   \
+  } while (0)
+
+}  // namespace finelog
+
+#endif  // FINELOG_COMMON_STATUS_H_

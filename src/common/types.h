@@ -1,0 +1,61 @@
+// Core identifier types used across all finelog modules.
+//
+// Terminology follows Section 2 of the paper:
+//  - PageId:   identifies a database page; the unit of transfer between
+//              clients and the server (page-server architecture).
+//  - ObjectId: a (page, slot) pair; the unit of fine-granularity locking.
+//  - Psn:      page sequence number, incremented on every modification and
+//              set to max+1 when two page copies are merged.
+//  - Lsn:      log sequence number; the byte address of a record in a
+//              private (or server) log file. kNullLsn (0) is reserved --
+//              every log file starts with a header, so no record lives at
+//              offset 0.
+
+#ifndef FINELOG_COMMON_TYPES_H_
+#define FINELOG_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace finelog {
+
+using PageId = uint32_t;
+using SlotId = uint16_t;
+using ClientId = uint32_t;
+using TxnId = uint64_t;
+using Lsn = uint64_t;
+using Psn = uint64_t;
+
+inline constexpr PageId kInvalidPageId = 0xFFFFFFFFu;
+inline constexpr SlotId kInvalidSlotId = 0xFFFFu;
+inline constexpr ClientId kInvalidClientId = 0xFFFFFFFFu;
+inline constexpr ClientId kServerId = 0xFFFFFFFEu;
+inline constexpr TxnId kInvalidTxnId = 0;
+inline constexpr Lsn kNullLsn = 0;
+inline constexpr Lsn kMaxLsn = ~0ull;
+
+// Identifies an object: the page it lives on plus its slot within the page.
+struct ObjectId {
+  PageId page = kInvalidPageId;
+  SlotId slot = kInvalidSlotId;
+
+  bool valid() const { return page != kInvalidPageId && slot != kInvalidSlotId; }
+
+  friend bool operator==(const ObjectId&, const ObjectId&) = default;
+  friend auto operator<=>(const ObjectId&, const ObjectId&) = default;
+};
+
+inline std::string ToString(const ObjectId& oid) {
+  return std::to_string(oid.page) + ":" + std::to_string(oid.slot);
+}
+
+struct ObjectIdHash {
+  size_t operator()(const ObjectId& oid) const {
+    return std::hash<uint64_t>()((uint64_t(oid.page) << 16) | oid.slot);
+  }
+};
+
+}  // namespace finelog
+
+#endif  // FINELOG_COMMON_TYPES_H_

@@ -1,0 +1,39 @@
+#include "core/oracle.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace finelog {
+
+Result<size_t> Oracle::Verify(System* system, size_t reader_index) {
+  Client& reader = system->client(reader_index);
+  size_t mismatches = 0;
+  FINELOG_ASSIGN_OR_RETURN(TxnId txn, reader.Begin());
+  for (const auto& [oid, expected] : committed_) {
+    auto got = reader.Read(txn, oid);
+    if (got.status().IsWouldBlock()) {
+      // Another client legitimately holds the object; skip rather than spin
+      // (verification is usually run on a quiescent system).
+      continue;
+    }
+    bool bad;
+    if (expected.has_value()) {
+      bad = !got.ok() || got.value() != *expected;
+    } else {
+      bad = got.ok();  // Deleted object came back.
+    }
+    if (bad) {
+      ++mismatches;
+      if (std::getenv("FINELOG_DEBUG_MISMATCH") != nullptr) {
+        std::fprintf(stderr, "verify mismatch obj=%u:%u got=%.8s expected=%.8s\n",
+                     oid.page, oid.slot,
+                     got.ok() ? got.value().c_str() : got.status().ToString().c_str(),
+                     expected.has_value() ? expected->c_str() : "<deleted>");
+      }
+    }
+  }
+  FINELOG_RETURN_IF_ERROR(reader.Commit(txn));
+  return mismatches;
+}
+
+}  // namespace finelog

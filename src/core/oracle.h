@@ -1,0 +1,89 @@
+// Oracle: ground truth for durability verification.
+//
+// The workload driver stages every operation it performs; on commit the
+// staged values become the expected committed state, on abort they are
+// discarded. Verify() then reads every tracked object back through a client
+// transaction and checks that (a) every committed update survived whatever
+// crashes were injected and (b) no uncommitted update did.
+
+#ifndef FINELOG_CORE_ORACLE_H_
+#define FINELOG_CORE_ORACLE_H_
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "common/result.h"
+#include "common/types.h"
+#include "core/system.h"
+
+namespace finelog {
+
+class Oracle {
+ public:
+  Oracle() = default;
+  Oracle(const Oracle&) = delete;
+  Oracle& operator=(const Oracle&) = delete;
+
+  // Staging (call alongside the corresponding Client operation).
+  void StageWrite(TxnId txn, ObjectId oid, std::string value) {
+    staged_[txn][oid] = std::move(value);
+  }
+  void StageDelete(TxnId txn, ObjectId oid) {
+    staged_[txn][oid] = std::nullopt;
+  }
+
+  void CommitTxn(TxnId txn) {
+    auto it = staged_.find(txn);
+    if (it == staged_.end()) return;
+    for (auto& [oid, value] : it->second) {
+      committed_[oid] = std::move(value);
+    }
+    staged_.erase(it);
+  }
+  void AbortTxn(TxnId txn) { staged_.erase(txn); }
+  // A crash aborts every staged transaction of a client.
+  void CrashClient(ClientId client) {
+    for (auto it = staged_.begin(); it != staged_.end();) {
+      if ((it->first >> 32) == client + 1) {
+        it = staged_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  // Seeds the expected value of untouched bootstrap objects.
+  void SeedCommitted(ObjectId oid, std::string value) {
+    committed_.emplace(oid, std::move(value));
+  }
+
+  size_t tracked_objects() const { return committed_.size(); }
+
+  // Expected result of a read by `txn`: its own staged value if present,
+  // else the committed value. Outer nullopt = object untracked.
+  std::optional<std::optional<std::string>> ExpectedRead(TxnId txn,
+                                                         ObjectId oid) const {
+    auto sit = staged_.find(txn);
+    if (sit != staged_.end()) {
+      auto oit = sit->second.find(oid);
+      if (oit != sit->second.end()) return oit->second;
+    }
+    auto cit = committed_.find(oid);
+    if (cit == committed_.end()) return std::nullopt;
+    return cit->second;
+  }
+
+  // Reads every tracked object via a transaction on `reader` and compares
+  // with the expected committed state. Returns the number of mismatches
+  // (0 = fully consistent).
+  Result<size_t> Verify(System* system, size_t reader_index);
+
+ private:
+  std::map<TxnId, std::map<ObjectId, std::optional<std::string>>> staged_;
+  std::map<ObjectId, std::optional<std::string>> committed_;
+};
+
+}  // namespace finelog
+
+#endif  // FINELOG_CORE_ORACLE_H_

@@ -1,0 +1,90 @@
+#include "core/system.h"
+
+#include <sys/stat.h>
+#include <sys/types.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace finelog {
+
+Result<std::unique_ptr<System>> System::Create(const SystemConfig& config) {
+  if (config.preloaded_pages > config.num_pages) {
+    return Status::InvalidArgument("preloaded_pages exceeds num_pages");
+  }
+  if (mkdir(config.dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    return Status::IoError("mkdir " + config.dir + ": " + std::strerror(errno));
+  }
+  auto system = std::unique_ptr<System>(new System(config));
+  system->channel_ = std::make_unique<Channel>(&system->clock_, config.costs);
+
+  FINELOG_ASSIGN_OR_RETURN(
+      system->server_,
+      Server::Create(config, system->channel_.get(), &system->metrics_));
+  bool fresh = system->server_->space_map().allocated_count() == 0;
+  if (fresh) {
+    FINELOG_RETURN_IF_ERROR(system->server_->Bootstrap(
+        config.preloaded_pages, config.objects_per_page, config.object_size));
+  }
+
+  for (uint32_t i = 0; i < config.num_clients; ++i) {
+    FINELOG_ASSIGN_OR_RETURN(
+        auto client,
+        Client::Create(i, config, system->server_.get(),
+                       system->channel_.get(), &system->metrics_));
+    system->server_->RegisterClient(i, client.get());
+    system->clients_.push_back(std::move(client));
+  }
+  return system;
+}
+
+Status System::CrashClient(size_t i) {
+  FINELOG_RETURN_IF_ERROR(clients_.at(i)->Crash());
+  server_->SetClientCrashed(static_cast<ClientId>(i), true);
+  return Status::OK();
+}
+
+Status System::CrashServer() { return server_->Crash(); }
+
+Status System::RecoverClient(size_t i) {
+  if (server_->crashed()) {
+    return Status::FailedPrecondition("recover the server first");
+  }
+  return clients_.at(i)->Restart();
+}
+
+Status System::RecoverServer() { return server_->Restart(); }
+
+Status System::RecoverAll() {
+  if (server_->crashed()) {
+    FINELOG_RETURN_IF_ERROR(server_->Restart());
+  }
+  // A restarting client may depend on another crashed client's recovered
+  // state (a hand-off recorded in its log, Section 3.5): its restart
+  // defers with kWouldBlock. Multiple passes resolve the (acyclic-per-page)
+  // dependency chains; a final pass surfaces any genuine error.
+  for (size_t pass = 0; pass <= clients_.size(); ++pass) {
+    bool any_deferred = false;
+    for (size_t i = 0; i < clients_.size(); ++i) {
+      if (!clients_[i]->crashed()) continue;
+      Status st = clients_[i]->Restart();
+      if (st.IsWouldBlock()) {
+        any_deferred = true;
+        continue;
+      }
+      FINELOG_RETURN_IF_ERROR(st);
+    }
+    if (!any_deferred) return Status::OK();
+  }
+  return Status::Internal("client restart dependency did not resolve");
+}
+
+Status System::FlushEverything() {
+  for (auto& client : clients_) {
+    if (client->crashed()) continue;
+    FINELOG_RETURN_IF_ERROR(client->ShipAllDirtyPages());
+  }
+  return server_->FlushAllPages();
+}
+
+}  // namespace finelog

@@ -1,0 +1,208 @@
+#include "core/workload.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+namespace finelog {
+
+Workload::Workload(System* system, Oracle* oracle, WorkloadOptions options)
+    : system_(system),
+      oracle_(oracle),
+      options_(options),
+      rng_(options.seed),
+      states_(system->num_clients()),
+      start_time_us_(system->clock().now_us()) {}
+
+std::string Workload::RandomValue() {
+  std::string value(system_->config().object_size, '\0');
+  for (char& c : value) {
+    c = static_cast<char>('a' + rng_.Uniform(26));
+  }
+  return value;
+}
+
+ObjectId Workload::PickObject(size_t i, bool for_write) {
+  const SystemConfig& cfg = system_->config();
+  uint32_t pages = cfg.preloaded_pages;
+  uint32_t slots = cfg.objects_per_page;
+  uint32_t n = static_cast<uint32_t>(system_->num_clients());
+  PageId page = 0;
+  SlotId slot = 0;
+  switch (options_.pattern) {
+    case AccessPattern::kUniform:
+      page = static_cast<PageId>(rng_.Uniform(pages));
+      slot = static_cast<SlotId>(rng_.Uniform(slots));
+      break;
+    case AccessPattern::kHotCold: {
+      uint32_t hot = std::max<uint32_t>(
+          1, static_cast<uint32_t>(pages * options_.hot_fraction));
+      page = rng_.Bernoulli(options_.hot_access_prob)
+                 ? static_cast<PageId>(rng_.Uniform(hot))
+                 : static_cast<PageId>(hot + rng_.Uniform(pages - hot));
+      slot = static_cast<SlotId>(rng_.Uniform(slots));
+      break;
+    }
+    case AccessPattern::kPrivate: {
+      uint32_t span = std::max<uint32_t>(1, pages / n);
+      page = static_cast<PageId>(i * span + rng_.Uniform(span));
+      slot = static_cast<SlotId>(rng_.Uniform(slots));
+      break;
+    }
+    case AccessPattern::kSharedHot: {
+      uint32_t hot = std::min(options_.shared_pages, pages);
+      if (rng_.Bernoulli(options_.hot_access_prob)) {
+        page = static_cast<PageId>(rng_.Uniform(hot));
+        if (for_write) {
+          // Disjoint slots per client: concurrent updates to different
+          // objects of the same page, the Section 3.1 scenario.
+          uint32_t mine = slots / n;
+          if (mine == 0) mine = 1;
+          slot = static_cast<SlotId>(i * mine + rng_.Uniform(mine));
+          slot = static_cast<SlotId>(std::min<uint32_t>(slot, slots - 1));
+        } else {
+          slot = static_cast<SlotId>(rng_.Uniform(slots));
+        }
+      } else {
+        uint32_t cold = pages - hot;
+        uint32_t span = std::max<uint32_t>(1, cold / n);
+        page = static_cast<PageId>(hot + i * span + rng_.Uniform(span));
+        page = static_cast<PageId>(std::min<uint32_t>(page, pages - 1));
+        slot = static_cast<SlotId>(rng_.Uniform(slots));
+      }
+      break;
+    }
+  }
+  return ObjectId{page, slot};
+}
+
+Status Workload::Step(size_t i) {
+  Client& client = system_->client(i);
+  ClientState& st = states_[i];
+
+  if (st.txn == kInvalidTxnId) {
+    auto txn = client.Begin();
+    if (!txn.ok()) return txn.status();
+    st.txn = txn.value();
+    st.ops_done = 0;
+    st.retries = 0;
+    return Status::OK();
+  }
+
+  if (st.ops_done >= options_.ops_per_txn) {
+    Status s = client.Commit(st.txn);
+    if (!s.ok()) return s;
+    oracle_->CommitTxn(st.txn);
+    st.txn = kInvalidTxnId;
+    ++st.txns_done;
+    ++stats_.commits;
+    return Status::OK();
+  }
+
+  bool is_write = rng_.Bernoulli(options_.write_fraction);
+  ObjectId oid = PickObject(i, is_write);
+  Status s;
+  if (is_write) {
+    std::string value = RandomValue();
+    s = client.Write(st.txn, oid, value);
+    if (s.ok()) oracle_->StageWrite(st.txn, oid, std::move(value));
+  } else {
+    auto got = client.Read(st.txn, oid);
+    s = got.status();
+    if (s.ok() && options_.validate_reads) {
+      auto expected = oracle_->ExpectedRead(st.txn, oid);
+      if (expected.has_value() && expected->has_value() &&
+          got.value() != **expected) {
+        ++stats_.read_mismatches;
+        if (std::getenv("FINELOG_DEBUG_MISMATCH") != nullptr) {
+          std::fprintf(stderr,
+                       "read mismatch: client=%zu obj=%u:%u got=%.8s... "
+                       "expected=%.8s...\n",
+                       i, oid.page, oid.slot, got.value().c_str(),
+                       (*expected)->c_str());
+        }
+      }
+    }
+  }
+  ++stats_.ops;
+
+  if (s.ok()) {
+    ++st.ops_done;
+    st.retries = 0;
+    return Status::OK();
+  }
+  if (s.IsWouldBlock()) {
+    ++stats_.would_blocks;
+    if (++st.retries > options_.max_retries) {
+      Status a = client.Abort(st.txn);
+      if (!a.ok()) return a;
+      oracle_->AbortTxn(st.txn);
+      st.txn = kInvalidTxnId;
+      ++stats_.aborts;
+    }
+    return Status::OK();
+  }
+  if (s.IsLogFull()) {
+    // The log space protocol could not make room (pinned by this very
+    // transaction): abort to release the log tail.
+    Status a = client.Abort(st.txn);
+    if (!a.ok()) return a;
+    oracle_->AbortTxn(st.txn);
+    st.txn = kInvalidTxnId;
+    ++stats_.aborts;
+    return Status::OK();
+  }
+  return s;
+}
+
+Result<bool> Workload::RunSteps(uint64_t steps) {
+  uint64_t done_rounds = 0;
+  for (uint64_t step = 0; step < steps;) {
+    bool all_done = true;
+    bool progressed = false;
+    for (size_t i = 0; i < states_.size() && step < steps; ++i) {
+      ClientState& st = states_[i];
+      if (st.crashed || st.txns_done >= options_.txns_per_client) continue;
+      all_done = false;
+      FINELOG_RETURN_IF_ERROR(Step(i));
+      progressed = true;
+      ++step;
+    }
+    if (all_done) {
+      stats_.sim_time_us = system_->clock().now_us() - start_time_us_;
+      return true;
+    }
+    if (!progressed && ++done_rounds > 4) {
+      // Only crashed clients remain.
+      stats_.sim_time_us = system_->clock().now_us() - start_time_us_;
+      return true;
+    }
+  }
+  stats_.sim_time_us = system_->clock().now_us() - start_time_us_;
+  bool complete = true;
+  for (const ClientState& st : states_) {
+    if (!st.crashed && st.txns_done < options_.txns_per_client) complete = false;
+  }
+  return complete;
+}
+
+Status Workload::Run() {
+  while (true) {
+    auto done = RunSteps(100000);
+    if (!done.ok()) return done.status();
+    if (done.value()) return Status::OK();
+  }
+}
+
+void Workload::OnClientCrashed(size_t i) {
+  ClientState& st = states_[i];
+  if (st.txn != kInvalidTxnId) {
+    oracle_->AbortTxn(st.txn);
+    st.txn = kInvalidTxnId;
+  }
+  st.crashed = true;
+}
+
+void Workload::OnClientRecovered(size_t i) { states_[i].crashed = false; }
+
+}  // namespace finelog

@@ -1,0 +1,103 @@
+// Workload generator and driver.
+//
+// Transactions from all clients are interleaved at operation granularity by
+// a deterministic round-robin driver, which is how the single-process
+// simulation expresses multi-client concurrency. Lock conflicts surface as
+// kWouldBlock; the driver retries the operation on the client's next turn
+// and aborts the transaction after too many failed attempts (timeout-style
+// deadlock resolution).
+//
+// Access patterns (named after the client-server caching literature):
+//   kUniform   -- every client accesses every page uniformly.
+//   kHotCold   -- a small hot page set absorbs most accesses of all clients.
+//   kPrivate   -- pages are partitioned per client; no data sharing.
+//   kSharedHot -- most updates hit a small shared page set, but each client
+//                 updates its *own* slots there: exactly the concurrent
+//                 same-page updates that fine-granularity locking plus copy
+//                 merging enables (Section 3.1).
+
+#ifndef FINELOG_CORE_WORKLOAD_H_
+#define FINELOG_CORE_WORKLOAD_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/oracle.h"
+#include "core/system.h"
+
+namespace finelog {
+
+enum class AccessPattern { kUniform, kHotCold, kPrivate, kSharedHot };
+
+struct WorkloadOptions {
+  uint32_t txns_per_client = 10;
+  uint32_t ops_per_txn = 8;
+  double write_fraction = 0.5;
+  AccessPattern pattern = AccessPattern::kUniform;
+  double hot_fraction = 0.1;      // Fraction of pages forming the hot set.
+  double hot_access_prob = 0.8;   // Probability an access hits the hot set.
+  uint32_t shared_pages = 4;      // Hot set size for kSharedHot.
+  uint32_t max_retries = 25;      // WouldBlock retries before aborting.
+  uint64_t seed = 42;
+  bool validate_reads = true;     // Check reads against the oracle.
+};
+
+struct WorkloadStats {
+  uint64_t commits = 0;
+  uint64_t aborts = 0;
+  uint64_t would_blocks = 0;
+  uint64_t ops = 0;
+  uint64_t read_mismatches = 0;
+  uint64_t sim_time_us = 0;
+};
+
+class Workload {
+ public:
+  Workload(System* system, Oracle* oracle, WorkloadOptions options);
+
+  Workload(const Workload&) = delete;
+  Workload& operator=(const Workload&) = delete;
+
+  // Runs the full workload to completion (all clients finish their quota).
+  Status Run();
+
+  // Runs at most `steps` driver steps (one client operation each); returns
+  // true when the workload is complete. Lets tests inject crashes at exact
+  // interleaving points.
+  Result<bool> RunSteps(uint64_t steps);
+
+  // Marks a client crashed so the driver skips it (its in-flight txn is
+  // discarded, mirroring what the crash did).
+  void OnClientCrashed(size_t i);
+  // Resumes driving a recovered client.
+  void OnClientRecovered(size_t i);
+
+  const WorkloadStats& stats() const { return stats_; }
+
+ private:
+  struct ClientState {
+    TxnId txn = kInvalidTxnId;
+    uint32_t ops_done = 0;
+    uint32_t txns_done = 0;
+    uint32_t retries = 0;
+    bool crashed = false;
+  };
+
+  // One operation (or txn begin/commit) on client `i`.
+  Status Step(size_t i);
+  ObjectId PickObject(size_t i, bool for_write);
+  std::string RandomValue();
+
+  System* system_;
+  Oracle* oracle_;
+  WorkloadOptions options_;
+  Rng rng_;
+  std::vector<ClientState> states_;
+  WorkloadStats stats_;
+  uint64_t start_time_us_;
+};
+
+}  // namespace finelog
+
+#endif  // FINELOG_CORE_WORKLOAD_H_

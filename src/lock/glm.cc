@@ -1,0 +1,265 @@
+#include "lock/glm.h"
+
+#include <algorithm>
+
+namespace finelog {
+
+std::vector<CallbackAction> GlobalLockManager::RequiredForObject(
+    ClientId client, ObjectId oid, LockMode mode) const {
+  std::vector<CallbackAction> actions;
+
+  // Page-level conflicts: another client holds a page lock on oid.page that
+  // is incompatible with this object request.
+  auto pit = page_locks_.find(oid.page);
+  if (pit != page_locks_.end()) {
+    for (const auto& [holder, held] : pit->second) {
+      if (holder == client) continue;
+      if (!Compatible(held, mode)) {
+        actions.push_back(CallbackAction{CallbackAction::What::kDeescalatePage,
+                                         holder, ObjectId{}, oid.page, held,
+                                         mode});
+      }
+    }
+  }
+
+  // Object-level conflicts.
+  auto oit = object_locks_.find(oid);
+  if (oit != object_locks_.end()) {
+    for (const auto& [holder, held] : oit->second) {
+      if (holder == client) continue;
+      if (Compatible(held, mode)) continue;
+      if (mode == LockMode::kShared) {
+        // Holder has X; ask it to downgrade (shipping its page copy).
+        actions.push_back(CallbackAction{CallbackAction::What::kDowngradeObject,
+                                         holder, oid, kInvalidPageId, held,
+                                         mode});
+      } else {
+        actions.push_back(CallbackAction{CallbackAction::What::kReleaseObject,
+                                         holder, oid, kInvalidPageId, held,
+                                         mode});
+      }
+    }
+  }
+  return actions;
+}
+
+std::vector<CallbackAction> GlobalLockManager::RequiredForPage(
+    ClientId client, PageId pid, LockMode mode) const {
+  std::vector<CallbackAction> actions;
+
+  auto pit = page_locks_.find(pid);
+  if (pit != page_locks_.end()) {
+    for (const auto& [holder, held] : pit->second) {
+      if (holder == client) continue;
+      if (!Compatible(held, mode)) {
+        actions.push_back(CallbackAction{CallbackAction::What::kDeescalatePage,
+                                         holder, ObjectId{}, pid, held, mode});
+      }
+    }
+  }
+
+  auto idx = objects_on_page_.find(pid);
+  if (idx != objects_on_page_.end()) {
+    for (const ObjectId& oid : idx->second) {
+      auto oit = object_locks_.find(oid);
+      if (oit == object_locks_.end()) continue;
+      for (const auto& [holder, held] : oit->second) {
+        if (holder == client) continue;
+        if (Compatible(held, mode)) continue;
+        if (mode == LockMode::kShared) {
+          actions.push_back(CallbackAction{
+              CallbackAction::What::kDowngradeObject, holder, oid,
+              kInvalidPageId, held, mode});
+        } else {
+          actions.push_back(CallbackAction{CallbackAction::What::kReleaseObject,
+                                           holder, oid, kInvalidPageId, held,
+                                           mode});
+        }
+      }
+    }
+  }
+  return actions;
+}
+
+void GlobalLockManager::GrantObject(ClientId client, ObjectId oid,
+                                    LockMode mode) {
+  LockMode& held = object_locks_[oid]
+                       .try_emplace(client, mode)
+                       .first->second;
+  if (mode == LockMode::kExclusive) held = LockMode::kExclusive;
+  objects_on_page_[oid.page].insert(oid);
+}
+
+void GlobalLockManager::GrantPage(ClientId client, PageId pid, LockMode mode) {
+  LockMode& held = page_locks_[pid].try_emplace(client, mode).first->second;
+  if (mode == LockMode::kExclusive) held = LockMode::kExclusive;
+}
+
+void GlobalLockManager::ReleaseObject(ClientId client, ObjectId oid) {
+  auto oit = object_locks_.find(oid);
+  if (oit == object_locks_.end()) return;
+  oit->second.erase(client);
+  if (oit->second.empty()) {
+    object_locks_.erase(oit);
+    auto idx = objects_on_page_.find(oid.page);
+    if (idx != objects_on_page_.end()) {
+      idx->second.erase(oid);
+      if (idx->second.empty()) objects_on_page_.erase(idx);
+    }
+  }
+}
+
+void GlobalLockManager::DowngradeObject(ClientId client, ObjectId oid) {
+  auto oit = object_locks_.find(oid);
+  if (oit == object_locks_.end()) return;
+  auto hit = oit->second.find(client);
+  if (hit != oit->second.end()) hit->second = LockMode::kShared;
+}
+
+void GlobalLockManager::DowngradePage(ClientId client, PageId pid) {
+  auto pit = page_locks_.find(pid);
+  if (pit == page_locks_.end()) return;
+  auto hit = pit->second.find(client);
+  if (hit != pit->second.end()) hit->second = LockMode::kShared;
+}
+
+void GlobalLockManager::ReleasePage(ClientId client, PageId pid) {
+  auto pit = page_locks_.find(pid);
+  if (pit == page_locks_.end()) return;
+  pit->second.erase(client);
+  if (pit->second.empty()) page_locks_.erase(pit);
+}
+
+void GlobalLockManager::ApplyDeescalation(
+    ClientId client, PageId pid, const std::vector<ObjectId>& object_locks,
+    LockMode mode) {
+  ReleasePage(client, pid);
+  for (const ObjectId& oid : object_locks) {
+    GrantObject(client, oid, mode);
+  }
+}
+
+void GlobalLockManager::ReleaseSharedLocksOf(ClientId client) {
+  for (auto it = object_locks_.begin(); it != object_locks_.end();) {
+    auto hit = it->second.find(client);
+    if (hit != it->second.end() && hit->second == LockMode::kShared) {
+      ObjectId oid = it->first;
+      it->second.erase(hit);
+      if (it->second.empty()) {
+        auto idx = objects_on_page_.find(oid.page);
+        if (idx != objects_on_page_.end()) {
+          idx->second.erase(oid);
+          if (idx->second.empty()) objects_on_page_.erase(idx);
+        }
+        it = object_locks_.erase(it);
+        continue;
+      }
+    }
+    ++it;
+  }
+  for (auto it = page_locks_.begin(); it != page_locks_.end();) {
+    auto hit = it->second.find(client);
+    if (hit != it->second.end() && hit->second == LockMode::kShared) {
+      it->second.erase(hit);
+      if (it->second.empty()) {
+        it = page_locks_.erase(it);
+        continue;
+      }
+    }
+    ++it;
+  }
+}
+
+std::vector<ObjectId> GlobalLockManager::ExclusiveObjectLocksOf(
+    ClientId client) const {
+  std::vector<ObjectId> out;
+  for (const auto& [oid, holders] : object_locks_) {
+    auto hit = holders.find(client);
+    if (hit != holders.end() && hit->second == LockMode::kExclusive) {
+      out.push_back(oid);
+    }
+  }
+  return out;
+}
+
+std::vector<PageId> GlobalLockManager::ExclusivePageLocksOf(
+    ClientId client) const {
+  std::vector<PageId> out;
+  for (const auto& [pid, holders] : page_locks_) {
+    auto hit = holders.find(client);
+    if (hit != holders.end() && hit->second == LockMode::kExclusive) {
+      out.push_back(pid);
+    }
+  }
+  return out;
+}
+
+void GlobalLockManager::DropClient(ClientId client) {
+  for (auto it = object_locks_.begin(); it != object_locks_.end();) {
+    it->second.erase(client);
+    if (it->second.empty()) {
+      ObjectId oid = it->first;
+      auto idx = objects_on_page_.find(oid.page);
+      if (idx != objects_on_page_.end()) {
+        idx->second.erase(oid);
+        if (idx->second.empty()) objects_on_page_.erase(idx);
+      }
+      it = object_locks_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto it = page_locks_.begin(); it != page_locks_.end();) {
+    it->second.erase(client);
+    if (it->second.empty()) {
+      it = page_locks_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void GlobalLockManager::Clear() {
+  object_locks_.clear();
+  page_locks_.clear();
+  objects_on_page_.clear();
+}
+
+bool GlobalLockManager::HoldsObject(ClientId client, ObjectId oid,
+                                    LockMode mode) const {
+  auto oit = object_locks_.find(oid);
+  if (oit == object_locks_.end()) return false;
+  auto hit = oit->second.find(client);
+  return hit != oit->second.end() && Covers(hit->second, mode);
+}
+
+bool GlobalLockManager::HoldsPage(ClientId client, PageId pid,
+                                  LockMode mode) const {
+  auto pit = page_locks_.find(pid);
+  if (pit == page_locks_.end()) return false;
+  auto hit = pit->second.find(client);
+  return hit != pit->second.end() && Covers(hit->second, mode);
+}
+
+std::vector<ClientId> GlobalLockManager::ObjectHolders(ObjectId oid,
+                                                       ClientId except) const {
+  std::vector<ClientId> out;
+  auto oit = object_locks_.find(oid);
+  if (oit == object_locks_.end()) return out;
+  for (const auto& [holder, mode] : oit->second) {
+    (void)mode;
+    if (holder != except) out.push_back(holder);
+  }
+  return out;
+}
+
+size_t GlobalLockManager::object_lock_count() const {
+  size_t n = 0;
+  for (const auto& [oid, holders] : object_locks_) {
+    (void)oid;
+    n += holders.size();
+  }
+  return n;
+}
+
+}  // namespace finelog

@@ -1,0 +1,30 @@
+// Lock modes for fine-granularity (object) and page locking.
+
+#ifndef FINELOG_LOCK_LOCK_MODE_H_
+#define FINELOG_LOCK_LOCK_MODE_H_
+
+#include <cstdint>
+
+namespace finelog {
+
+enum class LockMode : uint8_t {
+  kShared = 0,
+  kExclusive = 1,
+};
+
+inline bool Compatible(LockMode a, LockMode b) {
+  return a == LockMode::kShared && b == LockMode::kShared;
+}
+
+// True if a holder of `held` already covers a request for `wanted`.
+inline bool Covers(LockMode held, LockMode wanted) {
+  return held == LockMode::kExclusive || wanted == LockMode::kShared;
+}
+
+inline const char* LockModeName(LockMode m) {
+  return m == LockMode::kShared ? "S" : "X";
+}
+
+}  // namespace finelog
+
+#endif  // FINELOG_LOCK_LOCK_MODE_H_

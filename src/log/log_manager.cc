@@ -1,0 +1,250 @@
+#include "log/log_manager.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "util/coding.h"
+#include "util/crc32.h"
+
+namespace finelog {
+
+LogManager::~LogManager() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Result<std::unique_ptr<LogManager>> LogManager::Open(const std::string& path,
+                                                     uint64_t capacity_bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  bool fresh = false;
+  if (f == nullptr) {
+    f = std::fopen(path.c_str(), "w+b");
+    fresh = true;
+  }
+  if (f == nullptr) {
+    return Status::IoError("open " + path + ": " + std::strerror(errno));
+  }
+  auto lm = std::unique_ptr<LogManager>(new LogManager(f, capacity_bytes));
+  if (fresh) {
+    FINELOG_RETURN_IF_ERROR(lm->WriteHeader());
+  } else {
+    FINELOG_RETURN_IF_ERROR(lm->RecoverExisting());
+  }
+  return lm;
+}
+
+Status LogManager::WriteHeader() {
+  Encoder enc;
+  enc.PutU32(kMagic);
+  enc.PutU32(1);  // version
+  enc.PutU64(checkpoint_lsn_);
+  enc.PutU64(reclaim_lsn_);
+  enc.PutU64(punched_below_);
+  if (std::fseek(file_, 0, SEEK_SET) != 0 ||
+      std::fwrite(enc.buffer().data(), 1, kFileHeaderSize, file_) !=
+          kFileHeaderSize) {
+    return Status::IoError("log header write failed");
+  }
+  std::fflush(file_);
+  return Status::OK();
+}
+
+Status LogManager::RecoverExisting() {
+  // Read the header.
+  char hdr[kFileHeaderSize];
+  if (std::fseek(file_, 0, SEEK_SET) != 0 ||
+      std::fread(hdr, 1, kFileHeaderSize, file_) != kFileHeaderSize) {
+    // Empty or truncated file: treat as fresh.
+    return WriteHeader();
+  }
+  Decoder dec(Slice(hdr, kFileHeaderSize));
+  uint32_t magic = 0, version = 0;
+  uint64_t ckpt = 0, reclaim = 0, punched = 0;
+  if (!dec.GetU32(&magic) || magic != kMagic || !dec.GetU32(&version) ||
+      !dec.GetU64(&ckpt) || !dec.GetU64(&reclaim) || !dec.GetU64(&punched)) {
+    return Status::Corruption("bad log file header");
+  }
+  checkpoint_lsn_ = ckpt;
+  reclaim_lsn_ = reclaim;
+  punched_below_ = punched;
+
+  // Scan frames to find the durable end; stop at the first torn frame.
+  // A punched prefix reads as zeros and is not parseable: resume the scan
+  // at the first retained byte.
+  struct stat st;
+  if (fstat(fileno(file_), &st) != 0) {
+    return Status::IoError("fstat failed");
+  }
+  uint64_t file_size = static_cast<uint64_t>(st.st_size);
+  Lsn pos = std::max<Lsn>(kFileHeaderSize, punched_below_);
+  while (pos + kFrameHeaderSize <= file_size) {
+    char fh[kFrameHeaderSize];
+    if (std::fseek(file_, static_cast<long>(pos), SEEK_SET) != 0 ||
+        std::fread(fh, 1, kFrameHeaderSize, file_) != kFrameHeaderSize) {
+      break;
+    }
+    Decoder fdec(Slice(fh, kFrameHeaderSize));
+    uint32_t len = 0, crc = 0;
+    fdec.GetU32(&len);
+    fdec.GetU32(&crc);
+    if (len == 0 || pos + kFrameHeaderSize + len > file_size) break;
+    std::string body(len, '\0');
+    if (std::fread(body.data(), 1, len, file_) != len) break;
+    if (Crc32c(body.data(), body.size()) != crc) break;
+    pos += kFrameHeaderSize + len;
+  }
+  durable_end_ = pos;
+  end_lsn_ = pos;
+  return Status::OK();
+}
+
+Result<Lsn> LogManager::Append(const LogRecord& record,
+                               bool enforce_capacity) {
+  std::string body = record.Encode();
+  uint64_t frame_size = kFrameHeaderSize + body.size();
+  if (enforce_capacity && capacity_ > 0 &&
+      used_bytes() + frame_size > capacity_) {
+    return Status::LogFull("private log out of space");
+  }
+  Lsn lsn = end_lsn_;
+  Encoder enc(&pending_);
+  enc.PutU32(static_cast<uint32_t>(body.size()));
+  enc.PutU32(Crc32c(body.data(), body.size()));
+  enc.PutRaw(body);
+  end_lsn_ += frame_size;
+  bytes_appended_ += frame_size;
+  return lsn;
+}
+
+Status LogManager::Force() {
+  ++force_count_;
+  if (pending_.empty()) return Status::OK();
+  if (std::fseek(file_, static_cast<long>(durable_end_), SEEK_SET) != 0 ||
+      std::fwrite(pending_.data(), 1, pending_.size(), file_) !=
+          pending_.size()) {
+    return Status::IoError("log force failed");
+  }
+  std::fflush(file_);
+  durable_end_ += pending_.size();
+  pending_.clear();
+  return Status::OK();
+}
+
+Result<LogRecord> LogManager::Read(Lsn lsn) const {
+  if (lsn < kFileHeaderSize || lsn >= end_lsn_) {
+    return Status::NotFound("LSN out of range");
+  }
+  if (lsn < punched_below_) {
+    return Status::NotFound("LSN physically reclaimed");
+  }
+  char fh[kFrameHeaderSize];
+  std::string body;
+  if (lsn >= durable_end_) {
+    // Still buffered.
+    size_t off = lsn - durable_end_;
+    if (off + kFrameHeaderSize > pending_.size()) {
+      return Status::Corruption("buffered LSN does not address a frame");
+    }
+    std::memcpy(fh, pending_.data() + off, kFrameHeaderSize);
+    Decoder fdec(Slice(fh, kFrameHeaderSize));
+    uint32_t len = 0, crc = 0;
+    fdec.GetU32(&len);
+    fdec.GetU32(&crc);
+    if (off + kFrameHeaderSize + len > pending_.size()) {
+      return Status::Corruption("buffered frame truncated");
+    }
+    body.assign(pending_.data() + off + kFrameHeaderSize, len);
+  } else {
+    if (std::fseek(file_, static_cast<long>(lsn), SEEK_SET) != 0 ||
+        std::fread(fh, 1, kFrameHeaderSize, file_) != kFrameHeaderSize) {
+      return Status::IoError("frame header read failed");
+    }
+    Decoder fdec(Slice(fh, kFrameHeaderSize));
+    uint32_t len = 0, crc = 0;
+    fdec.GetU32(&len);
+    fdec.GetU32(&crc);
+    body.resize(len);
+    if (std::fread(body.data(), 1, len, file_) != len) {
+      return Status::IoError("frame body read failed");
+    }
+    if (Crc32c(body.data(), body.size()) != crc) {
+      return Status::Corruption("frame checksum mismatch");
+    }
+  }
+  auto rec = LogRecord::Decode(body);
+  if (!rec.ok()) return rec.status();
+  rec.value().lsn = lsn;
+  return rec;
+}
+
+Status LogManager::Scan(
+    Lsn from, const std::function<Status(const LogRecord&)>& cb) const {
+  Lsn pos = std::max<Lsn>(from, kFileHeaderSize);
+  // A punched prefix contains no parseable frames; the first retained frame
+  // begins exactly at the punch boundary (punching is frame-aligned only by
+  // accident, so we keep the boundary at a recorded frame start: see
+  // PunchReclaimedSpace, which rounds down to the last frame start it knows).
+  pos = std::max(pos, punched_below_);
+  while (pos < end_lsn_) {
+    auto rec = Read(pos);
+    if (!rec.ok()) return rec.status();
+    FINELOG_RETURN_IF_ERROR(cb(rec.value()));
+    // Advance past this frame.
+    std::string body = rec.value().Encode();
+    pos += kFrameHeaderSize + body.size();
+  }
+  return Status::OK();
+}
+
+Status LogManager::SetCheckpointLsn(Lsn lsn) {
+  checkpoint_lsn_ = lsn;
+  return WriteHeader();
+}
+
+void LogManager::SetReclaimLsn(Lsn lsn) {
+  if (lsn > reclaim_lsn_) reclaim_lsn_ = lsn;
+}
+
+Result<uint64_t> LogManager::PunchReclaimedSpace() {
+#ifdef FALLOC_FL_PUNCH_HOLE
+  // Find the last frame start at or below the reclaim point so the scan
+  // boundary lands on a frame, then punch the whole blocks below it.
+  Lsn limit = std::min(reclaim_lsn_, durable_end_);
+  Lsn boundary = std::max<Lsn>(punched_below_, kFileHeaderSize);
+  {
+    Lsn pos = boundary;
+    while (pos < limit) {
+      auto rec = Read(pos);
+      if (!rec.ok()) break;
+      Lsn next = pos + kFrameHeaderSize + rec.value().Encode().size();
+      if (next > limit) break;
+      pos = next;
+    }
+    boundary = pos;
+  }
+  constexpr uint64_t kBlock = 4096;
+  uint64_t start = ((kFileHeaderSize + kBlock - 1) / kBlock) * kBlock;
+  uint64_t end = (boundary / kBlock) * kBlock;
+  if (end <= start || end <= punched_below_) return uint64_t{0};
+  uint64_t from = std::max(start, punched_below_);
+  if (fallocate(fileno(file_), FALLOC_FL_PUNCH_HOLE | FALLOC_FL_KEEP_SIZE,
+                static_cast<off_t>(from),
+                static_cast<off_t>(end - from)) != 0) {
+    return uint64_t{0};  // Filesystem without hole support: a no-op.
+  }
+  // Scans must resume at a frame start. `end` is block-aligned and may fall
+  // inside a frame whose head was just destroyed, so the recorded boundary
+  // is `boundary` -- the first frame start at or past `end` (such partially
+  // damaged frames sit below the reclaim point and are expendable too).
+  punched_below_ = boundary;
+  FINELOG_RETURN_IF_ERROR(WriteHeader());
+  return end - from;
+#else
+  return uint64_t{0};
+#endif
+}
+
+}  // namespace finelog

@@ -1,0 +1,115 @@
+// LogManager: an append-only write-ahead log over one file.
+//
+// Used both for client private logs and for the server log. LSNs are byte
+// addresses in the file (Section 2: "the LSN of a log record corresponds to
+// the address of the log record in the private log file"), so they are
+// monotonically increasing and records can be fetched by LSN in O(1).
+//
+// Appends are buffered in memory; Force() makes everything appended so far
+// durable. A simulated crash simply reopens the file, dropping whatever was
+// never forced -- exactly the volatility boundary the WAL protocol assumes.
+//
+// Bounded logs (capacity > 0) model the finite client log disk of Section
+// 3.6: the logical space in use is end_lsn - reclaim_lsn, where reclaim_lsn
+// is advanced by the client as its minimum DPT RedoLSN moves forward. An
+// append that would overflow fails with kLogFull, which triggers the log
+// space management protocol.
+
+#ifndef FINELOG_LOG_LOG_MANAGER_H_
+#define FINELOG_LOG_LOG_MANAGER_H_
+
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "log/log_record.h"
+
+namespace finelog {
+
+class LogManager {
+ public:
+  static constexpr uint32_t kMagic = 0xF17E70Au;
+  static constexpr size_t kFileHeaderSize = 32;
+  static constexpr size_t kFrameHeaderSize = 8;  // u32 length + u32 crc.
+
+  LogManager(const LogManager&) = delete;
+  LogManager& operator=(const LogManager&) = delete;
+  ~LogManager();
+
+  // Opens (or creates) the log at `path`. On open, scans forward from the
+  // header validating checksums to locate the durable end of the log;
+  // anything after the first invalid frame is discarded (torn tail).
+  static Result<std::unique_ptr<LogManager>> Open(const std::string& path,
+                                                  uint64_t capacity_bytes = 0);
+
+  // Appends a record and returns its LSN. The record is durable only after
+  // the next Force(). Fails with kLogFull on a bounded log that is out of
+  // reclaimable space, unless `enforce_capacity` is false (checkpoint
+  // records must always fit -- they are what unpins the log tail).
+  Result<Lsn> Append(const LogRecord& record, bool enforce_capacity = true);
+
+  // Makes all appended records durable.
+  Status Force();
+
+  // Reads a single record by LSN (durable or still buffered).
+  Result<LogRecord> Read(Lsn lsn) const;
+
+  // Calls `cb` for every record with LSN >= `from`, in LSN order, until the
+  // end of the log. The record's `lsn` field is filled in. `cb` may return a
+  // non-OK status to stop the scan (propagated to the caller).
+  Status Scan(Lsn from, const std::function<Status(const LogRecord&)>& cb) const;
+
+  // LSN one past the last appended record (the next LSN to be assigned).
+  Lsn end_lsn() const { return end_lsn_; }
+  // LSN one past the last durable record.
+  Lsn durable_lsn() const { return durable_end_; }
+  // LSN of the first record.
+  Lsn begin_lsn() const { return kFileHeaderSize; }
+
+  // Checkpoint anchor, stored in the file header (the "master record").
+  Status SetCheckpointLsn(Lsn lsn);
+  Lsn checkpoint_lsn() const { return checkpoint_lsn_; }
+
+  // Log space management (Section 3.6).
+  void SetReclaimLsn(Lsn lsn);
+  Lsn reclaim_lsn() const { return reclaim_lsn_; }
+  uint64_t capacity() const { return capacity_; }
+  uint64_t used_bytes() const { return end_lsn_ - reclaim_lsn_; }
+
+  // Physically releases the disk blocks of the reclaimed prefix (everything
+  // below reclaim_lsn) via hole punching, which preserves file offsets --
+  // and therefore the LSN = offset invariant -- while returning the space
+  // to the filesystem. Records below the reclaim point become unreadable
+  // afterwards, which is exactly their contract. Returns the number of
+  // bytes punched (0 when unsupported by the filesystem or nothing to do).
+  Result<uint64_t> PunchReclaimedSpace();
+
+  // Metrics.
+  uint64_t bytes_appended() const { return bytes_appended_; }
+  uint64_t force_count() const { return force_count_; }
+
+ private:
+  LogManager(std::FILE* f, uint64_t capacity) : file_(f), capacity_(capacity) {}
+
+  Status WriteHeader();
+  Status RecoverExisting();
+
+  std::FILE* file_;
+  uint64_t capacity_;
+  Lsn durable_end_ = kFileHeaderSize;
+  Lsn end_lsn_ = kFileHeaderSize;
+  Lsn checkpoint_lsn_ = kNullLsn;
+  Lsn reclaim_lsn_ = kFileHeaderSize;
+  Lsn punched_below_ = 0;  // Everything below is already hole-punched.
+  std::string pending_;  // Frames appended but not yet forced.
+  uint64_t bytes_appended_ = 0;
+  uint64_t force_count_ = 0;
+};
+
+}  // namespace finelog
+
+#endif  // FINELOG_LOG_LOG_MANAGER_H_

@@ -1,0 +1,246 @@
+#include "log/log_record.h"
+
+#include "util/coding.h"
+
+namespace finelog {
+
+const char* LogRecordTypeName(LogRecordType t) {
+  switch (t) {
+    case LogRecordType::kUpdate: return "Update";
+    case LogRecordType::kClr: return "Clr";
+    case LogRecordType::kCommit: return "Commit";
+    case LogRecordType::kAbort: return "Abort";
+    case LogRecordType::kTxnEnd: return "TxnEnd";
+    case LogRecordType::kSavepoint: return "Savepoint";
+    case LogRecordType::kCallback: return "Callback";
+    case LogRecordType::kClientCheckpoint: return "ClientCheckpoint";
+    case LogRecordType::kReplacement: return "Replacement";
+    case LogRecordType::kServerCheckpoint: return "ServerCheckpoint";
+  }
+  return "Unknown";
+}
+
+std::string LogRecord::Encode() const {
+  Encoder enc;
+  enc.PutU8(static_cast<uint8_t>(type));
+  enc.PutU64(txn);
+  enc.PutU64(prev_lsn);
+  switch (type) {
+    case LogRecordType::kUpdate:
+      enc.PutU32(page);
+      enc.PutU16(slot);
+      enc.PutU8(static_cast<uint8_t>(op));
+      enc.PutU64(psn);
+      enc.PutU16(capacity);
+      enc.PutBytes(redo);
+      enc.PutBytes(undo);
+      break;
+    case LogRecordType::kClr:
+      enc.PutU32(page);
+      enc.PutU16(slot);
+      enc.PutU8(static_cast<uint8_t>(op));
+      enc.PutU64(psn);
+      enc.PutBytes(redo);
+      enc.PutU64(undo_next_lsn);
+      break;
+    case LogRecordType::kCommit:
+    case LogRecordType::kAbort:
+    case LogRecordType::kTxnEnd:
+    case LogRecordType::kSavepoint:
+      break;
+    case LogRecordType::kCallback:
+      enc.PutU32(cb_object.page);
+      enc.PutU16(cb_object.slot);
+      enc.PutU32(cb_responder);
+      enc.PutU64(cb_psn);
+      break;
+    case LogRecordType::kClientCheckpoint:
+      enc.PutU32(static_cast<uint32_t>(active_txns.size()));
+      for (const TxnCheckpointInfo& t : active_txns) {
+        enc.PutU64(t.txn);
+        enc.PutU64(t.first_lsn);
+        enc.PutU64(t.last_lsn);
+      }
+      enc.PutU32(static_cast<uint32_t>(dpt.size()));
+      for (const DptEntry& d : dpt) {
+        enc.PutU32(d.page);
+        enc.PutU64(d.redo_lsn);
+      }
+      break;
+    case LogRecordType::kReplacement:
+    case LogRecordType::kServerCheckpoint:
+      enc.PutU32(page);
+      enc.PutU64(page_psn);
+      enc.PutU32(static_cast<uint32_t>(dct.size()));
+      for (const DctEntry& e : dct) {
+        enc.PutU32(e.page);
+        enc.PutU32(e.client);
+        enc.PutU64(e.psn);
+        enc.PutU64(e.redo_lsn);
+      }
+      break;
+  }
+  return enc.Take();
+}
+
+Result<LogRecord> LogRecord::Decode(Slice data) {
+  Decoder dec(data);
+  LogRecord rec;
+  uint8_t type8 = 0;
+  if (!dec.GetU8(&type8) || !dec.GetU64(&rec.txn) || !dec.GetU64(&rec.prev_lsn)) {
+    return Status::Corruption("log record header truncated");
+  }
+  rec.type = static_cast<LogRecordType>(type8);
+  auto corrupt = [] { return Status::Corruption("log record body truncated"); };
+  switch (rec.type) {
+    case LogRecordType::kUpdate: {
+      uint8_t op8;
+      if (!dec.GetU32(&rec.page) || !dec.GetU16(&rec.slot) || !dec.GetU8(&op8) ||
+          !dec.GetU64(&rec.psn) || !dec.GetU16(&rec.capacity) ||
+          !dec.GetBytes(&rec.redo) || !dec.GetBytes(&rec.undo)) {
+        return corrupt();
+      }
+      rec.op = static_cast<UpdateOp>(op8);
+      break;
+    }
+    case LogRecordType::kClr: {
+      uint8_t op8;
+      if (!dec.GetU32(&rec.page) || !dec.GetU16(&rec.slot) || !dec.GetU8(&op8) ||
+          !dec.GetU64(&rec.psn) || !dec.GetBytes(&rec.redo) ||
+          !dec.GetU64(&rec.undo_next_lsn)) {
+        return corrupt();
+      }
+      rec.op = static_cast<UpdateOp>(op8);
+      break;
+    }
+    case LogRecordType::kCommit:
+    case LogRecordType::kAbort:
+    case LogRecordType::kTxnEnd:
+    case LogRecordType::kSavepoint:
+      break;
+    case LogRecordType::kCallback:
+      if (!dec.GetU32(&rec.cb_object.page) || !dec.GetU16(&rec.cb_object.slot) ||
+          !dec.GetU32(&rec.cb_responder) || !dec.GetU64(&rec.cb_psn)) {
+        return corrupt();
+      }
+      break;
+    case LogRecordType::kClientCheckpoint: {
+      uint32_t n = 0;
+      if (!dec.GetU32(&n)) return corrupt();
+      rec.active_txns.resize(n);
+      for (uint32_t i = 0; i < n; ++i) {
+        TxnCheckpointInfo& t = rec.active_txns[i];
+        if (!dec.GetU64(&t.txn) || !dec.GetU64(&t.first_lsn) ||
+            !dec.GetU64(&t.last_lsn)) {
+          return corrupt();
+        }
+      }
+      if (!dec.GetU32(&n)) return corrupt();
+      rec.dpt.resize(n);
+      for (uint32_t i = 0; i < n; ++i) {
+        if (!dec.GetU32(&rec.dpt[i].page) || !dec.GetU64(&rec.dpt[i].redo_lsn)) {
+          return corrupt();
+        }
+      }
+      break;
+    }
+    case LogRecordType::kReplacement:
+    case LogRecordType::kServerCheckpoint: {
+      uint32_t n = 0;
+      if (!dec.GetU32(&rec.page) || !dec.GetU64(&rec.page_psn) || !dec.GetU32(&n)) {
+        return corrupt();
+      }
+      rec.dct.resize(n);
+      for (uint32_t i = 0; i < n; ++i) {
+        DctEntry& e = rec.dct[i];
+        if (!dec.GetU32(&e.page) || !dec.GetU32(&e.client) || !dec.GetU64(&e.psn) ||
+            !dec.GetU64(&e.redo_lsn)) {
+          return corrupt();
+        }
+      }
+      break;
+    }
+    default:
+      return Status::Corruption("unknown log record type");
+  }
+  return rec;
+}
+
+LogRecord LogRecord::Update(TxnId txn, Lsn prev, PageId page, SlotId slot,
+                            UpdateOp op, Psn psn, std::string redo,
+                            std::string undo) {
+  LogRecord r;
+  r.type = LogRecordType::kUpdate;
+  r.txn = txn;
+  r.prev_lsn = prev;
+  r.page = page;
+  r.slot = slot;
+  r.op = op;
+  r.psn = psn;
+  r.redo = std::move(redo);
+  r.undo = std::move(undo);
+  return r;
+}
+
+LogRecord LogRecord::Clr(TxnId txn, Lsn prev, PageId page, SlotId slot,
+                         UpdateOp op, Psn psn, std::string redo, Lsn undo_next) {
+  LogRecord r;
+  r.type = LogRecordType::kClr;
+  r.txn = txn;
+  r.prev_lsn = prev;
+  r.page = page;
+  r.slot = slot;
+  r.op = op;
+  r.psn = psn;
+  r.redo = std::move(redo);
+  r.undo_next_lsn = undo_next;
+  return r;
+}
+
+LogRecord LogRecord::Control(LogRecordType type, TxnId txn, Lsn prev) {
+  LogRecord r;
+  r.type = type;
+  r.txn = txn;
+  r.prev_lsn = prev;
+  return r;
+}
+
+LogRecord LogRecord::Callback(TxnId txn, Lsn prev, ObjectId object,
+                              ClientId responder, Psn psn) {
+  LogRecord r;
+  r.type = LogRecordType::kCallback;
+  r.txn = txn;
+  r.prev_lsn = prev;
+  r.cb_object = object;
+  r.cb_responder = responder;
+  r.cb_psn = psn;
+  return r;
+}
+
+LogRecord LogRecord::ClientCheckpoint(std::vector<TxnCheckpointInfo> txns,
+                                      std::vector<DptEntry> dpt) {
+  LogRecord r;
+  r.type = LogRecordType::kClientCheckpoint;
+  r.active_txns = std::move(txns);
+  r.dpt = std::move(dpt);
+  return r;
+}
+
+LogRecord LogRecord::Replacement(PageId page, Psn page_psn,
+                                 std::vector<DctEntry> entries) {
+  LogRecord r;
+  r.type = LogRecordType::kReplacement;
+  r.page = page;
+  r.page_psn = page_psn;
+  r.dct = std::move(entries);
+  return r;
+}
+
+LogRecord LogRecord::ServerCheckpoint(std::vector<DctEntry> entries) {
+  LogRecord r;
+  r.type = LogRecordType::kServerCheckpoint;
+  r.dct = std::move(entries);
+  return r;
+}
+
+}  // namespace finelog

@@ -1,0 +1,71 @@
+// Channel: the simulated network between clients and the server.
+//
+// Every logical network hop is recorded with Count(): one message of a given
+// type, a payload size, and the sender. The channel charges the simulated
+// clock with the cost model's latency plus per-KB transfer time. Benchmarks
+// read the per-type counters to produce the message-complexity tables.
+
+#ifndef FINELOG_NET_CHANNEL_H_
+#define FINELOG_NET_CHANNEL_H_
+
+#include <array>
+#include <cstdint>
+
+#include "common/clock.h"
+#include "common/cost_model.h"
+#include "common/types.h"
+#include "net/message.h"
+
+namespace finelog {
+
+class Channel {
+ public:
+  struct TypeStats {
+    uint64_t count = 0;
+    uint64_t bytes = 0;
+  };
+
+  Channel(SimClock* clock, const CostModel& costs)
+      : clock_(clock), costs_(costs) {}
+
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  // Records one network hop of `type` carrying `payload_bytes`.
+  void Count(MessageType type, uint64_t payload_bytes) {
+    auto& s = stats_[static_cast<size_t>(type)];
+    s.count += 1;
+    s.bytes += payload_bytes;
+    total_messages_ += 1;
+    total_bytes_ += payload_bytes;
+    clock_->Advance(costs_.msg_latency_us +
+                    (payload_bytes * costs_.per_kb_us) / 1024);
+  }
+
+  const TypeStats& stats(MessageType type) const {
+    return stats_[static_cast<size_t>(type)];
+  }
+  uint64_t total_messages() const { return total_messages_; }
+  uint64_t total_bytes() const { return total_bytes_; }
+
+  void ResetStats() {
+    stats_.fill(TypeStats{});
+    total_messages_ = 0;
+    total_bytes_ = 0;
+  }
+
+  SimClock* clock() { return clock_; }
+  const CostModel& costs() const { return costs_; }
+
+ private:
+  SimClock* clock_;
+  CostModel costs_;
+  std::array<TypeStats, static_cast<size_t>(MessageType::kMaxMessageType)>
+      stats_{};
+  uint64_t total_messages_ = 0;
+  uint64_t total_bytes_ = 0;
+};
+
+}  // namespace finelog
+
+#endif  // FINELOG_NET_CHANNEL_H_

@@ -1,0 +1,105 @@
+#include "server/dct.h"
+
+#include <algorithm>
+
+namespace finelog {
+
+void DirtyClientTable::Insert(PageId page, ClientId client, Psn psn) {
+  auto& row = table_[page];
+  row.try_emplace(client, Value{psn, kNullLsn});
+}
+
+void DirtyClientTable::SetPsn(PageId page, ClientId client, Psn psn) {
+  table_[page][client].psn = psn;
+}
+
+void DirtyClientTable::Set(PageId page, ClientId client, Psn psn,
+                           Lsn redo_lsn) {
+  table_[page][client] = Value{psn, redo_lsn};
+}
+
+void DirtyClientTable::SetRedoLsnIfNull(PageId page, Lsn lsn) {
+  auto it = table_.find(page);
+  if (it == table_.end()) return;
+  for (auto& [client, v] : it->second) {
+    (void)client;
+    if (v.redo_lsn == kNullLsn) v.redo_lsn = lsn;
+  }
+}
+
+void DirtyClientTable::Remove(PageId page, ClientId client) {
+  auto it = table_.find(page);
+  if (it == table_.end()) return;
+  it->second.erase(client);
+  if (it->second.empty()) table_.erase(it);
+}
+
+std::optional<DctEntry> DirtyClientTable::Get(PageId page,
+                                              ClientId client) const {
+  auto it = table_.find(page);
+  if (it == table_.end()) return std::nullopt;
+  auto cit = it->second.find(client);
+  if (cit == it->second.end()) return std::nullopt;
+  return DctEntry{page, client, cit->second.psn, cit->second.redo_lsn};
+}
+
+std::vector<DctEntry> DirtyClientTable::EntriesForPage(PageId page) const {
+  std::vector<DctEntry> out;
+  auto it = table_.find(page);
+  if (it == table_.end()) return out;
+  for (const auto& [client, v] : it->second) {
+    out.push_back(DctEntry{page, client, v.psn, v.redo_lsn});
+  }
+  return out;
+}
+
+std::vector<DctEntry> DirtyClientTable::EntriesForClient(
+    ClientId client) const {
+  std::vector<DctEntry> out;
+  for (const auto& [page, row] : table_) {
+    auto cit = row.find(client);
+    if (cit != row.end()) {
+      out.push_back(DctEntry{page, client, cit->second.psn, cit->second.redo_lsn});
+    }
+  }
+  return out;
+}
+
+std::vector<DctEntry> DirtyClientTable::All() const {
+  std::vector<DctEntry> out;
+  for (const auto& [page, row] : table_) {
+    for (const auto& [client, v] : row) {
+      out.push_back(DctEntry{page, client, v.psn, v.redo_lsn});
+    }
+  }
+  return out;
+}
+
+bool DirtyClientTable::HasPage(PageId page) const {
+  return table_.count(page) > 0;
+}
+
+Lsn DirtyClientTable::MinRedoLsn() const {
+  Lsn min = kMaxLsn;
+  for (const auto& [page, row] : table_) {
+    (void)page;
+    for (const auto& [client, v] : row) {
+      (void)client;
+      if (v.redo_lsn != kNullLsn) min = std::min(min, v.redo_lsn);
+    }
+  }
+  return min;
+}
+
+void DirtyClientTable::Clear() { table_.clear(); }
+
+size_t DirtyClientTable::size() const {
+  size_t n = 0;
+  for (const auto& [page, row] : table_) {
+    (void)page;
+    n += row.size();
+  }
+  return n;
+}
+
+}  // namespace finelog

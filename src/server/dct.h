@@ -1,0 +1,67 @@
+// DirtyClientTable (DCT), Section 3.2.
+//
+// The server tracks, per (page, client) pair, the PSN the page had the last
+// time it was received from that client (or when the client was first
+// granted an exclusive lock), plus the LSN of the first replacement log
+// record written for the page. Property 1 rests on these PSNs: a client log
+// record's updates are reflected in the server's copy of P iff the record's
+// PSN is less than the PSN the server remembers for (P, client).
+
+#ifndef FINELOG_SERVER_DCT_H_
+#define FINELOG_SERVER_DCT_H_
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/types.h"
+#include "log/log_record.h"
+
+namespace finelog {
+
+class DirtyClientTable {
+ public:
+  DirtyClientTable() = default;
+  DirtyClientTable(const DirtyClientTable&) = delete;
+  DirtyClientTable& operator=(const DirtyClientTable&) = delete;
+
+  // Inserts an entry if none exists (first exclusive grant). Existing
+  // entries are left untouched.
+  void Insert(PageId page, ClientId client, Psn psn);
+
+  // Updates the PSN after the server receives the page from the client.
+  // Creates the entry if missing.
+  void SetPsn(PageId page, ClientId client, Psn psn);
+
+  // Explicitly overwrites an entry (used by restart reconstruction).
+  void Set(PageId page, ClientId client, Psn psn, Lsn redo_lsn);
+
+  // Assigns `lsn` to every entry of `page` whose RedoLSN is still null
+  // (done when a replacement log record is written, Section 3.2).
+  void SetRedoLsnIfNull(PageId page, Lsn lsn);
+
+  void Remove(PageId page, ClientId client);
+
+  std::optional<DctEntry> Get(PageId page, ClientId client) const;
+  std::vector<DctEntry> EntriesForPage(PageId page) const;
+  std::vector<DctEntry> EntriesForClient(ClientId client) const;
+  std::vector<DctEntry> All() const;
+  bool HasPage(PageId page) const;
+
+  // Minimum non-null RedoLSN across all entries; kMaxLsn if none.
+  Lsn MinRedoLsn() const;
+
+  void Clear();
+  size_t size() const;
+
+ private:
+  struct Value {
+    Psn psn = kNullPsn;
+    Lsn redo_lsn = kNullLsn;
+  };
+  std::map<PageId, std::map<ClientId, Value>> table_;
+};
+
+}  // namespace finelog
+
+#endif  // FINELOG_SERVER_DCT_H_

@@ -1,0 +1,65 @@
+#include "server/page_merge.h"
+
+#include <algorithm>
+
+namespace finelog {
+
+namespace {
+
+// Writes `data` into `slot` of `page` regardless of current size/liveness,
+// preserving at least `capacity` bytes of reservation.
+Status ForceSlotValue(Page* page, SlotId slot, const std::string& data,
+                      uint16_t capacity = 0) {
+  if (page->SlotExists(slot)) {
+    if (page->ObjectSize(slot) == data.size()) {
+      return page->WriteObject(slot, data);
+    }
+    return page->ResizeObject(slot, data);
+  }
+  return page->CreateObjectAt(slot, data, capacity);
+}
+
+}  // namespace
+
+Status MergeShippedPage(Page* local, const ShippedPage& incoming) {
+  Page in(static_cast<uint32_t>(incoming.image.size()));
+  in.raw() = incoming.image;
+  if (in.id() != local->id()) {
+    return Status::InvalidArgument("merging copies of different pages");
+  }
+  Psn merged_psn = std::max(local->psn(), in.psn()) + 1;
+  if (incoming.structural) {
+    // The sender held a page-level X lock: its image is authoritative.
+    local->raw() = incoming.image;
+  } else {
+    for (SlotId slot : incoming.modified_slots) {
+      if (in.SlotExists(slot)) {
+        auto data = in.ReadObject(slot);
+        if (!data.ok()) return data.status();
+        FINELOG_RETURN_IF_ERROR(ForceSlotValue(local, slot, data.value(),
+                                               in.ObjectCapacity(slot)));
+      } else if (local->SlotExists(slot)) {
+        FINELOG_RETURN_IF_ERROR(local->DeleteObject(slot));
+      }
+    }
+  }
+  local->set_psn(merged_psn);
+  return Status::OK();
+}
+
+Status InstallObject(Page* local, SlotId slot,
+                     const std::optional<std::string>& image, Psn server_psn) {
+  if (image.has_value()) {
+    FINELOG_RETURN_IF_ERROR(ForceSlotValue(local, slot, *image));
+  } else if (local->SlotExists(slot)) {
+    FINELOG_RETURN_IF_ERROR(local->DeleteObject(slot));
+  }
+  // No "+1" here, unlike a copy merge: an install merely catches the local
+  // copy up to the server's version. Inflating past the server's PSN would
+  // poison the DCT at the next first-X grant (the entry would record a PSN
+  // the server never reaches, silently suppressing redo after a crash).
+  local->set_psn(std::max(local->psn(), server_psn));
+  return Status::OK();
+}
+
+}  // namespace finelog

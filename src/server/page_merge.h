@@ -1,0 +1,39 @@
+// Page copy merging (Sections 2 and 3.1).
+//
+// finelog resolves concurrent updates to different objects of the same page
+// by merging *page copies* (not log records). The sender ships the set of
+// slots it modified since its last ship; the receiver overlays exactly those
+// objects onto its own copy and sets PSN = max(PSN_local, PSN_incoming) + 1.
+// The +1 guarantees strictly increasing PSNs even when two copies carry the
+// same PSN value (Section 2).
+//
+// Structural (non-mergeable) modifications were made under a page-level
+// exclusive lock, so the incoming image is strictly newer than the local
+// copy and replaces it wholesale (still bumping the PSN as a merge).
+
+#ifndef FINELOG_SERVER_PAGE_MERGE_H_
+#define FINELOG_SERVER_PAGE_MERGE_H_
+
+#include <optional>
+#include <string>
+
+#include "common/status.h"
+#include "net/endpoints.h"
+#include "storage/page.h"
+
+namespace finelog {
+
+// Merges `incoming` into `local`. `local` must be a copy of the same page.
+Status MergeShippedPage(Page* local, const ShippedPage& incoming);
+
+// Installs one object's fresh value into a cached copy of its page (the
+// client-side catch-up performed when a lock grant or callback delivers an
+// object image, Section 2). `image == nullopt` means the object was deleted.
+// `server_psn` is the PSN of the server copy the image came from; the local
+// PSN advances to at least that value (but is never inflated past it).
+Status InstallObject(Page* local, SlotId slot,
+                     const std::optional<std::string>& image, Psn server_psn);
+
+}  // namespace finelog
+
+#endif  // FINELOG_SERVER_PAGE_MERGE_H_

@@ -1,0 +1,835 @@
+#include "server/server.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "server/page_merge.h"
+
+namespace finelog {
+
+namespace {
+
+// Approximate wire sizes for request/reply accounting.
+constexpr size_t kSmallMsg = 32;
+
+
+}  // namespace
+
+Result<std::unique_ptr<Server>> Server::Create(const SystemConfig& config,
+                                               Channel* channel,
+                                               Metrics* metrics) {
+  auto server = std::unique_ptr<Server>(new Server(config, channel, metrics));
+  FINELOG_ASSIGN_OR_RETURN(
+      server->disk_, DiskManager::Open(config.dir + "/db.pages", config.page_size));
+  FINELOG_ASSIGN_OR_RETURN(
+      server->space_map_, SpaceMap::Open(config.dir + "/db.spacemap", config.num_pages));
+  FINELOG_ASSIGN_OR_RETURN(server->log_,
+                           LogManager::Open(config.dir + "/server.log"));
+  server->pool_ = std::make_unique<BufferPool>(config.server_cache_pages);
+  return server;
+}
+
+void Server::RegisterClient(ClientId id, ClientEndpoint* endpoint) {
+  clients_[id] = endpoint;
+}
+
+void Server::SetClientCrashed(ClientId id, bool crashed) {
+  if (crashed) {
+    crashed_clients_.insert(id);
+    // Section 3.3: the server releases all shared locks held by the crashed
+    // client; exclusive locks are retained for re-installation at restart.
+    glm_.ReleaseSharedLocksOf(id);
+    for (auto it = token_holder_.begin(); it != token_holder_.end();) {
+      if (it->second == id) {
+        it = token_holder_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  } else {
+    crashed_clients_.erase(id);
+  }
+}
+
+Status Server::Crash() {
+  crashed_ = true;
+  dct_authoritative_ = false;
+  pool_->Clear();
+  glm_.Clear();
+  dct_.Clear();
+  token_holder_.clear();
+  // The server log is forced at every append site, so reopening loses
+  // nothing; reopening models the post-crash process state.
+  FINELOG_ASSIGN_OR_RETURN(log_, LogManager::Open(config_.dir + "/server.log"));
+  metrics_->Add("server.crashes");
+  return Status::OK();
+}
+
+Status Server::Bootstrap(uint32_t n, uint32_t objects_per_page,
+                         uint32_t object_size) {
+  std::string payload(object_size, '\0');
+  for (uint32_t i = 0; i < n; ++i) {
+    auto alloc = space_map_->AllocatePage();
+    if (!alloc.ok()) return alloc.status();
+    Page page(config_.page_size);
+    page.Format(alloc.value().page, alloc.value().initial_psn);
+    for (uint32_t j = 0; j < objects_per_page; ++j) {
+      auto slot = page.CreateObject(payload);
+      if (!slot.ok()) return slot.status();
+    }
+    FINELOG_RETURN_IF_ERROR(disk_->WritePage(alloc.value().page, &page));
+    ++disk_writes_;
+  }
+  return Status::OK();
+}
+
+BufferPool::EvictHandler Server::EvictHandler() {
+  return [this](PageId pid, BufferPool::Frame& frame) -> Status {
+    if (!frame.dirty) return Status::OK();
+    return WritePageToDisk(pid, frame);
+  };
+}
+
+Result<BufferPool::Frame*> Server::GetPage(PageId pid) {
+  if (BufferPool::Frame* f = pool_->Get(pid)) return f;
+  Page page(config_.page_size);
+  Status st = disk_->ReadPage(pid, &page);
+  if (!st.ok()) return st;
+  channel_->clock()->Advance(channel_->costs().disk_read_us);
+  ++disk_reads_;
+  metrics_->Add("server.disk_reads");
+  return pool_->Put(pid, std::move(page), EvictHandler());
+}
+
+Status Server::WritePageToDisk(PageId pid, BufferPool::Frame& frame) {
+  // WAL for the no-data-logging server: force a replacement log record
+  // carrying the page PSN and the DCT entries (Section 3.2) before the
+  // in-place page write.
+  std::vector<DctEntry> entries = dct_.EntriesForPage(pid);
+  LogRecord rec = LogRecord::Replacement(pid, frame.page.psn(), entries);
+  auto lsn = log_->Append(rec);
+  if (!lsn.ok()) return lsn.status();
+  FINELOG_RETURN_IF_ERROR(log_->Force());
+  channel_->clock()->Advance(channel_->costs().log_force_us);
+  metrics_->Add("server.replacement_records");
+  dct_.SetRedoLsnIfNull(pid, lsn.value());
+
+  FINELOG_RETURN_IF_ERROR(disk_->WritePage(pid, &frame.page));
+  channel_->clock()->Advance(channel_->costs().disk_write_us);
+  ++disk_writes_;
+  metrics_->Add("server.disk_writes");
+  frame.dirty = false;
+
+  // Notify the updating clients (Sections 3.2 and 3.6) and drop DCT entries
+  // for clients no longer holding exclusive locks on the page.
+  for (const DctEntry& e : entries) {
+    auto cit = clients_.find(e.client);
+    if (cit != clients_.end() && crashed_clients_.count(e.client) == 0) {
+      channel_->Count(MessageType::kFlushNotify, kSmallMsg);
+      cit->second->HandleFlushNotify(pid, e.psn);
+    }
+    bool holds_x = glm_.HoldsPage(e.client, pid, LockMode::kExclusive);
+    if (!holds_x) {
+      // Any exclusive object lock on the page keeps the entry alive.
+      for (const ObjectId& oid : glm_.ExclusiveObjectLocksOf(e.client)) {
+        if (oid.page == pid) {
+          holds_x = true;
+          break;
+        }
+      }
+    }
+    if (!holds_x && crashed_clients_.count(e.client) == 0) {
+      dct_.Remove(pid, e.client);
+    }
+  }
+  return Status::OK();
+}
+
+bool Server::BlockedByCrashedClient(PageId pid, ClientId requester) const {
+  for (ClientId c : crashed_clients_) {
+    if (c == requester) continue;
+    if (dct_.Get(pid, c).has_value()) return true;
+    // GLM X locks of the crashed client also block (client-crash only case
+    // where the GLM survived).
+    for (const ObjectId& oid : glm_.ExclusiveObjectLocksOf(c)) {
+      if (oid.page == pid) return true;
+    }
+    for (PageId p : glm_.ExclusivePageLocksOf(c)) {
+      if (p == pid) return true;
+    }
+  }
+  return false;
+}
+
+Status Server::ExecuteCallbacks(
+    const std::vector<CallbackAction>& actions,
+    std::vector<XCallbackInfo>* x_callbacks) {
+  for (const CallbackAction& a : actions) {
+    if (crashed_clients_.count(a.target) > 0) {
+      return Status::WouldBlock("callback target crashed; queued");
+    }
+    auto cit = clients_.find(a.target);
+    if (cit == clients_.end()) {
+      return Status::Internal("unknown client in callback");
+    }
+    ClientEndpoint* ep = cit->second;
+    switch (a.what) {
+      case CallbackAction::What::kReleaseObject:
+      case CallbackAction::What::kDowngradeObject: {
+        LockMode want = a.what == CallbackAction::What::kReleaseObject
+                            ? LockMode::kExclusive
+                            : LockMode::kShared;
+        channel_->Count(MessageType::kCallbackRequest, kSmallMsg);
+        auto reply = ep->HandleObjectCallback(a.object, want);
+        channel_->Count(MessageType::kCallbackReply,
+                        reply.page ? reply.page->wire_size() : kSmallMsg);
+        metrics_->Add("server.callbacks_object");
+        if (!reply.granted) {
+          metrics_->Add("server.callbacks_denied");
+          return Status::WouldBlock("callback denied: object in use");
+        }
+        if (reply.page) {
+          FINELOG_RETURN_IF_ERROR(ApplyShippedPage(a.target, *reply.page));
+        }
+        if (want == LockMode::kExclusive) {
+          glm_.ReleaseObject(a.target, a.object);
+        } else {
+          glm_.DowngradeObject(a.target, a.object);
+        }
+        // The requester must log the inter-client hand-off of update
+        // authority (callback log record, Section 3.1). Only exclusive
+        // *requests* count: an S-triggered downgrade transfers no authority,
+        // and suppressing the responder's replay for it would lose the only
+        // surviving copy of its updates. The holder matters when it is (or
+        // recently was) a writer: it holds X, or it still has a DCT entry
+        // for the page -- a downgraded writer keeps its entry until its
+        // updates reach the disk.
+        auto entry = dct_.Get(a.object.page, a.target);
+        bool possibly_wrote =
+            a.holder_mode == LockMode::kExclusive || entry.has_value();
+        if (want == LockMode::kExclusive && possibly_wrote &&
+            x_callbacks != nullptr) {
+          Psn psn;
+          if (reply.page) {
+            // The responder shipped with the callback: the DCT entry now
+            // holds exactly the PSN of that ship.
+            psn = entry && entry->psn != kNullPsn ? entry->psn
+                                                  : reply.psn_at_response;
+          } else {
+            // Nothing shipped: everything the responder ever contributed is
+            // already in the server lineage, so the current copy's PSN is
+            // an honest supersession bound (DCT entries can deflate after a
+            // restart reconstructed them from the disk baseline).
+            auto f = GetPage(a.object.page);
+            psn = f.ok() ? f.value()->page.psn()
+                         : (entry && entry->psn != kNullPsn
+                                ? entry->psn
+                                : reply.psn_at_response);
+          }
+          x_callbacks->push_back(XCallbackInfo{a.target, a.object, psn});
+        }
+        break;
+      }
+      case CallbackAction::What::kDeescalatePage: {
+        if (config_.lock_granularity == LockGranularity::kPage) {
+          // Page-locking baseline: page locks are called back, not
+          // de-escalated (there are no object locks to fall back to).
+          channel_->Count(MessageType::kCallbackRequest, kSmallMsg);
+          auto reply = ep->HandlePageCallback(a.page, a.requested);
+          channel_->Count(MessageType::kCallbackReply,
+                          reply.page ? reply.page->wire_size() : kSmallMsg);
+          metrics_->Add("server.callbacks_page");
+          if (!reply.granted) {
+            metrics_->Add("server.callbacks_denied");
+            return Status::WouldBlock("page callback denied");
+          }
+          if (reply.page) {
+            FINELOG_RETURN_IF_ERROR(ApplyShippedPage(a.target, *reply.page));
+          }
+          // Whole-page authority hand-off: record it so recovery can
+          // re-establish the inter-client order of page versions. The
+          // sentinel slot id means "every object on the page".
+          auto pentry = dct_.Get(a.page, a.target);
+          bool wrote = a.holder_mode == LockMode::kExclusive ||
+                       pentry.has_value();
+          if (a.requested == LockMode::kExclusive && wrote &&
+              x_callbacks != nullptr) {
+            Psn psn = pentry && pentry->psn != kNullPsn
+                          ? pentry->psn
+                          : reply.psn_at_response;
+            x_callbacks->push_back(XCallbackInfo{
+                a.target, ObjectId{a.page, kInvalidSlotId}, psn});
+          }
+          if (a.requested == LockMode::kExclusive) {
+            glm_.ReleasePage(a.target, a.page);
+          } else {
+            glm_.DowngradePage(a.target, a.page);
+          }
+          break;
+        }
+        channel_->Count(MessageType::kCallbackRequest, kSmallMsg);
+        auto reply = ep->HandleDeescalate(a.page);
+        channel_->Count(MessageType::kCallbackReply,
+                        reply.page ? reply.page->wire_size() : kSmallMsg);
+        metrics_->Add("server.deescalations");
+        if (!reply.granted) {
+          metrics_->Add("server.callbacks_denied");
+          return Status::WouldBlock("de-escalation denied: structural update");
+        }
+        if (reply.page) {
+          FINELOG_RETURN_IF_ERROR(ApplyShippedPage(a.target, *reply.page));
+        }
+        // The GLM trades the page lock for the reported object locks.
+        glm_.ReleasePage(a.target, a.page);
+        for (const auto& [oid, mode] : reply.object_locks) {
+          glm_.GrantObject(a.target, oid, mode);
+        }
+        break;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status Server::ApplyShippedPage(ClientId client, const ShippedPage& shipped,
+                                bool update_dct_psn) {
+  auto frame = GetPage(shipped.page);
+  if (!frame.ok()) {
+    if (!frame.status().IsNotFound()) return frame.status();
+    // First copy the server ever sees (page never reached the disk): the
+    // incoming image is the base.
+    Page page(config_.page_size);
+    page.raw() = shipped.image;
+    auto put = pool_->Put(shipped.page, std::move(page), EvictHandler());
+    if (!put.ok()) return put.status();
+    put.value()->dirty = true;
+    Page incoming(config_.page_size);
+    incoming.raw() = shipped.image;
+    dct_.SetPsn(shipped.page, client, incoming.psn());
+    metrics_->Add("server.pages_merged");
+    return Status::OK();
+  }
+  Page incoming(config_.page_size);
+  incoming.raw() = shipped.image;
+  Psn incoming_psn = incoming.psn();
+  if (config_.lock_granularity == LockGranularity::kPage) {
+    // Page-level locking gives each page a single linear version history
+    // (one writer at a time), so copies are totally ordered by PSN: adopt
+    // the incoming image iff it is newer; an older ship is an ancestor of
+    // the current copy and carries nothing new.
+    Page& local = frame.value()->page;
+    if (incoming.psn() > local.psn()) {
+      local.raw() = shipped.image;
+      frame.value()->dirty = true;
+    }
+  } else {
+    FINELOG_RETURN_IF_ERROR(MergeShippedPage(&frame.value()->page, shipped));
+    frame.value()->dirty = true;
+  }
+  channel_->clock()->Advance(channel_->costs().page_merge_us);
+  // "The server ... sets the value of the PSN field to be the PSN value
+  // present on P" (Section 3.2).
+  if (update_dct_psn) dct_.SetPsn(shipped.page, client, incoming_psn);
+  metrics_->Add("server.pages_merged");
+  return Status::OK();
+}
+
+Result<ObjectLockReply> Server::LockObject(ClientId client, ObjectId oid,
+                                           LockMode mode, Psn cached_psn) {
+  if (crashed_) return Status::Crashed("server down");
+  channel_->Count(MessageType::kLockRequest, kSmallMsg);
+  metrics_->Add("server.lock_requests");
+
+  if (BlockedByCrashedClient(oid.page, client)) {
+    channel_->Count(MessageType::kLockReply, kSmallMsg);
+    return Status::WouldBlock("page involves a crashed client");
+  }
+
+  // Resolve conflicts; de-escalations can surface new object conflicts, so
+  // iterate until the request is clean.
+  std::vector<XCallbackInfo> x_callbacks;
+  for (int round = 0;; ++round) {
+    std::vector<CallbackAction> actions = glm_.RequiredForObject(client, oid, mode);
+    if (actions.empty()) break;
+    if (round >= 8) {
+      channel_->Count(MessageType::kLockReply, kSmallMsg);
+      return Status::WouldBlock("lock conflict not resolved");
+    }
+    Status st = ExecuteCallbacks(actions, &x_callbacks);
+    if (!st.ok()) {
+      channel_->Count(MessageType::kLockReply, kSmallMsg);
+      return st;
+    }
+  }
+
+  glm_.GrantObject(client, oid, mode);
+  auto frame = GetPage(oid.page);
+  if (!frame.ok()) {
+    channel_->Count(MessageType::kLockReply, kSmallMsg);
+    return frame.status();
+  }
+  Page& page = frame.value()->page;
+  if (mode == LockMode::kExclusive) {
+    // Hand-off entries for "ghost writers": clients with unflushed updates
+    // (a DCT entry) but no remaining lock on the object -- e.g. a client
+    // whose lock claim was rejected during restart. Without a callback log
+    // record their later replay could resurrect a superseded value. The
+    // recorded PSN is the server copy's *current* PSN: everything such a
+    // client ever contributed is in this lineage (its hand-off shipped it,
+    // or a restart replay re-merged it), so records below this PSN are
+    // superseded once the requester updates the object.
+    for (const DctEntry& e : dct_.EntriesForPage(oid.page)) {
+      if (e.client == client || e.psn == kNullPsn) continue;
+      bool already = false;
+      for (const auto& info : x_callbacks) {
+        if (info.responder == e.client) already = true;
+      }
+      if (!already && !glm_.HoldsObject(e.client, oid, LockMode::kShared)) {
+        x_callbacks.push_back(XCallbackInfo{e.client, oid, page.psn()});
+      }
+    }
+  }
+
+  if (mode == LockMode::kExclusive && !dct_.Get(oid.page, client)) {
+    // First exclusive grant: remember the PSN (Section 3.2). The client's
+    // cached copy PSN if it has the page, else the PSN of the copy we are
+    // about to send.
+    dct_.Insert(oid.page, client,
+                cached_psn != kNullPsn ? cached_psn : page.psn());
+  }
+
+  ObjectLockReply reply;
+  reply.server_psn = page.psn();
+  reply.x_callbacks = std::move(x_callbacks);
+  if (cached_psn != kNullPsn) {
+    // Client has the page: refresh just the object (fine-granularity
+    // transfer).
+    if (page.SlotExists(oid.slot)) {
+      auto data = page.ReadObject(oid.slot);
+      if (!data.ok()) return data.status();
+      reply.object_image = std::move(data).value();
+    } else {
+      reply.object_present = false;
+    }
+    channel_->Count(MessageType::kLockReply,
+                    kSmallMsg + (reply.object_image ? reply.object_image->size() : 0));
+  } else {
+    reply.page_image = page.raw();
+    reply.object_present = page.SlotExists(oid.slot);
+    channel_->Count(MessageType::kLockReply, kSmallMsg + reply.page_image->size());
+  }
+  return reply;
+}
+
+Result<PageLockReply> Server::LockPage(ClientId client, PageId pid,
+                                       LockMode mode, Psn cached_psn) {
+  if (crashed_) return Status::Crashed("server down");
+  channel_->Count(MessageType::kLockRequest, kSmallMsg);
+  metrics_->Add("server.lock_requests");
+
+  if (BlockedByCrashedClient(pid, client)) {
+    channel_->Count(MessageType::kLockReply, kSmallMsg);
+    return Status::WouldBlock("page involves a crashed client");
+  }
+
+  std::vector<XCallbackInfo> x_callbacks;
+  for (int round = 0;; ++round) {
+    std::vector<CallbackAction> actions = glm_.RequiredForPage(client, pid, mode);
+    if (actions.empty()) break;
+    if (round >= 8) {
+      channel_->Count(MessageType::kLockReply, kSmallMsg);
+      return Status::WouldBlock("lock conflict not resolved");
+    }
+    Status st = ExecuteCallbacks(actions, &x_callbacks);
+    if (!st.ok()) {
+      channel_->Count(MessageType::kLockReply, kSmallMsg);
+      return st;
+    }
+  }
+
+  glm_.GrantPage(client, pid, mode);
+  auto frame = GetPage(pid);
+  if (!frame.ok()) {
+    channel_->Count(MessageType::kLockReply, kSmallMsg);
+    return frame.status();
+  }
+  Page& page = frame.value()->page;
+  if (mode == LockMode::kExclusive) {
+    // Ghost-writer hand-off entries (see LockObject); a page grant covers
+    // every object, hence the sentinel slot.
+    for (const DctEntry& e : dct_.EntriesForPage(pid)) {
+      if (e.client == client || e.psn == kNullPsn) continue;
+      bool already = false;
+      for (const auto& info : x_callbacks) {
+        if (info.responder == e.client) already = true;
+      }
+      if (!already) {
+        x_callbacks.push_back(
+            XCallbackInfo{e.client, ObjectId{pid, kInvalidSlotId}, page.psn()});
+      }
+    }
+  }
+
+  if (mode == LockMode::kExclusive && !dct_.Get(pid, client)) {
+    dct_.Insert(pid, client, cached_psn != kNullPsn ? cached_psn : page.psn());
+  }
+
+  PageLockReply reply;
+  reply.server_psn = page.psn();
+  reply.x_callbacks = std::move(x_callbacks);
+  // A page grant always ships the server's current copy: conflicting
+  // holders just merged their updates into it, and the requester's cached
+  // copy (if any) may be stale for objects it holds no locks on.
+  reply.page_image = page.raw();
+  channel_->Count(MessageType::kLockReply, kSmallMsg + reply.page_image->size());
+  return reply;
+}
+
+Result<PageFetchReply> Server::FetchPage(ClientId client, PageId pid) {
+  if (crashed_) return Status::Crashed("server down");
+  channel_->Count(MessageType::kPageFetch, kSmallMsg);
+  auto frame = GetPage(pid);
+  if (!frame.ok()) return frame.status();
+  PageFetchReply reply;
+  reply.page_image = frame.value()->page.raw();
+  auto entry = dct_.Get(pid, client);
+  reply.dct_psn = entry ? entry->psn : kNullPsn;
+  channel_->Count(MessageType::kPageReply, reply.page_image.size() + kSmallMsg);
+  metrics_->Add("server.page_fetches");
+  return reply;
+}
+
+Status Server::ShipPage(ClientId client, const ShippedPage& page) {
+  if (crashed_) return Status::Crashed("server down");
+  channel_->Count(MessageType::kPageShip, page.wire_size());
+  FINELOG_RETURN_IF_ERROR(ApplyShippedPage(client, page));
+  channel_->Count(MessageType::kPageShipAck, kSmallMsg);
+  return Status::OK();
+}
+
+Result<AllocReply> Server::AllocatePage(ClientId client) {
+  if (crashed_) return Status::Crashed("server down");
+  channel_->Count(MessageType::kAllocRequest, kSmallMsg);
+  auto alloc = space_map_->AllocatePage();
+  if (!alloc.ok()) return alloc.status();
+  Page page(config_.page_size);
+  page.Format(alloc.value().page, alloc.value().initial_psn);
+  auto put = pool_->Put(alloc.value().page, page, EvictHandler());
+  if (!put.ok()) return put.status();
+  put.value()->dirty = true;
+  // The allocating client starts with a page-level exclusive lock.
+  glm_.GrantPage(client, alloc.value().page, LockMode::kExclusive);
+  dct_.Insert(alloc.value().page, client, alloc.value().initial_psn);
+  AllocReply reply;
+  reply.page = alloc.value().page;
+  reply.page_image = page.raw();
+  channel_->Count(MessageType::kAllocReply, reply.page_image.size() + kSmallMsg);
+  metrics_->Add("server.allocations");
+  return reply;
+}
+
+Status Server::ForcePage(ClientId client, PageId pid) {
+  if (crashed_) return Status::Crashed("server down");
+  channel_->Count(MessageType::kForcePageRequest, kSmallMsg);
+  metrics_->Add("server.force_page_requests");
+  if (BufferPool::Frame* frame = pool_->Get(pid)) {
+    if (frame->dirty) {
+      FINELOG_RETURN_IF_ERROR(WritePageToDisk(pid, *frame));
+    }
+  } else {
+    // Already flushed at eviction time; re-notify so the requester can
+    // advance its DPT even if it missed the original notification.
+    auto entry = dct_.Get(pid, client);
+    auto cit = clients_.find(client);
+    if (cit != clients_.end()) {
+      channel_->Count(MessageType::kFlushNotify, kSmallMsg);
+      cit->second->HandleFlushNotify(pid, entry ? entry->psn : kNullPsn);
+    }
+  }
+  channel_->Count(MessageType::kForcePageReply, kSmallMsg);
+  return Status::OK();
+}
+
+Status Server::ReleaseLocks(ClientId client,
+                            const std::vector<ObjectId>& objects,
+                            const std::vector<PageId>& pages) {
+  if (crashed_) return Status::Crashed("server down");
+  channel_->Count(MessageType::kLockRequest,
+                  objects.size() * 8 + pages.size() * 4 + kSmallMsg);
+  for (const ObjectId& oid : objects) {
+    glm_.ReleaseObject(client, oid);
+  }
+  for (PageId pid : pages) {
+    glm_.ReleasePage(client, pid);
+  }
+  // Entries whose pages are already on disk can now leave the DCT (the
+  // client renounced its update authority).
+  for (const DctEntry& e : dct_.EntriesForClient(client)) {
+    bool still_locked = glm_.HoldsPage(client, e.page, LockMode::kShared);
+    if (!still_locked) {
+      for (const ObjectId& oid : glm_.ExclusiveObjectLocksOf(client)) {
+        if (oid.page == e.page) still_locked = true;
+      }
+    }
+    BufferPool::Frame* f = pool_->Peek(e.page);
+    bool unflushed = f != nullptr && f->dirty;
+    if (!still_locked && !unflushed && e.psn != kNullPsn) {
+      // Everything the client contributed has reached the disk.
+      dct_.Remove(e.page, client);
+    }
+  }
+  channel_->Count(MessageType::kLockReply, kSmallMsg);
+  metrics_->Add("server.lock_releases");
+  return Status::OK();
+}
+
+Status Server::CommitShipLogs(ClientId client, size_t log_bytes) {
+  if (crashed_) return Status::Crashed("server down");
+  (void)client;
+  channel_->Count(MessageType::kCommitShipLogs, log_bytes);
+  // ARIES/CSA: the server forces the shipped records to its log before
+  // acknowledging. The records themselves are not interpreted (the client
+  // retains its own copy); only the durability cost is modelled.
+  channel_->clock()->Advance(channel_->costs().log_force_us);
+  metrics_->Add("server.commit_log_ships");
+  channel_->Count(MessageType::kCommitAck, kSmallMsg);
+  return Status::OK();
+}
+
+Status Server::CommitShipPages(ClientId client,
+                               const std::vector<ShippedPage>& pages) {
+  if (crashed_) return Status::Crashed("server down");
+  size_t bytes = 0;
+  for (const ShippedPage& p : pages) bytes += p.wire_size();
+  channel_->Count(MessageType::kCommitShipPages, bytes);
+  for (const ShippedPage& p : pages) {
+    FINELOG_RETURN_IF_ERROR(ApplyShippedPage(client, p));
+  }
+  channel_->clock()->Advance(channel_->costs().log_force_us);
+  metrics_->Add("server.commit_page_ships");
+  channel_->Count(MessageType::kCommitAck, kSmallMsg);
+  return Status::OK();
+}
+
+Result<TokenReply> Server::AcquireToken(ClientId client, PageId pid) {
+  if (crashed_) return Status::Crashed("server down");
+  channel_->Count(MessageType::kTokenRequest, kSmallMsg);
+  metrics_->Add("server.token_requests");
+  auto it = token_holder_.find(pid);
+  if (it != token_holder_.end() && it->second == client) {
+    channel_->Count(MessageType::kTokenReply, kSmallMsg);
+    return TokenReply{};
+  }
+  if (it != token_holder_.end()) {
+    ClientId holder = it->second;
+    if (crashed_clients_.count(holder) > 0) {
+      channel_->Count(MessageType::kTokenReply, kSmallMsg);
+      return Status::WouldBlock("token holder crashed");
+    }
+    channel_->Count(MessageType::kTokenRecall, kSmallMsg);
+    auto shipped = clients_.at(holder)->HandleTokenRecall(pid);
+    if (!shipped.ok()) {
+      channel_->Count(MessageType::kTokenReply, kSmallMsg);
+      return shipped.status();
+    }
+    channel_->Count(MessageType::kTokenRecallReply, shipped.value().wire_size());
+    if (!shipped.value().image.empty()) {
+      FINELOG_RETURN_IF_ERROR(ApplyShippedPage(holder, shipped.value()));
+    }
+    metrics_->Add("server.token_transfers");
+  }
+  token_holder_[pid] = client;
+  TokenReply reply;
+  auto frame = GetPage(pid);
+  if (frame.ok()) {
+    reply.page_image = frame.value()->page.raw();
+  }
+  channel_->Count(MessageType::kTokenReply,
+                  kSmallMsg + (reply.page_image ? reply.page_image->size() : 0));
+  return reply;
+}
+
+Status Server::TakeCheckpoint() {
+  if (crashed_) return Status::Crashed("server down");
+  LogRecord rec = LogRecord::ServerCheckpoint(dct_.All());
+  auto lsn = log_->Append(rec);
+  if (!lsn.ok()) return lsn.status();
+  FINELOG_RETURN_IF_ERROR(log_->Force());
+  channel_->clock()->Advance(channel_->costs().log_force_us);
+  FINELOG_RETURN_IF_ERROR(log_->SetCheckpointLsn(lsn.value()));
+  metrics_->Add("server.checkpoints");
+  return Status::OK();
+}
+
+Status Server::TakeSynchronizedCheckpoint() {
+  if (crashed_) return Status::Crashed("server down");
+  // ARIES/CSA-style: synchronous round trip with every connected client
+  // before the checkpoint record is written (Section 4.1).
+  for (const auto& [id, ep] : clients_) {
+    if (crashed_clients_.count(id) > 0) continue;
+    channel_->Count(MessageType::kCheckpointSync, kSmallMsg);
+    FINELOG_RETURN_IF_ERROR(ep->HandleCheckpointSync());
+    channel_->Count(MessageType::kCheckpointSyncReply, kSmallMsg);
+  }
+  metrics_->Add("server.sync_checkpoints");
+  return TakeCheckpoint();
+}
+
+Status Server::DeallocatePage(PageId pid) {
+  if (crashed_) return Status::Crashed("server down");
+  // Refuse while any client could still reference the page.
+  if (dct_.HasPage(pid)) {
+    return Status::FailedPrecondition("page has dirty client entries");
+  }
+  for (const auto& [cid, ep] : clients_) {
+    (void)ep;
+    if (!glm_.ExclusiveObjectLocksOf(cid).empty()) {
+      for (const ObjectId& oid : glm_.ExclusiveObjectLocksOf(cid)) {
+        if (oid.page == pid) {
+          return Status::FailedPrecondition("page is exclusively locked");
+        }
+      }
+    }
+    for (PageId p : glm_.ExclusivePageLocksOf(cid)) {
+      if (p == pid) {
+        return Status::FailedPrecondition("page is exclusively locked");
+      }
+    }
+  }
+  Psn final_psn = 0;
+  if (BufferPool::Frame* frame = pool_->Peek(pid)) {
+    final_psn = frame->page.psn();
+    pool_->Drop(pid);
+  } else {
+    Page page(config_.page_size);
+    if (disk_->ReadPage(pid, &page).ok()) final_psn = page.psn();
+  }
+  metrics_->Add("server.deallocations");
+  return space_map_->DeallocatePage(pid, final_psn);
+}
+
+Status Server::FlushAllPages() {
+  if (crashed_) return Status::Crashed("server down");
+  for (PageId pid : pool_->PageIds()) {
+    BufferPool::Frame* frame = pool_->Peek(pid);
+    if (frame != nullptr && frame->dirty) {
+      FINELOG_RETURN_IF_ERROR(WritePageToDisk(pid, *frame));
+    }
+  }
+  return Status::OK();
+}
+
+Result<DctSnapshot> Server::RecGetMyDct(ClientId client) {
+  if (crashed_) return Status::Crashed("server down");
+  channel_->Count(MessageType::kRecGetDct, kSmallMsg);
+  DctSnapshot snap;
+  snap.authoritative = dct_authoritative_;
+  snap.entries = dct_.EntriesForClient(client);
+  channel_->Count(MessageType::kRecDctReply,
+                  snap.entries.size() * 24 + kSmallMsg);
+  return snap;
+}
+
+Result<ClientRecoveryState> Server::RecGetMyXLocks(ClientId client) {
+  if (crashed_) return Status::Crashed("server down");
+  channel_->Count(MessageType::kRecXLocksFetch, kSmallMsg);
+  ClientRecoveryState state;
+  for (const ObjectId& oid : glm_.ExclusiveObjectLocksOf(client)) {
+    state.object_locks.emplace_back(oid, LockMode::kExclusive);
+  }
+  for (PageId pid : glm_.ExclusivePageLocksOf(client)) {
+    state.page_locks.emplace_back(pid, LockMode::kExclusive);
+  }
+  channel_->Count(MessageType::kRecXLocksReply,
+                  state.object_locks.size() * 8 + state.page_locks.size() * 8 +
+                      kSmallMsg);
+  return state;
+}
+
+Result<ClientRecoveryState> Server::RecInstallLocks(
+    ClientId client, const std::vector<ObjectId>& objects,
+    const std::vector<PageId>& pages) {
+  if (crashed_) return Status::Crashed("server down");
+  channel_->Count(MessageType::kRecXLocksFetch,
+                  objects.size() * 8 + pages.size() * 8 + kSmallMsg);
+  ClientRecoveryState accepted;
+  for (const ObjectId& oid : objects) {
+    // A conflicting lock held by another client proves this claim is an
+    // over-claim (the crashed client's lock was called back or downgraded
+    // before the failure).
+    if (!glm_.RequiredForObject(client, oid, LockMode::kExclusive).empty()) {
+      continue;
+    }
+    glm_.GrantObject(client, oid, LockMode::kExclusive);
+    accepted.object_locks.emplace_back(oid, LockMode::kExclusive);
+  }
+  for (PageId pid : pages) {
+    if (!glm_.RequiredForPage(client, pid, LockMode::kExclusive).empty()) {
+      continue;
+    }
+    glm_.GrantPage(client, pid, LockMode::kExclusive);
+    accepted.page_locks.emplace_back(pid, LockMode::kExclusive);
+  }
+  channel_->Count(MessageType::kRecXLocksReply, kSmallMsg);
+  return accepted;
+}
+
+Result<PageFetchReply> Server::RecFetchPage(ClientId client, PageId pid) {
+  if (crashed_) return Status::Crashed("server down");
+  channel_->Count(MessageType::kRecPageFetch, kSmallMsg);
+  metrics_->Add("server.recovery_page_fetches");
+  PageFetchReply reply;
+  auto frame = GetPage(pid);
+  if (frame.ok()) {
+    reply.page_image = frame.value()->page.raw();
+  } else if (frame.status().IsNotFound()) {
+    // The page never reached the server disk and no copy survives: recovery
+    // rebuilds it from a freshly formatted page seeded with the allocation
+    // PSN from the space map (Section 2 / [18]).
+    auto base = space_map_->BasePsn(pid);
+    if (!base.ok()) return base.status();
+    Page page(config_.page_size);
+    page.Format(pid, base.value());
+    reply.page_image = page.raw();
+  } else {
+    return frame.status();
+  }
+  auto entry = dct_.Get(pid, client);
+  if (entry && entry->psn != kNullPsn) {
+    reply.dct_psn = entry->psn;
+  } else {
+    // No reconstructed evidence for this client: the on-disk PSN is the
+    // honest redo baseline (everything at or past it must be replayed).
+    Page disk_page(config_.page_size);
+    Status st = disk_->ReadPage(pid, &disk_page);
+    if (st.ok()) {
+      reply.dct_psn = disk_page.psn();
+    } else {
+      auto base = space_map_->BasePsn(pid);
+      reply.dct_psn = base.ok() ? base.value() : kNullPsn;
+    }
+  }
+  channel_->Count(MessageType::kRecPageReply, reply.page_image.size() + kSmallMsg);
+  return reply;
+}
+
+Status Server::RecComplete(ClientId client) {
+  if (crashed_) return Status::Crashed("server down");
+  channel_->Count(MessageType::kRecGetDct, kSmallMsg);
+  crashed_clients_.erase(client);
+  if (crashed_clients_.empty()) dct_authoritative_ = true;
+  // Retry page recoveries that were waiting on this client (Section 3.5).
+  std::vector<std::pair<ClientId, PageId>> pending;
+  pending.swap(deferred_recoveries_);
+  for (const auto& [c, p] : pending) {
+    Status st = CoordinatePageRecovery(p, c);
+    if (st.IsCrashed() || st.IsWouldBlock()) {
+      deferred_recoveries_.emplace_back(c, p);
+    } else if (!st.ok()) {
+      return st;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace finelog

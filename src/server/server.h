@@ -1,0 +1,197 @@
+// Server: the page server. Owns the database disk, the space allocation map,
+// the global lock manager (GLM), the dirty client table (DCT), the server
+// buffer pool, and the server log (replacement + checkpoint records only --
+// the server never logs data updates; those live in client logs).
+//
+// Implements the ServerEndpoint RPC surface for normal processing and for
+// the recovery protocols of Sections 3.3-3.5.
+
+#ifndef FINELOG_SERVER_SERVER_H_
+#define FINELOG_SERVER_SERVER_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "buffer/buffer_pool.h"
+#include "common/config.h"
+#include "common/result.h"
+#include "common/types.h"
+#include "lock/glm.h"
+#include "log/log_manager.h"
+#include "net/channel.h"
+#include "net/endpoints.h"
+#include "server/dct.h"
+#include "storage/disk_manager.h"
+#include "storage/space_map.h"
+#include "util/metrics.h"
+
+namespace finelog {
+
+class Server : public ServerEndpoint {
+ public:
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // Creates the server over `config.dir` (database file, space map, server
+  // log). `channel` and `metrics` are owned by the caller (core::System).
+  static Result<std::unique_ptr<Server>> Create(const SystemConfig& config,
+                                                Channel* channel,
+                                                Metrics* metrics);
+
+  // Wiring ------------------------------------------------------------------
+
+  void RegisterClient(ClientId id, ClientEndpoint* endpoint);
+  void SetClientCrashed(ClientId id, bool crashed);
+  bool IsClientCrashed(ClientId id) const { return crashed_clients_.count(id) > 0; }
+
+  // Lifecycle ---------------------------------------------------------------
+
+  // Simulated server crash: drops the buffer pool, GLM, DCT and token table.
+  // The database file, space map and (always forced) server log survive.
+  Status Crash();
+  bool crashed() const { return crashed_; }
+
+  // Server restart recovery, Sections 3.4-3.5. `crashed_clients` is the set
+  // of clients that are down at restart time (complex crash); their DCT
+  // entries are reconstructed from the server log and their page recovery is
+  // deferred until they restart.
+  Status Restart();
+
+  // Fuzzy server checkpoint: a log record carrying the whole DCT.
+  Status TakeCheckpoint();
+
+  // Forces every dirty page in the pool to disk (used by tests/benches to
+  // reach a quiescent state).
+  Status FlushAllPages();
+
+  // Bootstrap: allocate and format `n` pages each pre-loaded with
+  // `objects_per_page` objects of `object_size` bytes, flushed to disk.
+  Status Bootstrap(uint32_t n, uint32_t objects_per_page, uint32_t object_size);
+
+  // Administrative page deallocation (quiescent operation: no client may
+  // hold locks on or cache the page). Records the page's final PSN in the
+  // space map so a future reallocation continues the PSN lineage
+  // (Section 2 / [18]).
+  Status DeallocatePage(PageId pid);
+
+  // ServerEndpoint ----------------------------------------------------------
+
+  Result<ObjectLockReply> LockObject(ClientId client, ObjectId oid,
+                                     LockMode mode, Psn cached_psn) override;
+  Result<PageLockReply> LockPage(ClientId client, PageId pid, LockMode mode,
+                                 Psn cached_psn) override;
+  Result<PageFetchReply> FetchPage(ClientId client, PageId pid) override;
+  Status ShipPage(ClientId client, const ShippedPage& page) override;
+  Result<AllocReply> AllocatePage(ClientId client) override;
+  Status ForcePage(ClientId client, PageId pid) override;
+  Status ReleaseLocks(ClientId client, const std::vector<ObjectId>& objects,
+                      const std::vector<PageId>& pages) override;
+  Status CommitShipLogs(ClientId client, size_t log_bytes) override;
+  Status CommitShipPages(ClientId client,
+                         const std::vector<ShippedPage>& pages) override;
+  Result<TokenReply> AcquireToken(ClientId client, PageId pid) override;
+  Result<DctSnapshot> RecGetMyDct(ClientId client) override;
+  Result<ClientRecoveryState> RecGetMyXLocks(ClientId client) override;
+  Result<PageFetchReply> RecFetchPage(ClientId client, PageId pid) override;
+  Status RecComplete(ClientId client) override;
+  Result<PageFetchReply> RecOrderedFetch(ClientId client, PageId pid,
+                                         ClientId other, Psn psn) override;
+
+  Result<ClientRecoveryState> RecInstallLocks(
+      ClientId client, const std::vector<ObjectId>& objects,
+      const std::vector<PageId>& pages) override;
+  Result<std::vector<CallbackListEntry>> RecGetCallbackList(
+      ClientId client, PageId pid) override;
+
+  // ARIES/CSA-baseline synchronized checkpoint: contacts every live client.
+  Status TakeSynchronizedCheckpoint();
+
+  // Introspection (tests and benchmarks).
+  GlobalLockManager& glm() { return glm_; }
+  DirtyClientTable& dct() { return dct_; }
+  LogManager& log() { return *log_; }
+  BufferPool& pool() { return *pool_; }
+  SpaceMap& space_map() { return *space_map_; }
+  Metrics& metrics() { return *metrics_; }
+  uint64_t disk_reads() const { return disk_reads_; }
+  uint64_t disk_writes() const { return disk_writes_; }
+
+ private:
+  Server(const SystemConfig& config, Channel* channel, Metrics* metrics)
+      : config_(config), channel_(channel), metrics_(metrics) {}
+
+  // Returns the server's current copy of `pid`, reading it from disk into
+  // the pool if needed. Fails with NotFound if the page was never written
+  // and is not in the pool.
+  Result<BufferPool::Frame*> GetPage(PageId pid);
+
+  // Returns the pool's eviction handler (writes dirty victims to disk with
+  // a preceding replacement log record).
+  BufferPool::EvictHandler EvictHandler();
+
+  // Forces one page to disk: replacement log record, force, in-place write,
+  // flush notifications, DCT cleanup (Sections 3.2, 3.6).
+  Status WritePageToDisk(PageId pid, BufferPool::Frame& frame);
+
+  // Executes the callbacks the GLM requires before a grant. Returns
+  // kWouldBlock if any target denies or is crashed. Appends (responder,
+  // DCT PSN) pairs for exclusive-lock callbacks to `x_callbacks` so the
+  // requester can write callback log records (Section 3.1).
+  Status ExecuteCallbacks(const std::vector<CallbackAction>& actions,
+                          std::vector<XCallbackInfo>* x_callbacks);
+
+  // Merges a shipped page into the server copy and updates the DCT.
+  // `update_dct_psn` is false for restart cache pulls: they overlay only the
+  // sender's currently-held authority, so the sender's cached PSN must not
+  // become its Property-1 baseline (its log replay still has work to do).
+  Status ApplyShippedPage(ClientId client, const ShippedPage& page,
+                          bool update_dct_psn = true);
+
+  // True if a crashed, not-yet-recovered client may hold locks on `pid`
+  // (conservative guard used while its GLM entries are unavailable).
+  bool BlockedByCrashedClient(PageId pid, ClientId requester) const;
+
+  // Recovery helpers (Section 3.4), defined in server_recovery.cc.
+  Status RebuildGlmAndCollectState(
+      std::map<ClientId, ClientRecoveryState>* states);
+  Status ReconstructDct(const std::map<ClientId, ClientRecoveryState>& states,
+                        std::map<PageId, std::set<ClientId>>* to_recover);
+  Status CoordinatePageRecovery(PageId pid, ClientId client);
+  Result<std::vector<CallbackListEntry>> CollectCallbackList(PageId pid,
+                                                             ClientId client);
+
+  SystemConfig config_;
+  Channel* channel_;
+  Metrics* metrics_;
+
+  std::unique_ptr<DiskManager> disk_;
+  std::unique_ptr<SpaceMap> space_map_;
+  std::unique_ptr<LogManager> log_;
+  std::unique_ptr<BufferPool> pool_;
+  GlobalLockManager glm_;
+  DirtyClientTable dct_;
+
+  std::map<ClientId, ClientEndpoint*> clients_;
+  std::set<ClientId> crashed_clients_;
+  bool crashed_ = false;
+  // False from a server crash until every client has completed restart: the
+  // reconstructed DCT may be missing entries for crashed clients.
+  bool dct_authoritative_ = true;
+
+  // Update-token baseline state (volatile).
+  std::map<PageId, ClientId> token_holder_;
+
+  // Page recoveries deferred because they depend on a crashed client
+  // (Section 3.5); retried when that client completes restart.
+  std::vector<std::pair<ClientId, PageId>> deferred_recoveries_;
+
+  uint64_t disk_reads_ = 0;
+  uint64_t disk_writes_ = 0;
+};
+
+}  // namespace finelog
+
+#endif  // FINELOG_SERVER_SERVER_H_

@@ -1,0 +1,343 @@
+// Server restart recovery, Sections 3.4 and 3.5.
+//
+// After a server crash the buffer pool, GLM and DCT are gone; the database
+// disk, the space map, and the (always forced) server log survive. Restart:
+//
+//  1. Rebuild the GLM and collect each operational client's DPT, cached page
+//     list and LLM snapshot.
+//  2. Determine the pages requiring recovery: in some client's DPT but not
+//     in that client's cache. For a complex crash, add DCT placeholders for
+//     crashed clients found in the checkpoint DCT and replacement records.
+//  3. Reconstruct the DCT: read candidate pages from disk, remember their
+//     PSNs, and scan the server log from the checkpoint's minimum RedoLSN;
+//     a replacement record whose PSN equals the on-disk PSN of the page
+//     fixes the per-client PSNs (Property 2).
+//  4. Pull dirty cached pages from operational clients and merge them.
+//  5. Coordinate per-(page, client) recovery: collect CallBack_P lists from
+//     the other clients, send the base copy with the DCT PSN, and let the
+//     client replay its private log. Recoveries that depend on a crashed
+//     client are deferred until that client completes restart (Section 3.5).
+
+#include "server/server.h"
+
+#include <algorithm>
+
+#include "server/page_merge.h"
+
+namespace finelog {
+
+namespace {
+constexpr size_t kSmallMsg = 32;
+}  // namespace
+
+Status Server::Restart() {
+  crashed_ = false;
+  metrics_->Add("server.restarts");
+
+  std::map<ClientId, ClientRecoveryState> states;
+  FINELOG_RETURN_IF_ERROR(RebuildGlmAndCollectState(&states));
+
+  std::map<PageId, std::set<ClientId>> to_recover;
+  FINELOG_RETURN_IF_ERROR(ReconstructDct(states, &to_recover));
+
+  // Step 4: merge dirty pages still cached at operational clients.
+  for (const auto& [cid, state] : states) {
+    std::set<PageId> cached(state.cached_pages.begin(),
+                            state.cached_pages.end());
+    for (const DptEntry& d : state.dpt) {
+      if (cached.count(d.page) == 0) continue;
+      auto suppress = CollectCallbackList(d.page, cid);
+      if (!suppress.ok()) return suppress.status();
+      channel_->Count(MessageType::kRecFetchCachedPage, kSmallMsg);
+      auto shipped =
+          clients_.at(cid)->HandleRecFetchCachedPage(d.page, suppress.value());
+      if (!shipped.ok()) {
+        if (shipped.status().IsNotFound()) continue;
+        return shipped.status();
+      }
+      channel_->Count(MessageType::kRecCachedPageReply,
+                      shipped.value().wire_size());
+      FINELOG_RETURN_IF_ERROR(
+          ApplyShippedPage(cid, shipped.value(), /*update_dct_psn=*/false));
+    }
+  }
+
+  // Step 5: coordinate recovery of every (page, client) pair.
+  for (const auto& [pid, involved] : to_recover) {
+    for (ClientId cid : involved) {
+      Status st = CoordinatePageRecovery(pid, cid);
+      if (st.IsCrashed() || st.IsWouldBlock()) {
+        deferred_recoveries_.emplace_back(cid, pid);
+      } else if (!st.ok()) {
+        return st;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status Server::RebuildGlmAndCollectState(
+    std::map<ClientId, ClientRecoveryState>* states) {
+  for (const auto& [cid, ep] : clients_) {
+    if (crashed_clients_.count(cid) > 0) continue;
+    channel_->Count(MessageType::kRecGetDpt, kSmallMsg);
+    auto state = ep->HandleRecGetState();
+    if (!state.ok()) return state.status();
+    channel_->Count(
+        MessageType::kRecDptReply,
+        state.value().dpt.size() * 12 + state.value().cached_pages.size() * 4 +
+            state.value().object_locks.size() * 8 + kSmallMsg);
+    for (const auto& [oid, mode] : state.value().object_locks) {
+      glm_.GrantObject(cid, oid, mode);
+    }
+    for (const auto& [pid, mode] : state.value().page_locks) {
+      glm_.GrantPage(cid, pid, mode);
+    }
+    (*states)[cid] = std::move(state).value();
+  }
+  return Status::OK();
+}
+
+Status Server::ReconstructDct(
+    const std::map<ClientId, ClientRecoveryState>& states,
+    std::map<PageId, std::set<ClientId>>* to_recover) {
+  // Step 1: placeholder entries for every page in an operational DPT. Every
+  // (page, client) pair gets a coordinated log replay -- a cached copy
+  // merged in step 4 covers the client's *current* authority, but only the
+  // log (with CallBack_P ordering) restores values whose exclusive lock
+  // moved on before the crash.
+  for (const auto& [cid, state] : states) {
+    for (const DptEntry& d : state.dpt) {
+      dct_.Set(d.page, cid, kNullPsn, kNullLsn);
+      (*to_recover)[d.page].insert(cid);
+    }
+  }
+
+  // Determine the scan start: the minimum RedoLSN in the checkpoint DCT.
+  Lsn ckpt_lsn = log_->checkpoint_lsn();
+  Lsn scan_start = log_->begin_lsn();
+  if (ckpt_lsn != kNullLsn) {
+    auto ckpt = log_->Read(ckpt_lsn);
+    if (!ckpt.ok()) return ckpt.status();
+    scan_start = ckpt_lsn;
+    for (const DctEntry& e : ckpt.value().dct) {
+      if (e.redo_lsn != kNullLsn) scan_start = std::min(scan_start, e.redo_lsn);
+      // Complex crash: checkpoint entries of crashed clients seed
+      // placeholders (their DPTs are unavailable until they restart).
+      if (crashed_clients_.count(e.client) > 0 && !dct_.Get(e.page, e.client)) {
+        dct_.Set(e.page, e.client, kNullPsn, kNullLsn);
+      }
+    }
+  }
+
+  // First pass: placeholders for crashed clients named in replacement
+  // records (Section 3.5).
+  if (!crashed_clients_.empty()) {
+    FINELOG_RETURN_IF_ERROR(
+        log_->Scan(scan_start, [&](const LogRecord& rec) -> Status {
+          if (rec.type != LogRecordType::kReplacement) return Status::OK();
+          for (const DctEntry& e : rec.dct) {
+            if (crashed_clients_.count(e.client) > 0 &&
+                !dct_.Get(e.page, e.client)) {
+              dct_.Set(e.page, e.client, kNullPsn, kNullLsn);
+            }
+          }
+          return Status::OK();
+        }));
+  }
+
+  // Step 2: read every page with a DCT entry from disk and remember its PSN.
+  std::map<PageId, Psn> disk_psn;
+  for (const DctEntry& e : dct_.All()) {
+    if (disk_psn.count(e.page) > 0) continue;
+    Page page(config_.page_size);
+    Status st = disk_->ReadPage(e.page, &page);
+    if (st.ok()) {
+      channel_->clock()->Advance(channel_->costs().disk_read_us);
+      ++disk_reads_;
+      disk_psn[e.page] = page.psn();
+    } else if (!st.IsNotFound()) {
+      return st;
+    }
+  }
+
+  // Step 3: forward scan; Property 2 fixes per-client PSNs when a
+  // replacement record's PSN equals the on-disk PSN.
+  FINELOG_RETURN_IF_ERROR(
+      log_->Scan(scan_start, [&](const LogRecord& rec) -> Status {
+        if (rec.type != LogRecordType::kReplacement) return Status::OK();
+        if (!dct_.HasPage(rec.page)) return Status::OK();
+        dct_.SetRedoLsnIfNull(rec.page, rec.lsn);
+        auto it = disk_psn.find(rec.page);
+        if (it == disk_psn.end() || rec.page_psn != it->second) {
+          return Status::OK();
+        }
+        for (const DctEntry& e : rec.dct) {
+          if (dct_.Get(rec.page, e.client)) {
+            dct_.SetPsn(rec.page, e.client, e.psn);
+          }
+        }
+        return Status::OK();
+      }));
+
+  // Entries whose PSN is still unknown get the on-disk page PSN as their
+  // baseline: no replacement record vouches for any of that client's updates
+  // being on disk, so "everything at or past the disk PSN" must be redone.
+  // Captured here (before any re-merging into the pool) so later merges
+  // cannot inflate another client's redo baseline.
+  for (const DctEntry& e : dct_.All()) {
+    if (e.psn != kNullPsn) continue;
+    auto it = disk_psn.find(e.page);
+    if (it != disk_psn.end()) {
+      dct_.SetPsn(e.page, e.client, it->second);
+    } else {
+      auto base = space_map_->BasePsn(e.page);
+      if (base.ok()) dct_.SetPsn(e.page, e.client, base.value());
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::vector<CallbackListEntry>> Server::CollectCallbackList(
+    PageId pid, ClientId client) {
+  std::map<ObjectId, Psn> merged;
+  for (const auto& [cid, ep] : clients_) {
+    if (cid == client) continue;
+    // Crashed clients are scanned too: callback records live in the durable
+    // private log, which is readable without the client's volatile state
+    // (Section 2 allows any node with access to a log to process it).
+    channel_->Count(MessageType::kRecScanCallbacks, kSmallMsg);
+    auto entries = ep->HandleRecScanCallbacks(pid, client);
+    if (!entries.ok()) return entries.status();
+    channel_->Count(MessageType::kRecCallbacksReply,
+                    entries.value().size() * 16 + kSmallMsg);
+    for (const CallbackListEntry& e : entries.value()) {
+      auto [it, inserted] = merged.try_emplace(e.object, e.psn);
+      if (!inserted) it->second = std::max(it->second, e.psn);
+    }
+  }
+  std::vector<CallbackListEntry> out;
+  out.reserve(merged.size());
+  for (const auto& [oid, psn] : merged) {
+    out.push_back(CallbackListEntry{oid, psn});
+  }
+  return out;
+}
+
+Status Server::CoordinatePageRecovery(PageId pid, ClientId client) {
+  if (crashed_clients_.count(client) > 0) {
+    return Status::Crashed("client still down");
+  }
+  auto list = CollectCallbackList(pid, client);
+  if (!list.ok()) return list.status();
+
+  std::string base_image;
+  auto frame = GetPage(pid);
+  if (frame.ok()) {
+    base_image = frame.value()->page.raw();
+  } else if (frame.status().IsNotFound()) {
+    auto base = space_map_->BasePsn(pid);
+    if (!base.ok()) return base.status();
+    Page page(config_.page_size);
+    page.Format(pid, base.value());
+    base_image = page.raw();
+  } else {
+    return frame.status();
+  }
+  auto entry = dct_.Get(pid, client);
+  Psn base_psn = (entry && entry->psn != kNullPsn) ? entry->psn : kNullPsn;
+
+  channel_->Count(MessageType::kRecRecoverPage, base_image.size() + kSmallMsg);
+  Status st = clients_.at(client)->HandleRecRecoverPage(
+      pid, list.value(), base_image, base_psn, kNullPsn);
+  channel_->Count(MessageType::kRecRecoverPageReply, kSmallMsg);
+  metrics_->Add("server.coordinated_page_recoveries");
+  return st;
+}
+
+Result<std::vector<CallbackListEntry>> Server::RecGetCallbackList(
+    ClientId client, PageId pid) {
+  if (crashed_) return Status::Crashed("server down");
+  channel_->Count(MessageType::kRecScanCallbacks, kSmallMsg);
+  auto list = CollectCallbackList(pid, client);
+  if (list.ok()) {
+    channel_->Count(MessageType::kRecCallbacksReply,
+                    list.value().size() * 16 + kSmallMsg);
+  }
+  return list;
+}
+
+Result<PageFetchReply> Server::RecOrderedFetch(ClientId client, PageId pid,
+                                               ClientId other, Psn psn) {
+  channel_->Count(MessageType::kRecOrderedFetch, kSmallMsg);
+  metrics_->Add("server.ordered_fetches");
+
+  auto entry = dct_.Get(pid, other);
+  bool satisfied = entry && entry->psn != kNullPsn && entry->psn >= psn;
+  if (!satisfied) {
+    if (crashed_clients_.count(other) > 0 &&
+        config_.lock_granularity != LockGranularity::kPage) {
+      // Object granularity: the caller's machinery (deferred coordinated
+      // recoveries, CallBack_P suppression) handles the dependency once the
+      // client restarts. Page granularity instead runs the responder's
+      // replay below even while it is down -- its session reads only the
+      // durable log (Section 3.4 partial recovery).
+      channel_->Count(MessageType::kRecOrderedFetchReply, kSmallMsg);
+      return Status::Crashed("ordering dependency on crashed client");
+    }
+    auto oit = clients_.find(other);
+    if (oit == clients_.end()) {
+      return Status::Internal("unknown client in ordered fetch");
+    }
+    // If `other` still has the page cached, its copy is complete: pull it.
+    auto suppress = CollectCallbackList(pid, other);
+    if (!suppress.ok()) return suppress.status();
+    channel_->Count(MessageType::kRecFetchCachedPage, kSmallMsg);
+    auto shipped =
+        oit->second->HandleRecFetchCachedPage(pid, suppress.value());
+    if (shipped.ok()) {
+      channel_->Count(MessageType::kRecCachedPageReply,
+                      shipped.value().wire_size());
+      FINELOG_RETURN_IF_ERROR(
+          ApplyShippedPage(other, shipped.value(), /*update_dct_psn=*/false));
+    } else if (shipped.status().IsNotFound()) {
+      // `other` is recovering the page in parallel: ask it to process all
+      // records with PSN < `psn` first (Section 3.4, last paragraph).
+      auto list = CollectCallbackList(pid, other);
+      if (!list.ok()) return list.status();
+      std::string base_image;
+      auto frame = GetPage(pid);
+      if (frame.ok()) {
+        base_image = frame.value()->page.raw();
+      } else {
+        auto base = space_map_->BasePsn(pid);
+        if (!base.ok()) return base.status();
+        Page page(config_.page_size);
+        page.Format(pid, base.value());
+        base_image = page.raw();
+      }
+      auto oentry = dct_.Get(pid, other);
+      Psn base_psn = (oentry && oentry->psn != kNullPsn) ? oentry->psn : kNullPsn;
+      channel_->Count(MessageType::kRecRecoverPage,
+                      base_image.size() + kSmallMsg);
+      Status st = oit->second->HandleRecRecoverPage(pid, list.value(),
+                                                    base_image, base_psn, psn);
+      channel_->Count(MessageType::kRecRecoverPageReply, kSmallMsg);
+      if (!st.ok()) return st;
+    } else {
+      return shipped.status();
+    }
+  }
+
+  PageFetchReply reply;
+  auto frame = GetPage(pid);
+  if (!frame.ok()) return frame.status();
+  reply.page_image = frame.value()->page.raw();
+  auto my_entry = dct_.Get(pid, client);
+  reply.dct_psn = my_entry ? my_entry->psn : kNullPsn;
+  channel_->Count(MessageType::kRecOrderedFetchReply,
+                  reply.page_image.size() + kSmallMsg);
+  return reply;
+}
+
+}  // namespace finelog

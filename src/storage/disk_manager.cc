@@ -1,0 +1,64 @@
+#include "storage/disk_manager.h"
+
+#include <sys/stat.h>
+
+#include <cerrno>
+#include <cstring>
+#include <memory>
+
+namespace finelog {
+
+DiskManager::~DiskManager() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Result<std::unique_ptr<DiskManager>> DiskManager::Open(const std::string& path,
+                                                       uint32_t page_size) {
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  if (f == nullptr) {
+    f = std::fopen(path.c_str(), "w+b");
+  }
+  if (f == nullptr) {
+    return Status::IoError("open " + path + ": " + std::strerror(errno));
+  }
+  auto dm = std::unique_ptr<DiskManager>(new DiskManager(f, page_size));
+  struct stat st;
+  if (fstat(fileno(f), &st) == 0) {
+    dm->file_pages_ = static_cast<uint64_t>(st.st_size) / page_size;
+  }
+  return dm;
+}
+
+bool DiskManager::PageOnDisk(PageId pid) const { return pid < file_pages_; }
+
+Status DiskManager::ReadPage(PageId pid, Page* out) {
+  if (!PageOnDisk(pid)) {
+    return Status::NotFound("page " + std::to_string(pid) + " not on disk");
+  }
+  if (std::fseek(file_, static_cast<long>(pid) * page_size_, SEEK_SET) != 0) {
+    return Status::IoError("seek failed");
+  }
+  out->raw().resize(page_size_);
+  if (std::fread(out->raw().data(), 1, page_size_, file_) != page_size_) {
+    return Status::IoError("short read for page " + std::to_string(pid));
+  }
+  if (!out->VerifyChecksum()) {
+    return Status::Corruption("checksum mismatch on page " + std::to_string(pid));
+  }
+  return Status::OK();
+}
+
+Status DiskManager::WritePage(PageId pid, Page* page) {
+  page->UpdateChecksum();
+  if (std::fseek(file_, static_cast<long>(pid) * page_size_, SEEK_SET) != 0) {
+    return Status::IoError("seek failed");
+  }
+  if (std::fwrite(page->raw().data(), 1, page_size_, file_) != page_size_) {
+    return Status::IoError("short write for page " + std::to_string(pid));
+  }
+  std::fflush(file_);
+  if (pid >= file_pages_) file_pages_ = pid + 1;
+  return Status::OK();
+}
+
+}  // namespace finelog

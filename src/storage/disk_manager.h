@@ -1,0 +1,53 @@
+// DiskManager: the server's database disk. Pages are written in place
+// (Section 2: "modified pages that are replaced from the server cache are
+// written in-place to disk").
+
+#ifndef FINELOG_STORAGE_DISK_MANAGER_H_
+#define FINELOG_STORAGE_DISK_MANAGER_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "storage/page.h"
+
+namespace finelog {
+
+class DiskManager {
+ public:
+  DiskManager(const DiskManager&) = delete;
+  DiskManager& operator=(const DiskManager&) = delete;
+  ~DiskManager();
+
+  // Opens (or creates) the database file at `path`.
+  static Result<std::unique_ptr<DiskManager>> Open(const std::string& path,
+                                                   uint32_t page_size);
+
+  // Reads page `pid` into `out`. Verifies the checksum; a never-written page
+  // region reads back as zeroes and fails verification, which callers treat
+  // as "page not yet on disk".
+  Status ReadPage(PageId pid, Page* out);
+
+  // Writes `page` in place. Computes the checksum before writing and flushes
+  // to the file so the bytes survive a simulated server crash.
+  Status WritePage(PageId pid, Page* page);
+
+  // True if `pid` has ever been written.
+  bool PageOnDisk(PageId pid) const;
+
+  uint32_t page_size() const { return page_size_; }
+
+ private:
+  DiskManager(std::FILE* f, uint32_t page_size) : file_(f), page_size_(page_size) {}
+
+  std::FILE* file_;
+  uint32_t page_size_;
+  uint64_t file_pages_ = 0;  // Number of page-sized extents in the file.
+};
+
+}  // namespace finelog
+
+#endif  // FINELOG_STORAGE_DISK_MANAGER_H_

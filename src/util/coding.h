@@ -1,0 +1,111 @@
+// Little-endian binary encoding helpers used by the page layout, the log
+// record formats and the message payload accounting.
+
+#ifndef FINELOG_UTIL_CODING_H_
+#define FINELOG_UTIL_CODING_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace finelog {
+
+// Appends fixed-width little-endian values to a growing buffer.
+class Encoder {
+ public:
+  Encoder() = default;
+  explicit Encoder(std::string* out) : external_(out) {}
+
+  void PutU8(uint8_t v) { Append(&v, 1); }
+  void PutU16(uint16_t v) { PutFixed(v); }
+  void PutU32(uint32_t v) { PutFixed(v); }
+  void PutU64(uint64_t v) { PutFixed(v); }
+
+  // Length-prefixed byte string (u32 length).
+  void PutBytes(Slice data) {
+    PutU32(static_cast<uint32_t>(data.size()));
+    Append(data.data(), data.size());
+  }
+
+  // Raw bytes without a length prefix.
+  void PutRaw(Slice data) { Append(data.data(), data.size()); }
+
+  const std::string& buffer() const { return external_ ? *external_ : owned_; }
+  std::string Take() { return external_ ? std::move(*external_) : std::move(owned_); }
+  size_t size() const { return buffer().size(); }
+
+ private:
+  template <typename T>
+  void PutFixed(T v) {
+    char buf[sizeof(T)];
+    for (size_t i = 0; i < sizeof(T); ++i) {
+      buf[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+    }
+    Append(buf, sizeof(T));
+  }
+
+  void Append(const void* p, size_t n) {
+    std::string& b = external_ ? *external_ : owned_;
+    b.append(static_cast<const char*>(p), n);
+  }
+
+  std::string owned_;
+  std::string* external_ = nullptr;
+};
+
+// Reads fixed-width little-endian values from a buffer. All getters return
+// false (and leave the output untouched) on underflow, so corrupt log tails
+// are detected rather than crashed on.
+class Decoder {
+ public:
+  explicit Decoder(Slice data) : data_(data.data()), size_(data.size()) {}
+
+  bool GetU8(uint8_t* v) { return GetFixed(v); }
+  bool GetU16(uint16_t* v) { return GetFixed(v); }
+  bool GetU32(uint32_t* v) { return GetFixed(v); }
+  bool GetU64(uint64_t* v) { return GetFixed(v); }
+
+  bool GetBytes(std::string* out) {
+    uint32_t len;
+    if (!GetU32(&len)) return false;
+    if (remaining() < len) return false;
+    out->assign(data_ + pos_, len);
+    pos_ += len;
+    return true;
+  }
+
+  bool GetRaw(size_t n, std::string* out) {
+    if (remaining() < n) return false;
+    out->assign(data_ + pos_, n);
+    pos_ += n;
+    return true;
+  }
+
+  size_t remaining() const { return size_ - pos_; }
+  size_t position() const { return pos_; }
+  bool empty() const { return pos_ == size_; }
+
+ private:
+  template <typename T>
+  bool GetFixed(T* v) {
+    if (remaining() < sizeof(T)) return false;
+    T out = 0;
+    for (size_t i = 0; i < sizeof(T); ++i) {
+      out |= static_cast<T>(static_cast<unsigned char>(data_[pos_ + i])) << (8 * i);
+    }
+    pos_ += sizeof(T);
+    *v = out;
+    return true;
+  }
+
+  const char* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace finelog
+
+#endif  // FINELOG_UTIL_CODING_H_

@@ -1,0 +1,18 @@
+// CRC32 (Castagnoli polynomial, software implementation) used to checksum
+// pages on disk and log records in the private and server logs.
+
+#ifndef FINELOG_UTIL_CRC32_H_
+#define FINELOG_UTIL_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace finelog {
+
+// Computes the CRC32C of `data[0, n)`, seeded with `init` (pass 0 for a
+// fresh checksum; pass a previous result to extend it).
+uint32_t Crc32c(const void* data, size_t n, uint32_t init = 0);
+
+}  // namespace finelog
+
+#endif  // FINELOG_UTIL_CRC32_H_

@@ -1,0 +1,43 @@
+// Metrics: a small named-counter registry. Every module increments counters
+// here; the benchmark harness snapshots and diffs them to produce the
+// experiment tables.
+
+#ifndef FINELOG_UTIL_METRICS_H_
+#define FINELOG_UTIL_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace finelog {
+
+class Metrics {
+ public:
+  Metrics() = default;
+
+  Metrics(const Metrics&) = delete;
+  Metrics& operator=(const Metrics&) = delete;
+
+  void Add(const std::string& name, uint64_t delta = 1) {
+    counters_[name] += delta;
+  }
+
+  uint64_t Get(const std::string& name) const {
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+  }
+
+  const std::map<std::string, uint64_t>& counters() const { return counters_; }
+
+  void Reset() { counters_.clear(); }
+
+  // Snapshot for before/after diffing in benchmarks.
+  std::map<std::string, uint64_t> Snapshot() const { return counters_; }
+
+ private:
+  std::map<std::string, uint64_t> counters_;
+};
+
+}  // namespace finelog
+
+#endif  // FINELOG_UTIL_METRICS_H_

@@ -1,0 +1,184 @@
+// Property-based durability tests: randomized multi-client workloads with
+// crashes injected at randomized interleaving points. The invariant, checked
+// by the oracle after recovery, is the paper's correctness claim (Section 1):
+// every committed update survives and no uncommitted update does -- for
+// client crashes, server crashes, and complex crashes, under every policy
+// combination.
+
+#include <gtest/gtest.h>
+
+#include "core/oracle.h"
+#include "core/system.h"
+#include "core/workload.h"
+#include "tests/test_util.h"
+
+namespace finelog {
+namespace {
+
+struct PropertyCase {
+  const char* name;
+  uint64_t seed;
+  AccessPattern pattern;
+  LockGranularity granularity;
+  SamePageUpdatePolicy same_page;
+  enum class CrashKind { kClient, kServer, kComplex, kAll } crash;
+};
+
+std::string CaseName(const ::testing::TestParamInfo<PropertyCase>& info) {
+  return info.param.name + std::to_string(info.param.seed);
+}
+
+class DurabilityPropertyTest : public ::testing::TestWithParam<PropertyCase> {};
+
+TEST_P(DurabilityPropertyTest, CommittedStateSurvivesCrashes) {
+  const PropertyCase& pc = GetParam();
+
+  SystemConfig config = SmallConfig(std::string("prop_") + pc.name +
+                                    std::to_string(pc.seed));
+  config.num_clients = 4;
+  config.client_cache_pages = 6;  // Small cache: plenty of replacements.
+  config.lock_granularity = pc.granularity;
+  config.same_page_policy = pc.same_page;
+  auto sys_or = System::Create(config);
+  ASSERT_TRUE(sys_or.ok()) << sys_or.status().ToString();
+  std::unique_ptr<System> system = std::move(sys_or).value();
+
+  Oracle oracle;
+  WorkloadOptions options;
+  options.txns_per_client = 12;
+  options.ops_per_txn = 5;
+  options.write_fraction = 0.6;
+  options.pattern = pc.pattern;
+  options.seed = pc.seed;
+  Workload workload(system.get(), &oracle, options);
+
+  Rng rng(pc.seed * 7919 + 13);
+  // Run in bursts; crash between bursts; recover; continue.
+  for (int burst = 0; burst < 6; ++burst) {
+    auto done = workload.RunSteps(20 + rng.Uniform(40));
+    ASSERT_TRUE(done.ok()) << done.status().ToString();
+    if (done.value()) break;
+
+    bool crash_client = pc.crash == PropertyCase::CrashKind::kClient ||
+                        pc.crash == PropertyCase::CrashKind::kComplex ||
+                        pc.crash == PropertyCase::CrashKind::kAll;
+    bool crash_server = pc.crash == PropertyCase::CrashKind::kServer ||
+                        pc.crash == PropertyCase::CrashKind::kComplex ||
+                        pc.crash == PropertyCase::CrashKind::kAll;
+    if (burst % 2 == 1) continue;  // Crash on every other burst.
+
+    if (crash_client) {
+      size_t victims = pc.crash == PropertyCase::CrashKind::kAll
+                           ? system->num_clients()
+                           : 1 + rng.Uniform(2);
+      for (size_t v = 0; v < victims; ++v) {
+        size_t i = pc.crash == PropertyCase::CrashKind::kAll
+                       ? v
+                       : rng.Uniform(system->num_clients());
+        if (system->client(i).crashed()) continue;
+        ASSERT_TRUE(system->CrashClient(i).ok());
+        oracle.CrashClient(static_cast<ClientId>(i));
+        workload.OnClientCrashed(i);
+      }
+    }
+    if (crash_server) {
+      ASSERT_TRUE(system->CrashServer().ok());
+    }
+    Status rec = system->RecoverAll();
+    ASSERT_TRUE(rec.ok()) << rec.ToString();
+    for (size_t i = 0; i < system->num_clients(); ++i) {
+      if (!system->client(i).crashed()) workload.OnClientRecovered(i);
+    }
+  }
+  // Finish the workload without further crashes.
+  ASSERT_TRUE(workload.Run().ok());
+  EXPECT_EQ(workload.stats().read_mismatches, 0u);
+  EXPECT_GT(workload.stats().commits, 0u);
+
+  // Quiesce and verify the full committed state.
+  ASSERT_TRUE(system->FlushEverything().ok());
+  auto mismatches = oracle.Verify(system.get(), 0);
+  ASSERT_TRUE(mismatches.ok()) << mismatches.status().ToString();
+  EXPECT_EQ(mismatches.value(), 0u) << "committed state diverged";
+}
+
+constexpr PropertyCase kCases[] = {
+    // Client crashes across patterns and seeds.
+    {"client_uniform_", 1, AccessPattern::kUniform, LockGranularity::kObject,
+     SamePageUpdatePolicy::kMergeCopies, PropertyCase::CrashKind::kClient},
+    {"client_uniform_", 2, AccessPattern::kUniform, LockGranularity::kObject,
+     SamePageUpdatePolicy::kMergeCopies, PropertyCase::CrashKind::kClient},
+    {"client_hotcold_", 3, AccessPattern::kHotCold, LockGranularity::kObject,
+     SamePageUpdatePolicy::kMergeCopies, PropertyCase::CrashKind::kClient},
+    {"client_shared_", 4, AccessPattern::kSharedHot, LockGranularity::kObject,
+     SamePageUpdatePolicy::kMergeCopies, PropertyCase::CrashKind::kClient},
+    {"client_private_", 5, AccessPattern::kPrivate, LockGranularity::kObject,
+     SamePageUpdatePolicy::kMergeCopies, PropertyCase::CrashKind::kClient},
+    // Server crashes.
+    {"server_uniform_", 6, AccessPattern::kUniform, LockGranularity::kObject,
+     SamePageUpdatePolicy::kMergeCopies, PropertyCase::CrashKind::kServer},
+    {"server_shared_", 7, AccessPattern::kSharedHot, LockGranularity::kObject,
+     SamePageUpdatePolicy::kMergeCopies, PropertyCase::CrashKind::kServer},
+    {"server_hotcold_", 8, AccessPattern::kHotCold, LockGranularity::kObject,
+     SamePageUpdatePolicy::kMergeCopies, PropertyCase::CrashKind::kServer},
+    // Complex crashes (clients + server together).
+    {"complex_uniform_", 9, AccessPattern::kUniform, LockGranularity::kObject,
+     SamePageUpdatePolicy::kMergeCopies, PropertyCase::CrashKind::kComplex},
+    {"complex_shared_", 10, AccessPattern::kSharedHot, LockGranularity::kObject,
+     SamePageUpdatePolicy::kMergeCopies, PropertyCase::CrashKind::kComplex},
+    {"complex_shared_", 11, AccessPattern::kSharedHot, LockGranularity::kObject,
+     SamePageUpdatePolicy::kMergeCopies, PropertyCase::CrashKind::kComplex},
+    {"complex_hotcold_", 12, AccessPattern::kHotCold, LockGranularity::kObject,
+     SamePageUpdatePolicy::kMergeCopies, PropertyCase::CrashKind::kComplex},
+    // Everything crashes at once.
+    {"all_uniform_", 13, AccessPattern::kUniform, LockGranularity::kObject,
+     SamePageUpdatePolicy::kMergeCopies, PropertyCase::CrashKind::kAll},
+    {"all_shared_", 14, AccessPattern::kSharedHot, LockGranularity::kObject,
+     SamePageUpdatePolicy::kMergeCopies, PropertyCase::CrashKind::kAll},
+    // Baseline policies must be just as durable.
+    {"pagelock_client_", 15, AccessPattern::kUniform, LockGranularity::kPage,
+     SamePageUpdatePolicy::kMergeCopies, PropertyCase::CrashKind::kClient},
+    {"pagelock_server_", 16, AccessPattern::kUniform, LockGranularity::kPage,
+     SamePageUpdatePolicy::kMergeCopies, PropertyCase::CrashKind::kServer},
+    {"token_client_", 17, AccessPattern::kSharedHot, LockGranularity::kObject,
+     SamePageUpdatePolicy::kUpdateToken, PropertyCase::CrashKind::kClient},
+};
+
+INSTANTIATE_TEST_SUITE_P(Randomized, DurabilityPropertyTest,
+                         ::testing::ValuesIn(kCases), CaseName);
+
+// Crash-free sanity: the workload itself (all patterns) is consistent.
+class WorkloadSanityTest
+    : public ::testing::TestWithParam<std::tuple<AccessPattern, uint64_t>> {};
+
+TEST_P(WorkloadSanityTest, NoCrashConsistency) {
+  auto [pattern, seed] = GetParam();
+  SystemConfig config =
+      SmallConfig("wl_sanity_" + std::to_string(static_cast<int>(pattern)) +
+                  "_" + std::to_string(seed));
+  config.num_clients = 4;
+  auto system = System::Create(config).value();
+  Oracle oracle;
+  WorkloadOptions options;
+  options.txns_per_client = 20;
+  options.ops_per_txn = 6;
+  options.pattern = pattern;
+  options.seed = seed;
+  Workload workload(system.get(), &oracle, options);
+  ASSERT_TRUE(workload.Run().ok());
+  EXPECT_EQ(workload.stats().read_mismatches, 0u);
+  auto mismatches = oracle.Verify(system.get(), 1);
+  ASSERT_TRUE(mismatches.ok());
+  EXPECT_EQ(mismatches.value(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Patterns, WorkloadSanityTest,
+    ::testing::Combine(::testing::Values(AccessPattern::kUniform,
+                                         AccessPattern::kHotCold,
+                                         AccessPattern::kPrivate,
+                                         AccessPattern::kSharedHot),
+                       ::testing::Values(100, 200)));
+
+}  // namespace
+}  // namespace finelog

@@ -1,0 +1,206 @@
+#include "log/log_manager.h"
+
+#include <gtest/gtest.h>
+
+#include "log/log_record.h"
+#include "tests/test_util.h"
+
+namespace finelog {
+namespace {
+
+class LogTest : public ::testing::Test {
+ protected:
+  LogTest() : dir_(MakeTempDir("log")) {}
+
+  std::unique_ptr<LogManager> OpenLog(uint64_t capacity = 0) {
+    auto lm = LogManager::Open(dir_ + "/test.log", capacity);
+    EXPECT_TRUE(lm.ok());
+    return std::move(lm).value();
+  }
+
+  std::string dir_;
+};
+
+LogRecord SampleUpdate(TxnId txn, Lsn prev, PageId page, Psn psn) {
+  return LogRecord::Update(txn, prev, page, 3, UpdateOp::kOverwrite, psn,
+                           "redo-payload", "undo-payload");
+}
+
+TEST_F(LogTest, AppendAssignsIncreasingLsns) {
+  auto log = OpenLog();
+  auto l1 = log->Append(SampleUpdate(1, kNullLsn, 0, 10));
+  auto l2 = log->Append(SampleUpdate(1, l1.value(), 0, 11));
+  ASSERT_TRUE(l1.ok());
+  ASSERT_TRUE(l2.ok());
+  EXPECT_GT(l2.value(), l1.value());
+  EXPECT_EQ(l1.value(), log->begin_lsn());
+}
+
+TEST_F(LogTest, ReadBackBufferedRecord) {
+  auto log = OpenLog();
+  auto lsn = log->Append(SampleUpdate(7, kNullLsn, 42, 99));
+  ASSERT_TRUE(lsn.ok());
+  auto rec = log->Read(lsn.value());
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(rec.value().txn, 7u);
+  EXPECT_EQ(rec.value().page, 42u);
+  EXPECT_EQ(rec.value().psn, 99u);
+  EXPECT_EQ(rec.value().redo, "redo-payload");
+  EXPECT_EQ(rec.value().undo, "undo-payload");
+  EXPECT_EQ(rec.value().lsn, lsn.value());
+}
+
+TEST_F(LogTest, UnforcedTailLostOnReopen) {
+  Lsn forced_lsn, lost_lsn;
+  {
+    auto log = OpenLog();
+    forced_lsn = log->Append(SampleUpdate(1, kNullLsn, 0, 1)).value();
+    ASSERT_TRUE(log->Force().ok());
+    lost_lsn = log->Append(SampleUpdate(1, forced_lsn, 0, 2)).value();
+    // No force: this record must vanish at reopen.
+  }
+  auto log = OpenLog();
+  EXPECT_TRUE(log->Read(forced_lsn).ok());
+  EXPECT_FALSE(log->Read(lost_lsn).ok());
+  EXPECT_EQ(log->end_lsn(), log->durable_lsn());
+}
+
+TEST_F(LogTest, ScanVisitsRecordsInOrder) {
+  auto log = OpenLog();
+  std::vector<Lsn> lsns;
+  for (int i = 0; i < 5; ++i) {
+    lsns.push_back(log->Append(SampleUpdate(1, kNullLsn, i, i)).value());
+  }
+  ASSERT_TRUE(log->Force().ok());
+  std::vector<PageId> pages;
+  ASSERT_TRUE(log->Scan(log->begin_lsn(), [&](const LogRecord& rec) {
+                   pages.push_back(rec.page);
+                   return Status::OK();
+                 }).ok());
+  EXPECT_EQ(pages, (std::vector<PageId>{0, 1, 2, 3, 4}));
+}
+
+TEST_F(LogTest, ScanFromMiddle) {
+  auto log = OpenLog();
+  log->Append(SampleUpdate(1, kNullLsn, 0, 0)).value();
+  Lsn mid = log->Append(SampleUpdate(1, kNullLsn, 1, 1)).value();
+  log->Append(SampleUpdate(1, kNullLsn, 2, 2)).value();
+  int count = 0;
+  ASSERT_TRUE(log->Scan(mid, [&](const LogRecord&) {
+                   ++count;
+                   return Status::OK();
+                 }).ok());
+  EXPECT_EQ(count, 2);
+}
+
+TEST_F(LogTest, CheckpointLsnSurvivesReopen) {
+  {
+    auto log = OpenLog();
+    Lsn lsn = log->Append(LogRecord::ClientCheckpoint({}, {})).value();
+    ASSERT_TRUE(log->Force().ok());
+    ASSERT_TRUE(log->SetCheckpointLsn(lsn).ok());
+  }
+  auto log = OpenLog();
+  EXPECT_NE(log->checkpoint_lsn(), kNullLsn);
+  auto rec = log->Read(log->checkpoint_lsn());
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(rec.value().type, LogRecordType::kClientCheckpoint);
+}
+
+TEST_F(LogTest, BoundedLogReportsFull) {
+  auto log = OpenLog(512);
+  Status last = Status::OK();
+  for (int i = 0; i < 100; ++i) {
+    auto lsn = log->Append(SampleUpdate(1, kNullLsn, 0, i));
+    if (!lsn.ok()) {
+      last = lsn.status();
+      break;
+    }
+  }
+  EXPECT_TRUE(last.IsLogFull());
+}
+
+TEST_F(LogTest, ReclaimAdvanceFreesSpace) {
+  auto log = OpenLog(512);
+  Lsn last = kNullLsn;
+  while (true) {
+    auto lsn = log->Append(SampleUpdate(1, kNullLsn, 0, 0));
+    if (!lsn.ok()) break;
+    last = lsn.value();
+  }
+  ASSERT_NE(last, kNullLsn);
+  log->SetReclaimLsn(last);
+  EXPECT_TRUE(log->Append(SampleUpdate(1, kNullLsn, 0, 0)).ok());
+}
+
+TEST_F(LogTest, PunchedReclaimSpaceFreesBlocksKeepsLsns) {
+  auto log = OpenLog();
+  std::vector<Lsn> lsns;
+  // ~40KB of records so whole filesystem blocks become reclaimable.
+  for (int i = 0; i < 200; ++i) {
+    lsns.push_back(log->Append(SampleUpdate(1, kNullLsn, i, i)).value());
+  }
+  ASSERT_TRUE(log->Force().ok());
+  Lsn tail = log->end_lsn();
+
+  log->SetReclaimLsn(lsns[150]);
+  auto punched = log->PunchReclaimedSpace();
+  ASSERT_TRUE(punched.ok());
+  if (punched.value() == 0) {
+    GTEST_SKIP() << "filesystem does not support hole punching";
+  }
+  EXPECT_GE(punched.value(), 4096u);
+
+  // Records at and past the reclaim point remain readable at their LSNs.
+  for (int i = 150; i < 200; ++i) {
+    auto rec = log->Read(lsns[i]);
+    ASSERT_TRUE(rec.ok()) << "lsn " << lsns[i];
+    EXPECT_EQ(rec.value().page, static_cast<PageId>(i));
+  }
+  // And appends continue exactly where they left off.
+  Lsn next = log->Append(SampleUpdate(2, kNullLsn, 999, 0)).value();
+  EXPECT_EQ(next, tail);
+}
+
+TEST_F(LogTest, AllRecordTypesRoundTrip) {
+  LogRecord cb = LogRecord::Callback(9, 100, ObjectId{4, 2}, 3, 77);
+  LogRecord clr = LogRecord::Clr(9, 100, 4, 2, UpdateOp::kCreate, 5, "img", 60);
+  LogRecord ckpt = LogRecord::ClientCheckpoint(
+      {TxnCheckpointInfo{1, 10, 20}}, {DptEntry{5, 30}});
+  LogRecord repl = LogRecord::Replacement(8, 123, {DctEntry{8, 2, 50, 40}});
+
+  auto cb2 = LogRecord::Decode(cb.Encode());
+  ASSERT_TRUE(cb2.ok());
+  EXPECT_EQ(cb2.value().cb_object, (ObjectId{4, 2}));
+  EXPECT_EQ(cb2.value().cb_responder, 3u);
+  EXPECT_EQ(cb2.value().cb_psn, 77u);
+
+  auto clr2 = LogRecord::Decode(clr.Encode());
+  ASSERT_TRUE(clr2.ok());
+  EXPECT_EQ(clr2.value().undo_next_lsn, 60u);
+  EXPECT_EQ(clr2.value().op, UpdateOp::kCreate);
+
+  auto ckpt2 = LogRecord::Decode(ckpt.Encode());
+  ASSERT_TRUE(ckpt2.ok());
+  ASSERT_EQ(ckpt2.value().active_txns.size(), 1u);
+  EXPECT_EQ(ckpt2.value().active_txns[0].txn, 1u);
+  ASSERT_EQ(ckpt2.value().dpt.size(), 1u);
+  EXPECT_EQ(ckpt2.value().dpt[0].page, 5u);
+
+  auto repl2 = LogRecord::Decode(repl.Encode());
+  ASSERT_TRUE(repl2.ok());
+  EXPECT_EQ(repl2.value().page, 8u);
+  EXPECT_EQ(repl2.value().page_psn, 123u);
+  ASSERT_EQ(repl2.value().dct.size(), 1u);
+  EXPECT_EQ(repl2.value().dct[0].psn, 50u);
+}
+
+TEST_F(LogTest, TruncatedRecordDetected) {
+  LogRecord rec = SampleUpdate(1, kNullLsn, 0, 0);
+  std::string bytes = rec.Encode();
+  bytes.resize(bytes.size() / 2);
+  EXPECT_FALSE(LogRecord::Decode(bytes).ok());
+}
+
+}  // namespace
+}  // namespace finelog

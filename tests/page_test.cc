@@ -1,0 +1,161 @@
+#include "storage/page.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace finelog {
+namespace {
+
+class PageTest : public ::testing::Test {
+ protected:
+  PageTest() : page_(1024) { page_.Format(7, 100); }
+  Page page_;
+};
+
+TEST_F(PageTest, FormatInitializesHeader) {
+  EXPECT_EQ(page_.id(), 7u);
+  EXPECT_EQ(page_.psn(), 100u);
+  EXPECT_EQ(page_.slot_count(), 0u);
+  EXPECT_TRUE(page_.LiveSlots().empty());
+}
+
+TEST_F(PageTest, CreateAndReadObject) {
+  auto slot = page_.CreateObject("hello world");
+  ASSERT_TRUE(slot.ok());
+  auto data = page_.ReadObject(slot.value());
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data.value(), "hello world");
+}
+
+TEST_F(PageTest, CreateManyObjectsDistinctSlots) {
+  std::vector<SlotId> slots;
+  for (int i = 0; i < 10; ++i) {
+    auto slot = page_.CreateObject("obj" + std::to_string(i));
+    ASSERT_TRUE(slot.ok());
+    slots.push_back(slot.value());
+  }
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(page_.ReadObject(slots[i]).value(), "obj" + std::to_string(i));
+  }
+  EXPECT_EQ(page_.LiveSlots().size(), 10u);
+}
+
+TEST_F(PageTest, WriteObjectSameSizeInPlace) {
+  auto slot = page_.CreateObject("aaaa");
+  ASSERT_TRUE(slot.ok());
+  ASSERT_TRUE(page_.WriteObject(slot.value(), "bbbb").ok());
+  EXPECT_EQ(page_.ReadObject(slot.value()).value(), "bbbb");
+}
+
+TEST_F(PageTest, WriteObjectRejectsSizeChange) {
+  auto slot = page_.CreateObject("aaaa");
+  ASSERT_TRUE(slot.ok());
+  EXPECT_EQ(page_.WriteObject(slot.value(), "toolong").code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(PageTest, ResizeObjectGrowAndShrink) {
+  auto slot = page_.CreateObject("aaaa");
+  ASSERT_TRUE(slot.ok());
+  ASSERT_TRUE(page_.ResizeObject(slot.value(), "much longer value").ok());
+  EXPECT_EQ(page_.ReadObject(slot.value()).value(), "much longer value");
+  ASSERT_TRUE(page_.ResizeObject(slot.value(), "x").ok());
+  EXPECT_EQ(page_.ReadObject(slot.value()).value(), "x");
+}
+
+TEST_F(PageTest, DeleteFreesSlotForReuse) {
+  auto s1 = page_.CreateObject("first");
+  auto s2 = page_.CreateObject("second");
+  ASSERT_TRUE(s1.ok());
+  ASSERT_TRUE(s2.ok());
+  ASSERT_TRUE(page_.DeleteObject(s1.value()).ok());
+  EXPECT_FALSE(page_.SlotExists(s1.value()));
+  EXPECT_TRUE(page_.ReadObject(s1.value()).status().IsNotFound());
+  auto s3 = page_.CreateObject("third");
+  ASSERT_TRUE(s3.ok());
+  EXPECT_EQ(s3.value(), s1.value());  // Slot reused.
+  EXPECT_EQ(page_.ReadObject(s2.value()).value(), "second");
+}
+
+TEST_F(PageTest, CreateObjectAtSpecificSlot) {
+  ASSERT_TRUE(page_.CreateObjectAt(5, "at five").ok());
+  EXPECT_EQ(page_.ReadObject(5).value(), "at five");
+  EXPECT_EQ(page_.slot_count(), 6u);
+  EXPECT_FALSE(page_.SlotExists(4));
+  // Occupied slot is rejected.
+  EXPECT_EQ(page_.CreateObjectAt(5, "again").code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(PageTest, CompactionReclaimsHoles) {
+  // Fill, delete every other object, then allocate something large that only
+  // fits after compaction.
+  std::vector<SlotId> slots;
+  std::string payload(80, 'x');
+  while (true) {
+    auto slot = page_.CreateObject(payload);
+    if (!slot.ok()) break;
+    slots.push_back(slot.value());
+  }
+  ASSERT_GT(slots.size(), 4u);
+  size_t freed = 0;
+  for (size_t i = 0; i < slots.size(); i += 2) {
+    ASSERT_TRUE(page_.DeleteObject(slots[i]).ok());
+    freed += 80;
+  }
+  std::string big(freed - 16, 'y');
+  auto slot = page_.CreateObject(big);
+  ASSERT_TRUE(slot.ok()) << slot.status().ToString();
+  EXPECT_EQ(page_.ReadObject(slot.value()).value(), big);
+  // Survivors intact after compaction.
+  for (size_t i = 1; i < slots.size(); i += 2) {
+    EXPECT_EQ(page_.ReadObject(slots[i]).value(), payload);
+  }
+}
+
+TEST_F(PageTest, PageFullReported) {
+  std::string payload(100, 'z');
+  Status last = Status::OK();
+  for (int i = 0; i < 100; ++i) {
+    auto slot = page_.CreateObject(payload);
+    if (!slot.ok()) {
+      last = slot.status();
+      break;
+    }
+  }
+  EXPECT_EQ(last.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(PageTest, PsnBumpAndSet) {
+  page_.BumpPsn();
+  EXPECT_EQ(page_.psn(), 101u);
+  page_.set_psn(500);
+  EXPECT_EQ(page_.psn(), 500u);
+}
+
+TEST_F(PageTest, ChecksumRoundTrip) {
+  auto slot = page_.CreateObject("checksummed");
+  ASSERT_TRUE(slot.ok());
+  page_.UpdateChecksum();
+  EXPECT_TRUE(page_.VerifyChecksum());
+  // Corrupt a byte.
+  page_.raw()[700] ^= 0x5A;
+  EXPECT_FALSE(page_.VerifyChecksum());
+}
+
+TEST_F(PageTest, ZeroLengthObject) {
+  auto slot = page_.CreateObject("");
+  ASSERT_TRUE(slot.ok());
+  EXPECT_TRUE(page_.SlotExists(slot.value()));
+  EXPECT_EQ(page_.ReadObject(slot.value()).value(), "");
+}
+
+TEST_F(PageTest, FreeSpaceDecreasesWithAllocations) {
+  size_t before = page_.FreeSpace();
+  ASSERT_TRUE(page_.CreateObject(std::string(100, 'a')).ok());
+  EXPECT_LT(page_.FreeSpace(), before);
+}
+
+}  // namespace
+}  // namespace finelog

@@ -1,0 +1,166 @@
+// Property tests for the PSN discipline (Section 2): monotonicity under
+// arbitrary merge/update/install interleavings, the max+1 rule, and overlay
+// semantics of copy merging.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "server/page_merge.h"
+#include "storage/page.h"
+
+namespace finelog {
+namespace {
+
+constexpr uint32_t kPageSize = 1024;
+constexpr int kSlots = 6;
+
+Page MakeBase(Psn psn) {
+  Page page(kPageSize);
+  page.Format(1, psn);
+  for (int i = 0; i < kSlots; ++i) {
+    (void)page.CreateObject("value-" + std::to_string(i));
+  }
+  return page;
+}
+
+ShippedPage Ship(const Page& page, std::vector<SlotId> slots) {
+  ShippedPage s;
+  s.page = page.id();
+  s.image = page.raw();
+  s.modified_slots = std::move(slots);
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Randomized monotonicity: replaying any interleaving of updates and merges
+// across several divergent copies never decreases any copy's PSN, and merges
+// strictly advance past both inputs.
+// ---------------------------------------------------------------------------
+
+class PsnMonotonicityTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PsnMonotonicityTest, RandomInterleavings) {
+  Rng rng(GetParam());
+  std::vector<Page> copies;
+  for (int i = 0; i < 4; ++i) copies.push_back(MakeBase(10));
+
+  for (int step = 0; step < 200; ++step) {
+    size_t i = rng.Uniform(copies.size());
+    Psn before = copies[i].psn();
+    if (rng.Bernoulli(0.6)) {
+      // Local update: bump by one.
+      SlotId slot = static_cast<SlotId>(rng.Uniform(kSlots));
+      ASSERT_TRUE(copies[i]
+                      .WriteObject(slot, "value-" + std::to_string(slot))
+                      .ok());
+      copies[i].BumpPsn();
+      EXPECT_EQ(copies[i].psn(), before + 1);
+    } else {
+      // Merge another copy in.
+      size_t j = rng.Uniform(copies.size());
+      if (j == i) continue;
+      Psn other = copies[j].psn();
+      SlotId slot = static_cast<SlotId>(rng.Uniform(kSlots));
+      ASSERT_TRUE(MergeShippedPage(&copies[i], Ship(copies[j], {slot})).ok());
+      // Strictly greater than BOTH inputs -- the max+1 rule.
+      EXPECT_GT(copies[i].psn(), before);
+      EXPECT_GT(copies[i].psn(), other);
+      EXPECT_EQ(copies[i].psn(), std::max(before, other) + 1);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PsnMonotonicityTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 42, 1234, 99999));
+
+// ---------------------------------------------------------------------------
+// Overlay semantics: merging ships from several writers, each owning a
+// disjoint slot set, converges to the union of the latest values regardless
+// of merge order.
+// ---------------------------------------------------------------------------
+
+class MergeConvergenceTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MergeConvergenceTest, DisjointWritersConverge) {
+  Rng rng(GetParam());
+  Page server = MakeBase(1);
+  std::vector<Page> writers;
+  for (int w = 0; w < 3; ++w) writers.push_back(server);
+
+  // Each writer owns slots {w, w+3}; perform random update rounds.
+  std::vector<std::string> expected(kSlots);
+  for (int i = 0; i < kSlots; ++i) expected[i] = "value-" + std::to_string(i);
+  for (int round = 0; round < 30; ++round) {
+    int w = static_cast<int>(rng.Uniform(3));
+    SlotId slot = static_cast<SlotId>(w + 3 * rng.Uniform(2));
+    std::string value = "w" + std::to_string(w) + "-r" + std::to_string(round);
+    value.resize(expected[slot].size(), '.');  // Same-size overwrite.
+    ASSERT_TRUE(writers[w].WriteObject(slot, value).ok());
+    writers[w].BumpPsn();
+    expected[slot] = value;
+    // Occasionally ship this writer's copy to the server.
+    if (rng.Bernoulli(0.3)) {
+      ASSERT_TRUE(
+          MergeShippedPage(&server, Ship(writers[w], {static_cast<SlotId>(w),
+                                                      static_cast<SlotId>(w + 3)}))
+              .ok());
+    }
+  }
+  // Final ships in random order.
+  std::vector<int> order = {0, 1, 2};
+  std::swap(order[rng.Uniform(3)], order[rng.Uniform(3)]);
+  for (int w : order) {
+    ASSERT_TRUE(MergeShippedPage(
+                    &server, Ship(writers[w], {static_cast<SlotId>(w),
+                                               static_cast<SlotId>(w + 3)}))
+                    .ok());
+  }
+  for (int i = 0; i < kSlots; ++i) {
+    EXPECT_EQ(server.ReadObject(static_cast<SlotId>(i)).value(), expected[i])
+        << "slot " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MergeConvergenceTest,
+                         ::testing::Values(7, 11, 13, 17, 19, 23));
+
+// ---------------------------------------------------------------------------
+// Merge idempotence: re-applying the same ship is harmless for data (PSN
+// still advances -- by design, two equal-PSN copies must produce a fresh
+// PSN).
+// ---------------------------------------------------------------------------
+
+TEST(MergeProperties, ReapplyingShipIsDataIdempotent) {
+  Page server = MakeBase(5);
+  Page writer = server;
+  ASSERT_TRUE(writer.WriteObject(2, "newval-").ok());
+  writer.BumpPsn();
+  ShippedPage ship = Ship(writer, {2});
+
+  ASSERT_TRUE(MergeShippedPage(&server, ship).ok());
+  std::string after_first = server.ReadObject(2).value();
+  Psn psn_first = server.psn();
+  ASSERT_TRUE(MergeShippedPage(&server, ship).ok());
+  EXPECT_EQ(server.ReadObject(2).value(), after_first);
+  EXPECT_GT(server.psn(), psn_first);
+}
+
+TEST(MergeProperties, EmptyShipOnlyBumpsPsn) {
+  Page server = MakeBase(5);
+  Page other = MakeBase(9);
+  std::string before = server.ReadObject(0).value();
+  ASSERT_TRUE(MergeShippedPage(&server, Ship(other, {})).ok());
+  EXPECT_EQ(server.ReadObject(0).value(), before);
+  EXPECT_EQ(server.psn(), 10u);
+}
+
+TEST(MergeProperties, InstallNeverRegressesPsn) {
+  Page local = MakeBase(50);
+  ASSERT_TRUE(InstallObject(&local, 0, std::string("catchup!"), 20).ok());
+  EXPECT_EQ(local.psn(), 50u);  // Server older: keep ours.
+  ASSERT_TRUE(InstallObject(&local, 0, std::string("forward!"), 80).ok());
+  EXPECT_EQ(local.psn(), 80u);  // Server newer: catch up exactly.
+}
+
+}  // namespace
+}  // namespace finelog

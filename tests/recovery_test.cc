@@ -1,0 +1,356 @@
+// Crash/recovery tests for Sections 3.3 (client crash), 3.4 (server crash)
+// and 3.5 (complex crash).
+
+#include <gtest/gtest.h>
+
+#include "core/system.h"
+#include "tests/test_util.h"
+
+namespace finelog {
+namespace {
+
+class RecoveryTest : public ::testing::Test {
+ protected:
+  void Start(SystemConfig config) {
+    auto sys = System::Create(config);
+    ASSERT_TRUE(sys.ok()) << sys.status().ToString();
+    system_ = std::move(sys).value();
+  }
+  void Start(const std::string& name) { Start(SmallConfig(name)); }
+
+  void CommittedWrite(size_t client, ObjectId oid, const std::string& value) {
+    Client& c = system_->client(client);
+    TxnId txn = c.Begin().value();
+    ASSERT_TRUE(c.Write(txn, oid, value).ok());
+    ASSERT_TRUE(c.Commit(txn).ok());
+  }
+
+  std::string ReadCommitted(size_t client, ObjectId oid) {
+    Client& c = system_->client(client);
+    TxnId txn = c.Begin().value();
+    auto value = c.Read(txn, oid);
+    EXPECT_TRUE(value.ok()) << value.status().ToString();
+    EXPECT_TRUE(c.Commit(txn).ok());
+    return value.ok() ? value.value() : std::string();
+  }
+
+  std::string Val(char fill) {
+    return std::string(system_->config().object_size, fill);
+  }
+
+  std::unique_ptr<System> system_;
+};
+
+// ---------------------------------------------------------------------------
+// Client crash (Section 3.3)
+// ---------------------------------------------------------------------------
+
+TEST_F(RecoveryTest, ClientCrashCommittedUnshippedUpdateSurvives) {
+  Start("cc_committed");
+  std::string v = Val('A');
+  CommittedWrite(0, ObjectId{1, 0}, v);
+  // The dirty page sits only in client 0's cache; the private log has the
+  // committed update. Crash loses the cache.
+  ASSERT_TRUE(system_->CrashClient(0).ok());
+  ASSERT_TRUE(system_->RecoverClient(0).ok());
+  EXPECT_EQ(ReadCommitted(0, ObjectId{1, 0}), v);
+  EXPECT_EQ(ReadCommitted(1, ObjectId{1, 0}), v);
+}
+
+TEST_F(RecoveryTest, ClientCrashUncommittedUpdateRolledBack) {
+  Start("cc_uncommitted");
+  std::string v_old = Val('B');
+  std::string v_new = Val('C');
+  CommittedWrite(0, ObjectId{1, 1}, v_old);
+  Client& c0 = system_->client(0);
+  TxnId txn = c0.Begin().value();
+  ASSERT_TRUE(c0.Write(txn, ObjectId{1, 1}, v_new).ok());
+  // Force the log so the uncommitted update is durable, then ship the dirty
+  // page (steal): the server now holds uncommitted data.
+  ASSERT_TRUE(c0.log().Force().ok());
+  ASSERT_TRUE(c0.ShipAllDirtyPages().ok());
+  ASSERT_TRUE(system_->CrashClient(0).ok());
+  ASSERT_TRUE(system_->RecoverClient(0).ok());
+  // The loser transaction must have been rolled back at restart.
+  EXPECT_EQ(ReadCommitted(1, ObjectId{1, 1}), v_old);
+  EXPECT_EQ(ReadCommitted(0, ObjectId{1, 1}), v_old);
+}
+
+TEST_F(RecoveryTest, ClientCrashLosesUnforcedUncommittedWork) {
+  Start("cc_unforced");
+  std::string v_old = Val('D');
+  CommittedWrite(0, ObjectId{1, 2}, v_old);
+  Client& c0 = system_->client(0);
+  TxnId txn = c0.Begin().value();
+  ASSERT_TRUE(c0.Write(txn, ObjectId{1, 2}, Val('E')).ok());
+  // No force, no ship: the update exists only in volatile state.
+  ASSERT_TRUE(system_->CrashClient(0).ok());
+  ASSERT_TRUE(system_->RecoverClient(0).ok());
+  EXPECT_EQ(ReadCommitted(0, ObjectId{1, 2}), v_old);
+}
+
+TEST_F(RecoveryTest, ClientCrashSamePageOtherClientUpdatesPreserved) {
+  // Section 1: "the database state is recovered correctly even if ... the
+  // updates performed by different clients on a page are not present on the
+  // disk version of the page".
+  Start("cc_same_page");
+  std::string v0 = Val('F');
+  std::string v1 = Val('G');
+  CommittedWrite(0, ObjectId{2, 0}, v0);
+  CommittedWrite(1, ObjectId{2, 1}, v1);  // Same page, different object.
+  ASSERT_TRUE(system_->CrashClient(0).ok());
+  ASSERT_TRUE(system_->RecoverClient(0).ok());
+  EXPECT_EQ(ReadCommitted(2, ObjectId{2, 0}), v0);
+  EXPECT_EQ(ReadCommitted(2, ObjectId{2, 1}), v1);
+}
+
+TEST_F(RecoveryTest, OperationalClientsContinueDuringClientCrash) {
+  Start("cc_continue");
+  std::string v = Val('H');
+  CommittedWrite(0, ObjectId{3, 0}, v);
+  ASSERT_TRUE(system_->CrashClient(0).ok());
+  // Client 1 works on unrelated data while client 0 is down.
+  CommittedWrite(1, ObjectId{4, 0}, v);
+  EXPECT_EQ(ReadCommitted(1, ObjectId{4, 0}), v);
+  // But data exclusively held by the crashed client blocks.
+  Client& c1 = system_->client(1);
+  TxnId txn = c1.Begin().value();
+  EXPECT_TRUE(c1.Read(txn, ObjectId{3, 0}).status().IsWouldBlock());
+  ASSERT_TRUE(c1.Commit(txn).ok());
+  ASSERT_TRUE(system_->RecoverClient(0).ok());
+  EXPECT_EQ(ReadCommitted(1, ObjectId{3, 0}), v);
+}
+
+TEST_F(RecoveryTest, ClientCrashStructuralOpsRecovered) {
+  Start("cc_structural");
+  Client& c0 = system_->client(0);
+  TxnId txn = c0.Begin().value();
+  auto oid = c0.Create(txn, 5, "created before crash");
+  ASSERT_TRUE(oid.ok());
+  ASSERT_TRUE(c0.Commit(txn).ok());
+  ASSERT_TRUE(system_->CrashClient(0).ok());
+  ASSERT_TRUE(system_->RecoverClient(0).ok());
+  EXPECT_EQ(ReadCommitted(1, oid.value()), "created before crash");
+}
+
+TEST_F(RecoveryTest, ClientCrashRepeatedCycleStable) {
+  Start("cc_repeat");
+  for (int round = 0; round < 4; ++round) {
+    std::string v = Val(static_cast<char>('a' + round));
+    CommittedWrite(0, ObjectId{6, 0}, v);
+    ASSERT_TRUE(system_->CrashClient(0).ok());
+    ASSERT_TRUE(system_->RecoverClient(0).ok());
+    EXPECT_EQ(ReadCommitted(0, ObjectId{6, 0}), v) << "round " << round;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Server crash (Section 3.4)
+// ---------------------------------------------------------------------------
+
+TEST_F(RecoveryTest, ServerCrashCachedClientPagesRemerged) {
+  Start("sc_cached");
+  std::string v = Val('I');
+  CommittedWrite(0, ObjectId{7, 0}, v);
+  // The dirty page is still in client 0's cache; the server pool dies.
+  ASSERT_TRUE(system_->CrashServer().ok());
+  ASSERT_TRUE(system_->RecoverAll().ok());
+  EXPECT_EQ(ReadCommitted(1, ObjectId{7, 0}), v);
+}
+
+TEST_F(RecoveryTest, ServerCrashReplacedPageRecoveredFromClientLog) {
+  Start("sc_replaced");
+  std::string v = Val('J');
+  CommittedWrite(0, ObjectId{8, 0}, v);
+  // Ship the page to the server (replacement), then lose the server pool
+  // before any flush: the only copies are the disk original and client 0's
+  // private log.
+  ASSERT_TRUE(system_->client(0).ShipAllDirtyPages().ok());
+  ASSERT_TRUE(system_->CrashServer().ok());
+  ASSERT_TRUE(system_->RecoverAll().ok());
+  EXPECT_EQ(ReadCommitted(1, ObjectId{8, 0}), v);
+  EXPECT_GT(system_->metrics().Get("server.coordinated_page_recoveries"), 0u);
+}
+
+TEST_F(RecoveryTest, ServerCrashMultiClientSamePageRecovered) {
+  Start("sc_same_page");
+  std::string v0 = Val('K');
+  std::string v1 = Val('L');
+  CommittedWrite(0, ObjectId{9, 0}, v0);
+  CommittedWrite(1, ObjectId{9, 1}, v1);
+  ASSERT_TRUE(system_->client(0).ShipAllDirtyPages().ok());
+  ASSERT_TRUE(system_->client(1).ShipAllDirtyPages().ok());
+  ASSERT_TRUE(system_->CrashServer().ok());
+  ASSERT_TRUE(system_->RecoverAll().ok());
+  EXPECT_EQ(ReadCommitted(2, ObjectId{9, 0}), v0);
+  EXPECT_EQ(ReadCommitted(2, ObjectId{9, 1}), v1);
+}
+
+TEST_F(RecoveryTest, ServerCrashCallbackOrderPreserved) {
+  // Two clients update the SAME object in sequence (X callback between
+  // them); the merged page is lost with the server. The callback log record
+  // written by client 1 must ensure client 1's (newer) value wins.
+  Start("sc_order");
+  std::string v0 = Val('M');
+  std::string v1 = Val('N');
+  CommittedWrite(0, ObjectId{10, 0}, v0);
+  CommittedWrite(1, ObjectId{10, 0}, v1);  // Callback: c0 ships, c1 updates.
+  ASSERT_TRUE(system_->client(1).ShipAllDirtyPages().ok());
+  ASSERT_TRUE(system_->CrashServer().ok());
+  ASSERT_TRUE(system_->RecoverAll().ok());
+  EXPECT_EQ(ReadCommitted(2, ObjectId{10, 0}), v1);
+}
+
+TEST_F(RecoveryTest, ServerCrashOrderedHandshakeBetweenRecoveringClients) {
+  // Both the earlier updater (c0) and the later one (c1) have replaced the
+  // page: both recover it in parallel; c1's callback record forces the
+  // handshake through the server into c0's recovery (Section 3.4, step 3).
+  Start("sc_handshake");
+  std::string v0a = Val('O');
+  std::string v0b = Val('P');
+  std::string v1 = Val('Q');
+  CommittedWrite(0, ObjectId{11, 0}, v0a);  // c0 updates object 0.
+  CommittedWrite(0, ObjectId{11, 1}, v0b);  // c0 updates object 1.
+  CommittedWrite(1, ObjectId{11, 0}, v1);   // c1 takes over object 0.
+  ASSERT_TRUE(system_->client(0).ShipAllDirtyPages().ok());
+  ASSERT_TRUE(system_->client(1).ShipAllDirtyPages().ok());
+  ASSERT_TRUE(system_->CrashServer().ok());
+  ASSERT_TRUE(system_->RecoverAll().ok());
+  EXPECT_EQ(ReadCommitted(2, ObjectId{11, 0}), v1);
+  EXPECT_EQ(ReadCommitted(2, ObjectId{11, 1}), v0b);
+}
+
+TEST_F(RecoveryTest, ServerCrashAfterFlushUsesReplacementRecords) {
+  // Updates flushed to disk before the crash must not be redone blindly:
+  // Property 2 (replacement log records) tells the server which client
+  // updates are already on disk.
+  Start("sc_flushed");
+  std::string v = Val('R');
+  CommittedWrite(0, ObjectId{12, 0}, v);
+  ASSERT_TRUE(system_->FlushEverything().ok());
+  ASSERT_TRUE(system_->CrashServer().ok());
+  ASSERT_TRUE(system_->RecoverAll().ok());
+  EXPECT_EQ(ReadCommitted(1, ObjectId{12, 0}), v);
+}
+
+TEST_F(RecoveryTest, ServerCrashWithCheckpointBoundsScan) {
+  Start("sc_checkpoint");
+  std::string v1 = Val('S');
+  CommittedWrite(0, ObjectId{13, 0}, v1);
+  ASSERT_TRUE(system_->FlushEverything().ok());
+  ASSERT_TRUE(system_->server().TakeCheckpoint().ok());
+  std::string v2 = Val('T');
+  CommittedWrite(0, ObjectId{13, 1}, v2);
+  ASSERT_TRUE(system_->client(0).ShipAllDirtyPages().ok());
+  ASSERT_TRUE(system_->CrashServer().ok());
+  ASSERT_TRUE(system_->RecoverAll().ok());
+  EXPECT_EQ(ReadCommitted(1, ObjectId{13, 0}), v1);
+  EXPECT_EQ(ReadCommitted(1, ObjectId{13, 1}), v2);
+}
+
+TEST_F(RecoveryTest, UncommittedDataAtServerRolledBackAfterServerCrash) {
+  // Steal: uncommitted data reaches the server, the server crashes, the
+  // client (operational) later aborts -- the rollback must land correctly.
+  Start("sc_steal");
+  std::string v_old = Val('U');
+  std::string v_new = Val('V');
+  CommittedWrite(0, ObjectId{14, 0}, v_old);
+  Client& c0 = system_->client(0);
+  TxnId txn = c0.Begin().value();
+  ASSERT_TRUE(c0.Write(txn, ObjectId{14, 0}, v_new).ok());
+  ASSERT_TRUE(c0.ShipAllDirtyPages().ok());  // Uncommitted data at server.
+  ASSERT_TRUE(system_->CrashServer().ok());
+  ASSERT_TRUE(system_->RecoverAll().ok());
+  ASSERT_TRUE(c0.Abort(txn).ok());
+  EXPECT_EQ(ReadCommitted(1, ObjectId{14, 0}), v_old);
+}
+
+// ---------------------------------------------------------------------------
+// Complex crash (Section 3.5)
+// ---------------------------------------------------------------------------
+
+TEST_F(RecoveryTest, ComplexCrashClientAndServer) {
+  Start("cx_basic");
+  std::string v = Val('W');
+  CommittedWrite(0, ObjectId{15, 0}, v);
+  ASSERT_TRUE(system_->client(0).ShipAllDirtyPages().ok());
+  ASSERT_TRUE(system_->CrashClient(0).ok());
+  ASSERT_TRUE(system_->CrashServer().ok());
+  ASSERT_TRUE(system_->RecoverAll().ok());
+  EXPECT_EQ(ReadCommitted(0, ObjectId{15, 0}), v);
+  EXPECT_EQ(ReadCommitted(1, ObjectId{15, 0}), v);
+}
+
+TEST_F(RecoveryTest, ComplexCrashUnshippedCommittedUpdate) {
+  Start("cx_unshipped");
+  std::string v = Val('X');
+  CommittedWrite(0, ObjectId{15, 2}, v);
+  // Nothing shipped: only client 0's log knows. Both crash.
+  ASSERT_TRUE(system_->CrashClient(0).ok());
+  ASSERT_TRUE(system_->CrashServer().ok());
+  ASSERT_TRUE(system_->RecoverAll().ok());
+  EXPECT_EQ(ReadCommitted(0, ObjectId{15, 2}), v);
+}
+
+TEST_F(RecoveryTest, ComplexCrashAllClientsAndServer) {
+  Start("cx_all");
+  std::string v0 = Val('Y');
+  std::string v1 = Val('Z');
+  std::string v2 = Val('0');
+  CommittedWrite(0, ObjectId{1, 0}, v0);
+  CommittedWrite(1, ObjectId{1, 1}, v1);  // Same page as client 0's object.
+  CommittedWrite(2, ObjectId{2, 0}, v2);
+  ASSERT_TRUE(system_->client(1).ShipAllDirtyPages().ok());
+  for (size_t i = 0; i < 3; ++i) {
+    ASSERT_TRUE(system_->CrashClient(i).ok());
+  }
+  ASSERT_TRUE(system_->CrashServer().ok());
+  ASSERT_TRUE(system_->RecoverAll().ok());
+  EXPECT_EQ(ReadCommitted(0, ObjectId{1, 0}), v0);
+  EXPECT_EQ(ReadCommitted(1, ObjectId{1, 1}), v1);
+  EXPECT_EQ(ReadCommitted(2, ObjectId{2, 0}), v2);
+}
+
+TEST_F(RecoveryTest, ComplexCrashMixedOperationalAndCrashed) {
+  Start("cx_mixed");
+  std::string v0 = Val('1');
+  std::string v1 = Val('2');
+  CommittedWrite(0, ObjectId{3, 0}, v0);
+  CommittedWrite(1, ObjectId{3, 1}, v1);
+  ASSERT_TRUE(system_->client(0).ShipAllDirtyPages().ok());
+  ASSERT_TRUE(system_->client(1).ShipAllDirtyPages().ok());
+  // Client 0 and the server die; client 1 stays up.
+  ASSERT_TRUE(system_->CrashClient(0).ok());
+  ASSERT_TRUE(system_->CrashServer().ok());
+  ASSERT_TRUE(system_->RecoverAll().ok());
+  EXPECT_EQ(ReadCommitted(2, ObjectId{3, 0}), v0);
+  EXPECT_EQ(ReadCommitted(2, ObjectId{3, 1}), v1);
+}
+
+TEST_F(RecoveryTest, ComplexCrashOrderingDependencyOnCrashedClient) {
+  // c1's recovery depends on crashed c0's updates (case 3 handshake hits a
+  // crashed client): the server defers the page recovery until c0 restarts
+  // (Section 3.5).
+  Start("cx_deferred");
+  std::string v0 = Val('3');
+  std::string v1 = Val('4');
+  CommittedWrite(0, ObjectId{4, 0}, v0);   // c0 first.
+  CommittedWrite(1, ObjectId{4, 0}, v1);   // c1 takes the object over.
+  ASSERT_TRUE(system_->client(0).ShipAllDirtyPages().ok());
+  ASSERT_TRUE(system_->client(1).ShipAllDirtyPages().ok());
+  ASSERT_TRUE(system_->CrashClient(0).ok());
+  ASSERT_TRUE(system_->CrashServer().ok());
+  ASSERT_TRUE(system_->RecoverAll().ok());
+  EXPECT_EQ(ReadCommitted(2, ObjectId{4, 0}), v1);
+}
+
+TEST_F(RecoveryTest, RecoverAllIdempotentWhenNothingCrashed) {
+  Start("noop_recover");
+  std::string v = Val('5');
+  CommittedWrite(0, ObjectId{5, 0}, v);
+  ASSERT_TRUE(system_->RecoverAll().ok());
+  EXPECT_EQ(ReadCommitted(1, ObjectId{5, 0}), v);
+}
+
+}  // namespace
+}  // namespace finelog

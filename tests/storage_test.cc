@@ -1,0 +1,242 @@
+#include <gtest/gtest.h>
+
+#include "server/page_merge.h"
+#include "storage/disk_manager.h"
+#include "storage/space_map.h"
+#include "tests/test_util.h"
+
+namespace finelog {
+namespace {
+
+// ---------------------------------------------------------------------------
+// DiskManager
+// ---------------------------------------------------------------------------
+
+class DiskManagerTest : public ::testing::Test {
+ protected:
+  DiskManagerTest() : dir_(MakeTempDir("disk")) {}
+  std::string dir_;
+};
+
+TEST_F(DiskManagerTest, WriteReadRoundTrip) {
+  auto dm = DiskManager::Open(dir_ + "/db", 1024).value();
+  Page page(1024);
+  page.Format(3, 7);
+  ASSERT_TRUE(page.CreateObject("persisted").ok());
+  ASSERT_TRUE(dm->WritePage(3, &page).ok());
+
+  Page out(1024);
+  ASSERT_TRUE(dm->ReadPage(3, &out).ok());
+  EXPECT_EQ(out.id(), 3u);
+  EXPECT_EQ(out.psn(), 7u);
+  EXPECT_EQ(out.ReadObject(0).value(), "persisted");
+}
+
+TEST_F(DiskManagerTest, NeverWrittenPageNotFound) {
+  auto dm = DiskManager::Open(dir_ + "/db", 1024).value();
+  Page out(1024);
+  EXPECT_TRUE(dm->ReadPage(9, &out).IsNotFound());
+  EXPECT_FALSE(dm->PageOnDisk(9));
+}
+
+TEST_F(DiskManagerTest, SurvivesReopen) {
+  {
+    auto dm = DiskManager::Open(dir_ + "/db", 1024).value();
+    Page page(1024);
+    page.Format(0, 1);
+    ASSERT_TRUE(dm->WritePage(0, &page).ok());
+  }
+  auto dm = DiskManager::Open(dir_ + "/db", 1024).value();
+  Page out(1024);
+  EXPECT_TRUE(dm->ReadPage(0, &out).ok());
+  EXPECT_TRUE(dm->PageOnDisk(0));
+}
+
+TEST_F(DiskManagerTest, InPlaceOverwrite) {
+  auto dm = DiskManager::Open(dir_ + "/db", 1024).value();
+  Page page(1024);
+  page.Format(0, 1);
+  ASSERT_TRUE(dm->WritePage(0, &page).ok());
+  page.set_psn(42);
+  ASSERT_TRUE(dm->WritePage(0, &page).ok());
+  Page out(1024);
+  ASSERT_TRUE(dm->ReadPage(0, &out).ok());
+  EXPECT_EQ(out.psn(), 42u);
+}
+
+// ---------------------------------------------------------------------------
+// SpaceMap
+// ---------------------------------------------------------------------------
+
+class SpaceMapTest : public ::testing::Test {
+ protected:
+  SpaceMapTest() : dir_(MakeTempDir("spacemap")) {}
+  std::string dir_;
+};
+
+TEST_F(SpaceMapTest, AllocateDistinctPages) {
+  auto sm = SpaceMap::Open(dir_ + "/map", 8).value();
+  auto a = sm->AllocatePage().value();
+  auto b = sm->AllocatePage().value();
+  EXPECT_NE(a.page, b.page);
+  EXPECT_TRUE(sm->IsAllocated(a.page));
+  EXPECT_EQ(sm->allocated_count(), 2u);
+}
+
+TEST_F(SpaceMapTest, PsnMonotonicAcrossReallocation) {
+  // The core [18] property: a reallocated page starts past every PSN its
+  // previous incarnation carried.
+  auto sm = SpaceMap::Open(dir_ + "/map", 4).value();
+  auto a = sm->AllocatePage().value();
+  Psn final_psn = a.initial_psn + 100;
+  ASSERT_TRUE(sm->DeallocatePage(a.page, final_psn).ok());
+  auto b = sm->AllocatePage().value();
+  EXPECT_EQ(b.page, a.page);  // First-fit reuses the page.
+  EXPECT_GT(b.initial_psn, final_psn);
+}
+
+TEST_F(SpaceMapTest, PersistsAcrossReopen) {
+  PageId page;
+  Psn psn;
+  {
+    auto sm = SpaceMap::Open(dir_ + "/map", 4).value();
+    auto a = sm->AllocatePage().value();
+    page = a.page;
+    psn = a.initial_psn;
+  }
+  auto sm = SpaceMap::Open(dir_ + "/map", 4).value();
+  EXPECT_TRUE(sm->IsAllocated(page));
+  EXPECT_EQ(sm->BasePsn(page).value(), psn);
+}
+
+TEST_F(SpaceMapTest, FullDatabaseRejected) {
+  auto sm = SpaceMap::Open(dir_ + "/map", 2).value();
+  ASSERT_TRUE(sm->AllocatePage().ok());
+  ASSERT_TRUE(sm->AllocatePage().ok());
+  EXPECT_EQ(sm->AllocatePage().status().code(), StatusCode::kFailedPrecondition);
+}
+
+// ---------------------------------------------------------------------------
+// Page merging (Sections 2 and 3.1)
+// ---------------------------------------------------------------------------
+
+class PageMergeTest : public ::testing::Test {
+ protected:
+  PageMergeTest() : base_(1024) {
+    base_.Format(1, 10);
+    EXPECT_TRUE(base_.CreateObject("object-0").ok());
+    EXPECT_TRUE(base_.CreateObject("object-1").ok());
+    EXPECT_TRUE(base_.CreateObject("object-2").ok());
+  }
+
+  ShippedPage MakeShip(const Page& page, std::vector<SlotId> slots,
+                       bool structural = false) {
+    ShippedPage s;
+    s.page = page.id();
+    s.image = page.raw();
+    s.modified_slots = std::move(slots);
+    s.structural = structural;
+    return s;
+  }
+
+  Page base_;
+};
+
+TEST_F(PageMergeTest, OverlaysOnlyModifiedSlots) {
+  Page local = base_;
+  Page remote = base_;
+  ASSERT_TRUE(local.WriteObject(0, "LOCAL-0!").ok());
+  local.BumpPsn();  // 11
+  ASSERT_TRUE(remote.WriteObject(1, "REMOTE-1").ok());
+  remote.BumpPsn();  // 11
+
+  ASSERT_TRUE(MergeShippedPage(&local, MakeShip(remote, {1})).ok());
+  EXPECT_EQ(local.ReadObject(0).value(), "LOCAL-0!");   // Preserved.
+  EXPECT_EQ(local.ReadObject(1).value(), "REMOTE-1");   // Overlaid.
+  EXPECT_EQ(local.ReadObject(2).value(), "object-2");
+}
+
+TEST_F(PageMergeTest, MergedPsnIsMaxPlusOne) {
+  Page local = base_;
+  Page remote = base_;
+  local.set_psn(20);
+  remote.set_psn(35);
+  ASSERT_TRUE(MergeShippedPage(&local, MakeShip(remote, {})).ok());
+  EXPECT_EQ(local.psn(), 36u);
+}
+
+TEST_F(PageMergeTest, EqualPsnsStillAdvance) {
+  // The "+1" exists precisely so two copies with the same PSN produce a new
+  // PSN (Section 2).
+  Page local = base_;
+  Page remote = base_;
+  ASSERT_TRUE(MergeShippedPage(&local, MakeShip(remote, {})).ok());
+  EXPECT_EQ(local.psn(), 11u);
+}
+
+TEST_F(PageMergeTest, DeletionPropagates) {
+  Page local = base_;
+  Page remote = base_;
+  ASSERT_TRUE(remote.DeleteObject(2).ok());
+  ASSERT_TRUE(MergeShippedPage(&local, MakeShip(remote, {2})).ok());
+  EXPECT_FALSE(local.SlotExists(2));
+}
+
+TEST_F(PageMergeTest, CreationPropagates) {
+  Page local = base_;
+  Page remote = base_;
+  auto slot = remote.CreateObject("new-object");
+  ASSERT_TRUE(slot.ok());
+  ASSERT_TRUE(MergeShippedPage(&local, MakeShip(remote, {slot.value()})).ok());
+  EXPECT_EQ(local.ReadObject(slot.value()).value(), "new-object");
+}
+
+TEST_F(PageMergeTest, SizeChangingOverlay) {
+  Page local = base_;
+  Page remote = base_;
+  ASSERT_TRUE(remote.ResizeObject(0, "a considerably longer object value").ok());
+  ASSERT_TRUE(MergeShippedPage(&local, MakeShip(remote, {0})).ok());
+  EXPECT_EQ(local.ReadObject(0).value(), "a considerably longer object value");
+  EXPECT_EQ(local.ReadObject(1).value(), "object-1");
+}
+
+TEST_F(PageMergeTest, StructuralShipReplacesWholesale) {
+  Page local = base_;
+  Page remote = base_;
+  ASSERT_TRUE(local.WriteObject(0, "LOCAL-0!").ok());
+  ASSERT_TRUE(remote.DeleteObject(1).ok());
+  remote.set_psn(50);
+  ASSERT_TRUE(MergeShippedPage(&local, MakeShip(remote, {1}, true)).ok());
+  // Structural ship is authoritative: local's un-shipped overwrite vanishes
+  // (it cannot exist in reality: a structural ship implies a page X lock).
+  EXPECT_EQ(local.ReadObject(0).value(), "object-0");
+  EXPECT_FALSE(local.SlotExists(1));
+  EXPECT_EQ(local.psn(), 51u);
+}
+
+TEST_F(PageMergeTest, MismatchedPagesRejected) {
+  Page local = base_;
+  Page other(1024);
+  other.Format(99, 1);
+  EXPECT_EQ(MergeShippedPage(&local, MakeShip(other, {})).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(PageMergeTest, InstallObjectCatchesUpToServerPsn) {
+  Page local = base_;  // psn 10
+  ASSERT_TRUE(InstallObject(&local, 0, std::string("fresh-00"), 25).ok());
+  EXPECT_EQ(local.ReadObject(0).value(), "fresh-00");
+  EXPECT_EQ(local.psn(), 25u);
+  // And never regresses.
+  ASSERT_TRUE(InstallObject(&local, 1, std::string("fresh-11"), 5).ok());
+  EXPECT_EQ(local.psn(), 25u);
+}
+
+TEST_F(PageMergeTest, InstallObjectDeletion) {
+  Page local = base_;
+  ASSERT_TRUE(InstallObject(&local, 1, std::nullopt, 12).ok());
+  EXPECT_FALSE(local.SlotExists(1));
+}
+
+}  // namespace
+}  // namespace finelog

@@ -1,0 +1,40 @@
+// Shared helpers for finelog tests.
+
+#ifndef FINELOG_TESTS_TEST_UTIL_H_
+#define FINELOG_TESTS_TEST_UTIL_H_
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <string>
+
+#include "common/config.h"
+
+namespace finelog {
+
+// Fresh scratch directory per test.
+inline std::string MakeTempDir(const std::string& name) {
+  std::string dir = "/tmp/finelog_test_" + name + "_" + std::to_string(getpid());
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+// A small default deployment for integration tests.
+inline SystemConfig SmallConfig(const std::string& test_name) {
+  SystemConfig config;
+  config.dir = MakeTempDir(test_name);
+  config.num_clients = 3;
+  config.page_size = 2048;
+  config.num_pages = 64;
+  config.preloaded_pages = 16;
+  config.objects_per_page = 8;
+  config.object_size = 64;
+  config.client_cache_pages = 16;
+  config.server_cache_pages = 32;
+  return config;
+}
+
+}  // namespace finelog
+
+#endif  // FINELOG_TESTS_TEST_UTIL_H_

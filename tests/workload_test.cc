@@ -1,0 +1,137 @@
+// Tests of the workload driver and oracle themselves (the harness the
+// durability properties rest on must be trustworthy).
+
+#include <gtest/gtest.h>
+
+#include "core/oracle.h"
+#include "core/system.h"
+#include "core/workload.h"
+#include "tests/test_util.h"
+
+namespace finelog {
+namespace {
+
+TEST(OracleTest, StagingFollowsTransactionOutcome) {
+  Oracle oracle;
+  oracle.SeedCommitted(ObjectId{1, 0}, "initial");
+  oracle.StageWrite(100, ObjectId{1, 0}, "staged");
+
+  // Before commit: the writer sees its own value, others the committed one.
+  EXPECT_EQ(**oracle.ExpectedRead(100, ObjectId{1, 0}), "staged");
+  EXPECT_EQ(**oracle.ExpectedRead(200, ObjectId{1, 0}), "initial");
+
+  oracle.CommitTxn(100);
+  EXPECT_EQ(**oracle.ExpectedRead(200, ObjectId{1, 0}), "staged");
+}
+
+TEST(OracleTest, AbortDiscardsStagedValues) {
+  Oracle oracle;
+  oracle.SeedCommitted(ObjectId{1, 0}, "initial");
+  oracle.StageWrite(100, ObjectId{1, 0}, "doomed");
+  oracle.AbortTxn(100);
+  EXPECT_EQ(**oracle.ExpectedRead(100, ObjectId{1, 0}), "initial");
+}
+
+TEST(OracleTest, CrashDiscardsOnlyThatClientsTxns) {
+  Oracle oracle;
+  TxnId t_c0 = (static_cast<TxnId>(0 + 1) << 32) | 1;  // Client 0's id shape.
+  TxnId t_c1 = (static_cast<TxnId>(1 + 1) << 32) | 1;
+  oracle.StageWrite(t_c0, ObjectId{1, 0}, "from-c0");
+  oracle.StageWrite(t_c1, ObjectId{1, 1}, "from-c1");
+  oracle.CrashClient(0);
+  oracle.CommitTxn(t_c0);  // No-op: staged state was discarded.
+  oracle.CommitTxn(t_c1);
+  EXPECT_FALSE(oracle.ExpectedRead(0, ObjectId{1, 0}).has_value());
+  EXPECT_EQ(**oracle.ExpectedRead(0, ObjectId{1, 1}), "from-c1");
+}
+
+TEST(OracleTest, StagedDeleteBecomesCommittedAbsence) {
+  Oracle oracle;
+  oracle.SeedCommitted(ObjectId{2, 0}, "exists");
+  oracle.StageDelete(300, ObjectId{2, 0});
+  oracle.CommitTxn(300);
+  auto expected = oracle.ExpectedRead(0, ObjectId{2, 0});
+  ASSERT_TRUE(expected.has_value());
+  EXPECT_FALSE(expected->has_value());  // Deleted.
+}
+
+TEST(WorkloadTest, DeterministicAcrossRuns) {
+  WorkloadStats first;
+  for (int run = 0; run < 2; ++run) {
+    auto system = System::Create(
+        SmallConfig("wl_det_" + std::to_string(run))).value();
+    Oracle oracle;
+    WorkloadOptions options;
+    options.txns_per_client = 10;
+    options.seed = 77;
+    Workload workload(system.get(), &oracle, options);
+    ASSERT_TRUE(workload.Run().ok());
+    if (run == 0) {
+      first = workload.stats();
+    } else {
+      EXPECT_EQ(workload.stats().commits, first.commits);
+      EXPECT_EQ(workload.stats().aborts, first.aborts);
+      EXPECT_EQ(workload.stats().ops, first.ops);
+      EXPECT_EQ(workload.stats().would_blocks, first.would_blocks);
+      EXPECT_EQ(workload.stats().sim_time_us, first.sim_time_us);
+    }
+  }
+}
+
+TEST(WorkloadTest, CompletesExactTransactionQuota) {
+  auto system = System::Create(SmallConfig("wl_quota")).value();
+  Oracle oracle;
+  WorkloadOptions options;
+  options.txns_per_client = 15;
+  options.seed = 3;
+  Workload workload(system.get(), &oracle, options);
+  ASSERT_TRUE(workload.Run().ok());
+  EXPECT_EQ(workload.stats().commits + workload.stats().aborts,
+            15u * system->num_clients() + workload.stats().aborts);
+  EXPECT_EQ(workload.stats().commits, 15u * system->num_clients());
+}
+
+TEST(WorkloadTest, CrashedClientSkippedUntilRecovered) {
+  auto system = System::Create(SmallConfig("wl_crash_skip")).value();
+  Oracle oracle;
+  WorkloadOptions options;
+  options.txns_per_client = 8;
+  options.seed = 9;
+  Workload workload(system.get(), &oracle, options);
+  ASSERT_TRUE(workload.RunSteps(10).ok());
+  ASSERT_TRUE(system->CrashClient(1).ok());
+  oracle.CrashClient(1);
+  workload.OnClientCrashed(1);
+  // The driver makes progress with the remaining clients.
+  auto done = workload.RunSteps(200);
+  ASSERT_TRUE(done.ok());
+  ASSERT_TRUE(system->RecoverClient(1).ok());
+  workload.OnClientRecovered(1);
+  ASSERT_TRUE(workload.Run().ok());
+  EXPECT_EQ(workload.stats().read_mismatches, 0u);
+  auto mismatches = oracle.Verify(system.get(), 0);
+  ASSERT_TRUE(mismatches.ok());
+  EXPECT_EQ(mismatches.value(), 0u);
+}
+
+TEST(WorkloadTest, PatternsStayInPreloadedRange) {
+  for (AccessPattern pattern :
+       {AccessPattern::kUniform, AccessPattern::kHotCold,
+        AccessPattern::kPrivate, AccessPattern::kSharedHot}) {
+    auto system = System::Create(SmallConfig(
+        "wl_range_" + std::to_string(static_cast<int>(pattern)))).value();
+    Oracle oracle;
+    WorkloadOptions options;
+    options.txns_per_client = 6;
+    options.pattern = pattern;
+    options.seed = 21;
+    Workload workload(system.get(), &oracle, options);
+    // Out-of-range object ids would surface as NotFound errors and fail Run.
+    EXPECT_TRUE(workload.Run().ok())
+        << "pattern " << static_cast<int>(pattern);
+    EXPECT_EQ(workload.stats().read_mismatches, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace finelog
