@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e10_reserved_resize.dir/e10_reserved_resize.cc.o"
+  "CMakeFiles/e10_reserved_resize.dir/e10_reserved_resize.cc.o.d"
+  "e10_reserved_resize"
+  "e10_reserved_resize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e10_reserved_resize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e1_commit_cost.dir/e1_commit_cost.cc.o"
+  "CMakeFiles/e1_commit_cost.dir/e1_commit_cost.cc.o.d"
+  "e1_commit_cost"
+  "e1_commit_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e1_commit_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

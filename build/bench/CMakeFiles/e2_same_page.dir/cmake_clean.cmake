@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e2_same_page.dir/e2_same_page.cc.o"
+  "CMakeFiles/e2_same_page.dir/e2_same_page.cc.o.d"
+  "e2_same_page"
+  "e2_same_page.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e2_same_page.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e3_message_table.dir/e3_message_table.cc.o"
+  "CMakeFiles/e3_message_table.dir/e3_message_table.cc.o.d"
+  "e3_message_table"
+  "e3_message_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e3_message_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e4_client_recovery.dir/e4_client_recovery.cc.o"
+  "CMakeFiles/e4_client_recovery.dir/e4_client_recovery.cc.o.d"
+  "e4_client_recovery"
+  "e4_client_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e4_client_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e5_server_recovery.dir/e5_server_recovery.cc.o"
+  "CMakeFiles/e5_server_recovery.dir/e5_server_recovery.cc.o.d"
+  "e5_server_recovery"
+  "e5_server_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e5_server_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e6_complex_crash.dir/e6_complex_crash.cc.o"
+  "CMakeFiles/e6_complex_crash.dir/e6_complex_crash.cc.o.d"
+  "e6_complex_crash"
+  "e6_complex_crash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e6_complex_crash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e8_checkpoints.dir/e8_checkpoints.cc.o"
+  "CMakeFiles/e8_checkpoints.dir/e8_checkpoints.cc.o.d"
+  "e8_checkpoints"
+  "e8_checkpoints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e8_checkpoints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e9_merge_ablation.dir/e9_merge_ablation.cc.o"
+  "CMakeFiles/e9_merge_ablation.dir/e9_merge_ablation.cc.o.d"
+  "e9_merge_ablation"
+  "e9_merge_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e9_merge_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

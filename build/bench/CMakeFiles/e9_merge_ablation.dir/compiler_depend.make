@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for e9_merge_ablation.
+# This may be replaced when dependencies are built.

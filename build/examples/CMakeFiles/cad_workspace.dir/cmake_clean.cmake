@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cad_workspace.dir/cad_workspace.cpp.o"
+  "CMakeFiles/cad_workspace.dir/cad_workspace.cpp.o.d"
+  "cad_workspace"
+  "cad_workspace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cad_workspace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

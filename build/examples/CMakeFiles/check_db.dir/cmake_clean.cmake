@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/check_db.dir/check_db.cpp.o"
+  "CMakeFiles/check_db.dir/check_db.cpp.o.d"
+  "check_db"
+  "check_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/check_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/buffer/buffer_pool.cc" "src/buffer/CMakeFiles/finelog_buffer.dir/buffer_pool.cc.o" "gcc" "src/buffer/CMakeFiles/finelog_buffer.dir/buffer_pool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/finelog_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/finelog_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/finelog_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/finelog_buffer.dir/buffer_pool.cc.o"
+  "CMakeFiles/finelog_buffer.dir/buffer_pool.cc.o.d"
+  "libfinelog_buffer.a"
+  "libfinelog_buffer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/finelog_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

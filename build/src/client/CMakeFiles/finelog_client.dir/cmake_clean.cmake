@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/finelog_client.dir/client.cc.o"
+  "CMakeFiles/finelog_client.dir/client.cc.o.d"
+  "CMakeFiles/finelog_client.dir/client_recovery.cc.o"
+  "CMakeFiles/finelog_client.dir/client_recovery.cc.o.d"
+  "libfinelog_client.a"
+  "libfinelog_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/finelog_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/finelog_common.dir/status.cc.o"
+  "CMakeFiles/finelog_common.dir/status.cc.o.d"
+  "libfinelog_common.a"
+  "libfinelog_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/finelog_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/finelog_core.dir/oracle.cc.o"
+  "CMakeFiles/finelog_core.dir/oracle.cc.o.d"
+  "CMakeFiles/finelog_core.dir/system.cc.o"
+  "CMakeFiles/finelog_core.dir/system.cc.o.d"
+  "CMakeFiles/finelog_core.dir/workload.cc.o"
+  "CMakeFiles/finelog_core.dir/workload.cc.o.d"
+  "libfinelog_core.a"
+  "libfinelog_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/finelog_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/finelog_lock.dir/glm.cc.o"
+  "CMakeFiles/finelog_lock.dir/glm.cc.o.d"
+  "CMakeFiles/finelog_lock.dir/llm.cc.o"
+  "CMakeFiles/finelog_lock.dir/llm.cc.o.d"
+  "libfinelog_lock.a"
+  "libfinelog_lock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/finelog_lock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

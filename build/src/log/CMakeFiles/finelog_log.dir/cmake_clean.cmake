@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/finelog_log.dir/log_manager.cc.o"
+  "CMakeFiles/finelog_log.dir/log_manager.cc.o.d"
+  "CMakeFiles/finelog_log.dir/log_record.cc.o"
+  "CMakeFiles/finelog_log.dir/log_record.cc.o.d"
+  "libfinelog_log.a"
+  "libfinelog_log.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/finelog_log.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

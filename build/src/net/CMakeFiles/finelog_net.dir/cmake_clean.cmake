@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/finelog_net.dir/message.cc.o"
+  "CMakeFiles/finelog_net.dir/message.cc.o.d"
+  "libfinelog_net.a"
+  "libfinelog_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/finelog_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/finelog_server.dir/dct.cc.o"
+  "CMakeFiles/finelog_server.dir/dct.cc.o.d"
+  "CMakeFiles/finelog_server.dir/page_merge.cc.o"
+  "CMakeFiles/finelog_server.dir/page_merge.cc.o.d"
+  "CMakeFiles/finelog_server.dir/server.cc.o"
+  "CMakeFiles/finelog_server.dir/server.cc.o.d"
+  "CMakeFiles/finelog_server.dir/server_recovery.cc.o"
+  "CMakeFiles/finelog_server.dir/server_recovery.cc.o.d"
+  "libfinelog_server.a"
+  "libfinelog_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/finelog_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

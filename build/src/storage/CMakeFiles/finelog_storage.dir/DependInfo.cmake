@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/disk_manager.cc" "src/storage/CMakeFiles/finelog_storage.dir/disk_manager.cc.o" "gcc" "src/storage/CMakeFiles/finelog_storage.dir/disk_manager.cc.o.d"
+  "/root/repo/src/storage/page.cc" "src/storage/CMakeFiles/finelog_storage.dir/page.cc.o" "gcc" "src/storage/CMakeFiles/finelog_storage.dir/page.cc.o.d"
+  "/root/repo/src/storage/space_map.cc" "src/storage/CMakeFiles/finelog_storage.dir/space_map.cc.o" "gcc" "src/storage/CMakeFiles/finelog_storage.dir/space_map.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/finelog_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/finelog_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

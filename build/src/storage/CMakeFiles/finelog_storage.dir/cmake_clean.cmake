@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/finelog_storage.dir/disk_manager.cc.o"
+  "CMakeFiles/finelog_storage.dir/disk_manager.cc.o.d"
+  "CMakeFiles/finelog_storage.dir/page.cc.o"
+  "CMakeFiles/finelog_storage.dir/page.cc.o.d"
+  "CMakeFiles/finelog_storage.dir/space_map.cc.o"
+  "CMakeFiles/finelog_storage.dir/space_map.cc.o.d"
+  "libfinelog_storage.a"
+  "libfinelog_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/finelog_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

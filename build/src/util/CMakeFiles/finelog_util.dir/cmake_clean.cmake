@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/finelog_util.dir/crc32.cc.o"
+  "CMakeFiles/finelog_util.dir/crc32.cc.o.d"
+  "libfinelog_util.a"
+  "libfinelog_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/finelog_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

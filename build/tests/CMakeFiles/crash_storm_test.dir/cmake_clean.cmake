@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crash_storm_test.dir/crash_storm_test.cc.o"
+  "CMakeFiles/crash_storm_test.dir/crash_storm_test.cc.o.d"
+  "crash_storm_test"
+  "crash_storm_test.pdb"
+  "crash_storm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crash_storm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deescalation_test.dir/deescalation_test.cc.o"
+  "CMakeFiles/deescalation_test.dir/deescalation_test.cc.o.d"
+  "deescalation_test"
+  "deescalation_test.pdb"
+  "deescalation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deescalation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/durability_property_test.cc" "tests/CMakeFiles/durability_property_test.dir/durability_property_test.cc.o" "gcc" "tests/CMakeFiles/durability_property_test.dir/durability_property_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/finelog_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/client/CMakeFiles/finelog_client.dir/DependInfo.cmake"
+  "/root/repo/build/src/server/CMakeFiles/finelog_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/log/CMakeFiles/finelog_log.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/finelog_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/lock/CMakeFiles/finelog_lock.dir/DependInfo.cmake"
+  "/root/repo/build/src/buffer/CMakeFiles/finelog_buffer.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/finelog_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/finelog_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/finelog_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/durability_property_test.dir/durability_property_test.cc.o"
+  "CMakeFiles/durability_property_test.dir/durability_property_test.cc.o.d"
+  "durability_property_test"
+  "durability_property_test.pdb"
+  "durability_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/durability_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

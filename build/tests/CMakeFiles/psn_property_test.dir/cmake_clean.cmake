@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psn_property_test.dir/psn_property_test.cc.o"
+  "CMakeFiles/psn_property_test.dir/psn_property_test.cc.o.d"
+  "psn_property_test"
+  "psn_property_test.pdb"
+  "psn_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psn_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reserved_resize_test.dir/reserved_resize_test.cc.o"
+  "CMakeFiles/reserved_resize_test.dir/reserved_resize_test.cc.o.d"
+  "reserved_resize_test"
+  "reserved_resize_test.pdb"
+  "reserved_resize_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reserved_resize_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
