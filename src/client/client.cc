@@ -18,7 +18,7 @@ Result<std::unique_ptr<Client>> Client::Create(ClientId id,
   FINELOG_ASSIGN_OR_RETURN(
       client->log_,
       LogManager::Open(config.dir + "/client" + std::to_string(id) + ".log",
-                       config.client_log_capacity));
+                       config.client_log_capacity, client->LogIo()));
   client->cache_ = std::make_unique<BufferPool>(config.client_cache_pages);
   return client;
 }
@@ -42,7 +42,7 @@ Result<Client::Txn*> Client::GetActiveTxn(TxnId txn) {
 
 Result<TxnId> Client::Begin() {
   if (crashed_) return Status::Crashed("client down");
-  TxnId id = (static_cast<TxnId>(id_ + 1) << 32) | next_txn_seq_++;
+  TxnId id = MakeTxnId(id_, next_txn_seq_++);
   txns_[id] = Txn{};
   metrics_->Add("client.txn_begins");
   return id;

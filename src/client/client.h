@@ -166,6 +166,14 @@ class Client : public ClientEndpoint {
 
   Result<Txn*> GetActiveTxn(TxnId txn);
 
+  // Fault-injection I/O options for the private log, derived from config_
+  // (used at Create and at every post-crash reopen).
+  LogIoOptions LogIo() const {
+    return LogIoOptions{config_.fault_injector,
+                        "client" + std::to_string(id_) + ".log",
+                        config_.debug_trust_log_tail};
+  }
+
   // Lock acquisition with LLM caching; a miss goes to the server and the
   // reply's object/page image is installed (client-side merge, Section 2).
   Status AcquireObjectLock(TxnId txn, ObjectId oid, LockMode mode);

@@ -45,7 +45,7 @@ Status Client::Crash() {
   FINELOG_ASSIGN_OR_RETURN(
       log_, LogManager::Open(config_.dir + "/client" + std::to_string(id_) +
                                  ".log",
-                             config_.client_log_capacity));
+                             config_.client_log_capacity, LogIo()));
   metrics_->Add("client.crashes");
   return Status::OK();
 }
@@ -73,8 +73,7 @@ Result<Client::AnalysisResult> Client::RunAnalysis() {
     // Transaction ids must never be reused across a crash (their log
     // records would alias); resume the sequence past every id in the tail.
     if (rec.txn != kInvalidTxnId) {
-      next_txn_seq_ =
-          std::max<uint64_t>(next_txn_seq_, (rec.txn & 0xFFFFFFFFull) + 1);
+      next_txn_seq_ = std::max<uint64_t>(next_txn_seq_, TxnSeqOf(rec.txn) + 1);
     }
     switch (rec.type) {
       case LogRecordType::kUpdate:
@@ -470,6 +469,13 @@ Result<std::vector<CallbackListEntry>> Client::HandleRecScanCallbacks(
   // Callback records this client wrote naming `responder` for objects on
   // `pid`; only the most recent PSN per object matters (Section 3.4).
   std::map<ObjectId, Psn> latest;
+  // A hand-off marker suppresses the responder's replay only once this
+  // client durably continued the object's history (an Update/CLR after the
+  // Callback record). A callback at the durable tail with its follow-up
+  // update lost (torn force, abort between the two appends) must not
+  // suppress: the responder's log is then the only durable source of the
+  // object's committed value.
+  std::map<ObjectId, Psn> pending;
   // Scan the whole retained log: hand-off records older than the current
   // reclaim point can still order another client's replay (the paper bounds
   // this scan by the DPT RedoLSN, an optimization that relies on flush
@@ -485,7 +491,17 @@ Result<std::vector<CallbackListEntry>> Client::HandleRecScanCallbacks(
       if (rec.cb_object.slot == kInvalidSlotId) {
         return Status::OK();
       }
-      latest[rec.cb_object] = rec.cb_psn;
+      pending[rec.cb_object] = rec.cb_psn;
+      return Status::OK();
+    }
+    if ((rec.type == LogRecordType::kUpdate ||
+         rec.type == LogRecordType::kClr) &&
+        rec.page == pid) {
+      auto pit = pending.find(ObjectId{rec.page, rec.slot});
+      if (pit != pending.end()) {
+        latest[pit->first] = pit->second;
+        pending.erase(pit);
+      }
     }
     return Status::OK();
   });

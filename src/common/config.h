@@ -12,6 +12,8 @@
 
 namespace finelog {
 
+class FaultInjector;
+
 // Where log records are made durable (Section 4.1).
 enum class LoggingPolicy {
   // The paper: each client writes log records to its own private log disk;
@@ -88,6 +90,18 @@ struct SystemConfig {
 
   // Workspace directory for database, server log and client logs.
   std::string dir = "/tmp/finelog";
+
+  // Fault injection (tests/harnesses only). When set, every durability-
+  // critical I/O site -- client log forces/appends, the server log, the
+  // database page writes and the doublewrite journal -- reports to this
+  // injector before touching the file, and the armed fault (EIO, torn or
+  // short write) fires at the configured hit. Not owned. See util/fault.h.
+  FaultInjector* fault_injector = nullptr;
+
+  // Deliberately broken recovery paths, used by the crash-sweep harness to
+  // prove it detects real bugs. Never enable outside self-tests.
+  bool debug_trust_log_tail = false;        // Skip the log-tail CRC scan.
+  bool debug_skip_journal_replay = false;   // Ignore the doublewrite journal.
 };
 
 }  // namespace finelog

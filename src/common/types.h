@@ -35,6 +35,18 @@ inline constexpr TxnId kInvalidTxnId = 0;
 inline constexpr Lsn kNullLsn = 0;
 inline constexpr Lsn kMaxLsn = ~0ull;
 
+// TxnIds encode their owning client so private-log records are globally
+// attributable: (client + 1) in the high 32 bits -- the +1 keeps every valid
+// TxnId distinct from kInvalidTxnId -- and a per-client sequence number
+// below. Encode and decode through these helpers only.
+inline constexpr TxnId MakeTxnId(ClientId client, uint64_t seq) {
+  return (static_cast<TxnId>(client + 1) << 32) | seq;
+}
+inline constexpr ClientId ClientOfTxn(TxnId txn) {
+  return static_cast<ClientId>((txn >> 32) - 1);
+}
+inline constexpr uint64_t TxnSeqOf(TxnId txn) { return txn & 0xFFFFFFFFull; }
+
 // Identifies an object: the page it lives on plus its slot within the page.
 struct ObjectId {
   PageId page = kInvalidPageId;

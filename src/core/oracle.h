@@ -45,12 +45,49 @@ class Oracle {
   // A crash aborts every staged transaction of a client.
   void CrashClient(ClientId client) {
     for (auto it = staged_.begin(); it != staged_.end();) {
-      if ((it->first >> 32) == client + 1) {
+      if (ClientOfTxn(it->first) == client) {
         it = staged_.erase(it);
       } else {
         ++it;
       }
     }
+  }
+
+  // In-doubt commits (fault injection): a Commit() call that returned an
+  // error may still be durably committed -- the commit record can reach the
+  // log before the injected failure is reported. MarkInDoubt moves the
+  // transaction's staged updates to a holding area that survives
+  // CrashClient; after recovery the harness probes the database and settles
+  // the outcome with ResolveInDoubt.
+  void MarkInDoubt(TxnId txn) {
+    auto it = staged_.find(txn);
+    if (it == staged_.end()) return;
+    in_doubt_[txn] = std::move(it->second);
+    staged_.erase(it);
+  }
+  const std::map<ObjectId, std::optional<std::string>>* InDoubt(
+      TxnId txn) const {
+    auto it = in_doubt_.find(txn);
+    return it == in_doubt_.end() ? nullptr : &it->second;
+  }
+  void ResolveInDoubt(TxnId txn, bool committed) {
+    auto it = in_doubt_.find(txn);
+    if (it == in_doubt_.end()) return;
+    if (committed) {
+      for (auto& [oid, value] : it->second) {
+        committed_[oid] = std::move(value);
+      }
+    }
+    in_doubt_.erase(it);
+  }
+  size_t in_doubt_count() const { return in_doubt_.size(); }
+
+  // Expected committed value of `oid` (outer nullopt = untracked; inner
+  // nullopt = tracked but deleted).
+  std::optional<std::optional<std::string>> CommittedValue(ObjectId oid) const {
+    auto it = committed_.find(oid);
+    if (it == committed_.end()) return std::nullopt;
+    return it->second;
   }
 
   // Seeds the expected value of untouched bootstrap objects.
@@ -81,6 +118,7 @@ class Oracle {
 
  private:
   std::map<TxnId, std::map<ObjectId, std::optional<std::string>>> staged_;
+  std::map<TxnId, std::map<ObjectId, std::optional<std::string>>> in_doubt_;
   std::map<ObjectId, std::optional<std::string>> committed_;
 };
 

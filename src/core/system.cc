@@ -6,6 +6,8 @@
 #include <cerrno>
 #include <cstring>
 
+#include "util/fault.h"
+
 namespace finelog {
 
 Result<std::unique_ptr<System>> System::Create(const SystemConfig& config) {
@@ -17,6 +19,9 @@ Result<std::unique_ptr<System>> System::Create(const SystemConfig& config) {
   }
   auto system = std::unique_ptr<System>(new System(config));
   system->channel_ = std::make_unique<Channel>(&system->clock_, config.costs);
+  if (config.fault_injector != nullptr) {
+    config.fault_injector->AttachMetrics(&system->metrics_);
+  }
 
   FINELOG_ASSIGN_OR_RETURN(
       system->server_,

@@ -82,7 +82,10 @@ Status Workload::Step(size_t i) {
 
   if (st.txn == kInvalidTxnId) {
     auto txn = client.Begin();
-    if (!txn.ok()) return txn.status();
+    if (!txn.ok()) {
+      last_failure_ = FailureInfo{i, kInvalidTxnId, false};
+      return txn.status();
+    }
     st.txn = txn.value();
     st.ops_done = 0;
     st.retries = 0;
@@ -91,7 +94,10 @@ Status Workload::Step(size_t i) {
 
   if (st.ops_done >= options_.ops_per_txn) {
     Status s = client.Commit(st.txn);
-    if (!s.ok()) return s;
+    if (!s.ok()) {
+      last_failure_ = FailureInfo{i, st.txn, true};
+      return s;
+    }
     oracle_->CommitTxn(st.txn);
     st.txn = kInvalidTxnId;
     ++st.txns_done;
@@ -135,7 +141,10 @@ Status Workload::Step(size_t i) {
     ++stats_.would_blocks;
     if (++st.retries > options_.max_retries) {
       Status a = client.Abort(st.txn);
-      if (!a.ok()) return a;
+      if (!a.ok()) {
+        last_failure_ = FailureInfo{i, st.txn, false};
+        return a;
+      }
       oracle_->AbortTxn(st.txn);
       st.txn = kInvalidTxnId;
       ++stats_.aborts;
@@ -146,12 +155,16 @@ Status Workload::Step(size_t i) {
     // The log space protocol could not make room (pinned by this very
     // transaction): abort to release the log tail.
     Status a = client.Abort(st.txn);
-    if (!a.ok()) return a;
+    if (!a.ok()) {
+      last_failure_ = FailureInfo{i, st.txn, false};
+      return a;
+    }
     oracle_->AbortTxn(st.txn);
     st.txn = kInvalidTxnId;
     ++stats_.aborts;
     return Status::OK();
   }
+  last_failure_ = FailureInfo{i, st.txn, false};
   return s;
 }
 

@@ -19,6 +19,7 @@
 #ifndef FINELOG_CORE_WORKLOAD_H_
 #define FINELOG_CORE_WORKLOAD_H_
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -75,6 +76,19 @@ class Workload {
 
   const WorkloadStats& stats() const { return stats_; }
 
+  // Attribution of the last hard (non-retriable) Step error: which client's
+  // operation failed, the transaction it was running, and whether the error
+  // surfaced from Commit. A failed Commit is special for fault-injection
+  // harnesses: the commit record may or may not be durable (in-doubt).
+  struct FailureInfo {
+    size_t client = 0;
+    TxnId txn = kInvalidTxnId;
+    bool during_commit = false;
+  };
+  const std::optional<FailureInfo>& last_failure() const {
+    return last_failure_;
+  }
+
  private:
   struct ClientState {
     TxnId txn = kInvalidTxnId;
@@ -95,6 +109,7 @@ class Workload {
   Rng rng_;
   std::vector<ClientState> states_;
   WorkloadStats stats_;
+  std::optional<FailureInfo> last_failure_;
   uint64_t start_time_us_;
 };
 

@@ -17,7 +17,8 @@ LogManager::~LogManager() {
 }
 
 Result<std::unique_ptr<LogManager>> LogManager::Open(const std::string& path,
-                                                     uint64_t capacity_bytes) {
+                                                     uint64_t capacity_bytes,
+                                                     const LogIoOptions& io) {
   std::FILE* f = std::fopen(path.c_str(), "r+b");
   bool fresh = false;
   if (f == nullptr) {
@@ -27,7 +28,7 @@ Result<std::unique_ptr<LogManager>> LogManager::Open(const std::string& path,
   if (f == nullptr) {
     return Status::IoError("open " + path + ": " + std::strerror(errno));
   }
-  auto lm = std::unique_ptr<LogManager>(new LogManager(f, capacity_bytes));
+  auto lm = std::unique_ptr<LogManager>(new LogManager(f, capacity_bytes, io));
   if (fresh) {
     FINELOG_RETURN_IF_ERROR(lm->WriteHeader());
   } else {
@@ -37,6 +38,15 @@ Result<std::unique_ptr<LogManager>> LogManager::Open(const std::string& path,
 }
 
 Status LogManager::WriteHeader() {
+  if (io_.injector != nullptr) {
+    // The 32-byte header fits one sector; model it as atomic (torn arms
+    // degrade to a clean EIO with the old header intact).
+    auto out = io_.injector->Evaluate(io_.name + ".header", kFileHeaderSize,
+                                      /*allow_torn=*/false);
+    if (out.action != FaultAction::kNone) {
+      return Status::IoError("injected fault: " + io_.name + ".header");
+    }
+  }
   Encoder enc;
   enc.PutU32(kMagic);
   enc.PutU32(1);  // version
@@ -80,6 +90,13 @@ Status LogManager::RecoverExisting() {
   }
   uint64_t file_size = static_cast<uint64_t>(st.st_size);
   Lsn pos = std::max<Lsn>(kFileHeaderSize, punched_below_);
+  if (io_.debug_trust_tail) {
+    // Broken-on-purpose recovery (harness self-test): believe every byte in
+    // the file is a durable record, skipping the CRC scan for the true tail.
+    durable_end_ = std::max<Lsn>(file_size, kFileHeaderSize);
+    end_lsn_ = durable_end_;
+    return Status::OK();
+  }
   while (pos + kFrameHeaderSize <= file_size) {
     char fh[kFrameHeaderSize];
     if (std::fseek(file_, static_cast<long>(pos), SEEK_SET) != 0 ||
@@ -109,6 +126,15 @@ Result<Lsn> LogManager::Append(const LogRecord& record,
       used_bytes() + frame_size > capacity_) {
     return Status::LogFull("private log out of space");
   }
+  if (io_.injector != nullptr) {
+    // Appends only buffer in memory; nothing can tear, so the point models
+    // a clean allocation/EIO failure before the record exists anywhere.
+    auto out = io_.injector->Evaluate(io_.name + ".append", frame_size,
+                                      /*allow_torn=*/false);
+    if (out.action != FaultAction::kNone) {
+      return Status::IoError("injected fault: " + io_.name + ".append");
+    }
+  }
   Lsn lsn = end_lsn_;
   Encoder enc(&pending_);
   enc.PutU32(static_cast<uint32_t>(body.size()));
@@ -122,6 +148,30 @@ Result<Lsn> LogManager::Append(const LogRecord& record,
 Status LogManager::Force() {
   ++force_count_;
   if (pending_.empty()) return Status::OK();
+  if (io_.injector != nullptr) {
+    auto out = io_.injector->Evaluate(io_.name + ".force", pending_.size());
+    switch (out.action) {
+      case FaultAction::kNone:
+        break;
+      case FaultAction::kError:
+        return Status::IoError("injected fault: " + io_.name + ".force");
+      case FaultAction::kTornWrite:
+      case FaultAction::kShortWrite: {
+        // A prefix of the pending frames reaches the disk -- possibly ending
+        // mid-frame -- and the force reports failure. durable_end_ and
+        // pending_ are left untouched: a retried Force() rewrites the whole
+        // buffer from durable_end_, and a crash + reopen must CRC-scan to
+        // find the last complete frame.
+        if (std::fseek(file_, static_cast<long>(durable_end_), SEEK_SET) == 0) {
+          std::fwrite(pending_.data(), 1, out.cut, file_);
+          std::fflush(file_);
+        }
+        return Status::IoError("injected " +
+                               std::string(FaultActionName(out.action)) + ": " +
+                               io_.name + ".force");
+      }
+    }
+  }
   if (std::fseek(file_, static_cast<long>(durable_end_), SEEK_SET) != 0 ||
       std::fwrite(pending_.data(), 1, pending_.size(), file_) !=
           pending_.size()) {

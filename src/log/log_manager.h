@@ -27,8 +27,21 @@
 #include "common/status.h"
 #include "common/types.h"
 #include "log/log_record.h"
+#include "util/fault.h"
 
 namespace finelog {
+
+// Fault-injection wiring for one log instance. `name` prefixes the
+// fail-points this log reports: "<name>.append", "<name>.force" and
+// "<name>.header". `debug_trust_tail` is a deliberately broken recovery mode
+// for harness self-tests: reopen trusts the whole file instead of CRC-
+// scanning for the durable end, so an injected torn tail is replayed as if
+// it were valid.
+struct LogIoOptions {
+  FaultInjector* injector = nullptr;
+  std::string name = "log";
+  bool debug_trust_tail = false;
+};
 
 class LogManager {
  public:
@@ -44,7 +57,8 @@ class LogManager {
   // header validating checksums to locate the durable end of the log;
   // anything after the first invalid frame is discarded (torn tail).
   static Result<std::unique_ptr<LogManager>> Open(const std::string& path,
-                                                  uint64_t capacity_bytes = 0);
+                                                  uint64_t capacity_bytes = 0,
+                                                  const LogIoOptions& io = {});
 
   // Appends a record and returns its LSN. The record is durable only after
   // the next Force(). Fails with kLogFull on a bounded log that is out of
@@ -93,13 +107,15 @@ class LogManager {
   uint64_t force_count() const { return force_count_; }
 
  private:
-  LogManager(std::FILE* f, uint64_t capacity) : file_(f), capacity_(capacity) {}
+  LogManager(std::FILE* f, uint64_t capacity, const LogIoOptions& io)
+      : file_(f), capacity_(capacity), io_(io) {}
 
   Status WriteHeader();
   Status RecoverExisting();
 
   std::FILE* file_;
   uint64_t capacity_;
+  LogIoOptions io_;
   Lsn durable_end_ = kFileHeaderSize;
   Lsn end_lsn_ = kFileHeaderSize;
   Lsn checkpoint_lsn_ = kNullLsn;

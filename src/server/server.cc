@@ -20,13 +20,24 @@ Result<std::unique_ptr<Server>> Server::Create(const SystemConfig& config,
                                                Metrics* metrics) {
   auto server = std::unique_ptr<Server>(new Server(config, channel, metrics));
   FINELOG_ASSIGN_OR_RETURN(
-      server->disk_, DiskManager::Open(config.dir + "/db.pages", config.page_size));
+      server->disk_, DiskManager::Open(config.dir + "/db.pages", config.page_size,
+                                       server->DiskIo()));
   FINELOG_ASSIGN_OR_RETURN(
       server->space_map_, SpaceMap::Open(config.dir + "/db.spacemap", config.num_pages));
   FINELOG_ASSIGN_OR_RETURN(server->log_,
-                           LogManager::Open(config.dir + "/server.log"));
+                           LogManager::Open(config.dir + "/server.log", 0,
+                                            server->LogIo()));
   server->pool_ = std::make_unique<BufferPool>(config.server_cache_pages);
   return server;
+}
+
+DiskIoOptions Server::DiskIo() const {
+  return DiskIoOptions{config_.fault_injector, "server.disk",
+                       config_.debug_skip_journal_replay};
+}
+
+LogIoOptions Server::LogIo() const {
+  return LogIoOptions{config_.fault_injector, "server.log", false};
 }
 
 void Server::RegisterClient(ClientId id, ClientEndpoint* endpoint) {
@@ -59,8 +70,14 @@ Status Server::Crash() {
   dct_.Clear();
   token_holder_.clear();
   // The server log is forced at every append site, so reopening loses
-  // nothing; reopening models the post-crash process state.
-  FINELOG_ASSIGN_OR_RETURN(log_, LogManager::Open(config_.dir + "/server.log"));
+  // nothing; reopening models the post-crash process state. The database
+  // file is reopened too: DiskManager::Open replays (or invalidates) the
+  // doublewrite journal, resolving any write a fault injector left torn.
+  FINELOG_ASSIGN_OR_RETURN(
+      disk_, DiskManager::Open(config_.dir + "/db.pages", config_.page_size,
+                               DiskIo()));
+  FINELOG_ASSIGN_OR_RETURN(
+      log_, LogManager::Open(config_.dir + "/server.log", 0, LogIo()));
   metrics_->Add("server.crashes");
   return Status::OK();
 }

@@ -123,6 +123,11 @@ class Server : public ServerEndpoint {
   Server(const SystemConfig& config, Channel* channel, Metrics* metrics)
       : config_(config), channel_(channel), metrics_(metrics) {}
 
+  // Fault-injection I/O options for the database disk and the server log,
+  // derived from config_ (used at Create and at every post-crash reopen).
+  DiskIoOptions DiskIo() const;
+  LogIoOptions LogIo() const;
+
   // Returns the server's current copy of `pid`, reading it from disk into
   // the pool if needed. Fails with NotFound if the page was never written
   // and is not in the pool.

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <filesystem>
+
 #include "log/log_record.h"
 #include "tests/test_util.h"
 
@@ -200,6 +203,94 @@ TEST_F(LogTest, TruncatedRecordDetected) {
   std::string bytes = rec.Encode();
   bytes.resize(bytes.size() / 2);
   EXPECT_FALSE(LogRecord::Decode(bytes).ok());
+}
+
+// Torn-tail recovery: a crash (or injected torn force) can leave the file
+// ending mid-record. Reopen must CRC-scan to the last complete frame and
+// discard everything after it.
+
+class TornTailTest : public LogTest {
+ protected:
+  // Writes three forced records; returns their LSNs plus the end LSN.
+  std::vector<Lsn> WriteThreeRecords() {
+    auto log = OpenLog();
+    std::vector<Lsn> lsns;
+    for (int i = 0; i < 3; ++i) {
+      lsns.push_back(log->Append(SampleUpdate(1, kNullLsn, i, i)).value());
+    }
+    EXPECT_TRUE(log->Force().ok());
+    lsns.push_back(log->end_lsn());
+    return lsns;
+  }
+
+  void TruncateTo(uint64_t size) {
+    std::filesystem::resize_file(dir_ + "/test.log", size);
+  }
+
+  void FlipByteAt(uint64_t offset) {
+    std::FILE* f = std::fopen((dir_ + "/test.log").c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fseek(f, static_cast<long>(offset), SEEK_SET), 0);
+    int c = std::fgetc(f);
+    ASSERT_NE(c, EOF);
+    ASSERT_EQ(std::fseek(f, static_cast<long>(offset), SEEK_SET), 0);
+    std::fputc(c ^ 0xFF, f);
+    std::fclose(f);
+  }
+
+  // Recovery must stop exactly at the end of record 2 and the log must
+  // accept new appends there.
+  void ExpectTailDiscarded(const std::vector<Lsn>& lsns) {
+    auto log = OpenLog();
+    EXPECT_EQ(log->durable_lsn(), lsns[2]);
+    EXPECT_EQ(log->end_lsn(), log->durable_lsn());
+    EXPECT_TRUE(log->Read(lsns[0]).ok());
+    EXPECT_TRUE(log->Read(lsns[1]).ok());
+    EXPECT_FALSE(log->Read(lsns[2]).ok());
+    int count = 0;
+    EXPECT_TRUE(log->Scan(log->begin_lsn(), [&](const LogRecord&) {
+                     ++count;
+                     return Status::OK();
+                   }).ok());
+    EXPECT_EQ(count, 2);
+    Lsn next = log->Append(SampleUpdate(2, kNullLsn, 9, 9)).value();
+    EXPECT_EQ(next, lsns[2]);
+    EXPECT_TRUE(log->Force().ok());
+  }
+};
+
+TEST_F(TornTailTest, TruncatedMidBodyDiscarded) {
+  std::vector<Lsn> lsns = WriteThreeRecords();
+  // Cut the last record in the middle of its body.
+  TruncateTo(lsns[2] + LogManager::kFrameHeaderSize +
+             (lsns[3] - lsns[2] - LogManager::kFrameHeaderSize) / 2);
+  ExpectTailDiscarded(lsns);
+}
+
+TEST_F(TornTailTest, TruncatedMidFrameHeaderDiscarded) {
+  std::vector<Lsn> lsns = WriteThreeRecords();
+  // Only half of the last record's 8-byte frame header reached the disk.
+  TruncateTo(lsns[2] + LogManager::kFrameHeaderSize / 2);
+  ExpectTailDiscarded(lsns);
+}
+
+TEST_F(TornTailTest, CorruptedTailBodyDiscarded) {
+  std::vector<Lsn> lsns = WriteThreeRecords();
+  // Full length on disk, but one body byte of the last record flipped: the
+  // CRC must reject it.
+  FlipByteAt(lsns[2] + LogManager::kFrameHeaderSize + 3);
+  ExpectTailDiscarded(lsns);
+}
+
+TEST_F(TornTailTest, CorruptedMidLogStopsScanThere) {
+  std::vector<Lsn> lsns = WriteThreeRecords();
+  // Corrupt the SECOND record: everything from it on is discarded, even
+  // though the third record is intact (no valid chain past a bad frame).
+  FlipByteAt(lsns[1] + LogManager::kFrameHeaderSize + 3);
+  auto log = OpenLog();
+  EXPECT_EQ(log->durable_lsn(), lsns[1]);
+  EXPECT_TRUE(log->Read(lsns[0]).ok());
+  EXPECT_FALSE(log->Read(lsns[1]).ok());
 }
 
 }  // namespace
