@@ -33,21 +33,24 @@ void RunOne(uint32_t dirty_pages, uint32_t flushed_pages) {
 
   // Phase 1: the to-be-flushed subset. Commit, ship, downgrade (via a read
   // from client 1) and force -- the server then drops the DCT entries.
-  for (PageId p = 0; p < flushed_pages; ++p) {
+  for (uint32_t i = 0; i < flushed_pages; ++i) {
+    PageId p(i);
     TxnId txn = c0.Begin().value();
     (void)c0.Write(txn, ObjectId{p, 0}, std::string(config.object_size, 'f'));
     (void)c0.Commit(txn);
   }
   (void)c0.ShipAllDirtyPages();
-  for (PageId p = 0; p < flushed_pages; ++p) {
+  for (uint32_t i = 0; i < flushed_pages; ++i) {
+    PageId p(i);
     TxnId txn = c1.Begin().value();
     (void)c1.Read(txn, ObjectId{p, 0});
     (void)c1.Commit(txn);
-    (void)system->server().ForcePage(0, p);
+    (void)system->server().ForcePage(ClientId(0), p);
   }
 
   // Phase 2: pages that are dirty only at the client when it crashes.
-  for (PageId p = flushed_pages; p < dirty_pages; ++p) {
+  for (uint32_t i = flushed_pages; i < dirty_pages; ++i) {
+    PageId p(i);
     TxnId txn = c0.Begin().value();
     (void)c0.Write(txn, ObjectId{p, 0}, std::string(config.object_size, 'd'));
     (void)c0.Commit(txn);

@@ -27,8 +27,8 @@ void RunOne(uint32_t clients, uint32_t shared_pages) {
   for (uint32_t i = 0; i < clients; ++i) {
     Client& c = system->client(i);
     TxnId txn = c.Begin().value();
-    for (PageId p = 0; p < shared_pages; ++p) {
-      (void)c.Write(txn, ObjectId{p, static_cast<SlotId>(i % 16)},
+    for (uint32_t pi = 0; pi < shared_pages; ++pi) {
+      (void)c.Write(txn, ObjectId{PageId(pi), static_cast<SlotId>(i % 16)},
                     std::string(config.object_size, char('a' + i)));
     }
     (void)c.Commit(txn);

@@ -32,7 +32,7 @@ void RunOne(const char* label, uint32_t crash_clients, bool crash_server) {
 
   for (uint32_t i = 0; i < crash_clients; ++i) {
     (void)system->CrashClient(i);
-    oracle.CrashClient(i);
+    oracle.CrashClient(ClientId(i));
     workload.OnClientCrashed(i);
   }
   if (crash_server) (void)system->CrashServer();

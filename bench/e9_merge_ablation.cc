@@ -21,7 +21,7 @@ constexpr int kObjectSize = 128;
 
 Page MakeBase() {
   Page page(kPageSize);
-  page.Format(1, 10);
+  page.Format(PageId(1), Psn(10));
   for (int i = 0; i < kSlots; ++i) {
     (void)page.CreateObject(std::string(kObjectSize, 'a'));
   }
@@ -34,13 +34,13 @@ void BM_MergePageCopies(benchmark::State& state) {
   Page base = MakeBase();
   Page remote = base;
   ShippedPage shipped;
-  shipped.page = 1;
+  shipped.page = PageId(1);
   for (int i = 0; i < modified; ++i) {
     (void)remote.WriteObject(static_cast<SlotId>(i),
                              std::string(kObjectSize, 'b'));
     shipped.modified_slots.push_back(static_cast<SlotId>(i));
   }
-  remote.set_psn(20);
+  remote.set_psn(Psn(20));
   shipped.image = remote.raw();
   for (auto _ : state) {
     Page local = base;
@@ -59,8 +59,9 @@ void BM_MergeLogRecords(benchmark::State& state) {
   std::vector<std::string> encoded;
   for (int i = 0; i < records; ++i) {
     LogRecord rec = LogRecord::Update(
-        1, kNullLsn, 1, static_cast<SlotId>(i % kSlots), UpdateOp::kOverwrite,
-        10 + i, std::string(kObjectSize, 'b'), std::string(kObjectSize, 'a'));
+        TxnId(1), kNullLsn, PageId(1), static_cast<SlotId>(i % kSlots),
+        UpdateOp::kOverwrite, Psn(10 + i), std::string(kObjectSize, 'b'),
+        std::string(kObjectSize, 'a'));
     encoded.push_back(rec.Encode());
   }
   for (auto _ : state) {
@@ -80,7 +81,7 @@ void BM_PsnMergeBump(benchmark::State& state) {
   Page a = MakeBase();
   Page b = MakeBase();
   for (auto _ : state) {
-    Psn merged = std::max(a.psn(), b.psn()) + 1;
+    Psn merged = Psn::Merge(a.psn(), b.psn());
     a.set_psn(merged);
     benchmark::DoNotOptimize(merged);
   }
@@ -100,7 +101,8 @@ BENCHMARK(BM_PageChecksum);
 
 // Supporting micro: log record encode/decode (the private-log write path).
 void BM_LogRecordRoundTrip(benchmark::State& state) {
-  LogRecord rec = LogRecord::Update(1, 100, 5, 3, UpdateOp::kOverwrite, 42,
+  LogRecord rec = LogRecord::Update(TxnId(1), Lsn(100), PageId(5), 3,
+                                    UpdateOp::kOverwrite, Psn(42),
                                     std::string(kObjectSize, 'r'),
                                     std::string(kObjectSize, 'u'));
   for (auto _ : state) {

@@ -71,7 +71,7 @@ bool CheckLog(const std::string& path, bool server_log) {
   }
   std::printf("  %-28s %6zu records, durable_end=%" PRIu64 "\n",
               std::filesystem::path(path).filename().c_str(), records,
-              log.durable_lsn());
+              log.durable_lsn().value());
   return true;
 }
 
@@ -110,23 +110,24 @@ int main(int argc, char** argv) {
   }
   auto dm = DiskManager::Open(dir + "/db.pages", page_size);
   uint32_t on_disk = 0;
-  for (PageId p = 0; p < sm.value()->num_pages(); ++p) {
+  for (uint32_t i = 0; i < sm.value()->num_pages(); ++i) {
+    PageId p(i);
     if (!sm.value()->IsAllocated(p)) continue;
     Page page(page_size);
     Status st = dm.value()->ReadPage(p, &page);
     if (st.IsNotFound()) continue;  // Never flushed: fine.
     if (!st.ok()) {
-      Problem("page %u unreadable: %s", p, st.ToString().c_str());
+      Problem("page %u unreadable: %s", p.value(), st.ToString().c_str());
       continue;
     }
     ++on_disk;
     if (page.id() != p) {
-      Problem("page %u header claims id %u", p, page.id());
+      Problem("page %u header claims id %u", p.value(), page.id().value());
     }
     auto base = sm.value()->BasePsn(p);
     if (base.ok() && page.psn() < base.value()) {
-      Problem("page %u psn %" PRIu64 " below allocation psn %" PRIu64, p,
-              page.psn(), base.value());
+      Problem("page %u psn %" PRIu64 " below allocation psn %" PRIu64,
+              p.value(), page.psn().value(), base.value().value());
     }
   }
   std::printf("pages: %u allocated, %u verified on disk (page_size=%u)\n",

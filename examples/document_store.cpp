@@ -40,7 +40,7 @@ int main() {
     docs.push_back(editor.Create(draft, folder, body).value());
   }
   if (!editor.Commit(draft).ok()) return 1;
-  std::printf("created %zu documents in folder page %u\n", docs.size(), folder);
+  std::printf("created %zu documents in folder page %u\n", docs.size(), folder.value());
 
   // A long editing session: extend doc 0, set a savepoint, mangle doc 1,
   // think better of it, and roll back just that part.

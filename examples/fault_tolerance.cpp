@@ -49,17 +49,17 @@ int main() {
   std::string committed = Value(config, "committed-by-c0");
   {
     TxnId txn = c0.Begin().value();
-    (void)c0.Write(txn, ObjectId{1, 0}, committed);
+    (void)c0.Write(txn, ObjectId{PageId(1), 0}, committed);
     (void)c0.Commit(txn);
     // An uncommitted transaction is in flight when the machine dies.
     TxnId loser = c0.Begin().value();
-    (void)c0.Write(txn = loser, ObjectId{1, 1}, Value(config, "uncommitted"));
+    (void)c0.Write(txn = loser, ObjectId{PageId(1), 1}, Value(config, "uncommitted"));
   }
   (void)system->CrashClient(0);
   (void)system->RecoverClient(0);
-  ok &= Expect(*system, 1, ObjectId{1, 0}, committed,
+  ok &= Expect(*system, 1, ObjectId{PageId(1), 0}, committed,
                "committed update survives");
-  ok &= Expect(*system, 1, ObjectId{1, 1}, std::string(config.object_size, '\0'),
+  ok &= Expect(*system, 1, ObjectId{PageId(1), 1}, std::string(config.object_size, '\0'),
                "uncommitted update rolled back");
 
   // --- Scenario 2: server crash, divergent copies at two clients ----------
@@ -71,25 +71,25 @@ int main() {
     // their copies; the merged copy exists only in the server's buffer
     // pool -- which the crash destroys.
     TxnId t1 = system->client(1).Begin().value();
-    (void)system->client(1).Write(t1, ObjectId{2, 0}, v1);
+    (void)system->client(1).Write(t1, ObjectId{PageId(2), 0}, v1);
     (void)system->client(1).Commit(t1);
     TxnId t2 = system->client(2).Begin().value();
-    (void)system->client(2).Write(t2, ObjectId{2, 1}, v2);
+    (void)system->client(2).Write(t2, ObjectId{PageId(2), 1}, v2);
     (void)system->client(2).Commit(t2);
     (void)system->client(1).ShipAllDirtyPages();
     (void)system->client(2).ShipAllDirtyPages();
   }
   (void)system->CrashServer();
   (void)system->RecoverAll();
-  ok &= Expect(*system, 0, ObjectId{2, 0}, v1, "client 1's update recovered");
-  ok &= Expect(*system, 0, ObjectId{2, 1}, v2, "client 2's update recovered");
+  ok &= Expect(*system, 0, ObjectId{PageId(2), 0}, v1, "client 1's update recovered");
+  ok &= Expect(*system, 0, ObjectId{PageId(2), 1}, v2, "client 2's update recovered");
 
   // --- Scenario 3: complex crash (server + clients at once) ---------------
   std::printf("scenario 3: complex crash (server + 2 clients)\n");
   std::string v3 = Value(config, "before-the-storm");
   {
     TxnId txn = system->client(0).Begin().value();
-    (void)system->client(0).Write(txn, ObjectId{3, 0}, v3);
+    (void)system->client(0).Write(txn, ObjectId{PageId(3), 0}, v3);
     (void)system->client(0).Commit(txn);
     (void)system->client(0).ShipAllDirtyPages();
   }
@@ -99,7 +99,7 @@ int main() {
   // RecoverAll sequences per Section 3.5: server restart first (work that
   // depends on crashed clients is deferred), then each client.
   (void)system->RecoverAll();
-  ok &= Expect(*system, 2, ObjectId{3, 0}, v3,
+  ok &= Expect(*system, 2, ObjectId{PageId(3), 0}, v3,
                "update survives server+client crash");
 
   std::printf("%s\n", ok ? "fault tolerance tour OK" : "TOUR FAILED");

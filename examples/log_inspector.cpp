@@ -27,42 +27,44 @@ void PrintPayload(const char* label, const std::string& bytes) {
 }
 
 void PrintRecord(const LogRecord& rec) {
-  std::printf("%8" PRIu64 "  %-16s", rec.lsn, LogRecordTypeName(rec.type));
+  std::printf("%8" PRIu64 "  %-16s", rec.lsn.value(), LogRecordTypeName(rec.type));
   if (rec.txn != kInvalidTxnId) {
-    std::printf(" txn=%" PRIx64, rec.txn);
+    std::printf(" txn=%" PRIx64, rec.txn.value());
   }
   switch (rec.type) {
     case LogRecordType::kUpdate:
-      std::printf(" page=%u slot=%u op=%d psn=%" PRIu64, rec.page, rec.slot,
-                  static_cast<int>(rec.op), rec.psn);
+      std::printf(" page=%u slot=%u op=%d psn=%" PRIu64, rec.page.value(),
+                  rec.slot, static_cast<int>(rec.op), rec.psn.value());
       PrintPayload("redo", rec.redo);
       PrintPayload("undo", rec.undo);
       break;
     case LogRecordType::kClr:
       std::printf(" page=%u slot=%u op=%d psn=%" PRIu64 " undo_next=%" PRIu64,
-                  rec.page, rec.slot, static_cast<int>(rec.op), rec.psn,
-                  rec.undo_next_lsn);
+                  rec.page.value(), rec.slot, static_cast<int>(rec.op),
+                  rec.psn.value(), rec.undo_next_lsn.value());
       PrintPayload("redo", rec.redo);
       break;
     case LogRecordType::kCallback:
       if (rec.cb_object.slot == kInvalidSlotId) {
-        std::printf(" page=%u (whole page)", rec.cb_object.page);
+        std::printf(" page=%u (whole page)", rec.cb_object.page.value());
       } else {
-        std::printf(" object=%u:%u", rec.cb_object.page, rec.cb_object.slot);
+        std::printf(" object=%u:%u", rec.cb_object.page.value(), rec.cb_object.slot);
       }
-      std::printf(" responder=%u psn=%" PRIu64, rec.cb_responder, rec.cb_psn);
+      std::printf(" responder=%u psn=%" PRIu64, rec.cb_responder.value(),
+                  rec.cb_psn.value());
       break;
     case LogRecordType::kClientCheckpoint:
       std::printf(" active_txns=%zu dpt={", rec.active_txns.size());
       for (const DptEntry& d : rec.dpt) {
-        std::printf(" %u@%" PRIu64, d.page, d.redo_lsn);
+        std::printf(" %u@%" PRIu64, d.page.value(), d.redo_lsn.value());
       }
       std::printf(" }");
       break;
     case LogRecordType::kReplacement:
-      std::printf(" page=%u page_psn=%" PRIu64 " dct={", rec.page, rec.page_psn);
+      std::printf(" page=%u page_psn=%" PRIu64 " dct={", rec.page.value(),
+                  rec.page_psn.value());
       for (const DctEntry& e : rec.dct) {
-        std::printf(" c%u@%" PRIu64, e.client, e.psn);
+        std::printf(" c%u@%" PRIu64, e.client.value(), e.psn.value());
       }
       std::printf(" }");
       break;
@@ -88,12 +90,12 @@ int main(int argc, char** argv) {
     return 1;
   }
   LogManager& log = *lm.value();
-  Lsn from = argc > 2 ? static_cast<Lsn>(std::strtoull(argv[2], nullptr, 10))
+  Lsn from = argc > 2 ? Lsn(std::strtoull(argv[2], nullptr, 10))
                       : log.begin_lsn();
   std::printf("log %s: durable_end=%" PRIu64 " checkpoint=%" PRIu64
               " reclaim=%" PRIu64 "\n",
-              argv[1], log.durable_lsn(), log.checkpoint_lsn(),
-              log.reclaim_lsn());
+              argv[1], log.durable_lsn().value(), log.checkpoint_lsn().value(),
+              log.reclaim_lsn().value());
   std::printf("%8s  %-16s detail\n", "lsn", "type");
   Status st = log.Scan(from, [&](const LogRecord& rec) {
     PrintRecord(rec);

@@ -36,7 +36,7 @@ int main() {
   TxnId txn = alice.Begin().value();
   std::string value(config.object_size, '\0');
   std::string("hello from alice").copy(value.data(), value.size());
-  if (!alice.Write(txn, ObjectId{0, 0}, value).ok()) return 1;
+  if (!alice.Write(txn, ObjectId{PageId(0), 0}, value).ok()) return 1;
 
   // Commit forces only Alice's private log -- watch the message counter.
   uint64_t msgs_before = system->channel().total_messages();
@@ -48,7 +48,7 @@ int main() {
   // Bob reads the object: the server calls Alice back, she ships her dirty
   // page, the copies are merged, and Bob sees the committed value.
   TxnId bob_txn = bob.Begin().value();
-  auto read = bob.Read(bob_txn, ObjectId{0, 0});
+  auto read = bob.Read(bob_txn, ObjectId{PageId(0), 0});
   std::printf("bob reads: \"%.16s\"\n", read.value().c_str());
   (void)bob.Commit(bob_txn);
 
@@ -59,7 +59,7 @@ int main() {
   if (!system->RecoverClient(0).ok()) return 1;
 
   TxnId check = alice.Begin().value();
-  auto after = alice.Read(check, ObjectId{0, 0});
+  auto after = alice.Read(check, ObjectId{PageId(0), 0});
   std::printf("after crash+recovery, alice reads: \"%.16s\"\n",
               after.value().c_str());
   (void)alice.Commit(check);

@@ -17,7 +17,7 @@ Result<std::unique_ptr<Client>> Client::Create(ClientId id,
       new Client(id, config, server, channel, metrics));
   FINELOG_ASSIGN_OR_RETURN(
       client->log_,
-      LogManager::Open(config.dir + "/client" + std::to_string(id) + ".log",
+      LogManager::Open(config.dir + "/client" + ToString(id) + ".log",
                        config.client_log_capacity, client->LogIo()));
   client->cache_ = std::make_unique<BufferPool>(config.client_cache_pages);
   return client;
@@ -139,7 +139,7 @@ Status Client::AcquirePageLock(TxnId txn, PageId pid, LockMode mode) {
       // our locks protected them).
       Page incoming(config_.page_size);
       incoming.raw() = *reply.value().page_image;
-      Psn merged = std::max(frame->page.psn(), incoming.psn()) + 1;
+      Psn merged = Psn::Merge(frame->page.psn(), incoming.psn());
       for (SlotId slot : frame->modified_slots) {
         if (frame->page.SlotExists(slot)) {
           auto data = frame->page.ReadObject(slot);

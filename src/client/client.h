@@ -143,7 +143,7 @@ class Client : public ClientEndpoint {
   // the end of the private log, used to advance the DPT RedoLSN when the
   // server reports the page flushed.
   struct ShipInfo {
-    Psn psn = 0;
+    Psn psn;
     Lsn log_end = kNullLsn;
   };
 
@@ -170,7 +170,7 @@ class Client : public ClientEndpoint {
   // (used at Create and at every post-crash reopen).
   LogIoOptions LogIo() const {
     return LogIoOptions{config_.fault_injector,
-                        "client" + std::to_string(id_) + ".log",
+                        "client" + ToString(id_) + ".log",
                         config_.debug_trust_log_tail};
   }
 

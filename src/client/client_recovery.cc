@@ -43,7 +43,7 @@ Status Client::Crash() {
   // Reopen the private log: the unforced tail is lost, exactly as a real
   // volatile log buffer would be.
   FINELOG_ASSIGN_OR_RETURN(
-      log_, LogManager::Open(config_.dir + "/client" + std::to_string(id_) +
+      log_, LogManager::Open(config_.dir + "/client" + ToString(id_) +
                                  ".log",
                              config_.client_log_capacity, LogIo()));
   metrics_->Add("client.crashes");
@@ -241,7 +241,7 @@ Status Client::RunRedo(const AnalysisResult& analysis,
     }
 
     FINELOG_RETURN_IF_ERROR(ApplyRedo(&page, rec));
-    page.set_psn(rec.psn + 1);
+    page.set_psn(rec.psn.Next());
     TrackModification(frame, rec.page, rec.slot);
     if (rec.op != UpdateOp::kOverwrite &&
         rec.op != UpdateOp::kResizeInPlace) {
@@ -340,7 +340,7 @@ Status Client::Restart() {
     }
     for (PageId pid : analysis.x_pages) {
       auto cit = callback_lists.find(ObjectId{pid, kInvalidSlotId});
-      Psn page_max = 0;
+      Psn page_max;
       for (const auto& [moid, mp] : analysis.max_psn) {
         if (moid.page == pid) page_max = std::max(page_max, mp);
       }
@@ -588,7 +588,7 @@ Status Client::HandleRecRecoverPage(
           image = std::move(data).value();
         }
         FINELOG_RETURN_IF_ERROR(
-            InstallObject(&session.page, oid.slot, image, 0));
+            InstallObject(&session.page, oid.slot, image, Psn{0}));
       } else {
         // Whole-page hand-off: the fetched copy supersedes ours entirely.
         session.page.raw() = incoming.raw();
@@ -617,7 +617,7 @@ Status Client::HandleRecRecoverPage(
     }
     if (apply) {
       FINELOG_RETURN_IF_ERROR(ApplyRedo(&session.page, rec));
-      session.page.set_psn(std::max(session.page.psn(), rec.psn + 1));
+      session.page.set_psn(std::max(session.page.psn(), rec.psn.Next()));
       session.modified.insert(rec.slot);
       metrics_->Add("client.recovery_redos");
     }

@@ -1,0 +1,28 @@
+// FINELOG_CHECK: invariant enforcement that survives release builds.
+//
+// assert() compiles away under NDEBUG, which is exactly the build that runs
+// long enough to hit a rare protocol violation. A failed check here means
+// the process state is no longer trustworthy (e.g. reading the value of an
+// error Result), so the only safe move is a loud, immediate abort with
+// enough context to find the call site.
+
+#ifndef FINELOG_COMMON_CHECK_H_
+#define FINELOG_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Aborts with `msg` (a string literal) if `cond` is false, in every build
+// configuration. Use for invariants whose violation makes continuing unsafe;
+// use Status returns for conditions the caller can recover from.
+#define FINELOG_CHECK(cond, msg)                                          \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::fprintf(stderr, "FINELOG_CHECK failed at %s:%d: %s (%s)\n",    \
+                   __FILE__, __LINE__, msg, #cond);                       \
+      std::fflush(stderr);                                                \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (0)
+
+#endif  // FINELOG_COMMON_CHECK_H_

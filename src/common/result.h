@@ -4,22 +4,23 @@
 #ifndef FINELOG_COMMON_RESULT_H_
 #define FINELOG_COMMON_RESULT_H_
 
-#include <cassert>
 #include <optional>
 #include <utility>
 
+#include "common/check.h"
 #include "common/status.h"
 
 namespace finelog {
 
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   // Implicit construction from a value or a non-OK Status keeps call sites
   // terse: `return value;` / `return Status::NotFound(...)`.
   Result(T value) : value_(std::move(value)) {}          // NOLINT
   Result(Status status) : status_(std::move(status)) {   // NOLINT
-    assert(!status_.ok() && "Result constructed from OK status without value");
+    FINELOG_CHECK(!status_.ok(),
+                  "Result constructed from OK status without value");
   }
 
   Result(const Result&) = default;
@@ -31,15 +32,15 @@ class Result {
   const Status& status() const { return status_; }
 
   const T& value() const& {
-    assert(ok());
+    FINELOG_CHECK(ok(), "Result::value() on error result");
     return *value_;
   }
   T& value() & {
-    assert(ok());
+    FINELOG_CHECK(ok(), "Result::value() on error result");
     return *value_;
   }
   T&& value() && {
-    assert(ok());
+    FINELOG_CHECK(ok(), "Result::value() on error result");
     return std::move(*value_);
   }
 

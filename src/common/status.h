@@ -32,7 +32,7 @@ enum class StatusCode : int {
 // Human-readable name of a StatusCode ("Ok", "WouldBlock", ...).
 std::string_view StatusCodeName(StatusCode code);
 
-class Status {
+class [[nodiscard]] Status {
  public:
   // Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}

@@ -26,7 +26,7 @@ Result<size_t> Oracle::Verify(System* system, size_t reader_index) {
       ++mismatches;
       if (std::getenv("FINELOG_DEBUG_MISMATCH") != nullptr) {
         std::fprintf(stderr, "verify mismatch obj=%u:%u got=%.8s expected=%.8s\n",
-                     oid.page, oid.slot,
+                     oid.page.value(), oid.slot,
                      got.ok() ? got.value().c_str() : got.status().ToString().c_str(),
                      expected.has_value() ? expected->c_str() : "<deleted>");
       }

@@ -33,11 +33,12 @@ Result<std::unique_ptr<System>> System::Create(const SystemConfig& config) {
   }
 
   for (uint32_t i = 0; i < config.num_clients; ++i) {
+    ClientId cid(i);
     FINELOG_ASSIGN_OR_RETURN(
         auto client,
-        Client::Create(i, config, system->server_.get(),
+        Client::Create(cid, config, system->server_.get(),
                        system->channel_.get(), &system->metrics_));
-    system->server_->RegisterClient(i, client.get());
+    system->server_->RegisterClient(cid, client.get());
     system->clients_.push_back(std::move(client));
   }
   return system;

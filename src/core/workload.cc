@@ -27,32 +27,32 @@ ObjectId Workload::PickObject(size_t i, bool for_write) {
   uint32_t pages = cfg.preloaded_pages;
   uint32_t slots = cfg.objects_per_page;
   uint32_t n = static_cast<uint32_t>(system_->num_clients());
-  PageId page = 0;
+  uint32_t page = 0;
   SlotId slot = 0;
   switch (options_.pattern) {
     case AccessPattern::kUniform:
-      page = static_cast<PageId>(rng_.Uniform(pages));
+      page = rng_.Uniform(pages);
       slot = static_cast<SlotId>(rng_.Uniform(slots));
       break;
     case AccessPattern::kHotCold: {
       uint32_t hot = std::max<uint32_t>(
           1, static_cast<uint32_t>(pages * options_.hot_fraction));
       page = rng_.Bernoulli(options_.hot_access_prob)
-                 ? static_cast<PageId>(rng_.Uniform(hot))
-                 : static_cast<PageId>(hot + rng_.Uniform(pages - hot));
+                 ? rng_.Uniform(hot)
+                 : hot + rng_.Uniform(pages - hot);
       slot = static_cast<SlotId>(rng_.Uniform(slots));
       break;
     }
     case AccessPattern::kPrivate: {
       uint32_t span = std::max<uint32_t>(1, pages / n);
-      page = static_cast<PageId>(i * span + rng_.Uniform(span));
+      page = static_cast<uint32_t>(i * span + rng_.Uniform(span));
       slot = static_cast<SlotId>(rng_.Uniform(slots));
       break;
     }
     case AccessPattern::kSharedHot: {
       uint32_t hot = std::min(options_.shared_pages, pages);
       if (rng_.Bernoulli(options_.hot_access_prob)) {
-        page = static_cast<PageId>(rng_.Uniform(hot));
+        page = rng_.Uniform(hot);
         if (for_write) {
           // Disjoint slots per client: concurrent updates to different
           // objects of the same page, the Section 3.1 scenario.
@@ -66,14 +66,14 @@ ObjectId Workload::PickObject(size_t i, bool for_write) {
       } else {
         uint32_t cold = pages - hot;
         uint32_t span = std::max<uint32_t>(1, cold / n);
-        page = static_cast<PageId>(hot + i * span + rng_.Uniform(span));
-        page = static_cast<PageId>(std::min<uint32_t>(page, pages - 1));
+        page = static_cast<uint32_t>(hot + i * span + rng_.Uniform(span));
+        page = std::min<uint32_t>(page, pages - 1);
         slot = static_cast<SlotId>(rng_.Uniform(slots));
       }
       break;
     }
   }
-  return ObjectId{page, slot};
+  return ObjectId{PageId(page), slot};
 }
 
 Status Workload::Step(size_t i) {
@@ -124,7 +124,7 @@ Status Workload::Step(size_t i) {
           std::fprintf(stderr,
                        "read mismatch: client=%zu obj=%u:%u got=%.8s... "
                        "expected=%.8s...\n",
-                       i, oid.page, oid.slot, got.value().c_str(),
+                       i, oid.page.value(), oid.slot, got.value().c_str(),
                        (*expected)->c_str());
         }
       }

@@ -50,9 +50,9 @@ Status LogManager::WriteHeader() {
   Encoder enc;
   enc.PutU32(kMagic);
   enc.PutU32(1);  // version
-  enc.PutU64(checkpoint_lsn_);
-  enc.PutU64(reclaim_lsn_);
-  enc.PutU64(punched_below_);
+  enc.PutId(checkpoint_lsn_);
+  enc.PutId(reclaim_lsn_);
+  enc.PutId(punched_below_);
   if (std::fseek(file_, 0, SEEK_SET) != 0 ||
       std::fwrite(enc.buffer().data(), 1, kFileHeaderSize, file_) !=
           kFileHeaderSize) {
@@ -72,9 +72,9 @@ Status LogManager::RecoverExisting() {
   }
   Decoder dec(Slice(hdr, kFileHeaderSize));
   uint32_t magic = 0, version = 0;
-  uint64_t ckpt = 0, reclaim = 0, punched = 0;
+  Lsn ckpt, reclaim, punched;
   if (!dec.GetU32(&magic) || magic != kMagic || !dec.GetU32(&version) ||
-      !dec.GetU64(&ckpt) || !dec.GetU64(&reclaim) || !dec.GetU64(&punched)) {
+      !dec.GetId(&ckpt) || !dec.GetId(&reclaim) || !dec.GetId(&punched)) {
     return Status::Corruption("bad log file header");
   }
   checkpoint_lsn_ = ckpt;
@@ -89,17 +89,17 @@ Status LogManager::RecoverExisting() {
     return Status::IoError("fstat failed");
   }
   uint64_t file_size = static_cast<uint64_t>(st.st_size);
-  Lsn pos = std::max<Lsn>(kFileHeaderSize, punched_below_);
+  Lsn pos = std::max(Lsn{kFileHeaderSize}, punched_below_);
   if (io_.debug_trust_tail) {
     // Broken-on-purpose recovery (harness self-test): believe every byte in
     // the file is a durable record, skipping the CRC scan for the true tail.
-    durable_end_ = std::max<Lsn>(file_size, kFileHeaderSize);
+    durable_end_ = Lsn{std::max<uint64_t>(file_size, kFileHeaderSize)};
     end_lsn_ = durable_end_;
     return Status::OK();
   }
-  while (pos + kFrameHeaderSize <= file_size) {
+  while (pos.value() + kFrameHeaderSize <= file_size) {
     char fh[kFrameHeaderSize];
-    if (std::fseek(file_, static_cast<long>(pos), SEEK_SET) != 0 ||
+    if (std::fseek(file_, static_cast<long>(pos.value()), SEEK_SET) != 0 ||
         std::fread(fh, 1, kFrameHeaderSize, file_) != kFrameHeaderSize) {
       break;
     }
@@ -107,7 +107,7 @@ Status LogManager::RecoverExisting() {
     uint32_t len = 0, crc = 0;
     fdec.GetU32(&len);
     fdec.GetU32(&crc);
-    if (len == 0 || pos + kFrameHeaderSize + len > file_size) break;
+    if (len == 0 || pos.value() + kFrameHeaderSize + len > file_size) break;
     std::string body(len, '\0');
     if (std::fread(body.data(), 1, len, file_) != len) break;
     if (Crc32c(body.data(), body.size()) != crc) break;
@@ -162,7 +162,7 @@ Status LogManager::Force() {
         // pending_ are left untouched: a retried Force() rewrites the whole
         // buffer from durable_end_, and a crash + reopen must CRC-scan to
         // find the last complete frame.
-        if (std::fseek(file_, static_cast<long>(durable_end_), SEEK_SET) == 0) {
+        if (std::fseek(file_, static_cast<long>(durable_end_.value()), SEEK_SET) == 0) {
           std::fwrite(pending_.data(), 1, out.cut, file_);
           std::fflush(file_);
         }
@@ -172,7 +172,7 @@ Status LogManager::Force() {
       }
     }
   }
-  if (std::fseek(file_, static_cast<long>(durable_end_), SEEK_SET) != 0 ||
+  if (std::fseek(file_, static_cast<long>(durable_end_.value()), SEEK_SET) != 0 ||
       std::fwrite(pending_.data(), 1, pending_.size(), file_) !=
           pending_.size()) {
     return Status::IoError("log force failed");
@@ -184,7 +184,7 @@ Status LogManager::Force() {
 }
 
 Result<LogRecord> LogManager::Read(Lsn lsn) const {
-  if (lsn < kFileHeaderSize || lsn >= end_lsn_) {
+  if (lsn.value() < kFileHeaderSize || lsn >= end_lsn_) {
     return Status::NotFound("LSN out of range");
   }
   if (lsn < punched_below_) {
@@ -208,7 +208,7 @@ Result<LogRecord> LogManager::Read(Lsn lsn) const {
     }
     body.assign(pending_.data() + off + kFrameHeaderSize, len);
   } else {
-    if (std::fseek(file_, static_cast<long>(lsn), SEEK_SET) != 0 ||
+    if (std::fseek(file_, static_cast<long>(lsn.value()), SEEK_SET) != 0 ||
         std::fread(fh, 1, kFrameHeaderSize, file_) != kFrameHeaderSize) {
       return Status::IoError("frame header read failed");
     }
@@ -232,7 +232,7 @@ Result<LogRecord> LogManager::Read(Lsn lsn) const {
 
 Status LogManager::Scan(
     Lsn from, const std::function<Status(const LogRecord&)>& cb) const {
-  Lsn pos = std::max<Lsn>(from, kFileHeaderSize);
+  Lsn pos = std::max(from, Lsn{kFileHeaderSize});
   // A punched prefix contains no parseable frames; the first retained frame
   // begins exactly at the punch boundary (punching is frame-aligned only by
   // accident, so we keep the boundary at a recorded frame start: see
@@ -263,7 +263,7 @@ Result<uint64_t> LogManager::PunchReclaimedSpace() {
   // Find the last frame start at or below the reclaim point so the scan
   // boundary lands on a frame, then punch the whole blocks below it.
   Lsn limit = std::min(reclaim_lsn_, durable_end_);
-  Lsn boundary = std::max<Lsn>(punched_below_, kFileHeaderSize);
+  Lsn boundary = std::max(punched_below_, Lsn{kFileHeaderSize});
   {
     Lsn pos = boundary;
     while (pos < limit) {
@@ -277,9 +277,9 @@ Result<uint64_t> LogManager::PunchReclaimedSpace() {
   }
   constexpr uint64_t kBlock = 4096;
   uint64_t start = ((kFileHeaderSize + kBlock - 1) / kBlock) * kBlock;
-  uint64_t end = (boundary / kBlock) * kBlock;
-  if (end <= start || end <= punched_below_) return uint64_t{0};
-  uint64_t from = std::max(start, punched_below_);
+  uint64_t end = (boundary.value() / kBlock) * kBlock;
+  if (end <= start || end <= punched_below_.value()) return uint64_t{0};
+  uint64_t from = std::max(start, punched_below_.value());
   if (fallocate(fileno(file_), FALLOC_FL_PUNCH_HOLE | FALLOC_FL_KEEP_SIZE,
                 static_cast<off_t>(from),
                 static_cast<off_t>(end - from)) != 0) {

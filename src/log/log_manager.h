@@ -82,7 +82,7 @@ class LogManager {
   // LSN one past the last durable record.
   Lsn durable_lsn() const { return durable_end_; }
   // LSN of the first record.
-  Lsn begin_lsn() const { return kFileHeaderSize; }
+  Lsn begin_lsn() const { return Lsn{kFileHeaderSize}; }
 
   // Checkpoint anchor, stored in the file header (the "master record").
   Status SetCheckpointLsn(Lsn lsn);
@@ -116,11 +116,11 @@ class LogManager {
   std::FILE* file_;
   uint64_t capacity_;
   LogIoOptions io_;
-  Lsn durable_end_ = kFileHeaderSize;
-  Lsn end_lsn_ = kFileHeaderSize;
+  Lsn durable_end_{kFileHeaderSize};
+  Lsn end_lsn_{kFileHeaderSize};
   Lsn checkpoint_lsn_ = kNullLsn;
-  Lsn reclaim_lsn_ = kFileHeaderSize;
-  Lsn punched_below_ = 0;  // Everything below is already hole-punched.
+  Lsn reclaim_lsn_{kFileHeaderSize};
+  Lsn punched_below_;  // Everything below is already hole-punched.
   std::string pending_;  // Frames appended but not yet forced.
   uint64_t bytes_appended_ = 0;
   uint64_t force_count_ = 0;

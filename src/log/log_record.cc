@@ -23,25 +23,25 @@ const char* LogRecordTypeName(LogRecordType t) {
 std::string LogRecord::Encode() const {
   Encoder enc;
   enc.PutU8(static_cast<uint8_t>(type));
-  enc.PutU64(txn);
-  enc.PutU64(prev_lsn);
+  enc.PutId(txn);
+  enc.PutId(prev_lsn);
   switch (type) {
     case LogRecordType::kUpdate:
-      enc.PutU32(page);
+      enc.PutId(page);
       enc.PutU16(slot);
       enc.PutU8(static_cast<uint8_t>(op));
-      enc.PutU64(psn);
+      enc.PutId(psn);
       enc.PutU16(capacity);
       enc.PutBytes(redo);
       enc.PutBytes(undo);
       break;
     case LogRecordType::kClr:
-      enc.PutU32(page);
+      enc.PutId(page);
       enc.PutU16(slot);
       enc.PutU8(static_cast<uint8_t>(op));
-      enc.PutU64(psn);
+      enc.PutId(psn);
       enc.PutBytes(redo);
-      enc.PutU64(undo_next_lsn);
+      enc.PutId(undo_next_lsn);
       break;
     case LogRecordType::kCommit:
     case LogRecordType::kAbort:
@@ -49,34 +49,34 @@ std::string LogRecord::Encode() const {
     case LogRecordType::kSavepoint:
       break;
     case LogRecordType::kCallback:
-      enc.PutU32(cb_object.page);
+      enc.PutId(cb_object.page);
       enc.PutU16(cb_object.slot);
-      enc.PutU32(cb_responder);
-      enc.PutU64(cb_psn);
+      enc.PutId(cb_responder);
+      enc.PutId(cb_psn);
       break;
     case LogRecordType::kClientCheckpoint:
       enc.PutU32(static_cast<uint32_t>(active_txns.size()));
       for (const TxnCheckpointInfo& t : active_txns) {
-        enc.PutU64(t.txn);
-        enc.PutU64(t.first_lsn);
-        enc.PutU64(t.last_lsn);
+        enc.PutId(t.txn);
+        enc.PutId(t.first_lsn);
+        enc.PutId(t.last_lsn);
       }
       enc.PutU32(static_cast<uint32_t>(dpt.size()));
       for (const DptEntry& d : dpt) {
-        enc.PutU32(d.page);
-        enc.PutU64(d.redo_lsn);
+        enc.PutId(d.page);
+        enc.PutId(d.redo_lsn);
       }
       break;
     case LogRecordType::kReplacement:
     case LogRecordType::kServerCheckpoint:
-      enc.PutU32(page);
-      enc.PutU64(page_psn);
+      enc.PutId(page);
+      enc.PutId(page_psn);
       enc.PutU32(static_cast<uint32_t>(dct.size()));
       for (const DctEntry& e : dct) {
-        enc.PutU32(e.page);
-        enc.PutU32(e.client);
-        enc.PutU64(e.psn);
-        enc.PutU64(e.redo_lsn);
+        enc.PutId(e.page);
+        enc.PutId(e.client);
+        enc.PutId(e.psn);
+        enc.PutId(e.redo_lsn);
       }
       break;
   }
@@ -87,7 +87,7 @@ Result<LogRecord> LogRecord::Decode(Slice data) {
   Decoder dec(data);
   LogRecord rec;
   uint8_t type8 = 0;
-  if (!dec.GetU8(&type8) || !dec.GetU64(&rec.txn) || !dec.GetU64(&rec.prev_lsn)) {
+  if (!dec.GetU8(&type8) || !dec.GetId(&rec.txn) || !dec.GetId(&rec.prev_lsn)) {
     return Status::Corruption("log record header truncated");
   }
   rec.type = static_cast<LogRecordType>(type8);
@@ -95,8 +95,8 @@ Result<LogRecord> LogRecord::Decode(Slice data) {
   switch (rec.type) {
     case LogRecordType::kUpdate: {
       uint8_t op8;
-      if (!dec.GetU32(&rec.page) || !dec.GetU16(&rec.slot) || !dec.GetU8(&op8) ||
-          !dec.GetU64(&rec.psn) || !dec.GetU16(&rec.capacity) ||
+      if (!dec.GetId(&rec.page) || !dec.GetU16(&rec.slot) || !dec.GetU8(&op8) ||
+          !dec.GetId(&rec.psn) || !dec.GetU16(&rec.capacity) ||
           !dec.GetBytes(&rec.redo) || !dec.GetBytes(&rec.undo)) {
         return corrupt();
       }
@@ -105,9 +105,9 @@ Result<LogRecord> LogRecord::Decode(Slice data) {
     }
     case LogRecordType::kClr: {
       uint8_t op8;
-      if (!dec.GetU32(&rec.page) || !dec.GetU16(&rec.slot) || !dec.GetU8(&op8) ||
-          !dec.GetU64(&rec.psn) || !dec.GetBytes(&rec.redo) ||
-          !dec.GetU64(&rec.undo_next_lsn)) {
+      if (!dec.GetId(&rec.page) || !dec.GetU16(&rec.slot) || !dec.GetU8(&op8) ||
+          !dec.GetId(&rec.psn) || !dec.GetBytes(&rec.redo) ||
+          !dec.GetId(&rec.undo_next_lsn)) {
         return corrupt();
       }
       rec.op = static_cast<UpdateOp>(op8);
@@ -119,8 +119,8 @@ Result<LogRecord> LogRecord::Decode(Slice data) {
     case LogRecordType::kSavepoint:
       break;
     case LogRecordType::kCallback:
-      if (!dec.GetU32(&rec.cb_object.page) || !dec.GetU16(&rec.cb_object.slot) ||
-          !dec.GetU32(&rec.cb_responder) || !dec.GetU64(&rec.cb_psn)) {
+      if (!dec.GetId(&rec.cb_object.page) || !dec.GetU16(&rec.cb_object.slot) ||
+          !dec.GetId(&rec.cb_responder) || !dec.GetId(&rec.cb_psn)) {
         return corrupt();
       }
       break;
@@ -130,15 +130,15 @@ Result<LogRecord> LogRecord::Decode(Slice data) {
       rec.active_txns.resize(n);
       for (uint32_t i = 0; i < n; ++i) {
         TxnCheckpointInfo& t = rec.active_txns[i];
-        if (!dec.GetU64(&t.txn) || !dec.GetU64(&t.first_lsn) ||
-            !dec.GetU64(&t.last_lsn)) {
+        if (!dec.GetId(&t.txn) || !dec.GetId(&t.first_lsn) ||
+            !dec.GetId(&t.last_lsn)) {
           return corrupt();
         }
       }
       if (!dec.GetU32(&n)) return corrupt();
       rec.dpt.resize(n);
       for (uint32_t i = 0; i < n; ++i) {
-        if (!dec.GetU32(&rec.dpt[i].page) || !dec.GetU64(&rec.dpt[i].redo_lsn)) {
+        if (!dec.GetId(&rec.dpt[i].page) || !dec.GetId(&rec.dpt[i].redo_lsn)) {
           return corrupt();
         }
       }
@@ -147,14 +147,14 @@ Result<LogRecord> LogRecord::Decode(Slice data) {
     case LogRecordType::kReplacement:
     case LogRecordType::kServerCheckpoint: {
       uint32_t n = 0;
-      if (!dec.GetU32(&rec.page) || !dec.GetU64(&rec.page_psn) || !dec.GetU32(&n)) {
+      if (!dec.GetId(&rec.page) || !dec.GetId(&rec.page_psn) || !dec.GetU32(&n)) {
         return corrupt();
       }
       rec.dct.resize(n);
       for (uint32_t i = 0; i < n; ++i) {
         DctEntry& e = rec.dct[i];
-        if (!dec.GetU32(&e.page) || !dec.GetU32(&e.client) || !dec.GetU64(&e.psn) ||
-            !dec.GetU64(&e.redo_lsn)) {
+        if (!dec.GetId(&e.page) || !dec.GetId(&e.client) || !dec.GetId(&e.psn) ||
+            !dec.GetId(&e.redo_lsn)) {
           return corrupt();
         }
       }

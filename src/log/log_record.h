@@ -28,7 +28,7 @@ namespace finelog {
 
 // PSN sentinel for "unknown" DCT fields during server restart (Section 3.4
 // step 1 inserts <PID, CID, NULL, NULL> entries).
-inline constexpr Psn kNullPsn = ~0ull;
+inline constexpr Psn kNullPsn{~0ull};
 
 enum class LogRecordType : uint8_t {
   kUpdate = 1,
@@ -97,7 +97,7 @@ struct LogRecord {
   PageId page = kInvalidPageId;
   SlotId slot = kInvalidSlotId;
   UpdateOp op = UpdateOp::kOverwrite;
-  Psn psn = 0;              // PSN the page had just before this update.
+  Psn psn;                  // PSN the page had just before this update.
   uint16_t capacity = 0;    // Reserved capacity (kCreate redo only).
   std::string redo;         // After-image (or redo payload for CLRs).
   std::string undo;         // Before-image (empty for CLRs).
@@ -109,7 +109,7 @@ struct LogRecord {
   // the PSN the page had when the responder shipped it to the server.
   ObjectId cb_object;
   ClientId cb_responder = kInvalidClientId;
-  Psn cb_psn = 0;
+  Psn cb_psn;
 
   // kClientCheckpoint only.
   std::vector<TxnCheckpointInfo> active_txns;
@@ -117,7 +117,7 @@ struct LogRecord {
 
   // kReplacement only: page PSN at the time of the disk write plus the DCT
   // entries for the page. kServerCheckpoint reuses `dct` for the full table.
-  Psn page_psn = 0;
+  Psn page_psn;
   std::vector<DctEntry> dct;
 
   // Set by the log manager on read; not serialized.

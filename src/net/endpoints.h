@@ -52,14 +52,14 @@ struct ShippedPage {
 struct XCallbackInfo {
   ClientId responder = kInvalidClientId;
   ObjectId object;
-  Psn psn = 0;
+  Psn psn;
 };
 
 struct ObjectLockReply {
   bool object_present = true;
   std::optional<std::string> object_image;
   std::optional<std::string> page_image;
-  Psn server_psn = 0;  // PSN of the server's current copy.
+  Psn server_psn;  // PSN of the server's current copy.
   std::vector<XCallbackInfo> x_callbacks;
 };
 
@@ -67,7 +67,7 @@ struct PageLockReply {
   // The server always ships its current copy on a page grant; the client
   // merges its own unshipped modifications over it.
   std::optional<std::string> page_image;
-  Psn server_psn = 0;
+  Psn server_psn;
   std::vector<XCallbackInfo> x_callbacks;
 };
 
@@ -94,7 +94,7 @@ struct TokenReply {
 // recovering client shipped it in response.
 struct CallbackListEntry {
   ObjectId object;
-  Psn psn = 0;
+  Psn psn;
 };
 
 // The server's DCT entries for one recovering client (Section 3.3).
@@ -204,7 +204,7 @@ class ClientEndpoint {
     std::optional<ShippedPage> page;
     // PSN of the client's copy when it responded (recorded by the
     // requester's callback log record, Section 3.1).
-    Psn psn_at_response = 0;
+    Psn psn_at_response;
     bool dropped_page = false;  // Client dropped P from its cache.
   };
 
@@ -218,7 +218,7 @@ class ClientEndpoint {
     bool granted = false;
     std::vector<std::pair<ObjectId, LockMode>> object_locks;
     std::optional<ShippedPage> page;
-    Psn psn_at_response = 0;
+    Psn psn_at_response;
   };
 
   // Page-level de-escalation (Section 3.2, page-level conflict).

@@ -27,7 +27,7 @@ Status MergeShippedPage(Page* local, const ShippedPage& incoming) {
   if (in.id() != local->id()) {
     return Status::InvalidArgument("merging copies of different pages");
   }
-  Psn merged_psn = std::max(local->psn(), in.psn()) + 1;
+  Psn merged_psn = Psn::Merge(local->psn(), in.psn());
   if (incoming.structural) {
     // The sender held a page-level X lock: its image is authoritative.
     local->raw() = incoming.image;

@@ -713,7 +713,7 @@ Status Server::DeallocatePage(PageId pid) {
       }
     }
   }
-  Psn final_psn = 0;
+  Psn final_psn;
   if (BufferPool::Frame* frame = pool_->Peek(pid)) {
     final_psn = frame->page.psn();
     pool_->Drop(pid);

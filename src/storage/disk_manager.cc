@@ -53,34 +53,36 @@ Result<std::unique_ptr<DiskManager>> DiskManager::Open(const std::string& path,
   return dm;
 }
 
-bool DiskManager::PageOnDisk(PageId pid) const { return pid < file_pages_; }
+bool DiskManager::PageOnDisk(PageId pid) const {
+  return pid.value() < file_pages_;
+}
 
 Status DiskManager::ReadPage(PageId pid, Page* out) {
   if (!PageOnDisk(pid)) {
-    return Status::NotFound("page " + std::to_string(pid) + " not on disk");
+    return Status::NotFound("page " + ToString(pid) + " not on disk");
   }
-  if (std::fseek(file_, static_cast<long>(pid) * page_size_, SEEK_SET) != 0) {
+  if (std::fseek(file_, static_cast<long>(pid.value()) * page_size_, SEEK_SET) != 0) {
     return Status::IoError("seek failed");
   }
   out->raw().resize(page_size_);
   if (std::fread(out->raw().data(), 1, page_size_, file_) != page_size_) {
-    return Status::IoError("short read for page " + std::to_string(pid));
+    return Status::IoError("short read for page " + ToString(pid));
   }
   if (!out->VerifyChecksum()) {
-    return Status::Corruption("checksum mismatch on page " + std::to_string(pid));
+    return Status::Corruption("checksum mismatch on page " + ToString(pid));
   }
   return Status::OK();
 }
 
 Status DiskManager::WriteInPlace(PageId pid, const std::string& raw) {
-  if (std::fseek(file_, static_cast<long>(pid) * page_size_, SEEK_SET) != 0) {
+  if (std::fseek(file_, static_cast<long>(pid.value()) * page_size_, SEEK_SET) != 0) {
     return Status::IoError("seek failed");
   }
   if (std::fwrite(raw.data(), 1, page_size_, file_) != page_size_) {
-    return Status::IoError("short write for page " + std::to_string(pid));
+    return Status::IoError("short write for page " + ToString(pid));
   }
   std::fflush(file_);
-  if (pid >= file_pages_) file_pages_ = pid + 1;
+  if (pid.value() >= file_pages_) file_pages_ = pid.value() + 1;
   return Status::OK();
 }
 
@@ -102,8 +104,9 @@ Status DiskManager::ReplayJournal() {
     return Status::OK();  // Empty or truncated slot: nothing in flight.
   }
   Decoder dec(Slice(hdr, kJournalHeaderSize));
-  uint32_t magic = 0, pid = 0;
-  if (!dec.GetU32(&magic) || magic != kJournalMagic || !dec.GetU32(&pid)) {
+  uint32_t magic = 0;
+  PageId pid;
+  if (!dec.GetU32(&magic) || magic != kJournalMagic || !dec.GetId(&pid)) {
     return Status::OK();  // Invalidated or torn slot header.
   }
   Page page(page_size_);
@@ -127,7 +130,7 @@ Status DiskManager::WritePage(PageId pid, Page* page) {
   {
     Encoder enc(&slot);
     enc.PutU32(kJournalMagic);
-    enc.PutU32(pid);
+    enc.PutId(pid);
     enc.PutRaw(page->raw());
   }
   if (io_.injector != nullptr) {
@@ -148,7 +151,7 @@ Status DiskManager::WritePage(PageId pid, Page* page) {
   if (std::fseek(journal_, 0, SEEK_SET) != 0 ||
       std::fwrite(slot.data(), 1, slot.size(), journal_) != slot.size()) {
     return Status::IoError("journal write failed for page " +
-                           std::to_string(pid));
+                           ToString(pid));
   }
   std::fflush(journal_);
 
@@ -160,11 +163,11 @@ Status DiskManager::WritePage(PageId pid, Page* page) {
       return Status::IoError("injected fault: " + io_.name + ".page");
     }
     if (out.action != FaultAction::kNone) {
-      if (std::fseek(file_, static_cast<long>(pid) * page_size_, SEEK_SET) ==
+      if (std::fseek(file_, static_cast<long>(pid.value()) * page_size_, SEEK_SET) ==
           0) {
         std::fwrite(page->raw().data(), 1, out.cut, file_);
         std::fflush(file_);
-        if (pid >= file_pages_) file_pages_ = pid + 1;
+        if (pid.value() >= file_pages_) file_pages_ = pid.value() + 1;
       }
       return Status::IoError("injected " +
                              std::string(FaultActionName(out.action)) + ": " +

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "common/check.h"
+
 #include "util/crc32.h"
 
 namespace finelog {
@@ -12,8 +14,8 @@ Page::Page(uint32_t page_size) : buf_(page_size, '\0') {}
 void Page::Format(PageId id, Psn psn) {
   std::fill(buf_.begin(), buf_.end(), '\0');
   PutU32(0, kMagic);
-  PutU32(4, id);
-  PutU64(8, psn);
+  PutU32(4, id.value());
+  PutU64(8, psn.value());
   set_slot_count(0);
   set_data_start(static_cast<uint16_t>(buf_.size()));
 }
@@ -33,9 +35,18 @@ uint64_t Page::GetU64(size_t off) const {
   std::memcpy(&v, buf_.data() + off, sizeof(v));
   return v;
 }
-void Page::PutU16(size_t off, uint16_t v) { std::memcpy(buf_.data() + off, &v, sizeof(v)); }
-void Page::PutU32(size_t off, uint32_t v) { std::memcpy(buf_.data() + off, &v, sizeof(v)); }
-void Page::PutU64(size_t off, uint64_t v) { std::memcpy(buf_.data() + off, &v, sizeof(v)); }
+void Page::PutU16(size_t off, uint16_t v) {
+  FINELOG_CHECK(off + sizeof(v) <= buf_.size(), "page header write out of bounds");
+  std::memcpy(buf_.data() + off, &v, sizeof(v));
+}
+void Page::PutU32(size_t off, uint32_t v) {
+  FINELOG_CHECK(off + sizeof(v) <= buf_.size(), "page header write out of bounds");
+  std::memcpy(buf_.data() + off, &v, sizeof(v));
+}
+void Page::PutU64(size_t off, uint64_t v) {
+  FINELOG_CHECK(off + sizeof(v) <= buf_.size(), "page header write out of bounds");
+  std::memcpy(buf_.data() + off, &v, sizeof(v));
+}
 
 uint16_t Page::SlotOffset(SlotId slot) const {
   return GetU16(kHeaderSize + slot * kSlotEntrySize);
@@ -99,8 +110,10 @@ void Page::Compact() {
     }
   }
   uint16_t pos = static_cast<uint16_t>(buf_.size());
+  size_t dir_end = kHeaderSize + slot_count() * kSlotEntrySize;
   for (const Obj& o : live) {
     pos = static_cast<uint16_t>(pos - o.data.size());
+    FINELOG_CHECK(pos >= dir_end, "page compaction ran into slot directory");
     std::memcpy(buf_.data() + pos, o.data.data(), o.data.size());
     SetSlot(o.slot, pos, o.length, static_cast<uint16_t>(o.data.size()));
   }
@@ -150,6 +163,7 @@ Status Page::CreateObjectAt(SlotId slot, Slice data, uint16_t capacity) {
     pos = data_start();
     if (pos == 0) return Status::FailedPrecondition("page full");
   } else {
+    FINELOG_CHECK(pos + capacity <= buf_.size(), "object allocation out of bounds");
     std::memset(buf_.data() + pos, 0, capacity);
     std::memcpy(buf_.data() + pos, data.data(), data.size());
   }
@@ -172,6 +186,8 @@ Status Page::WriteObject(SlotId slot, Slice data) {
   if (data.size() != SlotLength(slot)) {
     return Status::InvalidArgument("WriteObject requires same size; use ResizeObject");
   }
+  FINELOG_CHECK(SlotOffset(slot) + data.size() <= buf_.size(),
+                "object write out of bounds");
   std::memcpy(buf_.data() + SlotOffset(slot), data.data(), data.size());
   return Status::OK();
 }
@@ -191,6 +207,7 @@ Status Page::ResizeObject(SlotId slot, Slice data) {
   if (data.size() <= capacity) {
     // Within reserved capacity: in place, slot does not move (mergeable).
     uint16_t off = SlotOffset(slot);
+    FINELOG_CHECK(off + data.size() <= buf_.size(), "object resize out of bounds");
     std::memcpy(buf_.data() + off, data.data(), data.size());
     SetSlot(slot, off, static_cast<uint16_t>(data.size()), capacity);
     return Status::OK();
@@ -201,6 +218,7 @@ Status Page::ResizeObject(SlotId slot, Slice data) {
   if (pos == 0) {
     return Status::FailedPrecondition("page full");
   }
+  FINELOG_CHECK(pos + data.size() <= buf_.size(), "object resize out of bounds");
   std::memcpy(buf_.data() + pos, data.data(), data.size());
   SetSlot(slot, pos, static_cast<uint16_t>(data.size()),
           static_cast<uint16_t>(data.size()));

@@ -58,11 +58,11 @@ class Page {
   void Format(PageId id, Psn psn);
 
   // Header accessors.
-  PageId id() const { return GetU32(4); }
-  Psn psn() const { return GetU64(8); }
-  void set_psn(Psn psn) { PutU64(8, psn); }
+  PageId id() const { return PageId(GetU32(4)); }
+  Psn psn() const { return Psn(GetU64(8)); }
+  void set_psn(Psn psn) { PutU64(8, psn.value()); }
   // Bumps the PSN by one (every transaction update does this, Section 2).
-  void BumpPsn() { set_psn(psn() + 1); }
+  void BumpPsn() { set_psn(psn().Next()); }
   uint16_t slot_count() const { return GetU16(16); }
 
   // Object operations ------------------------------------------------------

@@ -36,8 +36,8 @@ Status SpaceMap::Load(uint32_t num_pages) {
   if (count > num_pages) entries_.resize(count);
   for (uint32_t i = 0; i < count; ++i) {
     uint8_t alloc;
-    uint64_t psn;
-    if (!dec.GetU8(&alloc) || !dec.GetU64(&psn)) {
+    Psn psn;
+    if (!dec.GetU8(&alloc) || !dec.GetId(&psn)) {
       return Status::Corruption("space map truncated");
     }
     entries_[i] = Entry{alloc != 0, psn};
@@ -55,7 +55,7 @@ Status SpaceMap::Persist() const {
   enc.PutU32(static_cast<uint32_t>(entries_.size()));
   for (const Entry& e : entries_) {
     enc.PutU8(e.allocated ? 1 : 0);
-    enc.PutU64(e.last_psn);
+    enc.PutId(e.last_psn);
   }
   bool ok = std::fwrite(enc.buffer().data(), 1, enc.size(), f) == enc.size();
   std::fclose(f);
@@ -67,35 +67,38 @@ Status SpaceMap::Persist() const {
 }
 
 Result<SpaceMap::Allocation> SpaceMap::AllocatePage() {
-  for (PageId p = 0; p < entries_.size(); ++p) {
-    if (!entries_[p].allocated) {
-      entries_[p].allocated = true;
-      entries_[p].last_psn += 1;  // New incarnation starts past old PSNs.
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    if (!entries_[i].allocated) {
+      entries_[i].allocated = true;
+      // New incarnation starts past old PSNs.
+      entries_[i].last_psn = entries_[i].last_psn.Next();
       FINELOG_RETURN_IF_ERROR(Persist());
-      return Allocation{p, entries_[p].last_psn};
+      return Allocation{PageId(static_cast<uint32_t>(i)),
+                        entries_[i].last_psn};
     }
   }
   return Status::FailedPrecondition("database full: no free pages");
 }
 
 Status SpaceMap::DeallocatePage(PageId page, Psn final_psn) {
-  if (page >= entries_.size() || !entries_[page].allocated) {
+  if (page.value() >= entries_.size() || !entries_[page.value()].allocated) {
     return Status::NotFound("page not allocated");
   }
-  entries_[page].allocated = false;
-  entries_[page].last_psn = std::max(entries_[page].last_psn, final_psn);
+  entries_[page.value()].allocated = false;
+  entries_[page.value()].last_psn =
+      std::max(entries_[page.value()].last_psn, final_psn);
   return Persist();
 }
 
 Result<Psn> SpaceMap::BasePsn(PageId page) const {
-  if (page >= entries_.size() || !entries_[page].allocated) {
+  if (page.value() >= entries_.size() || !entries_[page.value()].allocated) {
     return Status::NotFound("page not allocated");
   }
-  return entries_[page].last_psn;
+  return entries_[page.value()].last_psn;
 }
 
 bool SpaceMap::IsAllocated(PageId page) const {
-  return page < entries_.size() && entries_[page].allocated;
+  return page.value() < entries_.size() && entries_[page.value()].allocated;
 }
 
 uint32_t SpaceMap::allocated_count() const {
@@ -106,8 +109,8 @@ uint32_t SpaceMap::allocated_count() const {
 
 std::vector<PageId> SpaceMap::AllocatedPages() const {
   std::vector<PageId> out;
-  for (PageId p = 0; p < entries_.size(); ++p) {
-    if (entries_[p].allocated) out.push_back(p);
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].allocated) out.push_back(PageId(static_cast<uint32_t>(i)));
   }
   return out;
 }

@@ -58,7 +58,7 @@ class SpaceMap {
  private:
   struct Entry {
     bool allocated = false;
-    Psn last_psn = 0;
+    Psn last_psn;
   };
 
   explicit SpaceMap(std::string path) : path_(std::move(path)) {}

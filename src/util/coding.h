@@ -24,6 +24,13 @@ class Encoder {
   void PutU32(uint32_t v) { PutFixed(v); }
   void PutU64(uint64_t v) { PutFixed(v); }
 
+  // Strong ID types (types.h) serialize through their raw representation;
+  // PutId/GetId keep the .value() unwrapping in one place.
+  template <typename Id>
+  void PutId(Id id) {
+    PutFixed(id.value());
+  }
+
   // Length-prefixed byte string (u32 length).
   void PutBytes(Slice data) {
     PutU32(static_cast<uint32_t>(data.size()));
@@ -67,6 +74,14 @@ class Decoder {
   bool GetU16(uint16_t* v) { return GetFixed(v); }
   bool GetU32(uint32_t* v) { return GetFixed(v); }
   bool GetU64(uint64_t* v) { return GetFixed(v); }
+
+  template <typename Id>
+  bool GetId(Id* id) {
+    typename Id::Rep raw;
+    if (!GetFixed(&raw)) return false;
+    *id = Id(raw);
+    return true;
+  }
 
   bool GetBytes(std::string* out) {
     uint32_t len;

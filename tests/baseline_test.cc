@@ -45,16 +45,16 @@ TEST_F(BaselineTest, ShipLogsAtCommitSendsCommitTraffic) {
   SystemConfig config = SmallConfig("b_shiplogs");
   config.logging_policy = LoggingPolicy::kShipLogsAtCommit;
   Start(config);
-  CommittedWrite(0, ObjectId{1, 0}, Val('A'));
+  CommittedWrite(0, ObjectId{PageId(1), 0}, Val('A'));
   EXPECT_GT(system_->channel().stats(MessageType::kCommitShipLogs).count, 0u);
   EXPECT_GT(system_->channel().stats(MessageType::kCommitShipLogs).bytes, 0u);
-  EXPECT_EQ(ReadCommitted(1, ObjectId{1, 0}), Val('A'));
+  EXPECT_EQ(ReadCommitted(1, ObjectId{PageId(1), 0}), Val('A'));
 }
 
 TEST_F(BaselineTest, ClientLocalPolicySendsNoCommitTraffic) {
   SystemConfig config = SmallConfig("b_local");
   Start(config);
-  CommittedWrite(0, ObjectId{1, 0}, Val('B'));
+  CommittedWrite(0, ObjectId{PageId(1), 0}, Val('B'));
   EXPECT_EQ(system_->channel().stats(MessageType::kCommitShipLogs).count, 0u);
   EXPECT_EQ(system_->channel().stats(MessageType::kCommitShipPages).count, 0u);
 }
@@ -63,11 +63,11 @@ TEST_F(BaselineTest, ShipPagesAtCommitPushesDataToServer) {
   SystemConfig config = SmallConfig("b_shippages");
   config.logging_policy = LoggingPolicy::kShipPagesAtCommit;
   Start(config);
-  CommittedWrite(0, ObjectId{2, 0}, Val('C'));
+  CommittedWrite(0, ObjectId{PageId(2), 0}, Val('C'));
   EXPECT_GT(system_->channel().stats(MessageType::kCommitShipPages).count, 0u);
   // The page reached the server at commit time (no replacement needed):
   // the server's copy already carries the committed value.
-  BufferPool::Frame* frame = system_->server().pool().Peek(2);
+  BufferPool::Frame* frame = system_->server().pool().Peek(PageId(2));
   ASSERT_NE(frame, nullptr);
   EXPECT_EQ(frame->page.ReadObject(0).value(), Val('C'));
 }
@@ -79,26 +79,26 @@ TEST_F(BaselineTest, PageLockingBlocksSamePageConcurrency) {
   Client& c0 = system_->client(0);
   Client& c1 = system_->client(1);
   TxnId t0 = c0.Begin().value();
-  ASSERT_TRUE(c0.Write(t0, ObjectId{3, 0}, Val('D')).ok());
+  ASSERT_TRUE(c0.Write(t0, ObjectId{PageId(3), 0}, Val('D')).ok());
   // Different object, same page: blocked under page-level locking (this is
   // exactly what fine-granularity locking avoids, Section 3.1).
   TxnId t1 = c1.Begin().value();
-  EXPECT_TRUE(c1.Write(t1, ObjectId{3, 1}, Val('E')).IsWouldBlock());
+  EXPECT_TRUE(c1.Write(t1, ObjectId{PageId(3), 1}, Val('E')).IsWouldBlock());
   ASSERT_TRUE(c0.Commit(t0).ok());
-  EXPECT_TRUE(c1.Write(t1, ObjectId{3, 1}, Val('E')).ok());
+  EXPECT_TRUE(c1.Write(t1, ObjectId{PageId(3), 1}, Val('E')).ok());
   ASSERT_TRUE(c1.Commit(t1).ok());
-  EXPECT_EQ(ReadCommitted(2, ObjectId{3, 0}), Val('D'));
-  EXPECT_EQ(ReadCommitted(2, ObjectId{3, 1}), Val('E'));
+  EXPECT_EQ(ReadCommitted(2, ObjectId{PageId(3), 0}), Val('D'));
+  EXPECT_EQ(ReadCommitted(2, ObjectId{PageId(3), 1}), Val('E'));
 }
 
 TEST_F(BaselineTest, PageLockingRecoversFromClientCrash) {
   SystemConfig config = SmallConfig("b_pagelock_rec");
   config.lock_granularity = LockGranularity::kPage;
   Start(config);
-  CommittedWrite(0, ObjectId{4, 0}, Val('F'));
+  CommittedWrite(0, ObjectId{PageId(4), 0}, Val('F'));
   ASSERT_TRUE(system_->CrashClient(0).ok());
   ASSERT_TRUE(system_->RecoverClient(0).ok());
-  EXPECT_EQ(ReadCommitted(1, ObjectId{4, 0}), Val('F'));
+  EXPECT_EQ(ReadCommitted(1, ObjectId{PageId(4), 0}), Val('F'));
 }
 
 TEST_F(BaselineTest, UpdateTokenSerializesPhysicalUpdates) {
@@ -108,17 +108,17 @@ TEST_F(BaselineTest, UpdateTokenSerializesPhysicalUpdates) {
   Client& c0 = system_->client(0);
   Client& c1 = system_->client(1);
   TxnId t0 = c0.Begin().value();
-  ASSERT_TRUE(c0.Write(t0, ObjectId{5, 0}, Val('G')).ok());
+  ASSERT_TRUE(c0.Write(t0, ObjectId{PageId(5), 0}, Val('G')).ok());
   ASSERT_TRUE(c0.Commit(t0).ok());
   // c1 updates a different object on the same page: allowed by the locks,
   // but the update token must travel (with the page) through the server.
   TxnId t1 = c1.Begin().value();
-  ASSERT_TRUE(c1.Write(t1, ObjectId{5, 1}, Val('H')).ok());
+  ASSERT_TRUE(c1.Write(t1, ObjectId{PageId(5), 1}, Val('H')).ok());
   ASSERT_TRUE(c1.Commit(t1).ok());
   EXPECT_GT(system_->channel().stats(MessageType::kTokenRequest).count, 0u);
   EXPECT_GT(system_->metrics().Get("server.token_transfers"), 0u);
-  EXPECT_EQ(ReadCommitted(2, ObjectId{5, 0}), Val('G'));
-  EXPECT_EQ(ReadCommitted(2, ObjectId{5, 1}), Val('H'));
+  EXPECT_EQ(ReadCommitted(2, ObjectId{PageId(5), 0}), Val('G'));
+  EXPECT_EQ(ReadCommitted(2, ObjectId{PageId(5), 1}), Val('H'));
 }
 
 TEST_F(BaselineTest, UpdateTokenPingPongCostsMessages) {
@@ -127,8 +127,8 @@ TEST_F(BaselineTest, UpdateTokenPingPongCostsMessages) {
   Start(config);
   uint64_t before = system_->channel().stats(MessageType::kTokenRequest).count;
   for (int i = 0; i < 4; ++i) {
-    CommittedWrite(0, ObjectId{6, 0}, Val('I'));
-    CommittedWrite(1, ObjectId{6, 1}, Val('J'));
+    CommittedWrite(0, ObjectId{PageId(6), 0}, Val('I'));
+    CommittedWrite(1, ObjectId{PageId(6), 1}, Val('J'));
   }
   uint64_t requests =
       system_->channel().stats(MessageType::kTokenRequest).count - before;
@@ -139,8 +139,8 @@ TEST_F(BaselineTest, MergeCopiesNeedsNoTokenTraffic) {
   SystemConfig config = SmallConfig("b_merge_ping");
   Start(config);
   for (int i = 0; i < 4; ++i) {
-    CommittedWrite(0, ObjectId{6, 0}, Val('I'));
-    CommittedWrite(1, ObjectId{6, 1}, Val('J'));
+    CommittedWrite(0, ObjectId{PageId(6), 0}, Val('I'));
+    CommittedWrite(1, ObjectId{PageId(6), 1}, Val('J'));
   }
   EXPECT_EQ(system_->channel().stats(MessageType::kTokenRequest).count, 0u);
 }

@@ -7,17 +7,17 @@ namespace {
 
 Page MakePage(PageId id) {
   Page p(512);
-  p.Format(id, 1);
+  p.Format(id, Psn(1));
   return p;
 }
 
 TEST(BufferPoolTest, PutGetRoundTrip) {
   BufferPool pool(4);
-  ASSERT_TRUE(pool.Put(1, MakePage(1), nullptr).ok());
-  BufferPool::Frame* f = pool.Get(1);
+  ASSERT_TRUE(pool.Put(PageId(1), MakePage(PageId(1)), nullptr).ok());
+  BufferPool::Frame* f = pool.Get(PageId(1));
   ASSERT_NE(f, nullptr);
-  EXPECT_EQ(f->page.id(), 1u);
-  EXPECT_EQ(pool.Get(2), nullptr);
+  EXPECT_EQ(f->page.id(), PageId(1));
+  EXPECT_EQ(pool.Get(PageId(2)), nullptr);
 }
 
 TEST(BufferPoolTest, LruEviction) {
@@ -27,13 +27,13 @@ TEST(BufferPoolTest, LruEviction) {
     evicted.push_back(pid);
     return Status::OK();
   };
-  ASSERT_TRUE(pool.Put(1, MakePage(1), handler).ok());
-  ASSERT_TRUE(pool.Put(2, MakePage(2), handler).ok());
-  pool.Get(1);  // Touch 1 so 2 becomes LRU.
-  ASSERT_TRUE(pool.Put(3, MakePage(3), handler).ok());
-  ASSERT_EQ(evicted, (std::vector<PageId>{2}));
-  EXPECT_TRUE(pool.Contains(1));
-  EXPECT_TRUE(pool.Contains(3));
+  ASSERT_TRUE(pool.Put(PageId(1), MakePage(PageId(1)), handler).ok());
+  ASSERT_TRUE(pool.Put(PageId(2), MakePage(PageId(2)), handler).ok());
+  pool.Get(PageId(1));  // Touch 1 so 2 becomes LRU.
+  ASSERT_TRUE(pool.Put(PageId(3), MakePage(PageId(3)), handler).ok());
+  ASSERT_EQ(evicted, (std::vector<PageId>{PageId(2)}));
+  EXPECT_TRUE(pool.Contains(PageId(1)));
+  EXPECT_TRUE(pool.Contains(PageId(3)));
 }
 
 TEST(BufferPoolTest, PinnedFramesNotEvicted) {
@@ -43,78 +43,78 @@ TEST(BufferPoolTest, PinnedFramesNotEvicted) {
     evicted.push_back(pid);
     return Status::OK();
   };
-  ASSERT_TRUE(pool.Put(1, MakePage(1), handler).ok());
-  ASSERT_TRUE(pool.Put(2, MakePage(2), handler).ok());
-  pool.Get(1);
-  pool.Pin(2);  // 2 is LRU but pinned.
-  ASSERT_TRUE(pool.Put(3, MakePage(3), handler).ok());
-  ASSERT_EQ(evicted, (std::vector<PageId>{1}));
-  EXPECT_TRUE(pool.Contains(2));
+  ASSERT_TRUE(pool.Put(PageId(1), MakePage(PageId(1)), handler).ok());
+  ASSERT_TRUE(pool.Put(PageId(2), MakePage(PageId(2)), handler).ok());
+  pool.Get(PageId(1));
+  pool.Pin(PageId(2));  // 2 is LRU but pinned.
+  ASSERT_TRUE(pool.Put(PageId(3), MakePage(PageId(3)), handler).ok());
+  ASSERT_EQ(evicted, (std::vector<PageId>{PageId(1)}));
+  EXPECT_TRUE(pool.Contains(PageId(2)));
 }
 
 TEST(BufferPoolTest, EvictionFailureAbortsInsert) {
   BufferPool pool(1);
-  ASSERT_TRUE(pool.Put(1, MakePage(1), nullptr).ok());
+  ASSERT_TRUE(pool.Put(PageId(1), MakePage(PageId(1)), nullptr).ok());
   auto failing = [](PageId, BufferPool::Frame&) {
     return Status::IoError("ship failed");
   };
-  EXPECT_FALSE(pool.Put(2, MakePage(2), failing).ok());
-  EXPECT_TRUE(pool.Contains(1));
+  EXPECT_FALSE(pool.Put(PageId(2), MakePage(PageId(2)), failing).ok());
+  EXPECT_TRUE(pool.Contains(PageId(1)));
 }
 
 TEST(BufferPoolTest, ExplicitEvictCallsHandler) {
   BufferPool pool(4);
-  ASSERT_TRUE(pool.Put(1, MakePage(1), nullptr).ok());
+  ASSERT_TRUE(pool.Put(PageId(1), MakePage(PageId(1)), nullptr).ok());
   bool called = false;
-  ASSERT_TRUE(pool.Evict(1, [&](PageId, BufferPool::Frame&) {
+  ASSERT_TRUE(pool.Evict(PageId(1), [&](PageId, BufferPool::Frame&) {
                     called = true;
                     return Status::OK();
                   }).ok());
   EXPECT_TRUE(called);
-  EXPECT_FALSE(pool.Contains(1));
-  EXPECT_TRUE(pool.Evict(1, nullptr).IsNotFound());
+  EXPECT_FALSE(pool.Contains(PageId(1)));
+  EXPECT_TRUE(pool.Evict(PageId(1), nullptr).IsNotFound());
 }
 
 TEST(BufferPoolTest, DropSkipsHandler) {
   BufferPool pool(4);
-  ASSERT_TRUE(pool.Put(1, MakePage(1), nullptr).ok());
-  pool.Drop(1);
-  EXPECT_FALSE(pool.Contains(1));
+  ASSERT_TRUE(pool.Put(PageId(1), MakePage(PageId(1)), nullptr).ok());
+  pool.Drop(PageId(1));
+  EXPECT_FALSE(pool.Contains(PageId(1)));
   EXPECT_EQ(pool.size(), 0u);
 }
 
 TEST(BufferPoolTest, PutExistingReplacesWithoutEviction) {
   BufferPool pool(1);
-  ASSERT_TRUE(pool.Put(1, MakePage(1), nullptr).ok());
-  Page p2 = MakePage(1);
-  p2.set_psn(99);
+  ASSERT_TRUE(pool.Put(PageId(1), MakePage(PageId(1)), nullptr).ok());
+  Page p2 = MakePage(PageId(1));
+  p2.set_psn(Psn(99));
   int evictions = 0;
   auto counting = [&](PageId, BufferPool::Frame&) {
     ++evictions;
     return Status::OK();
   };
-  ASSERT_TRUE(pool.Put(1, std::move(p2), counting).ok());
+  ASSERT_TRUE(pool.Put(PageId(1), std::move(p2), counting).ok());
   EXPECT_EQ(evictions, 0);
-  EXPECT_EQ(pool.Get(1)->page.psn(), 99u);
+  EXPECT_EQ(pool.Get(PageId(1))->page.psn(), Psn(99));
 }
 
 TEST(BufferPoolTest, ClearEmptiesEverything) {
   BufferPool pool(4);
-  ASSERT_TRUE(pool.Put(1, MakePage(1), nullptr).ok());
-  ASSERT_TRUE(pool.Put(2, MakePage(2), nullptr).ok());
+  ASSERT_TRUE(pool.Put(PageId(1), MakePage(PageId(1)), nullptr).ok());
+  ASSERT_TRUE(pool.Put(PageId(2), MakePage(PageId(2)), nullptr).ok());
   pool.Clear();
   EXPECT_EQ(pool.size(), 0u);
-  EXPECT_EQ(pool.Get(1), nullptr);
+  EXPECT_EQ(pool.Get(PageId(1)), nullptr);
 }
 
 TEST(BufferPoolTest, FrameMetadataPersists) {
   BufferPool pool(4);
-  ASSERT_TRUE(pool.Put(1, MakePage(1), nullptr).ok());
-  BufferPool::Frame* f = pool.Get(1);
+  ASSERT_TRUE(pool.Put(PageId(1), MakePage(PageId(1)), nullptr).ok());
+  BufferPool::Frame* f = pool.Get(PageId(1));
   f->dirty = true;
   f->modified_slots.insert(3);
   f->structurally_modified = true;
-  BufferPool::Frame* again = pool.Get(1);
+  BufferPool::Frame* again = pool.Get(PageId(1));
   EXPECT_TRUE(again->dirty);
   EXPECT_EQ(again->modified_slots.count(3), 1u);
   EXPECT_TRUE(again->structurally_modified);

@@ -27,18 +27,18 @@ class ClientApiTest : public ::testing::Test {
 
 TEST_F(ClientApiTest, OperationsOnUnknownTxnRejected) {
   Client& c = system_->client(0);
-  EXPECT_EQ(c.Write(999999, ObjectId{0, 0}, Val('a')).code(),
+  EXPECT_EQ(c.Write(TxnId(999999), ObjectId{PageId(0), 0}, Val('a')).code(),
             StatusCode::kInvalidArgument);
-  EXPECT_EQ(c.Commit(999999).code(), StatusCode::kInvalidArgument);
-  EXPECT_EQ(c.Abort(999999).code(), StatusCode::kInvalidArgument);
-  EXPECT_EQ(c.Read(999999, ObjectId{0, 0}).status().code(),
+  EXPECT_EQ(c.Commit(TxnId(999999)).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(c.Abort(TxnId(999999)).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(c.Read(TxnId(999999), ObjectId{PageId(0), 0}).status().code(),
             StatusCode::kInvalidArgument);
 }
 
 TEST_F(ClientApiTest, DoubleCommitRejected) {
   Client& c = system_->client(0);
   TxnId txn = c.Begin().value();
-  ASSERT_TRUE(c.Write(txn, ObjectId{0, 0}, Val('b')).ok());
+  ASSERT_TRUE(c.Write(txn, ObjectId{PageId(0), 0}, Val('b')).ok());
   ASSERT_TRUE(c.Commit(txn).ok());
   EXPECT_EQ(c.Commit(txn).code(), StatusCode::kInvalidArgument);
   EXPECT_EQ(c.Abort(txn).code(), StatusCode::kInvalidArgument);
@@ -47,26 +47,26 @@ TEST_F(ClientApiTest, DoubleCommitRejected) {
 TEST_F(ClientApiTest, WriteAfterAbortRejected) {
   Client& c = system_->client(0);
   TxnId txn = c.Begin().value();
-  ASSERT_TRUE(c.Write(txn, ObjectId{0, 0}, Val('c')).ok());
+  ASSERT_TRUE(c.Write(txn, ObjectId{PageId(0), 0}, Val('c')).ok());
   ASSERT_TRUE(c.Abort(txn).ok());
-  EXPECT_EQ(c.Write(txn, ObjectId{0, 1}, Val('d')).code(),
+  EXPECT_EQ(c.Write(txn, ObjectId{PageId(0), 1}, Val('d')).code(),
             StatusCode::kInvalidArgument);
 }
 
 TEST_F(ClientApiTest, SizeChangingWriteRejected) {
   Client& c = system_->client(0);
   TxnId txn = c.Begin().value();
-  EXPECT_EQ(c.Write(txn, ObjectId{0, 0}, "short").code(),
+  EXPECT_EQ(c.Write(txn, ObjectId{PageId(0), 0}, "short").code(),
             StatusCode::kInvalidArgument);
   // Resize is the sanctioned path.
-  EXPECT_TRUE(c.Resize(txn, ObjectId{0, 0}, "short").ok());
+  EXPECT_TRUE(c.Resize(txn, ObjectId{PageId(0), 0}, "short").ok());
   ASSERT_TRUE(c.Commit(txn).ok());
 }
 
 TEST_F(ClientApiTest, ReadMissingObjectNotFound) {
   Client& c = system_->client(0);
   TxnId txn = c.Begin().value();
-  EXPECT_TRUE(c.Read(txn, ObjectId{0, 999}).status().IsNotFound());
+  EXPECT_TRUE(c.Read(txn, ObjectId{PageId(0), 999}).status().IsNotFound());
   ASSERT_TRUE(c.Commit(txn).ok());
 }
 
@@ -82,24 +82,24 @@ TEST_F(ClientApiTest, CrashedClientRefusesWork) {
 TEST_F(ClientApiTest, NestedSavepoints) {
   Client& c = system_->client(0);
   TxnId txn = c.Begin().value();
-  ASSERT_TRUE(c.Write(txn, ObjectId{1, 0}, Val('1')).ok());
+  ASSERT_TRUE(c.Write(txn, ObjectId{PageId(1), 0}, Val('1')).ok());
   size_t sp1 = c.SetSavepoint(txn).value();
-  ASSERT_TRUE(c.Write(txn, ObjectId{1, 1}, Val('2')).ok());
+  ASSERT_TRUE(c.Write(txn, ObjectId{PageId(1), 1}, Val('2')).ok());
   size_t sp2 = c.SetSavepoint(txn).value();
-  ASSERT_TRUE(c.Write(txn, ObjectId{1, 2}, Val('3')).ok());
+  ASSERT_TRUE(c.Write(txn, ObjectId{PageId(1), 2}, Val('3')).ok());
 
   // Inner rollback undoes only the third write.
   ASSERT_TRUE(c.RollbackToSavepoint(txn, sp2).ok());
-  EXPECT_EQ(c.Read(txn, ObjectId{1, 1}).value(), Val('2'));
-  EXPECT_EQ(c.Read(txn, ObjectId{1, 2}).value(), Val('\0'));
+  EXPECT_EQ(c.Read(txn, ObjectId{PageId(1), 1}).value(), Val('2'));
+  EXPECT_EQ(c.Read(txn, ObjectId{PageId(1), 2}).value(), Val('\0'));
 
   // Outer rollback undoes the second as well; sp2 is gone afterwards.
   ASSERT_TRUE(c.RollbackToSavepoint(txn, sp1).ok());
-  EXPECT_EQ(c.Read(txn, ObjectId{1, 1}).value(), Val('\0'));
+  EXPECT_EQ(c.Read(txn, ObjectId{PageId(1), 1}).value(), Val('\0'));
   EXPECT_EQ(c.RollbackToSavepoint(txn, sp2).code(),
             StatusCode::kInvalidArgument);
 
-  EXPECT_EQ(c.Read(txn, ObjectId{1, 0}).value(), Val('1'));
+  EXPECT_EQ(c.Read(txn, ObjectId{PageId(1), 0}).value(), Val('1'));
   ASSERT_TRUE(c.Commit(txn).ok());
 }
 
@@ -107,25 +107,25 @@ TEST_F(ClientApiTest, RollbackToSavepointTwice) {
   Client& c = system_->client(0);
   TxnId txn = c.Begin().value();
   size_t sp = c.SetSavepoint(txn).value();
-  ASSERT_TRUE(c.Write(txn, ObjectId{2, 0}, Val('x')).ok());
+  ASSERT_TRUE(c.Write(txn, ObjectId{PageId(2), 0}, Val('x')).ok());
   ASSERT_TRUE(c.RollbackToSavepoint(txn, sp).ok());
   // The savepoint survives its own use.
-  ASSERT_TRUE(c.Write(txn, ObjectId{2, 0}, Val('y')).ok());
+  ASSERT_TRUE(c.Write(txn, ObjectId{PageId(2), 0}, Val('y')).ok());
   ASSERT_TRUE(c.RollbackToSavepoint(txn, sp).ok());
-  EXPECT_EQ(c.Read(txn, ObjectId{2, 0}).value(), Val('\0'));
+  EXPECT_EQ(c.Read(txn, ObjectId{PageId(2), 0}).value(), Val('\0'));
   ASSERT_TRUE(c.Commit(txn).ok());
 }
 
 TEST_F(ClientApiTest, DeleteThenRecreateReusesSlot) {
   Client& c = system_->client(0);
   TxnId t1 = c.Begin().value();
-  auto oid = c.Create(t1, 3, "first incarnation");
+  auto oid = c.Create(t1, PageId(3), "first incarnation");
   ASSERT_TRUE(oid.ok());
   ASSERT_TRUE(c.Commit(t1).ok());
 
   TxnId t2 = c.Begin().value();
   ASSERT_TRUE(c.Delete(t2, oid.value()).ok());
-  auto oid2 = c.Create(t2, 3, "second incarnation");
+  auto oid2 = c.Create(t2, PageId(3), "second incarnation");
   ASSERT_TRUE(oid2.ok());
   EXPECT_EQ(oid2.value(), oid.value());  // Slot reused.
   ASSERT_TRUE(c.Commit(t2).ok());
@@ -138,7 +138,7 @@ TEST_F(ClientApiTest, DeleteThenRecreateReusesSlot) {
 TEST_F(ClientApiTest, ResizeChainSurvivesCrash) {
   Client& c = system_->client(0);
   TxnId txn = c.Begin().value();
-  auto oid = c.Create(txn, 4, "v0");
+  auto oid = c.Create(txn, PageId(4), "v0");
   ASSERT_TRUE(oid.ok());
   ASSERT_TRUE(c.Resize(txn, oid.value(), "v1 is somewhat longer").ok());
   ASSERT_TRUE(c.Resize(txn, oid.value(), "v2").ok());
@@ -155,12 +155,12 @@ TEST_F(ClientApiTest, ResizeChainSurvivesCrash) {
 TEST_F(ClientApiTest, AbortedStructuralTransaction) {
   Client& c = system_->client(0);
   TxnId t1 = c.Begin().value();
-  auto kept = c.Create(t1, 5, "kept");
+  auto kept = c.Create(t1, PageId(5), "kept");
   ASSERT_TRUE(kept.ok());
   ASSERT_TRUE(c.Commit(t1).ok());
 
   TxnId t2 = c.Begin().value();
-  auto doomed = c.Create(t2, 5, "doomed");
+  auto doomed = c.Create(t2, PageId(5), "doomed");
   ASSERT_TRUE(doomed.ok());
   ASSERT_TRUE(c.Delete(t2, kept.value()).ok());
   ASSERT_TRUE(c.Abort(t2).ok());
@@ -177,13 +177,13 @@ TEST_F(ClientApiTest, InterleavedLocalTransactionsConflict) {
   Client& c = system_->client(0);
   TxnId t1 = c.Begin().value();
   TxnId t2 = c.Begin().value();
-  ASSERT_TRUE(c.Write(t1, ObjectId{6, 0}, Val('p')).ok());
-  EXPECT_TRUE(c.Write(t2, ObjectId{6, 0}, Val('q')).IsWouldBlock());
-  EXPECT_TRUE(c.Read(t2, ObjectId{6, 0}).status().IsWouldBlock());
+  ASSERT_TRUE(c.Write(t1, ObjectId{PageId(6), 0}, Val('p')).ok());
+  EXPECT_TRUE(c.Write(t2, ObjectId{PageId(6), 0}, Val('q')).IsWouldBlock());
+  EXPECT_TRUE(c.Read(t2, ObjectId{PageId(6), 0}).status().IsWouldBlock());
   // Disjoint objects proceed.
-  EXPECT_TRUE(c.Write(t2, ObjectId{6, 1}, Val('r')).ok());
+  EXPECT_TRUE(c.Write(t2, ObjectId{PageId(6), 1}, Val('r')).ok());
   ASSERT_TRUE(c.Commit(t1).ok());
-  EXPECT_TRUE(c.Write(t2, ObjectId{6, 0}, Val('q')).ok());
+  EXPECT_TRUE(c.Write(t2, ObjectId{PageId(6), 0}, Val('q')).ok());
   ASSERT_TRUE(c.Commit(t2).ok());
 }
 

@@ -7,73 +7,73 @@ namespace {
 
 TEST(DctTest, InsertKeepsExistingEntry) {
   DirtyClientTable dct;
-  dct.Insert(1, 0, 10);
-  dct.Insert(1, 0, 99);  // First X grant wins; later inserts are no-ops.
-  EXPECT_EQ(dct.Get(1, 0)->psn, 10u);
+  dct.Insert(PageId(1), ClientId(0), Psn(10));
+  dct.Insert(PageId(1), ClientId(0), Psn(99));  // First X grant wins; later inserts are no-ops.
+  EXPECT_EQ(dct.Get(PageId(1), ClientId(0))->psn, Psn(10));
 }
 
 TEST(DctTest, SetPsnOverwrites) {
   DirtyClientTable dct;
-  dct.Insert(1, 0, 10);
-  dct.SetPsn(1, 0, 25);  // Page received from the client.
-  EXPECT_EQ(dct.Get(1, 0)->psn, 25u);
+  dct.Insert(PageId(1), ClientId(0), Psn(10));
+  dct.SetPsn(PageId(1), ClientId(0), Psn(25));  // Page received from the client.
+  EXPECT_EQ(dct.Get(PageId(1), ClientId(0))->psn, Psn(25));
 }
 
 TEST(DctTest, SetPsnCreatesMissingEntry) {
   DirtyClientTable dct;
-  dct.SetPsn(2, 3, 7);
-  ASSERT_TRUE(dct.Get(2, 3).has_value());
-  EXPECT_EQ(dct.Get(2, 3)->psn, 7u);
+  dct.SetPsn(PageId(2), ClientId(3), Psn(7));
+  ASSERT_TRUE(dct.Get(PageId(2), ClientId(3)).has_value());
+  EXPECT_EQ(dct.Get(PageId(2), ClientId(3))->psn, Psn(7));
 }
 
 TEST(DctTest, RedoLsnSetOnlyWhenNull) {
   DirtyClientTable dct;
-  dct.Insert(1, 0, 10);
-  dct.Insert(1, 2, 12);
-  dct.SetRedoLsnIfNull(1, 100);
-  dct.SetRedoLsnIfNull(1, 200);  // Second replacement record: no change.
-  EXPECT_EQ(dct.Get(1, 0)->redo_lsn, 100u);
-  EXPECT_EQ(dct.Get(1, 2)->redo_lsn, 100u);
+  dct.Insert(PageId(1), ClientId(0), Psn(10));
+  dct.Insert(PageId(1), ClientId(2), Psn(12));
+  dct.SetRedoLsnIfNull(PageId(1), Lsn(100));
+  dct.SetRedoLsnIfNull(PageId(1), Lsn(200));  // Second replacement record: no change.
+  EXPECT_EQ(dct.Get(PageId(1), ClientId(0))->redo_lsn, Lsn(100));
+  EXPECT_EQ(dct.Get(PageId(1), ClientId(2))->redo_lsn, Lsn(100));
 }
 
 TEST(DctTest, EntriesForPageAndClient) {
   DirtyClientTable dct;
-  dct.Insert(1, 0, 10);
-  dct.Insert(1, 2, 12);
-  dct.Insert(5, 0, 50);
-  EXPECT_EQ(dct.EntriesForPage(1).size(), 2u);
-  EXPECT_EQ(dct.EntriesForClient(0).size(), 2u);
-  EXPECT_EQ(dct.EntriesForClient(7).size(), 0u);
-  EXPECT_TRUE(dct.HasPage(5));
-  EXPECT_FALSE(dct.HasPage(6));
+  dct.Insert(PageId(1), ClientId(0), Psn(10));
+  dct.Insert(PageId(1), ClientId(2), Psn(12));
+  dct.Insert(PageId(5), ClientId(0), Psn(50));
+  EXPECT_EQ(dct.EntriesForPage(PageId(1)).size(), 2u);
+  EXPECT_EQ(dct.EntriesForClient(ClientId(0)).size(), 2u);
+  EXPECT_EQ(dct.EntriesForClient(ClientId(7)).size(), 0u);
+  EXPECT_TRUE(dct.HasPage(PageId(5)));
+  EXPECT_FALSE(dct.HasPage(PageId(6)));
 }
 
 TEST(DctTest, RemoveDropsOnlyOneClient) {
   DirtyClientTable dct;
-  dct.Insert(1, 0, 10);
-  dct.Insert(1, 2, 12);
-  dct.Remove(1, 0);
-  EXPECT_FALSE(dct.Get(1, 0).has_value());
-  EXPECT_TRUE(dct.Get(1, 2).has_value());
-  EXPECT_TRUE(dct.HasPage(1));
-  dct.Remove(1, 2);
-  EXPECT_FALSE(dct.HasPage(1));
+  dct.Insert(PageId(1), ClientId(0), Psn(10));
+  dct.Insert(PageId(1), ClientId(2), Psn(12));
+  dct.Remove(PageId(1), ClientId(0));
+  EXPECT_FALSE(dct.Get(PageId(1), ClientId(0)).has_value());
+  EXPECT_TRUE(dct.Get(PageId(1), ClientId(2)).has_value());
+  EXPECT_TRUE(dct.HasPage(PageId(1)));
+  dct.Remove(PageId(1), ClientId(2));
+  EXPECT_FALSE(dct.HasPage(PageId(1)));
 }
 
 TEST(DctTest, MinRedoLsnIgnoresNulls) {
   DirtyClientTable dct;
-  dct.Insert(1, 0, 10);  // RedoLSN null.
+  dct.Insert(PageId(1), ClientId(0), Psn(10));  // RedoLSN null.
   EXPECT_EQ(dct.MinRedoLsn(), kMaxLsn);
-  dct.Set(2, 1, 5, 300);
-  dct.Set(3, 1, 5, 150);
-  EXPECT_EQ(dct.MinRedoLsn(), 150u);
+  dct.Set(PageId(2), ClientId(1), Psn(5), Lsn(300));
+  dct.Set(PageId(3), ClientId(1), Psn(5), Lsn(150));
+  EXPECT_EQ(dct.MinRedoLsn(), Lsn(150));
 }
 
 TEST(DctTest, SizeAndClear) {
   DirtyClientTable dct;
-  dct.Insert(1, 0, 10);
-  dct.Insert(1, 1, 11);
-  dct.Insert(2, 0, 20);
+  dct.Insert(PageId(1), ClientId(0), Psn(10));
+  dct.Insert(PageId(1), ClientId(1), Psn(11));
+  dct.Insert(PageId(2), ClientId(0), Psn(20));
   EXPECT_EQ(dct.size(), 3u);
   EXPECT_EQ(dct.All().size(), 3u);
   dct.Clear();

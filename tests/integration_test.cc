@@ -43,22 +43,22 @@ std::string Val(const SystemConfig& cfg, char fill) {
 
 TEST_F(IntegrationTest, ReadBootstrapObject) {
   Start("read_bootstrap");
-  std::string v = ReadCommitted(0, ObjectId{0, 0});
+  std::string v = ReadCommitted(0, ObjectId{PageId(0), 0});
   EXPECT_EQ(v, std::string(system_->config().object_size, '\0'));
 }
 
 TEST_F(IntegrationTest, WriteReadBackSameClient) {
   Start("write_read");
   std::string v = Val(system_->config(), 'A');
-  CommittedWrite(0, ObjectId{1, 2}, v);
-  EXPECT_EQ(ReadCommitted(0, ObjectId{1, 2}), v);
+  CommittedWrite(0, ObjectId{PageId(1), 2}, v);
+  EXPECT_EQ(ReadCommitted(0, ObjectId{PageId(1), 2}), v);
 }
 
 TEST_F(IntegrationTest, CommitIsPurelyLocal) {
   Start("local_commit");
   Client& c = system_->client(0);
   TxnId txn = c.Begin().value();
-  ASSERT_TRUE(c.Write(txn, ObjectId{1, 1}, Val(system_->config(), 'B')).ok());
+  ASSERT_TRUE(c.Write(txn, ObjectId{PageId(1), 1}, Val(system_->config(), 'B')).ok());
   uint64_t msgs_before = system_->channel().total_messages();
   ASSERT_TRUE(c.Commit(txn).ok());
   // The paper's headline: commit sends nothing to the server.
@@ -68,10 +68,10 @@ TEST_F(IntegrationTest, CommitIsPurelyLocal) {
 TEST_F(IntegrationTest, CrossClientVisibilityViaCallback) {
   Start("visibility");
   std::string v = Val(system_->config(), 'C');
-  CommittedWrite(0, ObjectId{2, 3}, v);
+  CommittedWrite(0, ObjectId{PageId(2), 3}, v);
   // Client 1 reads: the server calls back client 0 (downgrade), which ships
   // its dirty copy; client 1 must see the new value.
-  EXPECT_EQ(ReadCommitted(1, ObjectId{2, 3}), v);
+  EXPECT_EQ(ReadCommitted(1, ObjectId{PageId(2), 3}), v);
   EXPECT_GT(system_->metrics().Get("server.callbacks_object"), 0u);
 }
 
@@ -79,10 +79,10 @@ TEST_F(IntegrationTest, WriteWriteAcrossClients) {
   Start("ww");
   std::string v0 = Val(system_->config(), 'D');
   std::string v1 = Val(system_->config(), 'E');
-  CommittedWrite(0, ObjectId{3, 0}, v0);
-  CommittedWrite(1, ObjectId{3, 0}, v1);  // Release callback to client 0.
-  EXPECT_EQ(ReadCommitted(2, ObjectId{3, 0}), v1);
-  EXPECT_EQ(ReadCommitted(0, ObjectId{3, 0}), v1);
+  CommittedWrite(0, ObjectId{PageId(3), 0}, v0);
+  CommittedWrite(1, ObjectId{PageId(3), 0}, v1);  // Release callback to client 0.
+  EXPECT_EQ(ReadCommitted(2, ObjectId{PageId(3), 0}), v1);
+  EXPECT_EQ(ReadCommitted(0, ObjectId{PageId(3), 0}), v1);
 }
 
 TEST_F(IntegrationTest, ConcurrentSamePageUpdatesNoConflict) {
@@ -96,16 +96,16 @@ TEST_F(IntegrationTest, ConcurrentSamePageUpdatesNoConflict) {
 
   TxnId t0 = c0.Begin().value();
   TxnId t1 = c1.Begin().value();
-  ASSERT_TRUE(c0.Write(t0, ObjectId{4, 0}, v0).ok());
-  ASSERT_TRUE(c1.Write(t1, ObjectId{4, 1}, v1).ok());  // Same page, no block.
+  ASSERT_TRUE(c0.Write(t0, ObjectId{PageId(4), 0}, v0).ok());
+  ASSERT_TRUE(c1.Write(t1, ObjectId{PageId(4), 1}, v1).ok());  // Same page, no block.
   ASSERT_TRUE(c0.Commit(t0).ok());
   ASSERT_TRUE(c1.Commit(t1).ok());
 
   // Both clients ship their divergent copies; the server merges them.
   ASSERT_TRUE(system_->client(0).ShipAllDirtyPages().ok());
   ASSERT_TRUE(system_->client(1).ShipAllDirtyPages().ok());
-  EXPECT_EQ(ReadCommitted(2, ObjectId{4, 0}), v0);
-  EXPECT_EQ(ReadCommitted(2, ObjectId{4, 1}), v1);
+  EXPECT_EQ(ReadCommitted(2, ObjectId{PageId(4), 0}), v0);
+  EXPECT_EQ(ReadCommitted(2, ObjectId{PageId(4), 1}), v1);
   EXPECT_GT(system_->metrics().Get("server.pages_merged"), 0u);
 }
 
@@ -115,15 +115,15 @@ TEST_F(IntegrationTest, ActiveLockBlocksConflictingClient) {
   Client& c1 = system_->client(1);
   std::string v = Val(system_->config(), 'H');
   TxnId t0 = c0.Begin().value();
-  ASSERT_TRUE(c0.Write(t0, ObjectId{5, 0}, v).ok());
+  ASSERT_TRUE(c0.Write(t0, ObjectId{PageId(5), 0}, v).ok());
 
   TxnId t1 = c1.Begin().value();
-  EXPECT_TRUE(c1.Write(t1, ObjectId{5, 0}, v).IsWouldBlock());
-  EXPECT_TRUE(c1.Read(t1, ObjectId{5, 0}).status().IsWouldBlock());
+  EXPECT_TRUE(c1.Write(t1, ObjectId{PageId(5), 0}, v).IsWouldBlock());
+  EXPECT_TRUE(c1.Read(t1, ObjectId{PageId(5), 0}).status().IsWouldBlock());
 
   ASSERT_TRUE(c0.Commit(t0).ok());
   // After commit the lock is only cached: the callback now succeeds.
-  EXPECT_TRUE(c1.Write(t1, ObjectId{5, 0}, v).ok());
+  EXPECT_TRUE(c1.Write(t1, ObjectId{PageId(5), 0}, v).ok());
   ASSERT_TRUE(c1.Commit(t1).ok());
 }
 
@@ -131,13 +131,13 @@ TEST_F(IntegrationTest, AbortRestoresOldValues) {
   Start("abort");
   std::string v_old = Val(system_->config(), 'I');
   std::string v_new = Val(system_->config(), 'J');
-  CommittedWrite(0, ObjectId{6, 0}, v_old);
+  CommittedWrite(0, ObjectId{PageId(6), 0}, v_old);
 
   Client& c0 = system_->client(0);
   TxnId txn = c0.Begin().value();
-  ASSERT_TRUE(c0.Write(txn, ObjectId{6, 0}, v_new).ok());
+  ASSERT_TRUE(c0.Write(txn, ObjectId{PageId(6), 0}, v_new).ok());
   ASSERT_TRUE(c0.Abort(txn).ok());
-  EXPECT_EQ(ReadCommitted(1, ObjectId{6, 0}), v_old);
+  EXPECT_EQ(ReadCommitted(1, ObjectId{PageId(6), 0}), v_old);
 }
 
 TEST_F(IntegrationTest, SavepointPartialRollback) {
@@ -148,25 +148,25 @@ TEST_F(IntegrationTest, SavepointPartialRollback) {
 
   Client& c0 = system_->client(0);
   TxnId txn = c0.Begin().value();
-  ASSERT_TRUE(c0.Write(txn, ObjectId{7, 0}, v1).ok());
+  ASSERT_TRUE(c0.Write(txn, ObjectId{PageId(7), 0}, v1).ok());
   auto sp = c0.SetSavepoint(txn);
   ASSERT_TRUE(sp.ok());
-  ASSERT_TRUE(c0.Write(txn, ObjectId{7, 0}, v2).ok());
-  ASSERT_TRUE(c0.Write(txn, ObjectId{7, 1}, v3).ok());
+  ASSERT_TRUE(c0.Write(txn, ObjectId{PageId(7), 0}, v2).ok());
+  ASSERT_TRUE(c0.Write(txn, ObjectId{PageId(7), 1}, v3).ok());
   ASSERT_TRUE(c0.RollbackToSavepoint(txn, sp.value()).ok());
   // Post-savepoint updates undone; pre-savepoint update kept.
-  EXPECT_EQ(c0.Read(txn, ObjectId{7, 0}).value(), v1);
-  EXPECT_EQ(c0.Read(txn, ObjectId{7, 1}).value(),
+  EXPECT_EQ(c0.Read(txn, ObjectId{PageId(7), 0}).value(), v1);
+  EXPECT_EQ(c0.Read(txn, ObjectId{PageId(7), 1}).value(),
             std::string(system_->config().object_size, '\0'));
   ASSERT_TRUE(c0.Commit(txn).ok());
-  EXPECT_EQ(ReadCommitted(1, ObjectId{7, 0}), v1);
+  EXPECT_EQ(ReadCommitted(1, ObjectId{PageId(7), 0}), v1);
 }
 
 TEST_F(IntegrationTest, StructuralOpsCreateResizeDelete) {
   Start("structural");
   Client& c0 = system_->client(0);
   TxnId txn = c0.Begin().value();
-  auto oid = c0.Create(txn, 8, "created-object");
+  auto oid = c0.Create(txn, PageId(8), "created-object");
   ASSERT_TRUE(oid.ok()) << oid.status().ToString();
   ASSERT_TRUE(c0.Resize(txn, oid.value(), "resized to a longer value").ok());
   ASSERT_TRUE(c0.Commit(txn).ok());
@@ -189,12 +189,12 @@ TEST_F(IntegrationTest, StructuralConflictsSerializeViaPageLock) {
   Client& c0 = system_->client(0);
   Client& c1 = system_->client(1);
   TxnId t0 = c0.Begin().value();
-  ASSERT_TRUE(c0.Create(t0, 9, "from c0").ok());
+  ASSERT_TRUE(c0.Create(t0, PageId(9), "from c0").ok());
   // c1 cannot structurally modify the same page while t0 is active.
   TxnId t1 = c1.Begin().value();
-  EXPECT_TRUE(c1.Create(t1, 9, "from c1").status().IsWouldBlock());
+  EXPECT_TRUE(c1.Create(t1, PageId(9), "from c1").status().IsWouldBlock());
   ASSERT_TRUE(c0.Commit(t0).ok());
-  auto oid = c1.Create(t1, 9, "from c1");
+  auto oid = c1.Create(t1, PageId(9), "from c1");
   ASSERT_TRUE(oid.ok()) << oid.status().ToString();
   ASSERT_TRUE(c1.Commit(t1).ok());
   EXPECT_EQ(ReadCommitted(2, oid.value()), "from c1");
@@ -206,7 +206,7 @@ TEST_F(IntegrationTest, PageAllocation) {
   TxnId txn = c0.Begin().value();
   auto pid = c0.AllocatePage(txn);
   ASSERT_TRUE(pid.ok()) << pid.status().ToString();
-  EXPECT_GE(pid.value(), system_->config().preloaded_pages);
+  EXPECT_GE(pid.value().value(), system_->config().preloaded_pages);
   auto oid = c0.Create(txn, pid.value(), "on fresh page");
   ASSERT_TRUE(oid.ok());
   ASSERT_TRUE(c0.Commit(txn).ok());
@@ -219,13 +219,15 @@ TEST_F(IntegrationTest, CacheEvictionShipsDirtyPages) {
   Start(config);
   Client& c0 = system_->client(0);
   std::string v = Val(system_->config(), 'N');
-  for (PageId p = 0; p < 12; ++p) {
+  for (uint32_t i = 0; i < 12; ++i) {
+    PageId p(i);
     TxnId txn = c0.Begin().value();
     ASSERT_TRUE(c0.Write(txn, ObjectId{p, 0}, v).ok());
     ASSERT_TRUE(c0.Commit(txn).ok());
   }
   EXPECT_GT(system_->metrics().Get("client.pages_shipped"), 0u);
-  for (PageId p = 0; p < 12; ++p) {
+  for (uint32_t i = 0; i < 12; ++i) {
+    PageId p(i);
     EXPECT_EQ(ReadCommitted(1, ObjectId{p, 0}), v) << "page " << p;
   }
 }
@@ -238,12 +240,12 @@ TEST_F(IntegrationTest, EscalationToPageLock) {
   TxnId txn = c0.Begin().value();
   std::string v = Val(system_->config(), 'O');
   for (SlotId s = 0; s < 6; ++s) {
-    ASSERT_TRUE(c0.Write(txn, ObjectId{10, s}, v).ok());
+    ASSERT_TRUE(c0.Write(txn, ObjectId{PageId(10), s}, v).ok());
   }
   ASSERT_TRUE(c0.Commit(txn).ok());
   EXPECT_GT(system_->metrics().Get("client.escalations"), 0u);
   // Another client's access de-escalates the page lock.
-  EXPECT_EQ(ReadCommitted(1, ObjectId{10, 0}), v);
+  EXPECT_EQ(ReadCommitted(1, ObjectId{PageId(10), 0}), v);
 }
 
 TEST_F(IntegrationTest, ManyClientsInterleavedOnOnePage) {
@@ -257,7 +259,7 @@ TEST_F(IntegrationTest, ManyClientsInterleavedOnOnePage) {
     TxnId t = c.Begin().value();
     std::string v = base;
     v[0] = static_cast<char>('0' + i);
-    ASSERT_TRUE(c.Write(t, ObjectId{11, static_cast<SlotId>(i)}, v).ok());
+    ASSERT_TRUE(c.Write(t, ObjectId{PageId(11), static_cast<SlotId>(i)}, v).ok());
     txns.push_back(t);
   }
   for (size_t i = 0; i < 6; ++i) {
@@ -269,7 +271,7 @@ TEST_F(IntegrationTest, ManyClientsInterleavedOnOnePage) {
   for (size_t i = 0; i < 6; ++i) {
     std::string v = base;
     v[0] = static_cast<char>('0' + i);
-    EXPECT_EQ(ReadCommitted((i + 1) % 6, ObjectId{11, static_cast<SlotId>(i)}),
+    EXPECT_EQ(ReadCommitted((i + 1) % 6, ObjectId{PageId(11), static_cast<SlotId>(i)}),
               v);
   }
 }
@@ -278,10 +280,10 @@ TEST_F(IntegrationTest, LockCachingAvoidsRepeatServerTrips) {
   Start("lock_caching");
   Client& c0 = system_->client(0);
   std::string v = Val(system_->config(), 'Q');
-  CommittedWrite(0, ObjectId{12, 0}, v);
+  CommittedWrite(0, ObjectId{PageId(12), 0}, v);
   uint64_t misses_before = system_->metrics().Get("client.lock_misses");
   // Same object again: the cached X lock must be a pure local hit.
-  CommittedWrite(0, ObjectId{12, 0}, v);
+  CommittedWrite(0, ObjectId{PageId(12), 0}, v);
   (void)c0;
   EXPECT_EQ(system_->metrics().Get("client.lock_misses"), misses_before);
 }

@@ -6,8 +6,8 @@
 namespace finelog {
 namespace {
 
-constexpr ObjectId kObj{1, 0};
-constexpr ObjectId kObj2{1, 1};
+constexpr ObjectId kObj{PageId(1), 0};
+constexpr ObjectId kObj2{PageId(1), 1};
 
 // ---------------------------------------------------------------------------
 // GlobalLockManager
@@ -15,15 +15,15 @@ constexpr ObjectId kObj2{1, 1};
 
 TEST(GlmTest, SharedLocksCompatible) {
   GlobalLockManager glm;
-  glm.GrantObject(0, kObj, LockMode::kShared);
-  EXPECT_TRUE(glm.RequiredForObject(1, kObj, LockMode::kShared).empty());
+  glm.GrantObject(ClientId(0), kObj, LockMode::kShared);
+  EXPECT_TRUE(glm.RequiredForObject(ClientId(1), kObj, LockMode::kShared).empty());
 }
 
 TEST(GlmTest, ExclusiveRequestCallsBackHolders) {
   GlobalLockManager glm;
-  glm.GrantObject(0, kObj, LockMode::kShared);
-  glm.GrantObject(2, kObj, LockMode::kShared);
-  auto actions = glm.RequiredForObject(1, kObj, LockMode::kExclusive);
+  glm.GrantObject(ClientId(0), kObj, LockMode::kShared);
+  glm.GrantObject(ClientId(2), kObj, LockMode::kShared);
+  auto actions = glm.RequiredForObject(ClientId(1), kObj, LockMode::kExclusive);
   ASSERT_EQ(actions.size(), 2u);
   for (const auto& a : actions) {
     EXPECT_EQ(a.what, CallbackAction::What::kReleaseObject);
@@ -33,83 +33,83 @@ TEST(GlmTest, ExclusiveRequestCallsBackHolders) {
 
 TEST(GlmTest, SharedRequestDowngradesExclusiveHolder) {
   GlobalLockManager glm;
-  glm.GrantObject(0, kObj, LockMode::kExclusive);
-  auto actions = glm.RequiredForObject(1, kObj, LockMode::kShared);
+  glm.GrantObject(ClientId(0), kObj, LockMode::kExclusive);
+  auto actions = glm.RequiredForObject(ClientId(1), kObj, LockMode::kShared);
   ASSERT_EQ(actions.size(), 1u);
   EXPECT_EQ(actions[0].what, CallbackAction::What::kDowngradeObject);
-  EXPECT_EQ(actions[0].target, 0u);
+  EXPECT_EQ(actions[0].target, ClientId(0));
   EXPECT_EQ(actions[0].holder_mode, LockMode::kExclusive);
 }
 
 TEST(GlmTest, OwnLocksNeverConflict) {
   GlobalLockManager glm;
-  glm.GrantObject(0, kObj, LockMode::kExclusive);
-  EXPECT_TRUE(glm.RequiredForObject(0, kObj, LockMode::kExclusive).empty());
-  EXPECT_TRUE(glm.RequiredForObject(0, kObj, LockMode::kShared).empty());
+  glm.GrantObject(ClientId(0), kObj, LockMode::kExclusive);
+  EXPECT_TRUE(glm.RequiredForObject(ClientId(0), kObj, LockMode::kExclusive).empty());
+  EXPECT_TRUE(glm.RequiredForObject(ClientId(0), kObj, LockMode::kShared).empty());
 }
 
 TEST(GlmTest, PageLockConflictsWithObjectRequest) {
   GlobalLockManager glm;
-  glm.GrantPage(0, 1, LockMode::kExclusive);
-  auto actions = glm.RequiredForObject(1, kObj, LockMode::kShared);
+  glm.GrantPage(ClientId(0), PageId(1), LockMode::kExclusive);
+  auto actions = glm.RequiredForObject(ClientId(1), kObj, LockMode::kShared);
   ASSERT_EQ(actions.size(), 1u);
   EXPECT_EQ(actions[0].what, CallbackAction::What::kDeescalatePage);
-  EXPECT_EQ(actions[0].page, 1u);
+  EXPECT_EQ(actions[0].page, PageId(1));
 }
 
 TEST(GlmTest, ObjectLocksConflictWithPageRequest) {
   GlobalLockManager glm;
-  glm.GrantObject(0, kObj, LockMode::kExclusive);
-  glm.GrantObject(2, kObj2, LockMode::kShared);
-  auto actions = glm.RequiredForPage(1, 1, LockMode::kExclusive);
+  glm.GrantObject(ClientId(0), kObj, LockMode::kExclusive);
+  glm.GrantObject(ClientId(2), kObj2, LockMode::kShared);
+  auto actions = glm.RequiredForPage(ClientId(1), PageId(1), LockMode::kExclusive);
   EXPECT_EQ(actions.size(), 2u);
 }
 
 TEST(GlmTest, SharedPageCompatibleWithSharedObject) {
   GlobalLockManager glm;
-  glm.GrantObject(0, kObj, LockMode::kShared);
-  EXPECT_TRUE(glm.RequiredForPage(1, 1, LockMode::kShared).empty());
+  glm.GrantObject(ClientId(0), kObj, LockMode::kShared);
+  EXPECT_TRUE(glm.RequiredForPage(ClientId(1), PageId(1), LockMode::kShared).empty());
 }
 
 TEST(GlmTest, DeescalationTradesPageForObjects) {
   GlobalLockManager glm;
-  glm.GrantPage(0, 1, LockMode::kExclusive);
-  glm.ApplyDeescalation(0, 1, {kObj, kObj2}, LockMode::kExclusive);
-  EXPECT_FALSE(glm.HoldsPage(0, 1, LockMode::kShared));
-  EXPECT_TRUE(glm.HoldsObject(0, kObj, LockMode::kExclusive));
-  EXPECT_TRUE(glm.HoldsObject(0, kObj2, LockMode::kExclusive));
+  glm.GrantPage(ClientId(0), PageId(1), LockMode::kExclusive);
+  glm.ApplyDeescalation(ClientId(0), PageId(1), {kObj, kObj2}, LockMode::kExclusive);
+  EXPECT_FALSE(glm.HoldsPage(ClientId(0), PageId(1), LockMode::kShared));
+  EXPECT_TRUE(glm.HoldsObject(ClientId(0), kObj, LockMode::kExclusive));
+  EXPECT_TRUE(glm.HoldsObject(ClientId(0), kObj2, LockMode::kExclusive));
 }
 
 TEST(GlmTest, ClientCrashReleasesOnlySharedLocks) {
   GlobalLockManager glm;
-  glm.GrantObject(0, kObj, LockMode::kShared);
-  glm.GrantObject(0, kObj2, LockMode::kExclusive);
-  glm.GrantPage(0, 5, LockMode::kShared);
-  glm.ReleaseSharedLocksOf(0);
-  EXPECT_FALSE(glm.HoldsObject(0, kObj, LockMode::kShared));
-  EXPECT_TRUE(glm.HoldsObject(0, kObj2, LockMode::kExclusive));
-  EXPECT_FALSE(glm.HoldsPage(0, 5, LockMode::kShared));
-  auto x = glm.ExclusiveObjectLocksOf(0);
+  glm.GrantObject(ClientId(0), kObj, LockMode::kShared);
+  glm.GrantObject(ClientId(0), kObj2, LockMode::kExclusive);
+  glm.GrantPage(ClientId(0), PageId(5), LockMode::kShared);
+  glm.ReleaseSharedLocksOf(ClientId(0));
+  EXPECT_FALSE(glm.HoldsObject(ClientId(0), kObj, LockMode::kShared));
+  EXPECT_TRUE(glm.HoldsObject(ClientId(0), kObj2, LockMode::kExclusive));
+  EXPECT_FALSE(glm.HoldsPage(ClientId(0), PageId(5), LockMode::kShared));
+  auto x = glm.ExclusiveObjectLocksOf(ClientId(0));
   ASSERT_EQ(x.size(), 1u);
   EXPECT_EQ(x[0], kObj2);
 }
 
 TEST(GlmTest, DowngradeKeepsSharedAccess) {
   GlobalLockManager glm;
-  glm.GrantObject(0, kObj, LockMode::kExclusive);
-  glm.DowngradeObject(0, kObj);
-  EXPECT_TRUE(glm.HoldsObject(0, kObj, LockMode::kShared));
-  EXPECT_FALSE(glm.HoldsObject(0, kObj, LockMode::kExclusive));
-  EXPECT_TRUE(glm.RequiredForObject(1, kObj, LockMode::kShared).empty());
+  glm.GrantObject(ClientId(0), kObj, LockMode::kExclusive);
+  glm.DowngradeObject(ClientId(0), kObj);
+  EXPECT_TRUE(glm.HoldsObject(ClientId(0), kObj, LockMode::kShared));
+  EXPECT_FALSE(glm.HoldsObject(ClientId(0), kObj, LockMode::kExclusive));
+  EXPECT_TRUE(glm.RequiredForObject(ClientId(1), kObj, LockMode::kShared).empty());
 }
 
 TEST(GlmTest, UpgradeTriggersCallbacksOnOtherSharers) {
   GlobalLockManager glm;
-  glm.GrantObject(0, kObj, LockMode::kShared);
-  glm.GrantObject(1, kObj, LockMode::kShared);
-  auto actions = glm.RequiredForObject(0, kObj, LockMode::kExclusive);
+  glm.GrantObject(ClientId(0), kObj, LockMode::kShared);
+  glm.GrantObject(ClientId(1), kObj, LockMode::kShared);
+  auto actions = glm.RequiredForObject(ClientId(0), kObj, LockMode::kExclusive);
   ASSERT_EQ(actions.size(), 1u);
-  EXPECT_EQ(actions[0].target, 1u);
+  EXPECT_EQ(actions[0].target, ClientId(1));
 }
 
 // ---------------------------------------------------------------------------
@@ -118,74 +118,74 @@ TEST(GlmTest, UpgradeTriggersCallbacksOnOtherSharers) {
 
 TEST(LlmTest, MissWithoutEntry) {
   LocalLockManager llm;
-  EXPECT_EQ(llm.TryAcquireObject(1, kObj, LockMode::kShared),
+  EXPECT_EQ(llm.TryAcquireObject(TxnId(1), kObj, LockMode::kShared),
             LocalLockManager::Acquire::kMiss);
 }
 
 TEST(LlmTest, CachedLockHitAcrossTransactions) {
   LocalLockManager llm;
-  llm.AddObjectLock(1, kObj, LockMode::kExclusive);
-  llm.OnTxnEnd(1);  // Lock becomes cached.
-  EXPECT_EQ(llm.TryAcquireObject(2, kObj, LockMode::kExclusive),
+  llm.AddObjectLock(TxnId(1), kObj, LockMode::kExclusive);
+  llm.OnTxnEnd(TxnId(1));  // Lock becomes cached.
+  EXPECT_EQ(llm.TryAcquireObject(TxnId(2), kObj, LockMode::kExclusive),
             LocalLockManager::Acquire::kHit);
 }
 
 TEST(LlmTest, SharedEntryDoesNotCoverExclusive) {
   LocalLockManager llm;
-  llm.AddObjectLock(1, kObj, LockMode::kShared);
-  llm.OnTxnEnd(1);
-  EXPECT_EQ(llm.TryAcquireObject(2, kObj, LockMode::kExclusive),
+  llm.AddObjectLock(TxnId(1), kObj, LockMode::kShared);
+  llm.OnTxnEnd(TxnId(1));
+  EXPECT_EQ(llm.TryAcquireObject(TxnId(2), kObj, LockMode::kExclusive),
             LocalLockManager::Acquire::kMiss);
 }
 
 TEST(LlmTest, LocalWriteWriteConflict) {
   LocalLockManager llm;
-  llm.AddObjectLock(1, kObj, LockMode::kExclusive);
-  EXPECT_EQ(llm.TryAcquireObject(2, kObj, LockMode::kExclusive),
+  llm.AddObjectLock(TxnId(1), kObj, LockMode::kExclusive);
+  EXPECT_EQ(llm.TryAcquireObject(TxnId(2), kObj, LockMode::kExclusive),
             LocalLockManager::Acquire::kLocalConflict);
-  llm.OnTxnEnd(1);
-  EXPECT_EQ(llm.TryAcquireObject(2, kObj, LockMode::kExclusive),
+  llm.OnTxnEnd(TxnId(1));
+  EXPECT_EQ(llm.TryAcquireObject(TxnId(2), kObj, LockMode::kExclusive),
             LocalLockManager::Acquire::kHit);
 }
 
 TEST(LlmTest, LocalReadersShareEntry) {
   LocalLockManager llm;
-  llm.AddObjectLock(1, kObj, LockMode::kShared);
-  EXPECT_EQ(llm.TryAcquireObject(2, kObj, LockMode::kShared),
+  llm.AddObjectLock(TxnId(1), kObj, LockMode::kShared);
+  EXPECT_EQ(llm.TryAcquireObject(TxnId(2), kObj, LockMode::kShared),
             LocalLockManager::Acquire::kHit);
 }
 
 TEST(LlmTest, PageLockCoversObjectAccess) {
   LocalLockManager llm;
-  llm.AddPageLock(1, 1, LockMode::kExclusive);
-  EXPECT_EQ(llm.TryAcquireObject(1, kObj, LockMode::kExclusive),
+  llm.AddPageLock(TxnId(1), PageId(1), LockMode::kExclusive);
+  EXPECT_EQ(llm.TryAcquireObject(TxnId(1), kObj, LockMode::kExclusive),
             LocalLockManager::Acquire::kHit);
   // The implicit entry is recorded for de-escalation.
-  llm.OnTxnEnd(1);
-  auto promoted = llm.Deescalate(1);
+  llm.OnTxnEnd(TxnId(1));
+  auto promoted = llm.Deescalate(PageId(1));
   ASSERT_EQ(promoted.size(), 1u);
   EXPECT_EQ(promoted[0].first, kObj);
   EXPECT_EQ(promoted[0].second, LockMode::kExclusive);
-  EXPECT_FALSE(llm.CoversPage(1, LockMode::kShared));
+  EXPECT_FALSE(llm.CoversPage(PageId(1), LockMode::kShared));
   EXPECT_TRUE(llm.CoversObject(kObj, LockMode::kExclusive));
 }
 
 TEST(LlmTest, CallbackDeniedWhileObjectInUse) {
   LocalLockManager llm;
-  llm.AddObjectLock(1, kObj, LockMode::kExclusive);
+  llm.AddObjectLock(TxnId(1), kObj, LockMode::kExclusive);
   EXPECT_FALSE(llm.CanReleaseObject(kObj));
   EXPECT_FALSE(llm.CanDowngradeObject(kObj));
-  llm.OnTxnEnd(1);
+  llm.OnTxnEnd(TxnId(1));
   EXPECT_TRUE(llm.CanReleaseObject(kObj));
   EXPECT_TRUE(llm.CanDowngradeObject(kObj));
 }
 
 TEST(LlmTest, DowngradeAllowedForActiveReaders) {
   LocalLockManager llm;
-  llm.AddObjectLock(1, kObj, LockMode::kExclusive);
-  llm.OnTxnEnd(1);
+  llm.AddObjectLock(TxnId(1), kObj, LockMode::kExclusive);
+  llm.OnTxnEnd(TxnId(1));
   // Now a later transaction reads under the cached X entry.
-  EXPECT_EQ(llm.TryAcquireObject(2, kObj, LockMode::kShared),
+  EXPECT_EQ(llm.TryAcquireObject(TxnId(2), kObj, LockMode::kShared),
             LocalLockManager::Acquire::kHit);
   EXPECT_FALSE(llm.CanReleaseObject(kObj));
   EXPECT_TRUE(llm.CanDowngradeObject(kObj));
@@ -193,26 +193,26 @@ TEST(LlmTest, DowngradeAllowedForActiveReaders) {
 
 TEST(LlmTest, DeescalateDeniedDuringStructuralTxn) {
   LocalLockManager llm;
-  llm.AddPageLock(1, 1, LockMode::kExclusive);  // Txn 1 is a page writer.
-  EXPECT_FALSE(llm.CanDeescalatePage(1));
-  llm.OnTxnEnd(1);
-  EXPECT_TRUE(llm.CanDeescalatePage(1));
+  llm.AddPageLock(TxnId(1), PageId(1), LockMode::kExclusive);  // Txn 1 is a page writer.
+  EXPECT_FALSE(llm.CanDeescalatePage(PageId(1)));
+  llm.OnTxnEnd(TxnId(1));
+  EXPECT_TRUE(llm.CanDeescalatePage(PageId(1)));
 }
 
 TEST(LlmTest, EscalationCounting) {
   LocalLockManager llm;
   for (SlotId s = 0; s < 5; ++s) {
-    llm.AddObjectLock(1, ObjectId{3, s}, LockMode::kExclusive);
+    llm.AddObjectLock(TxnId(1), ObjectId{PageId(3), s}, LockMode::kExclusive);
   }
-  llm.AddObjectLock(1, ObjectId{4, 0}, LockMode::kExclusive);
-  EXPECT_EQ(llm.ExclusiveObjectCountOnPage(3), 5u);
-  EXPECT_EQ(llm.ExclusiveObjectCountOnPage(4), 1u);
+  llm.AddObjectLock(TxnId(1), ObjectId{PageId(4), 0}, LockMode::kExclusive);
+  EXPECT_EQ(llm.ExclusiveObjectCountOnPage(PageId(3)), 5u);
+  EXPECT_EQ(llm.ExclusiveObjectCountOnPage(PageId(4)), 1u);
 }
 
 TEST(LlmTest, SnapshotListsEverything) {
   LocalLockManager llm;
-  llm.AddObjectLock(1, kObj, LockMode::kExclusive);
-  llm.AddPageLock(1, 9, LockMode::kShared);
+  llm.AddObjectLock(TxnId(1), kObj, LockMode::kExclusive);
+  llm.AddPageLock(TxnId(1), PageId(9), LockMode::kShared);
   auto snap = llm.GetSnapshot();
   EXPECT_EQ(snap.objects.size(), 1u);
   EXPECT_EQ(snap.pages.size(), 1u);
@@ -220,11 +220,11 @@ TEST(LlmTest, SnapshotListsEverything) {
 
 TEST(LlmTest, HasAnyLockOnPage) {
   LocalLockManager llm;
-  EXPECT_FALSE(llm.HasAnyLockOnPage(1));
-  llm.AddObjectLock(1, kObj, LockMode::kShared);
-  EXPECT_TRUE(llm.HasAnyLockOnPage(1));
+  EXPECT_FALSE(llm.HasAnyLockOnPage(PageId(1)));
+  llm.AddObjectLock(TxnId(1), kObj, LockMode::kShared);
+  EXPECT_TRUE(llm.HasAnyLockOnPage(PageId(1)));
   llm.ReleaseObject(kObj);
-  EXPECT_FALSE(llm.HasAnyLockOnPage(1));
+  EXPECT_FALSE(llm.HasAnyLockOnPage(PageId(1)));
 }
 
 }  // namespace

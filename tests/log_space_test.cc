@@ -46,16 +46,16 @@ TEST_F(LogSpaceTest, FlushNotificationAdvancesRedoLsn) {
   Start(0, "ls_notify");
   Client& c0 = system_->client(0);
   TxnId txn = c0.Begin().value();
-  ASSERT_TRUE(c0.Write(txn, ObjectId{1, 0}, Val('A')).ok());
+  ASSERT_TRUE(c0.Write(txn, ObjectId{PageId(1), 0}, Val('A')).ok());
   ASSERT_TRUE(c0.Commit(txn).ok());
-  ASSERT_EQ(c0.dpt().count(1), 1u);
-  Lsn redo_before = c0.dpt().at(1);
+  ASSERT_EQ(c0.dpt().count(PageId(1)), 1u);
+  Lsn redo_before = c0.dpt().at(PageId(1));
 
   // Ship + force: the flush notification must clear the DPT entry (no
   // updates since the ship).
   ASSERT_TRUE(c0.ShipAllDirtyPages().ok());
   ASSERT_TRUE(system_->server().FlushAllPages().ok());
-  EXPECT_EQ(c0.dpt().count(1), 0u);
+  EXPECT_EQ(c0.dpt().count(PageId(1)), 0u);
   (void)redo_before;
 }
 
@@ -63,21 +63,21 @@ TEST_F(LogSpaceTest, RedoLsnAdvancesButEntryKeptWhenUpdatedAgain) {
   Start(0, "ls_advance");
   Client& c0 = system_->client(0);
   TxnId txn = c0.Begin().value();
-  ASSERT_TRUE(c0.Write(txn, ObjectId{1, 0}, Val('B')).ok());
+  ASSERT_TRUE(c0.Write(txn, ObjectId{PageId(1), 0}, Val('B')).ok());
   ASSERT_TRUE(c0.Commit(txn).ok());
   ASSERT_TRUE(c0.ShipAllDirtyPages().ok());
 
   // Update the page again before the server flushes.
   TxnId txn2 = c0.Begin().value();
-  ASSERT_TRUE(c0.Write(txn2, ObjectId{1, 1}, Val('C')).ok());
+  ASSERT_TRUE(c0.Write(txn2, ObjectId{PageId(1), 1}, Val('C')).ok());
   ASSERT_TRUE(c0.Commit(txn2).ok());
-  Lsn redo_before = c0.dpt().at(1);
+  Lsn redo_before = c0.dpt().at(PageId(1));
 
   ASSERT_TRUE(system_->server().FlushAllPages().ok());
   // Entry kept (new updates unflushed), but RedoLSN advanced past the
   // records covered by the first ship.
-  ASSERT_EQ(c0.dpt().count(1), 1u);
-  EXPECT_GT(c0.dpt().at(1), redo_before);
+  ASSERT_EQ(c0.dpt().count(PageId(1)), 1u);
+  EXPECT_GT(c0.dpt().at(PageId(1)), redo_before);
 }
 
 TEST_F(LogSpaceTest, LogFullWithPinnedTransactionAborts) {
@@ -104,14 +104,14 @@ TEST_F(LogSpaceTest, RecoveryAfterLogSpaceReuse) {
   for (int i = 0; i < 60; ++i) {
     TxnId txn = c0.Begin().value();
     last_val = Val('a' + (i % 26));
-    ASSERT_TRUE(c0.Write(txn, ObjectId{2, 1}, last_val).ok());
+    ASSERT_TRUE(c0.Write(txn, ObjectId{PageId(2), 1}, last_val).ok());
     ASSERT_TRUE(c0.Commit(txn).ok());
   }
   ASSERT_TRUE(system_->CrashClient(0).ok());
   ASSERT_TRUE(system_->RecoverClient(0).ok());
   Client& c1 = system_->client(1);
   TxnId txn = c1.Begin().value();
-  EXPECT_EQ(c1.Read(txn, ObjectId{2, 1}).value(), last_val);
+  EXPECT_EQ(c1.Read(txn, ObjectId{PageId(2), 1}).value(), last_val);
   ASSERT_TRUE(c1.Commit(txn).ok());
 }
 

@@ -24,9 +24,11 @@ class LogTest : public ::testing::Test {
   std::string dir_;
 };
 
-LogRecord SampleUpdate(TxnId txn, Lsn prev, PageId page, Psn psn) {
-  return LogRecord::Update(txn, prev, page, 3, UpdateOp::kOverwrite, psn,
-                           "redo-payload", "undo-payload");
+// Raw-integer convenience wrapper: tests name counters by small literals.
+LogRecord SampleUpdate(uint64_t txn, Lsn prev, uint32_t page, uint64_t psn) {
+  return LogRecord::Update(TxnId(txn), prev, PageId(page), 3,
+                           UpdateOp::kOverwrite, Psn(psn), "redo-payload",
+                           "undo-payload");
 }
 
 TEST_F(LogTest, AppendAssignsIncreasingLsns) {
@@ -45,9 +47,9 @@ TEST_F(LogTest, ReadBackBufferedRecord) {
   ASSERT_TRUE(lsn.ok());
   auto rec = log->Read(lsn.value());
   ASSERT_TRUE(rec.ok());
-  EXPECT_EQ(rec.value().txn, 7u);
-  EXPECT_EQ(rec.value().page, 42u);
-  EXPECT_EQ(rec.value().psn, 99u);
+  EXPECT_EQ(rec.value().txn, TxnId(7));
+  EXPECT_EQ(rec.value().page, PageId(42));
+  EXPECT_EQ(rec.value().psn, Psn(99));
   EXPECT_EQ(rec.value().redo, "redo-payload");
   EXPECT_EQ(rec.value().undo, "undo-payload");
   EXPECT_EQ(rec.value().lsn, lsn.value());
@@ -72,7 +74,10 @@ TEST_F(LogTest, ScanVisitsRecordsInOrder) {
   auto log = OpenLog();
   std::vector<Lsn> lsns;
   for (int i = 0; i < 5; ++i) {
-    lsns.push_back(log->Append(SampleUpdate(1, kNullLsn, i, i)).value());
+    lsns.push_back(
+        log->Append(SampleUpdate(1, kNullLsn, static_cast<uint32_t>(i),
+                                 static_cast<uint64_t>(i)))
+            .value());
   }
   ASSERT_TRUE(log->Force().ok());
   std::vector<PageId> pages;
@@ -80,7 +85,8 @@ TEST_F(LogTest, ScanVisitsRecordsInOrder) {
                    pages.push_back(rec.page);
                    return Status::OK();
                  }).ok());
-  EXPECT_EQ(pages, (std::vector<PageId>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(pages, (std::vector<PageId>{PageId(0), PageId(1), PageId(2),
+                                        PageId(3), PageId(4)}));
 }
 
 TEST_F(LogTest, ScanFromMiddle) {
@@ -114,7 +120,7 @@ TEST_F(LogTest, BoundedLogReportsFull) {
   auto log = OpenLog(512);
   Status last = Status::OK();
   for (int i = 0; i < 100; ++i) {
-    auto lsn = log->Append(SampleUpdate(1, kNullLsn, 0, i));
+    auto lsn = log->Append(SampleUpdate(1, kNullLsn, 0, static_cast<uint64_t>(i)));
     if (!lsn.ok()) {
       last = lsn.status();
       break;
@@ -141,7 +147,10 @@ TEST_F(LogTest, PunchedReclaimSpaceFreesBlocksKeepsLsns) {
   std::vector<Lsn> lsns;
   // ~40KB of records so whole filesystem blocks become reclaimable.
   for (int i = 0; i < 200; ++i) {
-    lsns.push_back(log->Append(SampleUpdate(1, kNullLsn, i, i)).value());
+    lsns.push_back(
+        log->Append(SampleUpdate(1, kNullLsn, static_cast<uint32_t>(i),
+                                 static_cast<uint64_t>(i)))
+            .value());
   }
   ASSERT_TRUE(log->Force().ok());
   Lsn tail = log->end_lsn();
@@ -158,7 +167,7 @@ TEST_F(LogTest, PunchedReclaimSpaceFreesBlocksKeepsLsns) {
   for (int i = 150; i < 200; ++i) {
     auto rec = log->Read(lsns[i]);
     ASSERT_TRUE(rec.ok()) << "lsn " << lsns[i];
-    EXPECT_EQ(rec.value().page, static_cast<PageId>(i));
+    EXPECT_EQ(rec.value().page, PageId(static_cast<uint32_t>(i)));
   }
   // And appends continue exactly where they left off.
   Lsn next = log->Append(SampleUpdate(2, kNullLsn, 999, 0)).value();
@@ -166,36 +175,41 @@ TEST_F(LogTest, PunchedReclaimSpaceFreesBlocksKeepsLsns) {
 }
 
 TEST_F(LogTest, AllRecordTypesRoundTrip) {
-  LogRecord cb = LogRecord::Callback(9, 100, ObjectId{4, 2}, 3, 77);
-  LogRecord clr = LogRecord::Clr(9, 100, 4, 2, UpdateOp::kCreate, 5, "img", 60);
+  LogRecord cb = LogRecord::Callback(TxnId(9), Lsn(100),
+                                     ObjectId{PageId(4), 2}, ClientId(3),
+                                     Psn(77));
+  LogRecord clr = LogRecord::Clr(TxnId(9), Lsn(100), PageId(4), 2,
+                                 UpdateOp::kCreate, Psn(5), "img", Lsn(60));
   LogRecord ckpt = LogRecord::ClientCheckpoint(
-      {TxnCheckpointInfo{1, 10, 20}}, {DptEntry{5, 30}});
-  LogRecord repl = LogRecord::Replacement(8, 123, {DctEntry{8, 2, 50, 40}});
+      {TxnCheckpointInfo{TxnId(1), Lsn(10), Lsn(20)}},
+      {DptEntry{PageId(5), Lsn(30)}});
+  LogRecord repl = LogRecord::Replacement(
+      PageId(8), Psn(123), {DctEntry{PageId(8), ClientId(2), Psn(50), Lsn(40)}});
 
   auto cb2 = LogRecord::Decode(cb.Encode());
   ASSERT_TRUE(cb2.ok());
-  EXPECT_EQ(cb2.value().cb_object, (ObjectId{4, 2}));
-  EXPECT_EQ(cb2.value().cb_responder, 3u);
-  EXPECT_EQ(cb2.value().cb_psn, 77u);
+  EXPECT_EQ(cb2.value().cb_object, (ObjectId{PageId(4), 2}));
+  EXPECT_EQ(cb2.value().cb_responder, ClientId(3));
+  EXPECT_EQ(cb2.value().cb_psn, Psn(77));
 
   auto clr2 = LogRecord::Decode(clr.Encode());
   ASSERT_TRUE(clr2.ok());
-  EXPECT_EQ(clr2.value().undo_next_lsn, 60u);
+  EXPECT_EQ(clr2.value().undo_next_lsn, Lsn(60));
   EXPECT_EQ(clr2.value().op, UpdateOp::kCreate);
 
   auto ckpt2 = LogRecord::Decode(ckpt.Encode());
   ASSERT_TRUE(ckpt2.ok());
   ASSERT_EQ(ckpt2.value().active_txns.size(), 1u);
-  EXPECT_EQ(ckpt2.value().active_txns[0].txn, 1u);
+  EXPECT_EQ(ckpt2.value().active_txns[0].txn, TxnId(1));
   ASSERT_EQ(ckpt2.value().dpt.size(), 1u);
-  EXPECT_EQ(ckpt2.value().dpt[0].page, 5u);
+  EXPECT_EQ(ckpt2.value().dpt[0].page, PageId(5));
 
   auto repl2 = LogRecord::Decode(repl.Encode());
   ASSERT_TRUE(repl2.ok());
-  EXPECT_EQ(repl2.value().page, 8u);
-  EXPECT_EQ(repl2.value().page_psn, 123u);
+  EXPECT_EQ(repl2.value().page, PageId(8));
+  EXPECT_EQ(repl2.value().page_psn, Psn(123));
   ASSERT_EQ(repl2.value().dct.size(), 1u);
-  EXPECT_EQ(repl2.value().dct[0].psn, 50u);
+  EXPECT_EQ(repl2.value().dct[0].psn, Psn(50));
 }
 
 TEST_F(LogTest, TruncatedRecordDetected) {
@@ -216,18 +230,22 @@ class TornTailTest : public LogTest {
     auto log = OpenLog();
     std::vector<Lsn> lsns;
     for (int i = 0; i < 3; ++i) {
-      lsns.push_back(log->Append(SampleUpdate(1, kNullLsn, i, i)).value());
+      lsns.push_back(
+        log->Append(SampleUpdate(1, kNullLsn, static_cast<uint32_t>(i),
+                                 static_cast<uint64_t>(i)))
+            .value());
     }
     EXPECT_TRUE(log->Force().ok());
     lsns.push_back(log->end_lsn());
     return lsns;
   }
 
-  void TruncateTo(uint64_t size) {
-    std::filesystem::resize_file(dir_ + "/test.log", size);
+  void TruncateTo(Lsn size) {
+    std::filesystem::resize_file(dir_ + "/test.log", size.value());
   }
 
-  void FlipByteAt(uint64_t offset) {
+  void FlipByteAt(Lsn lsn) {
+    uint64_t offset = lsn.value();
     std::FILE* f = std::fopen((dir_ + "/test.log").c_str(), "r+b");
     ASSERT_NE(f, nullptr);
     ASSERT_EQ(std::fseek(f, static_cast<long>(offset), SEEK_SET), 0);

@@ -9,13 +9,13 @@ namespace {
 
 class PageTest : public ::testing::Test {
  protected:
-  PageTest() : page_(1024) { page_.Format(7, 100); }
+  PageTest() : page_(1024) { page_.Format(PageId(7), Psn(100)); }
   Page page_;
 };
 
 TEST_F(PageTest, FormatInitializesHeader) {
-  EXPECT_EQ(page_.id(), 7u);
-  EXPECT_EQ(page_.psn(), 100u);
+  EXPECT_EQ(page_.id(), PageId(7));
+  EXPECT_EQ(page_.psn(), Psn(100));
   EXPECT_EQ(page_.slot_count(), 0u);
   EXPECT_TRUE(page_.LiveSlots().empty());
 }
@@ -129,9 +129,9 @@ TEST_F(PageTest, PageFullReported) {
 
 TEST_F(PageTest, PsnBumpAndSet) {
   page_.BumpPsn();
-  EXPECT_EQ(page_.psn(), 101u);
-  page_.set_psn(500);
-  EXPECT_EQ(page_.psn(), 500u);
+  EXPECT_EQ(page_.psn(), Psn(101));
+  page_.set_psn(Psn(500));
+  EXPECT_EQ(page_.psn(), Psn(500));
 }
 
 TEST_F(PageTest, ChecksumRoundTrip) {

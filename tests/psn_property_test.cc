@@ -16,7 +16,7 @@ constexpr int kSlots = 6;
 
 Page MakeBase(Psn psn) {
   Page page(kPageSize);
-  page.Format(1, psn);
+  page.Format(PageId(1), psn);
   for (int i = 0; i < kSlots; ++i) {
     (void)page.CreateObject("value-" + std::to_string(i));
   }
@@ -42,7 +42,7 @@ class PsnMonotonicityTest : public ::testing::TestWithParam<uint64_t> {};
 TEST_P(PsnMonotonicityTest, RandomInterleavings) {
   Rng rng(GetParam());
   std::vector<Page> copies;
-  for (int i = 0; i < 4; ++i) copies.push_back(MakeBase(10));
+  for (int i = 0; i < 4; ++i) copies.push_back(MakeBase(Psn(10)));
 
   for (int step = 0; step < 200; ++step) {
     size_t i = rng.Uniform(copies.size());
@@ -54,7 +54,7 @@ TEST_P(PsnMonotonicityTest, RandomInterleavings) {
                       .WriteObject(slot, "value-" + std::to_string(slot))
                       .ok());
       copies[i].BumpPsn();
-      EXPECT_EQ(copies[i].psn(), before + 1);
+      EXPECT_EQ(copies[i].psn(), before.Next());
     } else {
       // Merge another copy in.
       size_t j = rng.Uniform(copies.size());
@@ -65,7 +65,7 @@ TEST_P(PsnMonotonicityTest, RandomInterleavings) {
       // Strictly greater than BOTH inputs -- the max+1 rule.
       EXPECT_GT(copies[i].psn(), before);
       EXPECT_GT(copies[i].psn(), other);
-      EXPECT_EQ(copies[i].psn(), std::max(before, other) + 1);
+      EXPECT_EQ(copies[i].psn(), Psn::Merge(before, other));
     }
   }
 }
@@ -83,7 +83,7 @@ class MergeConvergenceTest : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(MergeConvergenceTest, DisjointWritersConverge) {
   Rng rng(GetParam());
-  Page server = MakeBase(1);
+  Page server = MakeBase(Psn(1));
   std::vector<Page> writers;
   for (int w = 0; w < 3; ++w) writers.push_back(server);
 
@@ -93,8 +93,14 @@ TEST_P(MergeConvergenceTest, DisjointWritersConverge) {
   for (int round = 0; round < 30; ++round) {
     int w = static_cast<int>(rng.Uniform(3));
     SlotId slot = static_cast<SlotId>(w + 3 * rng.Uniform(2));
-    std::string value = "w" + std::to_string(w) + "-r" + std::to_string(round);
-    value.resize(expected[slot].size(), '.');  // Same-size overwrite.
+    std::string value(expected[slot].size(), '.');  // Same-size overwrite.
+    std::string tag = "w";
+    tag += std::to_string(w);
+    tag += "-r";
+    tag += std::to_string(round);
+    for (size_t ci = 0; ci < value.size() && ci < tag.size(); ++ci) {
+      value[ci] = tag[ci];
+    }
     ASSERT_TRUE(writers[w].WriteObject(slot, value).ok());
     writers[w].BumpPsn();
     expected[slot] = value;
@@ -131,7 +137,7 @@ INSTANTIATE_TEST_SUITE_P(Seeds, MergeConvergenceTest,
 // ---------------------------------------------------------------------------
 
 TEST(MergeProperties, ReapplyingShipIsDataIdempotent) {
-  Page server = MakeBase(5);
+  Page server = MakeBase(Psn(5));
   Page writer = server;
   ASSERT_TRUE(writer.WriteObject(2, "newval-").ok());
   writer.BumpPsn();
@@ -146,20 +152,20 @@ TEST(MergeProperties, ReapplyingShipIsDataIdempotent) {
 }
 
 TEST(MergeProperties, EmptyShipOnlyBumpsPsn) {
-  Page server = MakeBase(5);
-  Page other = MakeBase(9);
+  Page server = MakeBase(Psn(5));
+  Page other = MakeBase(Psn(9));
   std::string before = server.ReadObject(0).value();
   ASSERT_TRUE(MergeShippedPage(&server, Ship(other, {})).ok());
   EXPECT_EQ(server.ReadObject(0).value(), before);
-  EXPECT_EQ(server.psn(), 10u);
+  EXPECT_EQ(server.psn(), Psn(10));
 }
 
 TEST(MergeProperties, InstallNeverRegressesPsn) {
-  Page local = MakeBase(50);
-  ASSERT_TRUE(InstallObject(&local, 0, std::string("catchup!"), 20).ok());
-  EXPECT_EQ(local.psn(), 50u);  // Server older: keep ours.
-  ASSERT_TRUE(InstallObject(&local, 0, std::string("forward!"), 80).ok());
-  EXPECT_EQ(local.psn(), 80u);  // Server newer: catch up exactly.
+  Page local = MakeBase(Psn(50));
+  ASSERT_TRUE(InstallObject(&local, 0, std::string("catchup!"), Psn(20)).ok());
+  EXPECT_EQ(local.psn(), Psn(50));  // Server older: keep ours.
+  ASSERT_TRUE(InstallObject(&local, 0, std::string("forward!"), Psn(80)).ok());
+  EXPECT_EQ(local.psn(), Psn(80));  // Server newer: catch up exactly.
 }
 
 }  // namespace

@@ -48,23 +48,23 @@ class RecoveryTest : public ::testing::Test {
 TEST_F(RecoveryTest, ClientCrashCommittedUnshippedUpdateSurvives) {
   Start("cc_committed");
   std::string v = Val('A');
-  CommittedWrite(0, ObjectId{1, 0}, v);
+  CommittedWrite(0, ObjectId{PageId(1), 0}, v);
   // The dirty page sits only in client 0's cache; the private log has the
   // committed update. Crash loses the cache.
   ASSERT_TRUE(system_->CrashClient(0).ok());
   ASSERT_TRUE(system_->RecoverClient(0).ok());
-  EXPECT_EQ(ReadCommitted(0, ObjectId{1, 0}), v);
-  EXPECT_EQ(ReadCommitted(1, ObjectId{1, 0}), v);
+  EXPECT_EQ(ReadCommitted(0, ObjectId{PageId(1), 0}), v);
+  EXPECT_EQ(ReadCommitted(1, ObjectId{PageId(1), 0}), v);
 }
 
 TEST_F(RecoveryTest, ClientCrashUncommittedUpdateRolledBack) {
   Start("cc_uncommitted");
   std::string v_old = Val('B');
   std::string v_new = Val('C');
-  CommittedWrite(0, ObjectId{1, 1}, v_old);
+  CommittedWrite(0, ObjectId{PageId(1), 1}, v_old);
   Client& c0 = system_->client(0);
   TxnId txn = c0.Begin().value();
-  ASSERT_TRUE(c0.Write(txn, ObjectId{1, 1}, v_new).ok());
+  ASSERT_TRUE(c0.Write(txn, ObjectId{PageId(1), 1}, v_new).ok());
   // Force the log so the uncommitted update is durable, then ship the dirty
   // page (steal): the server now holds uncommitted data.
   ASSERT_TRUE(c0.log().Force().ok());
@@ -72,21 +72,21 @@ TEST_F(RecoveryTest, ClientCrashUncommittedUpdateRolledBack) {
   ASSERT_TRUE(system_->CrashClient(0).ok());
   ASSERT_TRUE(system_->RecoverClient(0).ok());
   // The loser transaction must have been rolled back at restart.
-  EXPECT_EQ(ReadCommitted(1, ObjectId{1, 1}), v_old);
-  EXPECT_EQ(ReadCommitted(0, ObjectId{1, 1}), v_old);
+  EXPECT_EQ(ReadCommitted(1, ObjectId{PageId(1), 1}), v_old);
+  EXPECT_EQ(ReadCommitted(0, ObjectId{PageId(1), 1}), v_old);
 }
 
 TEST_F(RecoveryTest, ClientCrashLosesUnforcedUncommittedWork) {
   Start("cc_unforced");
   std::string v_old = Val('D');
-  CommittedWrite(0, ObjectId{1, 2}, v_old);
+  CommittedWrite(0, ObjectId{PageId(1), 2}, v_old);
   Client& c0 = system_->client(0);
   TxnId txn = c0.Begin().value();
-  ASSERT_TRUE(c0.Write(txn, ObjectId{1, 2}, Val('E')).ok());
+  ASSERT_TRUE(c0.Write(txn, ObjectId{PageId(1), 2}, Val('E')).ok());
   // No force, no ship: the update exists only in volatile state.
   ASSERT_TRUE(system_->CrashClient(0).ok());
   ASSERT_TRUE(system_->RecoverClient(0).ok());
-  EXPECT_EQ(ReadCommitted(0, ObjectId{1, 2}), v_old);
+  EXPECT_EQ(ReadCommitted(0, ObjectId{PageId(1), 2}), v_old);
 }
 
 TEST_F(RecoveryTest, ClientCrashSamePageOtherClientUpdatesPreserved) {
@@ -96,36 +96,36 @@ TEST_F(RecoveryTest, ClientCrashSamePageOtherClientUpdatesPreserved) {
   Start("cc_same_page");
   std::string v0 = Val('F');
   std::string v1 = Val('G');
-  CommittedWrite(0, ObjectId{2, 0}, v0);
-  CommittedWrite(1, ObjectId{2, 1}, v1);  // Same page, different object.
+  CommittedWrite(0, ObjectId{PageId(2), 0}, v0);
+  CommittedWrite(1, ObjectId{PageId(2), 1}, v1);  // Same page, different object.
   ASSERT_TRUE(system_->CrashClient(0).ok());
   ASSERT_TRUE(system_->RecoverClient(0).ok());
-  EXPECT_EQ(ReadCommitted(2, ObjectId{2, 0}), v0);
-  EXPECT_EQ(ReadCommitted(2, ObjectId{2, 1}), v1);
+  EXPECT_EQ(ReadCommitted(2, ObjectId{PageId(2), 0}), v0);
+  EXPECT_EQ(ReadCommitted(2, ObjectId{PageId(2), 1}), v1);
 }
 
 TEST_F(RecoveryTest, OperationalClientsContinueDuringClientCrash) {
   Start("cc_continue");
   std::string v = Val('H');
-  CommittedWrite(0, ObjectId{3, 0}, v);
+  CommittedWrite(0, ObjectId{PageId(3), 0}, v);
   ASSERT_TRUE(system_->CrashClient(0).ok());
   // Client 1 works on unrelated data while client 0 is down.
-  CommittedWrite(1, ObjectId{4, 0}, v);
-  EXPECT_EQ(ReadCommitted(1, ObjectId{4, 0}), v);
+  CommittedWrite(1, ObjectId{PageId(4), 0}, v);
+  EXPECT_EQ(ReadCommitted(1, ObjectId{PageId(4), 0}), v);
   // But data exclusively held by the crashed client blocks.
   Client& c1 = system_->client(1);
   TxnId txn = c1.Begin().value();
-  EXPECT_TRUE(c1.Read(txn, ObjectId{3, 0}).status().IsWouldBlock());
+  EXPECT_TRUE(c1.Read(txn, ObjectId{PageId(3), 0}).status().IsWouldBlock());
   ASSERT_TRUE(c1.Commit(txn).ok());
   ASSERT_TRUE(system_->RecoverClient(0).ok());
-  EXPECT_EQ(ReadCommitted(1, ObjectId{3, 0}), v);
+  EXPECT_EQ(ReadCommitted(1, ObjectId{PageId(3), 0}), v);
 }
 
 TEST_F(RecoveryTest, ClientCrashStructuralOpsRecovered) {
   Start("cc_structural");
   Client& c0 = system_->client(0);
   TxnId txn = c0.Begin().value();
-  auto oid = c0.Create(txn, 5, "created before crash");
+  auto oid = c0.Create(txn, PageId(5), "created before crash");
   ASSERT_TRUE(oid.ok());
   ASSERT_TRUE(c0.Commit(txn).ok());
   ASSERT_TRUE(system_->CrashClient(0).ok());
@@ -137,10 +137,10 @@ TEST_F(RecoveryTest, ClientCrashRepeatedCycleStable) {
   Start("cc_repeat");
   for (int round = 0; round < 4; ++round) {
     std::string v = Val(static_cast<char>('a' + round));
-    CommittedWrite(0, ObjectId{6, 0}, v);
+    CommittedWrite(0, ObjectId{PageId(6), 0}, v);
     ASSERT_TRUE(system_->CrashClient(0).ok());
     ASSERT_TRUE(system_->RecoverClient(0).ok());
-    EXPECT_EQ(ReadCommitted(0, ObjectId{6, 0}), v) << "round " << round;
+    EXPECT_EQ(ReadCommitted(0, ObjectId{PageId(6), 0}), v) << "round " << round;
   }
 }
 
@@ -151,24 +151,24 @@ TEST_F(RecoveryTest, ClientCrashRepeatedCycleStable) {
 TEST_F(RecoveryTest, ServerCrashCachedClientPagesRemerged) {
   Start("sc_cached");
   std::string v = Val('I');
-  CommittedWrite(0, ObjectId{7, 0}, v);
+  CommittedWrite(0, ObjectId{PageId(7), 0}, v);
   // The dirty page is still in client 0's cache; the server pool dies.
   ASSERT_TRUE(system_->CrashServer().ok());
   ASSERT_TRUE(system_->RecoverAll().ok());
-  EXPECT_EQ(ReadCommitted(1, ObjectId{7, 0}), v);
+  EXPECT_EQ(ReadCommitted(1, ObjectId{PageId(7), 0}), v);
 }
 
 TEST_F(RecoveryTest, ServerCrashReplacedPageRecoveredFromClientLog) {
   Start("sc_replaced");
   std::string v = Val('J');
-  CommittedWrite(0, ObjectId{8, 0}, v);
+  CommittedWrite(0, ObjectId{PageId(8), 0}, v);
   // Ship the page to the server (replacement), then lose the server pool
   // before any flush: the only copies are the disk original and client 0's
   // private log.
   ASSERT_TRUE(system_->client(0).ShipAllDirtyPages().ok());
   ASSERT_TRUE(system_->CrashServer().ok());
   ASSERT_TRUE(system_->RecoverAll().ok());
-  EXPECT_EQ(ReadCommitted(1, ObjectId{8, 0}), v);
+  EXPECT_EQ(ReadCommitted(1, ObjectId{PageId(8), 0}), v);
   EXPECT_GT(system_->metrics().Get("server.coordinated_page_recoveries"), 0u);
 }
 
@@ -176,14 +176,14 @@ TEST_F(RecoveryTest, ServerCrashMultiClientSamePageRecovered) {
   Start("sc_same_page");
   std::string v0 = Val('K');
   std::string v1 = Val('L');
-  CommittedWrite(0, ObjectId{9, 0}, v0);
-  CommittedWrite(1, ObjectId{9, 1}, v1);
+  CommittedWrite(0, ObjectId{PageId(9), 0}, v0);
+  CommittedWrite(1, ObjectId{PageId(9), 1}, v1);
   ASSERT_TRUE(system_->client(0).ShipAllDirtyPages().ok());
   ASSERT_TRUE(system_->client(1).ShipAllDirtyPages().ok());
   ASSERT_TRUE(system_->CrashServer().ok());
   ASSERT_TRUE(system_->RecoverAll().ok());
-  EXPECT_EQ(ReadCommitted(2, ObjectId{9, 0}), v0);
-  EXPECT_EQ(ReadCommitted(2, ObjectId{9, 1}), v1);
+  EXPECT_EQ(ReadCommitted(2, ObjectId{PageId(9), 0}), v0);
+  EXPECT_EQ(ReadCommitted(2, ObjectId{PageId(9), 1}), v1);
 }
 
 TEST_F(RecoveryTest, ServerCrashCallbackOrderPreserved) {
@@ -193,12 +193,12 @@ TEST_F(RecoveryTest, ServerCrashCallbackOrderPreserved) {
   Start("sc_order");
   std::string v0 = Val('M');
   std::string v1 = Val('N');
-  CommittedWrite(0, ObjectId{10, 0}, v0);
-  CommittedWrite(1, ObjectId{10, 0}, v1);  // Callback: c0 ships, c1 updates.
+  CommittedWrite(0, ObjectId{PageId(10), 0}, v0);
+  CommittedWrite(1, ObjectId{PageId(10), 0}, v1);  // Callback: c0 ships, c1 updates.
   ASSERT_TRUE(system_->client(1).ShipAllDirtyPages().ok());
   ASSERT_TRUE(system_->CrashServer().ok());
   ASSERT_TRUE(system_->RecoverAll().ok());
-  EXPECT_EQ(ReadCommitted(2, ObjectId{10, 0}), v1);
+  EXPECT_EQ(ReadCommitted(2, ObjectId{PageId(10), 0}), v1);
 }
 
 TEST_F(RecoveryTest, ServerCrashOrderedHandshakeBetweenRecoveringClients) {
@@ -209,15 +209,15 @@ TEST_F(RecoveryTest, ServerCrashOrderedHandshakeBetweenRecoveringClients) {
   std::string v0a = Val('O');
   std::string v0b = Val('P');
   std::string v1 = Val('Q');
-  CommittedWrite(0, ObjectId{11, 0}, v0a);  // c0 updates object 0.
-  CommittedWrite(0, ObjectId{11, 1}, v0b);  // c0 updates object 1.
-  CommittedWrite(1, ObjectId{11, 0}, v1);   // c1 takes over object 0.
+  CommittedWrite(0, ObjectId{PageId(11), 0}, v0a);  // c0 updates object 0.
+  CommittedWrite(0, ObjectId{PageId(11), 1}, v0b);  // c0 updates object 1.
+  CommittedWrite(1, ObjectId{PageId(11), 0}, v1);   // c1 takes over object 0.
   ASSERT_TRUE(system_->client(0).ShipAllDirtyPages().ok());
   ASSERT_TRUE(system_->client(1).ShipAllDirtyPages().ok());
   ASSERT_TRUE(system_->CrashServer().ok());
   ASSERT_TRUE(system_->RecoverAll().ok());
-  EXPECT_EQ(ReadCommitted(2, ObjectId{11, 0}), v1);
-  EXPECT_EQ(ReadCommitted(2, ObjectId{11, 1}), v0b);
+  EXPECT_EQ(ReadCommitted(2, ObjectId{PageId(11), 0}), v1);
+  EXPECT_EQ(ReadCommitted(2, ObjectId{PageId(11), 1}), v0b);
 }
 
 TEST_F(RecoveryTest, ServerCrashAfterFlushUsesReplacementRecords) {
@@ -226,26 +226,26 @@ TEST_F(RecoveryTest, ServerCrashAfterFlushUsesReplacementRecords) {
   // updates are already on disk.
   Start("sc_flushed");
   std::string v = Val('R');
-  CommittedWrite(0, ObjectId{12, 0}, v);
+  CommittedWrite(0, ObjectId{PageId(12), 0}, v);
   ASSERT_TRUE(system_->FlushEverything().ok());
   ASSERT_TRUE(system_->CrashServer().ok());
   ASSERT_TRUE(system_->RecoverAll().ok());
-  EXPECT_EQ(ReadCommitted(1, ObjectId{12, 0}), v);
+  EXPECT_EQ(ReadCommitted(1, ObjectId{PageId(12), 0}), v);
 }
 
 TEST_F(RecoveryTest, ServerCrashWithCheckpointBoundsScan) {
   Start("sc_checkpoint");
   std::string v1 = Val('S');
-  CommittedWrite(0, ObjectId{13, 0}, v1);
+  CommittedWrite(0, ObjectId{PageId(13), 0}, v1);
   ASSERT_TRUE(system_->FlushEverything().ok());
   ASSERT_TRUE(system_->server().TakeCheckpoint().ok());
   std::string v2 = Val('T');
-  CommittedWrite(0, ObjectId{13, 1}, v2);
+  CommittedWrite(0, ObjectId{PageId(13), 1}, v2);
   ASSERT_TRUE(system_->client(0).ShipAllDirtyPages().ok());
   ASSERT_TRUE(system_->CrashServer().ok());
   ASSERT_TRUE(system_->RecoverAll().ok());
-  EXPECT_EQ(ReadCommitted(1, ObjectId{13, 0}), v1);
-  EXPECT_EQ(ReadCommitted(1, ObjectId{13, 1}), v2);
+  EXPECT_EQ(ReadCommitted(1, ObjectId{PageId(13), 0}), v1);
+  EXPECT_EQ(ReadCommitted(1, ObjectId{PageId(13), 1}), v2);
 }
 
 TEST_F(RecoveryTest, UncommittedDataAtServerRolledBackAfterServerCrash) {
@@ -254,15 +254,15 @@ TEST_F(RecoveryTest, UncommittedDataAtServerRolledBackAfterServerCrash) {
   Start("sc_steal");
   std::string v_old = Val('U');
   std::string v_new = Val('V');
-  CommittedWrite(0, ObjectId{14, 0}, v_old);
+  CommittedWrite(0, ObjectId{PageId(14), 0}, v_old);
   Client& c0 = system_->client(0);
   TxnId txn = c0.Begin().value();
-  ASSERT_TRUE(c0.Write(txn, ObjectId{14, 0}, v_new).ok());
+  ASSERT_TRUE(c0.Write(txn, ObjectId{PageId(14), 0}, v_new).ok());
   ASSERT_TRUE(c0.ShipAllDirtyPages().ok());  // Uncommitted data at server.
   ASSERT_TRUE(system_->CrashServer().ok());
   ASSERT_TRUE(system_->RecoverAll().ok());
   ASSERT_TRUE(c0.Abort(txn).ok());
-  EXPECT_EQ(ReadCommitted(1, ObjectId{14, 0}), v_old);
+  EXPECT_EQ(ReadCommitted(1, ObjectId{PageId(14), 0}), v_old);
 }
 
 // ---------------------------------------------------------------------------
@@ -272,24 +272,24 @@ TEST_F(RecoveryTest, UncommittedDataAtServerRolledBackAfterServerCrash) {
 TEST_F(RecoveryTest, ComplexCrashClientAndServer) {
   Start("cx_basic");
   std::string v = Val('W');
-  CommittedWrite(0, ObjectId{15, 0}, v);
+  CommittedWrite(0, ObjectId{PageId(15), 0}, v);
   ASSERT_TRUE(system_->client(0).ShipAllDirtyPages().ok());
   ASSERT_TRUE(system_->CrashClient(0).ok());
   ASSERT_TRUE(system_->CrashServer().ok());
   ASSERT_TRUE(system_->RecoverAll().ok());
-  EXPECT_EQ(ReadCommitted(0, ObjectId{15, 0}), v);
-  EXPECT_EQ(ReadCommitted(1, ObjectId{15, 0}), v);
+  EXPECT_EQ(ReadCommitted(0, ObjectId{PageId(15), 0}), v);
+  EXPECT_EQ(ReadCommitted(1, ObjectId{PageId(15), 0}), v);
 }
 
 TEST_F(RecoveryTest, ComplexCrashUnshippedCommittedUpdate) {
   Start("cx_unshipped");
   std::string v = Val('X');
-  CommittedWrite(0, ObjectId{15, 2}, v);
+  CommittedWrite(0, ObjectId{PageId(15), 2}, v);
   // Nothing shipped: only client 0's log knows. Both crash.
   ASSERT_TRUE(system_->CrashClient(0).ok());
   ASSERT_TRUE(system_->CrashServer().ok());
   ASSERT_TRUE(system_->RecoverAll().ok());
-  EXPECT_EQ(ReadCommitted(0, ObjectId{15, 2}), v);
+  EXPECT_EQ(ReadCommitted(0, ObjectId{PageId(15), 2}), v);
 }
 
 TEST_F(RecoveryTest, ComplexCrashAllClientsAndServer) {
@@ -297,34 +297,34 @@ TEST_F(RecoveryTest, ComplexCrashAllClientsAndServer) {
   std::string v0 = Val('Y');
   std::string v1 = Val('Z');
   std::string v2 = Val('0');
-  CommittedWrite(0, ObjectId{1, 0}, v0);
-  CommittedWrite(1, ObjectId{1, 1}, v1);  // Same page as client 0's object.
-  CommittedWrite(2, ObjectId{2, 0}, v2);
+  CommittedWrite(0, ObjectId{PageId(1), 0}, v0);
+  CommittedWrite(1, ObjectId{PageId(1), 1}, v1);  // Same page as client 0's object.
+  CommittedWrite(2, ObjectId{PageId(2), 0}, v2);
   ASSERT_TRUE(system_->client(1).ShipAllDirtyPages().ok());
   for (size_t i = 0; i < 3; ++i) {
     ASSERT_TRUE(system_->CrashClient(i).ok());
   }
   ASSERT_TRUE(system_->CrashServer().ok());
   ASSERT_TRUE(system_->RecoverAll().ok());
-  EXPECT_EQ(ReadCommitted(0, ObjectId{1, 0}), v0);
-  EXPECT_EQ(ReadCommitted(1, ObjectId{1, 1}), v1);
-  EXPECT_EQ(ReadCommitted(2, ObjectId{2, 0}), v2);
+  EXPECT_EQ(ReadCommitted(0, ObjectId{PageId(1), 0}), v0);
+  EXPECT_EQ(ReadCommitted(1, ObjectId{PageId(1), 1}), v1);
+  EXPECT_EQ(ReadCommitted(2, ObjectId{PageId(2), 0}), v2);
 }
 
 TEST_F(RecoveryTest, ComplexCrashMixedOperationalAndCrashed) {
   Start("cx_mixed");
   std::string v0 = Val('1');
   std::string v1 = Val('2');
-  CommittedWrite(0, ObjectId{3, 0}, v0);
-  CommittedWrite(1, ObjectId{3, 1}, v1);
+  CommittedWrite(0, ObjectId{PageId(3), 0}, v0);
+  CommittedWrite(1, ObjectId{PageId(3), 1}, v1);
   ASSERT_TRUE(system_->client(0).ShipAllDirtyPages().ok());
   ASSERT_TRUE(system_->client(1).ShipAllDirtyPages().ok());
   // Client 0 and the server die; client 1 stays up.
   ASSERT_TRUE(system_->CrashClient(0).ok());
   ASSERT_TRUE(system_->CrashServer().ok());
   ASSERT_TRUE(system_->RecoverAll().ok());
-  EXPECT_EQ(ReadCommitted(2, ObjectId{3, 0}), v0);
-  EXPECT_EQ(ReadCommitted(2, ObjectId{3, 1}), v1);
+  EXPECT_EQ(ReadCommitted(2, ObjectId{PageId(3), 0}), v0);
+  EXPECT_EQ(ReadCommitted(2, ObjectId{PageId(3), 1}), v1);
 }
 
 TEST_F(RecoveryTest, ComplexCrashOrderingDependencyOnCrashedClient) {
@@ -334,22 +334,22 @@ TEST_F(RecoveryTest, ComplexCrashOrderingDependencyOnCrashedClient) {
   Start("cx_deferred");
   std::string v0 = Val('3');
   std::string v1 = Val('4');
-  CommittedWrite(0, ObjectId{4, 0}, v0);   // c0 first.
-  CommittedWrite(1, ObjectId{4, 0}, v1);   // c1 takes the object over.
+  CommittedWrite(0, ObjectId{PageId(4), 0}, v0);   // c0 first.
+  CommittedWrite(1, ObjectId{PageId(4), 0}, v1);   // c1 takes the object over.
   ASSERT_TRUE(system_->client(0).ShipAllDirtyPages().ok());
   ASSERT_TRUE(system_->client(1).ShipAllDirtyPages().ok());
   ASSERT_TRUE(system_->CrashClient(0).ok());
   ASSERT_TRUE(system_->CrashServer().ok());
   ASSERT_TRUE(system_->RecoverAll().ok());
-  EXPECT_EQ(ReadCommitted(2, ObjectId{4, 0}), v1);
+  EXPECT_EQ(ReadCommitted(2, ObjectId{PageId(4), 0}), v1);
 }
 
 TEST_F(RecoveryTest, RecoverAllIdempotentWhenNothingCrashed) {
   Start("noop_recover");
   std::string v = Val('5');
-  CommittedWrite(0, ObjectId{5, 0}, v);
+  CommittedWrite(0, ObjectId{PageId(5), 0}, v);
   ASSERT_TRUE(system_->RecoverAll().ok());
-  EXPECT_EQ(ReadCommitted(1, ObjectId{5, 0}), v);
+  EXPECT_EQ(ReadCommitted(1, ObjectId{PageId(5), 0}), v);
 }
 
 }  // namespace

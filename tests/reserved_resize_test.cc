@@ -30,7 +30,7 @@ TEST_F(ReservedResizeTest, InPlaceResizeNeedsNoPageLock) {
 
   // c0 creates a reserved object; creation itself is structural.
   TxnId setup = c0.Begin().value();
-  auto oid = c0.Create(setup, 1, "tiny");
+  auto oid = c0.Create(setup, PageId(1), "tiny");
   ASSERT_TRUE(oid.ok());
   ASSERT_TRUE(c0.Commit(setup).ok());
 
@@ -39,7 +39,7 @@ TEST_F(ReservedResizeTest, InPlaceResizeNeedsNoPageLock) {
   // lock and block; within reservation it proceeds concurrently.
   TxnId t1 = c1.Begin().value();
   ASSERT_TRUE(
-      c1.Write(t1, ObjectId{1, 0}, std::string(system_->config().object_size,
+      c1.Write(t1, ObjectId{PageId(1), 0}, std::string(system_->config().object_size,
                                                'b'))
           .ok());
 
@@ -65,13 +65,13 @@ TEST_F(ReservedResizeTest, GrowthPastReservationFallsBackToPageLock) {
   Client& c1 = system_->client(1);
 
   TxnId setup = c0.Begin().value();
-  auto oid = c0.Create(setup, 2, "12345678");  // Capacity 12.
+  auto oid = c0.Create(setup, PageId(2), "12345678");  // Capacity 12.
   ASSERT_TRUE(oid.ok());
   ASSERT_TRUE(c0.Commit(setup).ok());
 
   TxnId t1 = c1.Begin().value();
   ASSERT_TRUE(
-      c1.Write(t1, ObjectId{2, 0}, std::string(system_->config().object_size,
+      c1.Write(t1, ObjectId{PageId(2), 0}, std::string(system_->config().object_size,
                                                'c'))
           .ok());
 
@@ -89,13 +89,13 @@ TEST_F(ReservedResizeTest, NoReservationAlwaysStructural) {
   Client& c1 = system_->client(1);
 
   TxnId setup = c0.Begin().value();
-  auto oid = c0.Create(setup, 3, "exact");
+  auto oid = c0.Create(setup, PageId(3), "exact");
   ASSERT_TRUE(oid.ok());
   ASSERT_TRUE(c0.Commit(setup).ok());
 
   TxnId t1 = c1.Begin().value();
   ASSERT_TRUE(
-      c1.Write(t1, ObjectId{3, 0}, std::string(system_->config().object_size,
+      c1.Write(t1, ObjectId{PageId(3), 0}, std::string(system_->config().object_size,
                                                'd'))
           .ok());
   TxnId t0 = c0.Begin().value();
@@ -111,7 +111,7 @@ TEST_F(ReservedResizeTest, InPlaceResizeSurvivesClientCrash) {
   Start(/*reserve=*/1.0);
   Client& c0 = system_->client(0);
   TxnId setup = c0.Begin().value();
-  auto oid = c0.Create(setup, 4, "base");
+  auto oid = c0.Create(setup, PageId(4), "base");
   ASSERT_TRUE(oid.ok());
   ASSERT_TRUE(c0.Commit(setup).ok());
 
@@ -131,7 +131,7 @@ TEST_F(ReservedResizeTest, InPlaceResizeSurvivesServerCrash) {
   Start(/*reserve=*/1.0);
   Client& c0 = system_->client(0);
   TxnId setup = c0.Begin().value();
-  auto oid = c0.Create(setup, 5, "root");
+  auto oid = c0.Create(setup, PageId(5), "root");
   ASSERT_TRUE(oid.ok());
   ASSERT_TRUE(c0.Commit(setup).ok());
   ASSERT_TRUE(c0.ShipAllDirtyPages().ok());
@@ -154,7 +154,7 @@ TEST_F(ReservedResizeTest, AbortUndoesInPlaceResize) {
   Start(/*reserve=*/1.0);
   Client& c0 = system_->client(0);
   TxnId setup = c0.Begin().value();
-  auto oid = c0.Create(setup, 6, "before");
+  auto oid = c0.Create(setup, PageId(6), "before");
   ASSERT_TRUE(oid.ok());
   ASSERT_TRUE(c0.Commit(setup).ok());
 

@@ -27,12 +27,12 @@ class ServerTest : public ::testing::Test {
 
 TEST_F(ServerTest, DctEntryCreatedAtFirstExclusiveGrant) {
   Client& c0 = system_->client(0);
-  EXPECT_FALSE(system_->server().dct().Get(1, 0).has_value());
+  EXPECT_FALSE(system_->server().dct().Get(PageId(1), ClientId(0)).has_value());
   TxnId txn = c0.Begin().value();
-  ASSERT_TRUE(c0.Write(txn, ObjectId{1, 0}, Val('a')).ok());
+  ASSERT_TRUE(c0.Write(txn, ObjectId{PageId(1), 0}, Val('a')).ok());
   // The X grant inserted the entry; the client had no cached copy, so the
   // PSN is that of the copy the server sent.
-  auto entry = system_->server().dct().Get(1, 0);
+  auto entry = system_->server().dct().Get(PageId(1), ClientId(0));
   ASSERT_TRUE(entry.has_value());
   EXPECT_NE(entry->psn, kNullPsn);
   ASSERT_TRUE(c0.Commit(txn).ok());
@@ -41,18 +41,18 @@ TEST_F(ServerTest, DctEntryCreatedAtFirstExclusiveGrant) {
 TEST_F(ServerTest, DctPsnAdvancesOnShip) {
   Client& c0 = system_->client(0);
   TxnId txn = c0.Begin().value();
-  ASSERT_TRUE(c0.Write(txn, ObjectId{1, 0}, Val('b')).ok());
+  ASSERT_TRUE(c0.Write(txn, ObjectId{PageId(1), 0}, Val('b')).ok());
   ASSERT_TRUE(c0.Commit(txn).ok());
-  Psn at_grant = system_->server().dct().Get(1, 0)->psn;
+  Psn at_grant = system_->server().dct().Get(PageId(1), ClientId(0))->psn;
   ASSERT_TRUE(c0.ShipAllDirtyPages().ok());
-  Psn after_ship = system_->server().dct().Get(1, 0)->psn;
+  Psn after_ship = system_->server().dct().Get(PageId(1), ClientId(0))->psn;
   EXPECT_GT(after_ship, at_grant);
 }
 
 TEST_F(ServerTest, ReplacementRecordWrittenBeforePageForce) {
   Client& c0 = system_->client(0);
   TxnId txn = c0.Begin().value();
-  ASSERT_TRUE(c0.Write(txn, ObjectId{2, 0}, Val('c')).ok());
+  ASSERT_TRUE(c0.Write(txn, ObjectId{PageId(2), 0}, Val('c')).ok());
   ASSERT_TRUE(c0.Commit(txn).ok());
   ASSERT_TRUE(c0.ShipAllDirtyPages().ok());
 
@@ -66,9 +66,9 @@ TEST_F(ServerTest, ReplacementRecordWrittenBeforePageForce) {
   bool found = false;
   Status st = system_->server().log().Scan(
       system_->server().log().begin_lsn(), [&](const LogRecord& rec) {
-        if (rec.type == LogRecordType::kReplacement && rec.page == 2) {
+        if (rec.type == LogRecordType::kReplacement && rec.page == PageId(2)) {
           for (const DctEntry& e : rec.dct) {
-            if (e.client == 0) found = true;
+            if (e.client == ClientId(0)) found = true;
           }
         }
         return Status::OK();
@@ -81,22 +81,22 @@ TEST_F(ServerTest, FlushRemovesDctEntryOnceLocksGone) {
   Client& c0 = system_->client(0);
   Client& c1 = system_->client(1);
   TxnId txn = c0.Begin().value();
-  ASSERT_TRUE(c0.Write(txn, ObjectId{3, 0}, Val('d')).ok());
+  ASSERT_TRUE(c0.Write(txn, ObjectId{PageId(3), 0}, Val('d')).ok());
   ASSERT_TRUE(c0.Commit(txn).ok());
   ASSERT_TRUE(c0.ShipAllDirtyPages().ok());
 
   // Flush while c0 still holds the (cached) X lock: entry survives.
   ASSERT_TRUE(system_->server().FlushAllPages().ok());
-  EXPECT_TRUE(system_->server().dct().Get(3, 0).has_value());
+  EXPECT_TRUE(system_->server().dct().Get(PageId(3), ClientId(0)).has_value());
 
   // c1 takes the object over (c0's lock released), then a flush drops it.
   TxnId t1 = c1.Begin().value();
-  ASSERT_TRUE(c1.Write(t1, ObjectId{3, 0}, Val('e')).ok());
+  ASSERT_TRUE(c1.Write(t1, ObjectId{PageId(3), 0}, Val('e')).ok());
   ASSERT_TRUE(c1.Commit(t1).ok());
   ASSERT_TRUE(c1.ShipAllDirtyPages().ok());
   ASSERT_TRUE(system_->server().FlushAllPages().ok());
-  EXPECT_FALSE(system_->server().dct().Get(3, 0).has_value());
-  EXPECT_TRUE(system_->server().dct().Get(3, 1).has_value());
+  EXPECT_FALSE(system_->server().dct().Get(PageId(3), ClientId(0)).has_value());
+  EXPECT_TRUE(system_->server().dct().Get(PageId(3), ClientId(1)).has_value());
 }
 
 TEST_F(ServerTest, MergePreservesOtherClientsSlots) {
@@ -104,14 +104,14 @@ TEST_F(ServerTest, MergePreservesOtherClientsSlots) {
   Client& c1 = system_->client(1);
   TxnId t0 = c0.Begin().value();
   TxnId t1 = c1.Begin().value();
-  ASSERT_TRUE(c0.Write(t0, ObjectId{4, 0}, Val('f')).ok());
-  ASSERT_TRUE(c1.Write(t1, ObjectId{4, 1}, Val('g')).ok());
+  ASSERT_TRUE(c0.Write(t0, ObjectId{PageId(4), 0}, Val('f')).ok());
+  ASSERT_TRUE(c1.Write(t1, ObjectId{PageId(4), 1}, Val('g')).ok());
   ASSERT_TRUE(c0.Commit(t0).ok());
   ASSERT_TRUE(c1.Commit(t1).ok());
   ASSERT_TRUE(c0.ShipAllDirtyPages().ok());
   ASSERT_TRUE(c1.ShipAllDirtyPages().ok());
 
-  BufferPool::Frame* frame = system_->server().pool().Peek(4);
+  BufferPool::Frame* frame = system_->server().pool().Peek(PageId(4));
   ASSERT_NE(frame, nullptr);
   EXPECT_EQ(frame->page.ReadObject(0).value(), Val('f'));
   EXPECT_EQ(frame->page.ReadObject(1).value(), Val('g'));
@@ -120,7 +120,7 @@ TEST_F(ServerTest, MergePreservesOtherClientsSlots) {
 TEST_F(ServerTest, ServerCheckpointCarriesDct) {
   Client& c0 = system_->client(0);
   TxnId txn = c0.Begin().value();
-  ASSERT_TRUE(c0.Write(txn, ObjectId{5, 0}, Val('h')).ok());
+  ASSERT_TRUE(c0.Write(txn, ObjectId{PageId(5), 0}, Val('h')).ok());
   ASSERT_TRUE(c0.Commit(txn).ok());
   ASSERT_TRUE(system_->server().TakeCheckpoint().ok());
 
@@ -131,7 +131,7 @@ TEST_F(ServerTest, ServerCheckpointCarriesDct) {
   EXPECT_EQ(rec.value().type, LogRecordType::kServerCheckpoint);
   bool has_entry = false;
   for (const DctEntry& e : rec.value().dct) {
-    if (e.page == 5 && e.client == 0) has_entry = true;
+    if (e.page == PageId(5) && e.client == ClientId(0)) has_entry = true;
   }
   EXPECT_TRUE(has_entry);
 }
@@ -142,9 +142,9 @@ TEST_F(ServerTest, CrashedServerRefusesRequests) {
   TxnId txn = c0.Begin().value();  // Begin is local: fine.
   // Cached-lock/cached-page operations still work locally...
   // ...but a lock miss reaches the dead server.
-  EXPECT_TRUE(c0.Write(txn, ObjectId{6, 0}, Val('i')).IsCrashed());
+  EXPECT_TRUE(c0.Write(txn, ObjectId{PageId(6), 0}, Val('i')).IsCrashed());
   ASSERT_TRUE(system_->RecoverServer().ok());
-  EXPECT_TRUE(c0.Write(txn, ObjectId{6, 0}, Val('i')).ok());
+  EXPECT_TRUE(c0.Write(txn, ObjectId{PageId(6), 0}, Val('i')).ok());
   ASSERT_TRUE(c0.Commit(txn).ok());
 }
 
@@ -153,18 +153,18 @@ TEST_F(ServerTest, LocalOperationsSurviveServerOutage) {
   // committing while the server is down.
   Client& c0 = system_->client(0);
   TxnId warm = c0.Begin().value();
-  ASSERT_TRUE(c0.Write(warm, ObjectId{7, 0}, Val('j')).ok());
+  ASSERT_TRUE(c0.Write(warm, ObjectId{PageId(7), 0}, Val('j')).ok());
   ASSERT_TRUE(c0.Commit(warm).ok());
 
   ASSERT_TRUE(system_->CrashServer().ok());
   TxnId txn = c0.Begin().value();
-  EXPECT_TRUE(c0.Write(txn, ObjectId{7, 0}, Val('k')).ok());  // Cached X.
+  EXPECT_TRUE(c0.Write(txn, ObjectId{PageId(7), 0}, Val('k')).ok());  // Cached X.
   EXPECT_TRUE(c0.Commit(txn).ok());  // Local log force only.
   ASSERT_TRUE(system_->RecoverAll().ok());
 
   Client& c1 = system_->client(1);
   TxnId check = c1.Begin().value();
-  EXPECT_EQ(c1.Read(check, ObjectId{7, 0}).value(), Val('k'));
+  EXPECT_EQ(c1.Read(check, ObjectId{PageId(7), 0}).value(), Val('k'));
   ASSERT_TRUE(c1.Commit(check).ok());
 }
 
@@ -189,7 +189,7 @@ TEST_F(ServerTest, PageDeallocationRetainsPsnLineage) {
   Psn final_psn =
       system_->server().pool().Peek(pid.value()) != nullptr
           ? system_->server().pool().Peek(pid.value())->page.psn()
-          : 0;
+          : Psn(0);
   ASSERT_TRUE(system_->server().DeallocatePage(pid.value()).ok());
   EXPECT_FALSE(system_->server().space_map().IsAllocated(pid.value()));
 

@@ -21,47 +21,47 @@ class DiskManagerTest : public ::testing::Test {
 TEST_F(DiskManagerTest, WriteReadRoundTrip) {
   auto dm = DiskManager::Open(dir_ + "/db", 1024).value();
   Page page(1024);
-  page.Format(3, 7);
+  page.Format(PageId(3), Psn(7));
   ASSERT_TRUE(page.CreateObject("persisted").ok());
-  ASSERT_TRUE(dm->WritePage(3, &page).ok());
+  ASSERT_TRUE(dm->WritePage(PageId(3), &page).ok());
 
   Page out(1024);
-  ASSERT_TRUE(dm->ReadPage(3, &out).ok());
-  EXPECT_EQ(out.id(), 3u);
-  EXPECT_EQ(out.psn(), 7u);
+  ASSERT_TRUE(dm->ReadPage(PageId(3), &out).ok());
+  EXPECT_EQ(out.id(), PageId(3));
+  EXPECT_EQ(out.psn(), Psn(7));
   EXPECT_EQ(out.ReadObject(0).value(), "persisted");
 }
 
 TEST_F(DiskManagerTest, NeverWrittenPageNotFound) {
   auto dm = DiskManager::Open(dir_ + "/db", 1024).value();
   Page out(1024);
-  EXPECT_TRUE(dm->ReadPage(9, &out).IsNotFound());
-  EXPECT_FALSE(dm->PageOnDisk(9));
+  EXPECT_TRUE(dm->ReadPage(PageId(9), &out).IsNotFound());
+  EXPECT_FALSE(dm->PageOnDisk(PageId(9)));
 }
 
 TEST_F(DiskManagerTest, SurvivesReopen) {
   {
     auto dm = DiskManager::Open(dir_ + "/db", 1024).value();
     Page page(1024);
-    page.Format(0, 1);
-    ASSERT_TRUE(dm->WritePage(0, &page).ok());
+    page.Format(PageId(0), Psn(1));
+    ASSERT_TRUE(dm->WritePage(PageId(0), &page).ok());
   }
   auto dm = DiskManager::Open(dir_ + "/db", 1024).value();
   Page out(1024);
-  EXPECT_TRUE(dm->ReadPage(0, &out).ok());
-  EXPECT_TRUE(dm->PageOnDisk(0));
+  EXPECT_TRUE(dm->ReadPage(PageId(0), &out).ok());
+  EXPECT_TRUE(dm->PageOnDisk(PageId(0)));
 }
 
 TEST_F(DiskManagerTest, InPlaceOverwrite) {
   auto dm = DiskManager::Open(dir_ + "/db", 1024).value();
   Page page(1024);
-  page.Format(0, 1);
-  ASSERT_TRUE(dm->WritePage(0, &page).ok());
-  page.set_psn(42);
-  ASSERT_TRUE(dm->WritePage(0, &page).ok());
+  page.Format(PageId(0), Psn(1));
+  ASSERT_TRUE(dm->WritePage(PageId(0), &page).ok());
+  page.set_psn(Psn(42));
+  ASSERT_TRUE(dm->WritePage(PageId(0), &page).ok());
   Page out(1024);
-  ASSERT_TRUE(dm->ReadPage(0, &out).ok());
-  EXPECT_EQ(out.psn(), 42u);
+  ASSERT_TRUE(dm->ReadPage(PageId(0), &out).ok());
+  EXPECT_EQ(out.psn(), Psn(42));
 }
 
 // ---------------------------------------------------------------------------
@@ -88,7 +88,7 @@ TEST_F(SpaceMapTest, PsnMonotonicAcrossReallocation) {
   // previous incarnation carried.
   auto sm = SpaceMap::Open(dir_ + "/map", 4).value();
   auto a = sm->AllocatePage().value();
-  Psn final_psn = a.initial_psn + 100;
+  Psn final_psn(a.initial_psn.value() + 100);
   ASSERT_TRUE(sm->DeallocatePage(a.page, final_psn).ok());
   auto b = sm->AllocatePage().value();
   EXPECT_EQ(b.page, a.page);  // First-fit reuses the page.
@@ -123,7 +123,7 @@ TEST_F(SpaceMapTest, FullDatabaseRejected) {
 class PageMergeTest : public ::testing::Test {
  protected:
   PageMergeTest() : base_(1024) {
-    base_.Format(1, 10);
+    base_.Format(PageId(1), Psn(10));
     EXPECT_TRUE(base_.CreateObject("object-0").ok());
     EXPECT_TRUE(base_.CreateObject("object-1").ok());
     EXPECT_TRUE(base_.CreateObject("object-2").ok());
@@ -159,10 +159,10 @@ TEST_F(PageMergeTest, OverlaysOnlyModifiedSlots) {
 TEST_F(PageMergeTest, MergedPsnIsMaxPlusOne) {
   Page local = base_;
   Page remote = base_;
-  local.set_psn(20);
-  remote.set_psn(35);
+  local.set_psn(Psn(20));
+  remote.set_psn(Psn(35));
   ASSERT_TRUE(MergeShippedPage(&local, MakeShip(remote, {})).ok());
-  EXPECT_EQ(local.psn(), 36u);
+  EXPECT_EQ(local.psn(), Psn(36));
 }
 
 TEST_F(PageMergeTest, EqualPsnsStillAdvance) {
@@ -171,7 +171,7 @@ TEST_F(PageMergeTest, EqualPsnsStillAdvance) {
   Page local = base_;
   Page remote = base_;
   ASSERT_TRUE(MergeShippedPage(&local, MakeShip(remote, {})).ok());
-  EXPECT_EQ(local.psn(), 11u);
+  EXPECT_EQ(local.psn(), Psn(11));
 }
 
 TEST_F(PageMergeTest, DeletionPropagates) {
@@ -205,36 +205,36 @@ TEST_F(PageMergeTest, StructuralShipReplacesWholesale) {
   Page remote = base_;
   ASSERT_TRUE(local.WriteObject(0, "LOCAL-0!").ok());
   ASSERT_TRUE(remote.DeleteObject(1).ok());
-  remote.set_psn(50);
+  remote.set_psn(Psn(50));
   ASSERT_TRUE(MergeShippedPage(&local, MakeShip(remote, {1}, true)).ok());
   // Structural ship is authoritative: local's un-shipped overwrite vanishes
   // (it cannot exist in reality: a structural ship implies a page X lock).
   EXPECT_EQ(local.ReadObject(0).value(), "object-0");
   EXPECT_FALSE(local.SlotExists(1));
-  EXPECT_EQ(local.psn(), 51u);
+  EXPECT_EQ(local.psn(), Psn(51));
 }
 
 TEST_F(PageMergeTest, MismatchedPagesRejected) {
   Page local = base_;
   Page other(1024);
-  other.Format(99, 1);
+  other.Format(PageId(99), Psn(1));
   EXPECT_EQ(MergeShippedPage(&local, MakeShip(other, {})).code(),
             StatusCode::kInvalidArgument);
 }
 
 TEST_F(PageMergeTest, InstallObjectCatchesUpToServerPsn) {
   Page local = base_;  // psn 10
-  ASSERT_TRUE(InstallObject(&local, 0, std::string("fresh-00"), 25).ok());
+  ASSERT_TRUE(InstallObject(&local, 0, std::string("fresh-00"), Psn(25)).ok());
   EXPECT_EQ(local.ReadObject(0).value(), "fresh-00");
-  EXPECT_EQ(local.psn(), 25u);
+  EXPECT_EQ(local.psn(), Psn(25));
   // And never regresses.
-  ASSERT_TRUE(InstallObject(&local, 1, std::string("fresh-11"), 5).ok());
-  EXPECT_EQ(local.psn(), 25u);
+  ASSERT_TRUE(InstallObject(&local, 1, std::string("fresh-11"), Psn(5)).ok());
+  EXPECT_EQ(local.psn(), Psn(25));
 }
 
 TEST_F(PageMergeTest, InstallObjectDeletion) {
   Page local = base_;
-  ASSERT_TRUE(InstallObject(&local, 1, std::nullopt, 12).ok());
+  ASSERT_TRUE(InstallObject(&local, 1, std::nullopt, Psn(12)).ok());
   EXPECT_FALSE(local.SlotExists(1));
 }
 

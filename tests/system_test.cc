@@ -16,7 +16,7 @@ TEST(SystemTest, PersistsAcrossProcessRestart) {
     auto system = System::Create(config).value();
     Client& c = system->client(0);
     TxnId txn = c.Begin().value();
-    ASSERT_TRUE(c.Write(txn, ObjectId{1, 1}, value).ok());
+    ASSERT_TRUE(c.Write(txn, ObjectId{PageId(1), 1}, value).ok());
     ASSERT_TRUE(c.Commit(txn).ok());
     ASSERT_TRUE(system->FlushEverything().ok());
     // System destroyed: simulates a clean process shutdown.
@@ -25,7 +25,7 @@ TEST(SystemTest, PersistsAcrossProcessRestart) {
   auto system = System::Create(config).value();
   Client& c = system->client(1);
   TxnId txn = c.Begin().value();
-  EXPECT_EQ(c.Read(txn, ObjectId{1, 1}).value(), value);
+  EXPECT_EQ(c.Read(txn, ObjectId{PageId(1), 1}).value(), value);
   ASSERT_TRUE(c.Commit(txn).ok());
 }
 
@@ -39,7 +39,7 @@ TEST(SystemTest, ColdRestartRecoversUnflushedCommits) {
     auto system = System::Create(config).value();
     Client& c = system->client(0);
     TxnId txn = c.Begin().value();
-    ASSERT_TRUE(c.Write(txn, ObjectId{2, 2}, value).ok());
+    ASSERT_TRUE(c.Write(txn, ObjectId{PageId(2), 2}, value).ok());
     ASSERT_TRUE(c.Commit(txn).ok());
     // No flush, no ship. The commit forced the private log; that must be
     // enough.
@@ -54,7 +54,7 @@ TEST(SystemTest, ColdRestartRecoversUnflushedCommits) {
   ASSERT_TRUE(system->RecoverAll().ok());
   Client& c = system->client(1);
   TxnId txn = c.Begin().value();
-  EXPECT_EQ(c.Read(txn, ObjectId{2, 2}).value(), value);
+  EXPECT_EQ(c.Read(txn, ObjectId{PageId(2), 2}).value(), value);
   ASSERT_TRUE(c.Commit(txn).ok());
 }
 
@@ -80,7 +80,7 @@ TEST(SystemTest, ChannelAccountingIsExact) {
   Client& c = system->client(0);
   TxnId txn = c.Begin().value();
   std::string v(system->config().object_size, 'M');
-  ASSERT_TRUE(c.Write(txn, ObjectId{1, 0}, v).ok());
+  ASSERT_TRUE(c.Write(txn, ObjectId{PageId(1), 0}, v).ok());
   // One lock request/reply pair (cold object, no conflicts).
   EXPECT_EQ(system->channel().stats(MessageType::kLockRequest).count, 1u);
   EXPECT_EQ(system->channel().stats(MessageType::kLockReply).count, 1u);
@@ -102,7 +102,7 @@ TEST(SystemTest, ReleaseIdleLocksEnablesQuiescence) {
   Client& c0 = system->client(0);
   std::string v(system->config().object_size, 'Q');
   TxnId txn = c0.Begin().value();
-  ASSERT_TRUE(c0.Write(txn, ObjectId{3, 0}, v).ok());
+  ASSERT_TRUE(c0.Write(txn, ObjectId{PageId(3), 0}, v).ok());
   ASSERT_TRUE(c0.Commit(txn).ok());
   ASSERT_TRUE(c0.ReleaseIdleLocks().ok());
   EXPECT_EQ(c0.llm().size(), 0u);
@@ -111,12 +111,12 @@ TEST(SystemTest, ReleaseIdleLocksEnablesQuiescence) {
   uint64_t cbs = system->metrics().Get("server.callbacks_object");
   Client& c1 = system->client(1);
   TxnId t1 = c1.Begin().value();
-  ASSERT_TRUE(c1.Write(t1, ObjectId{3, 0}, v).ok());
+  ASSERT_TRUE(c1.Write(t1, ObjectId{PageId(3), 0}, v).ok());
   ASSERT_TRUE(c1.Commit(t1).ok());
   EXPECT_EQ(system->metrics().Get("server.callbacks_object"), cbs);
   // And the released client's committed data was shipped, not lost.
   TxnId t2 = c1.Begin().value();
-  EXPECT_EQ(c1.Read(t2, ObjectId{3, 0}).value(), v);
+  EXPECT_EQ(c1.Read(t2, ObjectId{PageId(3), 0}).value(), v);
   ASSERT_TRUE(c1.Commit(t2).ok());
 }
 

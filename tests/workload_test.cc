@@ -13,44 +13,44 @@ namespace {
 
 TEST(OracleTest, StagingFollowsTransactionOutcome) {
   Oracle oracle;
-  oracle.SeedCommitted(ObjectId{1, 0}, "initial");
-  oracle.StageWrite(100, ObjectId{1, 0}, "staged");
+  oracle.SeedCommitted(ObjectId{PageId(1), 0}, "initial");
+  oracle.StageWrite(TxnId(100), ObjectId{PageId(1), 0}, "staged");
 
   // Before commit: the writer sees its own value, others the committed one.
-  EXPECT_EQ(**oracle.ExpectedRead(100, ObjectId{1, 0}), "staged");
-  EXPECT_EQ(**oracle.ExpectedRead(200, ObjectId{1, 0}), "initial");
+  EXPECT_EQ(**oracle.ExpectedRead(TxnId(100), ObjectId{PageId(1), 0}), "staged");
+  EXPECT_EQ(**oracle.ExpectedRead(TxnId(200), ObjectId{PageId(1), 0}), "initial");
 
-  oracle.CommitTxn(100);
-  EXPECT_EQ(**oracle.ExpectedRead(200, ObjectId{1, 0}), "staged");
+  oracle.CommitTxn(TxnId(100));
+  EXPECT_EQ(**oracle.ExpectedRead(TxnId(200), ObjectId{PageId(1), 0}), "staged");
 }
 
 TEST(OracleTest, AbortDiscardsStagedValues) {
   Oracle oracle;
-  oracle.SeedCommitted(ObjectId{1, 0}, "initial");
-  oracle.StageWrite(100, ObjectId{1, 0}, "doomed");
-  oracle.AbortTxn(100);
-  EXPECT_EQ(**oracle.ExpectedRead(100, ObjectId{1, 0}), "initial");
+  oracle.SeedCommitted(ObjectId{PageId(1), 0}, "initial");
+  oracle.StageWrite(TxnId(100), ObjectId{PageId(1), 0}, "doomed");
+  oracle.AbortTxn(TxnId(100));
+  EXPECT_EQ(**oracle.ExpectedRead(TxnId(100), ObjectId{PageId(1), 0}), "initial");
 }
 
 TEST(OracleTest, CrashDiscardsOnlyThatClientsTxns) {
   Oracle oracle;
-  TxnId t_c0 = (static_cast<TxnId>(0 + 1) << 32) | 1;  // Client 0's id shape.
-  TxnId t_c1 = (static_cast<TxnId>(1 + 1) << 32) | 1;
-  oracle.StageWrite(t_c0, ObjectId{1, 0}, "from-c0");
-  oracle.StageWrite(t_c1, ObjectId{1, 1}, "from-c1");
-  oracle.CrashClient(0);
+  TxnId t_c0 = MakeTxnId(ClientId(0), 1);  // Client 0's id shape.
+  TxnId t_c1 = MakeTxnId(ClientId(1), 1);
+  oracle.StageWrite(t_c0, ObjectId{PageId(1), 0}, "from-c0");
+  oracle.StageWrite(t_c1, ObjectId{PageId(1), 1}, "from-c1");
+  oracle.CrashClient(ClientId(0));
   oracle.CommitTxn(t_c0);  // No-op: staged state was discarded.
   oracle.CommitTxn(t_c1);
-  EXPECT_FALSE(oracle.ExpectedRead(0, ObjectId{1, 0}).has_value());
-  EXPECT_EQ(**oracle.ExpectedRead(0, ObjectId{1, 1}), "from-c1");
+  EXPECT_FALSE(oracle.ExpectedRead(TxnId(0), ObjectId{PageId(1), 0}).has_value());
+  EXPECT_EQ(**oracle.ExpectedRead(TxnId(0), ObjectId{PageId(1), 1}), "from-c1");
 }
 
 TEST(OracleTest, StagedDeleteBecomesCommittedAbsence) {
   Oracle oracle;
-  oracle.SeedCommitted(ObjectId{2, 0}, "exists");
-  oracle.StageDelete(300, ObjectId{2, 0});
-  oracle.CommitTxn(300);
-  auto expected = oracle.ExpectedRead(0, ObjectId{2, 0});
+  oracle.SeedCommitted(ObjectId{PageId(2), 0}, "exists");
+  oracle.StageDelete(TxnId(300), ObjectId{PageId(2), 0});
+  oracle.CommitTxn(TxnId(300));
+  auto expected = oracle.ExpectedRead(TxnId(0), ObjectId{PageId(2), 0});
   ASSERT_TRUE(expected.has_value());
   EXPECT_FALSE(expected->has_value());  // Deleted.
 }
@@ -100,7 +100,7 @@ TEST(WorkloadTest, CrashedClientSkippedUntilRecovered) {
   Workload workload(system.get(), &oracle, options);
   ASSERT_TRUE(workload.RunSteps(10).ok());
   ASSERT_TRUE(system->CrashClient(1).ok());
-  oracle.CrashClient(1);
+  oracle.CrashClient(ClientId(1));
   workload.OnClientCrashed(1);
   // The driver makes progress with the remaining clients.
   auto done = workload.RunSteps(200);

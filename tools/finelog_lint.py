@@ -1,0 +1,451 @@
+#!/usr/bin/env python3
+"""finelog_lint: repo-specific static checks the compiler cannot express.
+
+Rules
+-----
+  determinism      rand()/srand()/time()/std::random_device are banned outside
+                   src/common/rng.h and src/common/clock.h -- wall-clock or
+                   process randomness would break crash-sweep reproducibility
+                   (the same (seed, hit_index) pair must replay identically).
+  fail-point       every FaultInjector::Evaluate() site names its fail point
+                   as "<node>.<component>.<op>" (lower_snake segments); the
+                   op suffix literal must be well-formed and no two sites may
+                   reuse the same point expression.
+  raw-new-delete   no raw `new` outside an owning smart-pointer expression on
+                   the same line (the private-constructor factory idiom
+                   `std::unique_ptr<T>(new T(...))` is allowed); no `delete`
+                   statements at all (deleted functions are fine).
+  page-memcpy      a memcpy/memset whose destination is a Page buffer
+                   (`buf_.data() + ...`) must carry a FINELOG_CHECK bounds
+                   assertion within the 3 preceding lines -- shipped page
+                   images cross the wire and slot offsets cannot be trusted.
+  include-hygiene  src/ headers use a guard named FINELOG_<PATH>_H_ matching
+                   their path, and quoted includes are repo-root-relative
+                   (no "../" traversal).
+
+Usage
+-----
+  tools/finelog_lint.py [--root DIR]     lint the tree (exit 1 on violations)
+  tools/finelog_lint.py --self-test      run the rules against the seeded bad
+                                         fixtures in tests/lint_fixtures and
+                                         assert each rule fires
+"""
+
+import argparse
+import os
+import re
+import sys
+
+SRC_DIRS = ["src"]
+# Determinism matters wherever workloads run, not just in src/.
+DETERMINISM_DIRS = ["src", "tests", "bench", "examples"]
+FIXTURE_DIR = os.path.join("tests", "lint_fixtures")
+RNG_ALLOWLIST = {
+    os.path.join("src", "common", "rng.h"),
+    os.path.join("src", "common", "clock.h"),
+}
+
+TOP_LEVEL_INCLUDE_DIRS = {
+    "common", "util", "log", "storage", "buffer", "lock", "client", "server",
+    "core", "net", "bench", "tests",
+}
+
+
+class Violation:
+    def __init__(self, path, line, rule, message):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_comments_and_strings(text):
+    """Blanks out comments and string/char literals, preserving line structure
+    (and preserving string literals' *positions* as spaces) so that line
+    numbers and regex column logic stay valid."""
+    out = []
+    i, n = 0, len(text)
+    state = "code"  # code | line_comment | block_comment | string | char
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "string"
+                out.append('"')
+                i += 1
+                continue
+            if c == "'":
+                state = "char"
+                out.append("'")
+                i += 1
+                continue
+            out.append(c)
+        elif state == "line_comment":
+            if c == "\n":
+                state = "code"
+                out.append(c)
+            else:
+                out.append(" ")
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append("\n" if c == "\n" else " ")
+        elif state in ("string", "char"):
+            quote = '"' if state == "string" else "'"
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == quote:
+                state = "code"
+                out.append(quote)
+            elif c == "\n":  # Unterminated; bail to code to stay line-stable.
+                state = "code"
+                out.append(c)
+            else:
+                out.append(" ")
+        i += 1
+    return "".join(out)
+
+
+# --- determinism -----------------------------------------------------------
+
+DETERMINISM_RE = re.compile(
+    r"(?<![A-Za-z0-9_.>])(rand|srand|time)\s*\(|std::random_device")
+
+
+def check_determinism(relpath, text, stripped):
+    del text
+    out = []
+    if relpath in RNG_ALLOWLIST:
+        return out
+    for lineno, line in enumerate(stripped.splitlines(), 1):
+        m = DETERMINISM_RE.search(line)
+        if m:
+            what = m.group(1) or "std::random_device"
+            out.append(Violation(
+                relpath, lineno, "determinism",
+                f"`{what}` breaks crash-sweep determinism; use common/rng.h "
+                "or common/clock.h"))
+    return out
+
+
+# --- fail-point grammar and uniqueness -------------------------------------
+
+POINT_LITERAL_RE = re.compile(
+    r"^[a-z][a-z0-9_]*\.[a-z][a-z0-9_]*\.[a-z][a-z0-9_]*$")
+OP_SUFFIX_RE = re.compile(r"^\.[a-z][a-z0-9_]*$")
+EVALUATE_RE = re.compile(r"(?:\.|->)\s*Evaluate\s*\(")
+
+
+def extract_first_arg(text, open_paren_idx):
+    """Returns the text of the first argument after the '(' at
+    open_paren_idx, stopping at the first top-level comma or the closing
+    paren."""
+    depth = 0
+    i = open_paren_idx
+    start = open_paren_idx + 1
+    while i < len(text):
+        c = text[i]
+        if c == "(":
+            depth += 1
+        elif c == ")":
+            depth -= 1
+            if depth == 0:
+                return text[start:i]
+        elif c == "," and depth == 1:
+            return text[start:i]
+        i += 1
+    return text[start:]
+
+
+def check_fail_points(relpath, text, stripped, registry):
+    out = []
+    for m in EVALUATE_RE.finditer(stripped):
+        open_paren = stripped.index("(", m.start())
+        lineno = stripped.count("\n", 0, m.start()) + 1
+        # Skip the method's own declaration/definition.
+        if "std::string" in extract_first_arg(stripped, open_paren):
+            continue
+        # Read literal text from the original (strings are blanked in
+        # `stripped`), using identical offsets.
+        arg = extract_first_arg(text, open_paren).strip()
+        arg_norm = " ".join(arg.split())
+        literals = re.findall(r'"((?:[^"\\]|\\.)*)"', arg)
+        if not literals:
+            out.append(Violation(
+                relpath, lineno, "fail-point",
+                "Evaluate() fail-point name has no string literal part; "
+                "points must be statically auditable"))
+            continue
+        if arg_norm.startswith('"') and len(literals) == 1 and "+" not in arg:
+            # Whole-literal point: full grammar check.
+            if not POINT_LITERAL_RE.match(literals[0]):
+                out.append(Violation(
+                    relpath, lineno, "fail-point",
+                    f'fail point "{literals[0]}" does not match '
+                    "<node>.<component>.<op> (lower_snake segments)"))
+        else:
+            # "<prefix expr> + \".op\"" form: the op suffix is the literal.
+            suffix = literals[-1]
+            if not OP_SUFFIX_RE.match(suffix):
+                out.append(Violation(
+                    relpath, lineno, "fail-point",
+                    f'fail-point op suffix "{suffix}" does not match '
+                    '".op" (lower_snake)'))
+        prior = registry.get(arg_norm)
+        if prior is not None:
+            out.append(Violation(
+                relpath, lineno, "fail-point",
+                f"duplicate fail point {arg_norm!r} (first used at "
+                f"{prior[0]}:{prior[1]}); every site must be unique"))
+        else:
+            registry[arg_norm] = (relpath, lineno)
+    return out
+
+
+# --- raw new / delete ------------------------------------------------------
+
+NEW_RE = re.compile(r"\bnew\b\s+[A-Za-z_:(]")
+DELETE_RE = re.compile(r"(?<![=\w])\bdelete\b(?!\s*;?\s*$)|\bdelete\b\s*\[")
+SMART_NEW_RE = re.compile(r"(unique_ptr|shared_ptr)\s*<[^;]*>\s*\(\s*new\b")
+
+
+def check_new_delete(relpath, text, stripped):
+    del text
+    out = []
+    lines = stripped.splitlines()
+    for lineno, line in enumerate(lines, 1):
+        # The factory idiom may wrap: join with the previous line so
+        # `unique_ptr<T>(\n    new T(...))` is recognized.
+        joined = (lines[lineno - 2] + " " if lineno >= 2 else "") + line
+        if NEW_RE.search(line) and not SMART_NEW_RE.search(joined):
+            out.append(Violation(
+                relpath, lineno, "raw-new-delete",
+                "raw `new` outside an owning smart-pointer expression"))
+        if re.search(r"=\s*delete\b", line):
+            continue  # Deleted special member.
+        if re.search(r"\bdelete\b\s*(\[\s*\])?\s*[A-Za-z_(*]", line):
+            out.append(Violation(
+                relpath, lineno, "raw-new-delete",
+                "raw `delete`; ownership must go through smart pointers"))
+    return out
+
+
+# --- memcpy into Page ------------------------------------------------------
+
+MEM_WRITE_RE = re.compile(r"\b(?:std::)?(memcpy|memset)\s*\(")
+CHECK_WINDOW = 3
+
+
+def check_page_memcpy(relpath, text, stripped):
+    del text
+    out = []
+    lines = stripped.splitlines()
+    for idx, line in enumerate(lines):
+        m = MEM_WRITE_RE.search(line)
+        if not m:
+            continue
+        open_paren = line.index("(", m.start())
+        dest = extract_first_arg(line, open_paren)
+        if "buf_.data()" not in dest:
+            continue
+        window = lines[max(0, idx - CHECK_WINDOW):idx + 1]
+        if not any("FINELOG_CHECK(" in w for w in window):
+            out.append(Violation(
+                relpath, idx + 1, "page-memcpy",
+                f"{m.group(1)} into a Page buffer without a FINELOG_CHECK "
+                f"bounds assertion in the {CHECK_WINDOW} preceding lines"))
+    return out
+
+
+# --- include hygiene -------------------------------------------------------
+
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
+
+
+def check_include_hygiene(relpath, text, stripped):
+    del stripped
+    out = []
+    lines = text.splitlines()
+    if relpath.startswith("src" + os.sep) and relpath.endswith(".h"):
+        rel_in_src = os.path.relpath(relpath, "src")
+        expected = "FINELOG_" + re.sub(
+            r"[^A-Za-z0-9]", "_", rel_in_src.upper()) + "_"
+        guard_line = None
+        for i, line in enumerate(lines):
+            m = re.match(r"^\s*#\s*ifndef\s+(\w+)", line)
+            if m:
+                guard_line = (i, m.group(1))
+                break
+        if guard_line is None:
+            out.append(Violation(
+                relpath, 1, "include-hygiene",
+                f"missing include guard #ifndef {expected}"))
+        else:
+            i, name = guard_line
+            if name != expected:
+                out.append(Violation(
+                    relpath, i + 1, "include-hygiene",
+                    f"include guard {name} should be {expected} "
+                    "(FINELOG_<path>_H_)"))
+            elif i + 1 >= len(lines) or not re.match(
+                    r"^\s*#\s*define\s+" + re.escape(expected) + r"\s*$",
+                    lines[i + 1]):
+                out.append(Violation(
+                    relpath, i + 2, "include-hygiene",
+                    f"#define {expected} must immediately follow its "
+                    "#ifndef"))
+    for lineno, line in enumerate(lines, 1):
+        m = INCLUDE_RE.match(line)
+        if not m:
+            continue
+        inc = m.group(1)
+        if inc.startswith("../") or "/../" in inc:
+            out.append(Violation(
+                relpath, lineno, "include-hygiene",
+                f'include "{inc}" uses path traversal; include '
+                "repo-root-relative paths"))
+            continue
+        top = inc.split("/", 1)[0]
+        if "/" in inc and top not in TOP_LEVEL_INCLUDE_DIRS:
+            out.append(Violation(
+                relpath, lineno, "include-hygiene",
+                f'include "{inc}" is not repo-root-relative '
+                f"(unknown top-level dir {top!r})"))
+    return out
+
+
+# --- driver ----------------------------------------------------------------
+
+def iter_files(root, dirs, exts):
+    for d in dirs:
+        base = os.path.join(root, d)
+        if not os.path.isdir(base):
+            continue
+        for dirpath, _dirnames, filenames in os.walk(base):
+            rel_dir = os.path.relpath(dirpath, root)
+            if rel_dir.startswith(FIXTURE_DIR):
+                continue
+            for f in sorted(filenames):
+                if os.path.splitext(f)[1] in exts:
+                    yield os.path.relpath(os.path.join(dirpath, f), root)
+
+
+def lint_file(root, relpath, registry, determinism_only=False):
+    with open(os.path.join(root, relpath), encoding="utf-8") as fh:
+        text = fh.read()
+    stripped = strip_comments_and_strings(text)
+    out = check_determinism(relpath, text, stripped)
+    if determinism_only:
+        return out
+    out += check_fail_points(relpath, text, stripped, registry)
+    out += check_new_delete(relpath, text, stripped)
+    out += check_page_memcpy(relpath, text, stripped)
+    out += check_include_hygiene(relpath, text, stripped)
+    return out
+
+
+def run_lint(root):
+    violations = []
+    registry = {}
+    src_files = set(iter_files(root, SRC_DIRS, {".h", ".cc"}))
+    det_files = set(iter_files(root, DETERMINISM_DIRS,
+                               {".h", ".cc", ".cpp"}))
+    for relpath in sorted(det_files | src_files):
+        violations.extend(lint_file(
+            root, relpath, registry,
+            determinism_only=relpath not in src_files))
+    return violations
+
+
+# --- self test -------------------------------------------------------------
+
+# fixture file -> rule that must fire in it.
+FIXTURES = {
+    "bad_determinism.cc": "determinism",
+    "bad_fail_point.cc": "fail-point",
+    "bad_new_delete.cc": "raw-new-delete",
+    "bad_page_memcpy.cc": "page-memcpy",
+    "bad_include_guard.h": "include-hygiene",
+}
+
+
+def run_self_test(root):
+    failures = []
+    fixture_root = os.path.join(root, FIXTURE_DIR)
+    for fname, rule in sorted(FIXTURES.items()):
+        path = os.path.join(fixture_root, fname)
+        if not os.path.isfile(path):
+            failures.append(f"fixture missing: {path}")
+            continue
+        # Lint the fixture as if it lived under src/common/.
+        with open(path, encoding="utf-8") as fh:
+            text = fh.read()
+        stripped = strip_comments_and_strings(text)
+        pseudo = os.path.join("src", "common", fname)
+        registry = {}
+        got = (check_determinism(pseudo, text, stripped)
+               + check_fail_points(pseudo, text, stripped, registry)
+               + check_new_delete(pseudo, text, stripped)
+               + check_page_memcpy(pseudo, text, stripped)
+               + check_include_hygiene(pseudo, text, stripped))
+        fired = {v.rule for v in got}
+        if rule not in fired:
+            failures.append(
+                f"{fname}: expected rule '{rule}' to fire, got {sorted(fired)}")
+        else:
+            print(f"self-test ok: {fname} -> {rule}")
+    # The real tree must be clean, or the lint gate is already red.
+    tree = run_lint(root)
+    for v in tree:
+        failures.append(f"tree not clean: {v}")
+    if failures:
+        for f in failures:
+            print(f"self-test FAIL: {f}", file=sys.stderr)
+        return 1
+    print(f"self-test passed ({len(FIXTURES)} fixtures, tree clean)")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=None,
+                        help="repo root (default: parent of this script)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="check that each rule fires on its seeded "
+                             "bad fixture and that the tree is clean")
+    args = parser.parse_args()
+    root = args.root or os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    if args.self_test:
+        return run_self_test(root)
+    violations = run_lint(root)
+    for v in violations:
+        print(v)
+    if violations:
+        print(f"finelog_lint: {len(violations)} violation(s)", file=sys.stderr)
+        return 1
+    print("finelog_lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
