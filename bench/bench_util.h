@@ -12,6 +12,8 @@
 #include <filesystem>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/oracle.h"
 #include "core/system.h"
@@ -64,6 +66,77 @@ inline const char* SamePageName(SamePageUpdatePolicy p) {
   return p == SamePageUpdatePolicy::kMergeCopies ? "merge-copies"
                                                  : "update-token";
 }
+
+// Machine-readable experiment output: rows of key/value fields, written to
+// BENCH_<name>.json in the current directory. All values come from the
+// simulation (channel counters, simulated clock), so reruns produce
+// byte-identical files; fields keep insertion order and doubles print with
+// fixed precision to make that hold.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string name) : name_(std::move(name)) {}
+
+  // Starts a new row (one configuration / measurement).
+  void BeginRow() { rows_.emplace_back(); }
+
+  void Field(const std::string& key, const std::string& value) {
+    rows_.back().push_back(Quote(key) + ": " + Quote(value));
+  }
+  void Field(const std::string& key, const char* value) {
+    Field(key, std::string(value));
+  }
+  void Field(const std::string& key, uint64_t value) {
+    rows_.back().push_back(Quote(key) + ": " + std::to_string(value));
+  }
+  void Field(const std::string& key, int value) {
+    Field(key, static_cast<uint64_t>(value));
+  }
+  void Field(const std::string& key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.3f", value);
+    rows_.back().push_back(Quote(key) + ": " + buf);
+  }
+
+  // Writes {"bench": <name>, "rows": [...]} and reports the path on stdout.
+  // Returns false (after printing the error) if the file cannot be written,
+  // so CI can fail the run.
+  bool Write() const {
+    std::string path = "BENCH_" + name_ + ".json";
+    std::string out = "{\n  \"bench\": " + Quote(name_) + ",\n  \"rows\": [\n";
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      out += "    {";
+      for (size_t j = 0; j < rows_[i].size(); ++j) {
+        if (j > 0) out += ", ";
+        out += rows_[i][j];
+      }
+      out += i + 1 < rows_.size() ? "},\n" : "}\n";
+    }
+    out += "  ]\n}\n";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::fwrite(out.data(), 1, out.size(), f);
+    std::fclose(f);
+    std::printf("wrote %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  static std::string Quote(const std::string& s) {
+    std::string out = "\"";
+    for (char ch : s) {
+      if (ch == '"' || ch == '\\') out += '\\';
+      out += ch;
+    }
+    out += '"';
+    return out;
+  }
+
+  std::string name_;
+  std::vector<std::vector<std::string>> rows_;
+};
 
 }  // namespace bench
 }  // namespace finelog

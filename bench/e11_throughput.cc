@@ -1,0 +1,160 @@
+// E11 -- Throughput with message batching and group commit.
+//
+// The paper's client-based architecture already makes commit a local
+// operation; the remaining per-transaction costs are the lock-miss round
+// trips, page fetches, page ships and the commit-time log force. This
+// experiment measures how multi-item messages (config.max_batch_items) and
+// group commit (config.group_commit_*) amortize those costs.
+//
+// Workload (1 client): kTxns update transactions, each writing 8 objects on
+// 8 previously untouched pages (every lock is a GLM miss), then one
+// transaction reading every written object back (all pages refetched after
+// the ship), then a bulk ship of the dirty working set. The client cache is
+// sized to hold the working set so eviction pressure does not mask the
+// effect under study.
+//
+// Reported per update transaction: messages, logical items, bytes, log
+// forces, simulated time, and committed transactions per simulated second.
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench/bench_util.h"
+
+using namespace finelog;
+using namespace finelog::bench;
+
+namespace {
+
+constexpr int kTxns = 24;
+constexpr uint32_t kWritesPerTxn = 8;
+
+struct Row {
+  uint32_t batch;
+  uint32_t group;
+  double msgs_per_txn;
+  double items_per_txn;
+  double bytes_per_txn;
+  double forces_per_txn;
+  double us_per_txn;
+  double txns_per_sim_sec;
+};
+
+void Must(const Status& st, const char* what) {
+  if (!st.ok()) {
+    std::fprintf(stderr, "e11: %s failed: %s\n", what, st.ToString().c_str());
+    std::abort();
+  }
+}
+
+Row RunOne(uint32_t batch, uint32_t group) {
+  SystemConfig config = BenchConfig("e11");
+  config.num_clients = 1;
+  config.num_pages = 256;
+  config.preloaded_pages = 224;
+  // Hold the whole working set: this experiment isolates messaging and
+  // commit costs, not replacement.
+  config.client_cache_pages = 256;
+  config.max_batch_items = batch;
+  if (group > 0) {
+    // Windows never expire on their own in this run; only the txn-count
+    // trigger closes a group.
+    config.group_commit_window = 1000ull * 1000 * 1000;
+    config.group_commit_max_txns = group;
+  }
+  auto system = MustCreate(config);
+  Client& c = system->client(0);
+
+  uint64_t msgs0 = system->channel().total_messages();
+  uint64_t items0 = system->channel().total_items();
+  uint64_t bytes0 = system->channel().total_bytes();
+  uint64_t forces0 = c.log().force_count();
+  uint64_t time0 = system->clock().now_us();
+
+  for (int t = 0; t < kTxns; ++t) {
+    TxnId txn = c.Begin().value();
+    std::vector<std::pair<ObjectId, std::string>> writes;
+    writes.reserve(kWritesPerTxn);
+    for (uint32_t j = 0; j < kWritesPerTxn; ++j) {
+      ObjectId oid{static_cast<PageId>(t * kWritesPerTxn + j),
+                   static_cast<SlotId>(0)};
+      writes.emplace_back(oid, std::string(config.object_size, 'a' + t % 26));
+    }
+    Must(c.WriteBatch(txn, writes), "WriteBatch");
+    Must(c.Commit(txn), "Commit");
+  }
+
+  // Read everything back in one transaction and verify it: the pages were
+  // never evicted, so this is all lock-cache hits -- then ship the dirty
+  // working set and close the last commit group.
+  Must(c.ShipAllDirtyPages(), "ShipAllDirtyPages");
+  {
+    TxnId txn = c.Begin().value();
+    std::vector<ObjectId> oids;
+    oids.reserve(kTxns * kWritesPerTxn);
+    for (int t = 0; t < kTxns; ++t) {
+      for (uint32_t j = 0; j < kWritesPerTxn; ++j) {
+        oids.push_back(ObjectId{static_cast<PageId>(t * kWritesPerTxn + j),
+                                static_cast<SlotId>(0)});
+      }
+    }
+    auto values = c.ReadBatch(txn, oids);
+    Must(values.status(), "ReadBatch");
+    for (int t = 0; t < kTxns; ++t) {
+      for (uint32_t j = 0; j < kWritesPerTxn; ++j) {
+        const std::string& got = values.value()[t * kWritesPerTxn + j];
+        if (got != std::string(config.object_size, 'a' + t % 26)) {
+          std::fprintf(stderr, "e11: read-back mismatch at txn %d obj %u\n", t,
+                       j);
+          std::abort();
+        }
+      }
+    }
+    Must(c.Commit(txn), "read Commit");
+  }
+  Must(c.FlushCommitGroup(), "FlushCommitGroup");
+
+  Row row;
+  row.batch = batch;
+  row.group = group;
+  row.msgs_per_txn =
+      double(system->channel().total_messages() - msgs0) / kTxns;
+  row.items_per_txn = double(system->channel().total_items() - items0) / kTxns;
+  row.bytes_per_txn = double(system->channel().total_bytes() - bytes0) / kTxns;
+  row.forces_per_txn = double(c.log().force_count() - forces0) / kTxns;
+  row.us_per_txn = double(system->clock().now_us() - time0) / kTxns;
+  row.txns_per_sim_sec = 1e6 * kTxns / double(system->clock().now_us() - time0);
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  BenchJson json("e11_throughput");
+  std::printf(
+      "E11: throughput with batching and group commit (1 client, %d txns of "
+      "%u cold writes)\n",
+      kTxns, kWritesPerTxn);
+  std::printf("%-6s %6s %10s %10s %12s %8s %12s %14s\n", "batch", "group",
+              "msgs/txn", "items/txn", "bytes/txn", "forces", "sim_us/txn",
+              "txns/sim_sec");
+  for (uint32_t batch : {1u, 4u, 8u}) {
+    for (uint32_t group : {0u, 8u}) {
+      Row r = RunOne(batch, group);
+      std::printf("%-6u %6u %10.2f %10.2f %12.1f %8.2f %12.1f %14.1f\n",
+                  r.batch, r.group, r.msgs_per_txn, r.items_per_txn,
+                  r.bytes_per_txn, r.forces_per_txn, r.us_per_txn,
+                  r.txns_per_sim_sec);
+      json.BeginRow();
+      json.Field("max_batch_items", uint64_t{r.batch});
+      json.Field("group_commit_max_txns", uint64_t{r.group});
+      json.Field("msgs_per_txn", r.msgs_per_txn);
+      json.Field("items_per_txn", r.items_per_txn);
+      json.Field("bytes_per_txn", r.bytes_per_txn);
+      json.Field("forces_per_txn", r.forces_per_txn);
+      json.Field("us_per_txn", r.us_per_txn);
+      json.Field("txns_per_sim_sec", r.txns_per_sim_sec);
+    }
+  }
+  return json.Write() ? 0 : 1;
+}

@@ -42,9 +42,14 @@ Result<Client::Txn*> Client::GetActiveTxn(TxnId txn) {
 
 Result<TxnId> Client::Begin() {
   if (crashed_) return Status::Crashed("client down");
+  // A new transaction is the clock edge that can close an expired
+  // group-commit window (the simulation has no background flusher).
+  if (GroupForceDue()) {
+    FINELOG_RETURN_IF_ERROR(ForceLog());
+  }
   TxnId id = MakeTxnId(id_, next_txn_seq_++);
   txns_[id] = Txn{};
-  metrics_->Add("client.txn_begins");
+  metrics_->Add(Counter::kClientTxnBegins);
   return id;
 }
 
@@ -59,21 +64,25 @@ Status Client::AcquireObjectLock(TxnId txn, ObjectId oid, LockMode mode) {
   }
   switch (llm_.TryAcquireObject(txn, oid, mode)) {
     case LocalLockManager::Acquire::kHit:
-      metrics_->Add("client.lock_hits");
+      metrics_->Add(Counter::kClientLockHits);
       return Status::OK();
     case LocalLockManager::Acquire::kLocalConflict:
       return Status::WouldBlock("local transaction holds conflicting lock");
     case LocalLockManager::Acquire::kMiss:
       break;
   }
-  metrics_->Add("client.lock_misses");
+  metrics_->Add(Counter::kClientLockMisses);
   BufferPool::Frame* frame = cache_->Peek(oid.page);
   Psn cached_psn = frame != nullptr ? frame->page.psn() : kNullPsn;
   auto reply = server_->LockObject(id_, oid, mode, cached_psn);
   if (!reply.ok()) return reply.status();
+  return InstallObjectLockReply(txn, oid, mode, reply.value());
+}
 
+Status Client::InstallObjectLockReply(TxnId txn, ObjectId oid, LockMode mode,
+                                      const ObjectLockReply& reply) {
   llm_.AddObjectLock(txn, oid, mode);
-  for (const XCallbackInfo& info : reply.value().x_callbacks) {
+  for (const XCallbackInfo& info : reply.x_callbacks) {
     pending_callbacks_[info.object].push_back(info);
   }
   if (mode == LockMode::kExclusive) {
@@ -83,19 +92,25 @@ Status Client::AcquireObjectLock(TxnId txn, ObjectId oid, LockMode mode) {
     unflushed_slots_[oid.page].insert(oid.slot);
   }
 
-  if (frame != nullptr) {
-    // Install the fresh object value into the cached copy (Section 2).
-    std::optional<std::string> image;
-    if (reply.value().object_present && reply.value().object_image) {
-      image = *reply.value().object_image;
-    }
-    FINELOG_RETURN_IF_ERROR(InstallObject(&frame->page, oid.slot, image,
-                                          reply.value().server_psn));
-  } else if (reply.value().page_image) {
+  // Re-resolve the frame at install time: in a batch, an earlier item may
+  // have installed (or evicted) this page since the request was built.
+  BufferPool::Frame* frame = cache_->Peek(oid.page);
+  if (reply.page_image) {
+    // We asked with no cached copy, so the reply carries the whole page.
+    // Any frame present now was installed clean by an earlier batch item;
+    // adopting the server copy again is safe.
     Page page(config_.page_size);
-    page.raw() = *reply.value().page_image;
+    page.raw() = *reply.page_image;
     auto put = cache_->Put(oid.page, std::move(page), EvictHandler());
     if (!put.ok()) return put.status();
+  } else if (frame != nullptr) {
+    // Install the fresh object value into the cached copy (Section 2).
+    std::optional<std::string> image;
+    if (reply.object_present && reply.object_image) {
+      image = *reply.object_image;
+    }
+    FINELOG_RETURN_IF_ERROR(
+        InstallObject(&frame->page, oid.slot, image, reply.server_psn));
   }
 
   // Adaptive escalation [3]: many exclusive object locks on one page ->
@@ -104,9 +119,63 @@ Status Client::AcquireObjectLock(TxnId txn, ObjectId oid, LockMode mode) {
       llm_.ExclusiveObjectCountOnPage(oid.page) > config_.escalation_threshold &&
       !llm_.CoversPage(oid.page, LockMode::kExclusive)) {
     Status st = AcquirePageLock(txn, oid.page, LockMode::kExclusive);
-    if (st.ok()) metrics_->Add("client.escalations");
+    if (st.ok()) metrics_->Add(Counter::kClientEscalations);
     // A WouldBlock here is fine: object locks still cover the access.
     if (!st.ok() && !st.IsWouldBlock() && !st.IsCrashed()) return st;
+  }
+  return Status::OK();
+}
+
+Status Client::BatchAcquireObjectLocks(TxnId txn,
+                                       const std::vector<ObjectId>& oids,
+                                       LockMode mode) {
+  if (config_.lock_granularity == LockGranularity::kPage) {
+    for (ObjectId oid : oids) {
+      FINELOG_RETURN_IF_ERROR(AcquirePageLock(txn, oid.page, mode));
+    }
+    return Status::OK();
+  }
+  // Collect the LLM misses in request order, deduplicated.
+  std::vector<ObjectLockRequest> misses;
+  std::set<ObjectId> seen;
+  for (ObjectId oid : oids) {
+    if (!seen.insert(oid).second) continue;
+    switch (llm_.TryAcquireObject(txn, oid, mode)) {
+      case LocalLockManager::Acquire::kHit:
+        metrics_->Add(Counter::kClientLockHits);
+        continue;
+      case LocalLockManager::Acquire::kLocalConflict:
+        return Status::WouldBlock("local transaction holds conflicting lock");
+      case LocalLockManager::Acquire::kMiss:
+        break;
+    }
+    metrics_->Add(Counter::kClientLockMisses);
+    BufferPool::Frame* frame = cache_->Peek(oid.page);
+    ObjectLockRequest req;
+    req.oid = oid;
+    req.mode = mode;
+    req.cached_psn = frame != nullptr ? frame->page.psn() : kNullPsn;
+    misses.push_back(req);
+  }
+  const size_t limit = std::max<uint32_t>(1, config_.max_batch_items);
+  for (size_t i = 0; i < misses.size(); i += limit) {
+    size_t n = std::min(limit, misses.size() - i);
+    std::vector<ObjectLockRequest> chunk(misses.begin() + i,
+                                         misses.begin() + i + n);
+    auto outcomes = server_->LockObjectBatch(id_, chunk);
+    if (!outcomes.ok()) return outcomes.status();
+    if (n > 1) {
+      metrics_->Add(Counter::kClientBatchLockRequests);
+      metrics_->Add(Counter::kClientBatchLockItems, n);
+    }
+    for (size_t j = 0; j < n; ++j) {
+      const ObjectLockOutcome& out = outcomes.value()[j];
+      // Earlier grants in the chunk stay installed; the caller sees the
+      // first failure, exactly as the sequential loop would report it.
+      FINELOG_RETURN_IF_ERROR(out.status);
+      FINELOG_RETURN_IF_ERROR(
+          InstallObjectLockReply(txn, chunk[j].oid, mode, out.reply));
+    }
   }
   return Status::OK();
 }
@@ -114,14 +183,14 @@ Status Client::AcquireObjectLock(TxnId txn, ObjectId oid, LockMode mode) {
 Status Client::AcquirePageLock(TxnId txn, PageId pid, LockMode mode) {
   switch (llm_.TryAcquirePage(txn, pid, mode)) {
     case LocalLockManager::Acquire::kHit:
-      metrics_->Add("client.lock_hits");
+      metrics_->Add(Counter::kClientLockHits);
       return Status::OK();
     case LocalLockManager::Acquire::kLocalConflict:
       return Status::WouldBlock("local transaction holds conflicting lock");
     case LocalLockManager::Acquire::kMiss:
       break;
   }
-  metrics_->Add("client.lock_misses");
+  metrics_->Add(Counter::kClientLockMisses);
   BufferPool::Frame* frame = cache_->Peek(pid);
   Psn cached_psn = frame != nullptr ? frame->page.psn() : kNullPsn;
   auto reply = server_->LockPage(id_, pid, mode, cached_psn);
@@ -201,7 +270,7 @@ Status Client::LogPendingCallback(TxnId txn, ObjectId oid) {
       if (t->first_lsn == kNullLsn) t->first_lsn = lsn.value();
       t->last_lsn = lsn.value();
     }
-    metrics_->Add("client.callback_records");
+    metrics_->Add(Counter::kClientCallbackRecords);
   }
   return Status::OK();
 }
@@ -230,11 +299,10 @@ BufferPool::EvictHandler Client::EvictHandler() {
     if (!frame.dirty) return Status::OK();
     // WAL: log records covering the updates must be durable before the page
     // leaves the client (Section 2).
-    FINELOG_RETURN_IF_ERROR(log_->Force());
-    channel_->clock()->Advance(channel_->costs().log_force_us);
-    metrics_->Add("client.wal_forces_on_replace");
+    FINELOG_RETURN_IF_ERROR(ForceLog());
+    metrics_->Add(Counter::kClientWalForcesOnReplace);
     ShippedPage shipped = BuildShip(pid, frame);
-    metrics_->Add("client.pages_shipped");
+    metrics_->Add(Counter::kClientPagesShipped);
     return server_->ShipPage(id_, shipped);
   };
 }
@@ -246,7 +314,7 @@ Result<BufferPool::Frame*> Client::GetCachedPage(PageId pid) {
   Page page(config_.page_size);
   page.raw() = reply.value().page_image;
   // The DCT PSN sent along is ignored during normal processing (Section 3.2).
-  metrics_->Add("client.page_fetches");
+  metrics_->Add(Counter::kClientPageFetches);
   return cache_->Put(pid, std::move(page), EvictHandler());
 }
 
@@ -293,7 +361,7 @@ void Client::UpdateReclaimLsn() {
     // only when the DCT survives. See DESIGN.md section 8.
     auto punched = log_->PunchReclaimedSpace();
     if (punched.ok() && punched.value() > 0) {
-      metrics_->Add("client.log_bytes_punched", punched.value());
+      metrics_->Add(Counter::kClientLogBytesPunched, punched.value());
     }
   }
 }
@@ -302,9 +370,40 @@ Result<Lsn> Client::AppendLog(const LogRecord& rec) {
   auto lsn = log_->Append(rec);
   if (lsn.ok()) return lsn;
   if (!lsn.status().IsLogFull()) return lsn;
-  metrics_->Add("client.log_full_events");
+  metrics_->Add(Counter::kClientLogFullEvents);
   FINELOG_RETURN_IF_ERROR(TryFreeLogSpace());
   return log_->Append(rec);
+}
+
+Status Client::ForceLog() {
+  FINELOG_RETURN_IF_ERROR(log_->Force());
+  channel_->clock()->Advance(channel_->costs().log_force_us);
+  if (!pending_commits_.empty()) {
+    metrics_->Add(Counter::kClientGroupCommits);
+    metrics_->Add(Counter::kClientGroupCommitTxns, pending_commits_.size());
+    metrics_->SetMax(Counter::kClientGroupCommitMaxBatch,
+                     pending_commits_.size());
+    pending_commits_.clear();
+  }
+  metrics_->SetMax(Counter::kClientLogPendingHighWater,
+                   log_->pending_high_water());
+  return Status::OK();
+}
+
+bool Client::GroupForceDue() const {
+  if (pending_commits_.empty()) return false;
+  if (pending_commits_.size() >=
+      std::max<uint32_t>(1, config_.group_commit_max_txns)) {
+    return true;
+  }
+  return channel_->clock()->now_us() - oldest_pending_commit_us_ >=
+         config_.group_commit_window;
+}
+
+Status Client::FlushCommitGroup() {
+  if (crashed_) return Status::Crashed("client down");
+  if (pending_commits_.empty()) return Status::OK();
+  return ForceLog();
 }
 
 Status Client::TryFreeLogSpace() {
@@ -336,10 +435,9 @@ Status Client::TryFreeLogSpace() {
       if (cache_->IsPinned(victim)) {
         // The page is in use by the very operation that ran out of log
         // space: ship a copy without evicting it.
-        FINELOG_RETURN_IF_ERROR(log_->Force());
-        channel_->clock()->Advance(channel_->costs().log_force_us);
+        FINELOG_RETURN_IF_ERROR(ForceLog());
         ShippedPage shipped = BuildShip(victim, *frame);
-        metrics_->Add("client.pages_shipped");
+        metrics_->Add(Counter::kClientPagesShipped);
         FINELOG_RETURN_IF_ERROR(server_->ShipPage(id_, shipped));
       } else {
         FINELOG_RETURN_IF_ERROR(cache_->Evict(victim, EvictHandler()));
@@ -347,7 +445,7 @@ Status Client::TryFreeLogSpace() {
     }
     Lsn before = dpt_.count(victim) ? dpt_[victim] : kNullLsn;
     FINELOG_RETURN_IF_ERROR(server_->ForcePage(id_, victim));
-    metrics_->Add("client.log_space_forces");
+    metrics_->Add(Counter::kClientLogSpaceForces);
     Lsn after = dpt_.count(victim) ? dpt_[victim] : kMaxLsn;
     if (after <= before && dpt_.count(victim)) {
       // No progress (e.g. the entry is pinned by an active transaction's
@@ -360,10 +458,72 @@ Status Client::TryFreeLogSpace() {
 
 Status Client::ShipAllDirtyPages() {
   if (crashed_) return Status::Crashed("client down");
+  if (config_.max_batch_items <= 1) {
+    for (PageId pid : cache_->PageIds()) {
+      BufferPool::Frame* frame = cache_->Peek(pid);
+      if (frame != nullptr && frame->dirty) {
+        FINELOG_RETURN_IF_ERROR(cache_->Evict(pid, EvictHandler()));
+      }
+    }
+    return Status::OK();
+  }
+  // Batched: one WAL force covers every victim, and the page images travel
+  // in multi-page ship messages instead of one round trip per page.
+  std::vector<PageId> dirty;
   for (PageId pid : cache_->PageIds()) {
     BufferPool::Frame* frame = cache_->Peek(pid);
-    if (frame != nullptr && frame->dirty) {
-      FINELOG_RETURN_IF_ERROR(cache_->Evict(pid, EvictHandler()));
+    if (frame != nullptr && frame->dirty) dirty.push_back(pid);
+  }
+  if (dirty.empty()) return Status::OK();
+  FINELOG_RETURN_IF_ERROR(ForceLog());
+  metrics_->Add(Counter::kClientWalForcesOnReplace);
+  const size_t limit = config_.max_batch_items;
+  for (size_t i = 0; i < dirty.size(); i += limit) {
+    size_t n = std::min(limit, dirty.size() - i);
+    std::vector<ShippedPage> chunk;
+    chunk.reserve(n);
+    for (size_t j = 0; j < n; ++j) {
+      BufferPool::Frame* frame = cache_->Peek(dirty[i + j]);
+      chunk.push_back(BuildShip(dirty[i + j], *frame));
+      metrics_->Add(Counter::kClientPagesShipped);
+    }
+    FINELOG_RETURN_IF_ERROR(server_->ShipPages(id_, chunk));
+    if (n > 1) {
+      metrics_->Add(Counter::kClientBatchShipRequests);
+      metrics_->Add(Counter::kClientBatchShipItems, n);
+    }
+    // BuildShip left the frames clean, so these evictions just drop them.
+    for (size_t j = 0; j < n; ++j) {
+      FINELOG_RETURN_IF_ERROR(cache_->Evict(dirty[i + j], EvictHandler()));
+    }
+  }
+  return Status::OK();
+}
+
+Status Client::PrefetchPages(const std::vector<PageId>& pids) {
+  std::vector<PageId> missing;
+  std::set<PageId> seen;
+  for (PageId pid : pids) {
+    if (!seen.insert(pid).second) continue;
+    if (cache_->Peek(pid) != nullptr) continue;
+    missing.push_back(pid);
+  }
+  const size_t limit = std::max<uint32_t>(1, config_.max_batch_items);
+  for (size_t i = 0; i < missing.size(); i += limit) {
+    size_t n = std::min(limit, missing.size() - i);
+    std::vector<PageId> chunk(missing.begin() + i, missing.begin() + i + n);
+    auto replies = server_->FetchPages(id_, chunk);
+    if (!replies.ok()) return replies.status();
+    if (n > 1) {
+      metrics_->Add(Counter::kClientBatchFetchRequests);
+      metrics_->Add(Counter::kClientBatchFetchItems, n);
+    }
+    for (size_t j = 0; j < n; ++j) {
+      Page page(config_.page_size);
+      page.raw() = replies.value()[j].page_image;
+      metrics_->Add(Counter::kClientPageFetches);
+      auto put = cache_->Put(chunk[j], std::move(page), EvictHandler());
+      if (!put.ok()) return put.status();
     }
   }
   return Status::OK();
@@ -407,7 +567,7 @@ Status Client::ReleaseIdleLocks() {
       cache_->Drop(pid);
     }
   }
-  metrics_->Add("client.idle_releases");
+  metrics_->Add(Counter::kClientIdleReleases);
   return Status::OK();
 }
 
@@ -429,11 +589,10 @@ Status Client::TakeCheckpoint() {
   // check: a successful checkpoint is what lets the log tail advance.
   auto lsn = log_->Append(rec, /*enforce_capacity=*/false);
   if (!lsn.ok()) return lsn.status();
-  FINELOG_RETURN_IF_ERROR(log_->Force());
-  channel_->clock()->Advance(channel_->costs().log_force_us);
+  FINELOG_RETURN_IF_ERROR(ForceLog());
   FINELOG_RETURN_IF_ERROR(log_->SetCheckpointLsn(lsn.value()));
   UpdateReclaimLsn();
-  metrics_->Add("client.checkpoints");
+  metrics_->Add(Counter::kClientCheckpoints);
   return Status::OK();
 }
 
@@ -473,7 +632,7 @@ Result<std::string> Client::Read(TxnId txn, ObjectId oid) {
   (void)t;
   FINELOG_RETURN_IF_ERROR(AcquireObjectLock(txn, oid, LockMode::kShared));
   FINELOG_ASSIGN_OR_RETURN(BufferPool::Frame * frame, GetCachedPage(oid.page));
-  metrics_->Add("client.reads");
+  metrics_->Add(Counter::kClientReads);
   return frame->page.ReadObject(oid.slot);
 }
 
@@ -506,8 +665,51 @@ Status Client::Write(TxnId txn, ObjectId oid, Slice data) {
   FINELOG_RETURN_IF_ERROR(page.WriteObject(oid.slot, data));
   page.BumpPsn();
   TrackModification(frame, oid.page, oid.slot);
-  metrics_->Add("client.writes");
+  metrics_->Add(Counter::kClientWrites);
   return Status::OK();
+}
+
+Status Client::WriteBatch(
+    TxnId txn, const std::vector<std::pair<ObjectId, std::string>>& writes) {
+  if (crashed_) return Status::Crashed("client down");
+  FINELOG_ASSIGN_OR_RETURN(Txn * t, GetActiveTxn(txn));
+  (void)t;
+  std::vector<ObjectId> oids;
+  oids.reserve(writes.size());
+  for (const auto& [oid, data] : writes) {
+    (void)data;
+    oids.push_back(oid);
+  }
+  FINELOG_RETURN_IF_ERROR(
+      BatchAcquireObjectLocks(txn, oids, LockMode::kExclusive));
+  std::vector<PageId> pages;
+  pages.reserve(oids.size());
+  for (ObjectId oid : oids) pages.push_back(oid.page);
+  FINELOG_RETURN_IF_ERROR(PrefetchPages(pages));
+  // Locks and pages are warm now; the per-object writes run locally.
+  for (const auto& [oid, data] : writes) {
+    FINELOG_RETURN_IF_ERROR(Write(txn, oid, data));
+  }
+  return Status::OK();
+}
+
+Result<std::vector<std::string>> Client::ReadBatch(
+    TxnId txn, const std::vector<ObjectId>& oids) {
+  if (crashed_) return Status::Crashed("client down");
+  FINELOG_ASSIGN_OR_RETURN(Txn * t, GetActiveTxn(txn));
+  (void)t;
+  FINELOG_RETURN_IF_ERROR(BatchAcquireObjectLocks(txn, oids, LockMode::kShared));
+  std::vector<PageId> pages;
+  pages.reserve(oids.size());
+  for (ObjectId oid : oids) pages.push_back(oid.page);
+  FINELOG_RETURN_IF_ERROR(PrefetchPages(pages));
+  std::vector<std::string> values;
+  values.reserve(oids.size());
+  for (ObjectId oid : oids) {
+    FINELOG_ASSIGN_OR_RETURN(std::string value, Read(txn, oid));
+    values.push_back(std::move(value));
+  }
+  return values;
 }
 
 Result<ObjectId> Client::Create(TxnId txn, PageId pid, Slice data) {
@@ -541,7 +743,7 @@ Result<ObjectId> Client::Create(TxnId txn, PageId pid, Slice data) {
   page.BumpPsn();
   TrackModification(frame, pid, slot.value());
   frame->structurally_modified = true;
-  metrics_->Add("client.creates");
+  metrics_->Add(Counter::kClientCreates);
   return ObjectId{pid, slot.value()};
 }
 
@@ -575,7 +777,7 @@ Status Client::Resize(TxnId txn, ObjectId oid, Slice data) {
       FINELOG_RETURN_IF_ERROR(page.ResizeObject(oid.slot, data));
       page.BumpPsn();
       TrackModification(frame, oid.page, oid.slot);
-      metrics_->Add("client.resizes_in_place");
+      metrics_->Add(Counter::kClientResizesInPlace);
       return Status::OK();
     }
   }
@@ -604,7 +806,7 @@ Status Client::Resize(TxnId txn, ObjectId oid, Slice data) {
   page.BumpPsn();
   TrackModification(frame, oid.page, oid.slot);
   frame->structurally_modified = true;
-  metrics_->Add("client.resizes");
+  metrics_->Add(Counter::kClientResizes);
   return Status::OK();
 }
 
@@ -635,7 +837,7 @@ Status Client::Delete(TxnId txn, ObjectId oid) {
   page.BumpPsn();
   TrackModification(frame, oid.page, oid.slot);
   frame->structurally_modified = true;
-  metrics_->Add("client.deletes");
+  metrics_->Add(Counter::kClientDeletes);
   return Status::OK();
 }
 
@@ -670,8 +872,23 @@ Status Client::Commit(TxnId txn_id) {
     case LoggingPolicy::kClientLocal: {
       // The headline property: commit is a purely local log force; no
       // server interaction, no page or log shipping (Section 5, item 1).
-      FINELOG_RETURN_IF_ERROR(log_->Force());
-      channel_->clock()->Advance(channel_->costs().log_force_us);
+      if (config_.group_commit_window == 0) {
+        FINELOG_RETURN_IF_ERROR(ForceLog());
+      } else {
+        // Group commit: durability is deferred. The commit record sits in
+        // the log buffer until the group reaches group_commit_max_txns or
+        // the window expires, and one force then covers every queued
+        // transaction. A crash before the force loses the whole group --
+        // restart recovery sees no durable commit records and rolls the
+        // members back, which is the deferred-durability contract.
+        if (pending_commits_.empty()) {
+          oldest_pending_commit_us_ = channel_->clock()->now_us();
+        }
+        pending_commits_.push_back(txn_id);
+        if (GroupForceDue()) {
+          FINELOG_RETURN_IF_ERROR(ForceLog());
+        }
+      }
       break;
     }
     case LoggingPolicy::kShipLogsAtCommit: {
@@ -713,7 +930,7 @@ Status Client::Commit(TxnId txn_id) {
   llm_.OnTxnEnd(txn_id);  // Locks stay cached (inter-transaction caching).
   UpdateReclaimLsn();
   ++commits_;
-  metrics_->Add("client.commits");
+  metrics_->Add(Counter::kClientCommits);
   return Status::OK();
 }
 
@@ -807,7 +1024,7 @@ Status Client::RollbackTo(TxnId txn_id, Txn* txn, Lsn stop_lsn) {
         rec.op != UpdateOp::kResizeInPlace) {
       frame->structurally_modified = true;
     }
-    metrics_->Add("client.undos");
+    metrics_->Add(Counter::kClientUndos);
     cur = rec.prev_lsn;
   }
   return Status::OK();
@@ -829,14 +1046,13 @@ Status Client::Abort(TxnId txn_id) {
   if (!end_lsn_or.ok()) return end_lsn_or.status();
   Lsn end_lsn = end_lsn_or.value();
   t->last_lsn = end_lsn;
-  FINELOG_RETURN_IF_ERROR(log_->Force());
-  channel_->clock()->Advance(channel_->costs().log_force_us);
+  FINELOG_RETURN_IF_ERROR(ForceLog());
 
   t->state = Txn::State::kAborted;
   llm_.OnTxnEnd(txn_id);  // Locks retained even after rollback (Section 2).
   UpdateReclaimLsn();
   ++aborts_;
-  metrics_->Add("client.aborts");
+  metrics_->Add(Counter::kClientAborts);
   return Status::OK();
 }
 
@@ -848,7 +1064,7 @@ Result<size_t> Client::SetSavepoint(TxnId txn_id) {
   FINELOG_ASSIGN_OR_RETURN(Lsn lsn, AppendLog(rec));
   t->last_lsn = lsn;
   t->savepoints.push_back(lsn);
-  metrics_->Add("client.savepoints");
+  metrics_->Add(Counter::kClientSavepoints);
   return t->savepoints.size() - 1;
 }
 
@@ -861,7 +1077,7 @@ Status Client::RollbackToSavepoint(TxnId txn_id, size_t savepoint) {
   Lsn stop = t->savepoints[savepoint];
   FINELOG_RETURN_IF_ERROR(RollbackTo(txn_id, t, stop));
   t->savepoints.resize(savepoint + 1);
-  metrics_->Add("client.partial_rollbacks");
+  metrics_->Add(Counter::kClientPartialRollbacks);
   return Status::OK();
 }
 
@@ -885,12 +1101,11 @@ Client::CallbackReply Client::HandleObjectCallback(ObjectId oid,
     reply.psn_at_response = frame->page.psn();
     if (frame->dirty) {
       // WAL before the copy leaves the client.
-      Status st = log_->Force();
+      Status st = ForceLog();
       if (!st.ok()) {
         reply.granted = false;
         return reply;
       }
-      channel_->clock()->Advance(channel_->costs().log_force_us);
       reply.page = BuildShip(oid.page, *frame);
     }
   } else {
@@ -919,7 +1134,7 @@ Client::CallbackReply Client::HandleObjectCallback(ObjectId oid,
   } else {
     llm_.DowngradeObject(oid);
   }
-  metrics_->Add("client.callbacks_handled");
+  metrics_->Add(Counter::kClientCallbacksHandled);
   return reply;
 }
 
@@ -934,19 +1149,18 @@ Client::DeescalateReply Client::HandleDeescalate(PageId pid) {
   if (frame != nullptr) {
     reply.psn_at_response = frame->page.psn();
     if (frame->dirty) {
-      Status st = log_->Force();
+      Status st = ForceLog();
       if (!st.ok()) {
         reply.granted = false;
         return reply;
       }
-      channel_->clock()->Advance(channel_->costs().log_force_us);
       reply.page = BuildShip(pid, *frame);
     }
     if (!llm_.HasAnyLockOnPage(pid)) {
       cache_->Drop(pid);
     }
   }
-  metrics_->Add("client.deescalations_handled");
+  metrics_->Add(Counter::kClientDeescalationsHandled);
   return reply;
 }
 
@@ -969,12 +1183,11 @@ Client::CallbackReply Client::HandlePageCallback(PageId pid,
   if (frame != nullptr) {
     reply.psn_at_response = frame->page.psn();
     if (frame->dirty) {
-      Status st = log_->Force();
+      Status st = ForceLog();
       if (!st.ok()) {
         reply.granted = false;
         return reply;
       }
-      channel_->clock()->Advance(channel_->costs().log_force_us);
       reply.page = BuildShip(pid, *frame);
     }
   }
@@ -990,7 +1203,7 @@ Client::CallbackReply Client::HandlePageCallback(PageId pid,
     // Downgrade: keep the page cached under the shared lock.
     llm_.DowngradePage(pid);
   }
-  metrics_->Add("client.page_callbacks_handled");
+  metrics_->Add(Counter::kClientPageCallbacksHandled);
   return reply;
 }
 
@@ -1019,7 +1232,7 @@ void Client::HandleFlushNotify(PageId pid, Psn flushed_psn) {
     unflushed_slots_.erase(pid);
   }
   UpdateReclaimLsn();
-  metrics_->Add("client.flush_notifies");
+  metrics_->Add(Counter::kClientFlushNotifies);
 }
 
 Result<ShippedPage> Client::HandleTokenRecall(PageId pid) {
@@ -1031,8 +1244,7 @@ Result<ShippedPage> Client::HandleTokenRecall(PageId pid) {
     empty.page = pid;
     return empty;  // Nothing unshipped; token moves without data.
   }
-  FINELOG_RETURN_IF_ERROR(log_->Force());
-  channel_->clock()->Advance(channel_->costs().log_force_us);
+  FINELOG_RETURN_IF_ERROR(ForceLog());
   return BuildShip(pid, *frame);
 }
 
@@ -1040,8 +1252,7 @@ Status Client::HandleCheckpointSync() {
   if (crashed_) return Status::Crashed("client down");
   // ARIES/CSA-style synchronized checkpoint: the client forces its state so
   // the server checkpoint can bound recovery (Section 4.1).
-  FINELOG_RETURN_IF_ERROR(log_->Force());
-  channel_->clock()->Advance(channel_->costs().log_force_us);
+  FINELOG_RETURN_IF_ERROR(ForceLog());
   return Status::OK();
 }
 

@@ -17,6 +17,7 @@
 #include <optional>
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "buffer/buffer_pool.h"
@@ -56,6 +57,16 @@ class Client : public ClientEndpoint {
   // other clients may concurrently update other objects of the same page.
   Status Write(TxnId txn, ObjectId oid, Slice data);
 
+  // Batched variants: lock misses are sent to the server in multi-item
+  // messages (up to config.max_batch_items per message) and uncached pages
+  // are prefetched the same way, then the per-object work proceeds against
+  // warm local state. With max_batch_items == 1 these degenerate to the
+  // sequential paths above.
+  Status WriteBatch(TxnId txn,
+                    const std::vector<std::pair<ObjectId, std::string>>& writes);
+  Result<std::vector<std::string>> ReadBatch(TxnId txn,
+                                             const std::vector<ObjectId>& oids);
+
   // Structure-modifying (non-mergeable) updates; require a page-level
   // exclusive lock (Section 3.1).
   Result<ObjectId> Create(TxnId txn, PageId pid, Slice data);
@@ -76,6 +87,13 @@ class Client : public ClientEndpoint {
   // Savepoints and partial rollback (Section 3.2).
   Result<size_t> SetSavepoint(TxnId txn);
   Status RollbackToSavepoint(TxnId txn, size_t savepoint);
+
+  // Group commit (config.group_commit_window > 0, client-local logging):
+  // forces the private log if any committed transactions are still waiting
+  // for durability. Benchmarks and tests call this to close the final,
+  // partially-filled window. A no-op when nothing is pending.
+  Status FlushCommitGroup();
+  size_t pending_group_commits() const { return pending_commits_.size(); }
 
   // Independent fuzzy checkpoint: active transactions + DPT (Section 3.2).
   Status TakeCheckpoint();
@@ -179,6 +197,32 @@ class Client : public ClientEndpoint {
   Status AcquireObjectLock(TxnId txn, ObjectId oid, LockMode mode);
   Status AcquirePageLock(TxnId txn, PageId pid, LockMode mode);
 
+  // Installs a server object-lock grant into local state: LLM entry,
+  // pending exclusive callbacks, unflushed-slot tracking, the object or page
+  // image carried by the reply, and the escalation check. Shared by the
+  // single and batched acquisition paths.
+  Status InstallObjectLockReply(TxnId txn, ObjectId oid, LockMode mode,
+                                const ObjectLockReply& reply);
+
+  // Acquires object locks for `oids`, coalescing LLM misses into multi-item
+  // server messages of up to config.max_batch_items. Page-granularity
+  // configurations fall back to per-item acquisition.
+  Status BatchAcquireObjectLocks(TxnId txn, const std::vector<ObjectId>& oids,
+                                 LockMode mode);
+
+  // Fetches any of `pids` that are not cached, batching the fetch requests.
+  Status PrefetchPages(const std::vector<PageId>& pids);
+
+  // Forces the private log and charges the cost model's force latency. Any
+  // successful force makes every queued group commit durable, so the pending
+  // group drains here no matter which call site triggered the force.
+  Status ForceLog();
+
+  // True when the group-commit window must close now: the group reached
+  // config.group_commit_max_txns, or the oldest queued commit has waited
+  // at least config.group_commit_window simulated microseconds.
+  bool GroupForceDue() const;
+
   // Returns the cached frame for `pid`, fetching from the server on a miss.
   Result<BufferPool::Frame*> GetCachedPage(PageId pid);
 
@@ -263,6 +307,13 @@ class Client : public ClientEndpoint {
   std::map<PageId, std::set<SlotId>> unflushed_slots_;
   std::set<PageId> tokens_held_;
   std::map<PageId, RecoverySession> recovery_sessions_;
+
+  // Group commit: transactions whose commit records are appended but not yet
+  // forced, in commit order, plus the simulated enqueue time of the oldest.
+  // Lost (with the unforced log tail) on crash; recovery then treats them as
+  // losers, which is exactly the deferred-durability contract.
+  std::vector<TxnId> pending_commits_;
+  uint64_t oldest_pending_commit_us_ = 0;
 
   uint64_t next_txn_seq_ = 1;
   bool crashed_ = false;

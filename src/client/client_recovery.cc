@@ -40,13 +40,16 @@ Status Client::Crash() {
   txns_.clear();
   tokens_held_.clear();
   recovery_sessions_.clear();
+  // The group-commit queue dies with the unforced log tail: its commit
+  // records were never durable, so recovery rolls those members back.
+  pending_commits_.clear();
   // Reopen the private log: the unforced tail is lost, exactly as a real
   // volatile log buffer would be.
   FINELOG_ASSIGN_OR_RETURN(
       log_, LogManager::Open(config_.dir + "/client" + ToString(id_) +
                                  ".log",
                              config_.client_log_capacity, LogIo()));
-  metrics_->Add("client.crashes");
+  metrics_->Add(Counter::kClientCrashes);
   return Status::OK();
 }
 
@@ -209,7 +212,7 @@ Status Client::RunRedo(const AnalysisResult& analysis,
       auto put = cache_->Put(rec.page, std::move(page), EvictHandler());
       if (!put.ok()) return put.status();
       frame = put.value();
-      metrics_->Add("client.recovery_page_fetches");
+      metrics_->Add(Counter::kClientRecoveryPageFetches);
     }
     Page& page = frame->page;
 
@@ -247,7 +250,7 @@ Status Client::RunRedo(const AnalysisResult& analysis,
         rec.op != UpdateOp::kResizeInPlace) {
       frame->structurally_modified = true;
     }
-    metrics_->Add("client.redos");
+    metrics_->Add(Counter::kClientRedos);
     return Status::OK();
   });
 }
@@ -263,13 +266,13 @@ Status Client::RunUndo(std::map<TxnId, Txn> losers) {
     FINELOG_ASSIGN_OR_RETURN(Lsn lsn, AppendLog(end));
     t->last_lsn = lsn;
     t->state = Txn::State::kAborted;
-    metrics_->Add("client.loser_rollbacks");
+    metrics_->Add(Counter::kClientLoserRollbacks);
   }
   return log_->Force();
 }
 
 Status Client::Restart() {
-  metrics_->Add("client.restarts");
+  metrics_->Add(Counter::kClientRestarts);
 
   // Phase 1: analysis.
   FINELOG_ASSIGN_OR_RETURN(AnalysisResult analysis, RunAnalysis());
@@ -386,7 +389,7 @@ Status Client::Restart() {
     // An ordering dependency on a client that has not restarted yet: reset
     // to the crashed state and let the caller retry after that client.
     FINELOG_RETURN_IF_ERROR(Crash());
-    metrics_->Add("client.restart_deferrals");
+    metrics_->Add(Counter::kClientRestartDeferrals);
     return Status::WouldBlock("restart waits for another crashed client");
   }
   FINELOG_RETURN_IF_ERROR(redo);
@@ -550,7 +553,7 @@ Status Client::HandleRecRecoverPage(
     });
     if (!st.ok()) return st;
     sit = recovery_sessions_.emplace(pid, std::move(session)).first;
-    metrics_->Add("client.recovery_sessions");
+    metrics_->Add(Counter::kClientRecoverySessions);
   }
   RecoverySession& session = sit->second;
   if (session.complete) return Status::OK();
@@ -594,7 +597,7 @@ Status Client::HandleRecRecoverPage(
         session.page.raw() = incoming.raw();
       }
       session.page.set_psn(keep);
-      metrics_->Add("client.ordered_fetches");
+      metrics_->Add(Counter::kClientOrderedFetches);
       ++session.cursor;
       continue;
     }
@@ -619,7 +622,7 @@ Status Client::HandleRecRecoverPage(
       FINELOG_RETURN_IF_ERROR(ApplyRedo(&session.page, rec));
       session.page.set_psn(std::max(session.page.psn(), rec.psn.Next()));
       session.modified.insert(rec.slot);
-      metrics_->Add("client.recovery_redos");
+      metrics_->Add(Counter::kClientRecoveryRedos);
     }
     ++session.cursor;
   }

@@ -80,6 +80,22 @@ struct SystemConfig {
   // object-level lock instead of a page-level one. 0 disables reservation.
   double resize_reserve = 0.0;
 
+  // Group commit (Section 2 follow-on win): when group_commit_window > 0, a
+  // committing transaction appends its commit record but defers the log
+  // force; the force fires once the oldest deferred commit is older than the
+  // window (simulated microseconds) or group_commit_max_txns commits are
+  // pending, whichever comes first, and makes every pending commit durable
+  // with a single Force(). window = 0 keeps the seed behavior: every commit
+  // forces immediately.
+  uint64_t group_commit_window = 0;
+  uint32_t group_commit_max_txns = 8;
+
+  // Message batching: batch endpoint variants (lock requests, page fetches,
+  // copy-back ships, callback fan-out) carry up to this many items per
+  // simulated message. 1 = every item pays full per-message overhead (seed
+  // behavior).
+  uint32_t max_batch_items = 1;
+
   // Policies (paper defaults).
   LoggingPolicy logging_policy = LoggingPolicy::kClientLocal;
   LockGranularity lock_granularity = LockGranularity::kObject;

@@ -179,6 +179,9 @@ std::vector<ObjectId> GlobalLockManager::ExclusiveObjectLocksOf(
       out.push_back(oid);
     }
   }
+  // The table is unordered; recovery re-installs these locks in list order,
+  // so sort to keep that order (and every downstream log) deterministic.
+  std::sort(out.begin(), out.end());
   return out;
 }
 
@@ -191,6 +194,7 @@ std::vector<PageId> GlobalLockManager::ExclusivePageLocksOf(
       out.push_back(pid);
     }
   }
+  std::sort(out.begin(), out.end());
   return out;
 }
 

@@ -120,7 +120,12 @@ Status LogManager::RecoverExisting() {
 
 Result<Lsn> LogManager::Append(const LogRecord& record,
                                bool enforce_capacity) {
-  std::string body = record.Encode();
+  // Serialize into the reused scratch buffer: after warm-up, appends perform
+  // no allocation beyond pending-tail growth, which reserve() below keeps to
+  // one extension per frame at most.
+  encode_buf_.clear();
+  record.EncodeTo(&encode_buf_);
+  const std::string& body = encode_buf_;
   uint64_t frame_size = kFrameHeaderSize + body.size();
   if (enforce_capacity && capacity_ > 0 &&
       used_bytes() + frame_size > capacity_) {
@@ -136,10 +141,14 @@ Result<Lsn> LogManager::Append(const LogRecord& record,
     }
   }
   Lsn lsn = end_lsn_;
+  pending_.reserve(pending_.size() + frame_size);
   Encoder enc(&pending_);
   enc.PutU32(static_cast<uint32_t>(body.size()));
   enc.PutU32(Crc32c(body.data(), body.size()));
   enc.PutRaw(body);
+  if (pending_.size() > pending_high_water_) {
+    pending_high_water_ = pending_.size();
+  }
   end_lsn_ += frame_size;
   bytes_appended_ += frame_size;
   return lsn;
@@ -184,6 +193,10 @@ Status LogManager::Force() {
 }
 
 Result<LogRecord> LogManager::Read(Lsn lsn) const {
+  return ReadFrame(lsn, nullptr);
+}
+
+Result<LogRecord> LogManager::ReadFrame(Lsn lsn, uint64_t* frame_size) const {
   if (lsn.value() < kFileHeaderSize || lsn >= end_lsn_) {
     return Status::NotFound("LSN out of range");
   }
@@ -227,6 +240,7 @@ Result<LogRecord> LogManager::Read(Lsn lsn) const {
   auto rec = LogRecord::Decode(body);
   if (!rec.ok()) return rec.status();
   rec.value().lsn = lsn;
+  if (frame_size != nullptr) *frame_size = kFrameHeaderSize + body.size();
   return rec;
 }
 
@@ -239,12 +253,11 @@ Status LogManager::Scan(
   // PunchReclaimedSpace, which rounds down to the last frame start it knows).
   pos = std::max(pos, punched_below_);
   while (pos < end_lsn_) {
-    auto rec = Read(pos);
+    uint64_t frame_size = 0;
+    auto rec = ReadFrame(pos, &frame_size);
     if (!rec.ok()) return rec.status();
     FINELOG_RETURN_IF_ERROR(cb(rec.value()));
-    // Advance past this frame.
-    std::string body = rec.value().Encode();
-    pos += kFrameHeaderSize + body.size();
+    pos += frame_size;
   }
   return Status::OK();
 }
@@ -267,9 +280,10 @@ Result<uint64_t> LogManager::PunchReclaimedSpace() {
   {
     Lsn pos = boundary;
     while (pos < limit) {
-      auto rec = Read(pos);
+      uint64_t frame_size = 0;
+      auto rec = ReadFrame(pos, &frame_size);
       if (!rec.ok()) break;
-      Lsn next = pos + kFrameHeaderSize + rec.value().Encode().size();
+      Lsn next = pos + frame_size;
       if (next > limit) break;
       pos = next;
     }

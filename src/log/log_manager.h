@@ -105,6 +105,10 @@ class LogManager {
   // Metrics.
   uint64_t bytes_appended() const { return bytes_appended_; }
   uint64_t force_count() const { return force_count_; }
+  // Unforced frame bytes currently buffered, and the largest that buffer has
+  // ever grown (group commit lets it hold several transactions' records).
+  uint64_t pending_bytes() const { return pending_.size(); }
+  uint64_t pending_high_water() const { return pending_high_water_; }
 
  private:
   LogManager(std::FILE* f, uint64_t capacity, const LogIoOptions& io)
@@ -112,6 +116,9 @@ class LogManager {
 
   Status WriteHeader();
   Status RecoverExisting();
+  // Read plus the frame's on-disk footprint, so Scan can advance without
+  // re-encoding the record. `frame_size` may be null.
+  Result<LogRecord> ReadFrame(Lsn lsn, uint64_t* frame_size) const;
 
   std::FILE* file_;
   uint64_t capacity_;
@@ -122,6 +129,8 @@ class LogManager {
   Lsn reclaim_lsn_{kFileHeaderSize};
   Lsn punched_below_;  // Everything below is already hole-punched.
   std::string pending_;  // Frames appended but not yet forced.
+  std::string encode_buf_;  // Reused per-append serialization scratch.
+  uint64_t pending_high_water_ = 0;
   uint64_t bytes_appended_ = 0;
   uint64_t force_count_ = 0;
 };

@@ -21,7 +21,13 @@ const char* LogRecordTypeName(LogRecordType t) {
 }
 
 std::string LogRecord::Encode() const {
-  Encoder enc;
+  std::string out;
+  EncodeTo(&out);
+  return out;
+}
+
+void LogRecord::EncodeTo(std::string* out) const {
+  Encoder enc(out);
   enc.PutU8(static_cast<uint8_t>(type));
   enc.PutId(txn);
   enc.PutId(prev_lsn);
@@ -80,7 +86,6 @@ std::string LogRecord::Encode() const {
       }
       break;
   }
-  return enc.Take();
 }
 
 Result<LogRecord> LogRecord::Decode(Slice data) {

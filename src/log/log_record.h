@@ -123,7 +123,9 @@ struct LogRecord {
   // Set by the log manager on read; not serialized.
   Lsn lsn = kNullLsn;
 
-  // Serialization.
+  // Serialization. EncodeTo appends to `out` without clearing it, so hot
+  // paths can reuse one buffer's capacity across records.
+  void EncodeTo(std::string* out) const;
   std::string Encode() const;
   static Result<LogRecord> Decode(Slice data);
 

@@ -21,7 +21,8 @@ namespace finelog {
 class Channel {
  public:
   struct TypeStats {
-    uint64_t count = 0;
+    uint64_t count = 0;  // Messages on the wire (a batch is one message).
+    uint64_t items = 0;  // Logical items carried (>= count).
     uint64_t bytes = 0;
   };
 
@@ -33,10 +34,20 @@ class Channel {
 
   // Records one network hop of `type` carrying `payload_bytes`.
   void Count(MessageType type, uint64_t payload_bytes) {
+    CountBatch(type, 1, payload_bytes);
+  }
+
+  // Records one network hop carrying `items` logical requests/replies in a
+  // single message: the per-message overhead (message count, latency) is
+  // charged once, the payload bytes are charged in full. This is the entire
+  // economic model of batching -- N items for one message-overhead charge.
+  void CountBatch(MessageType type, uint64_t items, uint64_t payload_bytes) {
     auto& s = stats_[static_cast<size_t>(type)];
     s.count += 1;
+    s.items += items;
     s.bytes += payload_bytes;
     total_messages_ += 1;
+    total_items_ += items;
     total_bytes_ += payload_bytes;
     clock_->Advance(costs_.msg_latency_us +
                     (payload_bytes * costs_.per_kb_us) / 1024);
@@ -46,11 +57,13 @@ class Channel {
     return stats_[static_cast<size_t>(type)];
   }
   uint64_t total_messages() const { return total_messages_; }
+  uint64_t total_items() const { return total_items_; }
   uint64_t total_bytes() const { return total_bytes_; }
 
   void ResetStats() {
     stats_.fill(TypeStats{});
     total_messages_ = 0;
+    total_items_ = 0;
     total_bytes_ = 0;
   }
 
@@ -63,6 +76,7 @@ class Channel {
   std::array<TypeStats, static_cast<size_t>(MessageType::kMaxMessageType)>
       stats_{};
   uint64_t total_messages_ = 0;
+  uint64_t total_items_ = 0;
   uint64_t total_bytes_ = 0;
 };
 

@@ -114,6 +114,21 @@ struct ClientRecoveryState {
   std::vector<std::pair<PageId, LockMode>> page_locks;
 };
 
+// One item of a batched object lock request (see LockObjectBatch).
+struct ObjectLockRequest {
+  ObjectId oid;
+  LockMode mode = LockMode::kShared;
+  Psn cached_psn = kNullPsn;
+};
+
+// Per-item outcome of a batched object lock request: lock grants fail
+// individually (WouldBlock on a denied callback does not poison the other
+// items in the batch).
+struct ObjectLockOutcome {
+  Status status;  // Default-constructed = OK; `reply` is valid only then.
+  ObjectLockReply reply;
+};
+
 // The server-side endpoint (implemented by server::Server).
 class ServerEndpoint {
  public:
@@ -138,6 +153,56 @@ class ServerEndpoint {
   // A dirty page replaced from the client's cache (Section 2). The server
   // merges the updates into its copy.
   virtual Status ShipPage(ClientId client, const ShippedPage& page) = 0;
+
+  // Batch variants -------------------------------------------------------
+  //
+  // Each carries N items in one request message and answers them in one
+  // reply message, so the per-message overhead is charged once per batch
+  // instead of once per item (config: max_batch_items; the *caller* chunks).
+  // The default implementations degrade to the single-item calls -- correct
+  // for test fakes, with per-item message accounting.
+
+  // Batched LLM misses: grants are attempted in item order and fail
+  // individually; the reply vector is index-aligned with `items`.
+  virtual Result<std::vector<ObjectLockOutcome>> LockObjectBatch(
+      ClientId client, const std::vector<ObjectLockRequest>& items) {
+    std::vector<ObjectLockOutcome> out;
+    out.reserve(items.size());
+    for (const ObjectLockRequest& it : items) {
+      auto r = LockObject(client, it.oid, it.mode, it.cached_psn);
+      ObjectLockOutcome o;
+      if (r.ok()) {
+        o.reply = std::move(r.value());
+      } else {
+        o.status = r.status();
+      }
+      out.push_back(std::move(o));
+    }
+    return out;
+  }
+
+  // Batched cache-miss fetch; all-or-nothing (a fetch only fails on real
+  // I/O or topology errors, never on contention).
+  virtual Result<std::vector<PageFetchReply>> FetchPages(
+      ClientId client, const std::vector<PageId>& pids) {
+    std::vector<PageFetchReply> out;
+    out.reserve(pids.size());
+    for (PageId pid : pids) {
+      auto r = FetchPage(client, pid);
+      if (!r.ok()) return r.status();
+      out.push_back(std::move(r.value()));
+    }
+    return out;
+  }
+
+  // Batched copy-back: N replaced pages in one ship message, one ack.
+  virtual Status ShipPages(ClientId client,
+                           const std::vector<ShippedPage>& pages) {
+    for (const ShippedPage& p : pages) {
+      FINELOG_RETURN_IF_ERROR(ShipPage(client, p));
+    }
+    return Status::OK();
+  }
 
   // Allocates a new page; the caller is granted a page-level X lock on it.
   virtual Result<AllocReply> AllocatePage(ClientId client) = 0;

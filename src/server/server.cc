@@ -78,7 +78,7 @@ Status Server::Crash() {
                                DiskIo()));
   FINELOG_ASSIGN_OR_RETURN(
       log_, LogManager::Open(config_.dir + "/server.log", 0, LogIo()));
-  metrics_->Add("server.crashes");
+  metrics_->Add(Counter::kServerCrashes);
   return Status::OK();
 }
 
@@ -114,7 +114,7 @@ Result<BufferPool::Frame*> Server::GetPage(PageId pid) {
   if (!st.ok()) return st;
   channel_->clock()->Advance(channel_->costs().disk_read_us);
   ++disk_reads_;
-  metrics_->Add("server.disk_reads");
+  metrics_->Add(Counter::kServerDiskReads);
   return pool_->Put(pid, std::move(page), EvictHandler());
 }
 
@@ -128,13 +128,13 @@ Status Server::WritePageToDisk(PageId pid, BufferPool::Frame& frame) {
   if (!lsn.ok()) return lsn.status();
   FINELOG_RETURN_IF_ERROR(log_->Force());
   channel_->clock()->Advance(channel_->costs().log_force_us);
-  metrics_->Add("server.replacement_records");
+  metrics_->Add(Counter::kServerReplacementRecords);
   dct_.SetRedoLsnIfNull(pid, lsn.value());
 
   FINELOG_RETURN_IF_ERROR(disk_->WritePage(pid, &frame.page));
   channel_->clock()->Advance(channel_->costs().disk_write_us);
   ++disk_writes_;
-  metrics_->Add("server.disk_writes");
+  metrics_->Add(Counter::kServerDiskWrites);
   frame.dirty = false;
 
   // Notify the updating clients (Sections 3.2 and 3.6) and drop DCT entries
@@ -181,28 +181,65 @@ bool Server::BlockedByCrashedClient(PageId pid, ClientId requester) const {
 Status Server::ExecuteCallbacks(
     const std::vector<CallbackAction>& actions,
     std::vector<XCallbackInfo>* x_callbacks) {
-  for (const CallbackAction& a : actions) {
-    if (crashed_clients_.count(a.target) > 0) {
+  // Piggybacking: consecutive actions against one target travel as a single
+  // callback request message and are answered in a single reply message
+  // (bounded by max_batch_items). With max_batch_items = 1 every action pays
+  // its own round trip -- the seed behavior.
+  const size_t limit = std::max<uint32_t>(1, config_.max_batch_items);
+  size_t i = 0;
+  while (i < actions.size()) {
+    // Per-target validation happens before any message is charged, exactly
+    // as the unbatched path did per action.
+    const ClientId target = actions[i].target;
+    if (crashed_clients_.count(target) > 0) {
       return Status::WouldBlock("callback target crashed; queued");
     }
-    auto cit = clients_.find(a.target);
-    if (cit == clients_.end()) {
+    if (clients_.find(target) == clients_.end()) {
       return Status::Internal("unknown client in callback");
     }
-    ClientEndpoint* ep = cit->second;
+    size_t j = i + 1;
+    while (j < actions.size() && actions[j].target == target &&
+           j - i < limit) {
+      ++j;
+    }
+    const size_t n = j - i;
+    channel_->CountBatch(MessageType::kCallbackRequest, n, n * kSmallMsg);
+    if (n > 1) {
+      metrics_->Add(Counter::kServerBatchCallbackRequests);
+      metrics_->Add(Counter::kServerBatchCallbackItems, n);
+    }
+    size_t reply_bytes = 0;
+    size_t answered = 0;
+    Status st;
+    for (size_t k = i; k < j; ++k) {
+      st = ExecuteOneCallback(actions[k], x_callbacks, &reply_bytes);
+      ++answered;
+      if (!st.ok()) break;
+    }
+    // A denial still answers: the reply carries the outcomes produced so far.
+    channel_->CountBatch(MessageType::kCallbackReply, answered, reply_bytes);
+    FINELOG_RETURN_IF_ERROR(st);
+    i = j;
+  }
+  return Status::OK();
+}
+
+Status Server::ExecuteOneCallback(const CallbackAction& a,
+                                  std::vector<XCallbackInfo>* x_callbacks,
+                                  size_t* reply_bytes) {
+  {
+    ClientEndpoint* ep = clients_.at(a.target);
     switch (a.what) {
       case CallbackAction::What::kReleaseObject:
       case CallbackAction::What::kDowngradeObject: {
         LockMode want = a.what == CallbackAction::What::kReleaseObject
                             ? LockMode::kExclusive
                             : LockMode::kShared;
-        channel_->Count(MessageType::kCallbackRequest, kSmallMsg);
         auto reply = ep->HandleObjectCallback(a.object, want);
-        channel_->Count(MessageType::kCallbackReply,
-                        reply.page ? reply.page->wire_size() : kSmallMsg);
-        metrics_->Add("server.callbacks_object");
+        *reply_bytes += reply.page ? reply.page->wire_size() : kSmallMsg;
+        metrics_->Add(Counter::kServerCallbacksObject);
         if (!reply.granted) {
-          metrics_->Add("server.callbacks_denied");
+          metrics_->Add(Counter::kServerCallbacksDenied);
           return Status::WouldBlock("callback denied: object in use");
         }
         if (reply.page) {
@@ -251,13 +288,11 @@ Status Server::ExecuteCallbacks(
         if (config_.lock_granularity == LockGranularity::kPage) {
           // Page-locking baseline: page locks are called back, not
           // de-escalated (there are no object locks to fall back to).
-          channel_->Count(MessageType::kCallbackRequest, kSmallMsg);
           auto reply = ep->HandlePageCallback(a.page, a.requested);
-          channel_->Count(MessageType::kCallbackReply,
-                          reply.page ? reply.page->wire_size() : kSmallMsg);
-          metrics_->Add("server.callbacks_page");
+          *reply_bytes += reply.page ? reply.page->wire_size() : kSmallMsg;
+          metrics_->Add(Counter::kServerCallbacksPage);
           if (!reply.granted) {
-            metrics_->Add("server.callbacks_denied");
+            metrics_->Add(Counter::kServerCallbacksDenied);
             return Status::WouldBlock("page callback denied");
           }
           if (reply.page) {
@@ -284,13 +319,11 @@ Status Server::ExecuteCallbacks(
           }
           break;
         }
-        channel_->Count(MessageType::kCallbackRequest, kSmallMsg);
         auto reply = ep->HandleDeescalate(a.page);
-        channel_->Count(MessageType::kCallbackReply,
-                        reply.page ? reply.page->wire_size() : kSmallMsg);
-        metrics_->Add("server.deescalations");
+        *reply_bytes += reply.page ? reply.page->wire_size() : kSmallMsg;
+        metrics_->Add(Counter::kServerDeescalations);
         if (!reply.granted) {
-          metrics_->Add("server.callbacks_denied");
+          metrics_->Add(Counter::kServerCallbacksDenied);
           return Status::WouldBlock("de-escalation denied: structural update");
         }
         if (reply.page) {
@@ -323,7 +356,7 @@ Status Server::ApplyShippedPage(ClientId client, const ShippedPage& shipped,
     Page incoming(config_.page_size);
     incoming.raw() = shipped.image;
     dct_.SetPsn(shipped.page, client, incoming.psn());
-    metrics_->Add("server.pages_merged");
+    metrics_->Add(Counter::kServerPagesMerged);
     return Status::OK();
   }
   Page incoming(config_.page_size);
@@ -347,7 +380,7 @@ Status Server::ApplyShippedPage(ClientId client, const ShippedPage& shipped,
   // "The server ... sets the value of the PSN field to be the PSN value
   // present on P" (Section 3.2).
   if (update_dct_psn) dct_.SetPsn(shipped.page, client, incoming_psn);
-  metrics_->Add("server.pages_merged");
+  metrics_->Add(Counter::kServerPagesMerged);
   return Status::OK();
 }
 
@@ -355,10 +388,44 @@ Result<ObjectLockReply> Server::LockObject(ClientId client, ObjectId oid,
                                            LockMode mode, Psn cached_psn) {
   if (crashed_) return Status::Crashed("server down");
   channel_->Count(MessageType::kLockRequest, kSmallMsg);
-  metrics_->Add("server.lock_requests");
+  size_t reply_bytes = kSmallMsg;
+  auto reply = LockObjectInternal(client, oid, mode, cached_psn, &reply_bytes);
+  channel_->Count(MessageType::kLockReply, reply_bytes);
+  return reply;
+}
+
+Result<std::vector<ObjectLockOutcome>> Server::LockObjectBatch(
+    ClientId client, const std::vector<ObjectLockRequest>& items) {
+  if (crashed_) return Status::Crashed("server down");
+  if (items.empty()) return std::vector<ObjectLockOutcome>{};
+  channel_->CountBatch(MessageType::kLockRequest, items.size(),
+                       items.size() * kSmallMsg);
+  size_t reply_bytes = 0;
+  std::vector<ObjectLockOutcome> out;
+  out.reserve(items.size());
+  for (const ObjectLockRequest& it : items) {
+    size_t rb = kSmallMsg;
+    auto r = LockObjectInternal(client, it.oid, it.mode, it.cached_psn, &rb);
+    reply_bytes += rb;
+    ObjectLockOutcome o;
+    if (r.ok()) {
+      o.reply = std::move(r.value());
+    } else {
+      o.status = r.status();
+    }
+    out.push_back(std::move(o));
+  }
+  channel_->CountBatch(MessageType::kLockReply, items.size(), reply_bytes);
+  return out;
+}
+
+Result<ObjectLockReply> Server::LockObjectInternal(ClientId client,
+                                                   ObjectId oid, LockMode mode,
+                                                   Psn cached_psn,
+                                                   size_t* reply_bytes) {
+  metrics_->Add(Counter::kServerLockRequests);
 
   if (BlockedByCrashedClient(oid.page, client)) {
-    channel_->Count(MessageType::kLockReply, kSmallMsg);
     return Status::WouldBlock("page involves a crashed client");
   }
 
@@ -369,20 +436,14 @@ Result<ObjectLockReply> Server::LockObject(ClientId client, ObjectId oid,
     std::vector<CallbackAction> actions = glm_.RequiredForObject(client, oid, mode);
     if (actions.empty()) break;
     if (round >= 8) {
-      channel_->Count(MessageType::kLockReply, kSmallMsg);
       return Status::WouldBlock("lock conflict not resolved");
     }
-    Status st = ExecuteCallbacks(actions, &x_callbacks);
-    if (!st.ok()) {
-      channel_->Count(MessageType::kLockReply, kSmallMsg);
-      return st;
-    }
+    FINELOG_RETURN_IF_ERROR(ExecuteCallbacks(actions, &x_callbacks));
   }
 
   glm_.GrantObject(client, oid, mode);
   auto frame = GetPage(oid.page);
   if (!frame.ok()) {
-    channel_->Count(MessageType::kLockReply, kSmallMsg);
     return frame.status();
   }
   Page& page = frame.value()->page;
@@ -428,12 +489,12 @@ Result<ObjectLockReply> Server::LockObject(ClientId client, ObjectId oid,
     } else {
       reply.object_present = false;
     }
-    channel_->Count(MessageType::kLockReply,
-                    kSmallMsg + (reply.object_image ? reply.object_image->size() : 0));
+    *reply_bytes =
+        kSmallMsg + (reply.object_image ? reply.object_image->size() : 0);
   } else {
     reply.page_image = page.raw();
     reply.object_present = page.SlotExists(oid.slot);
-    channel_->Count(MessageType::kLockReply, kSmallMsg + reply.page_image->size());
+    *reply_bytes = kSmallMsg + reply.page_image->size();
   }
   return reply;
 }
@@ -442,7 +503,7 @@ Result<PageLockReply> Server::LockPage(ClientId client, PageId pid,
                                        LockMode mode, Psn cached_psn) {
   if (crashed_) return Status::Crashed("server down");
   channel_->Count(MessageType::kLockRequest, kSmallMsg);
-  metrics_->Add("server.lock_requests");
+  metrics_->Add(Counter::kServerLockRequests);
 
   if (BlockedByCrashedClient(pid, client)) {
     channel_->Count(MessageType::kLockReply, kSmallMsg);
@@ -505,14 +566,43 @@ Result<PageLockReply> Server::LockPage(ClientId client, PageId pid,
 Result<PageFetchReply> Server::FetchPage(ClientId client, PageId pid) {
   if (crashed_) return Status::Crashed("server down");
   channel_->Count(MessageType::kPageFetch, kSmallMsg);
+  size_t reply_bytes = 0;
+  auto reply = FetchPageInternal(client, pid, &reply_bytes);
+  if (!reply.ok()) return reply.status();
+  channel_->Count(MessageType::kPageReply, reply_bytes);
+  return reply;
+}
+
+Result<std::vector<PageFetchReply>> Server::FetchPages(
+    ClientId client, const std::vector<PageId>& pids) {
+  if (crashed_) return Status::Crashed("server down");
+  if (pids.empty()) return std::vector<PageFetchReply>{};
+  channel_->CountBatch(MessageType::kPageFetch, pids.size(),
+                       pids.size() * kSmallMsg);
+  size_t reply_bytes = 0;
+  std::vector<PageFetchReply> out;
+  out.reserve(pids.size());
+  for (PageId pid : pids) {
+    size_t rb = 0;
+    auto r = FetchPageInternal(client, pid, &rb);
+    if (!r.ok()) return r.status();
+    reply_bytes += rb;
+    out.push_back(std::move(r.value()));
+  }
+  channel_->CountBatch(MessageType::kPageReply, pids.size(), reply_bytes);
+  return out;
+}
+
+Result<PageFetchReply> Server::FetchPageInternal(ClientId client, PageId pid,
+                                                 size_t* reply_bytes) {
   auto frame = GetPage(pid);
   if (!frame.ok()) return frame.status();
   PageFetchReply reply;
   reply.page_image = frame.value()->page.raw();
   auto entry = dct_.Get(pid, client);
   reply.dct_psn = entry ? entry->psn : kNullPsn;
-  channel_->Count(MessageType::kPageReply, reply.page_image.size() + kSmallMsg);
-  metrics_->Add("server.page_fetches");
+  *reply_bytes = reply.page_image.size() + kSmallMsg;
+  metrics_->Add(Counter::kServerPageFetches);
   return reply;
 }
 
@@ -521,6 +611,20 @@ Status Server::ShipPage(ClientId client, const ShippedPage& page) {
   channel_->Count(MessageType::kPageShip, page.wire_size());
   FINELOG_RETURN_IF_ERROR(ApplyShippedPage(client, page));
   channel_->Count(MessageType::kPageShipAck, kSmallMsg);
+  return Status::OK();
+}
+
+Status Server::ShipPages(ClientId client,
+                         const std::vector<ShippedPage>& pages) {
+  if (crashed_) return Status::Crashed("server down");
+  if (pages.empty()) return Status::OK();
+  size_t bytes = 0;
+  for (const ShippedPage& p : pages) bytes += p.wire_size();
+  channel_->CountBatch(MessageType::kPageShip, pages.size(), bytes);
+  for (const ShippedPage& p : pages) {
+    FINELOG_RETURN_IF_ERROR(ApplyShippedPage(client, p));
+  }
+  channel_->CountBatch(MessageType::kPageShipAck, pages.size(), kSmallMsg);
   return Status::OK();
 }
 
@@ -541,14 +645,14 @@ Result<AllocReply> Server::AllocatePage(ClientId client) {
   reply.page = alloc.value().page;
   reply.page_image = page.raw();
   channel_->Count(MessageType::kAllocReply, reply.page_image.size() + kSmallMsg);
-  metrics_->Add("server.allocations");
+  metrics_->Add(Counter::kServerAllocations);
   return reply;
 }
 
 Status Server::ForcePage(ClientId client, PageId pid) {
   if (crashed_) return Status::Crashed("server down");
   channel_->Count(MessageType::kForcePageRequest, kSmallMsg);
-  metrics_->Add("server.force_page_requests");
+  metrics_->Add(Counter::kServerForcePageRequests);
   if (BufferPool::Frame* frame = pool_->Get(pid)) {
     if (frame->dirty) {
       FINELOG_RETURN_IF_ERROR(WritePageToDisk(pid, *frame));
@@ -596,7 +700,7 @@ Status Server::ReleaseLocks(ClientId client,
     }
   }
   channel_->Count(MessageType::kLockReply, kSmallMsg);
-  metrics_->Add("server.lock_releases");
+  metrics_->Add(Counter::kServerLockReleases);
   return Status::OK();
 }
 
@@ -608,7 +712,7 @@ Status Server::CommitShipLogs(ClientId client, size_t log_bytes) {
   // acknowledging. The records themselves are not interpreted (the client
   // retains its own copy); only the durability cost is modelled.
   channel_->clock()->Advance(channel_->costs().log_force_us);
-  metrics_->Add("server.commit_log_ships");
+  metrics_->Add(Counter::kServerCommitLogShips);
   channel_->Count(MessageType::kCommitAck, kSmallMsg);
   return Status::OK();
 }
@@ -623,7 +727,7 @@ Status Server::CommitShipPages(ClientId client,
     FINELOG_RETURN_IF_ERROR(ApplyShippedPage(client, p));
   }
   channel_->clock()->Advance(channel_->costs().log_force_us);
-  metrics_->Add("server.commit_page_ships");
+  metrics_->Add(Counter::kServerCommitPageShips);
   channel_->Count(MessageType::kCommitAck, kSmallMsg);
   return Status::OK();
 }
@@ -631,7 +735,7 @@ Status Server::CommitShipPages(ClientId client,
 Result<TokenReply> Server::AcquireToken(ClientId client, PageId pid) {
   if (crashed_) return Status::Crashed("server down");
   channel_->Count(MessageType::kTokenRequest, kSmallMsg);
-  metrics_->Add("server.token_requests");
+  metrics_->Add(Counter::kServerTokenRequests);
   auto it = token_holder_.find(pid);
   if (it != token_holder_.end() && it->second == client) {
     channel_->Count(MessageType::kTokenReply, kSmallMsg);
@@ -653,7 +757,7 @@ Result<TokenReply> Server::AcquireToken(ClientId client, PageId pid) {
     if (!shipped.value().image.empty()) {
       FINELOG_RETURN_IF_ERROR(ApplyShippedPage(holder, shipped.value()));
     }
-    metrics_->Add("server.token_transfers");
+    metrics_->Add(Counter::kServerTokenTransfers);
   }
   token_holder_[pid] = client;
   TokenReply reply;
@@ -674,7 +778,7 @@ Status Server::TakeCheckpoint() {
   FINELOG_RETURN_IF_ERROR(log_->Force());
   channel_->clock()->Advance(channel_->costs().log_force_us);
   FINELOG_RETURN_IF_ERROR(log_->SetCheckpointLsn(lsn.value()));
-  metrics_->Add("server.checkpoints");
+  metrics_->Add(Counter::kServerCheckpoints);
   return Status::OK();
 }
 
@@ -688,7 +792,7 @@ Status Server::TakeSynchronizedCheckpoint() {
     FINELOG_RETURN_IF_ERROR(ep->HandleCheckpointSync());
     channel_->Count(MessageType::kCheckpointSyncReply, kSmallMsg);
   }
-  metrics_->Add("server.sync_checkpoints");
+  metrics_->Add(Counter::kServerSyncCheckpoints);
   return TakeCheckpoint();
 }
 
@@ -721,7 +825,7 @@ Status Server::DeallocatePage(PageId pid) {
     Page page(config_.page_size);
     if (disk_->ReadPage(pid, &page).ok()) final_psn = page.psn();
   }
-  metrics_->Add("server.deallocations");
+  metrics_->Add(Counter::kServerDeallocations);
   return space_map_->DeallocatePage(pid, final_psn);
 }
 
@@ -794,7 +898,7 @@ Result<ClientRecoveryState> Server::RecInstallLocks(
 Result<PageFetchReply> Server::RecFetchPage(ClientId client, PageId pid) {
   if (crashed_) return Status::Crashed("server down");
   channel_->Count(MessageType::kRecPageFetch, kSmallMsg);
-  metrics_->Add("server.recovery_page_fetches");
+  metrics_->Add(Counter::kServerRecoveryPageFetches);
   PageFetchReply reply;
   auto frame = GetPage(pid);
   if (frame.ok()) {

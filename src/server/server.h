@@ -85,6 +85,12 @@ class Server : public ServerEndpoint {
                                  Psn cached_psn) override;
   Result<PageFetchReply> FetchPage(ClientId client, PageId pid) override;
   Status ShipPage(ClientId client, const ShippedPage& page) override;
+  Result<std::vector<ObjectLockOutcome>> LockObjectBatch(
+      ClientId client, const std::vector<ObjectLockRequest>& items) override;
+  Result<std::vector<PageFetchReply>> FetchPages(
+      ClientId client, const std::vector<PageId>& pids) override;
+  Status ShipPages(ClientId client,
+                   const std::vector<ShippedPage>& pages) override;
   Result<AllocReply> AllocatePage(ClientId client) override;
   Status ForcePage(ClientId client, PageId pid) override;
   Status ReleaseLocks(ClientId client, const std::vector<ObjectId>& objects,
@@ -144,9 +150,27 @@ class Server : public ServerEndpoint {
   // Executes the callbacks the GLM requires before a grant. Returns
   // kWouldBlock if any target denies or is crashed. Appends (responder,
   // DCT PSN) pairs for exclusive-lock callbacks to `x_callbacks` so the
-  // requester can write callback log records (Section 3.1).
+  // requester can write callback log records (Section 3.1). Consecutive
+  // actions against the same target client are coalesced into one request/
+  // reply message pair of up to config_.max_batch_items actions.
   Status ExecuteCallbacks(const std::vector<CallbackAction>& actions,
                           std::vector<XCallbackInfo>* x_callbacks);
+
+  // One callback hop against one target, with its reply payload size
+  // reported through `reply_bytes` instead of counted on the channel (the
+  // caller charges whole batches).
+  Status ExecuteOneCallback(const CallbackAction& action,
+                            std::vector<XCallbackInfo>* x_callbacks,
+                            size_t* reply_bytes);
+
+  // Grant logic of LockObject/FetchPage without the request/reply channel
+  // accounting, so single and batched entry points share one implementation.
+  // `reply_bytes` reports the payload the reply message would carry.
+  Result<ObjectLockReply> LockObjectInternal(ClientId client, ObjectId oid,
+                                             LockMode mode, Psn cached_psn,
+                                             size_t* reply_bytes);
+  Result<PageFetchReply> FetchPageInternal(ClientId client, PageId pid,
+                                           size_t* reply_bytes);
 
   // Merges a shipped page into the server copy and updates the DCT.
   // `update_dct_psn` is false for restart cache pulls: they overlay only the

@@ -32,7 +32,7 @@ constexpr size_t kSmallMsg = 32;
 
 Status Server::Restart() {
   crashed_ = false;
-  metrics_->Add("server.restarts");
+  metrics_->Add(Counter::kServerRestarts);
 
   std::map<ClientId, ClientRecoveryState> states;
   FINELOG_RETURN_IF_ERROR(RebuildGlmAndCollectState(&states));
@@ -251,7 +251,7 @@ Status Server::CoordinatePageRecovery(PageId pid, ClientId client) {
   Status st = clients_.at(client)->HandleRecRecoverPage(
       pid, list.value(), base_image, base_psn, kNullPsn);
   channel_->Count(MessageType::kRecRecoverPageReply, kSmallMsg);
-  metrics_->Add("server.coordinated_page_recoveries");
+  metrics_->Add(Counter::kServerCoordinatedPageRecoveries);
   return st;
 }
 
@@ -270,7 +270,7 @@ Result<std::vector<CallbackListEntry>> Server::RecGetCallbackList(
 Result<PageFetchReply> Server::RecOrderedFetch(ClientId client, PageId pid,
                                                ClientId other, Psn psn) {
   channel_->Count(MessageType::kRecOrderedFetch, kSmallMsg);
-  metrics_->Add("server.ordered_fetches");
+  metrics_->Add(Counter::kServerOrderedFetches);
 
   auto entry = dct_.Get(pid, other);
   bool satisfied = entry && entry->psn != kNullPsn && entry->psn >= psn;

@@ -78,7 +78,7 @@ FaultInjector::Outcome FaultInjector::Evaluate(const std::string& point,
   }
   fired_ = Fired{point, total_hits_, point_hit, out.action, out.cut};
   armed_.reset();  // One-shot.
-  if (metrics_ != nullptr) metrics_->Add("fault.injected");
+  if (metrics_ != nullptr) metrics_->Add(Counter::kFaultInjected);
   return out;
 }
 

@@ -1,41 +1,198 @@
-// Metrics: a small named-counter registry. Every module increments counters
-// here; the benchmark harness snapshots and diffs them to produce the
-// experiment tables.
+// Metrics: a named-counter registry. Every module increments counters here;
+// the benchmark harness snapshots and diffs them to produce the experiment
+// tables.
+//
+// Hot-path counters are interned: each well-known counter is a Counter enum
+// value backed by a dense array, so an increment is an array add with no
+// string construction, hashing or map lookup. The string-keyed overloads
+// remain for dynamically named counters (fault-point mirrors) and for
+// external readers (tests, benches) that address counters by name; they
+// resolve interned names to the dense array so both views stay consistent.
 
 #ifndef FINELOG_UTIL_METRICS_H_
 #define FINELOG_UTIL_METRICS_H_
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <string>
+#include <string_view>
 
 namespace finelog {
 
+// Every well-known counter, paired with its stable snapshot name. New hot
+// counters go here; Metrics::Add(std::string) is reserved for dynamic names
+// (enforced by finelog_lint's metrics-string-key rule).
+#define FINELOG_COUNTERS(X)                                                  \
+  X(kClientAborts, "client.aborts")                                          \
+  X(kClientBatchFetchItems, "client.batch_fetch_items")                      \
+  X(kClientBatchFetchRequests, "client.batch_fetch_requests")                \
+  X(kClientBatchLockItems, "client.batch_lock_items")                        \
+  X(kClientBatchLockRequests, "client.batch_lock_requests")                  \
+  X(kClientBatchShipItems, "client.batch_ship_items")                        \
+  X(kClientBatchShipRequests, "client.batch_ship_requests")                  \
+  X(kClientCallbackRecords, "client.callback_records")                       \
+  X(kClientCallbacksHandled, "client.callbacks_handled")                     \
+  X(kClientCheckpoints, "client.checkpoints")                                \
+  X(kClientCommits, "client.commits")                                        \
+  X(kClientCrashes, "client.crashes")                                        \
+  X(kClientCreates, "client.creates")                                        \
+  X(kClientDeescalationsHandled, "client.deescalations_handled")             \
+  X(kClientDeletes, "client.deletes")                                        \
+  X(kClientEscalations, "client.escalations")                                \
+  X(kClientFlushNotifies, "client.flush_notifies")                           \
+  X(kClientGroupCommitMaxBatch, "client.group_commit_max_batch")             \
+  X(kClientGroupCommitTxns, "client.group_commit_txns")                      \
+  X(kClientGroupCommits, "client.group_commits")                             \
+  X(kClientIdleReleases, "client.idle_releases")                             \
+  X(kClientLockHits, "client.lock_hits")                                     \
+  X(kClientLockMisses, "client.lock_misses")                                 \
+  X(kClientLogBytesPunched, "client.log_bytes_punched")                      \
+  X(kClientLogFullEvents, "client.log_full_events")                          \
+  X(kClientLogPendingHighWater, "client.log_pending_high_water")             \
+  X(kClientLogSpaceForces, "client.log_space_forces")                        \
+  X(kClientLoserRollbacks, "client.loser_rollbacks")                         \
+  X(kClientOrderedFetches, "client.ordered_fetches")                         \
+  X(kClientPageCallbacksHandled, "client.page_callbacks_handled")            \
+  X(kClientPageFetches, "client.page_fetches")                               \
+  X(kClientPagesShipped, "client.pages_shipped")                             \
+  X(kClientPartialRollbacks, "client.partial_rollbacks")                     \
+  X(kClientReads, "client.reads")                                            \
+  X(kClientRecoveryPageFetches, "client.recovery_page_fetches")              \
+  X(kClientRecoveryRedos, "client.recovery_redos")                           \
+  X(kClientRecoverySessions, "client.recovery_sessions")                     \
+  X(kClientRedos, "client.redos")                                            \
+  X(kClientResizes, "client.resizes")                                        \
+  X(kClientResizesInPlace, "client.resizes_in_place")                        \
+  X(kClientRestartDeferrals, "client.restart_deferrals")                     \
+  X(kClientRestarts, "client.restarts")                                      \
+  X(kClientSavepoints, "client.savepoints")                                  \
+  X(kClientTxnBegins, "client.txn_begins")                                   \
+  X(kClientUndos, "client.undos")                                            \
+  X(kClientWalForcesOnReplace, "client.wal_forces_on_replace")               \
+  X(kClientWrites, "client.writes")                                          \
+  X(kFaultInjected, "fault.injected")                                        \
+  X(kServerAllocations, "server.allocations")                                \
+  X(kServerBatchCallbackItems, "server.batch_callback_items")                \
+  X(kServerBatchCallbackRequests, "server.batch_callback_requests")          \
+  X(kServerCallbacksDenied, "server.callbacks_denied")                       \
+  X(kServerCallbacksObject, "server.callbacks_object")                       \
+  X(kServerCallbacksPage, "server.callbacks_page")                           \
+  X(kServerCheckpoints, "server.checkpoints")                                \
+  X(kServerCommitLogShips, "server.commit_log_ships")                        \
+  X(kServerCommitPageShips, "server.commit_page_ships")                      \
+  X(kServerCoordinatedPageRecoveries, "server.coordinated_page_recoveries")  \
+  X(kServerCrashes, "server.crashes")                                        \
+  X(kServerDeallocations, "server.deallocations")                            \
+  X(kServerDeescalations, "server.deescalations")                            \
+  X(kServerDiskReads, "server.disk_reads")                                   \
+  X(kServerDiskWrites, "server.disk_writes")                                 \
+  X(kServerForcePageRequests, "server.force_page_requests")                  \
+  X(kServerLockReleases, "server.lock_releases")                             \
+  X(kServerLockRequests, "server.lock_requests")                             \
+  X(kServerLogPendingHighWater, "server.log_pending_high_water")             \
+  X(kServerOrderedFetches, "server.ordered_fetches")                         \
+  X(kServerPageFetches, "server.page_fetches")                               \
+  X(kServerPagesMerged, "server.pages_merged")                               \
+  X(kServerRecoveryPageFetches, "server.recovery_page_fetches")              \
+  X(kServerReplacementRecords, "server.replacement_records")                 \
+  X(kServerRestarts, "server.restarts")                                      \
+  X(kServerSyncCheckpoints, "server.sync_checkpoints")                       \
+  X(kServerTokenRequests, "server.token_requests")                           \
+  X(kServerTokenTransfers, "server.token_transfers")
+
+enum class Counter : uint16_t {
+#define FINELOG_COUNTER_ENUM(id, name) id,
+  FINELOG_COUNTERS(FINELOG_COUNTER_ENUM)
+#undef FINELOG_COUNTER_ENUM
+      kCount,
+};
+
+inline constexpr size_t kCounterCount = static_cast<size_t>(Counter::kCount);
+
+inline constexpr std::string_view kCounterNames[kCounterCount] = {
+#define FINELOG_COUNTER_NAME(id, name) name,
+    FINELOG_COUNTERS(FINELOG_COUNTER_NAME)
+#undef FINELOG_COUNTER_NAME
+};
+
+constexpr std::string_view CounterName(Counter c) {
+  return kCounterNames[static_cast<size_t>(c)];
+}
+
 class Metrics {
  public:
-  Metrics() = default;
+  Metrics() { dense_.fill(0); }
 
   Metrics(const Metrics&) = delete;
   Metrics& operator=(const Metrics&) = delete;
 
+  // Hot path: dense-array increment, no allocation.
+  void Add(Counter c, uint64_t delta = 1) {
+    dense_[static_cast<size_t>(c)] += delta;
+  }
+
+  // High-water tracking: keeps the largest value ever reported.
+  void SetMax(Counter c, uint64_t value) {
+    uint64_t& slot = dense_[static_cast<size_t>(c)];
+    if (value > slot) slot = value;
+  }
+
+  uint64_t Get(Counter c) const { return dense_[static_cast<size_t>(c)]; }
+
+  // Compatibility path for dynamically named counters ("fault.<point>").
+  // Interned names resolve to the dense array so both views agree.
   void Add(const std::string& name, uint64_t delta = 1) {
-    counters_[name] += delta;
+    if (const Counter* c = Lookup(name)) {
+      Add(*c, delta);
+      return;
+    }
+    dynamic_[name] += delta;
   }
 
   uint64_t Get(const std::string& name) const {
-    auto it = counters_.find(name);
-    return it == counters_.end() ? 0 : it->second;
+    if (const Counter* c = Lookup(name)) return Get(*c);
+    auto it = dynamic_.find(name);
+    return it == dynamic_.end() ? 0 : it->second;
   }
 
-  const std::map<std::string, uint64_t>& counters() const { return counters_; }
+  // Name-ordered view of every nonzero counter (interned and dynamic), for
+  // snapshot diffing and enumeration. Zero-valued interned counters are
+  // omitted so the view matches what a purely string-keyed registry would
+  // have recorded.
+  std::map<std::string, uint64_t> counters() const {
+    std::map<std::string, uint64_t> out(dynamic_.begin(), dynamic_.end());
+    for (size_t i = 0; i < kCounterCount; ++i) {
+      if (dense_[i] != 0) out.emplace(std::string(kCounterNames[i]), dense_[i]);
+    }
+    return out;
+  }
 
-  void Reset() { counters_.clear(); }
+  void Reset() {
+    dense_.fill(0);
+    dynamic_.clear();
+  }
 
   // Snapshot for before/after diffing in benchmarks.
-  std::map<std::string, uint64_t> Snapshot() const { return counters_; }
+  std::map<std::string, uint64_t> Snapshot() const { return counters(); }
 
  private:
-  std::map<std::string, uint64_t> counters_;
+  // Name -> interned counter; built once, used only by the string-keyed
+  // compatibility overloads.
+  static const Counter* Lookup(const std::string& name) {
+    static const std::map<std::string, Counter, std::less<>> index = [] {
+      std::map<std::string, Counter, std::less<>> m;
+      for (size_t i = 0; i < kCounterCount; ++i) {
+        m.emplace(std::string(kCounterNames[i]), static_cast<Counter>(i));
+      }
+      return m;
+    }();
+    auto it = index.find(name);
+    return it == index.end() ? nullptr : &it->second;
+  }
+
+  std::array<uint64_t, kCounterCount> dense_;
+  std::map<std::string, uint64_t> dynamic_;
 };
 
 }  // namespace finelog

@@ -324,6 +324,97 @@ TEST(CrashSweepTest, EveryCrashPointRecovers) {
   EXPECT_TRUE(server_disk) << "no server-disk crash point swept";
 }
 
+// Group commit under fire: a crash inside the one force that covers a whole
+// commit group must leave every member transaction all-or-nothing, and the
+// transactions that did survive must form a prefix of the group's commit
+// order (their records entered the log sequentially, and a torn force
+// persists a prefix of the pending buffer). Swept over all fault actions and
+// several torn-write cut fractions.
+TEST(CrashSweepTest, GroupedForceCrashIsAtomicPerTransaction) {
+  struct Case {
+    FaultAction action;
+    double cut;
+  };
+  constexpr Case kCases[] = {{FaultAction::kTornWrite, 0.15},
+                             {FaultAction::kTornWrite, 0.4},
+                             {FaultAction::kTornWrite, 0.6},
+                             {FaultAction::kTornWrite, 0.85},
+                             {FaultAction::kError, 0.5},
+                             {FaultAction::kShortWrite, 0.5}};
+  int case_idx = 0;
+  for (const Case& cs : kCases) {
+    SCOPED_TRACE(std::string(FaultActionName(cs.action)) + " cut " +
+                 std::to_string(cs.cut));
+    FaultInjector injector;
+    SystemConfig config = SweepConfig(
+        MakeTempDir("sweep_group_" + std::to_string(case_idx++)), &injector);
+    config.num_clients = 1;
+    config.client_cache_pages = 16;  // No eviction forces mid-group.
+    config.group_commit_window = 1000ull * 1000 * 1000;
+    config.group_commit_max_txns = 4;
+    auto system = System::Create(config).value();
+    Client& c = system->client(0);
+    injector.ResetCounts();
+    injector.ArmPoint("client0.log.force", 1, cs.action, cs.cut);
+
+    // Four transactions, two objects each; the 4th commit closes the group
+    // and runs into the armed fault.
+    auto oid = [](int t, SlotId slot) {
+      return ObjectId{static_cast<PageId>(t), slot};
+    };
+    auto value = [&](int t) { return std::string(config.object_size, 'A' + t); };
+    for (int t = 0; t < 4; ++t) {
+      TxnId txn = c.Begin().value();
+      ASSERT_TRUE(c.Write(txn, oid(t, 0), value(t)).ok());
+      ASSERT_TRUE(c.Write(txn, oid(t, 1), value(t)).ok());
+      Status st = c.Commit(txn);
+      if (t < 3) {
+        ASSERT_TRUE(st.ok()) << st.ToString();
+        EXPECT_EQ(c.log().force_count(), 0u);  // Still deferred.
+      } else {
+        EXPECT_FALSE(st.ok()) << "grouped force should have failed";
+      }
+    }
+    ASSERT_TRUE(injector.triggered());
+
+    ASSERT_TRUE(system->CrashClient(0).ok());
+    ASSERT_TRUE(system->CrashServer().ok());
+    ASSERT_TRUE(system->RecoverAll().ok());
+
+    // Each transaction either committed whole (both objects carry its value)
+    // or vanished whole (both carry the preloaded zero fill), and the
+    // committed ones form a prefix of the commit order.
+    const std::string preloaded(config.object_size, '\0');
+    bool lost_seen = false;
+    for (int t = 0; t < 4; ++t) {
+      auto got0 = ProbeRead(system.get(), oid(t, 0));
+      auto got1 = ProbeRead(system.get(), oid(t, 1));
+      ASSERT_TRUE(got0.ok()) << got0.status().ToString();
+      ASSERT_TRUE(got1.ok()) << got1.status().ToString();
+      bool committed0 = got0.value() == value(t);
+      bool committed1 = got1.value() == value(t);
+      EXPECT_EQ(committed0, committed1) << "txn " << t << " torn in half";
+      if (!committed0) {
+        EXPECT_EQ(got0.value(), preloaded);
+      }
+      if (!committed1) {
+        EXPECT_EQ(got1.value(), preloaded);
+      }
+      if (committed0) {
+        EXPECT_FALSE(lost_seen)
+            << "txn " << t << " survived after an earlier group member was "
+            << "lost -- durable commits must form a prefix";
+      } else {
+        lost_seen = true;
+      }
+    }
+    // A clean EIO leaves no bytes behind: the whole group must be gone.
+    if (cs.action == FaultAction::kError) {
+      EXPECT_TRUE(lost_seen);
+    }
+  }
+}
+
 // Picks up to `max` evenly spaced 1-based hit indices whose traced point
 // satisfies `pred`.
 template <typename Pred>

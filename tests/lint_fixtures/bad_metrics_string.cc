@@ -1,0 +1,14 @@
+// Seeded violation for the metrics-string-key rule: a pure string-literal
+// counter key bypasses the interned Counter enum and pays a map lookup plus
+// a string construction on every increment. `"fault." + point` style dynamic
+// names stay legal -- only whole-literal keys are flagged.
+
+#include "util/metrics.h"
+
+namespace finelog {
+
+void BadMetricsKey(Metrics* metrics) {
+  metrics->Add("client.brand_new_counter");
+}
+
+}  // namespace finelog
