@@ -11,10 +11,10 @@ namespace finelog {
 Result<std::unique_ptr<Client>> Client::Create(ClientId id,
                                                const SystemConfig& config,
                                                ServerEndpoint* server,
-                                               Channel* channel,
+                                               Channel* channel, Rpc* rpc,
                                                Metrics* metrics) {
   auto client = std::unique_ptr<Client>(
-      new Client(id, config, server, channel, metrics));
+      new Client(id, config, server, channel, rpc, metrics));
   FINELOG_ASSIGN_OR_RETURN(
       client->log_,
       LogManager::Open(config.dir + "/client" + ToString(id) + ".log",

@@ -27,6 +27,7 @@
 #include "lock/llm.h"
 #include "log/log_manager.h"
 #include "net/channel.h"
+#include "net/rpc.h"
 #include "net/endpoints.h"
 #include "util/metrics.h"
 
@@ -40,7 +41,7 @@ class Client : public ClientEndpoint {
   static Result<std::unique_ptr<Client>> Create(ClientId id,
                                                 const SystemConfig& config,
                                                 ServerEndpoint* server,
-                                                Channel* channel,
+                                                Channel* channel, Rpc* rpc,
                                                 Metrics* metrics);
 
   ClientId id() const { return id_; }
@@ -178,9 +179,9 @@ class Client : public ClientEndpoint {
   };
 
   Client(ClientId id, const SystemConfig& config, ServerEndpoint* server,
-         Channel* channel, Metrics* metrics)
+         Channel* channel, Rpc* rpc, Metrics* metrics)
       : id_(id), config_(config), server_(server), channel_(channel),
-        metrics_(metrics) {}
+        rpc_(rpc), metrics_(metrics) {}
 
   Result<Txn*> GetActiveTxn(TxnId txn);
 
@@ -287,6 +288,7 @@ class Client : public ClientEndpoint {
   SystemConfig config_;
   ServerEndpoint* server_;
   Channel* channel_;
+  Rpc* rpc_;
   Metrics* metrics_;
 
   std::unique_ptr<LogManager> log_;

@@ -273,6 +273,9 @@ Status Client::RunUndo(std::map<TxnId, Txn> losers) {
 
 Status Client::Restart() {
   metrics_->Add(Counter::kClientRestarts);
+  // New session epoch: replies and callbacks addressed to the pre-crash
+  // incarnation are fenced instead of being mistaken for fresh traffic.
+  if (rpc_ != nullptr) rpc_->BumpEpoch(id_);
 
   // Phase 1: analysis.
   FINELOG_ASSIGN_OR_RETURN(AnalysisResult analysis, RunAnalysis());

@@ -45,6 +45,58 @@ enum class SamePageUpdatePolicy {
   kUpdateToken,
 };
 
+// Network fault model (DESIGN.md section 13): message-level drop, duplicate,
+// delay and bounded reorder, all drawn from one seeded RNG so a chaos run is
+// reproducible from its (config, seed) pair. Every knob defaults off; with
+// the defaults a seeded workload is byte-identical to the infallible-network
+// behavior (no RNG draws, no extra clock motion, no extra messages).
+struct NetFaultConfig {
+  // Per-message Bernoulli rates in [0, 1]. A message is first tested for
+  // drop; a surviving message is tested for duplicate, then reorder, then
+  // delay. Each enabled rate draws exactly once per message so the RNG
+  // stream is a deterministic function of the message sequence.
+  double drop_rate = 0.0;
+  double dup_rate = 0.0;
+  double reorder_rate = 0.0;
+  double delay_rate = 0.0;
+
+  // Simulated-clock penalty charged when a delay fault fires.
+  uint64_t delay_us = 2000;
+
+  // A reordered message surfaces again as a stale ghost within this many
+  // subsequent messages.
+  uint32_t reorder_window = 4;
+
+  // RPC policy: a lost leg costs rpc_timeout_us of simulated time, then the
+  // call retries with exponential backoff (base << attempt, capped, plus
+  // seeded jitter) up to max_attempts total attempts.
+  uint64_t rpc_timeout_us = 4000;
+  uint32_t max_attempts = 8;
+  uint64_t backoff_base_us = 500;
+  uint64_t backoff_cap_us = 32000;
+
+  // Bounded per-session reply-dedup cache (entries per direction per peer).
+  uint32_t dedup_cache_size = 16;
+
+  // Seed for the delivery RNG.
+  uint64_t seed = 1;
+
+  // When false (default), recovery-plane traffic (the Rec* endpoints) is
+  // exempt from injected faults so crash recovery itself stays reliable.
+  bool fault_recovery = false;
+
+  // When true, the FaultInjector is consulted at net.<side>.<endpoint>.<op>
+  // points before the rate draws, so tests can arm one-shot deterministic
+  // wire faults. Off by default so existing injector-driven crash sweeps
+  // see an unchanged hit sequence.
+  bool use_fail_points = false;
+
+  bool enabled() const {
+    return drop_rate > 0.0 || dup_rate > 0.0 || reorder_rate > 0.0 ||
+           delay_rate > 0.0 || use_fail_points;
+  }
+};
+
 struct SystemConfig {
   // Topology.
   uint32_t num_clients = 4;
@@ -113,6 +165,9 @@ struct SystemConfig {
   // injector before touching the file, and the armed fault (EIO, torn or
   // short write) fires at the configured hit. Not owned. See util/fault.h.
   FaultInjector* fault_injector = nullptr;
+
+  // Network fault model (tests/harnesses only). All knobs default off.
+  NetFaultConfig net_faults;
 
   // Deliberately broken recovery paths, used by the crash-sweep harness to
   // prove it detects real bugs. Never enable outside self-tests.

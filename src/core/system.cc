@@ -22,10 +22,14 @@ Result<std::unique_ptr<System>> System::Create(const SystemConfig& config) {
   if (config.fault_injector != nullptr) {
     config.fault_injector->AttachMetrics(&system->metrics_);
   }
+  system->rpc_ = std::make_unique<Rpc>(system->channel_.get(),
+                                       &system->metrics_, config.net_faults,
+                                       config.fault_injector);
 
   FINELOG_ASSIGN_OR_RETURN(
       system->server_,
-      Server::Create(config, system->channel_.get(), &system->metrics_));
+      Server::Create(config, system->channel_.get(), system->rpc_.get(),
+                     &system->metrics_));
   bool fresh = system->server_->space_map().allocated_count() == 0;
   if (fresh) {
     FINELOG_RETURN_IF_ERROR(system->server_->Bootstrap(
@@ -37,7 +41,8 @@ Result<std::unique_ptr<System>> System::Create(const SystemConfig& config) {
     FINELOG_ASSIGN_OR_RETURN(
         auto client,
         Client::Create(cid, config, system->server_.get(),
-                       system->channel_.get(), &system->metrics_));
+                       system->channel_.get(), system->rpc_.get(),
+                       &system->metrics_));
     system->server_->RegisterClient(cid, client.get());
     system->clients_.push_back(std::move(client));
   }

@@ -30,6 +30,7 @@
 #include "common/config.h"
 #include "common/result.h"
 #include "net/channel.h"
+#include "net/rpc.h"
 #include "server/server.h"
 #include "util/metrics.h"
 
@@ -51,6 +52,7 @@ class System {
 
   SimClock& clock() { return clock_; }
   Channel& channel() { return *channel_; }
+  Rpc& rpc() { return *rpc_; }
   Metrics& metrics() { return metrics_; }
   const SystemConfig& config() const { return config_; }
 
@@ -78,6 +80,7 @@ class System {
   SimClock clock_;
   Metrics metrics_;
   std::unique_ptr<Channel> channel_;
+  std::unique_ptr<Rpc> rpc_;
   std::unique_ptr<Server> server_;
   std::vector<std::unique_ptr<Client>> clients_;
 };

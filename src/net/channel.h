@@ -49,8 +49,10 @@ class Channel {
     total_messages_ += 1;
     total_items_ += items;
     total_bytes_ += payload_bytes;
+    // Ceiling division: a sub-KB payload still pays for the fraction of a
+    // KB it occupies on the wire instead of rounding down to free.
     clock_->Advance(costs_.msg_latency_us +
-                    (payload_bytes * costs_.per_kb_us) / 1024);
+                    (payload_bytes * costs_.per_kb_us + 1023) / 1024);
   }
 
   const TypeStats& stats(MessageType type) const {

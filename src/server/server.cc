@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "net/rpc.h"
 #include "server/page_merge.h"
 
 namespace finelog {
@@ -12,13 +13,30 @@ namespace {
 // Approximate wire sizes for request/reply accounting.
 constexpr size_t kSmallMsg = 32;
 
+// Builds the CallOptions for one request/reply exchange. `peer` is always
+// the client side of the exchange; `endpoint` is the fail-point stem
+// (net.<side>.<endpoint>.<op>).
+CallOptions MakeOpts(RpcDir dir, const char* endpoint, ClientId peer,
+                     MessageType req_type, uint64_t req_items,
+                     uint64_t req_bytes, bool recovery_plane = false) {
+  CallOptions opts;
+  opts.dir = dir;
+  opts.endpoint = endpoint;
+  opts.peer = peer;
+  opts.req_type = req_type;
+  opts.req_items = req_items;
+  opts.req_bytes = req_bytes;
+  opts.recovery_plane = recovery_plane;
+  return opts;
+}
 
 }  // namespace
 
 Result<std::unique_ptr<Server>> Server::Create(const SystemConfig& config,
-                                               Channel* channel,
+                                               Channel* channel, Rpc* rpc,
                                                Metrics* metrics) {
-  auto server = std::unique_ptr<Server>(new Server(config, channel, metrics));
+  auto server =
+      std::unique_ptr<Server>(new Server(config, channel, rpc, metrics));
   FINELOG_ASSIGN_OR_RETURN(
       server->disk_, DiskManager::Open(config.dir + "/db.pages", config.page_size,
                                        server->DiskIo()));
@@ -142,8 +160,9 @@ Status Server::WritePageToDisk(PageId pid, BufferPool::Frame& frame) {
   for (const DctEntry& e : entries) {
     auto cit = clients_.find(e.client);
     if (cit != clients_.end() && crashed_clients_.count(e.client) == 0) {
-      channel_->Count(MessageType::kFlushNotify, kSmallMsg);
-      cit->second->HandleFlushNotify(pid, e.psn);
+      rpc_->Send(MakeOpts(RpcDir::kServerToClient, "flush_notify", e.client,
+                          MessageType::kFlushNotify, 1, kSmallMsg),
+                 [&] { cit->second->HandleFlushNotify(pid, e.psn); });
     }
     bool holds_x = glm_.HoldsPage(e.client, pid, LockMode::kExclusive);
     if (!holds_x) {
@@ -203,22 +222,28 @@ Status Server::ExecuteCallbacks(
       ++j;
     }
     const size_t n = j - i;
-    channel_->CountBatch(MessageType::kCallbackRequest, n, n * kSmallMsg);
-    if (n > 1) {
-      metrics_->Add(Counter::kServerBatchCallbackRequests);
-      metrics_->Add(Counter::kServerBatchCallbackItems, n);
-    }
-    size_t reply_bytes = 0;
-    size_t answered = 0;
-    Status st;
-    for (size_t k = i; k < j; ++k) {
-      st = ExecuteOneCallback(actions[k], x_callbacks, &reply_bytes);
-      ++answered;
-      if (!st.ok()) break;
-    }
-    // A denial still answers: the reply carries the outcomes produced so far.
-    channel_->CountBatch(MessageType::kCallbackReply, answered, reply_bytes);
-    FINELOG_RETURN_IF_ERROR(st);
+    Status call = rpc_->Call(
+        MakeOpts(RpcDir::kServerToClient, "callback", target,
+                 MessageType::kCallbackRequest, n, n * kSmallMsg),
+        [&](RpcReply* reply) -> Status {
+          if (n > 1) {
+            metrics_->Add(Counter::kServerBatchCallbackRequests);
+            metrics_->Add(Counter::kServerBatchCallbackItems, n);
+          }
+          size_t reply_bytes = 0;
+          size_t answered = 0;
+          Status st;
+          for (size_t k = i; k < j; ++k) {
+            st = ExecuteOneCallback(actions[k], x_callbacks, &reply_bytes);
+            ++answered;
+            if (!st.ok()) break;
+          }
+          // A denial still answers: the reply carries the outcomes produced
+          // so far.
+          reply->SetBatch(MessageType::kCallbackReply, answered, reply_bytes);
+          return st;
+        });
+    FINELOG_RETURN_IF_ERROR(call);
     i = j;
   }
   return Status::OK();
@@ -387,36 +412,47 @@ Status Server::ApplyShippedPage(ClientId client, const ShippedPage& shipped,
 Result<ObjectLockReply> Server::LockObject(ClientId client, ObjectId oid,
                                            LockMode mode, Psn cached_psn) {
   if (crashed_) return Status::Crashed("server down");
-  channel_->Count(MessageType::kLockRequest, kSmallMsg);
-  size_t reply_bytes = kSmallMsg;
-  auto reply = LockObjectInternal(client, oid, mode, cached_psn, &reply_bytes);
-  channel_->Count(MessageType::kLockReply, reply_bytes);
-  return reply;
+  return rpc_->Call(
+      MakeOpts(RpcDir::kClientToServer, "lock_object", client,
+               MessageType::kLockRequest, 1, kSmallMsg),
+      [&](RpcReply* rep) -> Result<ObjectLockReply> {
+        size_t reply_bytes = kSmallMsg;
+        auto reply =
+            LockObjectInternal(client, oid, mode, cached_psn, &reply_bytes);
+        // The reply travels (and is charged) even for a denial.
+        rep->Set(MessageType::kLockReply, reply_bytes);
+        return reply;
+      });
 }
 
 Result<std::vector<ObjectLockOutcome>> Server::LockObjectBatch(
     ClientId client, const std::vector<ObjectLockRequest>& items) {
   if (crashed_) return Status::Crashed("server down");
   if (items.empty()) return std::vector<ObjectLockOutcome>{};
-  channel_->CountBatch(MessageType::kLockRequest, items.size(),
-                       items.size() * kSmallMsg);
-  size_t reply_bytes = 0;
-  std::vector<ObjectLockOutcome> out;
-  out.reserve(items.size());
-  for (const ObjectLockRequest& it : items) {
-    size_t rb = kSmallMsg;
-    auto r = LockObjectInternal(client, it.oid, it.mode, it.cached_psn, &rb);
-    reply_bytes += rb;
-    ObjectLockOutcome o;
-    if (r.ok()) {
-      o.reply = std::move(r.value());
-    } else {
-      o.status = r.status();
-    }
-    out.push_back(std::move(o));
-  }
-  channel_->CountBatch(MessageType::kLockReply, items.size(), reply_bytes);
-  return out;
+  return rpc_->Call(
+      MakeOpts(RpcDir::kClientToServer, "lock_object", client,
+               MessageType::kLockRequest, items.size(),
+               items.size() * kSmallMsg),
+      [&](RpcReply* rep) -> Result<std::vector<ObjectLockOutcome>> {
+        size_t reply_bytes = 0;
+        std::vector<ObjectLockOutcome> out;
+        out.reserve(items.size());
+        for (const ObjectLockRequest& it : items) {
+          size_t rb = kSmallMsg;
+          auto r =
+              LockObjectInternal(client, it.oid, it.mode, it.cached_psn, &rb);
+          reply_bytes += rb;
+          ObjectLockOutcome o;
+          if (r.ok()) {
+            o.reply = std::move(r.value());
+          } else {
+            o.status = r.status();
+          }
+          out.push_back(std::move(o));
+        }
+        rep->SetBatch(MessageType::kLockReply, items.size(), reply_bytes);
+        return out;
+      });
 }
 
 Result<ObjectLockReply> Server::LockObjectInternal(ClientId client,
@@ -502,11 +538,21 @@ Result<ObjectLockReply> Server::LockObjectInternal(ClientId client,
 Result<PageLockReply> Server::LockPage(ClientId client, PageId pid,
                                        LockMode mode, Psn cached_psn) {
   if (crashed_) return Status::Crashed("server down");
-  channel_->Count(MessageType::kLockRequest, kSmallMsg);
+  return rpc_->Call(
+      MakeOpts(RpcDir::kClientToServer, "lock_page", client,
+               MessageType::kLockRequest, 1, kSmallMsg),
+      [&](RpcReply* rep) -> Result<PageLockReply> {
+        return LockPageBody(client, pid, mode, cached_psn, rep);
+      });
+}
+
+Result<PageLockReply> Server::LockPageBody(ClientId client, PageId pid,
+                                           LockMode mode, Psn cached_psn,
+                                           RpcReply* rep) {
   metrics_->Add(Counter::kServerLockRequests);
 
   if (BlockedByCrashedClient(pid, client)) {
-    channel_->Count(MessageType::kLockReply, kSmallMsg);
+    rep->Set(MessageType::kLockReply, kSmallMsg);
     return Status::WouldBlock("page involves a crashed client");
   }
 
@@ -515,12 +561,12 @@ Result<PageLockReply> Server::LockPage(ClientId client, PageId pid,
     std::vector<CallbackAction> actions = glm_.RequiredForPage(client, pid, mode);
     if (actions.empty()) break;
     if (round >= 8) {
-      channel_->Count(MessageType::kLockReply, kSmallMsg);
+      rep->Set(MessageType::kLockReply, kSmallMsg);
       return Status::WouldBlock("lock conflict not resolved");
     }
     Status st = ExecuteCallbacks(actions, &x_callbacks);
     if (!st.ok()) {
-      channel_->Count(MessageType::kLockReply, kSmallMsg);
+      rep->Set(MessageType::kLockReply, kSmallMsg);
       return st;
     }
   }
@@ -528,7 +574,7 @@ Result<PageLockReply> Server::LockPage(ClientId client, PageId pid,
   glm_.GrantPage(client, pid, mode);
   auto frame = GetPage(pid);
   if (!frame.ok()) {
-    channel_->Count(MessageType::kLockReply, kSmallMsg);
+    rep->Set(MessageType::kLockReply, kSmallMsg);
     return frame.status();
   }
   Page& page = frame.value()->page;
@@ -559,38 +605,45 @@ Result<PageLockReply> Server::LockPage(ClientId client, PageId pid,
   // holders just merged their updates into it, and the requester's cached
   // copy (if any) may be stale for objects it holds no locks on.
   reply.page_image = page.raw();
-  channel_->Count(MessageType::kLockReply, kSmallMsg + reply.page_image->size());
+  rep->Set(MessageType::kLockReply, kSmallMsg + reply.page_image->size());
   return reply;
 }
 
 Result<PageFetchReply> Server::FetchPage(ClientId client, PageId pid) {
   if (crashed_) return Status::Crashed("server down");
-  channel_->Count(MessageType::kPageFetch, kSmallMsg);
-  size_t reply_bytes = 0;
-  auto reply = FetchPageInternal(client, pid, &reply_bytes);
-  if (!reply.ok()) return reply.status();
-  channel_->Count(MessageType::kPageReply, reply_bytes);
-  return reply;
+  return rpc_->Call(
+      MakeOpts(RpcDir::kClientToServer, "fetch_page", client,
+               MessageType::kPageFetch, 1, kSmallMsg),
+      [&](RpcReply* rep) -> Result<PageFetchReply> {
+        size_t reply_bytes = 0;
+        auto reply = FetchPageInternal(client, pid, &reply_bytes);
+        if (!reply.ok()) return reply.status();  // Errors send no reply.
+        rep->Set(MessageType::kPageReply, reply_bytes);
+        return reply;
+      });
 }
 
 Result<std::vector<PageFetchReply>> Server::FetchPages(
     ClientId client, const std::vector<PageId>& pids) {
   if (crashed_) return Status::Crashed("server down");
   if (pids.empty()) return std::vector<PageFetchReply>{};
-  channel_->CountBatch(MessageType::kPageFetch, pids.size(),
-                       pids.size() * kSmallMsg);
-  size_t reply_bytes = 0;
-  std::vector<PageFetchReply> out;
-  out.reserve(pids.size());
-  for (PageId pid : pids) {
-    size_t rb = 0;
-    auto r = FetchPageInternal(client, pid, &rb);
-    if (!r.ok()) return r.status();
-    reply_bytes += rb;
-    out.push_back(std::move(r.value()));
-  }
-  channel_->CountBatch(MessageType::kPageReply, pids.size(), reply_bytes);
-  return out;
+  return rpc_->Call(
+      MakeOpts(RpcDir::kClientToServer, "fetch_page", client,
+               MessageType::kPageFetch, pids.size(), pids.size() * kSmallMsg),
+      [&](RpcReply* rep) -> Result<std::vector<PageFetchReply>> {
+        size_t reply_bytes = 0;
+        std::vector<PageFetchReply> out;
+        out.reserve(pids.size());
+        for (PageId pid : pids) {
+          size_t rb = 0;
+          auto r = FetchPageInternal(client, pid, &rb);
+          if (!r.ok()) return r.status();  // Errors send no reply.
+          reply_bytes += rb;
+          out.push_back(std::move(r.value()));
+        }
+        rep->SetBatch(MessageType::kPageReply, pids.size(), reply_bytes);
+        return out;
+      });
 }
 
 Result<PageFetchReply> Server::FetchPageInternal(ClientId client, PageId pid,
@@ -608,10 +661,14 @@ Result<PageFetchReply> Server::FetchPageInternal(ClientId client, PageId pid,
 
 Status Server::ShipPage(ClientId client, const ShippedPage& page) {
   if (crashed_) return Status::Crashed("server down");
-  channel_->Count(MessageType::kPageShip, page.wire_size());
-  FINELOG_RETURN_IF_ERROR(ApplyShippedPage(client, page));
-  channel_->Count(MessageType::kPageShipAck, kSmallMsg);
-  return Status::OK();
+  return rpc_->Call(
+      MakeOpts(RpcDir::kClientToServer, "ship_page", client,
+               MessageType::kPageShip, 1, page.wire_size()),
+      [&](RpcReply* rep) -> Status {
+        FINELOG_RETURN_IF_ERROR(ApplyShippedPage(client, page));
+        rep->Set(MessageType::kPageShipAck, kSmallMsg);
+        return Status::OK();
+      });
 }
 
 Status Server::ShipPages(ClientId client,
@@ -620,63 +677,92 @@ Status Server::ShipPages(ClientId client,
   if (pages.empty()) return Status::OK();
   size_t bytes = 0;
   for (const ShippedPage& p : pages) bytes += p.wire_size();
-  channel_->CountBatch(MessageType::kPageShip, pages.size(), bytes);
-  for (const ShippedPage& p : pages) {
-    FINELOG_RETURN_IF_ERROR(ApplyShippedPage(client, p));
-  }
-  channel_->CountBatch(MessageType::kPageShipAck, pages.size(), kSmallMsg);
-  return Status::OK();
+  return rpc_->Call(
+      MakeOpts(RpcDir::kClientToServer, "ship_page", client,
+               MessageType::kPageShip, pages.size(), bytes),
+      [&](RpcReply* rep) -> Status {
+        for (const ShippedPage& p : pages) {
+          FINELOG_RETURN_IF_ERROR(ApplyShippedPage(client, p));
+        }
+        rep->SetBatch(MessageType::kPageShipAck, pages.size(), kSmallMsg);
+        return Status::OK();
+      });
 }
 
 Result<AllocReply> Server::AllocatePage(ClientId client) {
   if (crashed_) return Status::Crashed("server down");
-  channel_->Count(MessageType::kAllocRequest, kSmallMsg);
-  auto alloc = space_map_->AllocatePage();
-  if (!alloc.ok()) return alloc.status();
-  Page page(config_.page_size);
-  page.Format(alloc.value().page, alloc.value().initial_psn);
-  auto put = pool_->Put(alloc.value().page, page, EvictHandler());
-  if (!put.ok()) return put.status();
-  put.value()->dirty = true;
-  // The allocating client starts with a page-level exclusive lock.
-  glm_.GrantPage(client, alloc.value().page, LockMode::kExclusive);
-  dct_.Insert(alloc.value().page, client, alloc.value().initial_psn);
-  AllocReply reply;
-  reply.page = alloc.value().page;
-  reply.page_image = page.raw();
-  channel_->Count(MessageType::kAllocReply, reply.page_image.size() + kSmallMsg);
-  metrics_->Add(Counter::kServerAllocations);
-  return reply;
+  return rpc_->Call(
+      MakeOpts(RpcDir::kClientToServer, "alloc_page", client,
+               MessageType::kAllocRequest, 1, kSmallMsg),
+      [&](RpcReply* rep) -> Result<AllocReply> {
+        auto alloc = space_map_->AllocatePage();
+        if (!alloc.ok()) return alloc.status();
+        Page page(config_.page_size);
+        page.Format(alloc.value().page, alloc.value().initial_psn);
+        auto put = pool_->Put(alloc.value().page, page, EvictHandler());
+        if (!put.ok()) return put.status();
+        put.value()->dirty = true;
+        // The allocating client starts with a page-level exclusive lock.
+        glm_.GrantPage(client, alloc.value().page, LockMode::kExclusive);
+        dct_.Insert(alloc.value().page, client, alloc.value().initial_psn);
+        AllocReply reply;
+        reply.page = alloc.value().page;
+        reply.page_image = page.raw();
+        rep->Set(MessageType::kAllocReply,
+                 reply.page_image.size() + kSmallMsg);
+        metrics_->Add(Counter::kServerAllocations);
+        return reply;
+      });
 }
 
 Status Server::ForcePage(ClientId client, PageId pid) {
   if (crashed_) return Status::Crashed("server down");
-  channel_->Count(MessageType::kForcePageRequest, kSmallMsg);
-  metrics_->Add(Counter::kServerForcePageRequests);
-  if (BufferPool::Frame* frame = pool_->Get(pid)) {
-    if (frame->dirty) {
-      FINELOG_RETURN_IF_ERROR(WritePageToDisk(pid, *frame));
-    }
-  } else {
-    // Already flushed at eviction time; re-notify so the requester can
-    // advance its DPT even if it missed the original notification.
-    auto entry = dct_.Get(pid, client);
-    auto cit = clients_.find(client);
-    if (cit != clients_.end()) {
-      channel_->Count(MessageType::kFlushNotify, kSmallMsg);
-      cit->second->HandleFlushNotify(pid, entry ? entry->psn : kNullPsn);
-    }
-  }
-  channel_->Count(MessageType::kForcePageReply, kSmallMsg);
-  return Status::OK();
+  return rpc_->Call(
+      MakeOpts(RpcDir::kClientToServer, "force_page", client,
+               MessageType::kForcePageRequest, 1, kSmallMsg),
+      [&](RpcReply* rep) -> Status {
+        metrics_->Add(Counter::kServerForcePageRequests);
+        if (BufferPool::Frame* frame = pool_->Get(pid)) {
+          if (frame->dirty) {
+            FINELOG_RETURN_IF_ERROR(WritePageToDisk(pid, *frame));
+          }
+        } else {
+          // Already flushed at eviction time; re-notify so the requester can
+          // advance its DPT even if it missed the original notification.
+          auto entry = dct_.Get(pid, client);
+          auto cit = clients_.find(client);
+          if (cit != clients_.end()) {
+            rpc_->Send(
+                MakeOpts(RpcDir::kServerToClient, "flush_notify", client,
+                         MessageType::kFlushNotify, 1, kSmallMsg),
+                [&] {
+                  cit->second->HandleFlushNotify(pid,
+                                                 entry ? entry->psn : kNullPsn);
+                });
+          }
+        }
+        rep->Set(MessageType::kForcePageReply, kSmallMsg);
+        return Status::OK();
+      });
 }
 
 Status Server::ReleaseLocks(ClientId client,
                             const std::vector<ObjectId>& objects,
                             const std::vector<PageId>& pages) {
   if (crashed_) return Status::Crashed("server down");
-  channel_->Count(MessageType::kLockRequest,
-                  objects.size() * 8 + pages.size() * 4 + kSmallMsg);
+  return rpc_->Call(
+      MakeOpts(RpcDir::kClientToServer, "release_locks", client,
+               MessageType::kLockRequest,
+               1, objects.size() * 8 + pages.size() * 4 + kSmallMsg),
+      [&](RpcReply* rep) -> Status {
+        return ReleaseLocksBody(client, objects, pages, rep);
+      });
+}
+
+Status Server::ReleaseLocksBody(ClientId client,
+                                const std::vector<ObjectId>& objects,
+                                const std::vector<PageId>& pages,
+                                RpcReply* rep) {
   for (const ObjectId& oid : objects) {
     glm_.ReleaseObject(client, oid);
   }
@@ -699,22 +785,26 @@ Status Server::ReleaseLocks(ClientId client,
       dct_.Remove(e.page, client);
     }
   }
-  channel_->Count(MessageType::kLockReply, kSmallMsg);
+  rep->Set(MessageType::kLockReply, kSmallMsg);
   metrics_->Add(Counter::kServerLockReleases);
   return Status::OK();
 }
 
 Status Server::CommitShipLogs(ClientId client, size_t log_bytes) {
   if (crashed_) return Status::Crashed("server down");
-  (void)client;
-  channel_->Count(MessageType::kCommitShipLogs, log_bytes);
-  // ARIES/CSA: the server forces the shipped records to its log before
-  // acknowledging. The records themselves are not interpreted (the client
-  // retains its own copy); only the durability cost is modelled.
-  channel_->clock()->Advance(channel_->costs().log_force_us);
-  metrics_->Add(Counter::kServerCommitLogShips);
-  channel_->Count(MessageType::kCommitAck, kSmallMsg);
-  return Status::OK();
+  return rpc_->Call(
+      MakeOpts(RpcDir::kClientToServer, "commit_ship_logs", client,
+               MessageType::kCommitShipLogs, 1, log_bytes),
+      [&](RpcReply* rep) -> Status {
+        // ARIES/CSA: the server forces the shipped records to its log before
+        // acknowledging. The records themselves are not interpreted (the
+        // client retains its own copy); only the durability cost is
+        // modelled.
+        channel_->clock()->Advance(channel_->costs().log_force_us);
+        metrics_->Add(Counter::kServerCommitLogShips);
+        rep->Set(MessageType::kCommitAck, kSmallMsg);
+        return Status::OK();
+      });
 }
 
 Status Server::CommitShipPages(ClientId client,
@@ -722,38 +812,59 @@ Status Server::CommitShipPages(ClientId client,
   if (crashed_) return Status::Crashed("server down");
   size_t bytes = 0;
   for (const ShippedPage& p : pages) bytes += p.wire_size();
-  channel_->Count(MessageType::kCommitShipPages, bytes);
-  for (const ShippedPage& p : pages) {
-    FINELOG_RETURN_IF_ERROR(ApplyShippedPage(client, p));
-  }
-  channel_->clock()->Advance(channel_->costs().log_force_us);
-  metrics_->Add(Counter::kServerCommitPageShips);
-  channel_->Count(MessageType::kCommitAck, kSmallMsg);
-  return Status::OK();
+  return rpc_->Call(
+      MakeOpts(RpcDir::kClientToServer, "commit_ship_pages", client,
+               MessageType::kCommitShipPages, 1, bytes),
+      [&](RpcReply* rep) -> Status {
+        for (const ShippedPage& p : pages) {
+          FINELOG_RETURN_IF_ERROR(ApplyShippedPage(client, p));
+        }
+        channel_->clock()->Advance(channel_->costs().log_force_us);
+        metrics_->Add(Counter::kServerCommitPageShips);
+        rep->Set(MessageType::kCommitAck, kSmallMsg);
+        return Status::OK();
+      });
 }
 
 Result<TokenReply> Server::AcquireToken(ClientId client, PageId pid) {
   if (crashed_) return Status::Crashed("server down");
-  channel_->Count(MessageType::kTokenRequest, kSmallMsg);
+  return rpc_->Call(
+      MakeOpts(RpcDir::kClientToServer, "acquire_token", client,
+               MessageType::kTokenRequest, 1, kSmallMsg),
+      [&](RpcReply* rep) -> Result<TokenReply> {
+        return AcquireTokenBody(client, pid, rep);
+      });
+}
+
+Result<TokenReply> Server::AcquireTokenBody(ClientId client, PageId pid,
+                                            RpcReply* rep) {
   metrics_->Add(Counter::kServerTokenRequests);
   auto it = token_holder_.find(pid);
   if (it != token_holder_.end() && it->second == client) {
-    channel_->Count(MessageType::kTokenReply, kSmallMsg);
+    rep->Set(MessageType::kTokenReply, kSmallMsg);
     return TokenReply{};
   }
   if (it != token_holder_.end()) {
     ClientId holder = it->second;
     if (crashed_clients_.count(holder) > 0) {
-      channel_->Count(MessageType::kTokenReply, kSmallMsg);
+      rep->Set(MessageType::kTokenReply, kSmallMsg);
       return Status::WouldBlock("token holder crashed");
     }
-    channel_->Count(MessageType::kTokenRecall, kSmallMsg);
-    auto shipped = clients_.at(holder)->HandleTokenRecall(pid);
+    auto shipped = rpc_->Call(
+        MakeOpts(RpcDir::kServerToClient, "token_recall", holder,
+                 MessageType::kTokenRecall, 1, kSmallMsg),
+        [&](RpcReply* recall_rep) -> Result<ShippedPage> {
+          auto sp = clients_.at(holder)->HandleTokenRecall(pid);
+          if (sp.ok()) {
+            recall_rep->Set(MessageType::kTokenRecallReply,
+                            sp.value().wire_size());
+          }
+          return sp;
+        });
     if (!shipped.ok()) {
-      channel_->Count(MessageType::kTokenReply, kSmallMsg);
+      rep->Set(MessageType::kTokenReply, kSmallMsg);
       return shipped.status();
     }
-    channel_->Count(MessageType::kTokenRecallReply, shipped.value().wire_size());
     if (!shipped.value().image.empty()) {
       FINELOG_RETURN_IF_ERROR(ApplyShippedPage(holder, shipped.value()));
     }
@@ -765,8 +876,8 @@ Result<TokenReply> Server::AcquireToken(ClientId client, PageId pid) {
   if (frame.ok()) {
     reply.page_image = frame.value()->page.raw();
   }
-  channel_->Count(MessageType::kTokenReply,
-                  kSmallMsg + (reply.page_image ? reply.page_image->size() : 0));
+  rep->Set(MessageType::kTokenReply,
+           kSmallMsg + (reply.page_image ? reply.page_image->size() : 0));
   return reply;
 }
 
@@ -788,9 +899,16 @@ Status Server::TakeSynchronizedCheckpoint() {
   // before the checkpoint record is written (Section 4.1).
   for (const auto& [id, ep] : clients_) {
     if (crashed_clients_.count(id) > 0) continue;
-    channel_->Count(MessageType::kCheckpointSync, kSmallMsg);
-    FINELOG_RETURN_IF_ERROR(ep->HandleCheckpointSync());
-    channel_->Count(MessageType::kCheckpointSyncReply, kSmallMsg);
+    ClientEndpoint* endpoint = ep;
+    Status st = rpc_->Call(
+        MakeOpts(RpcDir::kServerToClient, "checkpoint_sync", id,
+                 MessageType::kCheckpointSync, 1, kSmallMsg),
+        [&](RpcReply* rep) -> Status {
+          FINELOG_RETURN_IF_ERROR(endpoint->HandleCheckpointSync());
+          rep->Set(MessageType::kCheckpointSyncReply, kSmallMsg);
+          return Status::OK();
+        });
+    FINELOG_RETURN_IF_ERROR(st);
   }
   metrics_->Add(Counter::kServerSyncCheckpoints);
   return TakeCheckpoint();
@@ -842,62 +960,88 @@ Status Server::FlushAllPages() {
 
 Result<DctSnapshot> Server::RecGetMyDct(ClientId client) {
   if (crashed_) return Status::Crashed("server down");
-  channel_->Count(MessageType::kRecGetDct, kSmallMsg);
-  DctSnapshot snap;
-  snap.authoritative = dct_authoritative_;
-  snap.entries = dct_.EntriesForClient(client);
-  channel_->Count(MessageType::kRecDctReply,
-                  snap.entries.size() * 24 + kSmallMsg);
-  return snap;
+  return rpc_->Call(
+      MakeOpts(RpcDir::kClientToServer, "rec_get_dct", client,
+               MessageType::kRecGetDct, 1, kSmallMsg, /*recovery_plane=*/true),
+      [&](RpcReply* rep) -> Result<DctSnapshot> {
+        DctSnapshot snap;
+        snap.authoritative = dct_authoritative_;
+        snap.entries = dct_.EntriesForClient(client);
+        rep->Set(MessageType::kRecDctReply,
+                 snap.entries.size() * 24 + kSmallMsg);
+        return snap;
+      });
 }
 
 Result<ClientRecoveryState> Server::RecGetMyXLocks(ClientId client) {
   if (crashed_) return Status::Crashed("server down");
-  channel_->Count(MessageType::kRecXLocksFetch, kSmallMsg);
-  ClientRecoveryState state;
-  for (const ObjectId& oid : glm_.ExclusiveObjectLocksOf(client)) {
-    state.object_locks.emplace_back(oid, LockMode::kExclusive);
-  }
-  for (PageId pid : glm_.ExclusivePageLocksOf(client)) {
-    state.page_locks.emplace_back(pid, LockMode::kExclusive);
-  }
-  channel_->Count(MessageType::kRecXLocksReply,
-                  state.object_locks.size() * 8 + state.page_locks.size() * 8 +
-                      kSmallMsg);
-  return state;
+  return rpc_->Call(
+      MakeOpts(RpcDir::kClientToServer, "rec_get_xlocks", client,
+               MessageType::kRecXLocksFetch, 1, kSmallMsg,
+               /*recovery_plane=*/true),
+      [&](RpcReply* rep) -> Result<ClientRecoveryState> {
+        ClientRecoveryState state;
+        for (const ObjectId& oid : glm_.ExclusiveObjectLocksOf(client)) {
+          state.object_locks.emplace_back(oid, LockMode::kExclusive);
+        }
+        for (PageId pid : glm_.ExclusivePageLocksOf(client)) {
+          state.page_locks.emplace_back(pid, LockMode::kExclusive);
+        }
+        rep->Set(MessageType::kRecXLocksReply,
+                 state.object_locks.size() * 8 + state.page_locks.size() * 8 +
+                     kSmallMsg);
+        return state;
+      });
 }
 
 Result<ClientRecoveryState> Server::RecInstallLocks(
     ClientId client, const std::vector<ObjectId>& objects,
     const std::vector<PageId>& pages) {
   if (crashed_) return Status::Crashed("server down");
-  channel_->Count(MessageType::kRecXLocksFetch,
-                  objects.size() * 8 + pages.size() * 8 + kSmallMsg);
-  ClientRecoveryState accepted;
-  for (const ObjectId& oid : objects) {
-    // A conflicting lock held by another client proves this claim is an
-    // over-claim (the crashed client's lock was called back or downgraded
-    // before the failure).
-    if (!glm_.RequiredForObject(client, oid, LockMode::kExclusive).empty()) {
-      continue;
-    }
-    glm_.GrantObject(client, oid, LockMode::kExclusive);
-    accepted.object_locks.emplace_back(oid, LockMode::kExclusive);
-  }
-  for (PageId pid : pages) {
-    if (!glm_.RequiredForPage(client, pid, LockMode::kExclusive).empty()) {
-      continue;
-    }
-    glm_.GrantPage(client, pid, LockMode::kExclusive);
-    accepted.page_locks.emplace_back(pid, LockMode::kExclusive);
-  }
-  channel_->Count(MessageType::kRecXLocksReply, kSmallMsg);
-  return accepted;
+  return rpc_->Call(
+      MakeOpts(RpcDir::kClientToServer, "rec_install_locks", client,
+               MessageType::kRecXLocksFetch, 1,
+               objects.size() * 8 + pages.size() * 8 + kSmallMsg,
+               /*recovery_plane=*/true),
+      [&](RpcReply* rep) -> Result<ClientRecoveryState> {
+        ClientRecoveryState accepted;
+        for (const ObjectId& oid : objects) {
+          // A conflicting lock held by another client proves this claim is
+          // an over-claim (the crashed client's lock was called back or
+          // downgraded before the failure).
+          if (!glm_.RequiredForObject(client, oid, LockMode::kExclusive)
+                   .empty()) {
+            continue;
+          }
+          glm_.GrantObject(client, oid, LockMode::kExclusive);
+          accepted.object_locks.emplace_back(oid, LockMode::kExclusive);
+        }
+        for (PageId pid : pages) {
+          if (!glm_.RequiredForPage(client, pid, LockMode::kExclusive)
+                   .empty()) {
+            continue;
+          }
+          glm_.GrantPage(client, pid, LockMode::kExclusive);
+          accepted.page_locks.emplace_back(pid, LockMode::kExclusive);
+        }
+        rep->Set(MessageType::kRecXLocksReply, kSmallMsg);
+        return accepted;
+      });
 }
 
 Result<PageFetchReply> Server::RecFetchPage(ClientId client, PageId pid) {
   if (crashed_) return Status::Crashed("server down");
-  channel_->Count(MessageType::kRecPageFetch, kSmallMsg);
+  return rpc_->Call(
+      MakeOpts(RpcDir::kClientToServer, "rec_fetch_page", client,
+               MessageType::kRecPageFetch, 1, kSmallMsg,
+               /*recovery_plane=*/true),
+      [&](RpcReply* rep) -> Result<PageFetchReply> {
+        return RecFetchPageBody(client, pid, rep);
+      });
+}
+
+Result<PageFetchReply> Server::RecFetchPageBody(ClientId client, PageId pid,
+                                                RpcReply* rep) {
   metrics_->Add(Counter::kServerRecoveryPageFetches);
   PageFetchReply reply;
   auto frame = GetPage(pid);
@@ -930,27 +1074,34 @@ Result<PageFetchReply> Server::RecFetchPage(ClientId client, PageId pid) {
       reply.dct_psn = base.ok() ? base.value() : kNullPsn;
     }
   }
-  channel_->Count(MessageType::kRecPageReply, reply.page_image.size() + kSmallMsg);
+  rep->Set(MessageType::kRecPageReply, reply.page_image.size() + kSmallMsg);
   return reply;
 }
 
 Status Server::RecComplete(ClientId client) {
   if (crashed_) return Status::Crashed("server down");
-  channel_->Count(MessageType::kRecGetDct, kSmallMsg);
-  crashed_clients_.erase(client);
-  if (crashed_clients_.empty()) dct_authoritative_ = true;
-  // Retry page recoveries that were waiting on this client (Section 3.5).
-  std::vector<std::pair<ClientId, PageId>> pending;
-  pending.swap(deferred_recoveries_);
-  for (const auto& [c, p] : pending) {
-    Status st = CoordinatePageRecovery(p, c);
-    if (st.IsCrashed() || st.IsWouldBlock()) {
-      deferred_recoveries_.emplace_back(c, p);
-    } else if (!st.ok()) {
-      return st;
-    }
-  }
-  return Status::OK();
+  // Request-only exchange: completion is announced, never acknowledged.
+  return rpc_->Call(
+      MakeOpts(RpcDir::kClientToServer, "rec_complete", client,
+               MessageType::kRecGetDct, 1, kSmallMsg,
+               /*recovery_plane=*/true),
+      [&](RpcReply*) -> Status {
+        crashed_clients_.erase(client);
+        if (crashed_clients_.empty()) dct_authoritative_ = true;
+        // Retry page recoveries that were waiting on this client
+        // (Section 3.5).
+        std::vector<std::pair<ClientId, PageId>> pending;
+        pending.swap(deferred_recoveries_);
+        for (const auto& [c, p] : pending) {
+          Status st = CoordinatePageRecovery(p, c);
+          if (st.IsCrashed() || st.IsWouldBlock()) {
+            deferred_recoveries_.emplace_back(c, p);
+          } else if (!st.ok()) {
+            return st;
+          }
+        }
+        return Status::OK();
+      });
 }
 
 }  // namespace finelog

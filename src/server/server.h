@@ -30,15 +30,19 @@
 
 namespace finelog {
 
+class Rpc;
+class RpcReply;
+
 class Server : public ServerEndpoint {
  public:
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
   // Creates the server over `config.dir` (database file, space map, server
-  // log). `channel` and `metrics` are owned by the caller (core::System).
+  // log). `channel`, `rpc` and `metrics` are owned by the caller
+  // (core::System). Every request/reply exchange is accounted through `rpc`.
   static Result<std::unique_ptr<Server>> Create(const SystemConfig& config,
-                                                Channel* channel,
+                                                Channel* channel, Rpc* rpc,
                                                 Metrics* metrics);
 
   // Wiring ------------------------------------------------------------------
@@ -126,8 +130,9 @@ class Server : public ServerEndpoint {
   uint64_t disk_writes() const { return disk_writes_; }
 
  private:
-  Server(const SystemConfig& config, Channel* channel, Metrics* metrics)
-      : config_(config), channel_(channel), metrics_(metrics) {}
+  Server(const SystemConfig& config, Channel* channel, Rpc* rpc,
+         Metrics* metrics)
+      : config_(config), channel_(channel), rpc_(rpc), metrics_(metrics) {}
 
   // Fault-injection I/O options for the database disk and the server log,
   // derived from config_ (used at Create and at every post-crash reopen).
@@ -172,6 +177,22 @@ class Server : public ServerEndpoint {
   Result<PageFetchReply> FetchPageInternal(ClientId client, PageId pid,
                                            size_t* reply_bytes);
 
+  // Endpoint bodies run inside the RPC chokepoint; each records its reply
+  // message (granted or denied) through `rep`.
+  Result<PageLockReply> LockPageBody(ClientId client, PageId pid,
+                                     LockMode mode, Psn cached_psn,
+                                     RpcReply* rep);
+  Status ReleaseLocksBody(ClientId client,
+                          const std::vector<ObjectId>& objects,
+                          const std::vector<PageId>& pages, RpcReply* rep);
+  Result<TokenReply> AcquireTokenBody(ClientId client, PageId pid,
+                                      RpcReply* rep);
+  Result<PageFetchReply> RecFetchPageBody(ClientId client, PageId pid,
+                                          RpcReply* rep);
+  Result<PageFetchReply> RecOrderedFetchBody(ClientId client, PageId pid,
+                                             ClientId other, Psn psn,
+                                             RpcReply* rep);
+
   // Merges a shipped page into the server copy and updates the DCT.
   // `update_dct_psn` is false for restart cache pulls: they overlay only the
   // sender's currently-held authority, so the sender's cached PSN must not
@@ -193,7 +214,8 @@ class Server : public ServerEndpoint {
                                                              ClientId client);
 
   SystemConfig config_;
-  Channel* channel_;
+  Channel* channel_;  // Clock/cost charges only; message counting goes via rpc_.
+  Rpc* rpc_;
   Metrics* metrics_;
 
   std::unique_ptr<DiskManager> disk_;

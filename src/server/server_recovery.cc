@@ -22,12 +22,30 @@
 
 #include <algorithm>
 
+#include "net/rpc.h"
 #include "server/page_merge.h"
 
 namespace finelog {
 
 namespace {
+
 constexpr size_t kSmallMsg = 32;
+
+// Recovery-plane exchanges: exempt from injected wire faults unless the
+// config opts recovery traffic in (NetFaultConfig::fault_recovery).
+CallOptions RecOpts(RpcDir dir, const char* endpoint, ClientId peer,
+                    MessageType req_type, uint64_t req_bytes) {
+  CallOptions opts;
+  opts.dir = dir;
+  opts.endpoint = endpoint;
+  opts.peer = peer;
+  opts.req_type = req_type;
+  opts.req_items = 1;
+  opts.req_bytes = req_bytes;
+  opts.recovery_plane = true;
+  return opts;
+}
+
 }  // namespace
 
 Status Server::Restart() {
@@ -48,15 +66,24 @@ Status Server::Restart() {
       if (cached.count(d.page) == 0) continue;
       auto suppress = CollectCallbackList(d.page, cid);
       if (!suppress.ok()) return suppress.status();
-      channel_->Count(MessageType::kRecFetchCachedPage, kSmallMsg);
-      auto shipped =
-          clients_.at(cid)->HandleRecFetchCachedPage(d.page, suppress.value());
+      const ClientId owner = cid;
+      const PageId page = d.page;
+      auto shipped = rpc_->Call(
+          RecOpts(RpcDir::kServerToClient, "rec_fetch_cached_page", owner,
+                  MessageType::kRecFetchCachedPage, kSmallMsg),
+          [&](RpcReply* rep) -> Result<ShippedPage> {
+            auto sp = clients_.at(owner)->HandleRecFetchCachedPage(
+                page, suppress.value());
+            if (sp.ok()) {
+              rep->Set(MessageType::kRecCachedPageReply,
+                       sp.value().wire_size());
+            }
+            return sp;
+          });
       if (!shipped.ok()) {
         if (shipped.status().IsNotFound()) continue;
         return shipped.status();
       }
-      channel_->Count(MessageType::kRecCachedPageReply,
-                      shipped.value().wire_size());
       FINELOG_RETURN_IF_ERROR(
           ApplyShippedPage(cid, shipped.value(), /*update_dct_psn=*/false));
     }
@@ -80,13 +107,21 @@ Status Server::RebuildGlmAndCollectState(
     std::map<ClientId, ClientRecoveryState>* states) {
   for (const auto& [cid, ep] : clients_) {
     if (crashed_clients_.count(cid) > 0) continue;
-    channel_->Count(MessageType::kRecGetDpt, kSmallMsg);
-    auto state = ep->HandleRecGetState();
+    ClientEndpoint* endpoint = ep;
+    auto state = rpc_->Call(
+        RecOpts(RpcDir::kServerToClient, "rec_get_state", cid,
+                MessageType::kRecGetDpt, kSmallMsg),
+        [&](RpcReply* rep) -> Result<ClientRecoveryState> {
+          auto s = endpoint->HandleRecGetState();
+          if (s.ok()) {
+            rep->Set(MessageType::kRecDptReply,
+                     s.value().dpt.size() * 12 +
+                         s.value().cached_pages.size() * 4 +
+                         s.value().object_locks.size() * 8 + kSmallMsg);
+          }
+          return s;
+        });
     if (!state.ok()) return state.status();
-    channel_->Count(
-        MessageType::kRecDptReply,
-        state.value().dpt.size() * 12 + state.value().cached_pages.size() * 4 +
-            state.value().object_locks.size() * 8 + kSmallMsg);
     for (const auto& [oid, mode] : state.value().object_locks) {
       glm_.GrantObject(cid, oid, mode);
     }
@@ -206,11 +241,19 @@ Result<std::vector<CallbackListEntry>> Server::CollectCallbackList(
     // Crashed clients are scanned too: callback records live in the durable
     // private log, which is readable without the client's volatile state
     // (Section 2 allows any node with access to a log to process it).
-    channel_->Count(MessageType::kRecScanCallbacks, kSmallMsg);
-    auto entries = ep->HandleRecScanCallbacks(pid, client);
+    ClientEndpoint* endpoint = ep;
+    auto entries = rpc_->Call(
+        RecOpts(RpcDir::kServerToClient, "rec_scan_callbacks", cid,
+                MessageType::kRecScanCallbacks, kSmallMsg),
+        [&](RpcReply* rep) -> Result<std::vector<CallbackListEntry>> {
+          auto e = endpoint->HandleRecScanCallbacks(pid, client);
+          if (e.ok()) {
+            rep->Set(MessageType::kRecCallbacksReply,
+                     e.value().size() * 16 + kSmallMsg);
+          }
+          return e;
+        });
     if (!entries.ok()) return entries.status();
-    channel_->Count(MessageType::kRecCallbacksReply,
-                    entries.value().size() * 16 + kSmallMsg);
     for (const CallbackListEntry& e : entries.value()) {
       auto [it, inserted] = merged.try_emplace(e.object, e.psn);
       if (!inserted) it->second = std::max(it->second, e.psn);
@@ -247,10 +290,17 @@ Status Server::CoordinatePageRecovery(PageId pid, ClientId client) {
   auto entry = dct_.Get(pid, client);
   Psn base_psn = (entry && entry->psn != kNullPsn) ? entry->psn : kNullPsn;
 
-  channel_->Count(MessageType::kRecRecoverPage, base_image.size() + kSmallMsg);
-  Status st = clients_.at(client)->HandleRecRecoverPage(
-      pid, list.value(), base_image, base_psn, kNullPsn);
-  channel_->Count(MessageType::kRecRecoverPageReply, kSmallMsg);
+  Status st = rpc_->Call(
+      RecOpts(RpcDir::kServerToClient, "rec_recover_page", client,
+              MessageType::kRecRecoverPage, base_image.size() + kSmallMsg),
+      [&](RpcReply* rep) -> Status {
+        Status s = clients_.at(client)->HandleRecRecoverPage(
+            pid, list.value(), base_image, base_psn, kNullPsn);
+        // The completion reply is sent (and counted) even when replay fails:
+        // the client reports the failure back to the coordinator.
+        rep->Set(MessageType::kRecRecoverPageReply, kSmallMsg);
+        return s;
+      });
   metrics_->Add(Counter::kServerCoordinatedPageRecoveries);
   return st;
 }
@@ -258,18 +308,32 @@ Status Server::CoordinatePageRecovery(PageId pid, ClientId client) {
 Result<std::vector<CallbackListEntry>> Server::RecGetCallbackList(
     ClientId client, PageId pid) {
   if (crashed_) return Status::Crashed("server down");
-  channel_->Count(MessageType::kRecScanCallbacks, kSmallMsg);
-  auto list = CollectCallbackList(pid, client);
-  if (list.ok()) {
-    channel_->Count(MessageType::kRecCallbacksReply,
-                    list.value().size() * 16 + kSmallMsg);
-  }
-  return list;
+  return rpc_->Call(
+      RecOpts(RpcDir::kClientToServer, "rec_get_callback_list", client,
+              MessageType::kRecScanCallbacks, kSmallMsg),
+      [&](RpcReply* rep) -> Result<std::vector<CallbackListEntry>> {
+        auto list = CollectCallbackList(pid, client);
+        if (list.ok()) {
+          rep->Set(MessageType::kRecCallbacksReply,
+                   list.value().size() * 16 + kSmallMsg);
+        }
+        return list;
+      });
 }
 
 Result<PageFetchReply> Server::RecOrderedFetch(ClientId client, PageId pid,
                                                ClientId other, Psn psn) {
-  channel_->Count(MessageType::kRecOrderedFetch, kSmallMsg);
+  return rpc_->Call(
+      RecOpts(RpcDir::kClientToServer, "rec_ordered_fetch", client,
+              MessageType::kRecOrderedFetch, kSmallMsg),
+      [&](RpcReply* rep) -> Result<PageFetchReply> {
+        return RecOrderedFetchBody(client, pid, other, psn, rep);
+      });
+}
+
+Result<PageFetchReply> Server::RecOrderedFetchBody(ClientId client, PageId pid,
+                                                   ClientId other, Psn psn,
+                                                   RpcReply* rep) {
   metrics_->Add(Counter::kServerOrderedFetches);
 
   auto entry = dct_.Get(pid, other);
@@ -282,7 +346,7 @@ Result<PageFetchReply> Server::RecOrderedFetch(ClientId client, PageId pid,
       // client restarts. Page granularity instead runs the responder's
       // replay below even while it is down -- its session reads only the
       // durable log (Section 3.4 partial recovery).
-      channel_->Count(MessageType::kRecOrderedFetchReply, kSmallMsg);
+      rep->Set(MessageType::kRecOrderedFetchReply, kSmallMsg);
       return Status::Crashed("ordering dependency on crashed client");
     }
     auto oit = clients_.find(other);
@@ -292,12 +356,19 @@ Result<PageFetchReply> Server::RecOrderedFetch(ClientId client, PageId pid,
     // If `other` still has the page cached, its copy is complete: pull it.
     auto suppress = CollectCallbackList(pid, other);
     if (!suppress.ok()) return suppress.status();
-    channel_->Count(MessageType::kRecFetchCachedPage, kSmallMsg);
-    auto shipped =
-        oit->second->HandleRecFetchCachedPage(pid, suppress.value());
+    ClientEndpoint* responder = oit->second;
+    auto shipped = rpc_->Call(
+        RecOpts(RpcDir::kServerToClient, "rec_fetch_cached_page", other,
+                MessageType::kRecFetchCachedPage, kSmallMsg),
+        [&](RpcReply* irep) -> Result<ShippedPage> {
+          auto sp = responder->HandleRecFetchCachedPage(pid, suppress.value());
+          if (sp.ok()) {
+            irep->Set(MessageType::kRecCachedPageReply,
+                      sp.value().wire_size());
+          }
+          return sp;
+        });
     if (shipped.ok()) {
-      channel_->Count(MessageType::kRecCachedPageReply,
-                      shipped.value().wire_size());
       FINELOG_RETURN_IF_ERROR(
           ApplyShippedPage(other, shipped.value(), /*update_dct_psn=*/false));
     } else if (shipped.status().IsNotFound()) {
@@ -318,11 +389,17 @@ Result<PageFetchReply> Server::RecOrderedFetch(ClientId client, PageId pid,
       }
       auto oentry = dct_.Get(pid, other);
       Psn base_psn = (oentry && oentry->psn != kNullPsn) ? oentry->psn : kNullPsn;
-      channel_->Count(MessageType::kRecRecoverPage,
-                      base_image.size() + kSmallMsg);
-      Status st = oit->second->HandleRecRecoverPage(pid, list.value(),
-                                                    base_image, base_psn, psn);
-      channel_->Count(MessageType::kRecRecoverPageReply, kSmallMsg);
+      Status st = rpc_->Call(
+          RecOpts(RpcDir::kServerToClient, "rec_recover_page", other,
+                  MessageType::kRecRecoverPage, base_image.size() + kSmallMsg),
+          [&](RpcReply* irep) -> Status {
+            Status s = responder->HandleRecRecoverPage(
+                pid, list.value(), base_image, base_psn, psn);
+            // Completion reply is sent even when replay fails (see
+            // CoordinatePageRecovery).
+            irep->Set(MessageType::kRecRecoverPageReply, kSmallMsg);
+            return s;
+          });
       if (!st.ok()) return st;
     } else {
       return shipped.status();
@@ -335,8 +412,8 @@ Result<PageFetchReply> Server::RecOrderedFetch(ClientId client, PageId pid,
   reply.page_image = frame.value()->page.raw();
   auto my_entry = dct_.Get(pid, client);
   reply.dct_psn = my_entry ? my_entry->psn : kNullPsn;
-  channel_->Count(MessageType::kRecOrderedFetchReply,
-                  reply.page_image.size() + kSmallMsg);
+  rep->Set(MessageType::kRecOrderedFetchReply,
+           reply.page_image.size() + kSmallMsg);
   return reply;
 }
 

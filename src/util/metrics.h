@@ -72,6 +72,18 @@ namespace finelog {
   X(kClientWalForcesOnReplace, "client.wal_forces_on_replace")               \
   X(kClientWrites, "client.writes")                                          \
   X(kFaultInjected, "fault.injected")                                        \
+  X(kNetDedupHits, "net.dedup_hits")                                         \
+  X(kNetDelays, "net.delays")                                                \
+  X(kNetDrops, "net.drops")                                                  \
+  X(kNetDups, "net.dups")                                                    \
+  X(kNetEpochBumps, "net.epoch_bumps")                                       \
+  X(kNetReorders, "net.reorders")                                            \
+  X(kNetReplyRecovered, "net.reply_recovered")                               \
+  X(kNetRpcBackoffUs, "net.rpc_backoff_us")                                  \
+  X(kNetRpcExhausted, "net.rpc_exhausted")                                   \
+  X(kNetRpcRetries, "net.rpc_retries")                                       \
+  X(kNetRpcTimeouts, "net.rpc_timeouts")                                     \
+  X(kNetStaleEpochFenced, "net.stale_epoch_fenced")                          \
   X(kServerAllocations, "server.allocations")                                \
   X(kServerBatchCallbackItems, "server.batch_callback_items")                \
   X(kServerBatchCallbackRequests, "server.batch_callback_requests")          \

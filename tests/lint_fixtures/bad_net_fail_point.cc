@@ -1,0 +1,15 @@
+// Seeded-bad fixture for the net-fail-point rule: wire fail points must
+// follow net.<side>.<endpoint>.<fault> with side in {client,server} and
+// fault in {drop,dup,delay,reorder}.
+#include "util/fault.h"
+
+namespace finelog {
+
+void BadNetFailPoints(FaultInjector* injector) {
+  // Unknown fault verb: "corrupt" is not a delivery-layer fault.
+  (void)injector->Evaluate("net.server.lock_object.corrupt", 0, false);
+  // Unknown side: only client and server speak on the wire.
+  (void)injector->Evaluate("net.peer.fetch_page.drop", 0, false);
+}
+
+}  // namespace finelog

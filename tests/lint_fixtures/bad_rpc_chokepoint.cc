@@ -1,0 +1,13 @@
+// Seeded-bad fixture for the rpc-chokepoint rule: message accounting goes
+// through Rpc::Call / Rpc::Send; direct Channel::Count / CountBatch calls
+// outside src/net/ bypass wire faults, retries and dedup.
+#include "net/channel.h"
+
+namespace finelog {
+
+void BadDirectCount(Channel* channel) {
+  channel->Count(MessageType::kLockRequest, 32);
+  channel->CountBatch(MessageType::kLockReply, 4, 128);
+}
+
+}  // namespace finelog

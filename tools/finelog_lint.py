@@ -28,6 +28,17 @@ Rules
                    as Counter enum values (dense-array hot path, no string
                    construction). Dynamically composed names such as
                    `"fault." + point` remain allowed.
+  net-fail-point   wire fail points follow the delivery-layer grammar
+                   net.<side>.<endpoint>.<fault> with side in {client,server}
+                   and fault in {drop,dup,delay,reorder}. Any string literal
+                   shaped like a fail point (>= 3 dot segments) that starts
+                   with "net." is checked; two-segment "net.*" literals are
+                   metrics counter names and exempt, as are prefix fragments
+                   ending in ".".
+  rpc-chokepoint   every message send goes through the Rpc chokepoint
+                   (Rpc::Call / Rpc::Send): direct Channel::Count /
+                   CountBatch calls are banned in src/ outside src/net/,
+                   so wire faults, retries and dedup cannot be bypassed.
 
 Usage
 -----
@@ -227,6 +238,55 @@ def check_fail_points(relpath, text, stripped, registry):
     return out
 
 
+# --- net fail-point grammar ------------------------------------------------
+
+NET_POINT_RE = re.compile(
+    r"^net\.(client|server)\.[a-z][a-z0-9_]*\.(drop|dup|delay|reorder)$")
+
+
+def check_net_fail_points(relpath, text, stripped):
+    out = []
+    # Locate literal spans in `stripped` (comments are blanked there, so
+    # quoted examples in prose are skipped) and read the content from the
+    # original text at identical offsets.
+    for m in re.finditer(r'"[^"\n]*"', stripped):
+        lit = text[m.start() + 1:m.end() - 1]
+        if not lit.startswith("net."):
+            continue
+        if lit.count(".") < 2:
+            continue  # Two-segment "net.*": a metrics counter name.
+        if lit.endswith("."):
+            continue  # Prefix fragment composed with a ".fault" suffix.
+        if not NET_POINT_RE.match(lit):
+            lineno = text.count("\n", 0, m.start()) + 1
+            out.append(Violation(
+                relpath, lineno, "net-fail-point",
+                f'wire fail point "{lit}" does not match '
+                "net.<side>.<endpoint>.<fault> with side in "
+                "{client,server} and fault in {drop,dup,delay,reorder}"))
+    return out
+
+
+# --- rpc chokepoint --------------------------------------------------------
+
+CHOKEPOINT_RE = re.compile(r"(?:\.|->)\s*Count(?:Batch)?\s*\(")
+
+
+def check_rpc_chokepoint(relpath, text, stripped):
+    del text
+    out = []
+    if relpath.startswith(os.path.join("src", "net") + os.sep):
+        return out
+    for lineno, line in enumerate(stripped.splitlines(), 1):
+        if CHOKEPOINT_RE.search(line):
+            out.append(Violation(
+                relpath, lineno, "rpc-chokepoint",
+                "direct Channel::Count/CountBatch outside src/net/; route "
+                "message accounting through Rpc::Call / Rpc::Send so wire "
+                "faults, retries and dedup apply"))
+    return out
+
+
 # --- raw new / delete ------------------------------------------------------
 
 NEW_RE = re.compile(r"\bnew\b\s+[A-Za-z_:(]")
@@ -386,6 +446,8 @@ def lint_file(root, relpath, registry, determinism_only=False):
     if determinism_only:
         return out
     out += check_fail_points(relpath, text, stripped, registry)
+    out += check_net_fail_points(relpath, text, stripped)
+    out += check_rpc_chokepoint(relpath, text, stripped)
     out += check_new_delete(relpath, text, stripped)
     out += check_page_memcpy(relpath, text, stripped)
     out += check_metrics_string_key(relpath, text, stripped)
@@ -416,6 +478,8 @@ FIXTURES = {
     "bad_page_memcpy.cc": "page-memcpy",
     "bad_include_guard.h": "include-hygiene",
     "bad_metrics_string.cc": "metrics-string-key",
+    "bad_net_fail_point.cc": "net-fail-point",
+    "bad_rpc_chokepoint.cc": "rpc-chokepoint",
 }
 
 
@@ -435,6 +499,8 @@ def run_self_test(root):
         registry = {}
         got = (check_determinism(pseudo, text, stripped)
                + check_fail_points(pseudo, text, stripped, registry)
+               + check_net_fail_points(pseudo, text, stripped)
+               + check_rpc_chokepoint(pseudo, text, stripped)
                + check_new_delete(pseudo, text, stripped)
                + check_page_memcpy(pseudo, text, stripped)
                + check_metrics_string_key(pseudo, text, stripped)
