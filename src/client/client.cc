@@ -5,6 +5,7 @@
 
 #include "buffer/pin_guard.h"
 #include "server/page_merge.h"
+#include "util/fault.h"
 
 namespace finelog {
 
@@ -42,6 +43,7 @@ Result<Client::Txn*> Client::GetActiveTxn(TxnId txn) {
 
 Result<TxnId> Client::Begin() {
   if (crashed_) return Status::Crashed("client down");
+  FINELOG_RETURN_IF_ERROR(MaybeHeartbeat());
   // A new transaction is the clock edge that can close an expired
   // group-commit window (the simulation has no background flusher).
   if (GroupForceDue()) {
@@ -402,6 +404,7 @@ bool Client::GroupForceDue() const {
 
 Status Client::FlushCommitGroup() {
   if (crashed_) return Status::Crashed("client down");
+  FINELOG_RETURN_IF_ERROR(MaybeHeartbeat());
   if (pending_commits_.empty()) return Status::OK();
   return ForceLog();
 }
@@ -458,6 +461,7 @@ Status Client::TryFreeLogSpace() {
 
 Status Client::ShipAllDirtyPages() {
   if (crashed_) return Status::Crashed("client down");
+  FINELOG_RETURN_IF_ERROR(MaybeHeartbeat());
   if (config_.max_batch_items <= 1) {
     for (PageId pid : cache_->PageIds()) {
       BufferPool::Frame* frame = cache_->Peek(pid);
@@ -531,6 +535,7 @@ Status Client::PrefetchPages(const std::vector<PageId>& pids) {
 
 Status Client::ReleaseIdleLocks() {
   if (crashed_) return Status::Crashed("client down");
+  FINELOG_RETURN_IF_ERROR(MaybeHeartbeat());
   FINELOG_RETURN_IF_ERROR(ShipAllDirtyPages());
   auto snap = llm_.GetSnapshot();
   std::vector<ObjectId> objects;
@@ -573,6 +578,7 @@ Status Client::ReleaseIdleLocks() {
 
 Status Client::TakeCheckpoint() {
   if (crashed_) return Status::Crashed("client down");
+  FINELOG_RETURN_IF_ERROR(MaybeHeartbeat());
   std::vector<TxnCheckpointInfo> active;
   for (const auto& [id, t] : txns_) {
     if (t.state == Txn::State::kActive) {
@@ -626,8 +632,43 @@ Status Client::EnsureToken(PageId pid) {
   return Status::OK();
 }
 
+Status Client::MaybeHeartbeat() {
+  if (!config_.liveness_enabled()) return Status::OK();
+  const uint64_t now = channel_->clock()->now_us();
+  if (last_heartbeat_us_ == 0 ||
+      now - last_heartbeat_us_ >= config_.heartbeat_interval_us) {
+    last_heartbeat_us_ = now;
+    bool suppressed =
+        config_.fault_injector != nullptr &&
+        config_.fault_injector->Evaluate("liveness.client.heartbeat", 0, false)
+                .action != FaultAction::kNone;
+    if (!suppressed) {
+      metrics_->Add(Counter::kLivenessHeartbeatsSent);
+      Status st = server_->Heartbeat(id_);
+      if (st.ok()) {
+        lease_valid_until_ = now + config_.lease_duration_us;
+      } else if (st.IsZombieFenced()) {
+        return st;
+      }
+      // Any other failure (e.g. a dropped leg under partition) is non-fatal:
+      // the next call retries, and the self-fence below takes over once the
+      // lease horizon passes.
+    }
+  }
+  if (lease_valid_until_ != 0 && now >= lease_valid_until_) {
+    // Self-fencing: the single simulated clock means our deadline can only
+    // be earlier than (or equal to) the server's view, so by now the server
+    // may have declared us presumed dead and given our shared locks away.
+    // Refuse to operate on cached state; crash recovery re-registers us.
+    return Status::WouldBlock(WouldBlockReason::kZombieFenced,
+                              "lease expired locally; crash recovery required");
+  }
+  return Status::OK();
+}
+
 Result<std::string> Client::Read(TxnId txn, ObjectId oid) {
   if (crashed_) return Status::Crashed("client down");
+  FINELOG_RETURN_IF_ERROR(MaybeHeartbeat());
   FINELOG_ASSIGN_OR_RETURN(Txn * t, GetActiveTxn(txn));
   (void)t;
   FINELOG_RETURN_IF_ERROR(AcquireObjectLock(txn, oid, LockMode::kShared));
@@ -638,6 +679,7 @@ Result<std::string> Client::Read(TxnId txn, ObjectId oid) {
 
 Status Client::Write(TxnId txn, ObjectId oid, Slice data) {
   if (crashed_) return Status::Crashed("client down");
+  FINELOG_RETURN_IF_ERROR(MaybeHeartbeat());
   FINELOG_ASSIGN_OR_RETURN(Txn * t, GetActiveTxn(txn));
   FINELOG_RETURN_IF_ERROR(AcquireObjectLock(txn, oid, LockMode::kExclusive));
   FINELOG_RETURN_IF_ERROR(EnsureToken(oid.page));
@@ -672,6 +714,7 @@ Status Client::Write(TxnId txn, ObjectId oid, Slice data) {
 Status Client::WriteBatch(
     TxnId txn, const std::vector<std::pair<ObjectId, std::string>>& writes) {
   if (crashed_) return Status::Crashed("client down");
+  FINELOG_RETURN_IF_ERROR(MaybeHeartbeat());
   FINELOG_ASSIGN_OR_RETURN(Txn * t, GetActiveTxn(txn));
   (void)t;
   std::vector<ObjectId> oids;
@@ -696,6 +739,7 @@ Status Client::WriteBatch(
 Result<std::vector<std::string>> Client::ReadBatch(
     TxnId txn, const std::vector<ObjectId>& oids) {
   if (crashed_) return Status::Crashed("client down");
+  FINELOG_RETURN_IF_ERROR(MaybeHeartbeat());
   FINELOG_ASSIGN_OR_RETURN(Txn * t, GetActiveTxn(txn));
   (void)t;
   FINELOG_RETURN_IF_ERROR(BatchAcquireObjectLocks(txn, oids, LockMode::kShared));
@@ -714,6 +758,7 @@ Result<std::vector<std::string>> Client::ReadBatch(
 
 Result<ObjectId> Client::Create(TxnId txn, PageId pid, Slice data) {
   if (crashed_) return Status::Crashed("client down");
+  FINELOG_RETURN_IF_ERROR(MaybeHeartbeat());
   FINELOG_ASSIGN_OR_RETURN(Txn * t, GetActiveTxn(txn));
   FINELOG_RETURN_IF_ERROR(AcquirePageLock(txn, pid, LockMode::kExclusive));
   FINELOG_RETURN_IF_ERROR(EnsureToken(pid));
@@ -749,6 +794,7 @@ Result<ObjectId> Client::Create(TxnId txn, PageId pid, Slice data) {
 
 Status Client::Resize(TxnId txn, ObjectId oid, Slice data) {
   if (crashed_) return Status::Crashed("client down");
+  FINELOG_RETURN_IF_ERROR(MaybeHeartbeat());
   FINELOG_ASSIGN_OR_RETURN(Txn * t, GetActiveTxn(txn));
 
   // Footnote-3 fast path: take the object lock first; if the new size fits
@@ -812,6 +858,7 @@ Status Client::Resize(TxnId txn, ObjectId oid, Slice data) {
 
 Status Client::Delete(TxnId txn, ObjectId oid) {
   if (crashed_) return Status::Crashed("client down");
+  FINELOG_RETURN_IF_ERROR(MaybeHeartbeat());
   FINELOG_ASSIGN_OR_RETURN(Txn * t, GetActiveTxn(txn));
   FINELOG_RETURN_IF_ERROR(AcquirePageLock(txn, oid.page, LockMode::kExclusive));
   FINELOG_RETURN_IF_ERROR(EnsureToken(oid.page));
@@ -843,6 +890,7 @@ Status Client::Delete(TxnId txn, ObjectId oid) {
 
 Result<PageId> Client::AllocatePage(TxnId txn) {
   if (crashed_) return Status::Crashed("client down");
+  FINELOG_RETURN_IF_ERROR(MaybeHeartbeat());
   FINELOG_ASSIGN_OR_RETURN(Txn * t, GetActiveTxn(txn));
   (void)t;
   auto reply = server_->AllocatePage(id_);
@@ -861,6 +909,7 @@ Result<PageId> Client::AllocatePage(TxnId txn) {
 
 Status Client::Commit(TxnId txn_id) {
   if (crashed_) return Status::Crashed("client down");
+  FINELOG_RETURN_IF_ERROR(MaybeHeartbeat());
   FINELOG_ASSIGN_OR_RETURN(Txn * t, GetActiveTxn(txn_id));
 
   LogRecord commit = LogRecord::Control(LogRecordType::kCommit, txn_id,
@@ -1058,6 +1107,7 @@ Status Client::Abort(TxnId txn_id) {
 
 Result<size_t> Client::SetSavepoint(TxnId txn_id) {
   if (crashed_) return Status::Crashed("client down");
+  FINELOG_RETURN_IF_ERROR(MaybeHeartbeat());
   FINELOG_ASSIGN_OR_RETURN(Txn * t, GetActiveTxn(txn_id));
   LogRecord rec = LogRecord::Control(LogRecordType::kSavepoint, txn_id,
                                      t->last_lsn);

@@ -260,6 +260,18 @@ class Client : public ClientEndpoint {
   // physical update (Section 3.1).
   Status EnsureToken(PageId pid);
 
+  // Liveness (DESIGN.md section 14), called at the top of every public API
+  // entry point except the local rollback paths (Abort,
+  // RollbackToSavepoint). Piggybacks a heartbeat when the configured
+  // interval has elapsed -- no background thread; the simulated clock only
+  // moves when someone acts. A heartbeat that cannot reach the server is
+  // non-fatal (the next call retries), but once the last granted lease
+  // horizon has passed without a successful renewal the client self-fences
+  // with kZombieFenced: the server may already have given its locks away,
+  // so continuing against cached state would be unsafe. A no-op with the
+  // heartbeat knob off.
+  Status MaybeHeartbeat();
+
   // Applies one logged operation (redo direction) to a page.
   static Status ApplyRedo(Page* page, const LogRecord& rec);
   // Applies the inverse of an update record (undo direction).
@@ -316,6 +328,11 @@ class Client : public ClientEndpoint {
   // losers, which is exactly the deferred-durability contract.
   std::vector<TxnId> pending_commits_;
   uint64_t oldest_pending_commit_us_ = 0;
+
+  // Liveness: simulated time of the last heartbeat attempt, and the lease
+  // horizon granted by the last successful renewal (0 = no lease yet).
+  uint64_t last_heartbeat_us_ = 0;
+  uint64_t lease_valid_until_ = 0;
 
   uint64_t next_txn_seq_ = 1;
   bool crashed_ = false;

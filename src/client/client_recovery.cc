@@ -43,6 +43,9 @@ Status Client::Crash() {
   // The group-commit queue dies with the unforced log tail: its commit
   // records were never durable, so recovery rolls those members back.
   pending_commits_.clear();
+  // Liveness state is volatile: the restarted process renews from scratch.
+  last_heartbeat_us_ = 0;
+  lease_valid_until_ = 0;
   // Reopen the private log: the unforced tail is lost, exactly as a real
   // volatile log buffer would be.
   FINELOG_ASSIGN_OR_RETURN(

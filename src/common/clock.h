@@ -3,8 +3,12 @@
 // finelog runs clients and the server in one process; elapsed "time" is the
 // sum of modelled costs (network latency, disk I/O, log forces) charged to
 // the clock by the component that incurs them. The paper's algorithms do not
-// require synchronized client clocks -- accordingly, nothing in the protocol
-// code reads the clock; it exists purely for the benchmark harness.
+// require synchronized client clocks, so the core commit/locking/recovery
+// protocols never read it. Two opt-in subsystems do: the RPC retry layer
+// (timeouts and backoff, DESIGN.md section 13) and the lease-based liveness
+// machinery (heartbeat intervals and lease deadlines, section 14). Both are
+// off by default, and with their knobs off nothing reads the clock and it
+// exists purely for the benchmark harness.
 
 #ifndef FINELOG_COMMON_CLOCK_H_
 #define FINELOG_COMMON_CLOCK_H_

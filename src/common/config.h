@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/cost_model.h"
 
@@ -91,9 +92,24 @@ struct NetFaultConfig {
   // see an unchanged hit sequence.
   bool use_fail_points = false;
 
+  // Network partition: every message leg to or from a listed client id is
+  // dropped -- including recovery-plane traffic, since an unreachable node
+  // is unreachable for recovery too. Chaos harnesses add a client here to
+  // sever it mid-run and clear the list to heal. Raw ids keep this header
+  // free of the strong-type dependency.
+  std::vector<uint32_t> partitioned_clients;
+
+  bool partitioned(uint32_t client) const {
+    for (uint32_t c : partitioned_clients) {
+      if (c == client) return true;
+    }
+    return false;
+  }
+
   bool enabled() const {
     return drop_rate > 0.0 || dup_rate > 0.0 || reorder_rate > 0.0 ||
-           delay_rate > 0.0 || use_fail_points;
+           delay_rate > 0.0 || use_fail_points ||
+           !partitioned_clients.empty();
   }
 };
 
@@ -147,6 +163,24 @@ struct SystemConfig {
   // simulated message. 1 = every item pays full per-message overhead (seed
   // behavior).
   uint32_t max_batch_items = 1;
+
+  // Liveness (DESIGN.md section 14). When heartbeat_interval_us > 0, each
+  // client piggybacks a heartbeat RPC on its API entry points whenever that
+  // much simulated time has passed since its last one, and the server keeps
+  // a lease per client: a client whose lease runs out is declared presumed
+  // dead -- its shared locks are released (Section 3.3), clean exclusive
+  // locks are reclaimed, and its DCT-dirty pages stay quarantined until it
+  // runs crash recovery. 0 (default) disables the subsystem entirely: no
+  // heartbeat messages, no protocol clock reads, and the message schedule
+  // stays byte-identical to the lease-free build.
+  uint64_t heartbeat_interval_us = 0;
+
+  // How long each renewal keeps the lease alive. Must comfortably exceed
+  // heartbeat_interval_us plus worst-case RPC latency, or active clients
+  // would be evicted between renewals.
+  uint64_t lease_duration_us = 200000;
+
+  bool liveness_enabled() const { return heartbeat_interval_us > 0; }
 
   // Policies (paper defaults).
   LoggingPolicy logging_policy = LoggingPolicy::kClientLocal;

@@ -20,9 +20,25 @@ std::string_view StatusCodeName(StatusCode code) {
   return "Unknown";
 }
 
+std::string_view WouldBlockReasonName(WouldBlockReason reason) {
+  switch (reason) {
+    case WouldBlockReason::kNone: return "None";
+    case WouldBlockReason::kLockConflict: return "LockConflict";
+    case WouldBlockReason::kCrashedDependency: return "CrashedDependency";
+    case WouldBlockReason::kQuarantinedPage: return "QuarantinedPage";
+    case WouldBlockReason::kRpcTimeout: return "RpcTimeout";
+    case WouldBlockReason::kZombieFenced: return "ZombieFenced";
+  }
+  return "Unknown";
+}
+
 std::string Status::ToString() const {
   if (ok()) return "Ok";
   std::string out(StatusCodeName(code_));
+  if (wb_reason_ != WouldBlockReason::kNone) {
+    out += "/";
+    out += WouldBlockReasonName(wb_reason_);
+  }
   out += ": ";
   out += message_;
   return out;

@@ -32,6 +32,21 @@ enum class StatusCode : int {
 // Human-readable name of a StatusCode ("Ok", "WouldBlock", ...).
 std::string_view StatusCodeName(StatusCode code);
 
+// Machine-readable refinement of kWouldBlock: *why* the caller was told to
+// back off, so retry policy keys on an enum instead of string-matching the
+// message. kNone marks a plain WouldBlock(msg) with no classified reason.
+enum class WouldBlockReason : uint8_t {
+  kNone = 0,
+  kLockConflict,       // Lock/callback contention; retry, then abort the txn.
+  kCrashedDependency,  // Blocked on a crashed client's pending recovery.
+  kQuarantinedPage,    // Page pinned under a presumed-dead client's DCT entry.
+  kRpcTimeout,         // Network retries exhausted; degrade to a clean abort.
+  kZombieFenced,       // Caller's lease expired; run crash recovery to rejoin.
+};
+
+// Human-readable name of a WouldBlockReason ("LockConflict", ...).
+std::string_view WouldBlockReasonName(WouldBlockReason reason);
+
 class [[nodiscard]] Status {
  public:
   // Constructs an OK status.
@@ -61,6 +76,11 @@ class [[nodiscard]] Status {
   static Status WouldBlock(std::string msg) {
     return Status(StatusCode::kWouldBlock, std::move(msg));
   }
+  static Status WouldBlock(WouldBlockReason reason, std::string msg) {
+    Status s(StatusCode::kWouldBlock, std::move(msg));
+    s.wb_reason_ = reason;
+    return s;
+  }
   static Status Aborted(std::string msg) {
     return Status(StatusCode::kAborted, std::move(msg));
   }
@@ -84,6 +104,13 @@ class [[nodiscard]] Status {
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 
+  // Meaningful only when IsWouldBlock(); kNone otherwise.
+  WouldBlockReason would_block_reason() const { return wb_reason_; }
+  bool IsZombieFenced() const {
+    return code_ == StatusCode::kWouldBlock &&
+           wb_reason_ == WouldBlockReason::kZombieFenced;
+  }
+
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
   bool IsWouldBlock() const { return code_ == StatusCode::kWouldBlock; }
   bool IsLogFull() const { return code_ == StatusCode::kLogFull; }
@@ -95,6 +122,7 @@ class [[nodiscard]] Status {
 
  private:
   StatusCode code_;
+  WouldBlockReason wb_reason_ = WouldBlockReason::kNone;
   std::string message_;
 };
 

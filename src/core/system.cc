@@ -66,6 +66,21 @@ Status System::RecoverClient(size_t i) {
 
 Status System::RecoverServer() { return server_->Restart(); }
 
+Status System::RecoverZombie(size_t i) {
+  if (server_->crashed()) {
+    return Status::FailedPrecondition("recover the server first");
+  }
+  ClientId cid(static_cast<uint32_t>(i));
+  if (!server_->IsPresumedDead(cid)) {
+    return Status::FailedPrecondition("client is not presumed dead");
+  }
+  // Deliberately NOT SetClientCrashed: the server already ran the
+  // declaration path; this exercises pure liveness machinery (the zombie
+  // discards its fenced state and rejoins via crash recovery).
+  FINELOG_RETURN_IF_ERROR(clients_.at(i)->Crash());
+  return clients_.at(i)->Restart();
+}
+
 Status System::RecoverAll() {
   if (server_->crashed()) {
     FINELOG_RETURN_IF_ERROR(server_->Restart());

@@ -68,6 +68,14 @@ class System {
   Status RecoverServer();
   Status RecoverAll();
 
+  // Recovers a client the *server* declared presumed dead (lease expiry)
+  // but that never crashed in the harness sense: its process state is
+  // discarded (Crash) and client crash recovery re-registers it with a
+  // fresh session epoch, which is the only path off the presumed-dead set.
+  // Heal any partition affecting the client first, or recovery-plane calls
+  // cannot reach the server.
+  Status RecoverZombie(size_t i);
+
   // Pushes every dirty page (client caches, then server pool) to disk --
   // a quiescent point for tests and benchmarks.
   Status FlushEverything();

@@ -80,9 +80,24 @@ Status Workload::Step(size_t i) {
   Client& client = system_->client(i);
   ClientState& st = states_[i];
 
+  // A fenced client (presumed dead by the server, or self-fenced on a
+  // locally-expired lease) cannot make progress until it runs crash
+  // recovery: sideline it like a crashed client instead of failing the run.
+  // The machine-readable reason is what makes this distinguishable from an
+  // ordinary lock-conflict WouldBlock.
+  auto sideline_if_fenced = [&](const Status& s) {
+    if (!s.IsZombieFenced()) return false;
+    if (st.txn != kInvalidTxnId) oracle_->AbortTxn(st.txn);
+    st.txn = kInvalidTxnId;
+    st.crashed = true;
+    ++stats_.zombie_fences;
+    return true;
+  };
+
   if (st.txn == kInvalidTxnId) {
     auto txn = client.Begin();
     if (!txn.ok()) {
+      if (sideline_if_fenced(txn.status())) return Status::OK();
       last_failure_ = FailureInfo{i, kInvalidTxnId, false};
       return txn.status();
     }
@@ -95,6 +110,7 @@ Status Workload::Step(size_t i) {
   if (st.ops_done >= options_.ops_per_txn) {
     Status s = client.Commit(st.txn);
     if (!s.ok()) {
+      if (sideline_if_fenced(s)) return Status::OK();
       last_failure_ = FailureInfo{i, st.txn, true};
       return s;
     }
@@ -137,6 +153,7 @@ Status Workload::Step(size_t i) {
     st.retries = 0;
     return Status::OK();
   }
+  if (sideline_if_fenced(s)) return Status::OK();
   if (s.IsWouldBlock()) {
     ++stats_.would_blocks;
     if (++st.retries > options_.max_retries) {

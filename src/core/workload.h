@@ -48,6 +48,7 @@ struct WorkloadStats {
   uint64_t commits = 0;
   uint64_t aborts = 0;
   uint64_t would_blocks = 0;
+  uint64_t zombie_fences = 0;  // Clients sidelined by a kZombieFenced status.
   uint64_t ops = 0;
   uint64_t read_mismatches = 0;
   uint64_t sim_time_us = 0;

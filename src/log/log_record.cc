@@ -16,6 +16,7 @@ const char* LogRecordTypeName(LogRecordType t) {
     case LogRecordType::kClientCheckpoint: return "ClientCheckpoint";
     case LogRecordType::kReplacement: return "Replacement";
     case LogRecordType::kServerCheckpoint: return "ServerCheckpoint";
+    case LogRecordType::kMembership: return "Membership";
   }
   return "Unknown";
 }
@@ -84,6 +85,10 @@ void LogRecord::EncodeTo(std::string* out) const {
         enc.PutId(e.psn);
         enc.PutId(e.redo_lsn);
       }
+      break;
+    case LogRecordType::kMembership:
+      enc.PutId(member);
+      enc.PutU8(presumed_dead ? 1 : 0);
       break;
   }
 }
@@ -163,6 +168,12 @@ Result<LogRecord> LogRecord::Decode(Slice data) {
           return corrupt();
         }
       }
+      break;
+    }
+    case LogRecordType::kMembership: {
+      uint8_t dead8 = 0;
+      if (!dec.GetId(&rec.member) || !dec.GetU8(&dead8)) return corrupt();
+      rec.presumed_dead = dead8 != 0;
       break;
     }
     default:
@@ -245,6 +256,14 @@ LogRecord LogRecord::ServerCheckpoint(std::vector<DctEntry> entries) {
   LogRecord r;
   r.type = LogRecordType::kServerCheckpoint;
   r.dct = std::move(entries);
+  return r;
+}
+
+LogRecord LogRecord::Membership(ClientId member, bool presumed_dead) {
+  LogRecord r;
+  r.type = LogRecordType::kMembership;
+  r.member = member;
+  r.presumed_dead = presumed_dead;
   return r;
 }
 

@@ -41,6 +41,7 @@ enum class LogRecordType : uint8_t {
   kClientCheckpoint = 8,
   kReplacement = 9,       // Server log only.
   kServerCheckpoint = 10, // Server log only.
+  kMembership = 11,       // Server log only: presumed-dead declare/clear.
 };
 
 const char* LogRecordTypeName(LogRecordType t);
@@ -120,6 +121,14 @@ struct LogRecord {
   Psn page_psn;
   std::vector<DctEntry> dct;
 
+  // kMembership only (DESIGN.md section 14): the server forces one of these
+  // before acting on a lease expiry, so a restarted server reconstructs the
+  // presumed-dead set and keeps the client's dirty pages quarantined; a
+  // clearing record (presumed_dead = false) is forced when the client
+  // completes crash recovery and rejoins.
+  ClientId member = kInvalidClientId;
+  bool presumed_dead = false;
+
   // Set by the log manager on read; not serialized.
   Lsn lsn = kNullLsn;
 
@@ -144,6 +153,7 @@ struct LogRecord {
   static LogRecord Replacement(PageId page, Psn page_psn,
                                std::vector<DctEntry> entries);
   static LogRecord ServerCheckpoint(std::vector<DctEntry> entries);
+  static LogRecord Membership(ClientId member, bool presumed_dead);
 };
 
 }  // namespace finelog

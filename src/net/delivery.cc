@@ -5,9 +5,23 @@
 namespace finelog {
 
 NetVerdict Delivery::Classify(const std::string& prefix, uint64_t bytes,
-                              bool recovery_plane) {
+                              ClientId peer, bool recovery_plane) {
   NetVerdict v;
   if (!config_.enabled()) return v;
+
+  // Partition first, before the recovery-plane exemption: an unreachable
+  // node is unreachable for recovery traffic too. Absolute (no RNG draw),
+  // so healing the partition restores the exact rate-draw stream an
+  // unpartitioned run would have seen.
+  if (config_.partitioned(peer.value())) {
+    v.drop = true;
+    if (metrics_ != nullptr) {
+      metrics_->Add(Counter::kNetPartitionDrops);
+      metrics_->Add(Counter::kNetDrops);
+    }
+    return v;
+  }
+
   if (recovery_plane && !config_.fault_recovery) return v;
 
   // Armed fail points first: a test that armed one-shot wire faults gets a

@@ -17,6 +17,7 @@
 
 #include "common/config.h"
 #include "common/rng.h"
+#include "common/types.h"
 #include "util/metrics.h"
 
 namespace finelog {
@@ -43,12 +44,15 @@ class Delivery {
 
   // Classifies one message leg. `prefix` is the fail-point stem
   // ("net.client.lock_object" for a client->server request leg,
-  // "net.server.lock_object" for its reply leg). `recovery_plane` legs are
-  // exempt unless the config opts recovery traffic in. Each enabled rate
-  // draws exactly once per leg, so the RNG stream is a deterministic
-  // function of the message sequence.
+  // "net.server.lock_object" for its reply leg); `peer` is the client side
+  // of the exchange, checked against the partition list before anything
+  // else -- a partitioned peer's legs are dropped on both planes, with no
+  // RNG draw, so the rate stream stays aligned with an unpartitioned run.
+  // Other `recovery_plane` legs are exempt unless the config opts recovery
+  // traffic in. Each enabled rate draws exactly once per leg, so the RNG
+  // stream is a deterministic function of the message sequence.
   NetVerdict Classify(const std::string& prefix, uint64_t bytes,
-                      bool recovery_plane);
+                      ClientId peer, bool recovery_plane);
 
   NetFaultConfig& config() { return config_; }
   const NetFaultConfig& config() const { return config_; }

@@ -255,6 +255,13 @@ class ServerEndpoint {
   // `psn`.
   virtual Result<PageFetchReply> RecOrderedFetch(ClientId client, PageId pid,
                                                  ClientId other, Psn psn) = 0;
+
+  // Liveness lease renewal (DESIGN.md section 14). Defaulted so test fakes
+  // without a lease table accept heartbeats as a no-op.
+  virtual Status Heartbeat(ClientId client) {
+    (void)client;
+    return Status::OK();
+  }
 };
 
 // The client-side endpoint (implemented by client::Client).

@@ -42,6 +42,8 @@ const char* MessageTypeName(MessageType t) {
     case MessageType::kRecRecoverPageReply: return "RecRecoverPageReply";
     case MessageType::kRecOrderedFetch: return "RecOrderedFetch";
     case MessageType::kRecOrderedFetchReply: return "RecOrderedFetchReply";
+    case MessageType::kHeartbeat: return "Heartbeat";
+    case MessageType::kHeartbeatAck: return "HeartbeatAck";
     case MessageType::kMaxMessageType: break;
   }
   return "Unknown";

@@ -57,6 +57,9 @@ enum class MessageType : uint8_t {
   kRecRecoverPageReply,
   kRecOrderedFetch,       // Parallel-recovery handshake (3.4 step 3).
   kRecOrderedFetchReply,
+  // Liveness protocol (DESIGN.md section 14).
+  kHeartbeat,             // Client -> server lease renewal.
+  kHeartbeatAck,
   kMaxMessageType,
 };
 

@@ -81,8 +81,8 @@ bool Rpc::ResendCachedReply(const Session& session, const CallOptions& opts,
 
 bool Rpc::SendReplyMeta(const CallOptions& opts, uint64_t epoch, uint64_t seq,
                         MessageType type, uint64_t items, uint64_t bytes) {
-  NetVerdict v =
-      delivery_.Classify(LegPrefix(opts, false), bytes, opts.recovery_plane);
+  NetVerdict v = delivery_.Classify(LegPrefix(opts, false), bytes, opts.peer,
+                                    opts.recovery_plane);
   channel_->CountBatch(type, items, bytes);
   if (v.delay_us > 0) channel_->clock()->Advance(v.delay_us);
   if (v.dup) {

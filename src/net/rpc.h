@@ -135,7 +135,7 @@ class Rpc {
     const uint64_t epoch = session.epoch;
     const uint64_t seq = session.next_seq++;
     NetVerdict v = delivery_.Classify(LegPrefix(opts, true), opts.req_bytes,
-                                      opts.recovery_plane);
+                                      opts.peer, opts.recovery_plane);
     channel_->CountBatch(opts.req_type, opts.req_items, opts.req_bytes);
     if (v.delay_us > 0) channel_->clock()->Advance(v.delay_us);
     if (v.drop) return;
@@ -236,8 +236,8 @@ class Rpc {
         metrics_->Add(Counter::kNetRpcRetries);
         Backoff(attempt);
       }
-      NetVerdict rv =
-          delivery_.Classify(req_prefix, opts.req_bytes, opts.recovery_plane);
+      NetVerdict rv = delivery_.Classify(req_prefix, opts.req_bytes, opts.peer,
+                                         opts.recovery_plane);
       channel_->CountBatch(opts.req_type, opts.req_items, opts.req_bytes);
       if (rv.delay_us > 0) channel_->clock()->Advance(rv.delay_us);
       if (!rv.drop) {
@@ -283,8 +283,8 @@ class Rpc {
       return std::move(*executed);
     }
     metrics_->Add(Counter::kNetRpcExhausted);
-    return R(
-        Status::WouldBlock(std::string("rpc timeout: ") + opts.endpoint));
+    return R(Status::WouldBlock(WouldBlockReason::kRpcTimeout,
+                                std::string("rpc timeout: ") + opts.endpoint));
   }
 
   Channel* channel_;

@@ -1,0 +1,34 @@
+#include "server/liveness.h"
+
+namespace finelog {
+
+void LivenessTable::Renew(ClientId client, uint64_t now_us) {
+  if (IsPresumedDead(client)) return;
+  deadlines_[client] = now_us + lease_duration_us_;
+}
+
+std::vector<ClientId> LivenessTable::CollectExpired(uint64_t now_us) const {
+  std::vector<ClientId> expired;
+  for (const auto& [client, deadline] : deadlines_) {
+    if (now_us >= deadline && !IsPresumedDead(client)) {
+      expired.push_back(client);
+    }
+  }
+  return expired;
+}
+
+void LivenessTable::MarkPresumedDead(ClientId client) {
+  deadlines_.erase(client);
+  presumed_dead_.insert(client);
+}
+
+void LivenessTable::MarkRecovered(ClientId client, uint64_t now_us) {
+  presumed_dead_.erase(client);
+  deadlines_[client] = now_us + lease_duration_us_;
+}
+
+void LivenessTable::Suspend(ClientId client) { deadlines_.erase(client); }
+
+void LivenessTable::DropLeases() { deadlines_.clear(); }
+
+}  // namespace finelog

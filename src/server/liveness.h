@@ -1,0 +1,90 @@
+// LivenessTable: the server's lease table (DESIGN.md section 14).
+//
+// The paper assumes clients eventually answer callbacks and announce their
+// own crashes; a silently-dead or partitioned client would otherwise hold
+// its locks forever. The lease table closes that gap: each client renews a
+// simulated-clock lease via heartbeats (or any admitted request), and a
+// client whose lease runs out is *presumed dead*. The declaration itself --
+// releasing shared locks, reclaiming clean exclusive locks, quarantining
+// DCT-dirty pages, fencing the session epoch -- lives in Server; this class
+// only tracks deadlines and the presumed-dead set.
+//
+// Lease state machine per client:
+//
+//     (untracked) --first renewal--> live --deadline passes--> expired
+//         ^                           ^                           |
+//         |                           |                     declaration
+//     Forget()                  MarkRecovered()                  v
+//     (explicit crash:          (crash recovery            presumed dead
+//      the §3.3 path            completed: fresh           (zombie if it
+//      already handles it)      lease)                      still talks)
+//
+// A client that never renews is never tracked and never expires: membership
+// is heartbeat-driven, so a system with liveness disabled (interval 0) keeps
+// an empty table.
+
+#ifndef FINELOG_SERVER_LIVENESS_H_
+#define FINELOG_SERVER_LIVENESS_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/types.h"
+
+namespace finelog {
+
+class LivenessTable {
+ public:
+  explicit LivenessTable(uint64_t lease_duration_us)
+      : lease_duration_us_(lease_duration_us) {}
+
+  LivenessTable(const LivenessTable&) = delete;
+  LivenessTable& operator=(const LivenessTable&) = delete;
+
+  // Renews (or starts) `client`'s lease: valid until now + lease duration.
+  // Ignored for a presumed-dead client -- a zombie cannot talk its way back
+  // to life; it must run crash recovery and MarkRecovered.
+  void Renew(ClientId client, uint64_t now_us);
+
+  // Clients whose lease deadline has passed and that are not yet presumed
+  // dead, in id order (deterministic declaration order).
+  std::vector<ClientId> CollectExpired(uint64_t now_us) const;
+
+  // Moves `client` to the presumed-dead set (lease dropped).
+  void MarkPresumedDead(ClientId client);
+
+  // Clears presumed-dead status after the client completed crash recovery
+  // and grants a fresh lease.
+  void MarkRecovered(ClientId client, uint64_t now_us);
+
+  // Drops the lease of a client the harness explicitly crashed: the §3.3
+  // crash path supersedes lease tracking while it is down. Presumed-dead
+  // status, if any, is NOT cleared -- only completed crash recovery
+  // (MarkRecovered) clears it, so every logged declaration is balanced by
+  // exactly one logged clearing record.
+  void Suspend(ClientId client);
+
+  // Wipes every lease but keeps the presumed-dead set. Used at server
+  // restart: deadlines are volatile (clients must renew against the new
+  // incarnation), but presumed-dead status is reloaded from the membership
+  // records in the server log before this is consulted.
+  void DropLeases();
+
+  bool IsPresumedDead(ClientId client) const {
+    return presumed_dead_.count(client) != 0;
+  }
+  bool AnyPresumedDead() const { return !presumed_dead_.empty(); }
+  const std::set<ClientId>& presumed_dead() const { return presumed_dead_; }
+  bool HasLease(ClientId client) const { return deadlines_.count(client) != 0; }
+
+ private:
+  uint64_t lease_duration_us_;
+  std::map<ClientId, uint64_t> deadlines_;  // Absolute expiry, simulated us.
+  std::set<ClientId> presumed_dead_;
+};
+
+}  // namespace finelog
+
+#endif  // FINELOG_SERVER_LIVENESS_H_

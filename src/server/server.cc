@@ -5,6 +5,7 @@
 
 #include "net/rpc.h"
 #include "server/page_merge.h"
+#include "util/fault.h"
 
 namespace finelog {
 
@@ -65,6 +66,9 @@ void Server::RegisterClient(ClientId id, ClientEndpoint* endpoint) {
 void Server::SetClientCrashed(ClientId id, bool crashed) {
   if (crashed) {
     crashed_clients_.insert(id);
+    // Any in-flight crash recovery is void; the restarted client begins a
+    // fresh one, so its recovery-admission window closes.
+    rec_in_progress_.erase(id);
     // Section 3.3: the server releases all shared locks held by the crashed
     // client; exclusive locks are retained for re-installation at restart.
     glm_.ReleaseSharedLocksOf(id);
@@ -75,6 +79,10 @@ void Server::SetClientCrashed(ClientId id, bool crashed) {
         ++it;
       }
     }
+    // The explicit-crash path supersedes lease tracking while the client is
+    // down; presumed-dead status (if already declared) persists until crash
+    // recovery completes.
+    liveness_.Suspend(id);
   } else {
     crashed_clients_.erase(id);
   }
@@ -159,7 +167,7 @@ Status Server::WritePageToDisk(PageId pid, BufferPool::Frame& frame) {
   // for clients no longer holding exclusive locks on the page.
   for (const DctEntry& e : entries) {
     auto cit = clients_.find(e.client);
-    if (cit != clients_.end() && crashed_clients_.count(e.client) == 0) {
+    if (cit != clients_.end() && !ClientUnreachable(e.client)) {
       rpc_->Send(MakeOpts(RpcDir::kServerToClient, "flush_notify", e.client,
                           MessageType::kFlushNotify, 1, kSmallMsg),
                  [&] { cit->second->HandleFlushNotify(pid, e.psn); });
@@ -174,27 +182,46 @@ Status Server::WritePageToDisk(PageId pid, BufferPool::Frame& frame) {
         }
       }
     }
-    if (!holds_x && crashed_clients_.count(e.client) == 0) {
+    if (!holds_x && !ClientUnreachable(e.client)) {
       dct_.Remove(pid, e.client);
     }
   }
   return Status::OK();
 }
 
-bool Server::BlockedByCrashedClient(PageId pid, ClientId requester) const {
-  for (ClientId c : crashed_clients_) {
-    if (c == requester) continue;
+Status Server::CheckPageReachable(PageId pid, ClientId requester) {
+  // A page is unreachable while an unreachable client other than the
+  // requester has unflushed updates on it (a DCT entry) or still holds
+  // exclusive locks covering it.
+  auto blocks = [this, pid](ClientId c) {
     if (dct_.Get(pid, c).has_value()) return true;
-    // GLM X locks of the crashed client also block (client-crash only case
-    // where the GLM survived).
+    // GLM X locks of the unreachable client also block (client-crash only
+    // case where the GLM survived).
     for (const ObjectId& oid : glm_.ExclusiveObjectLocksOf(c)) {
       if (oid.page == pid) return true;
     }
     for (PageId p : glm_.ExclusivePageLocksOf(c)) {
       if (p == pid) return true;
     }
+    return false;
+  };
+  for (ClientId c : crashed_clients_) {
+    if (c == requester) continue;
+    if (blocks(c)) {
+      return Status::WouldBlock(WouldBlockReason::kCrashedDependency,
+                                "page involves a crashed client");
+    }
   }
-  return false;
+  for (ClientId c : liveness_.presumed_dead()) {
+    if (c == requester || crashed_clients_.count(c) != 0) continue;
+    if (blocks(c)) {
+      metrics_->Add(Counter::kLivenessQuarantineDenials);
+      return Status::WouldBlock(
+          WouldBlockReason::kQuarantinedPage,
+          "page quarantined: presumed-dead client has unflushed updates");
+    }
+  }
+  return Status::OK();
 }
 
 Status Server::ExecuteCallbacks(
@@ -210,8 +237,9 @@ Status Server::ExecuteCallbacks(
     // Per-target validation happens before any message is charged, exactly
     // as the unbatched path did per action.
     const ClientId target = actions[i].target;
-    if (crashed_clients_.count(target) > 0) {
-      return Status::WouldBlock("callback target crashed; queued");
+    if (ClientUnreachable(target)) {
+      return Status::WouldBlock(WouldBlockReason::kCrashedDependency,
+                                "callback target unreachable; queued");
     }
     if (clients_.find(target) == clients_.end()) {
       return Status::Internal("unknown client in callback");
@@ -265,7 +293,8 @@ Status Server::ExecuteOneCallback(const CallbackAction& a,
         metrics_->Add(Counter::kServerCallbacksObject);
         if (!reply.granted) {
           metrics_->Add(Counter::kServerCallbacksDenied);
-          return Status::WouldBlock("callback denied: object in use");
+          return Status::WouldBlock(WouldBlockReason::kLockConflict,
+                                    "callback denied: object in use");
         }
         if (reply.page) {
           FINELOG_RETURN_IF_ERROR(ApplyShippedPage(a.target, *reply.page));
@@ -318,7 +347,8 @@ Status Server::ExecuteOneCallback(const CallbackAction& a,
           metrics_->Add(Counter::kServerCallbacksPage);
           if (!reply.granted) {
             metrics_->Add(Counter::kServerCallbacksDenied);
-            return Status::WouldBlock("page callback denied");
+            return Status::WouldBlock(WouldBlockReason::kLockConflict,
+                                      "page callback denied");
           }
           if (reply.page) {
             FINELOG_RETURN_IF_ERROR(ApplyShippedPage(a.target, *reply.page));
@@ -349,7 +379,8 @@ Status Server::ExecuteOneCallback(const CallbackAction& a,
         metrics_->Add(Counter::kServerDeescalations);
         if (!reply.granted) {
           metrics_->Add(Counter::kServerCallbacksDenied);
-          return Status::WouldBlock("de-escalation denied: structural update");
+          return Status::WouldBlock(WouldBlockReason::kLockConflict,
+                                    "de-escalation denied: structural update");
         }
         if (reply.page) {
           FINELOG_RETURN_IF_ERROR(ApplyShippedPage(a.target, *reply.page));
@@ -416,6 +447,7 @@ Result<ObjectLockReply> Server::LockObject(ClientId client, ObjectId oid,
       MakeOpts(RpcDir::kClientToServer, "lock_object", client,
                MessageType::kLockRequest, 1, kSmallMsg),
       [&](RpcReply* rep) -> Result<ObjectLockReply> {
+        FINELOG_RETURN_IF_ERROR(LivenessAdmission(client));
         size_t reply_bytes = kSmallMsg;
         auto reply =
             LockObjectInternal(client, oid, mode, cached_psn, &reply_bytes);
@@ -434,6 +466,7 @@ Result<std::vector<ObjectLockOutcome>> Server::LockObjectBatch(
                MessageType::kLockRequest, items.size(),
                items.size() * kSmallMsg),
       [&](RpcReply* rep) -> Result<std::vector<ObjectLockOutcome>> {
+        FINELOG_RETURN_IF_ERROR(LivenessAdmission(client));
         size_t reply_bytes = 0;
         std::vector<ObjectLockOutcome> out;
         out.reserve(items.size());
@@ -461,9 +494,7 @@ Result<ObjectLockReply> Server::LockObjectInternal(ClientId client,
                                                    size_t* reply_bytes) {
   metrics_->Add(Counter::kServerLockRequests);
 
-  if (BlockedByCrashedClient(oid.page, client)) {
-    return Status::WouldBlock("page involves a crashed client");
-  }
+  FINELOG_RETURN_IF_ERROR(CheckPageReachable(oid.page, client));
 
   // Resolve conflicts; de-escalations can surface new object conflicts, so
   // iterate until the request is clean.
@@ -472,7 +503,8 @@ Result<ObjectLockReply> Server::LockObjectInternal(ClientId client,
     std::vector<CallbackAction> actions = glm_.RequiredForObject(client, oid, mode);
     if (actions.empty()) break;
     if (round >= 8) {
-      return Status::WouldBlock("lock conflict not resolved");
+      return Status::WouldBlock(WouldBlockReason::kLockConflict,
+                                "lock conflict not resolved");
     }
     FINELOG_RETURN_IF_ERROR(ExecuteCallbacks(actions, &x_callbacks));
   }
@@ -542,6 +574,7 @@ Result<PageLockReply> Server::LockPage(ClientId client, PageId pid,
       MakeOpts(RpcDir::kClientToServer, "lock_page", client,
                MessageType::kLockRequest, 1, kSmallMsg),
       [&](RpcReply* rep) -> Result<PageLockReply> {
+        FINELOG_RETURN_IF_ERROR(LivenessAdmission(client));
         return LockPageBody(client, pid, mode, cached_psn, rep);
       });
 }
@@ -551,9 +584,9 @@ Result<PageLockReply> Server::LockPageBody(ClientId client, PageId pid,
                                            RpcReply* rep) {
   metrics_->Add(Counter::kServerLockRequests);
 
-  if (BlockedByCrashedClient(pid, client)) {
+  if (Status reach = CheckPageReachable(pid, client); !reach.ok()) {
     rep->Set(MessageType::kLockReply, kSmallMsg);
-    return Status::WouldBlock("page involves a crashed client");
+    return reach;
   }
 
   std::vector<XCallbackInfo> x_callbacks;
@@ -562,7 +595,8 @@ Result<PageLockReply> Server::LockPageBody(ClientId client, PageId pid,
     if (actions.empty()) break;
     if (round >= 8) {
       rep->Set(MessageType::kLockReply, kSmallMsg);
-      return Status::WouldBlock("lock conflict not resolved");
+      return Status::WouldBlock(WouldBlockReason::kLockConflict,
+                                "lock conflict not resolved");
     }
     Status st = ExecuteCallbacks(actions, &x_callbacks);
     if (!st.ok()) {
@@ -615,6 +649,7 @@ Result<PageFetchReply> Server::FetchPage(ClientId client, PageId pid) {
       MakeOpts(RpcDir::kClientToServer, "fetch_page", client,
                MessageType::kPageFetch, 1, kSmallMsg),
       [&](RpcReply* rep) -> Result<PageFetchReply> {
+        FINELOG_RETURN_IF_ERROR(LivenessAdmission(client));
         size_t reply_bytes = 0;
         auto reply = FetchPageInternal(client, pid, &reply_bytes);
         if (!reply.ok()) return reply.status();  // Errors send no reply.
@@ -631,6 +666,7 @@ Result<std::vector<PageFetchReply>> Server::FetchPages(
       MakeOpts(RpcDir::kClientToServer, "fetch_page", client,
                MessageType::kPageFetch, pids.size(), pids.size() * kSmallMsg),
       [&](RpcReply* rep) -> Result<std::vector<PageFetchReply>> {
+        FINELOG_RETURN_IF_ERROR(LivenessAdmission(client));
         size_t reply_bytes = 0;
         std::vector<PageFetchReply> out;
         out.reserve(pids.size());
@@ -665,6 +701,7 @@ Status Server::ShipPage(ClientId client, const ShippedPage& page) {
       MakeOpts(RpcDir::kClientToServer, "ship_page", client,
                MessageType::kPageShip, 1, page.wire_size()),
       [&](RpcReply* rep) -> Status {
+        FINELOG_RETURN_IF_ERROR(LivenessAdmission(client));
         FINELOG_RETURN_IF_ERROR(ApplyShippedPage(client, page));
         rep->Set(MessageType::kPageShipAck, kSmallMsg);
         return Status::OK();
@@ -681,6 +718,7 @@ Status Server::ShipPages(ClientId client,
       MakeOpts(RpcDir::kClientToServer, "ship_page", client,
                MessageType::kPageShip, pages.size(), bytes),
       [&](RpcReply* rep) -> Status {
+        FINELOG_RETURN_IF_ERROR(LivenessAdmission(client));
         for (const ShippedPage& p : pages) {
           FINELOG_RETURN_IF_ERROR(ApplyShippedPage(client, p));
         }
@@ -695,6 +733,7 @@ Result<AllocReply> Server::AllocatePage(ClientId client) {
       MakeOpts(RpcDir::kClientToServer, "alloc_page", client,
                MessageType::kAllocRequest, 1, kSmallMsg),
       [&](RpcReply* rep) -> Result<AllocReply> {
+        FINELOG_RETURN_IF_ERROR(LivenessAdmission(client));
         auto alloc = space_map_->AllocatePage();
         if (!alloc.ok()) return alloc.status();
         Page page(config_.page_size);
@@ -721,6 +760,7 @@ Status Server::ForcePage(ClientId client, PageId pid) {
       MakeOpts(RpcDir::kClientToServer, "force_page", client,
                MessageType::kForcePageRequest, 1, kSmallMsg),
       [&](RpcReply* rep) -> Status {
+        FINELOG_RETURN_IF_ERROR(LivenessAdmission(client));
         metrics_->Add(Counter::kServerForcePageRequests);
         if (BufferPool::Frame* frame = pool_->Get(pid)) {
           if (frame->dirty) {
@@ -763,6 +803,7 @@ Status Server::ReleaseLocksBody(ClientId client,
                                 const std::vector<ObjectId>& objects,
                                 const std::vector<PageId>& pages,
                                 RpcReply* rep) {
+  FINELOG_RETURN_IF_ERROR(LivenessAdmission(client));
   for (const ObjectId& oid : objects) {
     glm_.ReleaseObject(client, oid);
   }
@@ -796,6 +837,7 @@ Status Server::CommitShipLogs(ClientId client, size_t log_bytes) {
       MakeOpts(RpcDir::kClientToServer, "commit_ship_logs", client,
                MessageType::kCommitShipLogs, 1, log_bytes),
       [&](RpcReply* rep) -> Status {
+        FINELOG_RETURN_IF_ERROR(LivenessAdmission(client));
         // ARIES/CSA: the server forces the shipped records to its log before
         // acknowledging. The records themselves are not interpreted (the
         // client retains its own copy); only the durability cost is
@@ -816,6 +858,7 @@ Status Server::CommitShipPages(ClientId client,
       MakeOpts(RpcDir::kClientToServer, "commit_ship_pages", client,
                MessageType::kCommitShipPages, 1, bytes),
       [&](RpcReply* rep) -> Status {
+        FINELOG_RETURN_IF_ERROR(LivenessAdmission(client));
         for (const ShippedPage& p : pages) {
           FINELOG_RETURN_IF_ERROR(ApplyShippedPage(client, p));
         }
@@ -838,6 +881,7 @@ Result<TokenReply> Server::AcquireToken(ClientId client, PageId pid) {
 
 Result<TokenReply> Server::AcquireTokenBody(ClientId client, PageId pid,
                                             RpcReply* rep) {
+  FINELOG_RETURN_IF_ERROR(LivenessAdmission(client));
   metrics_->Add(Counter::kServerTokenRequests);
   auto it = token_holder_.find(pid);
   if (it != token_holder_.end() && it->second == client) {
@@ -846,9 +890,10 @@ Result<TokenReply> Server::AcquireTokenBody(ClientId client, PageId pid,
   }
   if (it != token_holder_.end()) {
     ClientId holder = it->second;
-    if (crashed_clients_.count(holder) > 0) {
+    if (ClientUnreachable(holder)) {
       rep->Set(MessageType::kTokenReply, kSmallMsg);
-      return Status::WouldBlock("token holder crashed");
+      return Status::WouldBlock(WouldBlockReason::kCrashedDependency,
+                                "token holder unreachable");
     }
     auto shipped = rpc_->Call(
         MakeOpts(RpcDir::kServerToClient, "token_recall", holder,
@@ -898,7 +943,7 @@ Status Server::TakeSynchronizedCheckpoint() {
   // ARIES/CSA-style: synchronous round trip with every connected client
   // before the checkpoint record is written (Section 4.1).
   for (const auto& [id, ep] : clients_) {
-    if (crashed_clients_.count(id) > 0) continue;
+    if (ClientUnreachable(id)) continue;
     ClientEndpoint* endpoint = ep;
     Status st = rpc_->Call(
         MakeOpts(RpcDir::kServerToClient, "checkpoint_sync", id,
@@ -964,6 +1009,7 @@ Result<DctSnapshot> Server::RecGetMyDct(ClientId client) {
       MakeOpts(RpcDir::kClientToServer, "rec_get_dct", client,
                MessageType::kRecGetDct, 1, kSmallMsg, /*recovery_plane=*/true),
       [&](RpcReply* rep) -> Result<DctSnapshot> {
+        rec_in_progress_.insert(client);
         DctSnapshot snap;
         snap.authoritative = dct_authoritative_;
         snap.entries = dct_.EntriesForClient(client);
@@ -980,6 +1026,7 @@ Result<ClientRecoveryState> Server::RecGetMyXLocks(ClientId client) {
                MessageType::kRecXLocksFetch, 1, kSmallMsg,
                /*recovery_plane=*/true),
       [&](RpcReply* rep) -> Result<ClientRecoveryState> {
+        rec_in_progress_.insert(client);
         ClientRecoveryState state;
         for (const ObjectId& oid : glm_.ExclusiveObjectLocksOf(client)) {
           state.object_locks.emplace_back(oid, LockMode::kExclusive);
@@ -1004,6 +1051,7 @@ Result<ClientRecoveryState> Server::RecInstallLocks(
                objects.size() * 8 + pages.size() * 8 + kSmallMsg,
                /*recovery_plane=*/true),
       [&](RpcReply* rep) -> Result<ClientRecoveryState> {
+        rec_in_progress_.insert(client);
         ClientRecoveryState accepted;
         for (const ObjectId& oid : objects) {
           // A conflicting lock held by another client proves this claim is
@@ -1042,6 +1090,7 @@ Result<PageFetchReply> Server::RecFetchPage(ClientId client, PageId pid) {
 
 Result<PageFetchReply> Server::RecFetchPageBody(ClientId client, PageId pid,
                                                 RpcReply* rep) {
+  rec_in_progress_.insert(client);
   metrics_->Add(Counter::kServerRecoveryPageFetches);
   PageFetchReply reply;
   auto frame = GetPage(pid);
@@ -1087,7 +1136,19 @@ Status Server::RecComplete(ClientId client) {
                /*recovery_plane=*/true),
       [&](RpcReply*) -> Status {
         crashed_clients_.erase(client);
-        if (crashed_clients_.empty()) dct_authoritative_ = true;
+        rec_in_progress_.erase(client);
+        if (liveness_.IsPresumedDead(client)) {
+          // Balance the declaration with a durable clearing record *before*
+          // lifting the quarantine, so a server restart between the two
+          // cannot resurrect a stale presumed-dead status.
+          FINELOG_RETURN_IF_ERROR(
+              AppendMembershipRecord(client, /*presumed_dead=*/false));
+          liveness_.MarkRecovered(client, channel_->clock()->now_us());
+          metrics_->Add(Counter::kLivenessRecoveredZombies);
+        }
+        if (crashed_clients_.empty() && !liveness_.AnyPresumedDead()) {
+          dct_authoritative_ = true;
+        }
         // Retry page recoveries that were waiting on this client
         // (Section 3.5).
         std::vector<std::pair<ClientId, PageId>> pending;
@@ -1102,6 +1163,95 @@ Status Server::RecComplete(ClientId client) {
         }
         return Status::OK();
       });
+}
+
+Status Server::Heartbeat(ClientId client) {
+  if (crashed_) return Status::Crashed("server down");
+  return rpc_->Call(
+      MakeOpts(RpcDir::kClientToServer, "heartbeat", client,
+               MessageType::kHeartbeat, 1, kSmallMsg),
+      [&](RpcReply* rep) -> Status {
+        metrics_->Add(Counter::kLivenessHeartbeatsReceived);
+        FINELOG_RETURN_IF_ERROR(LivenessAdmission(client));
+        rep->Set(MessageType::kHeartbeatAck, kSmallMsg);
+        return Status::OK();
+      });
+}
+
+Status Server::LivenessAdmission(ClientId client) {
+  if (!liveness_enabled()) return Status::OK();
+  FINELOG_RETURN_IF_ERROR(CheckLeases());
+  if (liveness_.IsPresumedDead(client) &&
+      rec_in_progress_.count(client) == 0) {
+    // Zombie: the pre-expiry incarnation's epoch is already fenced at the
+    // RPC layer; a fresh request that does reach us is rejected with a
+    // distinguishable status until the client runs crash recovery.
+    metrics_->Add(Counter::kLivenessZombieFenced);
+    return Status::WouldBlock(WouldBlockReason::kZombieFenced,
+                              "client presumed dead; crash recovery required");
+  }
+  liveness_.Renew(client, channel_->clock()->now_us());
+  return Status::OK();
+}
+
+Status Server::CheckLeases() {
+  for (ClientId id : liveness_.CollectExpired(channel_->clock()->now_us())) {
+    metrics_->Add(Counter::kLivenessLeaseExpiries);
+    FINELOG_RETURN_IF_ERROR(DeclarePresumedDead(id));
+  }
+  return Status::OK();
+}
+
+Status Server::DeclarePresumedDead(ClientId id) {
+  if (config_.fault_injector != nullptr &&
+      config_.fault_injector->Evaluate("liveness.server.expire", 0, false)
+              .action != FaultAction::kNone) {
+    // Armed suppression models a distracted watchdog: the declaration is
+    // skipped this round; the lease stays expired, so a later check retries.
+    return Status::OK();
+  }
+  // The membership change is durable before any lock state is given away: a
+  // server crash after this point re-quarantines the client's dirty pages
+  // from the log alone.
+  FINELOG_RETURN_IF_ERROR(AppendMembershipRecord(id, /*presumed_dead=*/true));
+  liveness_.MarkPresumedDead(id);
+  metrics_->Add(Counter::kLivenessPresumedDead);
+  // Fence the zombie: bump the session epoch so ghosts and retries from the
+  // pre-expiry incarnation are dropped at the RPC layer.
+  rpc_->BumpEpoch(id);
+
+  // Same treatment as an announced crash (Section 3.3): shared locks are
+  // released and update tokens revoked...
+  glm_.ReleaseSharedLocksOf(id);
+  for (auto it = token_holder_.begin(); it != token_holder_.end();) {
+    if (it->second == id) {
+      it = token_holder_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // ...and exclusive locks on pages with no unflushed updates by `id` (no
+  // DCT entry) are reclaimed outright: nothing unrecovered depends on them,
+  // so survivors may use those pages immediately. Exclusive locks covering
+  // DCT-dirty pages are retained: those pages stay quarantined until the
+  // zombie's crash recovery replays or discards its updates
+  // (CheckPageReachable).
+  for (const ObjectId& oid : glm_.ExclusiveObjectLocksOf(id)) {
+    if (!dct_.Get(oid.page, id).has_value()) glm_.ReleaseObject(id, oid);
+  }
+  for (PageId pid : glm_.ExclusivePageLocksOf(id)) {
+    if (!dct_.Get(pid, id).has_value()) glm_.ReleasePage(id, pid);
+  }
+  return Status::OK();
+}
+
+Status Server::AppendMembershipRecord(ClientId member, bool presumed_dead) {
+  LogRecord rec = LogRecord::Membership(member, presumed_dead);
+  auto lsn = log_->Append(rec);
+  if (!lsn.ok()) return lsn.status();
+  FINELOG_RETURN_IF_ERROR(log_->Force());
+  channel_->clock()->Advance(channel_->costs().log_force_us);
+  return Status::OK();
 }
 
 }  // namespace finelog

@@ -24,6 +24,7 @@
 #include "net/channel.h"
 #include "net/endpoints.h"
 #include "server/dct.h"
+#include "server/liveness.h"
 #include "storage/disk_manager.h"
 #include "storage/space_map.h"
 #include "util/metrics.h"
@@ -116,12 +117,21 @@ class Server : public ServerEndpoint {
   Result<std::vector<CallbackListEntry>> RecGetCallbackList(
       ClientId client, PageId pid) override;
 
+  // Liveness (DESIGN.md section 14): lease renewal. Every admitted request
+  // also renews the lease; the explicit heartbeat covers idle clients. A
+  // presumed-dead caller is fenced with WouldBlockReason::kZombieFenced.
+  Status Heartbeat(ClientId client) override;
+
   // ARIES/CSA-baseline synchronized checkpoint: contacts every live client.
   Status TakeSynchronizedCheckpoint();
 
   // Introspection (tests and benchmarks).
   GlobalLockManager& glm() { return glm_; }
   DirtyClientTable& dct() { return dct_; }
+  LivenessTable& liveness() { return liveness_; }
+  bool IsPresumedDead(ClientId id) const {
+    return liveness_.IsPresumedDead(id);
+  }
   LogManager& log() { return *log_; }
   BufferPool& pool() { return *pool_; }
   SpaceMap& space_map() { return *space_map_; }
@@ -132,7 +142,11 @@ class Server : public ServerEndpoint {
  private:
   Server(const SystemConfig& config, Channel* channel, Rpc* rpc,
          Metrics* metrics)
-      : config_(config), channel_(channel), rpc_(rpc), metrics_(metrics) {}
+      : config_(config),
+        channel_(channel),
+        rpc_(rpc),
+        metrics_(metrics),
+        liveness_(config.lease_duration_us) {}
 
   // Fault-injection I/O options for the database disk and the server log,
   // derived from config_ (used at Create and at every post-crash reopen).
@@ -200,9 +214,44 @@ class Server : public ServerEndpoint {
   Status ApplyShippedPage(ClientId client, const ShippedPage& page,
                           bool update_dct_psn = true);
 
-  // True if a crashed, not-yet-recovered client may hold locks on `pid`
-  // (conservative guard used while its GLM entries are unavailable).
-  bool BlockedByCrashedClient(PageId pid, ClientId requester) const;
+  // OK when no crashed or presumed-dead client may hold recoverable state
+  // on `pid` (conservative guard while its GLM/DCT entries are not
+  // authoritative); otherwise a kWouldBlock carrying the machine-readable
+  // reason (kCrashedDependency / kQuarantinedPage).
+  Status CheckPageReachable(PageId pid, ClientId requester);
+
+  // Liveness helpers (DESIGN.md section 14). All are no-ops with the
+  // heartbeat knob off, so the default message/clock schedule is untouched.
+  bool liveness_enabled() const { return config_.liveness_enabled(); }
+
+  // Expires overdue leases, then fences `client` if it is presumed dead;
+  // on admission, renews its lease (any request proves liveness). Called at
+  // the top of every normal-plane endpoint body. The recovery plane is
+  // deliberately not fenced: crash recovery is how a zombie rejoins.
+  Status LivenessAdmission(ClientId client);
+
+  // Declares every lease-expired client presumed dead.
+  Status CheckLeases();
+
+  // The declaration itself: forces a membership record, fences the session
+  // epoch, releases shared locks (§3.3), drops update tokens, and reclaims
+  // exclusive locks on pages with no DCT entry for the client. Pages the
+  // client has dirtied per the DCT stay quarantined (CheckPageReachable).
+  Status DeclarePresumedDead(ClientId id);
+
+  // Appends and forces a kMembership record (declaration or clearing).
+  Status AppendMembershipRecord(ClientId member, bool presumed_dead);
+
+  // True if `id` cannot currently serve or answer for its state: explicitly
+  // crashed or presumed dead. The two sets get identical treatment in the
+  // grant, callback, flush and restart paths.
+  bool ClientUnreachable(ClientId id) const {
+    return crashed_clients_.count(id) != 0 || liveness_.IsPresumedDead(id);
+  }
+
+  // Restart step 0: replays kMembership records from the server log so the
+  // presumed-dead set (and its quarantines) survives a server crash.
+  Status ReloadMembership();
 
   // Recovery helpers (Section 3.4), defined in server_recovery.cc.
   Status RebuildGlmAndCollectState(
@@ -227,6 +276,13 @@ class Server : public ServerEndpoint {
 
   std::map<ClientId, ClientEndpoint*> clients_;
   std::set<ClientId> crashed_clients_;
+  LivenessTable liveness_;
+  // Presumed-dead clients that have started crash recovery (first Rec-plane
+  // request seen). LivenessAdmission admits them -- recovery legitimately
+  // ships pages and heartbeats before RecComplete clears the declaration --
+  // while a zombie that has NOT begun recovery stays fenced. Volatile:
+  // wiped at server restart and when the harness re-crashes the client.
+  std::set<ClientId> rec_in_progress_;
   bool crashed_ = false;
   // False from a server crash until every client has completed restart: the
   // reconstructed DCT may be missing entries for crashed clients.

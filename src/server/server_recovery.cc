@@ -52,6 +52,10 @@ Status Server::Restart() {
   crashed_ = false;
   metrics_->Add(Counter::kServerRestarts);
 
+  // Step 0: membership. Presumed-dead declarations are durable; reload them
+  // before rebuilding lock state so quarantines survive the server crash.
+  FINELOG_RETURN_IF_ERROR(ReloadMembership());
+
   std::map<ClientId, ClientRecoveryState> states;
   FINELOG_RETURN_IF_ERROR(RebuildGlmAndCollectState(&states));
 
@@ -106,7 +110,7 @@ Status Server::Restart() {
 Status Server::RebuildGlmAndCollectState(
     std::map<ClientId, ClientRecoveryState>* states) {
   for (const auto& [cid, ep] : clients_) {
-    if (crashed_clients_.count(cid) > 0) continue;
+    if (ClientUnreachable(cid)) continue;
     ClientEndpoint* endpoint = ep;
     auto state = rpc_->Call(
         RecOpts(RpcDir::kServerToClient, "rec_get_state", cid,
@@ -121,7 +125,20 @@ Status Server::RebuildGlmAndCollectState(
           }
           return s;
         });
-    if (!state.ok()) return state.status();
+    if (!state.ok()) {
+      if (liveness_enabled() && state.status().IsWouldBlock() &&
+          state.status().would_block_reason() ==
+              WouldBlockReason::kRpcTimeout) {
+        // Partition-tolerant restart: a client that cannot be reached is
+        // declared presumed dead on the spot and the rebuild continues
+        // without it. Its dirty pages stay quarantined via the DCT
+        // placeholders reconstructed from checkpoint and replacement
+        // records below.
+        FINELOG_RETURN_IF_ERROR(DeclarePresumedDead(cid));
+        continue;
+      }
+      return state.status();
+    }
     for (const auto& [oid, mode] : state.value().object_locks) {
       glm_.GrantObject(cid, oid, mode);
     }
@@ -157,23 +174,23 @@ Status Server::ReconstructDct(
     scan_start = ckpt_lsn;
     for (const DctEntry& e : ckpt.value().dct) {
       if (e.redo_lsn != kNullLsn) scan_start = std::min(scan_start, e.redo_lsn);
-      // Complex crash: checkpoint entries of crashed clients seed
-      // placeholders (their DPTs are unavailable until they restart).
-      if (crashed_clients_.count(e.client) > 0 && !dct_.Get(e.page, e.client)) {
+      // Complex crash: checkpoint entries of crashed or presumed-dead
+      // clients seed placeholders (their DPTs are unavailable until they
+      // recover).
+      if (ClientUnreachable(e.client) && !dct_.Get(e.page, e.client)) {
         dct_.Set(e.page, e.client, kNullPsn, kNullLsn);
       }
     }
   }
 
-  // First pass: placeholders for crashed clients named in replacement
-  // records (Section 3.5).
-  if (!crashed_clients_.empty()) {
+  // First pass: placeholders for crashed or presumed-dead clients named in
+  // replacement records (Section 3.5).
+  if (!crashed_clients_.empty() || liveness_.AnyPresumedDead()) {
     FINELOG_RETURN_IF_ERROR(
         log_->Scan(scan_start, [&](const LogRecord& rec) -> Status {
           if (rec.type != LogRecordType::kReplacement) return Status::OK();
           for (const DctEntry& e : rec.dct) {
-            if (crashed_clients_.count(e.client) > 0 &&
-                !dct_.Get(e.page, e.client)) {
+            if (ClientUnreachable(e.client) && !dct_.Get(e.page, e.client)) {
               dct_.Set(e.page, e.client, kNullPsn, kNullLsn);
             }
           }
@@ -268,7 +285,7 @@ Result<std::vector<CallbackListEntry>> Server::CollectCallbackList(
 }
 
 Status Server::CoordinatePageRecovery(PageId pid, ClientId client) {
-  if (crashed_clients_.count(client) > 0) {
+  if (ClientUnreachable(client)) {
     return Status::Crashed("client still down");
   }
   auto list = CollectCallbackList(pid, client);
@@ -305,6 +322,35 @@ Status Server::CoordinatePageRecovery(PageId pid, ClientId client) {
   return st;
 }
 
+Status Server::ReloadMembership() {
+  // Every lease is volatile: clients must renew against the new incarnation.
+  liveness_.DropLeases();
+  // So is the recovery-admission window: a zombie mid-recovery when the
+  // server went down must re-enter through the Rec plane.
+  rec_in_progress_.clear();
+  if (!liveness_enabled()) return Status::OK();
+  // Replay declaration/clearing pairs in log order; whoever is still marked
+  // at the end is presumed dead in this incarnation too.
+  std::set<ClientId> dead;
+  FINELOG_RETURN_IF_ERROR(
+      log_->Scan(log_->begin_lsn(), [&](const LogRecord& rec) -> Status {
+        if (rec.type != LogRecordType::kMembership) return Status::OK();
+        if (rec.presumed_dead) {
+          dead.insert(rec.member);
+        } else {
+          dead.erase(rec.member);
+        }
+        return Status::OK();
+      }));
+  for (ClientId id : dead) {
+    liveness_.MarkPresumedDead(id);
+    // Re-fence: the new incarnation must keep rejecting the zombie's stale
+    // session until it completes crash recovery.
+    rpc_->BumpEpoch(id);
+  }
+  return Status::OK();
+}
+
 Result<std::vector<CallbackListEntry>> Server::RecGetCallbackList(
     ClientId client, PageId pid) {
   if (crashed_) return Status::Crashed("server down");
@@ -312,6 +358,7 @@ Result<std::vector<CallbackListEntry>> Server::RecGetCallbackList(
       RecOpts(RpcDir::kClientToServer, "rec_get_callback_list", client,
               MessageType::kRecScanCallbacks, kSmallMsg),
       [&](RpcReply* rep) -> Result<std::vector<CallbackListEntry>> {
+        rec_in_progress_.insert(client);
         auto list = CollectCallbackList(pid, client);
         if (list.ok()) {
           rep->Set(MessageType::kRecCallbacksReply,
@@ -334,12 +381,13 @@ Result<PageFetchReply> Server::RecOrderedFetch(ClientId client, PageId pid,
 Result<PageFetchReply> Server::RecOrderedFetchBody(ClientId client, PageId pid,
                                                    ClientId other, Psn psn,
                                                    RpcReply* rep) {
+  rec_in_progress_.insert(client);
   metrics_->Add(Counter::kServerOrderedFetches);
 
   auto entry = dct_.Get(pid, other);
   bool satisfied = entry && entry->psn != kNullPsn && entry->psn >= psn;
   if (!satisfied) {
-    if (crashed_clients_.count(other) > 0 &&
+    if (ClientUnreachable(other) &&
         config_.lock_granularity != LockGranularity::kPage) {
       // Object granularity: the caller's machinery (deferred coordinated
       // recoveries, CallBack_P suppression) handles the dependency once the

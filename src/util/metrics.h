@@ -72,11 +72,19 @@ namespace finelog {
   X(kClientWalForcesOnReplace, "client.wal_forces_on_replace")               \
   X(kClientWrites, "client.writes")                                          \
   X(kFaultInjected, "fault.injected")                                        \
+  X(kLivenessHeartbeatsReceived, "liveness.heartbeats_received")             \
+  X(kLivenessHeartbeatsSent, "liveness.heartbeats_sent")                     \
+  X(kLivenessLeaseExpiries, "liveness.lease_expiries")                       \
+  X(kLivenessPresumedDead, "liveness.presumed_dead")                         \
+  X(kLivenessQuarantineDenials, "liveness.quarantine_denials")               \
+  X(kLivenessRecoveredZombies, "liveness.recovered_zombies")                 \
+  X(kLivenessZombieFenced, "liveness.zombie_fenced")                         \
   X(kNetDedupHits, "net.dedup_hits")                                         \
   X(kNetDelays, "net.delays")                                                \
   X(kNetDrops, "net.drops")                                                  \
   X(kNetDups, "net.dups")                                                    \
   X(kNetEpochBumps, "net.epoch_bumps")                                       \
+  X(kNetPartitionDrops, "net.partition_drops")                               \
   X(kNetReorders, "net.reorders")                                            \
   X(kNetReplyRecovered, "net.reply_recovered")                               \
   X(kNetRpcBackoffUs, "net.rpc_backoff_us")                                  \

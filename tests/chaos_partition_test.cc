@@ -1,0 +1,275 @@
+// Partition chaos sweep (DESIGN.md section 14, EXPERIMENTS.md E13): one
+// client's network legs are dropped entirely mid-workload. The sweep proves
+// the lease machinery end to end, per net seed:
+//
+//   1. The partitioned client burns its RPC retry budget, self-fences on
+//      its locally-expired lease, and the driver sidelines it.
+//   2. The survivors' own traffic drives the server-side declaration
+//      (presumed dead) without cascading: their leases keep renewing even
+//      while the partitioned client's timeouts advance the simulated clock
+//      in large steps.
+//   3. Survivors resume committing within bounded simulated time of the
+//      declaration.
+//   4. After the partition heals, the returning client is still fenced
+//      (zombie) until RecoverZombie reruns client crash recovery; then it
+//      rejoins and finishes its quota.
+//   5. Zero oracle divergence and monotone durable PSNs at the end.
+//
+// The workload uses the kPrivate access pattern: each client updates its
+// own page span. That isolates the liveness property under test -- with a
+// shared hot set, the dead client's DCT-quarantined pages would (by design)
+// block the survivors' hot-page traffic, which is the *locking* behavior
+// covered by liveness_test, not the partition-tolerant *progress* behavior
+// swept here.
+//
+// Per-seed summary lines go to stdout and, when FINELOG_LIVENESS_SUMMARY
+// names a file, into that file (the CI chaos-smoke job uploads it).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/oracle.h"
+#include "core/system.h"
+#include "core/workload.h"
+#include "tests/test_util.h"
+#include "util/metrics.h"
+
+namespace finelog {
+namespace {
+
+constexpr size_t kPartitionedClient = 2;
+
+SystemConfig PartitionConfig(const std::string& dir, uint64_t net_seed) {
+  SystemConfig config;
+  config.dir = dir;
+  config.num_clients = 3;
+  config.page_size = 2048;
+  config.num_pages = 64;
+  config.preloaded_pages = 16;
+  config.objects_per_page = 8;
+  config.object_size = 64;
+  config.client_cache_pages = 4;
+  config.server_cache_pages = 8;
+  config.net_faults.seed = net_seed;
+  config.heartbeat_interval_us = 2000;
+  // Sized per the config.h guidance: one fully-burned RPC against the
+  // partition costs max_attempts * timeout plus the backoff ladder
+  // (~130ms simulated), and a partitioned client's driver step can burn
+  // two of those (heartbeat + operation). 800ms keeps the survivors'
+  // renewal gap -- one such step between their turns -- well under the
+  // lease, so only the silent client expires.
+  config.lease_duration_us = 800000;
+  return config;
+}
+
+WorkloadOptions PartitionOptions(uint64_t net_seed) {
+  WorkloadOptions options;
+  options.txns_per_client = 12;
+  options.ops_per_txn = 4;
+  options.write_fraction = 0.7;
+  options.pattern = AccessPattern::kPrivate;
+  options.seed = 4242 + net_seed;
+  return options;
+}
+
+std::vector<uint64_t> ReadDurablePsns(const SystemConfig& config) {
+  std::vector<uint64_t> psns(config.num_pages, 0);
+  std::ifstream in(config.dir + "/db.pages", std::ios::binary);
+  if (!in) return psns;
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  for (uint32_t p = 0; p < config.num_pages; ++p) {
+    size_t off = size_t{p} * config.page_size + 8;
+    if (off + sizeof(uint64_t) > bytes.size()) break;
+    std::memcpy(&psns[p], bytes.data() + off, sizeof(uint64_t));
+  }
+  return psns;
+}
+
+void AppendSummary(const std::string& line) {
+  std::printf("[partition] %s\n", line.c_str());
+  const char* path = std::getenv("FINELOG_LIVENESS_SUMMARY");
+  if (path == nullptr || path[0] == '\0') return;
+  std::ofstream out(path, std::ios::app);
+  out << line << '\n';
+}
+
+// One full round of the driver: every non-sidelined client takes one step.
+Result<bool> RunRound(Workload* workload) { return workload->RunSteps(3); }
+
+// One cell of the sweep. Returns an empty string on success, a description
+// of the first divergence otherwise. Out-params feed the summary line.
+std::string RunPartitionCell(uint64_t net_seed, uint64_t* commits,
+                             uint64_t* declare_wait_us, uint64_t* fences) {
+  SystemConfig config = PartitionConfig(
+      MakeTempDir("partition_" + std::to_string(net_seed)), net_seed);
+  auto sys_or = System::Create(config);
+  if (!sys_or.ok()) return "create: " + sys_or.status().ToString();
+  auto system = std::move(sys_or).value();
+  Metrics& m = system->metrics();
+  const ClientId dead_id(static_cast<uint32_t>(kPartitionedClient));
+
+  Oracle oracle;
+  Workload workload(system.get(), &oracle, PartitionOptions(net_seed));
+
+  // Warm up on a healthy wire: every client heartbeats (first request) and
+  // makes some progress; flush so the durable-PSN baseline is non-trivial.
+  if (auto done = workload.RunSteps(30); !done.ok()) {
+    return "warmup: " + done.status().ToString();
+  }
+  if (Status st = system->FlushEverything(); !st.ok()) {
+    return "warmup flush: " + st.ToString();
+  }
+  std::vector<uint64_t> before = ReadDurablePsns(config);
+
+  // Drop both legs of one client, mid-workload.
+  NetFaultConfig partitioned;
+  partitioned.seed = net_seed;
+  partitioned.partitioned_clients = {
+      static_cast<uint32_t>(kPartitionedClient)};
+  system->rpc().faults() = partitioned;
+  const uint64_t t_partition = system->clock().now_us();
+
+  // Keep driving rounds until the server declares the silent client
+  // presumed dead. Each round the partitioned client burns its retry
+  // budget (advancing the clock), self-fences, and is sidelined; the
+  // survivors' admitted requests renew their own leases and run the
+  // expiry check.
+  bool declared = false;
+  for (int round = 0; round < 64; ++round) {
+    auto done = RunRound(&workload);
+    if (!done.ok()) return "partition round: " + done.status().ToString();
+    if (system->server().IsPresumedDead(dead_id)) {
+      declared = true;
+      break;
+    }
+    if (done.value()) break;  // Workload drained before declaration: fail.
+  }
+  if (!declared) return "lease never expired";
+  const uint64_t t_declared = system->clock().now_us();
+  *declare_wait_us = t_declared - t_partition;
+  if (system->server().IsPresumedDead(ClientId(0)) ||
+      system->server().IsPresumedDead(ClientId(1))) {
+    return "survivor lease cascaded into presumed-dead";
+  }
+  if (m.Get(Counter::kLivenessPresumedDead) != 1) {
+    return "expected exactly one declaration, got " +
+           std::to_string(m.Get(Counter::kLivenessPresumedDead));
+  }
+
+  // Survivors must resume committing within bounded simulated time.
+  const uint64_t commits_at_decl = workload.stats().commits;
+  for (int round = 0; round < 200; ++round) {
+    if (workload.stats().commits > commits_at_decl) break;
+    auto done = RunRound(&workload);
+    if (!done.ok()) return "resume round: " + done.status().ToString();
+    if (done.value()) break;
+  }
+  if (workload.stats().commits <= commits_at_decl) {
+    return "survivors never committed after the declaration";
+  }
+  if (system->clock().now_us() - t_declared > 10000000) {
+    return "first survivor commit took unbounded sim time";
+  }
+
+  // Drain the survivors' quota with the partition still up.
+  bool complete = false;
+  for (int i = 0; i < 100 && !complete; ++i) {
+    auto done = workload.RunSteps(500);
+    if (!done.ok()) return "drain: " + done.status().ToString();
+    complete = done.value();
+  }
+  if (!complete) return "survivors never finished their quota";
+  if (workload.stats().zombie_fences == 0) {
+    return "partitioned client was never fenced/sidelined";
+  }
+
+  // Still partitioned: the zombie self-fences on its locally-expired lease.
+  auto fenced = system->client(kPartitionedClient).Begin();
+  if (fenced.ok() || !fenced.status().IsZombieFenced()) {
+    return "pre-heal zombie was not fenced: " + fenced.status().ToString();
+  }
+
+  // Heal. The zombie can reach the server again -- and must still be
+  // fenced there (epoch + admission), not silently readmitted.
+  system->rpc().faults() = NetFaultConfig{};
+  auto zombie = system->client(kPartitionedClient).Begin();
+  if (zombie.ok() || !zombie.status().IsZombieFenced()) {
+    return "post-heal zombie was not fenced: " + zombie.status().ToString();
+  }
+  if (m.Get(Counter::kLivenessZombieFenced) == 0) {
+    return "server never counted a fenced zombie request";
+  }
+
+  // Crash recovery readmits it; it finishes its quota.
+  if (Status st = system->RecoverZombie(kPartitionedClient); !st.ok()) {
+    return "recover zombie: " + st.ToString();
+  }
+  if (system->server().IsPresumedDead(dead_id)) {
+    return "still presumed dead after recovery";
+  }
+  if (m.Get(Counter::kLivenessRecoveredZombies) != 1) {
+    return "expected exactly one recovered zombie";
+  }
+  workload.OnClientRecovered(kPartitionedClient);
+  if (Status st = workload.Run(); !st.ok()) {
+    return "post-recovery run: " + st.ToString();
+  }
+  if (workload.stats().read_mismatches > 0) {
+    return std::to_string(workload.stats().read_mismatches) + " stale reads";
+  }
+
+  // Final invariants: zero oracle divergence, monotone durable PSNs.
+  if (Status st = system->FlushEverything(); !st.ok()) {
+    return "flush: " + st.ToString();
+  }
+  auto mismatches = oracle.Verify(system.get(), 0);
+  if (!mismatches.ok()) return "verify: " + mismatches.status().ToString();
+  if (mismatches.value() != 0) {
+    return std::to_string(mismatches.value()) + " oracle mismatches";
+  }
+  std::vector<uint64_t> after = ReadDurablePsns(config);
+  for (size_t p = 0; p < before.size(); ++p) {
+    if (after[p] < before[p]) {
+      return "page " + std::to_string(p) + " durable PSN went backwards: " +
+             std::to_string(before[p]) + " -> " + std::to_string(after[p]);
+    }
+  }
+  if (m.Get(Counter::kNetPartitionDrops) == 0) {
+    return "partition never dropped a message";
+  }
+
+  *commits = workload.stats().commits;
+  *fences = workload.stats().zombie_fences;
+  return "";
+}
+
+TEST(ChaosPartitionTest, PartitionMatrixPreservesLiveness) {
+  constexpr uint64_t kNetSeeds[] = {1, 2, 3, 4, 5, 6, 7, 8};
+
+  uint64_t total_commits = 0;
+  for (uint64_t seed : kNetSeeds) {
+    SCOPED_TRACE("net_seed=" + std::to_string(seed));
+    uint64_t commits = 0, declare_wait_us = 0, fences = 0;
+    std::string failure =
+        RunPartitionCell(seed, &commits, &declare_wait_us, &fences);
+    EXPECT_EQ(failure, "");
+    total_commits += commits;
+    std::ostringstream line;
+    line << "net_seed=" << seed << " declare_wait_us=" << declare_wait_us
+         << " commits=" << commits << " zombie_fences=" << fences
+         << " result=" << (failure.empty() ? "ok" : failure);
+    AppendSummary(line.str());
+  }
+  EXPECT_GT(total_commits, 0u);
+}
+
+}  // namespace
+}  // namespace finelog

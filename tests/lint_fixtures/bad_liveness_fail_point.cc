@@ -1,0 +1,15 @@
+// Seeded-bad fixture for the liveness-fail-point rule: liveness fail points
+// must follow liveness.<node>.<op> with node in {server,client} and a
+// lower_snake op.
+#include "util/fault.h"
+
+namespace finelog {
+
+void BadLivenessFailPoints(FaultInjector* injector) {
+  // Unknown node: only the server and the clients participate in leasing.
+  (void)injector->Evaluate("liveness.watchdog.expire", 0, false);
+  // Op is not lower_snake.
+  (void)injector->Evaluate("liveness.server.ExpireNow", 0, false);
+}
+
+}  // namespace finelog

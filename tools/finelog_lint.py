@@ -35,6 +35,13 @@ Rules
                    with "net." is checked; two-segment "net.*" literals are
                    metrics counter names and exempt, as are prefix fragments
                    ending in ".".
+  liveness-fail-point
+                   liveness fail points follow the grammar
+                   liveness.<node>.<op> with node in {server,client} and a
+                   lower_snake op. Any string literal with >= 3 dot segments
+                   starting with "liveness." is checked; two-segment
+                   "liveness.*" literals are metrics counter names and
+                   exempt.
   rpc-chokepoint   every message send goes through the Rpc chokepoint
                    (Rpc::Call / Rpc::Send): direct Channel::Count /
                    CountBatch calls are banned in src/ outside src/net/,
@@ -267,6 +274,31 @@ def check_net_fail_points(relpath, text, stripped):
     return out
 
 
+# --- liveness fail-point grammar -------------------------------------------
+
+LIVENESS_POINT_RE = re.compile(r"^liveness\.(server|client)\.[a-z][a-z0-9_]*$")
+
+
+def check_liveness_fail_points(relpath, text, stripped):
+    out = []
+    # Same literal-location strategy as check_net_fail_points: find spans in
+    # `stripped` (prose in comments is blanked), read from the original.
+    for m in re.finditer(r'"[^"\n]*"', stripped):
+        lit = text[m.start() + 1:m.end() - 1]
+        if not lit.startswith("liveness."):
+            continue
+        if lit.count(".") < 2:
+            continue  # Two-segment "liveness.*": a metrics counter name.
+        if not LIVENESS_POINT_RE.match(lit):
+            lineno = text.count("\n", 0, m.start()) + 1
+            out.append(Violation(
+                relpath, lineno, "liveness-fail-point",
+                f'liveness fail point "{lit}" does not match '
+                "liveness.<node>.<op> with node in {server,client} "
+                "(lower_snake op)"))
+    return out
+
+
 # --- rpc chokepoint --------------------------------------------------------
 
 CHOKEPOINT_RE = re.compile(r"(?:\.|->)\s*Count(?:Batch)?\s*\(")
@@ -447,6 +479,7 @@ def lint_file(root, relpath, registry, determinism_only=False):
         return out
     out += check_fail_points(relpath, text, stripped, registry)
     out += check_net_fail_points(relpath, text, stripped)
+    out += check_liveness_fail_points(relpath, text, stripped)
     out += check_rpc_chokepoint(relpath, text, stripped)
     out += check_new_delete(relpath, text, stripped)
     out += check_page_memcpy(relpath, text, stripped)
@@ -477,6 +510,7 @@ FIXTURES = {
     "bad_new_delete.cc": "raw-new-delete",
     "bad_page_memcpy.cc": "page-memcpy",
     "bad_include_guard.h": "include-hygiene",
+    "bad_liveness_fail_point.cc": "liveness-fail-point",
     "bad_metrics_string.cc": "metrics-string-key",
     "bad_net_fail_point.cc": "net-fail-point",
     "bad_rpc_chokepoint.cc": "rpc-chokepoint",
@@ -500,6 +534,7 @@ def run_self_test(root):
         got = (check_determinism(pseudo, text, stripped)
                + check_fail_points(pseudo, text, stripped, registry)
                + check_net_fail_points(pseudo, text, stripped)
+               + check_liveness_fail_points(pseudo, text, stripped)
                + check_rpc_chokepoint(pseudo, text, stripped)
                + check_new_delete(pseudo, text, stripped)
                + check_page_memcpy(pseudo, text, stripped)
