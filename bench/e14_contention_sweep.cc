@@ -1,0 +1,180 @@
+// E14 -- Contention sweep: clients x Zipf skew.
+//
+// The scalable workload generator (core/workload_gen.h) drives a grid of
+// client counts x Zipf thetas, each cell a mixed skewed phase followed by a
+// hot-page merge storm, with leases and group commit enabled so every
+// mechanism the later scaling work depends on is exercised and measured:
+//
+//   txns_per_sim_sec        -- end-to-end modeled throughput
+//   callbacks_per_txn       -- lock callback pressure (object + page)
+//   merges_per_txn          -- PSN copy-merge rate (Section 3.1 traffic)
+//   lease_renewals_per_sec  -- heartbeat load on the server lease table
+//   group_commit_fill       -- mean txns per group force / configured max
+//
+// Output is committed as BENCH_e14_contention.json; tools/bench_gate.py
+// diffs a fresh run against it in CI (tools/bench_tolerances.json holds the
+// per-metric bands), so a hot-path regression on any of these fails the
+// build. All numbers come from the deterministic simulation: reruns are
+// byte-identical.
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench/bench_util.h"
+#include "core/workload_gen.h"
+#include "util/metrics.h"
+
+using namespace finelog;
+using namespace finelog::bench;
+
+namespace {
+
+constexpr uint32_t kGroupCommitMax = 4;
+
+struct Cell {
+  uint32_t clients;
+  double theta;
+  uint64_t commits;
+  uint64_t aborts;
+  uint64_t callbacks;
+  uint64_t merges;
+  uint64_t renewals;
+  double txns_per_sim_sec;
+  double callbacks_per_txn;
+  double merges_per_txn;
+  double lease_renewals_per_sec;
+  double group_commit_fill;
+};
+
+Cell RunCell(uint32_t clients, double theta) {
+  SystemConfig config = BenchConfig("e14_c" + std::to_string(clients) + "_t" +
+                                    std::to_string(int(theta * 10)));
+  config.num_clients = clients;
+  config.page_size = 2048;
+  config.num_pages = 96;
+  config.preloaded_pages = 64;
+  config.objects_per_page = 16;
+  config.object_size = 64;
+  config.client_cache_pages = 16;
+  config.server_cache_pages = 96;
+  // Leases on: renewals ride piggybacked heartbeats. The lease must out-
+  // last a full driver round even at 64 clients (every client's step can
+  // advance the simulated clock), so it is deliberately generous.
+  config.heartbeat_interval_us = 5000;
+  config.lease_duration_us = 60ull * 1000 * 1000;
+  // Group commit on: the fill metric is how full windows run under load.
+  config.group_commit_window = 1000ull * 1000 * 1000;
+  config.group_commit_max_txns = kGroupCommitMax;
+
+  auto system = MustCreate(config);
+  Oracle oracle;
+
+  // Total committed work is held roughly constant across client counts so
+  // cells measure contention, not workload size.
+  uint32_t txns = std::max<uint32_t>(2, 96 / clients);
+
+  WorkloadGenOptions gen_options;
+  gen_options.seed = 1400 + clients;
+  PhaseOptions mixed;
+  mixed.kind = PhaseKind::kMixed;
+  mixed.txns_per_client = txns;
+  mixed.ops_per_txn = 4;
+  mixed.write_fraction = 0.6;
+  mixed.zipf_theta = theta;
+  PhaseOptions storm;
+  storm.kind = PhaseKind::kMergeStorm;
+  storm.txns_per_client = std::max<uint32_t>(1, txns / 2);
+  storm.ops_per_txn = 4;
+  storm.write_fraction = 0.8;
+  storm.storm_pages = 4;
+  gen_options.phases = {mixed, storm};
+
+  WorkloadGen gen(system.get(), &oracle, gen_options);
+  if (Status st = gen.Run(); !st.ok()) {
+    std::fprintf(stderr, "e14: cell clients=%u theta=%.1f failed: %s\n",
+                 clients, theta, st.ToString().c_str());
+    std::abort();
+  }
+  // Close any partially filled commit windows before reading fill stats.
+  for (uint32_t i = 0; i < clients; ++i) {
+    if (Status st = system->client(i).FlushCommitGroup(); !st.ok()) {
+      std::fprintf(stderr, "e14: flush group: %s\n", st.ToString().c_str());
+      std::abort();
+    }
+  }
+  auto mismatches = oracle.Verify(system.get(), 0);
+  if (!mismatches.ok() || mismatches.value() != 0) {
+    std::fprintf(stderr, "e14: oracle divergence in cell clients=%u\n",
+                 clients);
+    std::abort();
+  }
+
+  WorkloadStats totals = gen.TotalWorkloadStats();
+  Metrics& m = system->metrics();
+  Cell cell;
+  cell.clients = clients;
+  cell.theta = theta;
+  cell.commits = totals.commits;
+  cell.aborts = totals.aborts;
+  cell.callbacks = 0;
+  cell.merges = 0;
+  cell.renewals = 0;
+  uint64_t group_commits = 0, group_txns = 0;
+  for (const PhaseGenStats& ps : gen.phase_stats()) {
+    cell.callbacks += ps.callbacks;
+    cell.merges += ps.merges;
+    cell.renewals += ps.lease_renewals;
+    group_commits += ps.group_commits;
+    group_txns += ps.group_commit_txns;
+  }
+  // The flush above closes windows after the last phase; fold it in from
+  // the global counters so fill reflects every force.
+  group_commits = m.Get(Counter::kClientGroupCommits);
+  group_txns = m.Get(Counter::kClientGroupCommitTxns);
+  double sim_sec = double(totals.sim_time_us) / 1e6;
+  cell.txns_per_sim_sec = sim_sec > 0 ? double(cell.commits) / sim_sec : 0;
+  cell.callbacks_per_txn =
+      cell.commits > 0 ? double(cell.callbacks) / double(cell.commits) : 0;
+  cell.merges_per_txn =
+      cell.commits > 0 ? double(cell.merges) / double(cell.commits) : 0;
+  cell.lease_renewals_per_sec =
+      sim_sec > 0 ? double(cell.renewals) / sim_sec : 0;
+  cell.group_commit_fill =
+      group_commits > 0
+          ? double(group_txns) / double(group_commits) / kGroupCommitMax
+          : 0;
+  return cell;
+}
+
+}  // namespace
+
+int main() {
+  BenchJson json("e14_contention");
+  std::printf("E14: contention sweep (clients x Zipf theta; mixed + storm)\n");
+  std::printf("%-8s %6s %8s %8s %10s %12s %10s %14s %10s\n", "clients",
+              "theta", "commits", "aborts", "cbs/txn", "merges/txn",
+              "renew/s", "txns/sim_sec", "gc_fill");
+  for (uint32_t clients : {4u, 16u, 64u}) {
+    for (double theta : {0.0, 0.8, 1.2}) {
+      Cell c = RunCell(clients, theta);
+      std::printf("%-8u %6.1f %8llu %8llu %10.3f %12.3f %10.1f %14.1f %10.3f\n",
+                  c.clients, c.theta,
+                  static_cast<unsigned long long>(c.commits),
+                  static_cast<unsigned long long>(c.aborts),
+                  c.callbacks_per_txn, c.merges_per_txn,
+                  c.lease_renewals_per_sec, c.txns_per_sim_sec,
+                  c.group_commit_fill);
+      json.BeginRow();
+      json.Field("clients", uint64_t{c.clients});
+      json.Field("zipf_theta", c.theta);
+      json.Field("commits", c.commits);
+      json.Field("aborts", c.aborts);
+      json.Field("callbacks_per_txn", c.callbacks_per_txn);
+      json.Field("merges_per_txn", c.merges_per_txn);
+      json.Field("lease_renewals_per_sec", c.lease_renewals_per_sec);
+      json.Field("txns_per_sim_sec", c.txns_per_sim_sec);
+      json.Field("group_commit_fill", c.group_commit_fill);
+    }
+  }
+  return json.Write() ? 0 : 1;
+}

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "common/check.h"
 #include "buffer/pin_guard.h"
 #include "server/page_merge.h"
 #include "util/fault.h"
@@ -49,6 +50,10 @@ Result<TxnId> Client::Begin() {
   if (GroupForceDue()) {
     FINELOG_RETURN_IF_ERROR(ForceLog());
   }
+  // MakeTxnId packs the sequence into the low 32 bits; a wrap would alias
+  // the owner field and mis-attribute log records to another client.
+  FINELOG_CHECK(next_txn_seq_ <= 0xFFFFFFFFull,
+                "per-client txn sequence exhausted (2^32 txns)");
   TxnId id = MakeTxnId(id_, next_txn_seq_++);
   txns_[id] = Txn{};
   metrics_->Add(Counter::kClientTxnBegins);

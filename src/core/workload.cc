@@ -23,6 +23,9 @@ std::string Workload::RandomValue() {
 }
 
 ObjectId Workload::PickObject(size_t i, bool for_write) {
+  if (options_.object_picker) {
+    return options_.object_picker(i, for_write, rng_);
+  }
   const SystemConfig& cfg = system_->config();
   uint32_t pages = cfg.preloaded_pages;
   uint32_t slots = cfg.objects_per_page;
@@ -44,8 +47,12 @@ ObjectId Workload::PickObject(size_t i, bool for_write) {
       break;
     }
     case AccessPattern::kPrivate: {
+      // With more clients than pages, spans wrap: clients i and i+pages
+      // share a span ("as private as the database allows"). The unwrapped
+      // form (`i * span`) walked off the preloaded range past ~64 clients.
       uint32_t span = std::max<uint32_t>(1, pages / n);
-      page = static_cast<uint32_t>(i * span + rng_.Uniform(span));
+      uint32_t spans = std::max<uint32_t>(1, pages / span);
+      page = static_cast<uint32_t>((i % spans) * span + rng_.Uniform(span));
       slot = static_cast<SlotId>(rng_.Uniform(slots));
       break;
     }
@@ -55,18 +62,23 @@ ObjectId Workload::PickObject(size_t i, bool for_write) {
         page = rng_.Uniform(hot);
         if (for_write) {
           // Disjoint slots per client: concurrent updates to different
-          // objects of the same page, the Section 3.1 scenario.
+          // objects of the same page, the Section 3.1 scenario. With more
+          // clients than slots the assignment wraps (i mod slots), which
+          // keeps indices in range where the old clamp collapsed every
+          // excess client onto the last slot.
           uint32_t mine = slots / n;
           if (mine == 0) mine = 1;
-          slot = static_cast<SlotId>(i * mine + rng_.Uniform(mine));
-          slot = static_cast<SlotId>(std::min<uint32_t>(slot, slots - 1));
+          uint32_t base = static_cast<uint32_t>((i * mine) % slots);
+          slot = static_cast<SlotId>((base + rng_.Uniform(mine)) % slots);
         } else {
           slot = static_cast<SlotId>(rng_.Uniform(slots));
         }
       } else {
         uint32_t cold = pages - hot;
         uint32_t span = std::max<uint32_t>(1, cold / n);
-        page = static_cast<uint32_t>(hot + i * span + rng_.Uniform(span));
+        uint32_t spans = std::max<uint32_t>(1, cold / span);
+        page = static_cast<uint32_t>(hot + (i % spans) * span +
+                                     rng_.Uniform(span));
         page = std::min<uint32_t>(page, pages - 1);
         slot = static_cast<SlotId>(rng_.Uniform(slots));
       }

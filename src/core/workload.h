@@ -19,6 +19,7 @@
 #ifndef FINELOG_CORE_WORKLOAD_H_
 #define FINELOG_CORE_WORKLOAD_H_
 
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
@@ -42,6 +43,15 @@ struct WorkloadOptions {
   uint32_t max_retries = 25;      // WouldBlock retries before aborting.
   uint64_t seed = 42;
   bool validate_reads = true;     // Check reads against the oracle.
+
+  // Pluggable object selection. When set, it replaces the built-in
+  // `pattern` logic entirely: the driver calls it with the acting client,
+  // whether the access is a write, and the workload's own RNG (the sole
+  // randomness source, so a seeded schedule stays reproducible). This is
+  // the seam the scalable generator (core/workload_gen.h) plugs Zipf
+  // selection and merge-storm phases into without forking the driver.
+  std::function<ObjectId(size_t client, bool for_write, Rng& rng)>
+      object_picker;
 };
 
 struct WorkloadStats {
@@ -74,6 +84,15 @@ class Workload {
   void OnClientCrashed(size_t i);
   // Resumes driving a recovered client.
   void OnClientRecovered(size_t i);
+
+  // True while the driver is skipping client `i` (harness crash or a
+  // zombie-fence sideline). The generator reads this to carry sidelined
+  // clients across phase boundaries.
+  bool client_sidelined(size_t i) const { return states_.at(i).crashed; }
+
+  // Transactions client `i` has committed so far (its progress toward
+  // options.txns_per_client).
+  uint32_t client_txns_done(size_t i) const { return states_.at(i).txns_done; }
 
   const WorkloadStats& stats() const { return stats_; }
 

@@ -1,0 +1,221 @@
+#include "core/workload_gen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace finelog {
+
+// ---------------------------------------------------------------------------
+// ZipfSampler
+// ---------------------------------------------------------------------------
+
+ZipfSampler::ZipfSampler(uint32_t n, double theta) : n_(n), theta_(theta) {
+  FINELOG_CHECK(n > 0, "ZipfSampler needs a non-empty rank space");
+  FINELOG_CHECK(theta >= 0.0, "Zipf theta must be non-negative");
+  if (theta_ == 0.0) return;  // Uniform fast path: no table.
+  cdf_.resize(n_);
+  double total = 0.0;
+  for (uint32_t k = 0; k < n_; ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k) + 1.0, theta_);
+    cdf_[k] = total;
+  }
+  for (uint32_t k = 0; k < n_; ++k) cdf_[k] /= total;
+  cdf_[n_ - 1] = 1.0;  // Guard against accumulated rounding at the tail.
+}
+
+uint32_t ZipfSampler::Sample(Rng& rng) const {
+  if (theta_ == 0.0) return static_cast<uint32_t>(rng.Uniform(n_));
+  double u = rng.NextDouble();
+  auto it = std::upper_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) --it;
+  return static_cast<uint32_t>(it - cdf_.begin());
+}
+
+double ZipfSampler::Probability(uint32_t rank) const {
+  FINELOG_CHECK(rank < n_, "Zipf rank out of range");
+  if (theta_ == 0.0) return 1.0 / static_cast<double>(n_);
+  return rank == 0 ? cdf_[0] : cdf_[rank] - cdf_[rank - 1];
+}
+
+// ---------------------------------------------------------------------------
+// WorkloadGen
+// ---------------------------------------------------------------------------
+
+WorkloadGen::WorkloadGen(System* system, Oracle* oracle,
+                         WorkloadGenOptions options)
+    : system_(system),
+      oracle_(oracle),
+      options_(std::move(options)),
+      sidelined_(system->num_clients(), false),
+      finished_commits_(system->num_clients(), 0) {
+  FINELOG_CHECK(!options_.phases.empty(), "WorkloadGen needs >= 1 phase");
+  StartPhase();
+}
+
+ObjectId WorkloadGen::PickMixed(const PhaseOptions& phase,
+                                const ZipfSampler& sampler, Rng& rng) const {
+  (void)phase;
+  uint32_t slots = system_->config().objects_per_page;
+  uint32_t rank = sampler.Sample(rng);
+  return ObjectId{PageId(rank / slots), static_cast<SlotId>(rank % slots)};
+}
+
+ObjectId WorkloadGen::PickStorm(const PhaseOptions& phase, size_t client,
+                                bool for_write, Rng& rng) const {
+  const SystemConfig& cfg = system_->config();
+  uint32_t pages = std::max<uint32_t>(
+      1, std::min(phase.storm_pages, cfg.preloaded_pages));
+  uint32_t slots = cfg.objects_per_page;
+  uint32_t n = static_cast<uint32_t>(system_->num_clients());
+  uint32_t page = static_cast<uint32_t>(rng.Uniform(pages));
+  SlotId slot;
+  if (for_write) {
+    // Each client owns a slot range; ranges wrap past objects_per_page
+    // clients so indices stay valid at any scale.
+    uint32_t mine = std::max<uint32_t>(1, slots / n);
+    uint32_t base = static_cast<uint32_t>((client * mine) % slots);
+    slot = static_cast<SlotId>((base + rng.Uniform(mine)) % slots);
+  } else {
+    slot = static_cast<SlotId>(rng.Uniform(slots));
+  }
+  return ObjectId{PageId(page), slot};
+}
+
+void WorkloadGen::StartPhase() {
+  const PhaseOptions& phase = options_.phases[phase_index_];
+  const SystemConfig& cfg = system_->config();
+
+  WorkloadOptions wopts;
+  wopts.txns_per_client = phase.txns_per_client;
+  wopts.ops_per_txn = phase.ops_per_txn;
+  wopts.write_fraction = phase.write_fraction;
+  wopts.max_retries = options_.max_retries;
+  wopts.validate_reads = options_.validate_reads;
+  // Distinct deterministic stream per phase: a phase reorder or resize
+  // shows up as a schedule change instead of silently reusing draws.
+  wopts.seed = options_.seed + 0x9E37 * (phase_index_ + 1);
+
+  if (phase.kind == PhaseKind::kMixed && phase.zipf_theta == 0.0) {
+    // Degenerates to the built-in uniform pattern: no picker installed,
+    // so the schedule is byte-identical to a plain uniform Workload.
+    wopts.pattern = AccessPattern::kUniform;
+    sampler_.reset();
+  } else if (phase.kind == PhaseKind::kMixed) {
+    uint64_t objects =
+        uint64_t{cfg.preloaded_pages} * uint64_t{cfg.objects_per_page};
+    sampler_ = std::make_unique<ZipfSampler>(static_cast<uint32_t>(objects),
+                                             phase.zipf_theta);
+    wopts.object_picker = [this, &phase](size_t, bool, Rng& rng) {
+      return PickMixed(phase, *sampler_, rng);
+    };
+  } else {
+    sampler_.reset();
+    wopts.object_picker = [this, &phase](size_t client, bool for_write,
+                                         Rng& rng) {
+      return PickStorm(phase, client, for_write, rng);
+    };
+  }
+
+  active_ = std::make_unique<Workload>(system_, oracle_, wopts);
+  for (size_t i = 0; i < sidelined_.size(); ++i) {
+    if (sidelined_[i]) active_->OnClientCrashed(i);
+  }
+
+  Metrics& m = system_->metrics();
+  base_callbacks_ = m.Get(Counter::kServerCallbacksObject) +
+                    m.Get(Counter::kServerCallbacksPage);
+  base_merges_ = m.Get(Counter::kServerPagesMerged);
+  base_renewals_ = m.Get(Counter::kLivenessHeartbeatsReceived);
+  base_group_commits_ = m.Get(Counter::kClientGroupCommits);
+  base_group_txns_ = m.Get(Counter::kClientGroupCommitTxns);
+  base_sim_us_ = system_->clock().now_us();
+}
+
+void WorkloadGen::FinishPhase() {
+  Metrics& m = system_->metrics();
+  PhaseGenStats ps;
+  ps.workload = active_->stats();
+  ps.callbacks = m.Get(Counter::kServerCallbacksObject) +
+                 m.Get(Counter::kServerCallbacksPage) - base_callbacks_;
+  ps.merges = m.Get(Counter::kServerPagesMerged) - base_merges_;
+  ps.lease_renewals =
+      m.Get(Counter::kLivenessHeartbeatsReceived) - base_renewals_;
+  ps.group_commits = m.Get(Counter::kClientGroupCommits) - base_group_commits_;
+  ps.group_commit_txns =
+      m.Get(Counter::kClientGroupCommitTxns) - base_group_txns_;
+  ps.sim_us = system_->clock().now_us() - base_sim_us_;
+  stats_.push_back(ps);
+
+  // Sidelines (zombie fences) discovered by the driver persist into the
+  // next phase; commit progress is banked per client.
+  for (size_t i = 0; i < sidelined_.size(); ++i) {
+    if (active_->client_sidelined(i)) sidelined_[i] = true;
+    finished_commits_[i] += active_->client_txns_done(i);
+  }
+  active_.reset();
+  ++phase_index_;
+  if (!done()) StartPhase();
+}
+
+Result<bool> WorkloadGen::RunSteps(uint64_t steps) {
+  if (done()) return true;
+  auto phase_done = active_->RunSteps(steps);
+  FINELOG_RETURN_IF_ERROR(phase_done.status());
+  // A completed phase advances, but the next one only starts consuming
+  // steps on the following call: one call never drives more than `steps`
+  // operations, so harness-injected chaos lands where it was aimed.
+  if (phase_done.value()) FinishPhase();
+  return done();
+}
+
+Status WorkloadGen::Run() {
+  while (!done()) {
+    auto complete = RunSteps(100000);
+    FINELOG_RETURN_IF_ERROR(complete.status());
+  }
+  return Status::OK();
+}
+
+void WorkloadGen::OnClientCrashed(size_t i) {
+  sidelined_.at(i) = true;
+  if (active_ != nullptr) active_->OnClientCrashed(i);
+}
+
+void WorkloadGen::OnClientRecovered(size_t i) {
+  sidelined_.at(i) = false;
+  if (active_ != nullptr) active_->OnClientRecovered(i);
+}
+
+WorkloadStats WorkloadGen::TotalWorkloadStats() const {
+  WorkloadStats total;
+  for (const PhaseGenStats& ps : stats_) {
+    total.commits += ps.workload.commits;
+    total.aborts += ps.workload.aborts;
+    total.would_blocks += ps.workload.would_blocks;
+    total.zombie_fences += ps.workload.zombie_fences;
+    total.ops += ps.workload.ops;
+    total.read_mismatches += ps.workload.read_mismatches;
+    total.sim_time_us += ps.sim_us;
+  }
+  if (active_ != nullptr) {
+    const WorkloadStats& cur = active_->stats();
+    total.commits += cur.commits;
+    total.aborts += cur.aborts;
+    total.would_blocks += cur.would_blocks;
+    total.zombie_fences += cur.zombie_fences;
+    total.ops += cur.ops;
+    total.read_mismatches += cur.read_mismatches;
+    total.sim_time_us += system_->clock().now_us() - base_sim_us_;
+  }
+  return total;
+}
+
+uint64_t WorkloadGen::client_commits(size_t i) const {
+  uint64_t total = finished_commits_.at(i);
+  if (active_ != nullptr) total += active_->client_txns_done(i);
+  return total;
+}
+
+}  // namespace finelog

@@ -1,0 +1,164 @@
+// Scalable contention-sweep workload generator.
+//
+// The paper's thesis -- clients do the transactional work so the server
+// stays thin -- only shows its limits under pressure: lock callbacks, page
+// merges, lease renewals and group-commit windows each saturate somewhere
+// as client count and access skew grow. This generator produces that
+// pressure deterministically, behind the existing Workload/System seams:
+//
+//  - Client count is whatever the System was built with (4 to 512+; the
+//    driver and access patterns stay in range past the old ~64-client
+//    assumptions).
+//  - Object selection is Zipf-skewed (ZipfSampler below, seeded through
+//    common/rng.h; theta = 0 degrades to the uniform pattern exactly).
+//  - Phases compose into long-running soaks: mixed read/write phases with
+//    configurable skew alternate with hot-page merge storms (every client
+//    updates its own slots of a few shared pages -- the Section 3.1
+//    merge scenario at full intensity). Chaos (net faults, partitions,
+//    crashes from the PR 4/5 knobs) is injected *between* driver steps by
+//    the harness, which is why the stepwise RunSteps API exists.
+//
+// Every phase runs through the ordinary Workload driver (oracle-verified
+// reads, WouldBlock retry/abort, zombie sidelining), so everything the
+// chaos and crash sweeps prove about the driver holds here too.
+
+#ifndef FINELOG_CORE_WORKLOAD_GEN_H_
+#define FINELOG_CORE_WORKLOAD_GEN_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/oracle.h"
+#include "core/system.h"
+#include "core/workload.h"
+
+namespace finelog {
+
+// Deterministic Zipf(theta) sampler over ranks [0, n). Probability of rank
+// k is proportional to 1 / (k+1)^theta. theta = 0 is exactly one
+// rng.Uniform(n) draw, so a theta-0 schedule is byte-identical to a uniform
+// one; theta > 0 inverts a precomputed CDF with exactly one NextDouble()
+// draw per sample, keeping the RNG stream a deterministic function of the
+// sample sequence.
+class ZipfSampler {
+ public:
+  ZipfSampler(uint32_t n, double theta);
+
+  uint32_t Sample(Rng& rng) const;
+
+  // Theoretical probability of rank k, for property tests.
+  double Probability(uint32_t rank) const;
+
+  uint32_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  uint32_t n_;
+  double theta_;
+  std::vector<double> cdf_;  // Empty when theta == 0 (uniform fast path).
+};
+
+enum class PhaseKind {
+  // Zipf-skewed reads and writes over the whole preloaded object space.
+  // Rank r maps to page r / objects_per_page, slot r % objects_per_page,
+  // so under skew the hottest page absorbs the hottest `objects_per_page`
+  // ranks: fine-granularity locking and copy merging are what keep that
+  // page writable by everyone at once.
+  kMixed,
+  // Merge storm: every access hits one of `storm_pages` shared pages, and
+  // writes go to the acting client's own slot range (disjoint up to
+  // objects_per_page clients, wrapping beyond). Maximizes concurrent
+  // same-page updates and therefore PSN merges and callback traffic.
+  kMergeStorm,
+};
+
+struct PhaseOptions {
+  PhaseKind kind = PhaseKind::kMixed;
+  uint32_t txns_per_client = 8;
+  uint32_t ops_per_txn = 4;
+  double write_fraction = 0.5;
+  double zipf_theta = 0.0;     // kMixed only. 0 = uniform.
+  uint32_t storm_pages = 4;    // kMergeStorm only.
+};
+
+struct WorkloadGenOptions {
+  uint64_t seed = 42;
+  uint32_t max_retries = 25;
+  bool validate_reads = true;
+  std::vector<PhaseOptions> phases;
+};
+
+// Saturation counters for one phase: the raw driver stats plus the metric
+// deltas E14 charts (callbacks, merges, lease renewals, group-commit fill).
+struct PhaseGenStats {
+  WorkloadStats workload;
+  uint64_t callbacks = 0;          // server.callbacks_object + _page deltas.
+  uint64_t merges = 0;             // server.pages_merged delta.
+  uint64_t lease_renewals = 0;     // liveness.heartbeats_received delta.
+  uint64_t group_commits = 0;      // client.group_commits delta.
+  uint64_t group_commit_txns = 0;  // client.group_commit_txns delta.
+  uint64_t sim_us = 0;             // Simulated time spent in the phase.
+};
+
+class WorkloadGen {
+ public:
+  WorkloadGen(System* system, Oracle* oracle, WorkloadGenOptions options);
+
+  WorkloadGen(const WorkloadGen&) = delete;
+  WorkloadGen& operator=(const WorkloadGen&) = delete;
+
+  // Runs every remaining phase to completion.
+  Status Run();
+
+  // Drives at most `steps` operations of the current phase; finished phases
+  // advance automatically. Returns true once every phase is complete. This
+  // is the soak seam: harnesses interleave crashes, partitions and fault
+  // reconfiguration between calls.
+  Result<bool> RunSteps(uint64_t steps);
+
+  bool done() const { return phase_index_ >= options_.phases.size(); }
+  size_t current_phase() const { return phase_index_; }
+
+  // Crash bookkeeping, forwarded to the active phase's driver and
+  // remembered across phase boundaries.
+  void OnClientCrashed(size_t i);
+  void OnClientRecovered(size_t i);
+
+  // Per-phase saturation stats (finished phases only) and the aggregate.
+  const std::vector<PhaseGenStats>& phase_stats() const { return stats_; }
+  WorkloadStats TotalWorkloadStats() const;
+
+  // Committed-transaction quota progress of client `i`, summed over
+  // finished phases plus the active one.
+  uint64_t client_commits(size_t i) const;
+
+ private:
+  void StartPhase();
+  void FinishPhase();
+  ObjectId PickMixed(const PhaseOptions& phase, const ZipfSampler& sampler,
+                     Rng& rng) const;
+  ObjectId PickStorm(const PhaseOptions& phase, size_t client, bool for_write,
+                     Rng& rng) const;
+
+  System* system_;
+  Oracle* oracle_;
+  WorkloadGenOptions options_;
+  size_t phase_index_ = 0;
+  std::unique_ptr<Workload> active_;
+  std::unique_ptr<ZipfSampler> sampler_;  // kMixed with theta > 0 only.
+  std::vector<bool> sidelined_;           // Carried across phases.
+  std::vector<uint64_t> finished_commits_;  // Per client, finished phases.
+  std::vector<PhaseGenStats> stats_;
+  // Metric snapshot at phase start, for delta-based saturation counters.
+  uint64_t base_callbacks_ = 0;
+  uint64_t base_merges_ = 0;
+  uint64_t base_renewals_ = 0;
+  uint64_t base_group_commits_ = 0;
+  uint64_t base_group_txns_ = 0;
+  uint64_t base_sim_us_ = 0;
+};
+
+}  // namespace finelog
+
+#endif  // FINELOG_CORE_WORKLOAD_GEN_H_

@@ -79,20 +79,6 @@ WorkloadOptions PartitionOptions(uint64_t net_seed) {
   return options;
 }
 
-std::vector<uint64_t> ReadDurablePsns(const SystemConfig& config) {
-  std::vector<uint64_t> psns(config.num_pages, 0);
-  std::ifstream in(config.dir + "/db.pages", std::ios::binary);
-  if (!in) return psns;
-  std::string bytes((std::istreambuf_iterator<char>(in)),
-                    std::istreambuf_iterator<char>());
-  for (uint32_t p = 0; p < config.num_pages; ++p) {
-    size_t off = size_t{p} * config.page_size + 8;
-    if (off + sizeof(uint64_t) > bytes.size()) break;
-    std::memcpy(&psns[p], bytes.data() + off, sizeof(uint64_t));
-  }
-  return psns;
-}
-
 void AppendSummary(const std::string& line) {
   std::printf("[partition] %s\n", line.c_str());
   const char* path = std::getenv("FINELOG_LIVENESS_SUMMARY");

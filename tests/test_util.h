@@ -5,8 +5,12 @@
 
 #include <unistd.h>
 
+#include <cstring>
 #include <filesystem>
+#include <fstream>
+#include <iterator>
 #include <string>
+#include <vector>
 
 #include "common/config.h"
 
@@ -33,6 +37,23 @@ inline SystemConfig SmallConfig(const std::string& test_name) {
   config.client_cache_pages = 16;
   config.server_cache_pages = 32;
   return config;
+}
+
+// Durable PSN of every page slot, read straight from the database file on
+// disk -- not through any cache -- so monotonicity is checked against what
+// would survive a power cut. Pages never written read as zero.
+inline std::vector<uint64_t> ReadDurablePsns(const SystemConfig& config) {
+  std::vector<uint64_t> psns(config.num_pages, 0);
+  std::ifstream in(config.dir + "/db.pages", std::ios::binary);
+  if (!in) return psns;
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  for (uint32_t p = 0; p < config.num_pages; ++p) {
+    size_t off = size_t{p} * config.page_size + 8;
+    if (off + sizeof(uint64_t) > bytes.size()) break;
+    std::memcpy(&psns[p], bytes.data() + off, sizeof(uint64_t));
+  }
+  return psns;
 }
 
 }  // namespace finelog

@@ -133,5 +133,43 @@ TEST(WorkloadTest, PatternsStayInPreloadedRange) {
   }
 }
 
+// 512 clients -- 8x more clients than preloaded pages, far past the old
+// ~64-client comfort zone. kPrivate (page spans) and kSharedHot (slot
+// ranges) both partition by client index and used to walk out of the
+// preloaded range or collapse onto one slot once clients outnumbered the
+// resource being split; the modulo forms keep every pick in range at any
+// scale. Quotas are tiny: this is a range/overflow smoke, not a perf run.
+TEST(WorkloadTest, FiveHundredTwelveClientSmoke) {
+  for (AccessPattern pattern :
+       {AccessPattern::kPrivate, AccessPattern::kSharedHot}) {
+    SystemConfig config;
+    config.dir = MakeTempDir("wl_512_" + std::to_string(static_cast<int>(pattern)));
+    config.num_clients = 512;
+    config.page_size = 512;
+    config.num_pages = 128;
+    config.preloaded_pages = 64;
+    config.objects_per_page = 8;
+    config.object_size = 32;
+    config.client_cache_pages = 2;
+    config.server_cache_pages = 64;
+    auto system = System::Create(config).value();
+    Oracle oracle;
+    WorkloadOptions options;
+    options.txns_per_client = 1;
+    options.ops_per_txn = 2;
+    options.write_fraction = 0.5;
+    options.pattern = pattern;
+    options.seed = 512;
+    Workload workload(system.get(), &oracle, options);
+    ASSERT_TRUE(workload.Run().ok()) << "pattern "
+                                     << static_cast<int>(pattern);
+    EXPECT_EQ(workload.stats().commits, 512u);
+    EXPECT_EQ(workload.stats().read_mismatches, 0u);
+    auto mismatches = oracle.Verify(system.get(), 0);
+    ASSERT_TRUE(mismatches.ok());
+    EXPECT_EQ(mismatches.value(), 0u);
+  }
+}
+
 }  // namespace
 }  // namespace finelog

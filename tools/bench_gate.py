@@ -1,0 +1,259 @@
+#!/usr/bin/env python3
+"""bench_gate: CI perf-regression gate over committed BENCH_*.json files.
+
+The simulation is deterministic, so a fresh bench run on an unchanged tree
+reproduces the committed numbers exactly; the tolerance bands exist so an
+intentional, reviewed change inside the band does not force a recommit, while
+a hot-path regression beyond it fails the build.
+
+Model
+-----
+tools/bench_tolerances.json registers, per bench:
+  keys      -- fields that identify a row (the grid coordinates). Rows are
+               matched between committed and fresh files by key tuple; a
+               missing or extra row is an error.
+  metrics   -- measured fields, each with:
+                 rel_tol:   allowed relative change before the gate trips
+                 abs_tol:   slack for near-zero values (default 0.001)
+                 direction: "lower_better" | "higher_better" | "exact"
+               Only changes in the *worse* direction fail; improvements
+               beyond the band are reported as recommit suggestions.
+Every numeric field in a committed bench row must be registered as a key or
+a metric -- an unregistered field is itself a gate failure (and is also
+enforced statically by finelog_lint's bench-registry rule), so new metrics
+cannot silently bypass the gate.
+
+Usage
+-----
+  tools/bench_gate.py --root DIR --fresh-dir DIR [--report FILE] [--only N]
+      Compare fresh BENCH_*.json in --fresh-dir against the committed ones
+      at the repo root. Exit 1 on any regression/config violation.
+  tools/bench_gate.py --root DIR --self-test
+      Prove the gate passes on the committed files compared against
+      themselves and fails on the seeded regressing fixture in
+      tests/bench_gate_fixtures/ (mirrors finelog_lint --self-test).
+"""
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+TOLERANCES_PATH = os.path.join("tools", "bench_tolerances.json")
+FIXTURE_DIR = os.path.join("tests", "bench_gate_fixtures")
+DEFAULT_ABS_TOL = 0.001
+
+
+class Gate:
+    def __init__(self, root):
+        self.root = root
+        path = os.path.join(root, TOLERANCES_PATH)
+        with open(path, encoding="utf-8") as fh:
+            self.config = json.load(fh)
+        self.lines = []
+
+    # -- helpers ------------------------------------------------------------
+
+    def log(self, line):
+        self.lines.append(line)
+
+    @staticmethod
+    def load_bench(path):
+        with open(path, encoding="utf-8") as fh:
+            doc = json.load(fh)
+        if "bench" not in doc or not isinstance(doc.get("rows"), list):
+            raise ValueError(f"{path}: not a BENCH file (need 'bench'+'rows')")
+        return doc
+
+    @staticmethod
+    def row_key(row, keys):
+        return tuple((k, row.get(k)) for k in keys)
+
+    # -- checks -------------------------------------------------------------
+
+    def check_registration(self, name, doc):
+        """Every numeric field must be a registered key or metric."""
+        errors = []
+        spec = self.config.get(name)
+        if spec is None:
+            return [f"{name}: bench not registered in {TOLERANCES_PATH}"]
+        known = set(spec.get("keys", [])) | set(spec.get("metrics", {}))
+        for i, row in enumerate(doc["rows"]):
+            for field, value in row.items():
+                if isinstance(value, bool) or not isinstance(
+                        value, (int, float)):
+                    continue  # String identity fields need no band.
+                if field not in known:
+                    errors.append(
+                        f"{name} row {i}: metric '{field}' is not registered "
+                        f"in {TOLERANCES_PATH} (add it to keys or metrics)")
+        return errors
+
+    def compare(self, name, committed, fresh):
+        """Returns (regressions, improvements) line lists."""
+        spec = self.config[name]
+        keys = spec.get("keys", [])
+        metrics = spec.get("metrics", {})
+        regressions, improvements = [], []
+
+        fresh_rows = {self.row_key(r, keys): r for r in fresh["rows"]}
+        committed_rows = {self.row_key(r, keys): r for r in committed["rows"]}
+        for key, base_row in committed_rows.items():
+            tag = ", ".join(f"{k}={v}" for k, v in key)
+            if key not in fresh_rows:
+                regressions.append(f"{name} [{tag}]: row missing in fresh run")
+                continue
+            new_row = fresh_rows[key]
+            for metric, band in metrics.items():
+                if metric not in base_row:
+                    continue  # Not every bench row reports every metric.
+                if metric not in new_row:
+                    regressions.append(
+                        f"{name} [{tag}] {metric}: missing in fresh run")
+                    continue
+                base, new = float(base_row[metric]), float(new_row[metric])
+                rel_tol = float(band.get("rel_tol", 0.0))
+                abs_tol = float(band.get("abs_tol", DEFAULT_ABS_TOL))
+                direction = band.get("direction", "exact")
+                delta = new - base
+                allowed = max(abs_tol, abs(base) * rel_tol)
+                line = (f"{name} [{tag}] {metric}: {base:.3f} -> {new:.3f} "
+                        f"(allowed +/-{allowed:.3f})")
+                if abs(delta) <= allowed:
+                    continue
+                worse = (direction == "exact"
+                         or (direction == "lower_better" and delta > 0)
+                         or (direction == "higher_better" and delta < 0))
+                if worse:
+                    regressions.append("REGRESSION " + line)
+                else:
+                    improvements.append("improvement " + line +
+                                        " -- consider recommitting")
+        for key in fresh_rows:
+            if key not in committed_rows:
+                tag = ", ".join(f"{k}={v}" for k, v in key)
+                regressions.append(
+                    f"{name} [{tag}]: new row not in committed file "
+                    "(recommit the BENCH json)")
+        return regressions, improvements
+
+    # -- entry points -------------------------------------------------------
+
+    def run(self, fresh_dir, only=None):
+        committed = sorted(glob.glob(os.path.join(self.root, "BENCH_*.json")))
+        if not committed:
+            self.log("no committed BENCH_*.json found")
+            return 1
+        failures = 0
+        for path in committed:
+            fname = os.path.basename(path)
+            doc = self.load_bench(path)
+            name = doc["bench"]
+            if only and name != only:
+                continue
+            errors = self.check_registration(name, doc)
+            fresh_path = os.path.join(fresh_dir, fname)
+            if not os.path.isfile(fresh_path):
+                errors.append(f"{name}: fresh file {fresh_path} missing "
+                              "(bench not run?)")
+            if errors:
+                for e in errors:
+                    self.log("ERROR " + e)
+                failures += len(errors)
+                continue
+            fresh = self.load_bench(fresh_path)
+            errors = self.check_registration(name, fresh)
+            if errors:
+                for e in errors:
+                    self.log("ERROR " + e)
+                failures += len(errors)
+                continue
+            regressions, improvements = self.compare(name, doc, fresh)
+            for line in regressions:
+                self.log(line)
+            for line in improvements:
+                self.log(line)
+            failures += len(regressions)
+            if not regressions:
+                self.log(f"{name}: {len(doc['rows'])} rows within bands"
+                         + (f" ({len(improvements)} improvements)"
+                            if improvements else ""))
+        self.log(f"bench_gate: {failures} violation(s)")
+        return 1 if failures else 0
+
+
+def run_self_test(root):
+    failures = []
+
+    # 1. Committed files compared against themselves must pass.
+    gate = Gate(root)
+    if gate.run(root) != 0:
+        failures.append("gate failed on committed files vs themselves:")
+        failures.extend("  " + l for l in gate.lines)
+    else:
+        print("self-test ok: committed BENCH files pass against themselves")
+
+    # 2. The seeded regressing fixture must fail, on the metrics it degrades.
+    fixture_dir = os.path.join(root, FIXTURE_DIR)
+    gate = Gate(root)
+    rc = gate.run(fixture_dir, only="e14_contention")
+    report = "\n".join(gate.lines)
+    if rc == 0:
+        failures.append("regressing fixture was NOT caught by the gate")
+    elif "REGRESSION" not in report:
+        failures.append("fixture failed for the wrong reason:\n" + report)
+    else:
+        print("self-test ok: seeded regressing fixture trips the gate")
+
+    # 3. An unregistered metric must be rejected.
+    gate = Gate(root)
+    doc = {"bench": "e14_contention",
+           "rows": [{"clients": 4, "zipf_theta": 0.0, "bogus_metric": 1.0}]}
+    errors = gate.check_registration("e14_contention", doc)
+    if not errors:
+        failures.append("unregistered metric was not rejected")
+    else:
+        print("self-test ok: unregistered metric rejected")
+
+    if failures:
+        for f in failures:
+            print("self-test FAIL: " + f, file=sys.stderr)
+        return 1
+    print("self-test passed")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=None,
+                        help="repo root (default: parent of this script)")
+    parser.add_argument("--fresh-dir", default=None,
+                        help="directory holding freshly generated "
+                             "BENCH_*.json files")
+    parser.add_argument("--report", default=None,
+                        help="also write the diff report to this file")
+    parser.add_argument("--only", default=None,
+                        help="gate only the named bench")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify the gate passes on committed numbers "
+                             "and catches the seeded regressing fixture")
+    args = parser.parse_args()
+    root = args.root or os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    if args.self_test:
+        return run_self_test(root)
+    if not args.fresh_dir:
+        parser.error("--fresh-dir is required (or use --self-test)")
+    gate = Gate(root)
+    rc = gate.run(args.fresh_dir, only=args.only)
+    report = "\n".join(gate.lines) + "\n"
+    sys.stdout.write(report)
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as fh:
+            fh.write(report)
+    return rc
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -46,6 +46,11 @@ Rules
                    (Rpc::Call / Rpc::Send): direct Channel::Count /
                    CountBatch calls are banned in src/ outside src/net/,
                    so wire faults, retries and dedup cannot be bypassed.
+  bench-registry   every numeric field in a committed BENCH_*.json at the
+                   repo root must be registered in tools/bench_tolerances.json
+                   (as a row key or a toleranced metric), so a new bench
+                   metric cannot ship without a perf-gate band
+                   (tools/bench_gate.py enforces the same at gate time).
 
 Usage
 -----
@@ -56,6 +61,8 @@ Usage
 """
 
 import argparse
+import glob
+import json
 import os
 import re
 import sys
@@ -454,6 +461,73 @@ def check_include_hygiene(relpath, text, stripped):
     return out
 
 
+# --- bench gate registry ---------------------------------------------------
+
+TOLERANCES_RELPATH = os.path.join("tools", "bench_tolerances.json")
+
+
+def check_bench_file_registered(relpath, doc, config):
+    """Core of the bench-registry rule: every numeric field of every row in
+    the BENCH document must be a registered key or metric of its bench."""
+    out = []
+    name = doc.get("bench")
+    rows = doc.get("rows")
+    if not isinstance(name, str) or not isinstance(rows, list):
+        out.append(Violation(relpath, 1, "bench-registry",
+                             "not a BENCH file (need 'bench' and 'rows')"))
+        return out
+    spec = config.get(name)
+    if spec is None:
+        out.append(Violation(
+            relpath, 1, "bench-registry",
+            f"bench {name!r} has no entry in {TOLERANCES_RELPATH}"))
+        return out
+    known = set(spec.get("keys", [])) | set(spec.get("metrics", {}))
+    for i, row in enumerate(rows):
+        for field, value in row.items():
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue
+            if field not in known:
+                out.append(Violation(
+                    relpath, 1, "bench-registry",
+                    f"row {i}: numeric field {field!r} is not registered in "
+                    f"{TOLERANCES_RELPATH} for bench {name!r}; the perf gate "
+                    "cannot band an unregistered metric"))
+    return out
+
+
+def check_bench_registry(root):
+    """Repo-level rule over committed BENCH_*.json (not per source file)."""
+    out = []
+    bench_files = sorted(glob.glob(os.path.join(root, "BENCH_*.json")))
+    if not bench_files:
+        return out
+    tol_path = os.path.join(root, TOLERANCES_RELPATH)
+    if not os.path.isfile(tol_path):
+        out.append(Violation(TOLERANCES_RELPATH, 1, "bench-registry",
+                             "missing tolerance config for committed "
+                             "BENCH_*.json files"))
+        return out
+    try:
+        with open(tol_path, encoding="utf-8") as fh:
+            config = json.load(fh)
+    except ValueError as err:
+        out.append(Violation(TOLERANCES_RELPATH, 1, "bench-registry",
+                             f"invalid JSON: {err}"))
+        return out
+    for path in bench_files:
+        relpath = os.path.relpath(path, root)
+        try:
+            with open(path, encoding="utf-8") as fh:
+                doc = json.load(fh)
+        except ValueError as err:
+            out.append(Violation(relpath, 1, "bench-registry",
+                                 f"invalid JSON: {err}"))
+            continue
+        out.extend(check_bench_file_registered(relpath, doc, config))
+    return out
+
+
 # --- driver ----------------------------------------------------------------
 
 def iter_files(root, dirs, exts):
@@ -498,6 +572,7 @@ def run_lint(root):
         violations.extend(lint_file(
             root, relpath, registry,
             determinism_only=relpath not in src_files))
+    violations.extend(check_bench_registry(root))
     return violations
 
 
@@ -546,6 +621,25 @@ def run_self_test(root):
                 f"{fname}: expected rule '{rule}' to fire, got {sorted(fired)}")
         else:
             print(f"self-test ok: {fname} -> {rule}")
+    # The bench-registry rule is repo-level (JSON, not C++), so its fixture
+    # is checked directly instead of through the per-file lint loop.
+    bench_fixture = os.path.join(fixture_root, "bad_bench_registry.json")
+    if not os.path.isfile(bench_fixture):
+        failures.append(f"fixture missing: {bench_fixture}")
+    else:
+        with open(bench_fixture, encoding="utf-8") as fh:
+            doc = json.load(fh)
+        tol_path = os.path.join(root, TOLERANCES_RELPATH)
+        with open(tol_path, encoding="utf-8") as fh:
+            config = json.load(fh)
+        got = check_bench_file_registered(
+            os.path.join(FIXTURE_DIR, "bad_bench_registry.json"), doc, config)
+        if not any(v.rule == "bench-registry" for v in got):
+            failures.append(
+                "bad_bench_registry.json: expected rule 'bench-registry' "
+                "to fire")
+        else:
+            print("self-test ok: bad_bench_registry.json -> bench-registry")
     # The real tree must be clean, or the lint gate is already red.
     tree = run_lint(root)
     for v in tree:
