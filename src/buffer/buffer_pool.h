@@ -24,6 +24,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "common/types.h"
@@ -31,7 +32,7 @@
 
 namespace finelog {
 
-class BufferPool {
+class FINELOG_SHARED_STATE_CLASS BufferPool {
  public:
   struct Frame {
     explicit Frame(Page p) : page(std::move(p)) {}
@@ -87,10 +88,13 @@ class BufferPool {
   void Touch(PageId pid);
   Status EvictOne(const EvictHandler& evict);
 
-  uint32_t capacity_;
-  std::unordered_map<PageId, Frame> frames_;
-  std::list<PageId> lru_;  // Front = most recently used.
-  std::unordered_map<PageId, std::list<PageId>::iterator> lru_pos_;
+  SimMutex mu_;
+  uint32_t capacity_ FINELOG_UNGUARDED("immutable after construction");
+  std::unordered_map<PageId, Frame> frames_ FINELOG_GUARDED_BY(mu_);
+  // Front = most recently used.
+  std::list<PageId> lru_ FINELOG_GUARDED_BY(mu_);
+  std::unordered_map<PageId, std::list<PageId>::iterator> lru_pos_
+      FINELOG_GUARDED_BY(mu_);
 };
 
 }  // namespace finelog

@@ -187,6 +187,9 @@ Status Client::BatchAcquireObjectLocks(TxnId txn,
   return Status::OK();
 }
 
+FINELOG_REPLAY_PATH("overlays our modified slots onto the server's page "
+                    "image from the lock grant; those updates are already "
+                    "in the private log")
 Status Client::AcquirePageLock(TxnId txn, PageId pid, LockMode mode) {
   switch (llm_.TryAcquirePage(txn, pid, mode)) {
     case LocalLockManager::Acquire::kHit:
@@ -988,6 +991,8 @@ Status Client::Commit(TxnId txn_id) {
   return Status::OK();
 }
 
+FINELOG_REPLAY_PATH("redo arm of recovery/rollback: the record being "
+                    "applied IS the log")
 Status Client::ApplyRedo(Page* page, const LogRecord& rec) {
   switch (rec.op) {
     case UpdateOp::kOverwrite:
@@ -1020,6 +1025,8 @@ Status Client::ApplyRedo(Page* page, const LogRecord& rec) {
   return Status::Internal("unknown update op");
 }
 
+FINELOG_REPLAY_PATH("undo arm of recovery/rollback: callers write the "
+                    "covering CLRs")
 Status Client::ApplyUndo(Page* page, const LogRecord& rec) {
   switch (rec.op) {
     case UpdateOp::kOverwrite:

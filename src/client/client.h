@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "buffer/buffer_pool.h"
+#include "common/annotations.h"
 #include "common/config.h"
 #include "common/result.h"
 #include "common/types.h"
@@ -33,7 +34,7 @@
 
 namespace finelog {
 
-class Client : public ClientEndpoint {
+class FINELOG_SHARED_STATE_CLASS Client : public ClientEndpoint {
  public:
   Client(const Client&) = delete;
   Client& operator=(const Client&) = delete;
@@ -217,7 +218,7 @@ class Client : public ClientEndpoint {
   // Forces the private log and charges the cost model's force latency. Any
   // successful force makes every queued group commit durable, so the pending
   // group drains here no matter which call site triggered the force.
-  Status ForceLog();
+  Status ForceLog() FINELOG_REQUIRES(mu_);
 
   // True when the group-commit window must close now: the group reached
   // config.group_commit_max_txns, or the oldest queued commit has waited
@@ -237,7 +238,7 @@ class Client : public ClientEndpoint {
 
   // Appends to the private log, running the log space protocol of Section
   // 3.6 on kLogFull.
-  Result<Lsn> AppendLog(const LogRecord& rec);
+  Result<Lsn> AppendLog(const LogRecord& rec) FINELOG_REQUIRES(mu_);
 
   // Log space management (Section 3.6): replace/force the page with the
   // minimum RedoLSN until an append fits.
@@ -296,48 +297,56 @@ class Client : public ClientEndpoint {
                  const std::map<ObjectId, Psn>& callback_lists);
   Status RunUndo(std::map<TxnId, Txn> losers);
 
-  ClientId id_;
-  SystemConfig config_;
-  ServerEndpoint* server_;
-  Channel* channel_;
-  Rpc* rpc_;
-  Metrics* metrics_;
+  // Capability guarding the client's transactional state. Single-threaded
+  // today; the real-clock mode gives each client a thread and an RPC
+  // dispatch loop that both take this.
+  SimMutex mu_;
 
-  std::unique_ptr<LogManager> log_;
-  std::unique_ptr<BufferPool> cache_;
-  LocalLockManager llm_;
+  ClientId id_ FINELOG_UNGUARDED("immutable after construction");
+  SystemConfig config_ FINELOG_UNGUARDED("immutable after construction");
+  ServerEndpoint* server_ FINELOG_UNGUARDED("externally owned wiring, set once");
+  Channel* channel_ FINELOG_UNGUARDED("externally owned wiring, set once");
+  Rpc* rpc_ FINELOG_UNGUARDED("externally owned wiring, set once");
+  Metrics* metrics_ FINELOG_UNGUARDED("monotonic counters, not protocol state");
 
-  std::map<TxnId, Txn> txns_;
-  std::map<PageId, Lsn> dpt_;
-  std::map<PageId, ShipInfo> ship_info_;
+  std::unique_ptr<LogManager> log_ FINELOG_PT_GUARDED_BY(mu_);
+  std::unique_ptr<BufferPool> cache_ FINELOG_PT_GUARDED_BY(mu_);
+  LocalLockManager llm_ FINELOG_GUARDED_BY(mu_);
+
+  std::map<TxnId, Txn> txns_ FINELOG_GUARDED_BY(mu_);
+  std::map<PageId, Lsn> dpt_ FINELOG_GUARDED_BY(mu_);
+  std::map<PageId, ShipInfo> ship_info_ FINELOG_GUARDED_BY(mu_);
   // Exclusive callbacks granted to us, not yet covered by an update record.
   // One X request can call back several holders of the same object (the
   // previous writer plus readers), so each object keeps a list.
-  std::map<ObjectId, std::vector<XCallbackInfo>> pending_callbacks_;
+  std::map<ObjectId, std::vector<XCallbackInfo>> pending_callbacks_
+      FINELOG_GUARDED_BY(mu_);
   // Slots modified since the server last confirmed a flush of the page.
   // Unlike Frame::modified_slots (since last *ship*), this set survives
   // ships, evictions and re-fetches; it is what a restarting server needs
   // merged when it pulls our cached copy (Section 3.4, step 4).
-  std::map<PageId, std::set<SlotId>> unflushed_slots_;
-  std::set<PageId> tokens_held_;
-  std::map<PageId, RecoverySession> recovery_sessions_;
+  std::map<PageId, std::set<SlotId>> unflushed_slots_ FINELOG_GUARDED_BY(mu_);
+  std::set<PageId> tokens_held_ FINELOG_GUARDED_BY(mu_);
+  std::map<PageId, RecoverySession> recovery_sessions_
+      FINELOG_GUARDED_BY(mu_);
 
   // Group commit: transactions whose commit records are appended but not yet
   // forced, in commit order, plus the simulated enqueue time of the oldest.
   // Lost (with the unforced log tail) on crash; recovery then treats them as
   // losers, which is exactly the deferred-durability contract.
-  std::vector<TxnId> pending_commits_;
-  uint64_t oldest_pending_commit_us_ = 0;
+  std::vector<TxnId> pending_commits_ FINELOG_GUARDED_BY(mu_);
+  uint64_t oldest_pending_commit_us_ FINELOG_GUARDED_BY(mu_) = 0;
 
   // Liveness: simulated time of the last heartbeat attempt, and the lease
   // horizon granted by the last successful renewal (0 = no lease yet).
-  uint64_t last_heartbeat_us_ = 0;
-  uint64_t lease_valid_until_ = 0;
+  uint64_t last_heartbeat_us_ FINELOG_GUARDED_BY(mu_) = 0;
+  uint64_t lease_valid_until_ FINELOG_GUARDED_BY(mu_) = 0;
 
-  uint64_t next_txn_seq_ = 1;
-  bool crashed_ = false;
-  uint64_t commits_ = 0;
-  uint64_t aborts_ = 0;
+  uint64_t next_txn_seq_ FINELOG_GUARDED_BY(mu_) = 1;
+  bool crashed_ FINELOG_UNGUARDED("harness lifecycle flag, toggled while "
+                                  "no request is in flight") = false;
+  uint64_t commits_ FINELOG_GUARDED_BY(mu_) = 0;
+  uint64_t aborts_ FINELOG_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace finelog

@@ -1,0 +1,99 @@
+// Checkable protocol and thread-safety annotations (DESIGN.md section 16).
+//
+// Two audiences consume these macros:
+//
+//  1. tools/finelog_verify.py -- the AST-level protocol-conformance checker
+//     (cmake target `verify`). It reads the annotations from source and
+//     enforces the rule catalog: WAL-before-mutate, admission-before-state,
+//     the RPC chokepoint, and the shared-state annotation discipline.
+//     For the verifier the macros are pure markers; they may expand to
+//     nothing and still do their job.
+//
+//  2. clang's -Wthread-safety analysis. Under clang with
+//     FINELOG_THREAD_SAFETY_ANALYSIS defined, the FINELOG_GUARDED_BY /
+//     FINELOG_REQUIRES / capability family expands to the real attributes,
+//     so the day the real-clock concurrent mode lands (ROADMAP), flipping
+//     one define turns the whole vocabulary into compiler-enforced lock
+//     discipline. Today the simulation is single-threaded, no code path
+//     acquires SimMutex, and the attributes stay off by default -- they are
+//     declarative: they record which capability WILL guard each field.
+//
+// Placement grammar (what the verifier parses):
+//   - field:      Type name_ FINELOG_GUARDED_BY(mu_);
+//                 Type name_ FINELOG_UNGUARDED("reason");
+//   - function:   FINELOG_REPLAY_PATH("reason") Status Foo::Bar(...) { ... }
+//                 FINELOG_MUTATES_PAGE Status Mutator(...);
+//   - method:     Status Helper(...) FINELOG_REQUIRES(mu_);
+//   - class:      class FINELOG_SHARED_STATE_CLASS Server { ... };
+
+#ifndef FINELOG_COMMON_ANNOTATIONS_H_
+#define FINELOG_COMMON_ANNOTATIONS_H_
+
+#if defined(__clang__) && defined(FINELOG_THREAD_SAFETY_ANALYSIS)
+#define FINELOG_TS_ATTRIBUTE(x) __attribute__((x))
+#else
+#define FINELOG_TS_ATTRIBUTE(x)  // no-op outside clang -Wthread-safety builds
+#endif
+
+// --- clang -Wthread-safety vocabulary ---------------------------------------
+
+#define FINELOG_CAPABILITY(name) FINELOG_TS_ATTRIBUTE(capability(name))
+#define FINELOG_GUARDED_BY(cap) FINELOG_TS_ATTRIBUTE(guarded_by(cap))
+#define FINELOG_PT_GUARDED_BY(cap) FINELOG_TS_ATTRIBUTE(pt_guarded_by(cap))
+#define FINELOG_REQUIRES(...) \
+  FINELOG_TS_ATTRIBUTE(requires_capability(__VA_ARGS__))
+#define FINELOG_ACQUIRE(...) \
+  FINELOG_TS_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+#define FINELOG_RELEASE(...) \
+  FINELOG_TS_ATTRIBUTE(release_capability(__VA_ARGS__))
+#define FINELOG_EXCLUDES(...) FINELOG_TS_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+#define FINELOG_NO_THREAD_SAFETY_ANALYSIS \
+  FINELOG_TS_ATTRIBUTE(no_thread_safety_analysis)
+
+// --- verifier-only markers (always expand to nothing) -----------------------
+
+// Marks a class whose every non-static data member must carry
+// FINELOG_GUARDED_BY / FINELOG_PT_GUARDED_BY or FINELOG_UNGUARDED("reason").
+// finelog-verify enforces the sweep and requires the marker itself on the
+// core shared classes (Server, GlobalLockManager, LivenessTable, LogManager,
+// Client).
+#define FINELOG_SHARED_STATE_CLASS
+
+// Escape hatch for a field of a FINELOG_SHARED_STATE_CLASS that needs no
+// capability: immutable after construction, externally owned wiring, or a
+// harness-only knob. The reason string is mandatory and shows up in reviews.
+#define FINELOG_UNGUARDED(reason)
+
+// Marks a function that writes page contents. Every *caller* of a function
+// so marked inherits the WAL obligation: its body must also append a log
+// record covering the mutation (Client::AppendLog / LogManager::Append), or
+// itself be FINELOG_MUTATES_PAGE (pushing the obligation further up), or be
+// a declared FINELOG_REPLAY_PATH. The Page primitives in storage/page.h are
+// the annotated roots.
+#define FINELOG_MUTATES_PAGE
+
+// Declares a function exempt from WAL-before-mutate, with justification:
+// recovery replay (the records ARE the log), merge/install of images whose
+// updates were logged by their original writer, or bootstrap/format paths
+// whose durability is established by other means (e.g. forced flush before
+// any client sees the page).
+#define FINELOG_REPLAY_PATH(reason)
+
+namespace finelog {
+
+// Capability placeholder for the single-threaded simulation: each
+// FINELOG_SHARED_STATE_CLASS owns one, and its fields name it in
+// FINELOG_GUARDED_BY(mu_). lock()/unlock() are no-ops today; the real-clock
+// mode replaces the body with a real mutex without touching any annotation.
+class FINELOG_CAPABILITY("mutex") SimMutex {
+ public:
+  SimMutex() = default;
+  SimMutex(const SimMutex&) = delete;
+  SimMutex& operator=(const SimMutex&) = delete;
+  void lock() FINELOG_ACQUIRE() {}
+  void unlock() FINELOG_RELEASE() {}
+};
+
+}  // namespace finelog
+
+#endif  // FINELOG_COMMON_ANNOTATIONS_H_

@@ -28,12 +28,13 @@
 #include <set>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/types.h"
 #include "lock/lock_mode.h"
 
 namespace finelog {
 
-class LocalLockManager {
+class FINELOG_SHARED_STATE_CLASS LocalLockManager {
  public:
   enum class Acquire {
     kHit,           // Granted from the local table.
@@ -117,8 +118,9 @@ class LocalLockManager {
   Entry* FindObject(ObjectId oid);
   const Entry* FindObject(ObjectId oid) const;
 
-  std::map<ObjectId, Entry> object_locks_;
-  std::map<PageId, Entry> page_locks_;
+  SimMutex mu_;
+  std::map<ObjectId, Entry> object_locks_ FINELOG_GUARDED_BY(mu_);
+  std::map<PageId, Entry> page_locks_ FINELOG_GUARDED_BY(mu_);
 };
 
 }  // namespace finelog

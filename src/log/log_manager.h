@@ -23,6 +23,7 @@
 #include <memory>
 #include <string>
 
+#include "common/annotations.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "common/types.h"
@@ -43,7 +44,7 @@ struct LogIoOptions {
   bool debug_trust_tail = false;
 };
 
-class LogManager {
+class FINELOG_SHARED_STATE_CLASS LogManager {
  public:
   static constexpr uint32_t kMagic = 0xF17E70Au;
   static constexpr size_t kFileHeaderSize = 32;
@@ -114,25 +115,31 @@ class LogManager {
   LogManager(std::FILE* f, uint64_t capacity, const LogIoOptions& io)
       : file_(f), capacity_(capacity), io_(io) {}
 
-  Status WriteHeader();
-  Status RecoverExisting();
+  Status WriteHeader() FINELOG_REQUIRES(mu_);
+  Status RecoverExisting() FINELOG_REQUIRES(mu_);
   // Read plus the frame's on-disk footprint, so Scan can advance without
   // re-encoding the record. `frame_size` may be null.
   Result<LogRecord> ReadFrame(Lsn lsn, uint64_t* frame_size) const;
 
-  std::FILE* file_;
-  uint64_t capacity_;
-  LogIoOptions io_;
-  Lsn durable_end_{kFileHeaderSize};
-  Lsn end_lsn_{kFileHeaderSize};
-  Lsn checkpoint_lsn_ = kNullLsn;
-  Lsn reclaim_lsn_{kFileHeaderSize};
-  Lsn punched_below_;  // Everything below is already hole-punched.
-  std::string pending_;  // Frames appended but not yet forced.
-  std::string encode_buf_;  // Reused per-append serialization scratch.
-  uint64_t pending_high_water_ = 0;
-  uint64_t bytes_appended_ = 0;
-  uint64_t force_count_ = 0;
+  // One log = one appender today; the real-clock mode will serialize group
+  // commit through this capability.
+  SimMutex mu_;
+  std::FILE* file_ FINELOG_PT_GUARDED_BY(mu_);
+  uint64_t capacity_ FINELOG_UNGUARDED("immutable after Open");
+  LogIoOptions io_ FINELOG_UNGUARDED("immutable after Open");
+  Lsn durable_end_ FINELOG_GUARDED_BY(mu_){kFileHeaderSize};
+  Lsn end_lsn_ FINELOG_GUARDED_BY(mu_){kFileHeaderSize};
+  Lsn checkpoint_lsn_ FINELOG_GUARDED_BY(mu_) = kNullLsn;
+  Lsn reclaim_lsn_ FINELOG_GUARDED_BY(mu_){kFileHeaderSize};
+  // Everything below is already hole-punched.
+  Lsn punched_below_ FINELOG_GUARDED_BY(mu_);
+  // Frames appended but not yet forced.
+  std::string pending_ FINELOG_GUARDED_BY(mu_);
+  // Reused per-append serialization scratch.
+  std::string encode_buf_ FINELOG_GUARDED_BY(mu_);
+  uint64_t pending_high_water_ FINELOG_GUARDED_BY(mu_) = 0;
+  uint64_t bytes_appended_ FINELOG_GUARDED_BY(mu_) = 0;
+  uint64_t force_count_ FINELOG_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace finelog

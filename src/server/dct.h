@@ -14,12 +14,13 @@
 #include <optional>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/types.h"
 #include "log/log_record.h"
 
 namespace finelog {
 
-class DirtyClientTable {
+class FINELOG_SHARED_STATE_CLASS DirtyClientTable {
  public:
   DirtyClientTable() = default;
   DirtyClientTable(const DirtyClientTable&) = delete;
@@ -59,7 +60,8 @@ class DirtyClientTable {
     Psn psn = kNullPsn;
     Lsn redo_lsn = kNullLsn;
   };
-  std::map<PageId, std::map<ClientId, Value>> table_;
+  SimMutex mu_;
+  std::map<PageId, std::map<ClientId, Value>> table_ FINELOG_GUARDED_BY(mu_);
 };
 
 }  // namespace finelog

@@ -31,11 +31,12 @@
 #include <set>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/types.h"
 
 namespace finelog {
 
-class LivenessTable {
+class FINELOG_SHARED_STATE_CLASS LivenessTable {
  public:
   explicit LivenessTable(uint64_t lease_duration_us)
       : lease_duration_us_(lease_duration_us) {}
@@ -80,9 +81,11 @@ class LivenessTable {
   bool HasLease(ClientId client) const { return deadlines_.count(client) != 0; }
 
  private:
-  uint64_t lease_duration_us_;
-  std::map<ClientId, uint64_t> deadlines_;  // Absolute expiry, simulated us.
-  std::set<ClientId> presumed_dead_;
+  SimMutex mu_;
+  uint64_t lease_duration_us_ FINELOG_UNGUARDED("immutable after construction");
+  // Absolute expiry, simulated us.
+  std::map<ClientId, uint64_t> deadlines_ FINELOG_GUARDED_BY(mu_);
+  std::set<ClientId> presumed_dead_ FINELOG_GUARDED_BY(mu_);
 };
 
 }  // namespace finelog

@@ -8,6 +8,8 @@ namespace {
 
 // Writes `data` into `slot` of `page` regardless of current size/liveness,
 // preserving at least `capacity` bytes of reservation.
+FINELOG_REPLAY_PATH("installs an already-logged image: size-adapting "
+                    "slot overwrite used by merge and recovery install")
 Status ForceSlotValue(Page* page, SlotId slot, const std::string& data,
                       uint16_t capacity = 0) {
   if (page->SlotExists(slot)) {
@@ -21,6 +23,8 @@ Status ForceSlotValue(Page* page, SlotId slot, const std::string& data,
 
 }  // namespace
 
+FINELOG_REPLAY_PATH("merges a shipped copy whose updates the shipping "
+                    "client already logged (WAL held at its ship/force)")
 Status MergeShippedPage(Page* local, const ShippedPage& incoming) {
   Page in(static_cast<uint32_t>(incoming.image.size()));
   in.raw() = incoming.image;
@@ -47,6 +51,8 @@ Status MergeShippedPage(Page* local, const ShippedPage& incoming) {
   return Status::OK();
 }
 
+FINELOG_REPLAY_PATH("installs the server-granted object image carried "
+                    "by a lock reply; logged by its original writer")
 Status InstallObject(Page* local, SlotId slot,
                      const std::optional<std::string>& image, Psn server_psn) {
   if (image.has_value()) {

@@ -108,6 +108,8 @@ Status Server::Crash() {
   return Status::OK();
 }
 
+FINELOG_REPLAY_PATH("bootstrap preload: pages are formatted, filled and "
+                    "flushed to disk before any client can reference them")
 Status Server::Bootstrap(uint32_t n, uint32_t objects_per_page,
                          uint32_t object_size) {
   std::string payload(object_size, '\0');
@@ -727,6 +729,8 @@ Status Server::ShipPages(ClientId client,
       });
 }
 
+FINELOG_REPLAY_PATH("formats a fresh page whose PSN lineage lives in the "
+                    "space map; the allocating client logs from there on")
 Result<AllocReply> Server::AllocatePage(ClientId client) {
   if (crashed_) return Status::Crashed("server down");
   return rpc_->Call(
@@ -1088,6 +1092,8 @@ Result<PageFetchReply> Server::RecFetchPage(ClientId client, PageId pid) {
       });
 }
 
+FINELOG_REPLAY_PATH("recovery plane: reconstructs a never-flushed page "
+                    "from its space-map allocation PSN (Section 2 / [18])")
 Result<PageFetchReply> Server::RecFetchPageBody(ClientId client, PageId pid,
                                                 RpcReply* rep) {
   rec_in_progress_.insert(client);

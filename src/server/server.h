@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "buffer/buffer_pool.h"
+#include "common/annotations.h"
 #include "common/config.h"
 #include "common/result.h"
 #include "common/types.h"
@@ -34,7 +35,7 @@ namespace finelog {
 class Rpc;
 class RpcReply;
 
-class Server : public ServerEndpoint {
+class FINELOG_SHARED_STATE_CLASS Server : public ServerEndpoint {
  public:
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
@@ -164,7 +165,8 @@ class Server : public ServerEndpoint {
 
   // Forces one page to disk: replacement log record, force, in-place write,
   // flush notifications, DCT cleanup (Sections 3.2, 3.6).
-  Status WritePageToDisk(PageId pid, BufferPool::Frame& frame);
+  Status WritePageToDisk(PageId pid, BufferPool::Frame& frame)
+      FINELOG_REQUIRES(mu_);
 
   // Executes the callbacks the GLM requires before a grant. Returns
   // kWouldBlock if any target denies or is crashed. Appends (responder,
@@ -228,19 +230,20 @@ class Server : public ServerEndpoint {
   // on admission, renews its lease (any request proves liveness). Called at
   // the top of every normal-plane endpoint body. The recovery plane is
   // deliberately not fenced: crash recovery is how a zombie rejoins.
-  Status LivenessAdmission(ClientId client);
+  Status LivenessAdmission(ClientId client) FINELOG_REQUIRES(mu_);
 
   // Declares every lease-expired client presumed dead.
-  Status CheckLeases();
+  Status CheckLeases() FINELOG_REQUIRES(mu_);
 
   // The declaration itself: forces a membership record, fences the session
   // epoch, releases shared locks (§3.3), drops update tokens, and reclaims
   // exclusive locks on pages with no DCT entry for the client. Pages the
   // client has dirtied per the DCT stay quarantined (CheckPageReachable).
-  Status DeclarePresumedDead(ClientId id);
+  Status DeclarePresumedDead(ClientId id) FINELOG_REQUIRES(mu_);
 
   // Appends and forces a kMembership record (declaration or clearing).
-  Status AppendMembershipRecord(ClientId member, bool presumed_dead);
+  Status AppendMembershipRecord(ClientId member, bool presumed_dead)
+      FINELOG_REQUIRES(mu_);
 
   // True if `id` cannot currently serve or answer for its state: explicitly
   // crashed or presumed dead. The two sets get identical treatment in the
@@ -262,41 +265,49 @@ class Server : public ServerEndpoint {
   Result<std::vector<CallbackListEntry>> CollectCallbackList(PageId pid,
                                                              ClientId client);
 
-  SystemConfig config_;
-  Channel* channel_;  // Clock/cost charges only; message counting goes via rpc_.
-  Rpc* rpc_;
-  Metrics* metrics_;
+  // Capability guarding the server's shared protocol state. The simulation
+  // is single-threaded, so nothing locks it yet; the real-clock concurrent
+  // mode (ROADMAP) will take it in the RPC dispatch loop.
+  SimMutex mu_;
 
-  std::unique_ptr<DiskManager> disk_;
-  std::unique_ptr<SpaceMap> space_map_;
-  std::unique_ptr<LogManager> log_;
-  std::unique_ptr<BufferPool> pool_;
-  GlobalLockManager glm_;
-  DirtyClientTable dct_;
+  SystemConfig config_ FINELOG_UNGUARDED("immutable after construction");
+  // Clock/cost charges only; message counting goes via rpc_.
+  Channel* channel_ FINELOG_UNGUARDED("externally owned wiring, set once");
+  Rpc* rpc_ FINELOG_UNGUARDED("externally owned wiring, set once");
+  Metrics* metrics_ FINELOG_UNGUARDED("monotonic counters, not protocol state");
 
-  std::map<ClientId, ClientEndpoint*> clients_;
-  std::set<ClientId> crashed_clients_;
-  LivenessTable liveness_;
+  std::unique_ptr<DiskManager> disk_ FINELOG_PT_GUARDED_BY(mu_);
+  std::unique_ptr<SpaceMap> space_map_ FINELOG_PT_GUARDED_BY(mu_);
+  std::unique_ptr<LogManager> log_ FINELOG_PT_GUARDED_BY(mu_);
+  std::unique_ptr<BufferPool> pool_ FINELOG_PT_GUARDED_BY(mu_);
+  GlobalLockManager glm_ FINELOG_GUARDED_BY(mu_);
+  DirtyClientTable dct_ FINELOG_GUARDED_BY(mu_);
+
+  std::map<ClientId, ClientEndpoint*> clients_ FINELOG_GUARDED_BY(mu_);
+  std::set<ClientId> crashed_clients_ FINELOG_GUARDED_BY(mu_);
+  LivenessTable liveness_ FINELOG_GUARDED_BY(mu_);
   // Presumed-dead clients that have started crash recovery (first Rec-plane
   // request seen). LivenessAdmission admits them -- recovery legitimately
   // ships pages and heartbeats before RecComplete clears the declaration --
   // while a zombie that has NOT begun recovery stays fenced. Volatile:
   // wiped at server restart and when the harness re-crashes the client.
-  std::set<ClientId> rec_in_progress_;
-  bool crashed_ = false;
+  std::set<ClientId> rec_in_progress_ FINELOG_GUARDED_BY(mu_);
+  bool crashed_ FINELOG_UNGUARDED("harness lifecycle flag, toggled while "
+                                  "no request is in flight") = false;
   // False from a server crash until every client has completed restart: the
   // reconstructed DCT may be missing entries for crashed clients.
-  bool dct_authoritative_ = true;
+  bool dct_authoritative_ FINELOG_GUARDED_BY(mu_) = true;
 
   // Update-token baseline state (volatile).
-  std::map<PageId, ClientId> token_holder_;
+  std::map<PageId, ClientId> token_holder_ FINELOG_GUARDED_BY(mu_);
 
   // Page recoveries deferred because they depend on a crashed client
   // (Section 3.5); retried when that client completes restart.
-  std::vector<std::pair<ClientId, PageId>> deferred_recoveries_;
+  std::vector<std::pair<ClientId, PageId>> deferred_recoveries_
+      FINELOG_GUARDED_BY(mu_);
 
-  uint64_t disk_reads_ = 0;
-  uint64_t disk_writes_ = 0;
+  uint64_t disk_reads_ FINELOG_GUARDED_BY(mu_) = 0;
+  uint64_t disk_writes_ FINELOG_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace finelog

@@ -284,6 +284,8 @@ Result<std::vector<CallbackListEntry>> Server::CollectCallbackList(
   return out;
 }
 
+FINELOG_REPLAY_PATH("recovery plane: base images come from disk or a "
+                    "formatted page; the client's log drives the replay")
 Status Server::CoordinatePageRecovery(PageId pid, ClientId client) {
   if (ClientUnreachable(client)) {
     return Status::Crashed("client still down");
@@ -378,6 +380,8 @@ Result<PageFetchReply> Server::RecOrderedFetch(ClientId client, PageId pid,
       });
 }
 
+FINELOG_REPLAY_PATH("recovery plane: ordered fetch rebuilds the base "
+                    "image the requester then replays its own log onto")
 Result<PageFetchReply> Server::RecOrderedFetchBody(ClientId client, PageId pid,
                                                    ClientId other, Psn psn,
                                                    RpcReply* rep) {

@@ -32,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/result.h"
 #include "common/slice.h"
 #include "common/status.h"
@@ -55,7 +56,7 @@ class Page {
   Page& operator=(Page&&) = default;
 
   // Initializes an empty page with the given id and starting PSN.
-  void Format(PageId id, Psn psn);
+  FINELOG_MUTATES_PAGE void Format(PageId id, Psn psn);
 
   // Header accessors.
   PageId id() const { return PageId(GetU32(4)); }
@@ -71,31 +72,33 @@ class Page {
   // (0 means capacity = payload size). Reuses a free slot if one exists,
   // otherwise extends the slot directory. This is a non-mergeable
   // (structure-modifying) update: callers must hold a page-level X lock.
-  Result<SlotId> CreateObject(Slice data, uint16_t capacity = 0);
+  FINELOG_MUTATES_PAGE Result<SlotId> CreateObject(Slice data,
+                                                   uint16_t capacity = 0);
 
   // Creates an object at a specific slot (used by redo, which must recreate
   // objects at their original slots).
-  Status CreateObjectAt(SlotId slot, Slice data, uint16_t capacity = 0);
+  FINELOG_MUTATES_PAGE Status CreateObjectAt(SlotId slot, Slice data,
+                                             uint16_t capacity = 0);
 
   // Reads an object's payload.
   Result<std::string> ReadObject(SlotId slot) const;
 
   // Overwrites an object's payload in place with a same-sized value. This is
   // the "mergeable" update of Section 3.1.
-  Status WriteObject(SlotId slot, Slice data);
+  FINELOG_MUTATES_PAGE Status WriteObject(SlotId slot, Slice data);
 
   // Replaces an object's payload with one of a different size. If the new
   // size fits the slot's reserved capacity, the resize happens in place and
   // is mergeable (object-level lock suffices; see ResizeFitsInPlace).
   // Otherwise the object is reallocated -- a structural change.
-  Status ResizeObject(SlotId slot, Slice data);
+  FINELOG_MUTATES_PAGE Status ResizeObject(SlotId slot, Slice data);
 
   // True if resizing `slot` to `new_size` would stay within its reserved
   // capacity (in-place, mergeable).
   bool ResizeFitsInPlace(SlotId slot, size_t new_size) const;
 
   // Deletes an object, freeing its slot (non-mergeable).
-  Status DeleteObject(SlotId slot);
+  FINELOG_MUTATES_PAGE Status DeleteObject(SlotId slot);
 
   bool SlotExists(SlotId slot) const;
   uint16_t ObjectSize(SlotId slot) const;

@@ -1,0 +1,37 @@
+// Seeded-bad fixture for the finelog-verify `admission-before-state` rule:
+// every non-Rec ServerEndpoint method must reach LivenessAdmission() before
+// touching protected server state, or a presumed-dead zombie could mutate
+// lock/DCT/log state it no longer owns.
+//
+// Parsed (not compiled) by `verify_self_test` as an isolated mini-program:
+// it carries its own miniature ServerEndpoint/Server pair so it cannot
+// collide with the real tree's classes.
+#include "common/annotations.h"
+
+namespace finelog {
+
+class ServerEndpoint {
+ public:
+  virtual ~ServerEndpoint() = default;
+  virtual Status ShipPage(ClientId client, const ShippedPage& page) = 0;
+};
+
+class Server : public ServerEndpoint {
+ public:
+  Status ShipPage(ClientId client, const ShippedPage& page) override;
+
+ private:
+  Status LivenessAdmission(ClientId client);
+  GlobalLockManager glm_;
+};
+
+// BAD: releases locks in the GLM before the zombie fence runs. A client the
+// server has already presumed dead (and whose locks it may have given away)
+// would still get its release applied.
+Status Server::ShipPage(ClientId client, const ShippedPage& page) {
+  glm_.ReleaseSharedLocksOf(client);
+  FINELOG_RETURN_IF_ERROR(LivenessAdmission(client));
+  return ApplyShippedPage(client, page);
+}
+
+}  // namespace finelog

@@ -1,0 +1,1011 @@
+#!/usr/bin/env python3
+"""finelog_verify: AST-level protocol-conformance checker (DESIGN.md sec. 16).
+
+Where tools/finelog_lint.py works line-by-line with regexes, this tool builds
+a whole-program model -- function definitions, bodies, call sites, class
+fields, and the FINELOG_* annotations from src/common/annotations.h -- and
+enforces the ordering disciplines the paper's correctness argument rests on.
+
+Rule families
+-------------
+  wal-before-mutate      Any function calling a page mutator (a function
+                         annotated FINELOG_MUTATES_PAGE; the Page primitives
+                         in storage/page.h are the annotated roots) must
+                         itself append a log record covering the mutation
+                         (Client::AppendLog / LogManager::Append /
+                         Server::AppendMembershipRecord), or push the
+                         obligation to its callers by being
+                         FINELOG_MUTATES_PAGE itself, or be a declared
+                         FINELOG_REPLAY_PATH("reason") (recovery replay,
+                         merge/install of already-logged images, bootstrap).
+  admission-before-state Every non-Rec ServerEndpoint method implemented by
+                         Server must reach LivenessAdmission() before any
+                         protected server state (glm_, dct_, pool_, log_,
+                         token_holder_, ...) is touched -- interprocedurally:
+                         helper methods are expanded in call order, so the
+                         Body/Internal indirection cannot hide a violation.
+                         (crashed_ and metrics_/rpc_/channel_ are exempt:
+                         lifecycle flag and accounting wiring, not protocol
+                         state.) The recovery plane (Rec*) is deliberately
+                         unfenced -- crash recovery is how a zombie rejoins.
+  rpc-chokepoint         Direct Channel::Count / Channel::CountBatch calls
+                         are banned outside src/net/ at the call-graph level
+                         (the successor of the retired textual lint rule:
+                         token/AST-based, so comments, strings and macro
+                         names cannot fool it).
+  shared-state-annotations
+                         Every non-static data member of a class marked
+                         FINELOG_SHARED_STATE_CLASS must carry
+                         FINELOG_GUARDED_BY / FINELOG_PT_GUARDED_BY or an
+                         explicit FINELOG_UNGUARDED("reason"); the SimMutex
+                         capability member (mu_) is the one exemption. The
+                         core shared classes (Server, GlobalLockManager,
+                         LivenessTable, LogManager, Client) must be marked.
+
+Frontends
+---------
+Two interchangeable frontends produce the same program model:
+
+  libclang   Full AST via clang.cindex over compile_commands.json, with
+             PARSE_DETAILED_PROCESSING_RECORD so the no-op FINELOG_* marker
+             macros are visible as macro instantiations. Preferred when the
+             (pinned, see CI) libclang + python bindings are installed.
+  internal   A self-contained comment/string-stripping tokenizer + scope
+             parser, driven by the repo conventions the lint already
+             enforces (trailing-underscore members, CamelCase methods,
+             repo-root-relative includes). No dependencies; this is what
+             runs in minimal containers.
+
+`--frontend auto` (default) picks libclang when importable, else internal.
+
+Usage
+-----
+  tools/finelog_verify.py [--root DIR] [--compdb PATH] [--frontend F]
+  tools/finelog_verify.py --self-test    run each rule against its seeded bad
+                                         fixture in tests/verify_fixtures and
+                                         require the full tree to be clean
+"""
+
+import argparse
+import json
+import os
+import re
+import sys
+
+SRC_DIR = "src"
+NET_DIR = os.path.join("src", "net")
+FIXTURE_DIR = os.path.join("tests", "verify_fixtures")
+
+# Names whose annotated-function registry drives wal-before-mutate.
+ANN_MUTATES = "FINELOG_MUTATES_PAGE"
+ANN_REPLAY = "FINELOG_REPLAY_PATH"
+ANN_MARKED_CLASS = "FINELOG_SHARED_STATE_CLASS"
+FIELD_ANNS_OK = {"FINELOG_GUARDED_BY", "FINELOG_PT_GUARDED_BY",
+                 "FINELOG_UNGUARDED"}
+FUNC_ANNS = {ANN_MUTATES, ANN_REPLAY, "FINELOG_REQUIRES", "FINELOG_ACQUIRE",
+             "FINELOG_RELEASE", "FINELOG_EXCLUDES",
+             "FINELOG_NO_THREAD_SAFETY_ANALYSIS"}
+
+# Log-append entry points recognized as discharging the WAL obligation.
+LOG_APPEND_CALLS = {"Append", "AppendLog", "AppendMembershipRecord"}
+
+# Server state that must not be touched before LivenessAdmission in an
+# endpoint body. `crashed_` (harness lifecycle flag) and metrics_/rpc_/
+# channel_ (accounting wiring; rpc_ IS the chokepoint the request arrived
+# through) are deliberately absent.
+PROTECTED_STATE = {
+    "glm_", "dct_", "pool_", "space_map_", "log_", "disk_", "token_holder_",
+    "crashed_clients_", "rec_in_progress_", "deferred_recoveries_",
+    "dct_authoritative_", "clients_", "liveness_",
+}
+ADMISSION_CALL = "LivenessAdmission"
+ENDPOINT_IFACE = "ServerEndpoint"
+ENDPOINT_IMPL = "Server"
+RECOVERY_PLANE_PREFIX = "Rec"
+MIN_ENDPOINTS = 13  # PR 5's data-plane surface; guards interface-parse rot.
+
+CHOKEPOINT_CLASS = "Channel"
+CHOKEPOINT_METHODS = {"Count", "CountBatch"}
+
+CAPABILITY_FIELD = "mu_"
+REQUIRED_MARKED_CLASSES = {
+    "Server", "GlobalLockManager", "LivenessTable", "LogManager", "Client",
+}
+
+CPP_KEYWORDS = {
+    "if", "while", "for", "switch", "return", "sizeof", "catch", "new",
+    "delete", "throw", "case", "do", "else", "alignof", "decltype", "assert",
+    "static_assert", "noexcept", "defined",
+}
+
+
+class Violation:
+    def __init__(self, path, line, rule, message):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+# --------------------------------------------------------------------------
+# Program model (shared by both frontends)
+# --------------------------------------------------------------------------
+
+class Function:
+    """One function definition with its ordered body events."""
+
+    def __init__(self, qname, name, cls, path, line):
+        self.qname = qname          # "Server::LockPage" or "MakeOpts"
+        self.name = name            # unqualified
+        self.cls = cls              # class name or None
+        self.path = path
+        self.line = line
+        self.annotations = set()    # FINELOG_* markers on the definition
+        self.calls = []             # [(callee_name, order, line)]
+        self.state_idents = []      # [(ident, order, line)] PROTECTED_STATE
+
+    def call_names(self):
+        return {c[0] for c in self.calls}
+
+
+class ClassInfo:
+    def __init__(self, name, path, line):
+        self.name = name
+        self.path = path
+        self.line = line
+        self.marked = False                 # FINELOG_SHARED_STATE_CLASS
+        self.fields = []                    # [(name, line, set(annotations))]
+        self.virtual_methods = []           # declared virtual method names
+
+
+class Program:
+    def __init__(self):
+        self.functions = {}     # qname -> Function (first definition wins)
+        self.classes = {}       # name -> ClassInfo
+        self.mutators = set()   # names annotated FINELOG_MUTATES_PAGE
+        self.replay_decls = set()  # names annotated at declaration site
+        self.chokepoint_calls = []  # [(path, line, method)] outside src/net
+
+    def add_function(self, fn):
+        self.functions.setdefault(fn.qname, fn)
+
+
+# --------------------------------------------------------------------------
+# Internal frontend: tokenizer
+# --------------------------------------------------------------------------
+
+def strip_comments_and_strings(text):
+    """Blanks comments and string/char literal *contents*, preserving every
+    character position (same technique as finelog_lint)."""
+    out = []
+    i, n = 0, len(text)
+    state = "code"
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "string"
+                out.append('"')
+                i += 1
+                continue
+            if c == "'":
+                state = "char"
+                out.append("'")
+                i += 1
+                continue
+            out.append(c)
+        elif state == "line_comment":
+            if c == "\n":
+                state = "code"
+                out.append(c)
+            else:
+                out.append(" ")
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append("\n" if c == "\n" else " ")
+        else:  # string | char
+            quote = '"' if state == "string" else "'"
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == quote:
+                state = "code"
+                out.append(quote)
+            elif c == "\n":
+                state = "code"
+                out.append(c)
+            else:
+                out.append(" ")
+        i += 1
+    return "".join(out)
+
+
+TOKEN_RE = re.compile(
+    r"[A-Za-z_]\w*"
+    r"|\d[\w.]*"
+    r"|::|->|\+\+|--|<<=|>>=|<<|>>|<=|>=|==|!=|&&|\|\||\+=|-=|\*=|/=|%=|"
+    r"&=|\|=|\^=|\.\.\.|"
+    r"|[{}()\[\];:,<>=+\-*/&|!~^.?%#\"']")
+
+
+def drop_preprocessor(stripped):
+    """Blanks preprocessor directive lines (keeps newlines) so #include /
+    #define bodies don't masquerade as declarations."""
+    out_lines = []
+    cont = False
+    for line in stripped.split("\n"):
+        is_pp = cont or line.lstrip().startswith("#")
+        cont = is_pp and line.rstrip().endswith("\\")
+        out_lines.append(" " * len(line) if is_pp else line)
+    return "\n".join(out_lines)
+
+
+def tokenize(stripped):
+    """Returns [(token_text, offset)] over pre-stripped text."""
+    toks = []
+    for m in TOKEN_RE.finditer(stripped):
+        t = m.group(0)
+        if t and not t.isspace():
+            toks.append((t, m.start()))
+    return toks
+
+
+def line_of(text, offset):
+    return text.count("\n", 0, offset) + 1
+
+
+def match_brace(tokens, open_idx):
+    """Index of the '}' matching tokens[open_idx] == '{' (len(tokens) if
+    unbalanced)."""
+    depth = 0
+    for i in range(open_idx, len(tokens)):
+        t = tokens[i][0]
+        if t == "{":
+            depth += 1
+        elif t == "}":
+            depth -= 1
+            if depth == 0:
+                return i
+    return len(tokens)
+
+
+# --------------------------------------------------------------------------
+# Internal frontend: per-file parse
+# --------------------------------------------------------------------------
+
+def scan_annotation_registry(tokens, program):
+    """FINELOG_MUTATES_PAGE / FINELOG_REPLAY_PATH(...) followed by a function
+    declaration or definition register that function name globally."""
+    i = 0
+    n = len(tokens)
+    while i < n:
+        t = tokens[i][0]
+        if t in (ANN_MUTATES, ANN_REPLAY):
+            j = i + 1
+            # Skip the annotation's own (reason) argument list, if any.
+            if t == ANN_REPLAY and j < n and tokens[j][0] == "(":
+                depth = 0
+                while j < n:
+                    if tokens[j][0] == "(":
+                        depth += 1
+                    elif tokens[j][0] == ")":
+                        depth -= 1
+                        if depth == 0:
+                            j += 1
+                            break
+                    j += 1
+            # First identifier followed by '(' names the annotated function.
+            while j < n - 1:
+                tj, tj1 = tokens[j][0], tokens[j + 1][0]
+                if tj in (";", "{", "}"):
+                    break
+                if re.match(r"[A-Za-z_]\w*$", tj) and tj1 == "(" \
+                        and tj not in CPP_KEYWORDS:
+                    if t == ANN_MUTATES:
+                        program.mutators.add(tj)
+                    else:
+                        program.replay_decls.add(tj)
+                    break
+                j += 1
+        i += 1
+
+
+def parse_class_body(tokens, open_idx, close_idx, cls, text):
+    """Collects fields (trailing-underscore members at depth 0) and virtual
+    method names from a class body token span."""
+    i = open_idx + 1
+    stmt = []
+    while i < close_idx:
+        t, off = tokens[i]
+        if t == "{":
+            # Inline method body, nested type body, or brace initializer:
+            # skip the block wholesale; a following ';' continues/ends the
+            # statement either way.
+            end = match_brace(tokens, i)
+            stmt.append(("{}", off))
+            i = end + 1
+            if i < close_idx and tokens[i][0] == ";":
+                finish_member_statement(stmt, cls, text)
+                stmt = []
+                i += 1
+            else:
+                finish_member_statement(stmt, cls, text)
+                stmt = []
+            continue
+        if t == ";":
+            finish_member_statement(stmt, cls, text)
+            stmt = []
+            i += 1
+            continue
+        if t in ("public", "private", "protected") and i + 1 < close_idx \
+                and tokens[i + 1][0] == ":":
+            stmt = []
+            i += 2
+            continue
+        stmt.append((t, off))
+        i += 1
+
+
+FIELD_NAME_RE = re.compile(r"^[a-z]\w*_$")
+
+
+def finish_member_statement(stmt, cls, text):
+    if not stmt:
+        return
+    toks = [t for t, _ in stmt]
+    # Virtual method name: identifier immediately before the first '('.
+    if "virtual" in toks and "(" in toks:
+        k = toks.index("(")
+        if k > 0 and re.match(r"[A-Za-z_]\w*$", toks[k - 1]):
+            if k < 2 or toks[k - 2] != "~":
+                cls.virtual_methods.append(toks[k - 1])
+    if "static" in toks or "using" in toks or "typedef" in toks \
+            or "friend" in toks:
+        return
+    # Field: trailing-underscore identifier at paren depth 0 whose next
+    # token closes/initializes the declarator.
+    depth = 0
+    for k, (t, off) in enumerate(stmt):
+        if t == "(":
+            depth += 1
+        elif t == ")":
+            depth -= 1
+        elif depth == 0 and FIELD_NAME_RE.match(t):
+            nxt = toks[k + 1] if k + 1 < len(toks) else ";"
+            if nxt in (";", "=", "{}") or nxt in FIELD_ANNS_OK:
+                anns = {a for a in toks[k + 1:] if a in FIELD_ANNS_OK}
+                cls.fields.append((t, line_of(text, off), anns))
+                return
+            return  # e.g. a constructor's member-init list: not a field.
+
+
+def head_is_function_signature(head_toks):
+    if not head_toks:
+        return False
+    first = head_toks[0]
+    if first in ("namespace", "class", "struct", "enum", "union", "using",
+                 "extern", "template"):
+        return False
+    if "(" not in head_toks or ")" not in head_toks:
+        return False
+    # Reject `X y = {...}` style initializers.
+    depth = 0
+    for t in head_toks:
+        if t == "(":
+            depth += 1
+        elif t == ")":
+            depth -= 1
+        elif t == "=" and depth == 0:
+            return False
+    return head_toks[-1] in (")", "const", "noexcept", "override", "final")
+
+
+def strip_annotation_groups(head_toks):
+    """Drops FINELOG_* annotation tokens and their (arg) groups so the
+    parameter-list '(' can be located."""
+    out = []
+    i = 0
+    while i < len(head_toks):
+        t = head_toks[i]
+        if t in FUNC_ANNS or t in FIELD_ANNS_OK:
+            i += 1
+            if i < len(head_toks) and head_toks[i] == "(":
+                depth = 0
+                while i < len(head_toks):
+                    if head_toks[i] == "(":
+                        depth += 1
+                    elif head_toks[i] == ")":
+                        depth -= 1
+                        if depth == 0:
+                            i += 1
+                            break
+                    i += 1
+            continue
+        out.append(t)
+        i += 1
+    return out
+
+
+def signature_name(head_toks):
+    """(qname, name, class) from a signature head token list."""
+    head_toks = strip_annotation_groups(head_toks)
+    if "(" not in head_toks:
+        return None
+    k = head_toks.index("(")
+    if k == 0:
+        return None
+    name = head_toks[k - 1]
+    if not re.match(r"[A-Za-z_]\w*$", name) or name in CPP_KEYWORDS:
+        return None
+    cls = None
+    base = k - 1
+    if base >= 1 and head_toks[base - 1] == "~":
+        name = "~" + name
+        base -= 1
+    if base >= 2 and head_toks[base - 1] == "::" \
+            and re.match(r"[A-Za-z_]\w*$", head_toks[base - 2]):
+        cls = head_toks[base - 2]
+    qname = f"{cls}::{name}" if cls else name
+    return qname, name, cls
+
+
+def collect_body_events(tokens, open_idx, close_idx, fn, text):
+    order = 0
+    for i in range(open_idx + 1, close_idx):
+        t, off = tokens[i]
+        if not re.match(r"[A-Za-z_]\w*$", t):
+            continue
+        order += 1
+        if i + 1 < close_idx and tokens[i + 1][0] == "(" \
+                and t not in CPP_KEYWORDS:
+            fn.calls.append((t, order, line_of(text, off)))
+        if t in PROTECTED_STATE:
+            fn.state_idents.append((t, order, line_of(text, off)))
+
+
+def parse_file_internal(relpath, text, program):
+    stripped = drop_preprocessor(strip_comments_and_strings(text))
+    tokens = tokenize(stripped)
+    scan_annotation_registry(tokens, program)
+
+    i = 0
+    n = len(tokens)
+    stmt_start = 0
+    # Kinds of currently-open '{' regions, innermost last.
+    region = []
+    while i < n:
+        t, _ = tokens[i]
+        if t == "{":
+            head = [tok for tok, _ in tokens[stmt_start:i]]
+            kind = "block"
+            outer = region[-1] if region else "file"
+            if head and head[0] == "namespace":
+                kind = "namespace"
+            elif head and head[0] in ("class", "struct") and len(head) >= 2 \
+                    and outer in ("file", "namespace"):
+                kind = "class"
+                # Name: last identifier before ':' (bases) or end of head.
+                name_zone = head[1:]
+                if ":" in name_zone:
+                    name_zone = name_zone[:name_zone.index(":")]
+                idents = [x for x in name_zone
+                          if re.match(r"[A-Za-z_]\w*$", x)
+                          and x not in ("final",)]
+                if idents:
+                    cls = ClassInfo(idents[-1], relpath,
+                                    line_of(text, tokens[i][1]))
+                    cls.marked = ANN_MARKED_CLASS in head
+                    end = match_brace(tokens, i)
+                    parse_class_body(tokens, i, end, cls, text)
+                    program.classes.setdefault(cls.name, cls)
+            elif outer in ("file", "namespace") \
+                    and head_is_function_signature(head):
+                sig = signature_name(head)
+                if sig is not None:
+                    qname, name, cls_name = sig
+                    fn = Function(qname, name, cls_name, relpath,
+                                  line_of(text, tokens[i][1]))
+                    fn.annotations = {a for a in head if a in FUNC_ANNS}
+                    end = match_brace(tokens, i)
+                    collect_body_events(tokens, i, end, fn, text)
+                    # Chokepoint scan happens on call collection below.
+                    program.add_function(fn)
+                    kind = "function"
+            region.append(kind)
+            stmt_start = i + 1
+        elif t == "}":
+            if region:
+                region.pop()
+            stmt_start = i + 1
+        elif t == ";":
+            stmt_start = i + 1
+        i += 1
+
+
+def iter_src_files(root):
+    base = os.path.join(root, SRC_DIR)
+    for dirpath, _dirnames, filenames in os.walk(base):
+        for f in sorted(filenames):
+            if os.path.splitext(f)[1] in (".h", ".cc"):
+                yield os.path.relpath(os.path.join(dirpath, f), root)
+
+
+def build_program_internal(root, files=None):
+    program = Program()
+    for relpath in (files if files is not None else iter_src_files(root)):
+        with open(os.path.join(root, relpath), encoding="utf-8") as fh:
+            text = fh.read()
+        parse_file_internal(relpath, text, program)
+    return program
+
+
+# --------------------------------------------------------------------------
+# libclang frontend
+# --------------------------------------------------------------------------
+
+def load_cindex():
+    try:
+        from clang import cindex  # type: ignore
+    except ImportError:
+        return None
+    if not cindex.Config.loaded:
+        import glob as _glob
+        candidates = sorted(
+            _glob.glob("/usr/lib/llvm-*/lib/libclang-*.so*")
+            + _glob.glob("/usr/lib/llvm-*/lib/libclang.so*")
+            + _glob.glob("/usr/lib/*/libclang-*.so*"), reverse=True)
+        for cand in candidates:
+            try:
+                cindex.Config.set_library_file(cand)
+                cindex.Index.create()
+                break
+            except Exception:  # noqa: BLE001 - probe next candidate
+                cindex.Config.loaded = False
+        else:
+            try:
+                cindex.Index.create()
+            except Exception:  # noqa: BLE001
+                return None
+    return cindex
+
+
+def compdb_args(entry):
+    """Compiler args usable for reparsing, from one compile_commands entry."""
+    args = entry.get("arguments")
+    if not args:
+        args = entry.get("command", "").split()
+    out = []
+    skip = False
+    for a in args[1:]:
+        if skip:
+            skip = False
+            continue
+        if a in ("-o", "-c"):
+            skip = a == "-o"
+            continue
+        if a == entry.get("file"):
+            continue
+        out.append(a)
+    return out
+
+
+def build_program_libclang(root, compdb_path):
+    cindex = load_cindex()
+    if cindex is None:
+        raise RuntimeError("libclang frontend unavailable "
+                           "(clang.cindex not importable / no libclang.so)")
+    with open(compdb_path, encoding="utf-8") as fh:
+        compdb = json.load(fh)
+    program = Program()
+    index = cindex.Index.create()
+    opts = cindex.TranslationUnit.PARSE_DETAILED_PROCESSING_RECORD
+    src_abs = os.path.join(root, SRC_DIR)
+    seen_files = set()
+    for entry in compdb:
+        path = os.path.normpath(
+            os.path.join(entry.get("directory", root), entry["file"]))
+        if not path.startswith(src_abs) or not path.endswith(".cc"):
+            continue
+        tu = index.parse(path, args=compdb_args(entry), options=opts)
+        _harvest_tu(cindex, root, tu, program, seen_files)
+    return program
+
+
+def _harvest_tu(cindex, root, tu, program, seen_files):
+    K = cindex.CursorKind
+    # Macro instantiations per (file, offset): the no-op FINELOG_* markers.
+    markers = {}
+    for cur in tu.cursor.get_children():
+        if cur.kind == K.MACRO_INSTANTIATION and \
+                cur.spelling.startswith("FINELOG_"):
+            loc = cur.location
+            if loc.file is not None:
+                markers.setdefault(os.path.abspath(loc.file.name), []).append(
+                    (loc.offset, cur.spelling))
+    for lst in markers.values():
+        lst.sort()
+
+    def file_rel(cursor):
+        loc = cursor.location
+        if loc.file is None:
+            return None
+        path = os.path.abspath(loc.file.name)
+        if not path.startswith(os.path.join(root, SRC_DIR)):
+            return None
+        return os.path.relpath(path, root)
+
+    def markers_before(cursor, window=300):
+        """FINELOG_* macros textually just before the cursor's extent (the
+        annotation-before-return-type placement)."""
+        loc = cursor.extent.start
+        if loc.file is None:
+            return set()
+        path = os.path.abspath(loc.file.name)
+        return {name for off, name in markers.get(path, [])
+                if 0 <= loc.offset - off <= window}
+
+    def markers_within(cursor):
+        ext = cursor.extent
+        if ext.start.file is None:
+            return set()
+        path = os.path.abspath(ext.start.file.name)
+        return {name for off, name in markers.get(path, [])
+                if ext.start.offset <= off <= ext.end.offset}
+
+    def visit(cursor):
+        rel = file_rel(cursor)
+        if cursor.kind in (K.CLASS_DECL, K.STRUCT_DECL) and \
+                cursor.is_definition() and rel is not None:
+            if rel not in seen_files or cursor.spelling not in program.classes:
+                cls = program.classes.setdefault(
+                    cursor.spelling,
+                    ClassInfo(cursor.spelling, rel, cursor.location.line))
+                cls.marked = cls.marked or \
+                    ANN_MARKED_CLASS in markers_within(cursor) or \
+                    ANN_MARKED_CLASS in markers_before(cursor, window=80)
+                for ch in cursor.get_children():
+                    if ch.kind == K.FIELD_DECL:
+                        anns = {m for m in markers_within(ch)
+                                if m in FIELD_ANNS_OK}
+                        cls.fields.append((ch.spelling, ch.location.line,
+                                           anns))
+                    elif ch.kind == K.CXX_METHOD and ch.is_virtual_method():
+                        cls.virtual_methods.append(ch.spelling)
+        if cursor.kind in (K.FUNCTION_DECL, K.CXX_METHOD, K.CONSTRUCTOR,
+                           K.DESTRUCTOR):
+            anns = markers_before(cursor) | markers_within(cursor)
+            if ANN_MUTATES in anns:
+                program.mutators.add(cursor.spelling)
+            if ANN_REPLAY in anns:
+                program.replay_decls.add(cursor.spelling)
+            if cursor.is_definition() and rel is not None:
+                parent = cursor.semantic_parent
+                cls_name = parent.spelling if parent is not None and \
+                    parent.kind in (K.CLASS_DECL, K.STRUCT_DECL) else None
+                qname = f"{cls_name}::{cursor.spelling}" if cls_name \
+                    else cursor.spelling
+                fn = Function(qname, cursor.spelling, cls_name, rel,
+                              cursor.location.line)
+                fn.annotations = {a for a in anns if a in FUNC_ANNS}
+                order = [0]
+                _walk_body(cindex, cursor, fn, order, program, rel)
+                program.add_function(fn)
+                return  # body already walked
+        for ch in cursor.get_children():
+            visit(ch)
+
+    def _walk_body(cindex_mod, cursor, fn, order, prog, rel):
+        Kb = cindex_mod.CursorKind
+        for ch in cursor.get_children():
+            order[0] += 1
+            if ch.kind == Kb.CALL_EXPR and ch.spelling:
+                fn.calls.append((ch.spelling, order[0], ch.location.line))
+                ref = ch.referenced
+                if ref is not None and ch.spelling in CHOKEPOINT_METHODS:
+                    par = ref.semantic_parent
+                    if par is not None and par.spelling == CHOKEPOINT_CLASS:
+                        prog.chokepoint_calls.append(
+                            (rel, ch.location.line, ch.spelling))
+            elif ch.kind in (Kb.MEMBER_REF_EXPR, Kb.DECL_REF_EXPR) and \
+                    ch.spelling in PROTECTED_STATE:
+                fn.state_idents.append(
+                    (ch.spelling, order[0], ch.location.line))
+            _walk_body(cindex_mod, ch, fn, order, prog, rel)
+
+    visit(tu.cursor)
+    for f in set():
+        seen_files.add(f)
+
+
+# --------------------------------------------------------------------------
+# Rules
+# --------------------------------------------------------------------------
+
+def check_wal_before_mutate(program):
+    out = []
+    for fn in program.functions.values():
+        if ANN_MUTATES in fn.annotations or fn.name in program.mutators:
+            continue
+        if ANN_REPLAY in fn.annotations or fn.name in program.replay_decls:
+            continue
+        mut_calls = [c for c in fn.calls if c[0] in program.mutators]
+        if not mut_calls:
+            continue
+        if fn.call_names() & LOG_APPEND_CALLS:
+            continue
+        name, _order, line = mut_calls[0]
+        out.append(Violation(
+            fn.path, line, "wal-before-mutate",
+            f"{fn.qname} mutates page contents via {name}() but appends no "
+            "covering log record; add an AppendLog/Append call, mark the "
+            f"function {ANN_MUTATES} to move the obligation to its callers, "
+            f'or declare {ANN_REPLAY}("reason") if this is a recovery/merge/'
+            "bootstrap plane"))
+    return out
+
+
+def first_admission_event(program, fn, stack=None, memo=None):
+    """'admit', 'touch', or None: the first protocol-relevant event reached
+    from `fn`, expanding same-class helper calls in body order."""
+    if memo is None:
+        memo = {}
+    if stack is None:
+        stack = set()
+    if fn.qname in memo:
+        return memo[fn.qname]
+    if fn.qname in stack:
+        return None
+    stack.add(fn.qname)
+    events = sorted(
+        [(order, "call", name, line) for name, order, line in fn.calls]
+        + [(order, "touch", ident, line)
+           for ident, order, line in fn.state_idents])
+    result = None
+    for _order, kind, name, _line in events:
+        if kind == "touch":
+            result = ("touch", name, _line)
+            break
+        if name == ADMISSION_CALL:
+            result = ("admit", name, _line)
+            break
+        callee = program.functions.get(f"{ENDPOINT_IMPL}::{name}")
+        if callee is not None:
+            sub = first_admission_event(program, callee, stack, memo)
+            if sub is not None:
+                result = sub
+                break
+    stack.discard(fn.qname)
+    memo[fn.qname] = result
+    return result
+
+
+def check_admission_before_state(program, strict_counts=True):
+    out = []
+    iface = program.classes.get(ENDPOINT_IFACE)
+    if iface is None:
+        if strict_counts:
+            out.append(Violation(
+                "src/net/endpoints.h", 1, "admission-before-state",
+                f"could not locate the {ENDPOINT_IFACE} interface"))
+        return out
+    endpoints = [m for m in iface.virtual_methods
+                 if not m.startswith(RECOVERY_PLANE_PREFIX)
+                 and m != f"~{ENDPOINT_IFACE}"]
+    if strict_counts and len(endpoints) < MIN_ENDPOINTS:
+        out.append(Violation(
+            iface.path, iface.line, "admission-before-state",
+            f"only {len(endpoints)} non-Rec endpoints parsed from "
+            f"{ENDPOINT_IFACE} (expected >= {MIN_ENDPOINTS}); interface "
+            "parse is broken or the data plane shrank"))
+    memo = {}
+    for ep in endpoints:
+        fn = program.functions.get(f"{ENDPOINT_IMPL}::{ep}")
+        if fn is None:
+            if strict_counts:
+                out.append(Violation(
+                    iface.path, iface.line, "admission-before-state",
+                    f"no definition found for endpoint "
+                    f"{ENDPOINT_IMPL}::{ep}"))
+            continue
+        ev = first_admission_event(program, fn, memo=memo)
+        if ev is None:
+            out.append(Violation(
+                fn.path, fn.line, "admission-before-state",
+                f"endpoint {ENDPOINT_IMPL}::{ep} never calls "
+                f"{ADMISSION_CALL}(); zombies are not fenced here"))
+        elif ev[0] == "touch":
+            out.append(Violation(
+                fn.path, ev[2], "admission-before-state",
+                f"endpoint {ENDPOINT_IMPL}::{ep} touches protected state "
+                f"`{ev[1]}` before {ADMISSION_CALL}(); a presumed-dead "
+                "client could mutate server state through this path"))
+    return out
+
+
+def check_rpc_chokepoint(program):
+    out = []
+    # libclang records receiver-typed calls directly; the internal frontend
+    # falls back to exact method-name matching (Count/CountBatch are Channel's
+    # alone in this codebase; lowercase std::map::count does not collide).
+    reported = set(program.chokepoint_calls)
+    for fn in program.functions.values():
+        if fn.path.startswith(NET_DIR + os.sep):
+            continue
+        for name, _order, line in fn.calls:
+            if name in CHOKEPOINT_METHODS and (fn.path, line, name) \
+                    not in reported:
+                reported.add((fn.path, line, name))
+    for path, line, name in sorted(reported):
+        if path.startswith(NET_DIR + os.sep):
+            continue
+        out.append(Violation(
+            path, line, "rpc-chokepoint",
+            f"direct Channel::{name}() outside src/net/; every message must "
+            "go through Rpc::Call / Rpc::Send so wire faults, retries, "
+            "dedup and session fencing apply"))
+    return out
+
+
+def check_shared_state_annotations(program, require_core=True):
+    out = []
+    if require_core:
+        for name in sorted(REQUIRED_MARKED_CLASSES):
+            cls = program.classes.get(name)
+            if cls is None:
+                out.append(Violation(
+                    SRC_DIR, 1, "shared-state-annotations",
+                    f"core shared class {name} not found in the program "
+                    "model"))
+            elif not cls.marked:
+                out.append(Violation(
+                    cls.path, cls.line, "shared-state-annotations",
+                    f"class {name} must be marked {ANN_MARKED_CLASS} (its "
+                    "fields are shared state the real-clock mode will race "
+                    "on)"))
+    for cls in program.classes.values():
+        if not cls.marked:
+            continue
+        for fname, line, anns in cls.fields:
+            if fname == CAPABILITY_FIELD:
+                continue
+            if not anns:
+                out.append(Violation(
+                    cls.path, line, "shared-state-annotations",
+                    f"{cls.name}::{fname} has no thread-safety annotation; "
+                    "add FINELOG_GUARDED_BY(mu_) / FINELOG_PT_GUARDED_BY"
+                    '(mu_) or FINELOG_UNGUARDED("reason")'))
+    return out
+
+
+def run_rules(program, strict=True):
+    out = []
+    out += check_wal_before_mutate(program)
+    out += check_admission_before_state(program, strict_counts=strict)
+    out += check_rpc_chokepoint(program)
+    out += check_shared_state_annotations(program, require_core=strict)
+    return out
+
+
+# --------------------------------------------------------------------------
+# Driver
+# --------------------------------------------------------------------------
+
+def build_program(root, frontend, compdb):
+    if frontend == "libclang":
+        return build_program_libclang(root, compdb), "libclang"
+    if frontend == "internal":
+        return build_program_internal(root), "internal"
+    # auto
+    if load_cindex() is not None and compdb and os.path.isfile(compdb):
+        try:
+            return build_program_libclang(root, compdb), "libclang"
+        except Exception as err:  # noqa: BLE001 - fall back, loudly
+            print(f"finelog_verify: libclang frontend failed ({err}); "
+                  "falling back to internal", file=sys.stderr)
+    return build_program_internal(root), "internal"
+
+
+# fixture file -> rule that must fire on it. Each fixture is a
+# self-contained mini-program (its own interface/classes), verified in
+# isolation with the tree-level strictness checks off.
+FIXTURES = {
+    "bad_unlogged_mutate.cc": "wal-before-mutate",
+    "bad_missing_admission.cc": "admission-before-state",
+    "bad_raw_channel.cc": "rpc-chokepoint",
+    "bad_unannotated_field.cc": "shared-state-annotations",
+}
+
+
+def run_self_test(root, frontend, compdb):
+    failures = []
+    fixture_root = os.path.join(root, FIXTURE_DIR)
+    for fname, rule in sorted(FIXTURES.items()):
+        path = os.path.join(fixture_root, fname)
+        if not os.path.isfile(path):
+            failures.append(f"fixture missing: {path}")
+            continue
+        program = Program()
+        with open(path, encoding="utf-8") as fh:
+            text = fh.read()
+        # Fixtures are parsed as if they lived under src/common/ so the
+        # chokepoint rule's src/net/ exemption does not apply.
+        parse_file_internal(os.path.join("src", "common", fname), text,
+                            program)
+        got = run_rules(program, strict=False)
+        fired = {v.rule for v in got}
+        if rule not in fired:
+            failures.append(
+                f"{fname}: expected rule '{rule}' to fire, got "
+                f"{sorted(fired)}")
+        else:
+            print(f"self-test ok: {fname} -> {rule}")
+    # The real tree must be clean, or the verify gate is already red.
+    program, used = build_program(root, frontend, compdb)
+    tree = run_rules(program, strict=True)
+    for v in tree:
+        failures.append(f"tree not clean: {v}")
+    if failures:
+        for f in failures:
+            print(f"self-test FAIL: {f}", file=sys.stderr)
+        return 1
+    print(f"self-test passed ({len(FIXTURES)} fixtures, tree clean, "
+          f"frontend={used})")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--root", default=None,
+                        help="repo root (default: parent of this script)")
+    parser.add_argument("--compdb", default=None,
+                        help="compile_commands.json (default: "
+                             "<root>/build/compile_commands.json)")
+    parser.add_argument("--frontend", default="auto",
+                        choices=["auto", "libclang", "internal"])
+    parser.add_argument("--self-test", action="store_true",
+                        help="check each rule fires on its seeded bad "
+                             "fixture and that the tree is clean")
+    args = parser.parse_args()
+    root = args.root or os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    compdb = args.compdb or os.path.join(root, "build",
+                                         "compile_commands.json")
+    if args.self_test:
+        return run_self_test(root, args.frontend, compdb)
+    program, used = build_program(root, args.frontend, compdb)
+    violations = run_rules(program, strict=True)
+    for v in violations:
+        print(v)
+    if violations:
+        print(f"finelog_verify: {len(violations)} violation(s) "
+              f"(frontend={used})", file=sys.stderr)
+        return 1
+    nfn = len(program.functions)
+    print(f"finelog_verify: clean ({nfn} functions, "
+          f"{len(program.mutators)} page mutators, frontend={used})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
