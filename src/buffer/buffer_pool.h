@@ -88,13 +88,23 @@ class FINELOG_SHARED_STATE_CLASS BufferPool {
   void Touch(PageId pid);
   Status EvictOne(const EvictHandler& evict);
 
-  SimMutex mu_;
+  // The pool deliberately carries NO capability of its own: eviction calls
+  // back into the owner (WAL force + page ship, which in the real-clock mode
+  // parks the thread on an RPC frame), so a pool-level lock would be held
+  // across a parked RPC and deadlock against the reactor delivering
+  // callbacks into the owner. Serialization comes from the owning Client's /
+  // Server's capability, which every path into the pool already holds.
   uint32_t capacity_ FINELOG_UNGUARDED("immutable after construction");
-  std::unordered_map<PageId, Frame> frames_ FINELOG_GUARDED_BY(mu_);
+  std::unordered_map<PageId, Frame> frames_
+      FINELOG_UNGUARDED("serialized by the owning Client/Server capability; "
+                        "eviction re-enters the RPC plane");
   // Front = most recently used.
-  std::list<PageId> lru_ FINELOG_GUARDED_BY(mu_);
+  std::list<PageId> lru_
+      FINELOG_UNGUARDED("serialized by the owning Client/Server capability; "
+                        "eviction re-enters the RPC plane");
   std::unordered_map<PageId, std::list<PageId>::iterator> lru_pos_
-      FINELOG_GUARDED_BY(mu_);
+      FINELOG_UNGUARDED("serialized by the owning Client/Server capability; "
+                        "eviction re-enters the RPC plane");
 };
 
 }  // namespace finelog

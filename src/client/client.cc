@@ -26,6 +26,7 @@ Result<std::unique_ptr<Client>> Client::Create(ClientId id,
 }
 
 size_t Client::active_txns() const {
+  SimMutexLock lock(mu_);
   size_t n = 0;
   for (const auto& [id, t] : txns_) {
     (void)id;
@@ -43,6 +44,7 @@ Result<Client::Txn*> Client::GetActiveTxn(TxnId txn) {
 }
 
 Result<TxnId> Client::Begin() {
+  SimMutexLock lock(mu_);
   if (crashed_) return Status::Crashed("client down");
   FINELOG_RETURN_IF_ERROR(MaybeHeartbeat());
   // A new transaction is the clock edge that can close an expired
@@ -306,6 +308,9 @@ ShippedPage Client::BuildShip(PageId pid, BufferPool::Frame& frame) {
 
 BufferPool::EvictHandler Client::EvictHandler() {
   return [this](PageId pid, BufferPool::Frame& frame) -> Status {
+    // Recursive: the pool only calls back while the owning method holds the
+    // capability; the analysis can't see through the std::function.
+    SimMutexLock lock(mu_);
     if (!frame.dirty) return Status::OK();
     // WAL: log records covering the updates must be durable before the page
     // leaves the client (Section 2).
@@ -411,6 +416,7 @@ bool Client::GroupForceDue() const {
 }
 
 Status Client::FlushCommitGroup() {
+  SimMutexLock lock(mu_);
   if (crashed_) return Status::Crashed("client down");
   FINELOG_RETURN_IF_ERROR(MaybeHeartbeat());
   if (pending_commits_.empty()) return Status::OK();
@@ -468,6 +474,7 @@ Status Client::TryFreeLogSpace() {
 }
 
 Status Client::ShipAllDirtyPages() {
+  SimMutexLock lock(mu_);
   if (crashed_) return Status::Crashed("client down");
   FINELOG_RETURN_IF_ERROR(MaybeHeartbeat());
   if (config_.max_batch_items <= 1) {
@@ -542,6 +549,7 @@ Status Client::PrefetchPages(const std::vector<PageId>& pids) {
 }
 
 Status Client::ReleaseIdleLocks() {
+  SimMutexLock lock(mu_);
   if (crashed_) return Status::Crashed("client down");
   FINELOG_RETURN_IF_ERROR(MaybeHeartbeat());
   FINELOG_RETURN_IF_ERROR(ShipAllDirtyPages());
@@ -585,6 +593,7 @@ Status Client::ReleaseIdleLocks() {
 }
 
 Status Client::TakeCheckpoint() {
+  SimMutexLock lock(mu_);
   if (crashed_) return Status::Crashed("client down");
   FINELOG_RETURN_IF_ERROR(MaybeHeartbeat());
   std::vector<TxnCheckpointInfo> active;
@@ -675,6 +684,7 @@ Status Client::MaybeHeartbeat() {
 }
 
 Result<std::string> Client::Read(TxnId txn, ObjectId oid) {
+  SimMutexLock lock(mu_);
   if (crashed_) return Status::Crashed("client down");
   FINELOG_RETURN_IF_ERROR(MaybeHeartbeat());
   FINELOG_ASSIGN_OR_RETURN(Txn * t, GetActiveTxn(txn));
@@ -686,6 +696,7 @@ Result<std::string> Client::Read(TxnId txn, ObjectId oid) {
 }
 
 Status Client::Write(TxnId txn, ObjectId oid, Slice data) {
+  SimMutexLock lock(mu_);
   if (crashed_) return Status::Crashed("client down");
   FINELOG_RETURN_IF_ERROR(MaybeHeartbeat());
   FINELOG_ASSIGN_OR_RETURN(Txn * t, GetActiveTxn(txn));
@@ -721,6 +732,7 @@ Status Client::Write(TxnId txn, ObjectId oid, Slice data) {
 
 Status Client::WriteBatch(
     TxnId txn, const std::vector<std::pair<ObjectId, std::string>>& writes) {
+  SimMutexLock lock(mu_);
   if (crashed_) return Status::Crashed("client down");
   FINELOG_RETURN_IF_ERROR(MaybeHeartbeat());
   FINELOG_ASSIGN_OR_RETURN(Txn * t, GetActiveTxn(txn));
@@ -746,6 +758,7 @@ Status Client::WriteBatch(
 
 Result<std::vector<std::string>> Client::ReadBatch(
     TxnId txn, const std::vector<ObjectId>& oids) {
+  SimMutexLock lock(mu_);
   if (crashed_) return Status::Crashed("client down");
   FINELOG_RETURN_IF_ERROR(MaybeHeartbeat());
   FINELOG_ASSIGN_OR_RETURN(Txn * t, GetActiveTxn(txn));
@@ -765,6 +778,7 @@ Result<std::vector<std::string>> Client::ReadBatch(
 }
 
 Result<ObjectId> Client::Create(TxnId txn, PageId pid, Slice data) {
+  SimMutexLock lock(mu_);
   if (crashed_) return Status::Crashed("client down");
   FINELOG_RETURN_IF_ERROR(MaybeHeartbeat());
   FINELOG_ASSIGN_OR_RETURN(Txn * t, GetActiveTxn(txn));
@@ -801,6 +815,7 @@ Result<ObjectId> Client::Create(TxnId txn, PageId pid, Slice data) {
 }
 
 Status Client::Resize(TxnId txn, ObjectId oid, Slice data) {
+  SimMutexLock lock(mu_);
   if (crashed_) return Status::Crashed("client down");
   FINELOG_RETURN_IF_ERROR(MaybeHeartbeat());
   FINELOG_ASSIGN_OR_RETURN(Txn * t, GetActiveTxn(txn));
@@ -865,6 +880,7 @@ Status Client::Resize(TxnId txn, ObjectId oid, Slice data) {
 }
 
 Status Client::Delete(TxnId txn, ObjectId oid) {
+  SimMutexLock lock(mu_);
   if (crashed_) return Status::Crashed("client down");
   FINELOG_RETURN_IF_ERROR(MaybeHeartbeat());
   FINELOG_ASSIGN_OR_RETURN(Txn * t, GetActiveTxn(txn));
@@ -897,6 +913,7 @@ Status Client::Delete(TxnId txn, ObjectId oid) {
 }
 
 Result<PageId> Client::AllocatePage(TxnId txn) {
+  SimMutexLock lock(mu_);
   if (crashed_) return Status::Crashed("client down");
   FINELOG_RETURN_IF_ERROR(MaybeHeartbeat());
   FINELOG_ASSIGN_OR_RETURN(Txn * t, GetActiveTxn(txn));
@@ -916,6 +933,7 @@ Result<PageId> Client::AllocatePage(TxnId txn) {
 // ---------------------------------------------------------------------------
 
 Status Client::Commit(TxnId txn_id) {
+  SimMutexLock lock(mu_);
   if (crashed_) return Status::Crashed("client down");
   FINELOG_RETURN_IF_ERROR(MaybeHeartbeat());
   FINELOG_ASSIGN_OR_RETURN(Txn * t, GetActiveTxn(txn_id));
@@ -1092,6 +1110,7 @@ Status Client::RollbackTo(TxnId txn_id, Txn* txn, Lsn stop_lsn) {
 }
 
 Status Client::Abort(TxnId txn_id) {
+  SimMutexLock lock(mu_);
   if (crashed_) return Status::Crashed("client down");
   FINELOG_ASSIGN_OR_RETURN(Txn * t, GetActiveTxn(txn_id));
 
@@ -1118,6 +1137,7 @@ Status Client::Abort(TxnId txn_id) {
 }
 
 Result<size_t> Client::SetSavepoint(TxnId txn_id) {
+  SimMutexLock lock(mu_);
   if (crashed_) return Status::Crashed("client down");
   FINELOG_RETURN_IF_ERROR(MaybeHeartbeat());
   FINELOG_ASSIGN_OR_RETURN(Txn * t, GetActiveTxn(txn_id));
@@ -1131,6 +1151,7 @@ Result<size_t> Client::SetSavepoint(TxnId txn_id) {
 }
 
 Status Client::RollbackToSavepoint(TxnId txn_id, size_t savepoint) {
+  SimMutexLock lock(mu_);
   if (crashed_) return Status::Crashed("client down");
   FINELOG_ASSIGN_OR_RETURN(Txn * t, GetActiveTxn(txn_id));
   if (savepoint >= t->savepoints.size()) {
@@ -1149,6 +1170,7 @@ Status Client::RollbackToSavepoint(TxnId txn_id, size_t savepoint) {
 
 Client::CallbackReply Client::HandleObjectCallback(ObjectId oid,
                                                    LockMode requested) {
+  SimMutexLock lock(mu_);
   CallbackReply reply;
   if (crashed_) return reply;  // Denied; the server queues the request.
   if (requested == LockMode::kExclusive) {
@@ -1201,6 +1223,7 @@ Client::CallbackReply Client::HandleObjectCallback(ObjectId oid,
 }
 
 Client::DeescalateReply Client::HandleDeescalate(PageId pid) {
+  SimMutexLock lock(mu_);
   DeescalateReply reply;
   if (crashed_) return reply;
   if (!llm_.CanDeescalatePage(pid)) return reply;  // Structural txn active.
@@ -1228,6 +1251,7 @@ Client::DeescalateReply Client::HandleDeescalate(PageId pid) {
 
 Client::CallbackReply Client::HandlePageCallback(PageId pid,
                                                  LockMode requested) {
+  SimMutexLock lock(mu_);
   CallbackReply reply;
   if (crashed_) return reply;
   // Deny while any local transaction uses the page (or objects on it).
@@ -1270,6 +1294,7 @@ Client::CallbackReply Client::HandlePageCallback(PageId pid,
 }
 
 void Client::HandleFlushNotify(PageId pid, Psn flushed_psn) {
+  SimMutexLock lock(mu_);
   if (crashed_) return;
   auto si = ship_info_.find(pid);
   if (si == ship_info_.end()) return;
@@ -1298,6 +1323,7 @@ void Client::HandleFlushNotify(PageId pid, Psn flushed_psn) {
 }
 
 Result<ShippedPage> Client::HandleTokenRecall(PageId pid) {
+  SimMutexLock lock(mu_);
   if (crashed_) return Status::Crashed("client down");
   tokens_held_.erase(pid);
   BufferPool::Frame* frame = cache_->Peek(pid);
@@ -1311,6 +1337,7 @@ Result<ShippedPage> Client::HandleTokenRecall(PageId pid) {
 }
 
 Status Client::HandleCheckpointSync() {
+  SimMutexLock lock(mu_);
   if (crashed_) return Status::Crashed("client down");
   // ARIES/CSA-style synchronized checkpoint: the client forces its state so
   // the server checkpoint can bound recovery (Section 4.1).

@@ -47,6 +47,11 @@ class FINELOG_SHARED_STATE_CLASS Client : public ClientEndpoint {
 
   ClientId id() const { return id_; }
 
+  // The client's capability, registered with the QueueTransport as this
+  // client's gate: released in full while the client parks on an RPC frame
+  // so the reactor can deliver callbacks into it (DESIGN.md section 17).
+  SimMutex& gate() { return mu_; }
+
   // Transaction API ----------------------------------------------------------
 
   Result<TxnId> Begin();
@@ -95,7 +100,9 @@ class FINELOG_SHARED_STATE_CLASS Client : public ClientEndpoint {
   // for durability. Benchmarks and tests call this to close the final,
   // partially-filled window. A no-op when nothing is pending.
   Status FlushCommitGroup();
-  size_t pending_group_commits() const { return pending_commits_.size(); }
+  size_t pending_group_commits() const FINELOG_NO_THREAD_SAFETY_ANALYSIS {
+    return pending_commits_.size();
+  }
 
   // Independent fuzzy checkpoint: active transactions + DPT (Section 3.2).
   Status TakeCheckpoint();
@@ -141,13 +148,23 @@ class FINELOG_SHARED_STATE_CLASS Client : public ClientEndpoint {
 
   // Introspection -------------------------------------------------------------
 
-  LocalLockManager& llm() { return llm_; }
-  BufferPool& cache() { return *cache_; }
-  LogManager& log() { return *log_; }
-  const std::map<PageId, Lsn>& dpt() const { return dpt_; }
+  // Reference-returning accessors escape the capability on purpose: tests
+  // and benches use them on quiesced systems (and the components they
+  // return carry their own capabilities).
+  LocalLockManager& llm() FINELOG_NO_THREAD_SAFETY_ANALYSIS { return llm_; }
+  BufferPool& cache() FINELOG_NO_THREAD_SAFETY_ANALYSIS { return *cache_; }
+  LogManager& log() FINELOG_NO_THREAD_SAFETY_ANALYSIS { return *log_; }
+  const std::map<PageId, Lsn>& dpt() const FINELOG_NO_THREAD_SAFETY_ANALYSIS {
+    return dpt_;
+  }
   size_t active_txns() const;
-  uint64_t commits() const { return commits_; }
-  uint64_t aborts() const { return aborts_; }
+  // Benign racy reads (monotonic counters read by harnesses at quiescence).
+  uint64_t commits() const FINELOG_NO_THREAD_SAFETY_ANALYSIS {
+    return commits_;
+  }
+  uint64_t aborts() const FINELOG_NO_THREAD_SAFETY_ANALYSIS {
+    return aborts_;
+  }
 
  private:
   struct Txn {
@@ -184,36 +201,40 @@ class FINELOG_SHARED_STATE_CLASS Client : public ClientEndpoint {
       : id_(id), config_(config), server_(server), channel_(channel),
         rpc_(rpc), metrics_(metrics) {}
 
-  Result<Txn*> GetActiveTxn(TxnId txn);
+  Result<Txn*> GetActiveTxn(TxnId txn) FINELOG_REQUIRES(mu_);
 
   // Fault-injection I/O options for the private log, derived from config_
   // (used at Create and at every post-crash reopen).
   LogIoOptions LogIo() const {
-    return LogIoOptions{config_.fault_injector,
+    return LogIoOptions{config_.fault_injector, config_.log_sink,
                         "client" + ToString(id_) + ".log",
                         config_.debug_trust_log_tail};
   }
 
   // Lock acquisition with LLM caching; a miss goes to the server and the
   // reply's object/page image is installed (client-side merge, Section 2).
-  Status AcquireObjectLock(TxnId txn, ObjectId oid, LockMode mode);
-  Status AcquirePageLock(TxnId txn, PageId pid, LockMode mode);
+  Status AcquireObjectLock(TxnId txn, ObjectId oid, LockMode mode)
+      FINELOG_REQUIRES(mu_);
+  Status AcquirePageLock(TxnId txn, PageId pid, LockMode mode)
+      FINELOG_REQUIRES(mu_);
 
   // Installs a server object-lock grant into local state: LLM entry,
   // pending exclusive callbacks, unflushed-slot tracking, the object or page
   // image carried by the reply, and the escalation check. Shared by the
   // single and batched acquisition paths.
   Status InstallObjectLockReply(TxnId txn, ObjectId oid, LockMode mode,
-                                const ObjectLockReply& reply);
+                                const ObjectLockReply& reply)
+      FINELOG_REQUIRES(mu_);
 
   // Acquires object locks for `oids`, coalescing LLM misses into multi-item
   // server messages of up to config.max_batch_items. Page-granularity
   // configurations fall back to per-item acquisition.
   Status BatchAcquireObjectLocks(TxnId txn, const std::vector<ObjectId>& oids,
-                                 LockMode mode);
+                                 LockMode mode) FINELOG_REQUIRES(mu_);
 
   // Fetches any of `pids` that are not cached, batching the fetch requests.
-  Status PrefetchPages(const std::vector<PageId>& pids);
+  Status PrefetchPages(const std::vector<PageId>& pids)
+      FINELOG_REQUIRES(mu_);
 
   // Forces the private log and charges the cost model's force latency. Any
   // successful force makes every queued group commit durable, so the pending
@@ -223,10 +244,10 @@ class FINELOG_SHARED_STATE_CLASS Client : public ClientEndpoint {
   // True when the group-commit window must close now: the group reached
   // config.group_commit_max_txns, or the oldest queued commit has waited
   // at least config.group_commit_window simulated microseconds.
-  bool GroupForceDue() const;
+  bool GroupForceDue() const FINELOG_REQUIRES(mu_);
 
   // Returns the cached frame for `pid`, fetching from the server on a miss.
-  Result<BufferPool::Frame*> GetCachedPage(PageId pid);
+  Result<BufferPool::Frame*> GetCachedPage(PageId pid) FINELOG_REQUIRES(mu_);
 
   // The cache eviction handler: WAL-force the private log, then ship dirty
   // victims to the server (Section 2).
@@ -234,7 +255,8 @@ class FINELOG_SHARED_STATE_CLASS Client : public ClientEndpoint {
 
   // Builds a ShippedPage from a frame and resets its modification tracking
   // (the frame is then "clean" = in sync with what the server has been sent).
-  ShippedPage BuildShip(PageId pid, BufferPool::Frame& frame);
+  ShippedPage BuildShip(PageId pid, BufferPool::Frame& frame)
+      FINELOG_REQUIRES(mu_);
 
   // Appends to the private log, running the log space protocol of Section
   // 3.6 on kLogFull.
@@ -242,24 +264,25 @@ class FINELOG_SHARED_STATE_CLASS Client : public ClientEndpoint {
 
   // Log space management (Section 3.6): replace/force the page with the
   // minimum RedoLSN until an append fits.
-  Status TryFreeLogSpace();
-  void UpdateReclaimLsn();
+  Status TryFreeLogSpace() FINELOG_REQUIRES(mu_);
+  void UpdateReclaimLsn() FINELOG_REQUIRES(mu_);
 
   // Ensures a DPT entry exists for `pid` before an update is logged.
-  void EnsureDptEntry(PageId pid);
+  void EnsureDptEntry(PageId pid) FINELOG_REQUIRES(mu_);
 
   // Records a local modification of (pid, slot) in both tracking sets.
-  void TrackModification(BufferPool::Frame* frame, PageId pid, SlotId slot);
+  void TrackModification(BufferPool::Frame* frame, PageId pid, SlotId slot)
+      FINELOG_REQUIRES(mu_);
 
   // Writes the pending callback log record for `oid`, if any (Section 3.1).
   // Callback records are logged lazily at the first update of the
   // called-back object: a grant that is never followed by an update must
   // not suppress the responder's recovery replay.
-  Status LogPendingCallback(TxnId txn, ObjectId oid);
+  Status LogPendingCallback(TxnId txn, ObjectId oid) FINELOG_REQUIRES(mu_);
 
   // Update-token baseline: acquire the page's update token before a
   // physical update (Section 3.1).
-  Status EnsureToken(PageId pid);
+  Status EnsureToken(PageId pid) FINELOG_REQUIRES(mu_);
 
   // Liveness (DESIGN.md section 14), called at the top of every public API
   // entry point except the local rollback paths (Abort,
@@ -271,7 +294,7 @@ class FINELOG_SHARED_STATE_CLASS Client : public ClientEndpoint {
   // with kZombieFenced: the server may already have given its locks away,
   // so continuing against cached state would be unsafe. A no-op with the
   // heartbeat knob off.
-  Status MaybeHeartbeat();
+  Status MaybeHeartbeat() FINELOG_REQUIRES(mu_);
 
   // Applies one logged operation (redo direction) to a page.
   static Status ApplyRedo(Page* page, const LogRecord& rec);
@@ -279,7 +302,8 @@ class FINELOG_SHARED_STATE_CLASS Client : public ClientEndpoint {
   static Status ApplyUndo(Page* page, const LogRecord& rec);
 
   // Rolls `txn` back to `stop_lsn` (kNullLsn = total rollback), writing CLRs.
-  Status RollbackTo(TxnId txn_id, Txn* txn, Lsn stop_lsn);
+  Status RollbackTo(TxnId txn_id, Txn* txn, Lsn stop_lsn)
+      FINELOG_REQUIRES(mu_);
 
   // Restart helpers (client_recovery.cc).
   struct AnalysisResult {
@@ -291,16 +315,18 @@ class FINELOG_SHARED_STATE_CLASS Client : public ClientEndpoint {
     // Our own callback records per page: responder -> latest hand-off PSN.
     std::map<PageId, std::map<ClientId, Psn>> own_handoffs;
   };
-  Result<AnalysisResult> RunAnalysis();
+  Result<AnalysisResult> RunAnalysis() FINELOG_REQUIRES(mu_);
   Status RunRedo(const AnalysisResult& analysis,
                  const std::map<PageId, Psn>& dct_psn, bool dct_authoritative,
-                 const std::map<ObjectId, Psn>& callback_lists);
-  Status RunUndo(std::map<TxnId, Txn> losers);
+                 const std::map<ObjectId, Psn>& callback_lists)
+      FINELOG_REQUIRES(mu_);
+  Status RunUndo(std::map<TxnId, Txn> losers) FINELOG_REQUIRES(mu_);
 
-  // Capability guarding the client's transactional state. Single-threaded
-  // today; the real-clock mode gives each client a thread and an RPC
-  // dispatch loop that both take this.
-  SimMutex mu_;
+  // Capability guarding the client's transactional state. Uncontended in
+  // the simulation; in the real-clock mode it is this client's gate,
+  // contended between the client's own thread and the reactor delivering
+  // callbacks (and released in full while the client parks on a frame).
+  mutable SimMutex mu_;
 
   ClientId id_ FINELOG_UNGUARDED("immutable after construction");
   SystemConfig config_ FINELOG_UNGUARDED("immutable after construction");

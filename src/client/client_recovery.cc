@@ -30,6 +30,7 @@
 namespace finelog {
 
 Status Client::Crash() {
+  SimMutexLock lock(mu_);
   crashed_ = true;
   llm_.Clear();
   cache_->Clear();
@@ -275,6 +276,7 @@ Status Client::RunUndo(std::map<TxnId, Txn> losers) {
 }
 
 Status Client::Restart() {
+  SimMutexLock lock(mu_);
   metrics_->Add(Counter::kClientRestarts);
   // New session epoch: replies and callbacks addressed to the pre-crash
   // incarnation are fenced instead of being mistaken for fresh traffic.
@@ -418,6 +420,7 @@ Status Client::Restart() {
 // ---------------------------------------------------------------------------
 
 Result<ClientRecoveryState> Client::HandleRecGetState() {
+  SimMutexLock lock(mu_);
   if (crashed_) return Status::Crashed("client down");
   // A new server restart generation begins: any replay session left over
   // from an earlier (interrupted) restart is stale -- its base image and
@@ -438,6 +441,7 @@ Result<ClientRecoveryState> Client::HandleRecGetState() {
 
 Result<ShippedPage> Client::HandleRecFetchCachedPage(
     PageId pid, const std::vector<CallbackListEntry>& suppress) {
+  SimMutexLock lock(mu_);
   if (crashed_) return Status::NotFound("crashed: cache is empty");
   BufferPool::Frame* frame = cache_->Peek(pid);
   if (frame == nullptr) {
@@ -473,6 +477,7 @@ Result<ShippedPage> Client::HandleRecFetchCachedPage(
 
 Result<std::vector<CallbackListEntry>> Client::HandleRecScanCallbacks(
     PageId pid, ClientId responder) {
+  SimMutexLock lock(mu_);
   // Deliberately answered even while this client is crashed: the scan only
   // touches the durable log file, never volatile state.
   // Callback records this client wrote naming `responder` for objects on
@@ -526,6 +531,7 @@ Result<std::vector<CallbackListEntry>> Client::HandleRecScanCallbacks(
 Status Client::HandleRecRecoverPage(
     PageId pid, const std::vector<CallbackListEntry>& callback_list,
     const std::string& base_image, Psn base_psn, Psn psn_limit) {
+  SimMutexLock lock(mu_);
   // Deliberately serviceable while this client is "crashed": the replay
   // reads only the durable log and the supplied base -- no volatile state.
   // This lets another recovering client's ordered fetch obtain our

@@ -10,13 +10,14 @@
 //     nothing and still do their job.
 //
 //  2. clang's -Wthread-safety analysis. Under clang with
-//     FINELOG_THREAD_SAFETY_ANALYSIS defined, the FINELOG_GUARDED_BY /
-//     FINELOG_REQUIRES / capability family expands to the real attributes,
-//     so the day the real-clock concurrent mode lands (ROADMAP), flipping
-//     one define turns the whole vocabulary into compiler-enforced lock
-//     discipline. Today the simulation is single-threaded, no code path
-//     acquires SimMutex, and the attributes stay off by default -- they are
-//     declarative: they record which capability WILL guard each field.
+//     FINELOG_THREAD_SAFETY_ANALYSIS defined (cmake option of the same
+//     name, on in the pinned-clang CI job), the FINELOG_GUARDED_BY /
+//     FINELOG_REQUIRES / capability family expands to the real attributes
+//     and the whole vocabulary becomes compiler-enforced lock discipline.
+//     SimMutex is a real recursive mutex: the simulated mode acquires it
+//     uncontended on one thread, the real-clock mode (ExecMode::kRealClock,
+//     DESIGN.md section 17) acquires it for real across client threads and
+//     the server reactor.
 //
 // Placement grammar (what the verifier parses):
 //   - field:      Type name_ FINELOG_GUARDED_BY(mu_);
@@ -28,6 +29,10 @@
 
 #ifndef FINELOG_COMMON_ANNOTATIONS_H_
 #define FINELOG_COMMON_ANNOTATIONS_H_
+
+#include <atomic>
+#include <mutex>
+#include <thread>
 
 #if defined(__clang__) && defined(FINELOG_THREAD_SAFETY_ANALYSIS)
 #define FINELOG_TS_ATTRIBUTE(x) __attribute__((x))
@@ -47,6 +52,7 @@
 #define FINELOG_RELEASE(...) \
   FINELOG_TS_ATTRIBUTE(release_capability(__VA_ARGS__))
 #define FINELOG_EXCLUDES(...) FINELOG_TS_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+#define FINELOG_SCOPED_CAPABILITY FINELOG_TS_ATTRIBUTE(scoped_lockable)
 #define FINELOG_NO_THREAD_SAFETY_ANALYSIS \
   FINELOG_TS_ATTRIBUTE(no_thread_safety_analysis)
 
@@ -81,17 +87,93 @@
 
 namespace finelog {
 
-// Capability placeholder for the single-threaded simulation: each
-// FINELOG_SHARED_STATE_CLASS owns one, and its fields name it in
-// FINELOG_GUARDED_BY(mu_). lock()/unlock() are no-ops today; the real-clock
-// mode replaces the body with a real mutex without touching any annotation.
+// The capability every FINELOG_SHARED_STATE_CLASS owns; its fields name it
+// in FINELOG_GUARDED_BY(mu_). It is a *recursive* mutex over std::mutex:
+// the simulated mode runs client<->server exchanges synchronously on one
+// stack (a server endpoint calls back into a client, which may ship a page
+// back through another server endpoint), so the same thread legitimately
+// re-enters a capability it already holds. The real-clock mode keeps the
+// same shape: the reactor thread nests endpoint bodies exactly the way the
+// simulation does (DESIGN.md section 17).
+//
+// Recursion is invisible to clang's -Wthread-safety analysis (which models
+// non-reentrant capabilities); the locking discipline therefore never
+// acquires the same capability twice *within one function body*: public
+// methods take the lock once at the top (SimMutexLock) and do their work
+// through FINELOG_REQUIRES(mu_) helpers.
 class FINELOG_CAPABILITY("mutex") SimMutex {
  public:
   SimMutex() = default;
   SimMutex(const SimMutex&) = delete;
   SimMutex& operator=(const SimMutex&) = delete;
-  void lock() FINELOG_ACQUIRE() {}
-  void unlock() FINELOG_RELEASE() {}
+
+  void lock() FINELOG_ACQUIRE() {
+    const std::thread::id me = std::this_thread::get_id();
+    if (owner_.load(std::memory_order_relaxed) == me) {
+      ++depth_;
+      return;
+    }
+    m_.lock();
+    owner_.store(me, std::memory_order_relaxed);
+    depth_ = 1;
+  }
+
+  void unlock() FINELOG_RELEASE() {
+    if (--depth_ == 0) {
+      owner_.store(std::thread::id(), std::memory_order_relaxed);
+      m_.unlock();
+    }
+  }
+
+  // Transport support (DESIGN.md section 17): a client thread about to park
+  // on an RPC frame gives up the whole capability -- however deeply it was
+  // re-entered -- so the reactor can deliver callbacks into the client
+  // while it waits. Returns the recursion depth to restore.
+  int FullRelease() FINELOG_NO_THREAD_SAFETY_ANALYSIS {
+    const int depth = depth_;
+    depth_ = 0;
+    owner_.store(std::thread::id(), std::memory_order_relaxed);
+    m_.unlock();
+    return depth;
+  }
+
+  // Restores the capability at the depth FullRelease returned.
+  void Reacquire(int depth) FINELOG_NO_THREAD_SAFETY_ANALYSIS {
+    m_.lock();
+    owner_.store(std::this_thread::get_id(), std::memory_order_relaxed);
+    depth_ = depth;
+  }
+
+  // True iff the calling thread holds the capability (debug assertions).
+  bool HeldByMe() const {
+    return owner_.load(std::memory_order_relaxed) ==
+           std::this_thread::get_id();
+  }
+
+ private:
+  std::mutex m_;
+  // The owner id is written only by the thread that holds m_ (and cleared
+  // by it before release); other threads read it solely to answer "is the
+  // owner me?", for which a relaxed stale read is safe -- a non-owner can
+  // never observe its own id there.
+  std::atomic<std::thread::id> owner_{std::thread::id()};
+  int depth_ = 0;  // Touched only by the owning thread.
+};
+
+// RAII guard carrying the scoped_lockable attribute, so clang's analysis
+// sees the acquire/release pair (std::lock_guard is not annotated).
+class FINELOG_SCOPED_CAPABILITY SimMutexLock {
+ public:
+  explicit SimMutexLock(SimMutex& mu) FINELOG_ACQUIRE(mu) : mu_(mu) {
+    mu_.lock();
+  }
+  ~SimMutexLock() FINELOG_RELEASE() { mu_.unlock(); }
+
+  SimMutexLock(const SimMutexLock&) = delete;
+  SimMutexLock& operator=(const SimMutexLock&) = delete;
+
+ private:
+  SimMutex& mu_;
 };
 
 }  // namespace finelog

@@ -14,6 +14,20 @@
 namespace finelog {
 
 class FaultInjector;
+class LogSink;
+
+// How the deployment executes (DESIGN.md section 17).
+enum class ExecMode {
+  // The deterministic simulation: one thread, a SimClock advanced by
+  // modelled costs, synchronous RPC delivery, buffered log "durability".
+  // This mode is the correctness oracle -- byte-identical schedules from
+  // (config, seed).
+  kSimulated,
+  // Real concurrency: each client on its own std::thread, a monotonic
+  // RealClock, an MPSC queue transport driven by a server-side reactor
+  // thread, and log forces that hit a real file with fdatasync.
+  kRealClock,
+};
 
 // Where log records are made durable (Section 4.1).
 enum class LoggingPolicy {
@@ -116,6 +130,22 @@ struct NetFaultConfig {
 struct SystemConfig {
   // Topology.
   uint32_t num_clients = 4;
+
+  // Execution mode (DESIGN.md section 17). kRealClock runs clients on real
+  // threads against a monotonic clock; it rejects the simulated network
+  // fault model (net_faults must stay disabled) because the queue transport
+  // is a reliable in-process link -- chaos stays the simulation's job.
+  ExecMode exec_mode = ExecMode::kSimulated;
+
+  // kRealClock only: how long a client thread waits for the reactor to
+  // complete one RPC frame before the call fails with kWouldBlock
+  // (degraded to a clean abort by the transaction layer). 0 = wait forever.
+  uint64_t realclock_rpc_timeout_us = 10 * 1000 * 1000;
+
+  // Where Force()/page writes become durable. Null picks the mode default:
+  // a buffered (fflush-only) sink for the simulation, a DurableSink
+  // (fflush + fdatasync) owned by the System for kRealClock. Not owned.
+  LogSink* log_sink = nullptr;
 
   // Storage geometry.
   uint32_t page_size = 4096;

@@ -1,0 +1,40 @@
+// ErrnoString: thread-safe strerror.
+//
+// std::strerror returns a pointer into static storage, which clang-tidy's
+// concurrency-mt-unsafe check rightly flags now that the real-clock mode
+// (DESIGN.md section 17) runs client threads concurrently -- two threads
+// formatting I/O errors at once would race on that buffer. This wraps
+// strerror_r, which writes into a caller buffer, and absorbs the
+// POSIX-vs-GNU signature split via overload dispatch.
+
+#ifndef FINELOG_COMMON_ERRNO_UTIL_H_
+#define FINELOG_COMMON_ERRNO_UTIL_H_
+
+#include <cstring>
+#include <string>
+
+namespace finelog {
+namespace detail {
+
+// GNU strerror_r: returns the message (maybe `buf`, maybe a static string --
+// but per-thread safe either way).
+inline const char* StrerrorResult(const char* ret, const char* /*buf*/) {
+  return ret;
+}
+
+// POSIX strerror_r: returns an int, fills `buf`.
+inline const char* StrerrorResult(int rc, const char* buf) {
+  return rc == 0 ? buf : "unknown error";
+}
+
+}  // namespace detail
+
+// Thread-safe replacement for std::strerror(err).
+inline std::string ErrnoString(int err) {
+  char buf[256] = {};
+  return detail::StrerrorResult(strerror_r(err, buf, sizeof(buf)), buf);
+}
+
+}  // namespace finelog
+
+#endif  // FINELOG_COMMON_ERRNO_UTIL_H_

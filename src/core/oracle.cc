@@ -24,6 +24,8 @@ Result<size_t> Oracle::Verify(System* system, size_t reader_index) {
     }
     if (bad) {
       ++mismatches;
+      // NOLINTNEXTLINE(concurrency-mt-unsafe): harness-only debug knob;
+      // the environment is never mutated after process start.
       if (std::getenv("FINELOG_DEBUG_MISMATCH") != nullptr) {
         std::fprintf(stderr, "verify mismatch obj=%u:%u got=%.8s expected=%.8s\n",
                      oid.page.value(), oid.slot,

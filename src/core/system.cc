@@ -6,111 +6,160 @@
 #include <cerrno>
 #include <cstring>
 
+#include "common/errno_util.h"
 #include "util/fault.h"
 
 namespace finelog {
+
+System::~System() {
+  if (transport_ != nullptr) transport_->Shutdown();
+}
 
 Result<std::unique_ptr<System>> System::Create(const SystemConfig& config) {
   if (config.preloaded_pages > config.num_pages) {
     return Status::InvalidArgument("preloaded_pages exceeds num_pages");
   }
+  if (config.exec_mode == ExecMode::kRealClock && config.net_faults.enabled()) {
+    // The delivery fault model draws from a seeded RNG keyed to the message
+    // sequence; under concurrent clients that sequence is racy, so verdicts
+    // would be neither deterministic nor meaningful. Fault exploration stays
+    // in the simulated oracle.
+    return Status::InvalidArgument(
+        "net faults require ExecMode::kSimulated (the deterministic oracle)");
+  }
   if (mkdir(config.dir.c_str(), 0755) != 0 && errno != EEXIST) {
-    return Status::IoError("mkdir " + config.dir + ": " + std::strerror(errno));
+    return Status::IoError("mkdir " + config.dir + ": " + ErrnoString(errno));
   }
   auto system = std::unique_ptr<System>(new System(config));
-  system->channel_ = std::make_unique<Channel>(&system->clock_, config.costs);
-  if (config.fault_injector != nullptr) {
-    config.fault_injector->AttachMetrics(&system->metrics_);
+  // Mutable view: real-clock mode may install its default durable sink
+  // before the server and clients snapshot the config.
+  SystemConfig& cfg = system->config_;
+  if (cfg.exec_mode == ExecMode::kRealClock && cfg.log_sink == nullptr) {
+    system->owned_sink_ = std::make_unique<DurableSink>();
+    cfg.log_sink = system->owned_sink_.get();
+  }
+  system->channel_ = std::make_unique<Channel>(system->clock_.get(), cfg.costs);
+  if (cfg.fault_injector != nullptr) {
+    cfg.fault_injector->AttachMetrics(&system->metrics_);
   }
   system->rpc_ = std::make_unique<Rpc>(system->channel_.get(),
-                                       &system->metrics_, config.net_faults,
-                                       config.fault_injector);
+                                       &system->metrics_, cfg.net_faults,
+                                       cfg.fault_injector);
 
   FINELOG_ASSIGN_OR_RETURN(
       system->server_,
-      Server::Create(config, system->channel_.get(), system->rpc_.get(),
+      Server::Create(cfg, system->channel_.get(), system->rpc_.get(),
                      &system->metrics_));
   bool fresh = system->server_->space_map().allocated_count() == 0;
   if (fresh) {
     FINELOG_RETURN_IF_ERROR(system->server_->Bootstrap(
-        config.preloaded_pages, config.objects_per_page, config.object_size));
+        cfg.preloaded_pages, cfg.objects_per_page, cfg.object_size));
   }
 
-  for (uint32_t i = 0; i < config.num_clients; ++i) {
+  for (uint32_t i = 0; i < cfg.num_clients; ++i) {
     ClientId cid(i);
     FINELOG_ASSIGN_OR_RETURN(
         auto client,
-        Client::Create(cid, config, system->server_.get(),
-                       system->channel_.get(), system->rpc_.get(),
-                       &system->metrics_));
+        Client::Create(cid, cfg, system->server_.get(), system->channel_.get(),
+                       system->rpc_.get(), &system->metrics_));
     system->server_->RegisterClient(cid, client.get());
     system->clients_.push_back(std::move(client));
+  }
+
+  if (cfg.exec_mode == ExecMode::kRealClock) {
+    system->transport_ = std::make_unique<QueueTransport>();
+    for (auto& client : system->clients_) {
+      system->transport_->RegisterGate(client->id(), &client->gate());
+    }
+    system->transport_->Start();
+    system->rpc_->SetTransport(system->transport_.get(),
+                               cfg.realclock_rpc_timeout_us);
   }
   return system;
 }
 
-Status System::CrashClient(size_t i) {
-  FINELOG_RETURN_IF_ERROR(clients_.at(i)->Crash());
-  server_->SetClientCrashed(static_cast<ClientId>(i), true);
-  return Status::OK();
+Status System::RunSerialized(const std::function<Status()>& fn) {
+  if (transport_ != nullptr) return transport_->RunOnReactor(fn);
+  return fn();
 }
 
-Status System::CrashServer() { return server_->Crash(); }
+Status System::CrashClient(size_t i) {
+  return RunSerialized([&] {
+    FINELOG_RETURN_IF_ERROR(clients_.at(i)->Crash());
+    server_->SetClientCrashed(static_cast<ClientId>(i), true);
+    return Status::OK();
+  });
+}
+
+Status System::CrashServer() {
+  return RunSerialized([&] { return server_->Crash(); });
+}
 
 Status System::RecoverClient(size_t i) {
-  if (server_->crashed()) {
-    return Status::FailedPrecondition("recover the server first");
-  }
-  return clients_.at(i)->Restart();
+  return RunSerialized([&] {
+    if (server_->crashed()) {
+      return Status::FailedPrecondition("recover the server first");
+    }
+    return clients_.at(i)->Restart();
+  });
 }
 
-Status System::RecoverServer() { return server_->Restart(); }
+Status System::RecoverServer() {
+  return RunSerialized([&] { return server_->Restart(); });
+}
 
 Status System::RecoverZombie(size_t i) {
-  if (server_->crashed()) {
-    return Status::FailedPrecondition("recover the server first");
-  }
-  ClientId cid(static_cast<uint32_t>(i));
-  if (!server_->IsPresumedDead(cid)) {
-    return Status::FailedPrecondition("client is not presumed dead");
-  }
-  // Deliberately NOT SetClientCrashed: the server already ran the
-  // declaration path; this exercises pure liveness machinery (the zombie
-  // discards its fenced state and rejoins via crash recovery).
-  FINELOG_RETURN_IF_ERROR(clients_.at(i)->Crash());
-  return clients_.at(i)->Restart();
+  return RunSerialized([&]() -> Status {
+    if (server_->crashed()) {
+      return Status::FailedPrecondition("recover the server first");
+    }
+    ClientId cid(static_cast<uint32_t>(i));
+    if (!server_->IsPresumedDead(cid)) {
+      return Status::FailedPrecondition("client is not presumed dead");
+    }
+    // Deliberately NOT SetClientCrashed: the server already ran the
+    // declaration path; this exercises pure liveness machinery (the zombie
+    // discards its fenced state and rejoins via crash recovery).
+    FINELOG_RETURN_IF_ERROR(clients_.at(i)->Crash());
+    return clients_.at(i)->Restart();
+  });
 }
 
 Status System::RecoverAll() {
-  if (server_->crashed()) {
-    FINELOG_RETURN_IF_ERROR(server_->Restart());
-  }
-  // A restarting client may depend on another crashed client's recovered
-  // state (a hand-off recorded in its log, Section 3.5): its restart
-  // defers with kWouldBlock. Multiple passes resolve the (acyclic-per-page)
-  // dependency chains; a final pass surfaces any genuine error.
-  for (size_t pass = 0; pass <= clients_.size(); ++pass) {
-    bool any_deferred = false;
-    for (size_t i = 0; i < clients_.size(); ++i) {
-      if (!clients_[i]->crashed()) continue;
-      Status st = clients_[i]->Restart();
-      if (st.IsWouldBlock()) {
-        any_deferred = true;
-        continue;
-      }
-      FINELOG_RETURN_IF_ERROR(st);
+  return RunSerialized([&]() -> Status {
+    if (server_->crashed()) {
+      FINELOG_RETURN_IF_ERROR(server_->Restart());
     }
-    if (!any_deferred) return Status::OK();
-  }
-  return Status::Internal("client restart dependency did not resolve");
+    // A restarting client may depend on another crashed client's recovered
+    // state (a hand-off recorded in its log, Section 3.5): its restart
+    // defers with kWouldBlock. Multiple passes resolve the
+    // (acyclic-per-page) dependency chains; a final pass surfaces any
+    // genuine error.
+    for (size_t pass = 0; pass <= clients_.size(); ++pass) {
+      bool any_deferred = false;
+      for (size_t i = 0; i < clients_.size(); ++i) {
+        if (!clients_[i]->crashed()) continue;
+        Status st = clients_[i]->Restart();
+        if (st.IsWouldBlock()) {
+          any_deferred = true;
+          continue;
+        }
+        FINELOG_RETURN_IF_ERROR(st);
+      }
+      if (!any_deferred) return Status::OK();
+    }
+    return Status::Internal("client restart dependency did not resolve");
+  });
 }
 
 Status System::FlushEverything() {
-  for (auto& client : clients_) {
-    if (client->crashed()) continue;
-    FINELOG_RETURN_IF_ERROR(client->ShipAllDirtyPages());
-  }
-  return server_->FlushAllPages();
+  return RunSerialized([&]() -> Status {
+    for (auto& client : clients_) {
+      if (client->crashed()) continue;
+      FINELOG_RETURN_IF_ERROR(client->ShipAllDirtyPages());
+    }
+    return server_->FlushAllPages();
+  });
 }
 
 }  // namespace finelog

@@ -1,10 +1,10 @@
 // finelog::System -- the public entry point.
 //
-// A System is a complete simulated deployment: one page server plus N
-// clients, all in one process, exchanging messages through an accounted
-// channel and sharing a simulated clock. Files (database, space map, server
-// log, private client logs) live under `config.dir` and survive simulated
-// crashes; everything else is volatile.
+// A System is a complete deployment: one page server plus N clients, all in
+// one process, exchanging messages through an accounted channel and sharing
+// a clock. Files (database, space map, server log, private client logs)
+// live under `config.dir` and survive simulated crashes; everything else is
+// volatile.
 //
 //   SystemConfig config;
 //   config.dir = "/tmp/mydb";
@@ -18,10 +18,19 @@
 //
 // Crash injection drops exactly the state the paper treats as volatile, so
 // the recovery algorithms of Sections 3.3-3.5 run against honest wreckage.
+//
+// Execution modes (DESIGN.md section 17): the default ExecMode::kSimulated
+// runs everything on the caller's thread against a SimClock -- the
+// deterministic oracle. ExecMode::kRealClock swaps in a RealClock, a
+// QueueTransport reactor behind the Rpc chokepoint, and a DurableSink
+// (fdatasync) behind log forces; the caller then drives each client from
+// its own std::thread and harness operations below serialize through the
+// reactor.
 
 #ifndef FINELOG_CORE_SYSTEM_H_
 #define FINELOG_CORE_SYSTEM_H_
 
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -29,8 +38,10 @@
 #include "common/clock.h"
 #include "common/config.h"
 #include "common/result.h"
+#include "log/log_sink.h"
 #include "net/channel.h"
 #include "net/rpc.h"
+#include "net/transport.h"
 #include "server/server.h"
 #include "util/metrics.h"
 
@@ -40,6 +51,9 @@ class System {
  public:
   System(const System&) = delete;
   System& operator=(const System&) = delete;
+  // Shuts down the transport (real-clock mode) before any member it may
+  // still be delivering into is destroyed.
+  ~System();
 
   // Creates (or reopens) a deployment under `config.dir`. A fresh directory
   // is bootstrapped with `config.preloaded_pages` pages of
@@ -50,13 +64,22 @@ class System {
   Server& server() { return *server_; }
   size_t num_clients() const { return clients_.size(); }
 
-  SimClock& clock() { return clock_; }
+  Clock& clock() { return *clock_; }
   Channel& channel() { return *channel_; }
   Rpc& rpc() { return *rpc_; }
   Metrics& metrics() { return metrics_; }
   const SystemConfig& config() const { return config_; }
+  // Null in simulated mode. Real-clock benches read frame counters here.
+  QueueTransport* transport() { return transport_.get(); }
+  // The sink behind log/page forces (null in simulated mode unless the
+  // config injected one). Benches read DurableSink::sync_count() here.
+  LogSink* log_sink() { return config_.log_sink; }
 
   // Crash injection ----------------------------------------------------------
+  //
+  // In real-clock mode every operation below runs serialized on the reactor
+  // thread, so it cannot interleave with endpoint bodies; callers must have
+  // quiesced the client threads they are crashing or recovering.
 
   Status CrashClient(size_t i);
   Status CrashServer();
@@ -81,16 +104,28 @@ class System {
   Status FlushEverything();
 
  private:
+  static std::unique_ptr<Clock> MakeClock(ExecMode mode) {
+    if (mode == ExecMode::kRealClock) return std::make_unique<RealClock>();
+    return std::make_unique<SimClock>();
+  }
+
   explicit System(const SystemConfig& config)
-      : config_(config), clock_(), metrics_() {}
+      : config_(config), clock_(MakeClock(config.exec_mode)), metrics_() {}
+
+  // Harness operations run on the caller's stack in simulated mode and on
+  // the reactor in real-clock mode (one serialization point, no endpoint
+  // body in flight while volatile state is being dropped or rebuilt).
+  Status RunSerialized(const std::function<Status()>& fn);
 
   SystemConfig config_;
-  SimClock clock_;
+  std::unique_ptr<Clock> clock_;
   Metrics metrics_;
+  std::unique_ptr<DurableSink> owned_sink_;  // Real-clock default sink.
   std::unique_ptr<Channel> channel_;
   std::unique_ptr<Rpc> rpc_;
   std::unique_ptr<Server> server_;
   std::vector<std::unique_ptr<Client>> clients_;
+  std::unique_ptr<QueueTransport> transport_;  // Real-clock mode only.
 };
 
 }  // namespace finelog

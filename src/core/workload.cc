@@ -148,6 +148,8 @@ Status Workload::Step(size_t i) {
       if (expected.has_value() && expected->has_value() &&
           got.value() != **expected) {
         ++stats_.read_mismatches;
+        // NOLINTNEXTLINE(concurrency-mt-unsafe): harness-only debug knob;
+        // the environment is never mutated after process start.
         if (std::getenv("FINELOG_DEBUG_MISMATCH") != nullptr) {
           std::fprintf(stderr,
                        "read mismatch: client=%zu obj=%u:%u got=%.8s... "

@@ -6,6 +6,7 @@ namespace finelog {
 
 std::vector<CallbackAction> GlobalLockManager::RequiredForObject(
     ClientId client, ObjectId oid, LockMode mode) const {
+  SimMutexLock lock(mu_);
   std::vector<CallbackAction> actions;
 
   // Page-level conflicts: another client holds a page lock on oid.page that
@@ -45,6 +46,7 @@ std::vector<CallbackAction> GlobalLockManager::RequiredForObject(
 
 std::vector<CallbackAction> GlobalLockManager::RequiredForPage(
     ClientId client, PageId pid, LockMode mode) const {
+  SimMutexLock lock(mu_);
   std::vector<CallbackAction> actions;
 
   auto pit = page_locks_.find(pid);
@@ -83,6 +85,7 @@ std::vector<CallbackAction> GlobalLockManager::RequiredForPage(
 
 void GlobalLockManager::GrantObject(ClientId client, ObjectId oid,
                                     LockMode mode) {
+  SimMutexLock lock(mu_);
   LockMode& held = object_locks_[oid]
                        .try_emplace(client, mode)
                        .first->second;
@@ -91,11 +94,13 @@ void GlobalLockManager::GrantObject(ClientId client, ObjectId oid,
 }
 
 void GlobalLockManager::GrantPage(ClientId client, PageId pid, LockMode mode) {
+  SimMutexLock lock(mu_);
   LockMode& held = page_locks_[pid].try_emplace(client, mode).first->second;
   if (mode == LockMode::kExclusive) held = LockMode::kExclusive;
 }
 
 void GlobalLockManager::ReleaseObject(ClientId client, ObjectId oid) {
+  SimMutexLock lock(mu_);
   auto oit = object_locks_.find(oid);
   if (oit == object_locks_.end()) return;
   oit->second.erase(client);
@@ -110,6 +115,7 @@ void GlobalLockManager::ReleaseObject(ClientId client, ObjectId oid) {
 }
 
 void GlobalLockManager::DowngradeObject(ClientId client, ObjectId oid) {
+  SimMutexLock lock(mu_);
   auto oit = object_locks_.find(oid);
   if (oit == object_locks_.end()) return;
   auto hit = oit->second.find(client);
@@ -117,6 +123,7 @@ void GlobalLockManager::DowngradeObject(ClientId client, ObjectId oid) {
 }
 
 void GlobalLockManager::DowngradePage(ClientId client, PageId pid) {
+  SimMutexLock lock(mu_);
   auto pit = page_locks_.find(pid);
   if (pit == page_locks_.end()) return;
   auto hit = pit->second.find(client);
@@ -124,6 +131,7 @@ void GlobalLockManager::DowngradePage(ClientId client, PageId pid) {
 }
 
 void GlobalLockManager::ReleasePage(ClientId client, PageId pid) {
+  SimMutexLock lock(mu_);
   auto pit = page_locks_.find(pid);
   if (pit == page_locks_.end()) return;
   pit->second.erase(client);
@@ -133,6 +141,7 @@ void GlobalLockManager::ReleasePage(ClientId client, PageId pid) {
 void GlobalLockManager::ApplyDeescalation(
     ClientId client, PageId pid, const std::vector<ObjectId>& object_locks,
     LockMode mode) {
+  SimMutexLock lock(mu_);
   ReleasePage(client, pid);
   for (const ObjectId& oid : object_locks) {
     GrantObject(client, oid, mode);
@@ -140,6 +149,7 @@ void GlobalLockManager::ApplyDeescalation(
 }
 
 void GlobalLockManager::ReleaseSharedLocksOf(ClientId client) {
+  SimMutexLock lock(mu_);
   for (auto it = object_locks_.begin(); it != object_locks_.end();) {
     auto hit = it->second.find(client);
     if (hit != it->second.end() && hit->second == LockMode::kShared) {
@@ -172,6 +182,7 @@ void GlobalLockManager::ReleaseSharedLocksOf(ClientId client) {
 
 std::vector<ObjectId> GlobalLockManager::ExclusiveObjectLocksOf(
     ClientId client) const {
+  SimMutexLock lock(mu_);
   std::vector<ObjectId> out;
   for (const auto& [oid, holders] : object_locks_) {
     auto hit = holders.find(client);
@@ -187,6 +198,7 @@ std::vector<ObjectId> GlobalLockManager::ExclusiveObjectLocksOf(
 
 std::vector<PageId> GlobalLockManager::ExclusivePageLocksOf(
     ClientId client) const {
+  SimMutexLock lock(mu_);
   std::vector<PageId> out;
   for (const auto& [pid, holders] : page_locks_) {
     auto hit = holders.find(client);
@@ -199,6 +211,7 @@ std::vector<PageId> GlobalLockManager::ExclusivePageLocksOf(
 }
 
 void GlobalLockManager::DropClient(ClientId client) {
+  SimMutexLock lock(mu_);
   for (auto it = object_locks_.begin(); it != object_locks_.end();) {
     it->second.erase(client);
     if (it->second.empty()) {
@@ -224,6 +237,7 @@ void GlobalLockManager::DropClient(ClientId client) {
 }
 
 void GlobalLockManager::Clear() {
+  SimMutexLock lock(mu_);
   object_locks_.clear();
   page_locks_.clear();
   objects_on_page_.clear();
@@ -231,6 +245,7 @@ void GlobalLockManager::Clear() {
 
 bool GlobalLockManager::HoldsObject(ClientId client, ObjectId oid,
                                     LockMode mode) const {
+  SimMutexLock lock(mu_);
   auto oit = object_locks_.find(oid);
   if (oit == object_locks_.end()) return false;
   auto hit = oit->second.find(client);
@@ -239,6 +254,7 @@ bool GlobalLockManager::HoldsObject(ClientId client, ObjectId oid,
 
 bool GlobalLockManager::HoldsPage(ClientId client, PageId pid,
                                   LockMode mode) const {
+  SimMutexLock lock(mu_);
   auto pit = page_locks_.find(pid);
   if (pit == page_locks_.end()) return false;
   auto hit = pit->second.find(client);
@@ -247,6 +263,7 @@ bool GlobalLockManager::HoldsPage(ClientId client, PageId pid,
 
 std::vector<ClientId> GlobalLockManager::ObjectHolders(ObjectId oid,
                                                        ClientId except) const {
+  SimMutexLock lock(mu_);
   std::vector<ClientId> out;
   auto oit = object_locks_.find(oid);
   if (oit == object_locks_.end()) return out;
@@ -258,6 +275,7 @@ std::vector<ClientId> GlobalLockManager::ObjectHolders(ObjectId oid,
 }
 
 size_t GlobalLockManager::object_lock_count() const {
+  SimMutexLock lock(mu_);
   size_t n = 0;
   for (const auto& [oid, holders] : object_locks_) {
     (void)oid;

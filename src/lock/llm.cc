@@ -42,6 +42,7 @@ const LocalLockManager::Entry* LocalLockManager::FindObject(ObjectId oid) const 
 LocalLockManager::Acquire LocalLockManager::TryAcquireObject(TxnId txn,
                                                              ObjectId oid,
                                                              LockMode mode) {
+  SimMutexLock lock(mu_);
   Entry* e = FindObject(oid);
   if (e != nullptr && Covers(e->mode, mode)) {
     if (LocalConflict(*e, txn, mode)) return Acquire::kLocalConflict;
@@ -78,6 +79,7 @@ LocalLockManager::Acquire LocalLockManager::TryAcquireObject(TxnId txn,
 LocalLockManager::Acquire LocalLockManager::TryAcquirePage(TxnId txn,
                                                            PageId pid,
                                                            LockMode mode) {
+  SimMutexLock lock(mu_);
   auto pit = page_locks_.find(pid);
   if (pit != page_locks_.end() && Covers(pit->second.mode, mode)) {
     if (LocalConflict(pit->second, txn, mode)) return Acquire::kLocalConflict;
@@ -97,6 +99,7 @@ LocalLockManager::Acquire LocalLockManager::TryAcquirePage(TxnId txn,
 }
 
 void LocalLockManager::AddObjectLock(TxnId txn, ObjectId oid, LockMode mode) {
+  SimMutexLock lock(mu_);
   Entry& e = object_locks_[oid];
   if (e.mode != LockMode::kExclusive) e.mode = mode;
   e.known_to_server = true;
@@ -104,6 +107,7 @@ void LocalLockManager::AddObjectLock(TxnId txn, ObjectId oid, LockMode mode) {
 }
 
 void LocalLockManager::AddPageLock(TxnId txn, PageId pid, LockMode mode) {
+  SimMutexLock lock(mu_);
   Entry& e = page_locks_[pid];
   if (e.mode != LockMode::kExclusive) e.mode = mode;
   e.known_to_server = true;
@@ -111,6 +115,7 @@ void LocalLockManager::AddPageLock(TxnId txn, PageId pid, LockMode mode) {
 }
 
 void LocalLockManager::OnTxnEnd(TxnId txn) {
+  SimMutexLock lock(mu_);
   for (auto& [oid, e] : object_locks_) {
     (void)oid;
     e.readers.erase(txn);
@@ -124,38 +129,50 @@ void LocalLockManager::OnTxnEnd(TxnId txn) {
 }
 
 bool LocalLockManager::CanReleaseObject(ObjectId oid) const {
+  SimMutexLock lock(mu_);
   const Entry* e = FindObject(oid);
   return e == nullptr || !e->InUse();
 }
 
 bool LocalLockManager::CanDowngradeObject(ObjectId oid) const {
+  SimMutexLock lock(mu_);
   const Entry* e = FindObject(oid);
   return e == nullptr || e->writers.empty();
 }
 
 bool LocalLockManager::CanDeescalatePage(PageId pid) const {
+  SimMutexLock lock(mu_);
   auto pit = page_locks_.find(pid);
   // Structural updates register the transaction as a writer of the page
   // lock; de-escalation must wait for them.
   return pit == page_locks_.end() || pit->second.writers.empty();
 }
 
-void LocalLockManager::ReleaseObject(ObjectId oid) { object_locks_.erase(oid); }
+void LocalLockManager::ReleaseObject(ObjectId oid) {
+  SimMutexLock lock(mu_);
+  object_locks_.erase(oid);
+}
 
 void LocalLockManager::DowngradeObject(ObjectId oid) {
+  SimMutexLock lock(mu_);
   Entry* e = FindObject(oid);
   if (e != nullptr) e->mode = LockMode::kShared;
 }
 
-void LocalLockManager::ReleasePage(PageId pid) { page_locks_.erase(pid); }
+void LocalLockManager::ReleasePage(PageId pid) {
+  SimMutexLock lock(mu_);
+  page_locks_.erase(pid);
+}
 
 void LocalLockManager::DowngradePage(PageId pid) {
+  SimMutexLock lock(mu_);
   auto pit = page_locks_.find(pid);
   if (pit != page_locks_.end()) pit->second.mode = LockMode::kShared;
 }
 
 std::vector<std::pair<ObjectId, LockMode>> LocalLockManager::Deescalate(
     PageId pid) {
+  SimMutexLock lock(mu_);
   std::vector<std::pair<ObjectId, LockMode>> promoted;
   auto pit = page_locks_.find(pid);
   if (pit == page_locks_.end()) return promoted;
@@ -172,6 +189,7 @@ std::vector<std::pair<ObjectId, LockMode>> LocalLockManager::Deescalate(
 }
 
 size_t LocalLockManager::ExclusiveObjectCountOnPage(PageId pid) const {
+  SimMutexLock lock(mu_);
   size_t n = 0;
   for (const auto& [oid, e] : object_locks_) {
     if (oid.page == pid && e.mode == LockMode::kExclusive) ++n;
@@ -180,6 +198,7 @@ size_t LocalLockManager::ExclusiveObjectCountOnPage(PageId pid) const {
 }
 
 bool LocalLockManager::CoversObject(ObjectId oid, LockMode mode) const {
+  SimMutexLock lock(mu_);
   const Entry* e = FindObject(oid);
   if (e != nullptr && Covers(e->mode, mode)) return true;
   auto pit = page_locks_.find(oid.page);
@@ -187,11 +206,13 @@ bool LocalLockManager::CoversObject(ObjectId oid, LockMode mode) const {
 }
 
 bool LocalLockManager::CoversPage(PageId pid, LockMode mode) const {
+  SimMutexLock lock(mu_);
   auto pit = page_locks_.find(pid);
   return pit != page_locks_.end() && Covers(pit->second.mode, mode);
 }
 
 bool LocalLockManager::HasAnyLockOnPage(PageId pid) const {
+  SimMutexLock lock(mu_);
   if (page_locks_.count(pid) > 0) return true;
   for (const auto& [oid, e] : object_locks_) {
     (void)e;
@@ -201,11 +222,13 @@ bool LocalLockManager::HasAnyLockOnPage(PageId pid) const {
 }
 
 bool LocalLockManager::HoldsExplicitObject(ObjectId oid, LockMode mode) const {
+  SimMutexLock lock(mu_);
   const Entry* e = FindObject(oid);
   return e != nullptr && e->known_to_server && Covers(e->mode, mode);
 }
 
 LocalLockManager::Snapshot LocalLockManager::GetSnapshot() {
+  SimMutexLock lock(mu_);
   Snapshot snap;
   for (auto& [oid, e] : object_locks_) {
     snap.objects.emplace_back(oid, e.mode);
@@ -219,6 +242,7 @@ LocalLockManager::Snapshot LocalLockManager::GetSnapshot() {
 }
 
 std::vector<ObjectId> LocalLockManager::ExclusiveObjects() const {
+  SimMutexLock lock(mu_);
   std::vector<ObjectId> out;
   for (const auto& [oid, e] : object_locks_) {
     if (e.mode == LockMode::kExclusive) out.push_back(oid);
@@ -227,6 +251,7 @@ std::vector<ObjectId> LocalLockManager::ExclusiveObjects() const {
 }
 
 void LocalLockManager::Clear() {
+  SimMutexLock lock(mu_);
   object_locks_.clear();
   page_locks_.clear();
 }

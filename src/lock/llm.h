@@ -112,13 +112,16 @@ class FINELOG_SHARED_STATE_CLASS LocalLockManager {
   // Client crash: the table is volatile.
   void Clear();
 
-  size_t size() const { return object_locks_.size() + page_locks_.size(); }
+  size_t size() const {
+    SimMutexLock lock(mu_);
+    return object_locks_.size() + page_locks_.size();
+  }
 
  private:
-  Entry* FindObject(ObjectId oid);
-  const Entry* FindObject(ObjectId oid) const;
+  Entry* FindObject(ObjectId oid) FINELOG_REQUIRES(mu_);
+  const Entry* FindObject(ObjectId oid) const FINELOG_REQUIRES(mu_);
 
-  SimMutex mu_;
+  mutable SimMutex mu_;
   std::map<ObjectId, Entry> object_locks_ FINELOG_GUARDED_BY(mu_);
   std::map<PageId, Entry> page_locks_ FINELOG_GUARDED_BY(mu_);
 };

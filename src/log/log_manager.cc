@@ -7,12 +7,25 @@
 #include <cerrno>
 #include <cstring>
 
+#include "common/errno_util.h"
+#include "log/log_sink.h"
 #include "util/coding.h"
 #include "util/crc32.h"
 
 namespace finelog {
 
+namespace {
+// Durability tail of every force point: through the configured sink, or the
+// historical fflush-only behavior when no sink is wired.
+Status SyncThrough(LogSink* sink, std::FILE* file, const std::string& site) {
+  if (sink != nullptr) return sink->Sync(file, site);
+  std::fflush(file);
+  return Status::OK();
+}
+}  // namespace
+
 LogManager::~LogManager() {
+  SimMutexLock lock(mu_);
   if (file_ != nullptr) std::fclose(file_);
 }
 
@@ -26,9 +39,12 @@ Result<std::unique_ptr<LogManager>> LogManager::Open(const std::string& path,
     fresh = true;
   }
   if (f == nullptr) {
-    return Status::IoError("open " + path + ": " + std::strerror(errno));
+    return Status::IoError("open " + path + ": " + ErrnoString(errno));
   }
   auto lm = std::unique_ptr<LogManager>(new LogManager(f, capacity_bytes, io));
+  // Nothing else can reference `lm` yet; locking satisfies the REQUIRES
+  // contracts of the recovery helpers below.
+  SimMutexLock lock(lm->mu_);
   if (fresh) {
     FINELOG_RETURN_IF_ERROR(lm->WriteHeader());
   } else {
@@ -58,8 +74,7 @@ Status LogManager::WriteHeader() {
           kFileHeaderSize) {
     return Status::IoError("log header write failed");
   }
-  std::fflush(file_);
-  return Status::OK();
+  return SyncThrough(io_.sink, file_, io_.name + ".header");
 }
 
 Status LogManager::RecoverExisting() {
@@ -120,6 +135,7 @@ Status LogManager::RecoverExisting() {
 
 Result<Lsn> LogManager::Append(const LogRecord& record,
                                bool enforce_capacity) {
+  SimMutexLock lock(mu_);
   // Serialize into the reused scratch buffer: after warm-up, appends perform
   // no allocation beyond pending-tail growth, which reserve() below keeps to
   // one extension per frame at most.
@@ -155,6 +171,7 @@ Result<Lsn> LogManager::Append(const LogRecord& record,
 }
 
 Status LogManager::Force() {
+  SimMutexLock lock(mu_);
   ++force_count_;
   if (pending_.empty()) return Status::OK();
   if (io_.injector != nullptr) {
@@ -186,13 +203,14 @@ Status LogManager::Force() {
           pending_.size()) {
     return Status::IoError("log force failed");
   }
-  std::fflush(file_);
+  FINELOG_RETURN_IF_ERROR(SyncThrough(io_.sink, file_, io_.name + ".force"));
   durable_end_ += pending_.size();
   pending_.clear();
   return Status::OK();
 }
 
 Result<LogRecord> LogManager::Read(Lsn lsn) const {
+  SimMutexLock lock(mu_);
   return ReadFrame(lsn, nullptr);
 }
 
@@ -246,6 +264,7 @@ Result<LogRecord> LogManager::ReadFrame(Lsn lsn, uint64_t* frame_size) const {
 
 Status LogManager::Scan(
     Lsn from, const std::function<Status(const LogRecord&)>& cb) const {
+  SimMutexLock lock(mu_);
   Lsn pos = std::max(from, Lsn{kFileHeaderSize});
   // A punched prefix contains no parseable frames; the first retained frame
   // begins exactly at the punch boundary (punching is frame-aligned only by
@@ -263,15 +282,18 @@ Status LogManager::Scan(
 }
 
 Status LogManager::SetCheckpointLsn(Lsn lsn) {
+  SimMutexLock lock(mu_);
   checkpoint_lsn_ = lsn;
   return WriteHeader();
 }
 
 void LogManager::SetReclaimLsn(Lsn lsn) {
+  SimMutexLock lock(mu_);
   if (lsn > reclaim_lsn_) reclaim_lsn_ = lsn;
 }
 
 Result<uint64_t> LogManager::PunchReclaimedSpace() {
+  SimMutexLock lock(mu_);
 #ifdef FALLOC_FL_PUNCH_HOLE
   // Find the last frame start at or below the reclaim point so the scan
   // boundary lands on a frame, then punch the whole blocks below it.

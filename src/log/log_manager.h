@@ -32,14 +32,19 @@
 
 namespace finelog {
 
-// Fault-injection wiring for one log instance. `name` prefixes the
-// fail-points this log reports: "<name>.append", "<name>.force" and
-// "<name>.header". `debug_trust_tail` is a deliberately broken recovery mode
-// for harness self-tests: reopen trusts the whole file instead of CRC-
-// scanning for the durable end, so an injected torn tail is replayed as if
-// it were valid.
+class LogSink;
+
+// Fault-injection and durability wiring for one log instance. `name`
+// prefixes the fail-points this log reports: "<name>.append", "<name>.force"
+// and "<name>.header". `sink` is the durability seam (DESIGN.md section 17):
+// null keeps the simulation's fflush-only volatility boundary; the
+// real-clock mode passes a DurableSink so every Force() ends in fdatasync.
+// `debug_trust_tail` is a deliberately broken recovery mode for harness
+// self-tests: reopen trusts the whole file instead of CRC-scanning for the
+// durable end, so an injected torn tail is replayed as if it were valid.
 struct LogIoOptions {
   FaultInjector* injector = nullptr;
+  LogSink* sink = nullptr;
   std::string name = "log";
   bool debug_trust_tail = false;
 };
@@ -79,21 +84,36 @@ class FINELOG_SHARED_STATE_CLASS LogManager {
   Status Scan(Lsn from, const std::function<Status(const LogRecord&)>& cb) const;
 
   // LSN one past the last appended record (the next LSN to be assigned).
-  Lsn end_lsn() const { return end_lsn_; }
+  Lsn end_lsn() const {
+    SimMutexLock lock(mu_);
+    return end_lsn_;
+  }
   // LSN one past the last durable record.
-  Lsn durable_lsn() const { return durable_end_; }
+  Lsn durable_lsn() const {
+    SimMutexLock lock(mu_);
+    return durable_end_;
+  }
   // LSN of the first record.
   Lsn begin_lsn() const { return Lsn{kFileHeaderSize}; }
 
   // Checkpoint anchor, stored in the file header (the "master record").
   Status SetCheckpointLsn(Lsn lsn);
-  Lsn checkpoint_lsn() const { return checkpoint_lsn_; }
+  Lsn checkpoint_lsn() const {
+    SimMutexLock lock(mu_);
+    return checkpoint_lsn_;
+  }
 
   // Log space management (Section 3.6).
   void SetReclaimLsn(Lsn lsn);
-  Lsn reclaim_lsn() const { return reclaim_lsn_; }
+  Lsn reclaim_lsn() const {
+    SimMutexLock lock(mu_);
+    return reclaim_lsn_;
+  }
   uint64_t capacity() const { return capacity_; }
-  uint64_t used_bytes() const { return end_lsn_ - reclaim_lsn_; }
+  uint64_t used_bytes() const {
+    SimMutexLock lock(mu_);
+    return end_lsn_ - reclaim_lsn_;
+  }
 
   // Physically releases the disk blocks of the reclaimed prefix (everything
   // below reclaim_lsn) via hole punching, which preserves file offsets --
@@ -104,12 +124,24 @@ class FINELOG_SHARED_STATE_CLASS LogManager {
   Result<uint64_t> PunchReclaimedSpace();
 
   // Metrics.
-  uint64_t bytes_appended() const { return bytes_appended_; }
-  uint64_t force_count() const { return force_count_; }
+  uint64_t bytes_appended() const {
+    SimMutexLock lock(mu_);
+    return bytes_appended_;
+  }
+  uint64_t force_count() const {
+    SimMutexLock lock(mu_);
+    return force_count_;
+  }
   // Unforced frame bytes currently buffered, and the largest that buffer has
   // ever grown (group commit lets it hold several transactions' records).
-  uint64_t pending_bytes() const { return pending_.size(); }
-  uint64_t pending_high_water() const { return pending_high_water_; }
+  uint64_t pending_bytes() const {
+    SimMutexLock lock(mu_);
+    return pending_.size();
+  }
+  uint64_t pending_high_water() const {
+    SimMutexLock lock(mu_);
+    return pending_high_water_;
+  }
 
  private:
   LogManager(std::FILE* f, uint64_t capacity, const LogIoOptions& io)
@@ -119,11 +151,12 @@ class FINELOG_SHARED_STATE_CLASS LogManager {
   Status RecoverExisting() FINELOG_REQUIRES(mu_);
   // Read plus the frame's on-disk footprint, so Scan can advance without
   // re-encoding the record. `frame_size` may be null.
-  Result<LogRecord> ReadFrame(Lsn lsn, uint64_t* frame_size) const;
+  Result<LogRecord> ReadFrame(Lsn lsn, uint64_t* frame_size) const
+      FINELOG_REQUIRES(mu_);
 
-  // One log = one appender today; the real-clock mode will serialize group
-  // commit through this capability.
-  SimMutex mu_;
+  // One log = one appender; the real-clock mode serializes the owner's
+  // appends and group-commit forces through this capability.
+  mutable SimMutex mu_;
   std::FILE* file_ FINELOG_PT_GUARDED_BY(mu_);
   uint64_t capacity_ FINELOG_UNGUARDED("immutable after Open");
   LogIoOptions io_ FINELOG_UNGUARDED("immutable after Open");

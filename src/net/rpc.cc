@@ -5,6 +5,7 @@
 namespace finelog {
 
 void Rpc::BumpEpoch(ClientId client) {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
   for (auto& sessions : sessions_) {
     Session& s = sessions[client];
     s.epoch += 1;
@@ -14,12 +15,14 @@ void Rpc::BumpEpoch(ClientId client) {
 }
 
 uint64_t Rpc::session_epoch(RpcDir dir, ClientId peer) const {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
   const auto& sessions = sessions_[static_cast<size_t>(dir)];
   auto it = sessions.find(peer);
   return it == sessions.end() ? 0 : it->second.epoch;
 }
 
 uint64_t Rpc::session_last_executed(RpcDir dir, ClientId peer) const {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
   const auto& sessions = sessions_[static_cast<size_t>(dir)];
   auto it = sessions.find(peer);
   return it == sessions.end() ? 0 : it->second.last_executed;

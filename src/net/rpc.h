@@ -32,6 +32,7 @@
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <type_traits>
@@ -42,6 +43,7 @@
 #include "common/types.h"
 #include "net/channel.h"
 #include "net/delivery.h"
+#include "net/transport.h"
 #include "util/metrics.h"
 
 namespace finelog {
@@ -102,6 +104,17 @@ class Rpc {
   Rpc(const Rpc&) = delete;
   Rpc& operator=(const Rpc&) = delete;
 
+  // Plugs the real-clock transport in (DESIGN.md section 17). Calls then
+  // cross the MPSC queue to the server reactor instead of running inline;
+  // `timeout_us` bounds each frame wait (0 = forever). The simulated fault
+  // model and the transport are mutually exclusive (System::Create rejects
+  // the combination), so Call() dispatches on exactly one of them.
+  void SetTransport(Transport* transport, uint64_t timeout_us) {
+    transport_ = transport;
+    transport_timeout_us_ = timeout_us;
+  }
+  Transport* transport() { return transport_; }
+
   // One request/reply exchange. `body` is invoked with an RpcReply* and
   // returns Status or Result<T>; the return type must be constructible from
   // a Status so a timed-out call can surface kWouldBlock.
@@ -109,6 +122,9 @@ class Rpc {
   auto Call(const CallOptions& opts, Body&& body)
       -> std::invoke_result_t<Body&, RpcReply*> {
     using R = std::invoke_result_t<Body&, RpcReply*>;
+    if (transport_ != nullptr) {
+      return TransportCall<R>(opts, body);
+    }
     if (!delivery_.config().enabled()) {
       RpcReply reply;
       channel_->CountBatch(opts.req_type, opts.req_items, opts.req_bytes);
@@ -125,6 +141,20 @@ class Rpc {
   // duplicate runs the handler twice (its own idempotency absorbs it).
   template <typename Body>
   void Send(const CallOptions& opts, Body&& body) {
+    if (transport_ != nullptr) {
+      channel_->CountBatch(opts.req_type, opts.req_items, opts.req_bytes);
+      // Server->client notifications are issued from the reactor and run
+      // inline there (the handler's own gate serializes them); a client-
+      // originated one-way crosses the queue like any call. Either way the
+      // body's by-reference captures stay alive for the duration.
+      if (transport_->OnServerThread()) {
+        body();
+      } else {
+        (void)transport_->Submit(opts.peer, [&body] { body(); },
+                                 transport_timeout_us_);
+      }
+      return;
+    }
     if (!delivery_.config().enabled()) {
       channel_->CountBatch(opts.req_type, opts.req_items, opts.req_bytes);
       body();
@@ -205,6 +235,60 @@ class Rpc {
     const bool client_sends = (opts.dir == RpcDir::kClientToServer) == request;
     return std::string(client_sends ? "net.client." : "net.server.") +
            opts.endpoint;
+  }
+
+  // Real-clock path: one frame across the queue transport. Keeps the
+  // session machinery live -- the frame is stamped with the session's
+  // (epoch, seq) at submit time and fenced against the *current* epoch at
+  // execution time, so a frame that was queued before its client crashed
+  // and restarted is dropped by the same epoch fence the simulated fault
+  // model uses for ghosts.
+  template <typename R, typename Body>
+  R TransportCall(const CallOptions& opts, Body& body) {
+    channel_->CountBatch(opts.req_type, opts.req_items, opts.req_bytes);
+    uint64_t epoch = 0;
+    {
+      std::lock_guard<std::mutex> lock(sessions_mu_);
+      Session& session = SessionFor(opts.dir, opts.peer);
+      epoch = session.epoch;
+      session.next_seq++;
+    }
+    std::optional<R> executed;
+    RpcReply reply;
+    bool fenced = false;
+    Status submitted = transport_->Submit(
+        opts.dir == RpcDir::kClientToServer ? opts.peer : kInvalidClientId,
+        [&] {
+          {
+            std::lock_guard<std::mutex> lock(sessions_mu_);
+            const Session& session = SessionFor(opts.dir, opts.peer);
+            if (session.epoch != epoch) {
+              fenced = true;
+            }
+          }
+          if (fenced) {
+            metrics_->Add(Counter::kNetStaleEpochFenced);
+            return;
+          }
+          executed.emplace(body(&reply));
+        },
+        transport_timeout_us_);
+    if (!submitted.ok()) {
+      metrics_->Add(Counter::kNetRpcTimeouts);
+      metrics_->Add(Counter::kNetRpcExhausted);
+      return R(Status::WouldBlock(
+          WouldBlockReason::kRpcTimeout,
+          std::string("transport timeout: ") + opts.endpoint));
+    }
+    if (fenced || !executed.has_value()) {
+      return R(Status::WouldBlock(
+          WouldBlockReason::kRpcTimeout,
+          std::string("stale epoch fenced: ") + opts.endpoint));
+    }
+    if (reply.present()) {
+      channel_->CountBatch(reply.type(), reply.items(), reply.bytes());
+    }
+    return std::move(*executed);
   }
 
   // Non-template faulty-path helpers (rpc.cc).
@@ -290,6 +374,14 @@ class Rpc {
   Channel* channel_;
   Metrics* metrics_;
   Delivery delivery_;
+  Transport* transport_ = nullptr;
+  uint64_t transport_timeout_us_ = 0;
+  // Serializes session stamping in transport mode, where client threads and
+  // the reactor touch sessions_ concurrently. The simulated paths
+  // (FaultyCall/Send/PumpGhosts) run single-threaded and take it only at
+  // the non-hot entry points they share with the harness (BumpEpoch,
+  // introspection).
+  mutable std::mutex sessions_mu_;
   std::map<ClientId, Session> sessions_[2];
   std::deque<Ghost> ghosts_;
 };

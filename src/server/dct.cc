@@ -5,20 +5,24 @@
 namespace finelog {
 
 void DirtyClientTable::Insert(PageId page, ClientId client, Psn psn) {
+  SimMutexLock lock(mu_);
   auto& row = table_[page];
   row.try_emplace(client, Value{psn, kNullLsn});
 }
 
 void DirtyClientTable::SetPsn(PageId page, ClientId client, Psn psn) {
+  SimMutexLock lock(mu_);
   table_[page][client].psn = psn;
 }
 
 void DirtyClientTable::Set(PageId page, ClientId client, Psn psn,
                            Lsn redo_lsn) {
+  SimMutexLock lock(mu_);
   table_[page][client] = Value{psn, redo_lsn};
 }
 
 void DirtyClientTable::SetRedoLsnIfNull(PageId page, Lsn lsn) {
+  SimMutexLock lock(mu_);
   auto it = table_.find(page);
   if (it == table_.end()) return;
   for (auto& [client, v] : it->second) {
@@ -28,6 +32,7 @@ void DirtyClientTable::SetRedoLsnIfNull(PageId page, Lsn lsn) {
 }
 
 void DirtyClientTable::Remove(PageId page, ClientId client) {
+  SimMutexLock lock(mu_);
   auto it = table_.find(page);
   if (it == table_.end()) return;
   it->second.erase(client);
@@ -36,6 +41,7 @@ void DirtyClientTable::Remove(PageId page, ClientId client) {
 
 std::optional<DctEntry> DirtyClientTable::Get(PageId page,
                                               ClientId client) const {
+  SimMutexLock lock(mu_);
   auto it = table_.find(page);
   if (it == table_.end()) return std::nullopt;
   auto cit = it->second.find(client);
@@ -44,6 +50,7 @@ std::optional<DctEntry> DirtyClientTable::Get(PageId page,
 }
 
 std::vector<DctEntry> DirtyClientTable::EntriesForPage(PageId page) const {
+  SimMutexLock lock(mu_);
   std::vector<DctEntry> out;
   auto it = table_.find(page);
   if (it == table_.end()) return out;
@@ -55,6 +62,7 @@ std::vector<DctEntry> DirtyClientTable::EntriesForPage(PageId page) const {
 
 std::vector<DctEntry> DirtyClientTable::EntriesForClient(
     ClientId client) const {
+  SimMutexLock lock(mu_);
   std::vector<DctEntry> out;
   for (const auto& [page, row] : table_) {
     auto cit = row.find(client);
@@ -66,6 +74,7 @@ std::vector<DctEntry> DirtyClientTable::EntriesForClient(
 }
 
 std::vector<DctEntry> DirtyClientTable::All() const {
+  SimMutexLock lock(mu_);
   std::vector<DctEntry> out;
   for (const auto& [page, row] : table_) {
     for (const auto& [client, v] : row) {
@@ -76,10 +85,12 @@ std::vector<DctEntry> DirtyClientTable::All() const {
 }
 
 bool DirtyClientTable::HasPage(PageId page) const {
+  SimMutexLock lock(mu_);
   return table_.count(page) > 0;
 }
 
 Lsn DirtyClientTable::MinRedoLsn() const {
+  SimMutexLock lock(mu_);
   Lsn min = kMaxLsn;
   for (const auto& [page, row] : table_) {
     (void)page;
@@ -91,9 +102,13 @@ Lsn DirtyClientTable::MinRedoLsn() const {
   return min;
 }
 
-void DirtyClientTable::Clear() { table_.clear(); }
+void DirtyClientTable::Clear() {
+  SimMutexLock lock(mu_);
+  table_.clear();
+}
 
 size_t DirtyClientTable::size() const {
+  SimMutexLock lock(mu_);
   size_t n = 0;
   for (const auto& [page, row] : table_) {
     (void)page;

@@ -60,7 +60,7 @@ class FINELOG_SHARED_STATE_CLASS DirtyClientTable {
     Psn psn = kNullPsn;
     Lsn redo_lsn = kNullLsn;
   };
-  SimMutex mu_;
+  mutable SimMutex mu_;
   std::map<PageId, std::map<ClientId, Value>> table_ FINELOG_GUARDED_BY(mu_);
 };
 

@@ -3,11 +3,13 @@
 namespace finelog {
 
 void LivenessTable::Renew(ClientId client, uint64_t now_us) {
+  SimMutexLock lock(mu_);
   if (IsPresumedDead(client)) return;
   deadlines_[client] = now_us + lease_duration_us_;
 }
 
 std::vector<ClientId> LivenessTable::CollectExpired(uint64_t now_us) const {
+  SimMutexLock lock(mu_);
   std::vector<ClientId> expired;
   for (const auto& [client, deadline] : deadlines_) {
     if (now_us >= deadline && !IsPresumedDead(client)) {
@@ -18,17 +20,25 @@ std::vector<ClientId> LivenessTable::CollectExpired(uint64_t now_us) const {
 }
 
 void LivenessTable::MarkPresumedDead(ClientId client) {
+  SimMutexLock lock(mu_);
   deadlines_.erase(client);
   presumed_dead_.insert(client);
 }
 
 void LivenessTable::MarkRecovered(ClientId client, uint64_t now_us) {
+  SimMutexLock lock(mu_);
   presumed_dead_.erase(client);
   deadlines_[client] = now_us + lease_duration_us_;
 }
 
-void LivenessTable::Suspend(ClientId client) { deadlines_.erase(client); }
+void LivenessTable::Suspend(ClientId client) {
+  SimMutexLock lock(mu_);
+  deadlines_.erase(client);
+}
 
-void LivenessTable::DropLeases() { deadlines_.clear(); }
+void LivenessTable::DropLeases() {
+  SimMutexLock lock(mu_);
+  deadlines_.clear();
+}
 
 }  // namespace finelog

@@ -74,14 +74,26 @@ class FINELOG_SHARED_STATE_CLASS LivenessTable {
   void DropLeases();
 
   bool IsPresumedDead(ClientId client) const {
+    SimMutexLock lock(mu_);
     return presumed_dead_.count(client) != 0;
   }
-  bool AnyPresumedDead() const { return !presumed_dead_.empty(); }
-  const std::set<ClientId>& presumed_dead() const { return presumed_dead_; }
-  bool HasLease(ClientId client) const { return deadlines_.count(client) != 0; }
+  bool AnyPresumedDead() const {
+    SimMutexLock lock(mu_);
+    return !presumed_dead_.empty();
+  }
+  // Escapes the capability on purpose: callers iterate it while the owning
+  // Server's capability already serializes liveness mutations.
+  const std::set<ClientId>& presumed_dead() const
+      FINELOG_NO_THREAD_SAFETY_ANALYSIS {
+    return presumed_dead_;
+  }
+  bool HasLease(ClientId client) const {
+    SimMutexLock lock(mu_);
+    return deadlines_.count(client) != 0;
+  }
 
  private:
-  SimMutex mu_;
+  mutable SimMutex mu_;
   uint64_t lease_duration_us_ FINELOG_UNGUARDED("immutable after construction");
   // Absolute expiry, simulated us.
   std::map<ClientId, uint64_t> deadlines_ FINELOG_GUARDED_BY(mu_);

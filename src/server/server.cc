@@ -38,6 +38,9 @@ Result<std::unique_ptr<Server>> Server::Create(const SystemConfig& config,
                                                Metrics* metrics) {
   auto server =
       std::unique_ptr<Server>(new Server(config, channel, rpc, metrics));
+  // Nothing else can reference `server` yet; locking satisfies the guarded-
+  // member discipline for the wiring stores below.
+  SimMutexLock lock(server->mu_);
   FINELOG_ASSIGN_OR_RETURN(
       server->disk_, DiskManager::Open(config.dir + "/db.pages", config.page_size,
                                        server->DiskIo()));
@@ -51,19 +54,22 @@ Result<std::unique_ptr<Server>> Server::Create(const SystemConfig& config,
 }
 
 DiskIoOptions Server::DiskIo() const {
-  return DiskIoOptions{config_.fault_injector, "server.disk",
+  return DiskIoOptions{config_.fault_injector, config_.log_sink, "server.disk",
                        config_.debug_skip_journal_replay};
 }
 
 LogIoOptions Server::LogIo() const {
-  return LogIoOptions{config_.fault_injector, "server.log", false};
+  return LogIoOptions{config_.fault_injector, config_.log_sink, "server.log",
+                      false};
 }
 
 void Server::RegisterClient(ClientId id, ClientEndpoint* endpoint) {
+  SimMutexLock lock(mu_);
   clients_[id] = endpoint;
 }
 
 void Server::SetClientCrashed(ClientId id, bool crashed) {
+  SimMutexLock lock(mu_);
   if (crashed) {
     crashed_clients_.insert(id);
     // Any in-flight crash recovery is void; the restarted client begins a
@@ -89,6 +95,7 @@ void Server::SetClientCrashed(ClientId id, bool crashed) {
 }
 
 Status Server::Crash() {
+  SimMutexLock lock(mu_);
   crashed_ = true;
   dct_authoritative_ = false;
   pool_->Clear();
@@ -112,6 +119,7 @@ FINELOG_REPLAY_PATH("bootstrap preload: pages are formatted, filled and "
                     "flushed to disk before any client can reference them")
 Status Server::Bootstrap(uint32_t n, uint32_t objects_per_page,
                          uint32_t object_size) {
+  SimMutexLock lock(mu_);
   std::string payload(object_size, '\0');
   for (uint32_t i = 0; i < n; ++i) {
     auto alloc = space_map_->AllocatePage();
@@ -130,6 +138,9 @@ Status Server::Bootstrap(uint32_t n, uint32_t objects_per_page,
 
 BufferPool::EvictHandler Server::EvictHandler() {
   return [this](PageId pid, BufferPool::Frame& frame) -> Status {
+    // Recursive: the pool only calls back while an endpoint body holds the
+    // capability; the analysis can't see through the std::function.
+    SimMutexLock lock(mu_);
     if (!frame.dirty) return Status::OK();
     return WritePageToDisk(pid, frame);
   };
@@ -444,6 +455,7 @@ Status Server::ApplyShippedPage(ClientId client, const ShippedPage& shipped,
 
 Result<ObjectLockReply> Server::LockObject(ClientId client, ObjectId oid,
                                            LockMode mode, Psn cached_psn) {
+  SimMutexLock lock(mu_);
   if (crashed_) return Status::Crashed("server down");
   return rpc_->Call(
       MakeOpts(RpcDir::kClientToServer, "lock_object", client,
@@ -461,6 +473,7 @@ Result<ObjectLockReply> Server::LockObject(ClientId client, ObjectId oid,
 
 Result<std::vector<ObjectLockOutcome>> Server::LockObjectBatch(
     ClientId client, const std::vector<ObjectLockRequest>& items) {
+  SimMutexLock lock(mu_);
   if (crashed_) return Status::Crashed("server down");
   if (items.empty()) return std::vector<ObjectLockOutcome>{};
   return rpc_->Call(
@@ -571,6 +584,7 @@ Result<ObjectLockReply> Server::LockObjectInternal(ClientId client,
 
 Result<PageLockReply> Server::LockPage(ClientId client, PageId pid,
                                        LockMode mode, Psn cached_psn) {
+  SimMutexLock lock(mu_);
   if (crashed_) return Status::Crashed("server down");
   return rpc_->Call(
       MakeOpts(RpcDir::kClientToServer, "lock_page", client,
@@ -646,6 +660,7 @@ Result<PageLockReply> Server::LockPageBody(ClientId client, PageId pid,
 }
 
 Result<PageFetchReply> Server::FetchPage(ClientId client, PageId pid) {
+  SimMutexLock lock(mu_);
   if (crashed_) return Status::Crashed("server down");
   return rpc_->Call(
       MakeOpts(RpcDir::kClientToServer, "fetch_page", client,
@@ -662,6 +677,7 @@ Result<PageFetchReply> Server::FetchPage(ClientId client, PageId pid) {
 
 Result<std::vector<PageFetchReply>> Server::FetchPages(
     ClientId client, const std::vector<PageId>& pids) {
+  SimMutexLock lock(mu_);
   if (crashed_) return Status::Crashed("server down");
   if (pids.empty()) return std::vector<PageFetchReply>{};
   return rpc_->Call(
@@ -698,6 +714,7 @@ Result<PageFetchReply> Server::FetchPageInternal(ClientId client, PageId pid,
 }
 
 Status Server::ShipPage(ClientId client, const ShippedPage& page) {
+  SimMutexLock lock(mu_);
   if (crashed_) return Status::Crashed("server down");
   return rpc_->Call(
       MakeOpts(RpcDir::kClientToServer, "ship_page", client,
@@ -712,6 +729,7 @@ Status Server::ShipPage(ClientId client, const ShippedPage& page) {
 
 Status Server::ShipPages(ClientId client,
                          const std::vector<ShippedPage>& pages) {
+  SimMutexLock lock(mu_);
   if (crashed_) return Status::Crashed("server down");
   if (pages.empty()) return Status::OK();
   size_t bytes = 0;
@@ -732,6 +750,7 @@ Status Server::ShipPages(ClientId client,
 FINELOG_REPLAY_PATH("formats a fresh page whose PSN lineage lives in the "
                     "space map; the allocating client logs from there on")
 Result<AllocReply> Server::AllocatePage(ClientId client) {
+  SimMutexLock lock(mu_);
   if (crashed_) return Status::Crashed("server down");
   return rpc_->Call(
       MakeOpts(RpcDir::kClientToServer, "alloc_page", client,
@@ -759,6 +778,7 @@ Result<AllocReply> Server::AllocatePage(ClientId client) {
 }
 
 Status Server::ForcePage(ClientId client, PageId pid) {
+  SimMutexLock lock(mu_);
   if (crashed_) return Status::Crashed("server down");
   return rpc_->Call(
       MakeOpts(RpcDir::kClientToServer, "force_page", client,
@@ -793,6 +813,7 @@ Status Server::ForcePage(ClientId client, PageId pid) {
 Status Server::ReleaseLocks(ClientId client,
                             const std::vector<ObjectId>& objects,
                             const std::vector<PageId>& pages) {
+  SimMutexLock lock(mu_);
   if (crashed_) return Status::Crashed("server down");
   return rpc_->Call(
       MakeOpts(RpcDir::kClientToServer, "release_locks", client,
@@ -836,6 +857,7 @@ Status Server::ReleaseLocksBody(ClientId client,
 }
 
 Status Server::CommitShipLogs(ClientId client, size_t log_bytes) {
+  SimMutexLock lock(mu_);
   if (crashed_) return Status::Crashed("server down");
   return rpc_->Call(
       MakeOpts(RpcDir::kClientToServer, "commit_ship_logs", client,
@@ -855,6 +877,7 @@ Status Server::CommitShipLogs(ClientId client, size_t log_bytes) {
 
 Status Server::CommitShipPages(ClientId client,
                                const std::vector<ShippedPage>& pages) {
+  SimMutexLock lock(mu_);
   if (crashed_) return Status::Crashed("server down");
   size_t bytes = 0;
   for (const ShippedPage& p : pages) bytes += p.wire_size();
@@ -874,6 +897,7 @@ Status Server::CommitShipPages(ClientId client,
 }
 
 Result<TokenReply> Server::AcquireToken(ClientId client, PageId pid) {
+  SimMutexLock lock(mu_);
   if (crashed_) return Status::Crashed("server down");
   return rpc_->Call(
       MakeOpts(RpcDir::kClientToServer, "acquire_token", client,
@@ -931,6 +955,7 @@ Result<TokenReply> Server::AcquireTokenBody(ClientId client, PageId pid,
 }
 
 Status Server::TakeCheckpoint() {
+  SimMutexLock lock(mu_);
   if (crashed_) return Status::Crashed("server down");
   LogRecord rec = LogRecord::ServerCheckpoint(dct_.All());
   auto lsn = log_->Append(rec);
@@ -943,6 +968,7 @@ Status Server::TakeCheckpoint() {
 }
 
 Status Server::TakeSynchronizedCheckpoint() {
+  SimMutexLock lock(mu_);
   if (crashed_) return Status::Crashed("server down");
   // ARIES/CSA-style: synchronous round trip with every connected client
   // before the checkpoint record is written (Section 4.1).
@@ -964,6 +990,7 @@ Status Server::TakeSynchronizedCheckpoint() {
 }
 
 Status Server::DeallocatePage(PageId pid) {
+  SimMutexLock lock(mu_);
   if (crashed_) return Status::Crashed("server down");
   // Refuse while any client could still reference the page.
   if (dct_.HasPage(pid)) {
@@ -997,6 +1024,7 @@ Status Server::DeallocatePage(PageId pid) {
 }
 
 Status Server::FlushAllPages() {
+  SimMutexLock lock(mu_);
   if (crashed_) return Status::Crashed("server down");
   for (PageId pid : pool_->PageIds()) {
     BufferPool::Frame* frame = pool_->Peek(pid);
@@ -1008,6 +1036,7 @@ Status Server::FlushAllPages() {
 }
 
 Result<DctSnapshot> Server::RecGetMyDct(ClientId client) {
+  SimMutexLock lock(mu_);
   if (crashed_) return Status::Crashed("server down");
   return rpc_->Call(
       MakeOpts(RpcDir::kClientToServer, "rec_get_dct", client,
@@ -1024,6 +1053,7 @@ Result<DctSnapshot> Server::RecGetMyDct(ClientId client) {
 }
 
 Result<ClientRecoveryState> Server::RecGetMyXLocks(ClientId client) {
+  SimMutexLock lock(mu_);
   if (crashed_) return Status::Crashed("server down");
   return rpc_->Call(
       MakeOpts(RpcDir::kClientToServer, "rec_get_xlocks", client,
@@ -1048,6 +1078,7 @@ Result<ClientRecoveryState> Server::RecGetMyXLocks(ClientId client) {
 Result<ClientRecoveryState> Server::RecInstallLocks(
     ClientId client, const std::vector<ObjectId>& objects,
     const std::vector<PageId>& pages) {
+  SimMutexLock lock(mu_);
   if (crashed_) return Status::Crashed("server down");
   return rpc_->Call(
       MakeOpts(RpcDir::kClientToServer, "rec_install_locks", client,
@@ -1082,6 +1113,7 @@ Result<ClientRecoveryState> Server::RecInstallLocks(
 }
 
 Result<PageFetchReply> Server::RecFetchPage(ClientId client, PageId pid) {
+  SimMutexLock lock(mu_);
   if (crashed_) return Status::Crashed("server down");
   return rpc_->Call(
       MakeOpts(RpcDir::kClientToServer, "rec_fetch_page", client,
@@ -1134,6 +1166,7 @@ Result<PageFetchReply> Server::RecFetchPageBody(ClientId client, PageId pid,
 }
 
 Status Server::RecComplete(ClientId client) {
+  SimMutexLock lock(mu_);
   if (crashed_) return Status::Crashed("server down");
   // Request-only exchange: completion is announced, never acknowledged.
   return rpc_->Call(
@@ -1172,6 +1205,7 @@ Status Server::RecComplete(ClientId client) {
 }
 
 Status Server::Heartbeat(ClientId client) {
+  SimMutexLock lock(mu_);
   if (crashed_) return Status::Crashed("server down");
   return rpc_->Call(
       MakeOpts(RpcDir::kClientToServer, "heartbeat", client,
@@ -1186,6 +1220,15 @@ Status Server::Heartbeat(ClientId client) {
 
 Status Server::LivenessAdmission(ClientId client) {
   if (!liveness_enabled()) return Status::OK();
+  // An admitted request is proof of life: renew the caller *before* the
+  // expiry sweep, so a lease that lapsed while this request was in flight
+  // (real-clock scheduling or IO delay; impossible under the simulated
+  // clock, where the client self-fences first) cannot get the sender
+  // itself declared dead. Nothing is given away until a declaration runs,
+  // so the renewal is safe -- and it cannot resurrect an already-declared
+  // zombie, because Renew no-ops on presumed-dead clients until crash
+  // recovery clears the flag.
+  liveness_.Renew(client, channel_->clock()->now_us());
   FINELOG_RETURN_IF_ERROR(CheckLeases());
   if (liveness_.IsPresumedDead(client) &&
       rec_in_progress_.count(client) == 0) {
@@ -1196,7 +1239,6 @@ Status Server::LivenessAdmission(ClientId client) {
     return Status::WouldBlock(WouldBlockReason::kZombieFenced,
                               "client presumed dead; crash recovery required");
   }
-  liveness_.Renew(client, channel_->clock()->now_us());
   return Status::OK();
 }
 

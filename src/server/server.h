@@ -51,7 +51,10 @@ class FINELOG_SHARED_STATE_CLASS Server : public ServerEndpoint {
 
   void RegisterClient(ClientId id, ClientEndpoint* endpoint);
   void SetClientCrashed(ClientId id, bool crashed);
-  bool IsClientCrashed(ClientId id) const { return crashed_clients_.count(id) > 0; }
+  bool IsClientCrashed(ClientId id) const {
+    SimMutexLock lock(mu_);
+    return crashed_clients_.count(id) > 0;
+  }
 
   // Lifecycle ---------------------------------------------------------------
 
@@ -126,19 +129,32 @@ class FINELOG_SHARED_STATE_CLASS Server : public ServerEndpoint {
   // ARIES/CSA-baseline synchronized checkpoint: contacts every live client.
   Status TakeSynchronizedCheckpoint();
 
-  // Introspection (tests and benchmarks).
-  GlobalLockManager& glm() { return glm_; }
-  DirtyClientTable& dct() { return dct_; }
-  LivenessTable& liveness() { return liveness_; }
+  // Introspection (tests and benchmarks). The reference-returning accessors
+  // escape the capability on purpose: harnesses use them on quiesced
+  // systems, and the components carry their own capabilities.
+  GlobalLockManager& glm() FINELOG_NO_THREAD_SAFETY_ANALYSIS { return glm_; }
+  DirtyClientTable& dct() FINELOG_NO_THREAD_SAFETY_ANALYSIS { return dct_; }
+  LivenessTable& liveness() FINELOG_NO_THREAD_SAFETY_ANALYSIS {
+    return liveness_;
+  }
   bool IsPresumedDead(ClientId id) const {
+    SimMutexLock lock(mu_);
     return liveness_.IsPresumedDead(id);
   }
-  LogManager& log() { return *log_; }
-  BufferPool& pool() { return *pool_; }
-  SpaceMap& space_map() { return *space_map_; }
+  LogManager& log() FINELOG_NO_THREAD_SAFETY_ANALYSIS { return *log_; }
+  BufferPool& pool() FINELOG_NO_THREAD_SAFETY_ANALYSIS { return *pool_; }
+  SpaceMap& space_map() FINELOG_NO_THREAD_SAFETY_ANALYSIS {
+    return *space_map_;
+  }
   Metrics& metrics() { return *metrics_; }
-  uint64_t disk_reads() const { return disk_reads_; }
-  uint64_t disk_writes() const { return disk_writes_; }
+  uint64_t disk_reads() const {
+    SimMutexLock lock(mu_);
+    return disk_reads_;
+  }
+  uint64_t disk_writes() const {
+    SimMutexLock lock(mu_);
+    return disk_writes_;
+  }
 
  private:
   Server(const SystemConfig& config, Channel* channel, Rpc* rpc,
@@ -157,7 +173,7 @@ class FINELOG_SHARED_STATE_CLASS Server : public ServerEndpoint {
   // Returns the server's current copy of `pid`, reading it from disk into
   // the pool if needed. Fails with NotFound if the page was never written
   // and is not in the pool.
-  Result<BufferPool::Frame*> GetPage(PageId pid);
+  Result<BufferPool::Frame*> GetPage(PageId pid) FINELOG_REQUIRES(mu_);
 
   // Returns the pool's eviction handler (writes dirty victims to disk with
   // a preceding replacement log record).
@@ -175,52 +191,59 @@ class FINELOG_SHARED_STATE_CLASS Server : public ServerEndpoint {
   // actions against the same target client are coalesced into one request/
   // reply message pair of up to config_.max_batch_items actions.
   Status ExecuteCallbacks(const std::vector<CallbackAction>& actions,
-                          std::vector<XCallbackInfo>* x_callbacks);
+                          std::vector<XCallbackInfo>* x_callbacks)
+      FINELOG_REQUIRES(mu_);
 
   // One callback hop against one target, with its reply payload size
   // reported through `reply_bytes` instead of counted on the channel (the
   // caller charges whole batches).
   Status ExecuteOneCallback(const CallbackAction& action,
                             std::vector<XCallbackInfo>* x_callbacks,
-                            size_t* reply_bytes);
+                            size_t* reply_bytes) FINELOG_REQUIRES(mu_);
 
   // Grant logic of LockObject/FetchPage without the request/reply channel
   // accounting, so single and batched entry points share one implementation.
   // `reply_bytes` reports the payload the reply message would carry.
   Result<ObjectLockReply> LockObjectInternal(ClientId client, ObjectId oid,
                                              LockMode mode, Psn cached_psn,
-                                             size_t* reply_bytes);
+                                             size_t* reply_bytes)
+      FINELOG_REQUIRES(mu_);
   Result<PageFetchReply> FetchPageInternal(ClientId client, PageId pid,
-                                           size_t* reply_bytes);
+                                           size_t* reply_bytes)
+      FINELOG_REQUIRES(mu_);
 
   // Endpoint bodies run inside the RPC chokepoint; each records its reply
   // message (granted or denied) through `rep`.
   Result<PageLockReply> LockPageBody(ClientId client, PageId pid,
                                      LockMode mode, Psn cached_psn,
-                                     RpcReply* rep);
+                                     RpcReply* rep) FINELOG_REQUIRES(mu_);
   Status ReleaseLocksBody(ClientId client,
                           const std::vector<ObjectId>& objects,
-                          const std::vector<PageId>& pages, RpcReply* rep);
+                          const std::vector<PageId>& pages, RpcReply* rep)
+      FINELOG_REQUIRES(mu_);
   Result<TokenReply> AcquireTokenBody(ClientId client, PageId pid,
-                                      RpcReply* rep);
+                                      RpcReply* rep) FINELOG_REQUIRES(mu_);
   Result<PageFetchReply> RecFetchPageBody(ClientId client, PageId pid,
-                                          RpcReply* rep);
+                                          RpcReply* rep)
+      FINELOG_REQUIRES(mu_);
   Result<PageFetchReply> RecOrderedFetchBody(ClientId client, PageId pid,
                                              ClientId other, Psn psn,
-                                             RpcReply* rep);
+                                             RpcReply* rep)
+      FINELOG_REQUIRES(mu_);
 
   // Merges a shipped page into the server copy and updates the DCT.
   // `update_dct_psn` is false for restart cache pulls: they overlay only the
   // sender's currently-held authority, so the sender's cached PSN must not
   // become its Property-1 baseline (its log replay still has work to do).
   Status ApplyShippedPage(ClientId client, const ShippedPage& page,
-                          bool update_dct_psn = true);
+                          bool update_dct_psn = true) FINELOG_REQUIRES(mu_);
 
   // OK when no crashed or presumed-dead client may hold recoverable state
   // on `pid` (conservative guard while its GLM/DCT entries are not
   // authoritative); otherwise a kWouldBlock carrying the machine-readable
   // reason (kCrashedDependency / kQuarantinedPage).
-  Status CheckPageReachable(PageId pid, ClientId requester);
+  Status CheckPageReachable(PageId pid, ClientId requester)
+      FINELOG_REQUIRES(mu_);
 
   // Liveness helpers (DESIGN.md section 14). All are no-ops with the
   // heartbeat knob off, so the default message/clock schedule is untouched.
@@ -248,27 +271,30 @@ class FINELOG_SHARED_STATE_CLASS Server : public ServerEndpoint {
   // True if `id` cannot currently serve or answer for its state: explicitly
   // crashed or presumed dead. The two sets get identical treatment in the
   // grant, callback, flush and restart paths.
-  bool ClientUnreachable(ClientId id) const {
+  bool ClientUnreachable(ClientId id) const FINELOG_REQUIRES(mu_) {
     return crashed_clients_.count(id) != 0 || liveness_.IsPresumedDead(id);
   }
 
   // Restart step 0: replays kMembership records from the server log so the
   // presumed-dead set (and its quarantines) survives a server crash.
-  Status ReloadMembership();
+  Status ReloadMembership() FINELOG_REQUIRES(mu_);
 
   // Recovery helpers (Section 3.4), defined in server_recovery.cc.
   Status RebuildGlmAndCollectState(
-      std::map<ClientId, ClientRecoveryState>* states);
+      std::map<ClientId, ClientRecoveryState>* states) FINELOG_REQUIRES(mu_);
   Status ReconstructDct(const std::map<ClientId, ClientRecoveryState>& states,
-                        std::map<PageId, std::set<ClientId>>* to_recover);
-  Status CoordinatePageRecovery(PageId pid, ClientId client);
+                        std::map<PageId, std::set<ClientId>>* to_recover)
+      FINELOG_REQUIRES(mu_);
+  Status CoordinatePageRecovery(PageId pid, ClientId client)
+      FINELOG_REQUIRES(mu_);
   Result<std::vector<CallbackListEntry>> CollectCallbackList(PageId pid,
-                                                             ClientId client);
+                                                             ClientId client)
+      FINELOG_REQUIRES(mu_);
 
-  // Capability guarding the server's shared protocol state. The simulation
-  // is single-threaded, so nothing locks it yet; the real-clock concurrent
-  // mode (ROADMAP) will take it in the RPC dispatch loop.
-  SimMutex mu_;
+  // Capability guarding the server's shared protocol state. Uncontended in
+  // the simulation; in the real-clock mode every endpoint body takes it on
+  // the reactor thread (recursively across nested endpoint calls).
+  mutable SimMutex mu_;
 
   SystemConfig config_ FINELOG_UNGUARDED("immutable after construction");
   // Clock/cost charges only; message counting goes via rpc_.

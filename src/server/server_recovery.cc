@@ -49,6 +49,7 @@ CallOptions RecOpts(RpcDir dir, const char* endpoint, ClientId peer,
 }  // namespace
 
 Status Server::Restart() {
+  SimMutexLock lock(mu_);
   crashed_ = false;
   metrics_->Add(Counter::kServerRestarts);
 
@@ -355,6 +356,7 @@ Status Server::ReloadMembership() {
 
 Result<std::vector<CallbackListEntry>> Server::RecGetCallbackList(
     ClientId client, PageId pid) {
+  SimMutexLock lock(mu_);
   if (crashed_) return Status::Crashed("server down");
   return rpc_->Call(
       RecOpts(RpcDir::kClientToServer, "rec_get_callback_list", client,
@@ -372,6 +374,7 @@ Result<std::vector<CallbackListEntry>> Server::RecGetCallbackList(
 
 Result<PageFetchReply> Server::RecOrderedFetch(ClientId client, PageId pid,
                                                ClientId other, Psn psn) {
+  SimMutexLock lock(mu_);
   return rpc_->Call(
       RecOpts(RpcDir::kClientToServer, "rec_ordered_fetch", client,
               MessageType::kRecOrderedFetch, kSmallMsg),

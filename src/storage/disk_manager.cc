@@ -6,11 +6,21 @@
 #include <cstring>
 #include <memory>
 
+#include "common/errno_util.h"
+#include "log/log_sink.h"
 #include "util/coding.h"
 
 namespace finelog {
 
 namespace {
+
+// Durability tail of every page/journal write: through the configured sink,
+// or the historical fflush-only behavior when no sink is wired.
+Status SyncThrough(LogSink* sink, std::FILE* file, const std::string& site) {
+  if (sink != nullptr) return sink->Sync(file, site);
+  std::fflush(file);
+  return Status::OK();
+}
 
 // Journal slot layout: u32 magic, u32 pid, then the raw page image (whose
 // embedded checksum authenticates the slot).
@@ -34,13 +44,13 @@ Result<std::unique_ptr<DiskManager>> DiskManager::Open(const std::string& path,
                                                        const DiskIoOptions& io) {
   std::FILE* f = OpenOrCreate(path);
   if (f == nullptr) {
-    return Status::IoError("open " + path + ": " + std::strerror(errno));
+    return Status::IoError("open " + path + ": " + ErrnoString(errno));
   }
   std::FILE* j = OpenOrCreate(path + ".journal");
   if (j == nullptr) {
     std::fclose(f);
     return Status::IoError("open " + path + ".journal: " +
-                           std::strerror(errno));
+                           ErrnoString(errno));
   }
   auto dm = std::unique_ptr<DiskManager>(new DiskManager(f, j, page_size, io));
   struct stat st;
@@ -81,7 +91,7 @@ Status DiskManager::WriteInPlace(PageId pid, const std::string& raw) {
   if (std::fwrite(raw.data(), 1, page_size_, file_) != page_size_) {
     return Status::IoError("short write for page " + ToString(pid));
   }
-  std::fflush(file_);
+  FINELOG_RETURN_IF_ERROR(SyncThrough(io_.sink, file_, io_.name + ".page"));
   if (pid.value() >= file_pages_) file_pages_ = pid.value() + 1;
   return Status::OK();
 }
@@ -93,8 +103,7 @@ Status DiskManager::InvalidateJournal() {
       std::fwrite(zero, 1, sizeof(zero), journal_) != sizeof(zero)) {
     return Status::IoError("journal invalidate failed");
   }
-  std::fflush(journal_);
-  return Status::OK();
+  return SyncThrough(io_.sink, journal_, io_.name + ".journal");
 }
 
 Status DiskManager::ReplayJournal() {
@@ -153,7 +162,8 @@ Status DiskManager::WritePage(PageId pid, Page* page) {
     return Status::IoError("journal write failed for page " +
                            ToString(pid));
   }
-  std::fflush(journal_);
+  FINELOG_RETURN_IF_ERROR(
+      SyncThrough(io_.sink, journal_, io_.name + ".journal"));
 
   // Step 2: in-place write. A tear here is repaired from the journal at the
   // next Open().

@@ -26,7 +26,9 @@
 
 namespace finelog {
 
-// Fault-injection wiring for one database disk. `name` prefixes the
+class LogSink;
+
+// Fault-injection and durability wiring for one database disk. `name` prefixes the
 // fail-points: "<name>.journal" (doublewrite slot write), "<name>.page"
 // (in-place write) and "<name>.sync" (final flush). `debug_skip_journal_replay`
 // is a deliberately broken recovery mode for harness self-tests: Open()
@@ -34,6 +36,10 @@ namespace finelog {
 // corrupt page on disk.
 struct DiskIoOptions {
   FaultInjector* injector = nullptr;
+  // Durability seam (DESIGN.md section 17): null keeps the simulation's
+  // fflush-only boundary; the real-clock mode passes a DurableSink so the
+  // journal slot and the in-place write are fdatasync'd in order.
+  LogSink* sink = nullptr;
   std::string name = "disk";
   bool debug_skip_journal_replay = false;
 };

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <cstring>
 
+#include "common/errno_util.h"
 #include "util/coding.h"
 
 namespace finelog {
@@ -49,7 +50,7 @@ Status SpaceMap::Persist() const {
   std::string tmp = path_ + ".tmp";
   std::FILE* f = std::fopen(tmp.c_str(), "wb");
   if (f == nullptr) {
-    return Status::IoError("open " + tmp + ": " + std::strerror(errno));
+    return Status::IoError("open " + tmp + ": " + ErrnoString(errno));
   }
   Encoder enc;
   enc.PutU32(static_cast<uint32_t>(entries_.size()));
@@ -61,7 +62,7 @@ Status SpaceMap::Persist() const {
   std::fclose(f);
   if (!ok) return Status::IoError("short write to " + tmp);
   if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
-    return Status::IoError("rename " + tmp + ": " + std::strerror(errno));
+    return Status::IoError("rename " + tmp + ": " + ErrnoString(errno));
   }
   return Status::OK();
 }

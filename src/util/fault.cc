@@ -20,6 +20,7 @@ std::string_view FaultActionName(FaultAction action) {
 
 void FaultInjector::ArmPoint(const std::string& point, uint64_t nth,
                              FaultAction action, double cut_fraction) {
+  std::lock_guard<std::mutex> lock(mu_);
   Armed a;
   a.point = point;
   a.at_hit = hits_[point] + nth;
@@ -30,22 +31,28 @@ void FaultInjector::ArmPoint(const std::string& point, uint64_t nth,
 
 void FaultInjector::ArmGlobalHit(uint64_t nth, FaultAction action,
                                  double cut_fraction) {
+  std::lock_guard<std::mutex> lock(mu_);
   Armed a;
-  a.at_hit = total_hits_ + nth;
+  a.at_hit = total_hits_.load(std::memory_order_relaxed) + nth;
   a.action = action;
   a.cut_fraction = cut_fraction;
   armed_ = a;
 }
 
-void FaultInjector::Disarm() { armed_.reset(); }
+void FaultInjector::Disarm() {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_.reset();
+}
 
 uint64_t FaultInjector::hits(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = hits_.find(point);
   return it == hits_.end() ? 0 : it->second;
 }
 
 void FaultInjector::ResetCounts() {
-  total_hits_ = 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  total_hits_.store(0, std::memory_order_relaxed);
   hits_.clear();
   trace_.clear();
   fired_.reset();
@@ -53,14 +60,16 @@ void FaultInjector::ResetCounts() {
 
 FaultInjector::Outcome FaultInjector::Evaluate(const std::string& point,
                                                size_t size, bool allow_torn) {
-  ++total_hits_;
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t total_hit =
+      total_hits_.fetch_add(1, std::memory_order_relaxed) + 1;
   uint64_t point_hit = ++hits_[point];
   if (trace_enabled_) trace_.push_back(point);
   if (metrics_ != nullptr) metrics_->Add("fault." + point);
 
   if (!armed_.has_value()) return Outcome{};
   const Armed& a = *armed_;
-  bool match = a.point.empty() ? total_hits_ == a.at_hit
+  bool match = a.point.empty() ? total_hit == a.at_hit
                                : (point == a.point && point_hit == a.at_hit);
   if (!match) return Outcome{};
 
@@ -76,7 +85,7 @@ FaultInjector::Outcome FaultInjector::Evaluate(const std::string& point,
       out.cut = std::min(size - 1, static_cast<size_t>(size * f));
     }
   }
-  fired_ = Fired{point, total_hits_, point_hit, out.action, out.cut};
+  fired_ = Fired{point, total_hit, point_hit, out.action, out.cut};
   armed_.reset();  // One-shot.
   if (metrics_ != nullptr) metrics_->Add(Counter::kFaultInjected);
   return out;

@@ -23,8 +23,10 @@
 #ifndef FINELOG_UTIL_FAULT_H_
 #define FINELOG_UTIL_FAULT_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -101,8 +103,11 @@ class FaultInjector {
 
   // Introspection ------------------------------------------------------------
 
-  uint64_t total_hits() const { return total_hits_; }
+  uint64_t total_hits() const {
+    return total_hits_.load(std::memory_order_relaxed);
+  }
   uint64_t hits(const std::string& point) const;
+  // Harness-side view; callers read it only after concurrent I/O quiesces.
   const std::map<std::string, uint64_t>& hit_counts() const { return hits_; }
 
   bool triggered() const { return fired_.has_value(); }
@@ -121,9 +126,13 @@ class FaultInjector {
   };
 
   Metrics* metrics_ = nullptr;
+  // Serializes Evaluate against itself: real-clock runs hit fail points
+  // from every client thread and the reactor. The hit total additionally
+  // stays an atomic so the lock-free accessor above can't tear.
+  mutable std::mutex mu_;
   std::optional<Armed> armed_;
   std::optional<Fired> fired_;
-  uint64_t total_hits_ = 0;
+  std::atomic<uint64_t> total_hits_{0};
   std::map<std::string, uint64_t> hits_;
   bool trace_enabled_ = false;
   std::vector<std::string> trace_;

@@ -13,8 +13,10 @@
 #define FINELOG_UTIL_METRICS_H_
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <string_view>
 
@@ -140,38 +142,51 @@ constexpr std::string_view CounterName(Counter c) {
   return kCounterNames[static_cast<size_t>(c)];
 }
 
+// Counters are relaxed atomics: in the real-clock execution mode
+// (DESIGN.md section 17) every client thread and the server reactor
+// increment concurrently, and no code orders memory against a counter --
+// they are pure statistics, summed and snapshotted after the threads join.
 class Metrics {
  public:
-  Metrics() { dense_.fill(0); }
+  Metrics() = default;
 
   Metrics(const Metrics&) = delete;
   Metrics& operator=(const Metrics&) = delete;
 
-  // Hot path: dense-array increment, no allocation.
+  // Hot path: dense-array relaxed increment, no allocation.
   void Add(Counter c, uint64_t delta = 1) {
-    dense_[static_cast<size_t>(c)] += delta;
+    dense_[static_cast<size_t>(c)].fetch_add(delta, std::memory_order_relaxed);
   }
 
   // High-water tracking: keeps the largest value ever reported.
   void SetMax(Counter c, uint64_t value) {
-    uint64_t& slot = dense_[static_cast<size_t>(c)];
-    if (value > slot) slot = value;
+    std::atomic<uint64_t>& slot = dense_[static_cast<size_t>(c)];
+    uint64_t cur = slot.load(std::memory_order_relaxed);
+    while (value > cur &&
+           !slot.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+    }
   }
 
-  uint64_t Get(Counter c) const { return dense_[static_cast<size_t>(c)]; }
+  uint64_t Get(Counter c) const {
+    return dense_[static_cast<size_t>(c)].load(std::memory_order_relaxed);
+  }
 
   // Compatibility path for dynamically named counters ("fault.<point>").
-  // Interned names resolve to the dense array so both views agree.
+  // Interned names resolve to the dense array so both views agree; truly
+  // dynamic names fall back to a mutex-guarded map (never on a hot path --
+  // the lint's metrics-string-key rule keeps hot sites on the enum).
   void Add(const std::string& name, uint64_t delta = 1) {
     if (const Counter* c = Lookup(name)) {
       Add(*c, delta);
       return;
     }
+    std::lock_guard<std::mutex> lock(dynamic_mu_);
     dynamic_[name] += delta;
   }
 
   uint64_t Get(const std::string& name) const {
     if (const Counter* c = Lookup(name)) return Get(*c);
+    std::lock_guard<std::mutex> lock(dynamic_mu_);
     auto it = dynamic_.find(name);
     return it == dynamic_.end() ? 0 : it->second;
   }
@@ -181,15 +196,21 @@ class Metrics {
   // omitted so the view matches what a purely string-keyed registry would
   // have recorded.
   std::map<std::string, uint64_t> counters() const {
-    std::map<std::string, uint64_t> out(dynamic_.begin(), dynamic_.end());
+    std::map<std::string, uint64_t> out;
+    {
+      std::lock_guard<std::mutex> lock(dynamic_mu_);
+      out.insert(dynamic_.begin(), dynamic_.end());
+    }
     for (size_t i = 0; i < kCounterCount; ++i) {
-      if (dense_[i] != 0) out.emplace(std::string(kCounterNames[i]), dense_[i]);
+      const uint64_t v = dense_[i].load(std::memory_order_relaxed);
+      if (v != 0) out.emplace(std::string(kCounterNames[i]), v);
     }
     return out;
   }
 
   void Reset() {
-    dense_.fill(0);
+    for (auto& slot : dense_) slot.store(0, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(dynamic_mu_);
     dynamic_.clear();
   }
 
@@ -211,7 +232,8 @@ class Metrics {
     return it == index.end() ? nullptr : &it->second;
   }
 
-  std::array<uint64_t, kCounterCount> dense_;
+  std::array<std::atomic<uint64_t>, kCounterCount> dense_{};
+  mutable std::mutex dynamic_mu_;
   std::map<std::string, uint64_t> dynamic_;
 };
 

@@ -1,0 +1,338 @@
+// Real-clock execution mode (DESIGN.md section 17): the same protocol
+// stack, driven by std::threads against a monotonic clock, with the
+// QueueTransport reactor behind the Rpc chokepoint and fdatasync behind
+// every log force.
+//
+// Two obligations, two halves:
+//  - The parameterized smoke suite runs each scenario in BOTH modes --
+//    kSimulated from the main thread (the deterministic oracle) and
+//    kRealClock with one thread per client -- and asserts the protocol
+//    outcomes match. Under FINELOG_SANITIZE=thread this is the data-race
+//    gate for the whole locking sweep.
+//  - The fingerprint test proves the simulated schedule did not move: a
+//    default-config seeded run and an explicit ExecMode::kSimulated run
+//    must agree on every message count, the simulated clock, and the exact
+//    bytes of the client log.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/oracle.h"
+#include "core/system.h"
+#include "core/workload.h"
+#include "log/log_sink.h"
+#include "tests/test_util.h"
+
+namespace finelog {
+namespace {
+
+class ExecModeTest : public ::testing::TestWithParam<ExecMode> {
+ protected:
+  bool real() const { return GetParam() == ExecMode::kRealClock; }
+
+  SystemConfig Config(const std::string& name) {
+    SystemConfig config = SmallConfig(
+        name + (real() ? "_real" : "_sim"));
+    config.exec_mode = GetParam();
+    return config;
+  }
+
+  // Runs `fn(i)` once per client: concurrently (one thread per client) in
+  // real-clock mode, sequentially in the simulation (whose SimClock is not
+  // a concurrent structure -- that is the whole point of the split).
+  void PerClient(size_t n, const std::function<void(size_t)>& fn) {
+    if (!real()) {
+      for (size_t i = 0; i < n; ++i) fn(i);
+      return;
+    }
+    std::vector<std::thread> threads;
+    threads.reserve(n);
+    for (size_t i = 0; i < n; ++i) threads.emplace_back(fn, i);
+    for (auto& t : threads) t.join();
+  }
+
+  // Moves time forward `us` microseconds: by advancing the SimClock, or by
+  // actually waiting for the wall clock.
+  void PassTime(System* system, uint64_t us) {
+    if (real()) {
+      std::this_thread::sleep_for(std::chrono::microseconds(us));
+    } else {
+      system->clock().Advance(us);
+    }
+  }
+};
+
+TEST_P(ExecModeTest, ConcurrentCommitsAreAllApplied) {
+  SystemConfig config = Config("rc_commit");
+  auto system = System::Create(config).value();
+
+  constexpr int kTxns = 6;
+  std::atomic<int> failures{0};
+  PerClient(system->num_clients(), [&](size_t i) {
+    Client& c = system->client(i);
+    // Each client owns a disjoint page, so every transaction commits.
+    PageId pid = static_cast<PageId>(i);
+    for (int t = 0; t < kTxns; ++t) {
+      auto txn = c.Begin();
+      if (!txn.ok()) { failures.fetch_add(1); return; }
+      std::string val(64, static_cast<char>('a' + (t % 26)));
+      if (!c.Write(txn.value(), ObjectId{pid, 0}, val).ok() ||
+          !c.Commit(txn.value()).ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+    }
+  });
+  EXPECT_EQ(failures.load(), 0);
+  for (size_t i = 0; i < system->num_clients(); ++i) {
+    EXPECT_EQ(system->client(i).commits(), static_cast<uint64_t>(kTxns));
+  }
+  // Committed data is readable afterwards (through fresh transactions).
+  for (size_t i = 0; i < system->num_clients(); ++i) {
+    Client& c = system->client(i);
+    TxnId probe = c.Begin().value();
+    auto got = c.Read(probe, ObjectId{static_cast<PageId>(i), 0});
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    EXPECT_EQ(got.value(), std::string(64, 'a' + ((kTxns - 1) % 26)));
+    EXPECT_TRUE(c.Commit(probe).ok());
+  }
+  if (real()) {
+    ASSERT_NE(system->transport(), nullptr);
+    EXPECT_GT(system->transport()->frames_executed(), 0u);
+    EXPECT_EQ(system->transport()->frames_abandoned(), 0u);
+    // Real durability: commits force through fdatasync.
+    ASSERT_NE(system->log_sink(), nullptr);
+    EXPECT_GT(system->log_sink()->sync_count(), 0u);
+  }
+}
+
+TEST_P(ExecModeTest, GroupCommitDefersForcesInBothModes) {
+  SystemConfig config = Config("rc_group");
+  config.num_clients = 1;
+  config.group_commit_window = 1000ull * 1000 * 1000;  // Count trigger only.
+  config.group_commit_max_txns = 4;
+  auto system = System::Create(config).value();
+  Client& c = system->client(0);
+
+  uint64_t forces0 = c.log().force_count();
+  for (int i = 0; i < 4; ++i) {
+    TxnId txn = c.Begin().value();
+    ASSERT_TRUE(
+        c.Write(txn, ObjectId{static_cast<PageId>(i), 0}, std::string(64, 'g'))
+            .ok());
+    ASSERT_TRUE(c.Commit(txn).ok());
+  }
+  // The 4th commit hit group_commit_max_txns: exactly one force for all.
+  EXPECT_EQ(c.pending_group_commits(), 0u);
+  EXPECT_EQ(c.log().force_count(), forces0 + 1);
+  EXPECT_EQ(system->metrics().Get(Counter::kClientGroupCommitTxns), 4u);
+}
+
+TEST_P(ExecModeTest, BatchedWritesAndReadsRoundTrip) {
+  SystemConfig config = Config("rc_batch");
+  config.max_batch_items = 8;
+  auto system = System::Create(config).value();
+
+  std::atomic<int> failures{0};
+  PerClient(system->num_clients(), [&](size_t i) {
+    Client& c = system->client(i);
+    PageId pid = static_cast<PageId>(i);
+    auto txn = c.Begin();
+    if (!txn.ok()) { failures.fetch_add(1); return; }
+    std::vector<std::pair<ObjectId, std::string>> writes;
+    std::vector<ObjectId> oids;
+    for (SlotId s = 0; s < 4; ++s) {
+      writes.emplace_back(ObjectId{pid, s},
+                          std::string(64, static_cast<char>('A' + s)));
+      oids.push_back(ObjectId{pid, s});
+    }
+    if (!c.WriteBatch(txn.value(), writes).ok()) {
+      failures.fetch_add(1);
+      return;
+    }
+    auto read = c.ReadBatch(txn.value(), oids);
+    if (!read.ok() || read.value().size() != 4) {
+      failures.fetch_add(1);
+      return;
+    }
+    for (SlotId s = 0; s < 4; ++s) {
+      if (read.value()[s] != std::string(64, static_cast<char>('A' + s))) {
+        failures.fetch_add(1);
+      }
+    }
+    if (!c.Commit(txn.value()).ok()) failures.fetch_add(1);
+  });
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST_P(ExecModeTest, LeaseExpiryDeclaresIdleClientDeadAndZombieRecovers) {
+  SystemConfig config = Config("rc_liveness");
+  config.num_clients = 2;
+  config.heartbeat_interval_us = 10 * 1000;
+  config.lease_duration_us = 50 * 1000;
+  auto system = System::Create(config).value();
+
+  // Client 0 talks once: its first call heartbeats and starts a lease.
+  Client& c0 = system->client(0);
+  TxnId t0 = c0.Begin().value();
+  Status w0 =
+      c0.Write(t0, ObjectId{static_cast<PageId>(0), 0}, std::string(64, 'z'));
+  ASSERT_TRUE(w0.ok()) << w0.ToString();
+  Status cm0 = c0.Commit(t0);
+  ASSERT_TRUE(cm0.ok()) << cm0.ToString();
+  EXPECT_TRUE(system->server().liveness().HasLease(static_cast<ClientId>(0)));
+
+  // Client 0 then goes silent past its lease horizon; client 1's next
+  // admitted request sweeps the lease table and declares it presumed dead.
+  PassTime(system.get(), 3 * config.lease_duration_us);
+  Client& c1 = system->client(1);
+  TxnId t1 = c1.Begin().value();
+  ASSERT_TRUE(
+      c1.Write(t1, ObjectId{static_cast<PageId>(1), 0}, std::string(64, 'y'))
+          .ok());
+  ASSERT_TRUE(c1.Commit(t1).ok());
+  EXPECT_TRUE(system->server().IsPresumedDead(static_cast<ClientId>(0)));
+
+  // The zombie is fenced; crash recovery is its only way back in.
+  Status fenced = c0.Begin().status();
+  EXPECT_TRUE(fenced.IsZombieFenced() || fenced.IsWouldBlock())
+      << fenced.ToString();
+  ASSERT_TRUE(system->RecoverZombie(0).ok());
+  EXPECT_FALSE(system->server().IsPresumedDead(static_cast<ClientId>(0)));
+  TxnId t2 = c0.Begin().value();
+  ASSERT_TRUE(c0.Commit(t2).ok());
+}
+
+TEST_P(ExecModeTest, ContendedPagesSerializeThroughCallbacks) {
+  SystemConfig config = Config("rc_contend");
+  config.num_clients = 3;
+  auto system = System::Create(config).value();
+
+  // All clients increment disjoint slots of the SAME two pages, so every
+  // transaction needs callbacks against the other clients' cached copies.
+  constexpr int kTxns = 5;
+  std::atomic<int> committed{0};
+  PerClient(system->num_clients(), [&](size_t i) {
+    Client& c = system->client(i);
+    for (int t = 0; t < kTxns; ++t) {
+      auto txn = c.Begin();
+      if (!txn.ok()) continue;
+      PageId pid = static_cast<PageId>(t % 2);
+      std::string val(64, static_cast<char>('0' + i));
+      bool ok =
+          c.Write(txn.value(), ObjectId{pid, static_cast<SlotId>(i)}, val).ok();
+      if (ok && c.Commit(txn.value()).ok()) {
+        committed.fetch_add(1);
+      } else {
+        (void)c.Abort(txn.value());
+      }
+    }
+  });
+  // No lost updates: every commit's value must be in place.
+  EXPECT_GT(committed.load(), 0);
+  int verified = 0;
+  for (size_t i = 0; i < system->num_clients(); ++i) {
+    Client& c = system->client(i);
+    TxnId probe = c.Begin().value();
+    for (uint32_t p = 0; p < 2; ++p) {
+      PageId pid = static_cast<PageId>(p);
+      auto got = c.Read(probe, ObjectId{pid, static_cast<SlotId>(i)});
+      if (got.ok() && got.value() == std::string(64, '0' + i)) ++verified;
+    }
+    EXPECT_TRUE(c.Commit(probe).ok());
+  }
+  // Each client wrote its slot on both pages at least once (kTxns >= 2).
+  EXPECT_EQ(verified, static_cast<int>(system->num_clients()) * 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothModes, ExecModeTest,
+                         ::testing::Values(ExecMode::kSimulated,
+                                           ExecMode::kRealClock),
+                         [](const ::testing::TestParamInfo<ExecMode>& info) {
+                           return info.param == ExecMode::kRealClock
+                                      ? "RealClock"
+                                      : "Simulated";
+                         });
+
+// ---------------------------------------------------------------------------
+// Simulation parity: the real-clock feature must not move the oracle.
+// ---------------------------------------------------------------------------
+
+struct RunFingerprint {
+  uint64_t total_messages = 0;
+  uint64_t total_items = 0;
+  uint64_t total_bytes = 0;
+  uint64_t sim_us = 0;
+  uint64_t forces = 0;
+  uint64_t commits = 0;
+  std::string log_bytes;
+
+  friend bool operator==(const RunFingerprint&,
+                         const RunFingerprint&) = default;
+};
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+RunFingerprint RunSeededWorkload(const SystemConfig& config) {
+  auto system = System::Create(config).value();
+  Oracle oracle;
+  WorkloadOptions options;
+  options.txns_per_client = 8;
+  options.ops_per_txn = 4;
+  options.write_fraction = 0.7;
+  options.pattern = AccessPattern::kHotCold;
+  options.seed = 99;
+  Workload workload(system.get(), &oracle, options);
+  EXPECT_TRUE(workload.Run().ok());
+  auto mismatches = oracle.Verify(system.get(), 0);
+  EXPECT_TRUE(mismatches.ok());
+  EXPECT_EQ(mismatches.value(), 0u);
+
+  RunFingerprint fp;
+  fp.total_messages = system->channel().total_messages();
+  fp.total_items = system->channel().total_items();
+  fp.total_bytes = system->channel().total_bytes();
+  fp.sim_us = system->clock().now_us();
+  fp.forces = system->client(0).log().force_count();
+  fp.commits = system->client(0).commits();
+  fp.log_bytes = ReadFile(config.dir + "/client0.log");
+  EXPECT_FALSE(fp.log_bytes.empty());
+  return fp;
+}
+
+// The regression that keeps the tentpole honest: with exec_mode at its
+// default, a seeded workload must behave *identically* to an explicit
+// kSimulated run -- same message counts, same simulated time, same client
+// log, byte for byte. The recursive SimMutex, the virtual clock and the
+// null transport/sink must all be invisible to the schedule.
+TEST(RealClockFingerprintTest, SimulatedScheduleIsByteIdentical) {
+  SystemConfig defaults = SmallConfig("rc_parity_default");
+  RunFingerprint base = RunSeededWorkload(defaults);
+
+  SystemConfig explicit_sim = SmallConfig("rc_parity_explicit");
+  explicit_sim.exec_mode = ExecMode::kSimulated;
+  RunFingerprint sim = RunSeededWorkload(explicit_sim);
+  EXPECT_EQ(base, sim);
+
+  // And the simulation never touches a durable sink: the volatility
+  // boundary (fflush only) is part of the oracle's crash semantics.
+  auto probe = System::Create(SmallConfig("rc_parity_sink")).value();
+  EXPECT_EQ(probe->log_sink(), nullptr);
+  EXPECT_EQ(probe->transport(), nullptr);
+}
+
+}  // namespace
+}  // namespace finelog

@@ -16,6 +16,11 @@ tools/bench_tolerances.json registers, per bench:
                  rel_tol:   allowed relative change before the gate trips
                  abs_tol:   slack for near-zero values (default 0.001)
                  direction: "lower_better" | "higher_better" | "exact"
+                 advisory:  true for metrics that are machine-dependent
+                            (wall-clock benches): out-of-band changes are
+                            reported but never fail the gate. Structural
+                            problems (missing rows/metrics, unregistered
+                            fields) still fail even for advisory metrics.
                Only changes in the *worse* direction fail; improvements
                beyond the band are reported as recommit suggestions.
 Every numeric field in a committed bench row must be registered as a key or
@@ -125,7 +130,12 @@ class Gate:
                 worse = (direction == "exact"
                          or (direction == "lower_better" and delta > 0)
                          or (direction == "higher_better" and delta < 0))
-                if worse:
+                if band.get("advisory"):
+                    # Machine-dependent metric: report the drift, never fail.
+                    self.log("advisory " + line +
+                             (" -- worse, not gated" if worse
+                              else " -- better, not gated"))
+                elif worse:
                     regressions.append("REGRESSION " + line)
                 else:
                     improvements.append("improvement " + line +
@@ -215,6 +225,27 @@ def run_self_test(root):
         failures.append("unregistered metric was not rejected")
     else:
         print("self-test ok: unregistered metric rejected")
+
+    # 4. Advisory metrics report drift but never trip the gate.
+    gate = Gate(root)
+    gate.config["__advisory_fixture"] = {
+        "keys": ["clients"],
+        "metrics": {"wall_ms": {"rel_tol": 0.5, "direction": "lower_better",
+                                "advisory": True}},
+    }
+    base = {"bench": "__advisory_fixture",
+            "rows": [{"clients": 4, "wall_ms": 10.0}]}
+    worse = {"bench": "__advisory_fixture",
+             "rows": [{"clients": 4, "wall_ms": 1000.0}]}
+    regressions, _ = gate.compare("__advisory_fixture", base, worse)
+    advisories = [l for l in gate.lines if l.startswith("advisory")]
+    if regressions:
+        failures.append("advisory metric tripped the gate:\n"
+                        + "\n".join(regressions))
+    elif not advisories:
+        failures.append("advisory out-of-band drift was not reported")
+    else:
+        print("self-test ok: advisory drift reported without failing")
 
     if failures:
         for f in failures:
