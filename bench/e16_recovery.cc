@@ -1,0 +1,203 @@
+// E16 -- Instant restart: availability during lazy, demand-prioritized
+// recovery (DESIGN.md section 18).
+//
+// N clients each commit txns_per_client transactions against three private
+// pages and ship the dirty pages to the server; the server crashes before
+// any flush, leaving every touched page in the restart backlog. With
+// instant_restart on, restart opens admission right after membership + DCT
+// replay and repairs pages on first touch; a probe loop then reads the
+// backlog down, counting how many reads were served while pages were still
+// unrecovered. The same cell is rerun with the feature off to get the
+// eager-restart baseline, which stalls admission for the whole repair.
+//
+// Reported per cell (clients x log size):
+//   first_admit_us      -- crash-to-admission (lazy restart)
+//   fully_recovered_us  -- crash-to-empty-backlog (lazy restart)
+//   eager_restart_us    -- crash-to-admission == crash-to-recovered (eager)
+//   reads_before_recovered -- successful reads while backlog > 0
+//   admit_speedup       -- fully_recovered_us / first_admit_us
+//
+// The headline claim: first_admit_us is roughly flat in clients and log
+// size while fully_recovered_us (and the eager baseline) grow with both,
+// so admit_speedup widens as recovery gets more expensive -- exactly when
+// availability-during-recovery matters. All numbers are simulated and
+// reruns are byte-identical; committed as BENCH_e16_recovery.json and
+// gated by tools/bench_gate.py.
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench/bench_util.h"
+#include "util/metrics.h"
+
+using namespace finelog;
+using namespace finelog::bench;
+
+namespace {
+
+constexpr uint32_t kPagesPerClient = 3;
+
+struct Cell {
+  uint32_t clients;
+  uint32_t txns_per_client;
+  uint64_t pages_marked;
+  uint64_t first_admit_us;
+  uint64_t fully_recovered_us;
+  uint64_t eager_restart_us;
+  uint64_t reads_before_recovered;
+  uint64_t demand_repairs;
+  uint64_t sweep_repairs;
+  double admit_speedup;
+};
+
+SystemConfig CellConfig(uint32_t clients, uint32_t txns, bool instant) {
+  SystemConfig config = BenchConfig(
+      "e16_c" + std::to_string(clients) + "_t" + std::to_string(txns) +
+      (instant ? "_lazy" : "_eager"));
+  config.num_clients = clients;
+  config.num_pages = 256;
+  config.preloaded_pages = kPagesPerClient * clients + 8;
+  // Keep the whole backlog dirty in the server cache: an eviction would
+  // flush pages clean and shrink the recovery work being measured.
+  config.server_cache_pages = 256;
+  config.instant_restart = instant;
+  return config;
+}
+
+// Commits txns transactions per client against its private page triple and
+// ships the dirty pages, then crashes the server. Returns the crash time.
+uint64_t LoadAndCrash(System* system, uint32_t clients, uint32_t txns,
+                      uint32_t object_size) {
+  for (uint32_t i = 0; i < clients; ++i) {
+    Client& c = system->client(i);
+    for (uint32_t t = 0; t < txns; ++t) {
+      TxnId txn = c.Begin().value();
+      for (uint32_t p = 0; p < kPagesPerClient; ++p) {
+        ObjectId oid{PageId(i * kPagesPerClient + p),
+                     static_cast<SlotId>(t % 16)};
+        if (!c.Write(txn, oid, std::string(object_size, char('a' + t % 26)))
+                 .ok()) {
+          std::fprintf(stderr, "e16: write failed\n");
+          std::abort();
+        }
+      }
+      if (!c.Commit(txn).ok()) {
+        std::fprintf(stderr, "e16: commit failed\n");
+        std::abort();
+      }
+    }
+    if (Status st = c.ShipAllDirtyPages(); !st.ok()) {
+      std::fprintf(stderr, "e16: ship failed: %s\n", st.ToString().c_str());
+      std::abort();
+    }
+  }
+  uint64_t t0 = system->clock().now_us();
+  if (Status st = system->CrashServer(); !st.ok()) {
+    std::fprintf(stderr, "e16: crash failed: %s\n", st.ToString().c_str());
+    std::abort();
+  }
+  return t0;
+}
+
+Cell RunCell(uint32_t clients, uint32_t txns) {
+  // -- Lazy restart: admission opens early, probe reads drain the backlog.
+  SystemConfig config = CellConfig(clients, txns, /*instant=*/true);
+  auto system = MustCreate(config);
+  LoadAndCrash(system.get(), clients, txns, config.object_size);
+  if (Status st = system->RecoverServer(); !st.ok()) {
+    std::fprintf(stderr, "e16: recover failed: %s\n", st.ToString().c_str());
+    std::abort();
+  }
+
+  Cell cell{};
+  cell.clients = clients;
+  cell.txns_per_client = txns;
+  Metrics& m = system->metrics();
+  cell.pages_marked = m.Get(Counter::kRecoveryPagesMarked);
+  cell.first_admit_us = m.Get(Counter::kRecoveryTimeToFirstAdmitUs);
+
+  // Availability probe: strided reads across the touched pages while the
+  // backlog is non-empty. The stride is coprime to the page count, so the
+  // probe keeps landing ahead of the in-order background sweep and the
+  // demand-repair path stays on the critical path. Every successful read
+  // here is a request an eager restart would still be refusing.
+  const uint32_t total_pages = kPagesPerClient * clients;
+  uint32_t p = 0;
+  while (system->RecoveryPagesPending() > 0) {
+    Client& c = system->client(p % clients);
+    ObjectId oid{PageId(p * 7 % total_pages), SlotId{0}};
+    TxnId txn = c.Begin().value();
+    auto val = c.Read(txn, oid);
+    if (!val.ok() || !c.Commit(txn).ok()) {
+      std::fprintf(stderr, "e16: probe read failed: %s\n",
+                   val.status().ToString().c_str());
+      std::abort();
+    }
+    ++cell.reads_before_recovered;
+    ++p;
+  }
+
+  cell.fully_recovered_us = m.Get(Counter::kRecoveryTimeToFullyRecoveredUs);
+  cell.demand_repairs = m.Get(Counter::kRecoveryDemandRepairs);
+  cell.sweep_repairs = m.Get(Counter::kRecoverySweepRepairs);
+  cell.admit_speedup =
+      cell.first_admit_us > 0
+          ? double(cell.fully_recovered_us) / double(cell.first_admit_us)
+          : 0;
+
+  // -- Eager baseline: identical load, restart repairs everything up front.
+  SystemConfig eager_config = CellConfig(clients, txns, /*instant=*/false);
+  auto eager = MustCreate(eager_config);
+  uint64_t t0 =
+      LoadAndCrash(eager.get(), clients, txns, eager_config.object_size);
+  if (Status st = eager->RecoverServer(); !st.ok()) {
+    std::fprintf(stderr, "e16: eager recover failed: %s\n",
+                 st.ToString().c_str());
+    std::abort();
+  }
+  cell.eager_restart_us = eager->clock().now_us() - t0;
+  return cell;
+}
+
+}  // namespace
+
+int main() {
+  BenchJson json("e16_recovery");
+  std::printf("E16: instant restart -- availability during lazy recovery\n");
+  std::printf("%8s %5s %7s %12s %12s %12s %10s %8s\n", "clients", "txns",
+              "backlog", "admit_us", "full_us", "eager_us", "reads<full",
+              "speedup");
+  for (uint32_t clients : {4u, 16u, 64u}) {
+    for (uint32_t txns : {2u, 8u}) {
+      Cell c = RunCell(clients, txns);
+      std::printf("%8u %5u %7llu %12llu %12llu %12llu %10llu %8.1f\n",
+                  c.clients, c.txns_per_client,
+                  (unsigned long long)c.pages_marked,
+                  (unsigned long long)c.first_admit_us,
+                  (unsigned long long)c.fully_recovered_us,
+                  (unsigned long long)c.eager_restart_us,
+                  (unsigned long long)c.reads_before_recovered,
+                  c.admit_speedup);
+      if (c.reads_before_recovered == 0 ||
+          c.fully_recovered_us <= c.first_admit_us) {
+        std::fprintf(stderr,
+                     "e16: cell clients=%u txns=%u shows no availability "
+                     "window during recovery\n",
+                     c.clients, c.txns_per_client);
+        return 1;
+      }
+      json.BeginRow();
+      json.Field("clients", uint64_t{c.clients});
+      json.Field("txns_per_client", uint64_t{c.txns_per_client});
+      json.Field("pages_marked", c.pages_marked);
+      json.Field("first_admit_us", c.first_admit_us);
+      json.Field("fully_recovered_us", c.fully_recovered_us);
+      json.Field("eager_restart_us", c.eager_restart_us);
+      json.Field("reads_before_recovered", c.reads_before_recovered);
+      json.Field("demand_repairs", c.demand_repairs);
+      json.Field("sweep_repairs", c.sweep_repairs);
+      json.Field("admit_speedup", c.admit_speedup);
+    }
+  }
+  return json.Write() ? 0 : 1;
+}

@@ -478,13 +478,23 @@ Status Client::ShipAllDirtyPages() {
   if (crashed_) return Status::Crashed("client down");
   FINELOG_RETURN_IF_ERROR(MaybeHeartbeat());
   if (config_.max_batch_items <= 1) {
+    // During an instant restart (DESIGN.md section 18) a ship can come back
+    // degraded because the page's lazy repair was interrupted; skip that
+    // page, ship the rest, and surface the degradation at the end so one
+    // recovering page never blocks the whole flush.
+    Status deferred = Status::OK();
     for (PageId pid : cache_->PageIds()) {
       BufferPool::Frame* frame = cache_->Peek(pid);
       if (frame != nullptr && frame->dirty) {
-        FINELOG_RETURN_IF_ERROR(cache_->Evict(pid, EvictHandler()));
+        Status st = cache_->Evict(pid, EvictHandler());
+        if (st.IsRecoveringPage()) {
+          deferred = st;
+          continue;
+        }
+        FINELOG_RETURN_IF_ERROR(st);
       }
     }
-    return Status::OK();
+    return deferred;
   }
   // Batched: one WAL force covers every victim, and the page images travel
   // in multi-page ship messages instead of one round trip per page.

@@ -318,7 +318,17 @@ Status Client::Restart() {
     for (const auto& [pid, redo] : analysis.dpt) {
       (void)redo;
       auto list = server_->RecGetCallbackList(id_, pid);
-      if (!list.ok()) return list.status();
+      if (!list.ok()) {
+        if (list.status().IsRecoveringPage()) {
+          // Lazy post-restart repair of this page degraded mid-flight
+          // (DESIGN.md section 18): reset and let the caller retry once the
+          // server's sweep has made progress.
+          FINELOG_RETURN_IF_ERROR(Crash());
+          metrics_->Add(Counter::kClientRestartDeferrals);
+          return Status::WouldBlock("restart waits for lazy page repair");
+        }
+        return list.status();
+      }
       for (const CallbackListEntry& e : list.value()) {
         Psn& p = callback_lists[e.object];
         p = std::max(p, e.psn);
@@ -393,9 +403,10 @@ Status Client::Restart() {
   // Phase 3: conditional redo; Phase 4: undo losers.
   dpt_ = analysis.dpt;
   Status redo = RunRedo(analysis, dct_psn, dct_authoritative, callback_lists);
-  if (redo.IsCrashed()) {
-    // An ordering dependency on a client that has not restarted yet: reset
-    // to the crashed state and let the caller retry after that client.
+  if (redo.IsCrashed() || redo.IsRecoveringPage()) {
+    // An ordering dependency on a client that has not restarted yet, or a
+    // lazy post-restart page repair that degraded mid-flight (DESIGN.md
+    // section 18): reset to the crashed state and let the caller retry.
     FINELOG_RETURN_IF_ERROR(Crash());
     metrics_->Add(Counter::kClientRestartDeferrals);
     return Status::WouldBlock("restart waits for another crashed client");
@@ -407,7 +418,13 @@ Status Client::Restart() {
   // redone state must flow back immediately -- otherwise other clients read
   // stale server copies of objects we no longer hold locks on.
   if (!dct_authoritative) {
-    FINELOG_RETURN_IF_ERROR(ShipAllDirtyPages());
+    Status ship = ShipAllDirtyPages();
+    if (ship.IsRecoveringPage()) {
+      FINELOG_RETURN_IF_ERROR(Crash());
+      metrics_->Add(Counter::kClientRestartDeferrals);
+      return Status::WouldBlock("restart waits for lazy page repair");
+    }
+    FINELOG_RETURN_IF_ERROR(ship);
   }
 
   // Fresh checkpoint so the next crash starts from here.

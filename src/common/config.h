@@ -100,6 +100,13 @@ struct NetFaultConfig {
   // exempt from injected faults so crash recovery itself stays reliable.
   bool fault_recovery = false;
 
+  // Recovery-plane priority (DESIGN.md section 18): when > 0, a recovery-
+  // plane call gets this many extra retry attempts and backs off a quarter
+  // as long between them, so the repair traffic that unblocks the normal
+  // plane outruns it on a faulty network. 0 (default) treats both planes
+  // identically -- byte-identical schedules.
+  uint32_t rec_plane_priority = 0;
+
   // When true, the FaultInjector is consulted at net.<side>.<endpoint>.<op>
   // points before the rate draws, so tests can arm one-shot deterministic
   // wire faults. Off by default so existing injector-driven crash sweeps
@@ -211,6 +218,22 @@ struct SystemConfig {
   uint64_t lease_duration_us = 200000;
 
   bool liveness_enabled() const { return heartbeat_interval_us > 0; }
+
+  // Instant restart (DESIGN.md section 18): when true, server restart opens
+  // admission immediately after membership/DCT replay and recovers pages
+  // lazily -- the first endpoint touching an unrecovered page triggers its
+  // demand repair (CallBack_P collection plus log replay from only that
+  // page's responsible clients), while a background sweep rides on admitted
+  // traffic to drain the remainder. When false (default), restart runs the
+  // stop-the-world coordinated sweep of Sections 3.4-3.5 and the message/
+  // clock schedule stays byte-identical to the pre-feature build.
+  bool instant_restart = false;
+
+  // How many unrecovered pages the background sweep repairs per admitted
+  // request while instant_restart is draining a restart backlog. Demand
+  // repairs (pages actually touched) always run first and are not counted
+  // against this budget.
+  uint32_t recovery_sweep_batch = 1;
 
   // Policies (paper defaults).
   LoggingPolicy logging_policy = LoggingPolicy::kClientLocal;

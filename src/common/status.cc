@@ -28,6 +28,7 @@ std::string_view WouldBlockReasonName(WouldBlockReason reason) {
     case WouldBlockReason::kQuarantinedPage: return "QuarantinedPage";
     case WouldBlockReason::kRpcTimeout: return "RpcTimeout";
     case WouldBlockReason::kZombieFenced: return "ZombieFenced";
+    case WouldBlockReason::kRecoveringPage: return "RecoveringPage";
   }
   return "Unknown";
 }

@@ -42,6 +42,7 @@ enum class WouldBlockReason : uint8_t {
   kQuarantinedPage,    // Page pinned under a presumed-dead client's DCT entry.
   kRpcTimeout,         // Network retries exhausted; degrade to a clean abort.
   kZombieFenced,       // Caller's lease expired; run crash recovery to rejoin.
+  kRecoveringPage,     // Page still under lazy post-restart repair; retry.
 };
 
 // Human-readable name of a WouldBlockReason ("LockConflict", ...).
@@ -109,6 +110,10 @@ class [[nodiscard]] Status {
   bool IsZombieFenced() const {
     return code_ == StatusCode::kWouldBlock &&
            wb_reason_ == WouldBlockReason::kZombieFenced;
+  }
+  bool IsRecoveringPage() const {
+    return code_ == StatusCode::kWouldBlock &&
+           wb_reason_ == WouldBlockReason::kRecoveringPage;
   }
 
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }

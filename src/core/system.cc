@@ -152,6 +152,14 @@ Status System::RecoverAll() {
   });
 }
 
+Status System::DrainRecovery(uint32_t max_pages) {
+  return RunSerialized([&]() -> Status {
+    const uint32_t budget =
+        max_pages == 0 ? static_cast<uint32_t>(-1) : max_pages;
+    return server_->SweepRecovery(budget);
+  });
+}
+
 Status System::FlushEverything() {
   return RunSerialized([&]() -> Status {
     for (auto& client : clients_) {

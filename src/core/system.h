@@ -103,6 +103,14 @@ class System {
   // a quiescent point for tests and benchmarks.
   Status FlushEverything();
 
+  // Instant restart (DESIGN.md section 18): repairs up to `max_pages` pages
+  // still marked needs-recovery after a lazy server restart, in sweep
+  // priority order. Harnesses call this between workload steps to model the
+  // background sweeper; a no-op when nothing is pending. Pass 0 to drain
+  // everything.
+  Status DrainRecovery(uint32_t max_pages = 0);
+  size_t RecoveryPagesPending() const { return server_->RecoveryPagesPending(); }
+
  private:
   static std::unique_ptr<Clock> MakeClock(ExecMode mode) {
     if (mode == ExecMode::kRealClock) return std::make_unique<RealClock>();

@@ -31,6 +31,16 @@ void DirtyClientTable::SetRedoLsnIfNull(PageId page, Lsn lsn) {
   }
 }
 
+void DirtyClientTable::ResetPagePsns(PageId page, Psn psn) {
+  SimMutexLock lock(mu_);
+  auto it = table_.find(page);
+  if (it == table_.end()) return;
+  for (auto& [client, v] : it->second) {
+    (void)client;
+    v.psn = psn;
+  }
+}
+
 void DirtyClientTable::Remove(PageId page, ClientId client) {
   SimMutexLock lock(mu_);
   auto it = table_.find(page);

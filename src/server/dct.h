@@ -41,6 +41,13 @@ class FINELOG_SHARED_STATE_CLASS DirtyClientTable {
   // (done when a replacement log record is written, Section 3.2).
   void SetRedoLsnIfNull(PageId page, Lsn lsn);
 
+  // Resets every entry of `page` to the given redo baseline. Used by
+  // single-page repair (DESIGN.md section 18): after the suspect merged
+  // copy is discarded, earlier partial repairs may have advanced per-client
+  // PSNs past updates the discard just dropped, so replay must restart from
+  // the durable floor for every responsible client.
+  void ResetPagePsns(PageId page, Psn psn);
+
   void Remove(PageId page, ClientId client);
 
   std::optional<DctEntry> Get(PageId page, ClientId client) const;

@@ -41,4 +41,19 @@ void LivenessTable::DropLeases() {
   deadlines_.clear();
 }
 
+void LivenessTable::OpenRecoveryWindow(ClientId client) {
+  SimMutexLock lock(mu_);
+  recovery_windows_.insert(client);
+}
+
+void LivenessTable::CloseRecoveryWindow(ClientId client) {
+  SimMutexLock lock(mu_);
+  recovery_windows_.erase(client);
+}
+
+void LivenessTable::ClearRecoveryWindows() {
+  SimMutexLock lock(mu_);
+  recovery_windows_.clear();
+}
+
 }  // namespace finelog

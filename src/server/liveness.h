@@ -92,12 +92,31 @@ class FINELOG_SHARED_STATE_CLASS LivenessTable {
     return deadlines_.count(client) != 0;
   }
 
+  // Recovery-admission window (DESIGN.md sections 14 and 18). A presumed-dead
+  // client that has started crash recovery (its first Rec-plane request) must
+  // be admitted at the data plane -- recovery itself fetches pages and ships
+  // copies -- even though MarkRecovered has not run yet. The window opens at
+  // the first Rec-plane touch, closes at RecComplete or a renewed crash, and
+  // is volatile: a server restart clears every window (the client must
+  // re-enter recovery against the new incarnation). PR 9 generalized this
+  // from an ad-hoc Server-side set into the lease table proper so the whole
+  // data plane shares one notion of "dead but mid-recovery".
+  void OpenRecoveryWindow(ClientId client);
+  void CloseRecoveryWindow(ClientId client);
+  void ClearRecoveryWindows();
+  bool InRecoveryWindow(ClientId client) const {
+    SimMutexLock lock(mu_);
+    return recovery_windows_.count(client) != 0;
+  }
+
  private:
   mutable SimMutex mu_;
   uint64_t lease_duration_us_ FINELOG_UNGUARDED("immutable after construction");
   // Absolute expiry, simulated us.
   std::map<ClientId, uint64_t> deadlines_ FINELOG_GUARDED_BY(mu_);
   std::set<ClientId> presumed_dead_ FINELOG_GUARDED_BY(mu_);
+  // Presumed-dead clients currently inside their recovery-admission window.
+  std::set<ClientId> recovery_windows_ FINELOG_GUARDED_BY(mu_);
 };
 
 }  // namespace finelog

@@ -74,7 +74,7 @@ void Server::SetClientCrashed(ClientId id, bool crashed) {
     crashed_clients_.insert(id);
     // Any in-flight crash recovery is void; the restarted client begins a
     // fresh one, so its recovery-admission window closes.
-    rec_in_progress_.erase(id);
+    liveness_.CloseRecoveryWindow(id);
     // Section 3.3: the server releases all shared locks held by the crashed
     // client; exclusive locks are retained for re-installation at restart.
     glm_.ReleaseSharedLocksOf(id);
@@ -102,6 +102,13 @@ Status Server::Crash() {
   glm_.Clear();
   dct_.Clear();
   token_holder_.clear();
+  // Lazy-recovery bookkeeping is volatile: a second crash mid-drain loses
+  // nothing, because the next Restart re-derives the task lists from the
+  // durable logs and the clients' DPTs.
+  page_rec_.clear();
+  rec_priority_.clear();
+  restart_begin_us_ = 0;
+  repair_depth_ = 0;
   // The server log is forced at every append site, so reopening loses
   // nothing; reopening models the post-crash process state. The database
   // file is reopened too: DiskManager::Open replays (or invalidates) the
@@ -195,7 +202,11 @@ Status Server::WritePageToDisk(PageId pid, BufferPool::Frame& frame) {
         }
       }
     }
-    if (!holds_x && !ClientUnreachable(e.client)) {
+    // A page still owing lazy restart repair keeps every entry: the DCT PSN
+    // is the redo baseline its pending log replay starts from, and nothing
+    // proves the client's updates reached this (partially merged) image.
+    if (!holds_x && !ClientUnreachable(e.client) &&
+        !PageRecoveryPending(pid)) {
       dct_.Remove(pid, e.client);
     }
   }
@@ -509,6 +520,7 @@ Result<ObjectLockReply> Server::LockObjectInternal(ClientId client,
                                                    size_t* reply_bytes) {
   metrics_->Add(Counter::kServerLockRequests);
 
+  FINELOG_RETURN_IF_ERROR(EnsurePageRecovered(oid.page));
   FINELOG_RETURN_IF_ERROR(CheckPageReachable(oid.page, client));
 
   // Resolve conflicts; de-escalations can surface new object conflicts, so
@@ -600,6 +612,10 @@ Result<PageLockReply> Server::LockPageBody(ClientId client, PageId pid,
                                            RpcReply* rep) {
   metrics_->Add(Counter::kServerLockRequests);
 
+  if (Status rec = EnsurePageRecovered(pid); !rec.ok()) {
+    rep->Set(MessageType::kLockReply, kSmallMsg);
+    return rec;
+  }
   if (Status reach = CheckPageReachable(pid, client); !reach.ok()) {
     rep->Set(MessageType::kLockReply, kSmallMsg);
     return reach;
@@ -702,6 +718,7 @@ Result<std::vector<PageFetchReply>> Server::FetchPages(
 
 Result<PageFetchReply> Server::FetchPageInternal(ClientId client, PageId pid,
                                                  size_t* reply_bytes) {
+  FINELOG_RETURN_IF_ERROR(EnsurePageRecovered(pid));
   auto frame = GetPage(pid);
   if (!frame.ok()) return frame.status();
   PageFetchReply reply;
@@ -721,6 +738,7 @@ Status Server::ShipPage(ClientId client, const ShippedPage& page) {
                MessageType::kPageShip, 1, page.wire_size()),
       [&](RpcReply* rep) -> Status {
         FINELOG_RETURN_IF_ERROR(LivenessAdmission(client));
+        FINELOG_RETURN_IF_ERROR(EnsurePageRecovered(page.page));
         FINELOG_RETURN_IF_ERROR(ApplyShippedPage(client, page));
         rep->Set(MessageType::kPageShipAck, kSmallMsg);
         return Status::OK();
@@ -740,6 +758,7 @@ Status Server::ShipPages(ClientId client,
       [&](RpcReply* rep) -> Status {
         FINELOG_RETURN_IF_ERROR(LivenessAdmission(client));
         for (const ShippedPage& p : pages) {
+          FINELOG_RETURN_IF_ERROR(EnsurePageRecovered(p.page));
           FINELOG_RETURN_IF_ERROR(ApplyShippedPage(client, p));
         }
         rep->SetBatch(MessageType::kPageShipAck, pages.size(), kSmallMsg);
@@ -759,6 +778,11 @@ Result<AllocReply> Server::AllocatePage(ClientId client) {
         FINELOG_RETURN_IF_ERROR(LivenessAdmission(client));
         auto alloc = space_map_->AllocatePage();
         if (!alloc.ok()) return alloc.status();
+        // A freed-then-reused page id may still owe lazy restart repair;
+        // retire that debt before installing the fresh image, or the
+        // background sweep would later "repair" the reborn page back to
+        // its pre-crash contents.
+        FINELOG_RETURN_IF_ERROR(EnsurePageRecovered(alloc.value().page));
         Page page(config_.page_size);
         page.Format(alloc.value().page, alloc.value().initial_psn);
         auto put = pool_->Put(alloc.value().page, page, EvictHandler());
@@ -785,6 +809,7 @@ Status Server::ForcePage(ClientId client, PageId pid) {
                MessageType::kForcePageRequest, 1, kSmallMsg),
       [&](RpcReply* rep) -> Status {
         FINELOG_RETURN_IF_ERROR(LivenessAdmission(client));
+        FINELOG_RETURN_IF_ERROR(EnsurePageRecovered(pid));
         metrics_->Add(Counter::kServerForcePageRequests);
         if (BufferPool::Frame* frame = pool_->Get(pid)) {
           if (frame->dirty) {
@@ -844,6 +869,10 @@ Status Server::ReleaseLocksBody(ClientId client,
         if (oid.page == e.page) still_locked = true;
       }
     }
+    // A page still owing lazy restart repair keeps its entries -- the PSN
+    // is the baseline the pending replay starts from -- so the recovery
+    // state is consulted before the pool (recovery-guard discipline).
+    if (PageRecoveryPending(e.page)) continue;
     BufferPool::Frame* f = pool_->Peek(e.page);
     bool unflushed = f != nullptr && f->dirty;
     if (!still_locked && !unflushed && e.psn != kNullPsn) {
@@ -887,6 +916,7 @@ Status Server::CommitShipPages(ClientId client,
       [&](RpcReply* rep) -> Status {
         FINELOG_RETURN_IF_ERROR(LivenessAdmission(client));
         for (const ShippedPage& p : pages) {
+          FINELOG_RETURN_IF_ERROR(EnsurePageRecovered(p.page));
           FINELOG_RETURN_IF_ERROR(ApplyShippedPage(client, p));
         }
         channel_->clock()->Advance(channel_->costs().log_force_us);
@@ -910,6 +940,7 @@ Result<TokenReply> Server::AcquireToken(ClientId client, PageId pid) {
 Result<TokenReply> Server::AcquireTokenBody(ClientId client, PageId pid,
                                             RpcReply* rep) {
   FINELOG_RETURN_IF_ERROR(LivenessAdmission(client));
+  FINELOG_RETURN_IF_ERROR(EnsurePageRecovered(pid));
   metrics_->Add(Counter::kServerTokenRequests);
   auto it = token_holder_.find(pid);
   if (it != token_holder_.end() && it->second == client) {
@@ -1042,7 +1073,7 @@ Result<DctSnapshot> Server::RecGetMyDct(ClientId client) {
       MakeOpts(RpcDir::kClientToServer, "rec_get_dct", client,
                MessageType::kRecGetDct, 1, kSmallMsg, /*recovery_plane=*/true),
       [&](RpcReply* rep) -> Result<DctSnapshot> {
-        rec_in_progress_.insert(client);
+        liveness_.OpenRecoveryWindow(client);
         DctSnapshot snap;
         snap.authoritative = dct_authoritative_;
         snap.entries = dct_.EntriesForClient(client);
@@ -1060,7 +1091,7 @@ Result<ClientRecoveryState> Server::RecGetMyXLocks(ClientId client) {
                MessageType::kRecXLocksFetch, 1, kSmallMsg,
                /*recovery_plane=*/true),
       [&](RpcReply* rep) -> Result<ClientRecoveryState> {
-        rec_in_progress_.insert(client);
+        liveness_.OpenRecoveryWindow(client);
         ClientRecoveryState state;
         for (const ObjectId& oid : glm_.ExclusiveObjectLocksOf(client)) {
           state.object_locks.emplace_back(oid, LockMode::kExclusive);
@@ -1086,7 +1117,7 @@ Result<ClientRecoveryState> Server::RecInstallLocks(
                objects.size() * 8 + pages.size() * 8 + kSmallMsg,
                /*recovery_plane=*/true),
       [&](RpcReply* rep) -> Result<ClientRecoveryState> {
-        rec_in_progress_.insert(client);
+        liveness_.OpenRecoveryWindow(client);
         ClientRecoveryState accepted;
         for (const ObjectId& oid : objects) {
           // A conflicting lock held by another client proves this claim is
@@ -1128,7 +1159,10 @@ FINELOG_REPLAY_PATH("recovery plane: reconstructs a never-flushed page "
                     "from its space-map allocation PSN (Section 2 / [18])")
 Result<PageFetchReply> Server::RecFetchPageBody(ClientId client, PageId pid,
                                                 RpcReply* rep) {
-  rec_in_progress_.insert(client);
+  liveness_.OpenRecoveryWindow(client);
+  // Lazy restart: the base image a restarting client replays onto must
+  // already carry every other client's restart repair for this page.
+  FINELOG_RETURN_IF_ERROR(EnsurePageRecovered(pid));
   metrics_->Add(Counter::kServerRecoveryPageFetches);
   PageFetchReply reply;
   auto frame = GetPage(pid);
@@ -1175,7 +1209,7 @@ Status Server::RecComplete(ClientId client) {
                /*recovery_plane=*/true),
       [&](RpcReply*) -> Status {
         crashed_clients_.erase(client);
-        rec_in_progress_.erase(client);
+        liveness_.CloseRecoveryWindow(client);
         if (liveness_.IsPresumedDead(client)) {
           // Balance the declaration with a durable clearing record *before*
           // lifting the quarantine, so a server restart between the two
@@ -1193,6 +1227,18 @@ Status Server::RecComplete(ClientId client) {
         std::vector<std::pair<ClientId, PageId>> pending;
         pending.swap(deferred_recoveries_);
         for (const auto& [c, p] : pending) {
+          // Lazy restart: the page's remaining task list (other clients'
+          // pulls/replays) must run before this pair's deferred replay, or
+          // the replay would merge onto an unrepaired base.
+          if (PageRecoveryPending(p)) {
+            Status pre = AttemptPageRepair(p, /*demand=*/true);
+            if (pre.IsWouldBlock()) {
+              deferred_recoveries_.emplace_back(c, p);
+              continue;
+            } else if (!pre.ok()) {
+              return pre;
+            }
+          }
           Status st = CoordinatePageRecovery(p, c);
           if (st.IsCrashed() || st.IsWouldBlock()) {
             deferred_recoveries_.emplace_back(c, p);
@@ -1231,7 +1277,7 @@ Status Server::LivenessAdmission(ClientId client) {
   liveness_.Renew(client, channel_->clock()->now_us());
   FINELOG_RETURN_IF_ERROR(CheckLeases());
   if (liveness_.IsPresumedDead(client) &&
-      rec_in_progress_.count(client) == 0) {
+      !liveness_.InRecoveryWindow(client)) {
     // Zombie: the pre-expiry incarnation's epoch is already fenced at the
     // RPC layer; a fresh request that does reach us is rejected with a
     // distinguishable status until the client runs crash recovery.

@@ -9,6 +9,8 @@
 #ifndef FINELOG_SERVER_SERVER_H_
 #define FINELOG_SERVER_SERVER_H_
 
+#include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <set>
@@ -128,6 +130,23 @@ class FINELOG_SHARED_STATE_CLASS Server : public ServerEndpoint {
 
   // ARIES/CSA-baseline synchronized checkpoint: contacts every live client.
   Status TakeSynchronizedCheckpoint();
+
+  // Instant restart (DESIGN.md section 18) ----------------------------------
+
+  // Harness hook: repairs up to `max_pages` still-unrecovered pages in
+  // priority order (demand-degraded pages first, then lowest page id), as
+  // the background sweep would. Returns the first degraded/hard status.
+  Status SweepRecovery(uint32_t max_pages);
+
+  // Pages still owing lazy post-restart repair work.
+  size_t RecoveryPagesPending() const {
+    SimMutexLock lock(mu_);
+    return page_rec_.size();
+  }
+  bool PagePendingRecoveryForTest(PageId pid) const {
+    SimMutexLock lock(mu_);
+    return page_rec_.count(pid) != 0;
+  }
 
   // Introspection (tests and benchmarks). The reference-returning accessors
   // escape the capability on purpose: harnesses use them on quiesced
@@ -291,6 +310,54 @@ class FINELOG_SHARED_STATE_CLASS Server : public ServerEndpoint {
                                                              ClientId client)
       FINELOG_REQUIRES(mu_);
 
+  // Instant restart internals (DESIGN.md section 18), defined in
+  // server_recovery.cc. All no-ops once page_rec_ is empty, so the default
+  // (eager) configuration keeps a byte-identical schedule.
+
+  // True while `pid` still owes restart repair work.
+  bool PageRecoveryPending(PageId pid) const FINELOG_REQUIRES(mu_) {
+    return page_rec_.count(pid) != 0;
+  }
+
+  // The per-endpoint guard: called right after LivenessAdmission by every
+  // page-touching endpoint body. Demand-repairs `pid` if it is unrecovered,
+  // then lets the background sweep drain up to recovery_sweep_batch more
+  // pages. Degrades to WouldBlock(kRecoveringPage) when the repair cannot
+  // complete yet (fault point, unreachable dependency, network).
+  Status EnsurePageRecovered(PageId pid) FINELOG_REQUIRES(mu_);
+
+  // Dispatches one pending page to RepairPage or (kFailed) SinglePageRepair
+  // and retires its page_rec_ entry on success.
+  Status AttemptPageRepair(PageId pid, bool demand) FINELOG_REQUIRES(mu_);
+
+  // Runs `pid`'s outstanding task list (cache pulls, then coordinated log
+  // replays), verifies the result, and erases the entry. On interruption the
+  // remaining tasks are kept and the page re-queued for the sweep.
+  Status RepairPage(PageId pid, bool demand) FINELOG_REQUIRES(mu_);
+
+  // Restart step 4 for one (page, client): callback-list collection plus the
+  // client's cached copy, merged without advancing its DCT baseline.
+  Status PullCachedPage(PageId pid, ClientId client) FINELOG_REQUIRES(mu_);
+
+  // Discards the suspect merged copy and rebuilds `pid` from its durable
+  // base plus replay from every responsible (DCT) client's log.
+  Status SinglePageRepair(PageId pid) FINELOG_REQUIRES(mu_);
+
+  // Consistency check after repair: the merged page PSN must cover every
+  // reachable responsible client's DCT baseline. Also the seat of the
+  // recovery.server.page_check fault point.
+  Status VerifyRecoveredPage(PageId pid) FINELOG_REQUIRES(mu_);
+
+  // Picks the next page the sweep should repair; false when none eligible.
+  bool PickSweepPage(PageId* out) FINELOG_REQUIRES(mu_);
+
+  // Opportunistically drains up to recovery_sweep_batch pages after an
+  // admitted request; stops at the first degraded repair.
+  void MaybeBackgroundSweep() FINELOG_REQUIRES(mu_);
+
+  // Emits recovery.time_to_fully_recovered_us once the backlog drains.
+  void FinishLazyRecovery() FINELOG_REQUIRES(mu_);
+
   // Capability guarding the server's shared protocol state. Uncontended in
   // the simulation; in the real-clock mode every endpoint body takes it on
   // the reactor thread (recursively across nested endpoint calls).
@@ -311,13 +378,9 @@ class FINELOG_SHARED_STATE_CLASS Server : public ServerEndpoint {
 
   std::map<ClientId, ClientEndpoint*> clients_ FINELOG_GUARDED_BY(mu_);
   std::set<ClientId> crashed_clients_ FINELOG_GUARDED_BY(mu_);
+  // Also holds the per-client recovery-admission windows (a presumed-dead
+  // client that has started crash recovery is admitted until RecComplete).
   LivenessTable liveness_ FINELOG_GUARDED_BY(mu_);
-  // Presumed-dead clients that have started crash recovery (first Rec-plane
-  // request seen). LivenessAdmission admits them -- recovery legitimately
-  // ships pages and heartbeats before RecComplete clears the declaration --
-  // while a zombie that has NOT begun recovery stays fenced. Volatile:
-  // wiped at server restart and when the harness re-crashes the client.
-  std::set<ClientId> rec_in_progress_ FINELOG_GUARDED_BY(mu_);
   bool crashed_ FINELOG_UNGUARDED("harness lifecycle flag, toggled while "
                                   "no request is in flight") = false;
   // False from a server crash until every client has completed restart: the
@@ -331,6 +394,36 @@ class FINELOG_SHARED_STATE_CLASS Server : public ServerEndpoint {
   // (Section 3.5); retried when that client completes restart.
   std::vector<std::pair<ClientId, PageId>> deferred_recoveries_
       FINELOG_GUARDED_BY(mu_);
+
+  // Instant restart (DESIGN.md section 18): per-page recovery state machine.
+  // A page is *clean* when absent from page_rec_; otherwise it still owes
+  // part of the Sections 3.4-3.5 restart work, held as an ordered task list
+  // (cache pulls before log replays, client id order within each kind --
+  // the same order the eager sweep used).
+  enum class PageRecState : uint8_t {
+    kNeedsRecovery,  // Tasks pending; first touch triggers demand repair.
+    kRecovering,     // Repair in flight; the page's own Rec traffic passes.
+    kFailed,         // Consistency check failed; next touch runs
+                     // single-page repair from the responsible logs.
+  };
+  struct PageRecTask {
+    ClientId client;
+    bool pull_cached;  // true: restart cache pull; false: coordinated replay.
+  };
+  struct PageRecovery {
+    PageRecState state = PageRecState::kNeedsRecovery;
+    std::vector<PageRecTask> tasks;
+  };
+  std::map<PageId, PageRecovery> page_rec_ FINELOG_GUARDED_BY(mu_);
+  // Pages to sweep next, most-recently-degraded first candidates at the
+  // front. May hold stale ids; the sweep skips entries no longer pending.
+  std::deque<PageId> rec_priority_ FINELOG_GUARDED_BY(mu_);
+  // Reentrancy depth of RepairPage/SinglePageRepair: nested endpoint calls
+  // made by a repair (the client ships the recovered page back through
+  // ShipPage) must not start another sweep.
+  int repair_depth_ FINELOG_GUARDED_BY(mu_) = 0;
+  // Clock at the restart that armed lazy recovery; 0 once fully recovered.
+  uint64_t restart_begin_us_ FINELOG_GUARDED_BY(mu_) = 0;
 
   uint64_t disk_reads_ FINELOG_GUARDED_BY(mu_) = 0;
   uint64_t disk_writes_ FINELOG_GUARDED_BY(mu_) = 0;

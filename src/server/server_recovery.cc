@@ -24,6 +24,7 @@
 
 #include "net/rpc.h"
 #include "server/page_merge.h"
+#include "util/fault.h"
 
 namespace finelog {
 
@@ -50,6 +51,7 @@ CallOptions RecOpts(RpcDir dir, const char* endpoint, ClientId peer,
 
 Status Server::Restart() {
   SimMutexLock lock(mu_);
+  const uint64_t t0 = channel_->clock()->now_us();
   crashed_ = false;
   metrics_->Add(Counter::kServerRestarts);
 
@@ -62,6 +64,38 @@ Status Server::Restart() {
 
   std::map<PageId, std::set<ClientId>> to_recover;
   FINELOG_RETURN_IF_ERROR(ReconstructDct(states, &to_recover));
+
+  if (config_.instant_restart) {
+    // Lazy arm (DESIGN.md section 18): the GLM, membership and DCT are fully
+    // authoritative at this point -- that is the whole safety argument -- so
+    // admission opens now and steps 4-5 become the per-page task lists the
+    // endpoint guards and the background sweep drain on demand. Per page the
+    // task order matches the eager sweep: cache pulls first, then
+    // coordinated log replays, client id order within each kind.
+    page_rec_.clear();
+    rec_priority_.clear();
+    for (const auto& [cid, state] : states) {
+      std::set<PageId> cached(state.cached_pages.begin(),
+                              state.cached_pages.end());
+      for (const DptEntry& d : state.dpt) {
+        if (cached.count(d.page) == 0) continue;
+        page_rec_[d.page].tasks.push_back(PageRecTask{cid, true});
+      }
+    }
+    for (const auto& [pid, involved] : to_recover) {
+      for (ClientId cid : involved) {
+        page_rec_[pid].tasks.push_back(PageRecTask{cid, false});
+      }
+    }
+    restart_begin_us_ = t0;
+    metrics_->Add(Counter::kRecoveryPagesMarked, page_rec_.size());
+    metrics_->SetMax(Counter::kRecoveryPagesPendingHighWater,
+                     page_rec_.size());
+    metrics_->Add(Counter::kRecoveryTimeToFirstAdmitUs,
+                  channel_->clock()->now_us() - t0);
+    if (page_rec_.empty()) FinishLazyRecovery();
+    return Status::OK();
+  }
 
   // Step 4: merge dirty pages still cached at operational clients.
   for (const auto& [cid, state] : states) {
@@ -330,7 +364,7 @@ Status Server::ReloadMembership() {
   liveness_.DropLeases();
   // So is the recovery-admission window: a zombie mid-recovery when the
   // server went down must re-enter through the Rec plane.
-  rec_in_progress_.clear();
+  liveness_.ClearRecoveryWindows();
   if (!liveness_enabled()) return Status::OK();
   // Replay declaration/clearing pairs in log order; whoever is still marked
   // at the end is presumed dead in this incarnation too.
@@ -362,7 +396,8 @@ Result<std::vector<CallbackListEntry>> Server::RecGetCallbackList(
       RecOpts(RpcDir::kClientToServer, "rec_get_callback_list", client,
               MessageType::kRecScanCallbacks, kSmallMsg),
       [&](RpcReply* rep) -> Result<std::vector<CallbackListEntry>> {
-        rec_in_progress_.insert(client);
+        liveness_.OpenRecoveryWindow(client);
+        FINELOG_RETURN_IF_ERROR(EnsurePageRecovered(pid));
         auto list = CollectCallbackList(pid, client);
         if (list.ok()) {
           rep->Set(MessageType::kRecCallbacksReply,
@@ -388,7 +423,10 @@ FINELOG_REPLAY_PATH("recovery plane: ordered fetch rebuilds the base "
 Result<PageFetchReply> Server::RecOrderedFetchBody(ClientId client, PageId pid,
                                                    ClientId other, Psn psn,
                                                    RpcReply* rep) {
-  rec_in_progress_.insert(client);
+  liveness_.OpenRecoveryWindow(client);
+  // Lazy restart: the ordered-fetch base must include every other client's
+  // restart repair work before the requester replays its own log onto it.
+  FINELOG_RETURN_IF_ERROR(EnsurePageRecovered(pid));
   metrics_->Add(Counter::kServerOrderedFetches);
 
   auto entry = dct_.Get(pid, other);
@@ -470,6 +508,293 @@ Result<PageFetchReply> Server::RecOrderedFetchBody(ClientId client, PageId pid,
   rep->Set(MessageType::kRecOrderedFetchReply,
            reply.page_image.size() + kSmallMsg);
   return reply;
+}
+
+// Instant restart (DESIGN.md section 18) -------------------------------------
+
+Status Server::EnsurePageRecovered(PageId pid) {
+  if (page_rec_.empty()) return Status::OK();
+  Status st = AttemptPageRepair(pid, /*demand=*/true);
+  if (!st.ok()) {
+    if (st.IsWouldBlock()) {
+      metrics_->Add(Counter::kRecoveryDegradedResponses);
+    }
+    return st;
+  }
+  MaybeBackgroundSweep();
+  return Status::OK();
+}
+
+Status Server::AttemptPageRepair(PageId pid, bool demand) {
+  auto it = page_rec_.find(pid);
+  if (it == page_rec_.end() || it->second.state == PageRecState::kRecovering) {
+    // Clean, or this very page's repair traffic re-entering (the client
+    // ships the recovered copy back through ShipPage / ordered fetch).
+    return Status::OK();
+  }
+  if (it->second.state == PageRecState::kFailed) {
+    FINELOG_RETURN_IF_ERROR(SinglePageRepair(pid));
+    page_rec_.erase(pid);
+    metrics_->Add(Counter::kRecoveryPagesRepaired);
+    if (page_rec_.empty()) FinishLazyRecovery();
+    return Status::OK();
+  }
+  return RepairPage(pid, demand);
+}
+
+Status Server::RepairPage(PageId pid, bool demand) {
+  auto it = page_rec_.find(pid);
+  if (it == page_rec_.end()) return Status::OK();
+  it->second.state = PageRecState::kRecovering;
+  metrics_->Add(demand ? Counter::kRecoveryDemandRepairs
+                       : Counter::kRecoverySweepRepairs);
+  ++repair_depth_;
+
+  std::vector<PageRecTask> tasks;
+  tasks.swap(it->second.tasks);
+  Status degraded = Status::OK();
+  size_t done = 0;
+  for (const PageRecTask& t : tasks) {
+    if (config_.fault_injector != nullptr &&
+        config_.fault_injector->Evaluate("recovery.server.lazy_repair", 0,
+                                         false)
+                .action != FaultAction::kNone) {
+      // Armed interruption: keep this and the remaining tasks and degrade.
+      degraded = Status::WouldBlock(WouldBlockReason::kRecoveringPage,
+                                    "lazy page repair interrupted");
+      break;
+    }
+    Status st;
+    if (t.pull_cached) {
+      // An unreachable client's cache is volatile and gone; its durable log
+      // is covered by its replay task (or its own restart). Nothing to pull.
+      st = ClientUnreachable(t.client) ? Status::OK()
+                                       : PullCachedPage(pid, t.client);
+    } else {
+      st = CoordinatePageRecovery(pid, t.client);
+      if (st.IsCrashed()) {
+        // Same deferral the eager sweep used: retried at the client's
+        // RecComplete; meanwhile CheckPageReachable quarantines the page.
+        deferred_recoveries_.emplace_back(t.client, pid);
+        st = Status::OK();
+      }
+    }
+    if (st.IsWouldBlock()) {
+      degraded = Status::WouldBlock(WouldBlockReason::kRecoveringPage,
+                                    "page repair waiting on the network");
+      break;
+    }
+    if (!st.ok()) {
+      // Hard error: restore the remaining work and surface it.
+      --repair_depth_;
+      it = page_rec_.find(pid);
+      if (it != page_rec_.end()) {
+        it->second.tasks.assign(tasks.begin() + done, tasks.end());
+        it->second.state = PageRecState::kNeedsRecovery;
+      }
+      return st;
+    }
+    ++done;
+  }
+  --repair_depth_;
+
+  it = page_rec_.find(pid);
+  if (it == page_rec_.end()) return Status::OK();
+  if (!degraded.ok()) {
+    it->second.tasks.assign(tasks.begin() + done, tasks.end());
+    it->second.state = PageRecState::kNeedsRecovery;
+    // Demand-priority: a touched-but-interrupted page goes to the front of
+    // the sweep queue.
+    rec_priority_.push_front(pid);
+    return degraded;
+  }
+
+  Status check = VerifyRecoveredPage(pid);
+  if (!check.ok()) {
+    metrics_->Add(Counter::kRecoveryFailedChecks);
+    it->second.state = PageRecState::kFailed;
+    // Single-page repair right away; if it cannot complete either, the
+    // kFailed state persists and the next touch retries.
+    Status repair = SinglePageRepair(pid);
+    if (!repair.ok()) return repair;
+  }
+  page_rec_.erase(pid);
+  metrics_->Add(Counter::kRecoveryPagesRepaired);
+  if (page_rec_.empty()) FinishLazyRecovery();
+  return Status::OK();
+}
+
+Status Server::PullCachedPage(PageId pid, ClientId client) {
+  // Restart step 4 for one (page, client): CallBack_P suppression list, then
+  // the client's cached copy, merged without advancing its DCT baseline.
+  auto suppress = CollectCallbackList(pid, client);
+  if (!suppress.ok()) return suppress.status();
+  auto cit = clients_.find(client);
+  if (cit == clients_.end()) {
+    return Status::Internal("unknown client in lazy cache pull");
+  }
+  ClientEndpoint* endpoint = cit->second;
+  auto shipped = rpc_->Call(
+      RecOpts(RpcDir::kServerToClient, "rec_fetch_cached_page", client,
+              MessageType::kRecFetchCachedPage, kSmallMsg),
+      [&](RpcReply* rep) -> Result<ShippedPage> {
+        auto sp = endpoint->HandleRecFetchCachedPage(pid, suppress.value());
+        if (sp.ok()) {
+          rep->Set(MessageType::kRecCachedPageReply, sp.value().wire_size());
+        }
+        return sp;
+      });
+  if (!shipped.ok()) {
+    // Evicted (or crashed) since restart marked the task: the replay task
+    // and flush notifications cover whatever the cache no longer holds.
+    if (shipped.status().IsNotFound()) return Status::OK();
+    return shipped.status();
+  }
+  return ApplyShippedPage(client, shipped.value(), /*update_dct_psn=*/false);
+}
+
+FINELOG_REPLAY_PATH("recovery plane: discards the suspect merged copy and "
+                    "rebuilds the page from its durable base plus the "
+                    "responsible clients' logs")
+Status Server::SinglePageRepair(PageId pid) {
+  metrics_->Add(Counter::kRecoverySinglePageRepairs);
+  auto it = page_rec_.find(pid);
+  if (it != page_rec_.end()) it->second.state = PageRecState::kRecovering;
+  ++repair_depth_;
+
+  // Drop the suspect copy: WAL guarantees the durable base plus the
+  // responsible clients' logs regenerate every update.
+  pool_->Drop(pid);
+
+  // Reset each responsible client's baseline to the honest redo floor (the
+  // on-disk PSN, or the allocation PSN for a never-flushed page): earlier
+  // partial repairs may have advanced DCT PSNs past updates the drop just
+  // discarded.
+  Psn floor = kNullPsn;
+  {
+    Page disk_page(config_.page_size);
+    Status st = disk_->ReadPage(pid, &disk_page);
+    if (st.ok()) {
+      channel_->clock()->Advance(channel_->costs().disk_read_us);
+      ++disk_reads_;
+      floor = disk_page.psn();
+    } else if (st.IsNotFound()) {
+      auto base = space_map_->BasePsn(pid);
+      if (base.ok()) floor = base.value();
+    } else {
+      --repair_depth_;
+      return st;
+    }
+  }
+  std::vector<DctEntry> responsible = dct_.EntriesForPage(pid);
+  // The disk copy can carry a partially-repaired image (an earlier degraded
+  // repair merged some clients, then an eviction flushed it), so its PSN
+  // alone is not a safe floor: also take the minimum over the preserved
+  // per-client baselines. A lower floor only means more (idempotent) replay.
+  for (const DctEntry& e : responsible) {
+    if (e.psn != kNullPsn && e.psn < floor) floor = e.psn;
+  }
+  dct_.ResetPagePsns(pid, floor);
+
+  Status result = Status::OK();
+  for (const DctEntry& e : responsible) {
+    Status st = CoordinatePageRecovery(pid, e.client);
+    if (st.IsCrashed()) {
+      deferred_recoveries_.emplace_back(e.client, pid);
+      continue;
+    }
+    if (st.IsWouldBlock()) {
+      result = Status::WouldBlock(WouldBlockReason::kRecoveringPage,
+                                  "single-page repair interrupted");
+      break;
+    }
+    if (!st.ok()) {
+      result = st;
+      break;
+    }
+  }
+  if (result.ok()) result = VerifyRecoveredPage(pid);
+  --repair_depth_;
+  if (!result.ok()) {
+    it = page_rec_.find(pid);
+    if (it != page_rec_.end()) it->second.state = PageRecState::kFailed;
+  }
+  return result;
+}
+
+Status Server::VerifyRecoveredPage(PageId pid) {
+  if (config_.fault_injector != nullptr &&
+      config_.fault_injector->Evaluate("recovery.server.page_check", 0, false)
+              .action != FaultAction::kNone) {
+    return Status::Corruption("armed page consistency-check failure");
+  }
+  auto frame = GetPage(pid);
+  if (!frame.ok()) {
+    // Never materialized (no pull, no replay shipped): nothing to check;
+    // the disk/allocation base is the page.
+    if (frame.status().IsNotFound()) return Status::OK();
+    return frame.status();
+  }
+  const Psn have = frame.value()->page.psn();
+  for (const DctEntry& e : dct_.EntriesForPage(pid)) {
+    if (e.psn == kNullPsn || ClientUnreachable(e.client)) continue;
+    if (e.psn > have) {
+      return Status::Corruption(
+          "recovered page PSN below a responsible client's baseline");
+    }
+  }
+  return Status::OK();
+}
+
+bool Server::PickSweepPage(PageId* out) {
+  while (!rec_priority_.empty()) {
+    PageId cand = rec_priority_.front();
+    rec_priority_.pop_front();
+    auto it = page_rec_.find(cand);
+    if (it != page_rec_.end() &&
+        it->second.state != PageRecState::kRecovering) {
+      *out = cand;
+      return true;
+    }
+  }
+  for (const auto& [pid, pr] : page_rec_) {
+    if (pr.state != PageRecState::kRecovering) {
+      *out = pid;
+      return true;
+    }
+  }
+  return false;
+}
+
+void Server::MaybeBackgroundSweep() {
+  if (page_rec_.empty() || repair_depth_ > 0) return;
+  uint32_t budget = std::max<uint32_t>(1, config_.recovery_sweep_batch);
+  PageId pick;
+  while (budget-- > 0 && !page_rec_.empty() && PickSweepPage(&pick)) {
+    // A degraded (or deliberately interrupted) repair ends this round; the
+    // page re-queued itself at the front of rec_priority_. Hard errors are
+    // also left for the next demand touch to surface -- the sweep is
+    // opportunistic.
+    if (!AttemptPageRepair(pick, /*demand=*/false).ok()) return;
+  }
+}
+
+void Server::FinishLazyRecovery() {
+  if (restart_begin_us_ == 0) return;
+  metrics_->Add(Counter::kRecoveryTimeToFullyRecoveredUs,
+                channel_->clock()->now_us() - restart_begin_us_);
+  restart_begin_us_ = 0;
+}
+
+Status Server::SweepRecovery(uint32_t max_pages) {
+  SimMutexLock lock(mu_);
+  if (crashed_) return Status::Crashed("server down");
+  PageId pick;
+  uint32_t budget = max_pages;
+  while (budget-- > 0 && !page_rec_.empty() && PickSweepPage(&pick)) {
+    FINELOG_RETURN_IF_ERROR(AttemptPageRepair(pick, /*demand=*/false));
+  }
+  return Status::OK();
 }
 
 }  // namespace finelog

@@ -94,6 +94,16 @@ namespace finelog {
   X(kNetRpcRetries, "net.rpc_retries")                                       \
   X(kNetRpcTimeouts, "net.rpc_timeouts")                                     \
   X(kNetStaleEpochFenced, "net.stale_epoch_fenced")                          \
+  X(kRecoveryDegradedResponses, "recovery.degraded_responses")               \
+  X(kRecoveryDemandRepairs, "recovery.demand_repairs")                       \
+  X(kRecoveryFailedChecks, "recovery.failed_checks")                         \
+  X(kRecoveryPagesMarked, "recovery.pages_marked")                           \
+  X(kRecoveryPagesPendingHighWater, "recovery.pages_pending_high_water")     \
+  X(kRecoveryPagesRepaired, "recovery.pages_repaired")                       \
+  X(kRecoverySinglePageRepairs, "recovery.single_page_repairs")              \
+  X(kRecoverySweepRepairs, "recovery.sweep_repairs")                         \
+  X(kRecoveryTimeToFirstAdmitUs, "recovery.time_to_first_admit_us")          \
+  X(kRecoveryTimeToFullyRecoveredUs, "recovery.time_to_fully_recovered_us")  \
   X(kServerAllocations, "server.allocations")                                \
   X(kServerBatchCallbackItems, "server.batch_callback_items")                \
   X(kServerBatchCallbackRequests, "server.batch_callback_requests")          \

@@ -90,15 +90,24 @@ struct CrashPointOutcome {
 // (counted from the end of bootstrap), crashes everything when it fires,
 // recovers, resumes, and verifies. Never uses gtest assertions so the teeth
 // tests can count failures instead of aborting.
+//
+// With `instant_restart`, the server restart is lazy (DESIGN.md section 18):
+// the workload resumes against a backlog of unrecovered pages, and an armed
+// `recovery.server.lazy_repair` interruption degrades one mid-recovery
+// repair. With `double_crash` additionally, every node crashes a second time
+// while pages are still unrecovered -- the hardest mid-recovery fail point.
 CrashPointOutcome RunCrashPoint(FaultInjector* injector, uint64_t k,
                                 FaultAction action, double cut_fraction,
                                 bool trust_log_tail, bool skip_journal_replay,
-                                const std::string& dir_tag) {
+                                const std::string& dir_tag,
+                                bool instant_restart = false,
+                                bool double_crash = false) {
   CrashPointOutcome out;
   std::string dir = MakeTempDir("sweep_" + dir_tag + std::to_string(k));
   SystemConfig config = SweepConfig(dir, injector);
   config.debug_trust_log_tail = trust_log_tail;
   config.debug_skip_journal_replay = skip_journal_replay;
+  config.instant_restart = instant_restart;
 
   injector->Disarm();
   auto sys_or = System::Create(config);
@@ -165,6 +174,37 @@ CrashPointOutcome RunCrashPoint(FaultInjector* injector, uint64_t k,
     workload.OnClientRecovered(i);
   }
 
+  if (instant_restart && double_crash &&
+      system->RecoveryPagesPending() > 0) {
+    // Second crash during lazy recovery: the re-derived backlog must be just
+    // as recoverable as the first one.
+    for (size_t i = 0; i < system->num_clients(); ++i) {
+      if (Status st = system->CrashClient(i); !st.ok()) {
+        out.failure = "second crash client: " + st.ToString();
+        return out;
+      }
+      oracle.CrashClient(static_cast<ClientId>(i));
+      workload.OnClientCrashed(i);
+    }
+    if (Status st = system->CrashServer(); !st.ok()) {
+      out.failure = "second crash server: " + st.ToString();
+      return out;
+    }
+    if (Status st = system->RecoverAll(); !st.ok()) {
+      out.failure = "second recovery: " + st.ToString();
+      return out;
+    }
+    for (size_t i = 0; i < system->num_clients(); ++i) {
+      workload.OnClientRecovered(i);
+    }
+  }
+  if (instant_restart) {
+    // One mid-recovery repair degrades to WouldBlock(kRecoveringPage); the
+    // workload's generic retry must absorb it with no oracle divergence.
+    injector->ArmPoint("recovery.server.lazy_repair", 1, FaultAction::kError,
+                       0.5);
+  }
+
   // Settle the in-doubt commit: find an object whose value differs between
   // the committed and aborted outcomes and read it back. Recovery made the
   // transaction atomic, so one distinguishing object decides it (the final
@@ -201,6 +241,20 @@ CrashPointOutcome RunCrashPoint(FaultInjector* injector, uint64_t k,
     out.failure = std::to_string(workload.stats().read_mismatches) +
                   " stale reads after recovery";
     return out;
+  }
+  if (instant_restart) {
+    // The armed interruption may never have been consumed (the resumed
+    // workload might not touch a pending page); clear it and drain whatever
+    // the demand traffic left behind.
+    injector->Disarm();
+    if (Status st = system->DrainRecovery(); !st.ok()) {
+      out.failure = "drain: " + st.ToString();
+      return out;
+    }
+    if (system->RecoveryPagesPending() != 0) {
+      out.failure = "recovery backlog did not drain";
+      return out;
+    }
   }
   if (Status st = system->FlushEverything(); !st.ok()) {
     out.failure = "flush: " + st.ToString();
@@ -322,6 +376,40 @@ TEST(CrashSweepTest, EveryCrashPointRecovers) {
   EXPECT_TRUE(client_log) << "no client-log crash point swept";
   EXPECT_TRUE(server_log) << "no server-log crash point swept";
   EXPECT_TRUE(server_disk) << "no server-disk crash point swept";
+}
+
+// Same sweep through the instant-restart path: recovery is lazy, the resumed
+// workload runs against the unrecovered backlog (demand repairs + degraded
+// responses), every third point crashes everything a second time while pages
+// are still unrecovered, and one mid-recovery repair is interrupted via the
+// recovery.server.lazy_repair fail point. Zero oracle divergence required
+// throughout.
+TEST(CrashSweepTest, LazyRestartCrashPointsRecover) {
+  FaultInjector injector;
+  uint64_t m = EnumerateHits(&injector, "sweep_enum_lazy");
+  ASSERT_GE(m, 100u) << "workload too small to sweep";
+
+  constexpr FaultAction kActions[] = {FaultAction::kTornWrite,
+                                      FaultAction::kError,
+                                      FaultAction::kShortWrite};
+  constexpr double kCuts[] = {0.5, 0.25, 0.75};
+  uint64_t stride = std::max<uint64_t>(1, m / 30);
+  size_t swept = 0;
+  for (uint64_t k = 1; k <= m; k += stride, ++swept) {
+    FaultAction action = kActions[swept % 3];
+    double cut = kCuts[(swept / 3) % 3];
+    bool double_crash = swept % 3 == 2;
+    CrashPointOutcome out =
+        RunCrashPoint(&injector, k, action, cut, false, false, "lz",
+                      /*instant_restart=*/true, double_crash);
+    ASSERT_TRUE(out.triggered) << "k=" << k << ": " << out.failure;
+    EXPECT_EQ(out.failure, "")
+        << "lazy crash at hit " << k << " of " << m << " (" << out.point
+        << ", " << FaultActionName(action) << ", cut " << cut
+        << (double_crash ? ", double crash" : "")
+        << "): reproduce with seed " << kSeed;
+  }
+  EXPECT_GE(swept, 25u);
 }
 
 // Group commit under fire: a crash inside the one force that covers a whole

@@ -1,0 +1,46 @@
+// Seeded-bad fixture for the finelog-verify `recovery-guard` rule: any
+// non-Rec ServerEndpoint method that reaches the buffer pool must call
+// EnsurePageRecovered() first (and only after LivenessAdmission()), or a
+// request admitted right after an instant restart could be served from a
+// page whose lazy repair has not run yet (DESIGN.md section 18).
+//
+// Parsed (not compiled) by `verify_self_test` as an isolated mini-program:
+// it carries its own miniature ServerEndpoint/Server pair so it cannot
+// collide with the real tree's classes.
+#include "common/annotations.h"
+
+namespace finelog {
+
+class ServerEndpoint {
+ public:
+  virtual ~ServerEndpoint() = default;
+  virtual Status FetchPage(ClientId client, PageId pid) = 0;
+};
+
+class Server : public ServerEndpoint {
+ public:
+  Status FetchPage(ClientId client, PageId pid) override;
+
+ private:
+  Status LivenessAdmission(ClientId client);
+  Status EnsurePageRecovered(PageId pid);
+  Status ReadFrame(PageId pid);
+  BufferPool pool_;
+};
+
+// BAD: admission runs, but the page is pulled out of the pool (via the
+// ReadFrame helper -- the rule expands helpers interprocedurally) without
+// the per-page recovery guard. After an instant restart this hands out a
+// stale pre-crash image while the page still owes CallBack_P collection
+// and log replay.
+Status Server::FetchPage(ClientId client, PageId pid) {
+  FINELOG_RETURN_IF_ERROR(LivenessAdmission(client));
+  return ReadFrame(pid);
+}
+
+Status Server::ReadFrame(PageId pid) {
+  BufferPool::Frame* frame = pool_.Get(pid);
+  return SendFrame(frame);
+}
+
+}  // namespace finelog

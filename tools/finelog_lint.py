@@ -42,6 +42,13 @@ Rules
                    starting with "liveness." is checked; two-segment
                    "liveness.*" literals are metrics counter names and
                    exempt.
+  would-block-sweep
+                   the WouldBlockReason enum (src/common/status.h) and the
+                   WouldBlockReasonName table (status.cc) must cover each
+                   other exactly: every enumerator (kRecoveringPage, ...)
+                   prints a readable name, and no stale case survives an
+                   enum edit. Degraded-path retry policy keys on these
+                   values, so a silent gap ships undiagnosable refusals.
   bench-registry   every numeric field in a committed BENCH_*.json at the
                    repo root must be registered in tools/bench_tolerances.json
                    (as a row key or a toleranced metric), so a new bench
@@ -442,6 +449,78 @@ def check_include_hygiene(relpath, text, stripped):
     return out
 
 
+# --- WouldBlockReason enum sweep -------------------------------------------
+
+STATUS_HEADER_RELPATH = os.path.join("src", "common", "status.h")
+STATUS_SOURCE_RELPATH = os.path.join("src", "common", "status.cc")
+REASON_ENUM = "WouldBlockReason"
+REASON_NAME_FN = "WouldBlockReasonName"
+
+REASON_ENUM_RE = re.compile(
+    r"enum\s+class\s+" + REASON_ENUM + r"\b[^{]*\{([^}]*)\}")
+REASON_CASE_RE = re.compile(
+    r"case\s+" + REASON_ENUM + r"\s*::\s*(k\w+)")
+
+
+def check_reason_sweep(header_text, source_text, header_rel, source_rel):
+    """Core of the would-block-sweep rule: every WouldBlockReason enumerator
+    (kRecoveringPage, kZombieFenced, ...) must have a `case` in the
+    WouldBlockReasonName table, and every case must name a live enumerator.
+    A reason without a printable name ships unreadable Status strings; a
+    stale case means the enum and its retry-policy surface drifted apart."""
+    out = []
+    stripped_header = strip_comments_and_strings(header_text)
+    stripped_source = strip_comments_and_strings(source_text)
+    m = REASON_ENUM_RE.search(stripped_header)
+    if m is None:
+        out.append(Violation(
+            header_rel, 1, "would-block-sweep",
+            f"could not parse `enum class {REASON_ENUM}`; the sweep rule "
+            "is blind (fix the enum or this rule)"))
+        return out
+    enumerators = re.findall(r"\bk\w+", m.group(1))
+    enum_line = header_text[:m.start()].count("\n") + 1
+    if REASON_NAME_FN not in stripped_source:
+        out.append(Violation(
+            source_rel, 1, "would-block-sweep",
+            f"no {REASON_NAME_FN}() definition found"))
+        return out
+    cases = set(REASON_CASE_RE.findall(stripped_source))
+    for e in enumerators:
+        if e not in cases:
+            out.append(Violation(
+                header_rel, enum_line, "would-block-sweep",
+                f"{REASON_ENUM}::{e} has no case in {REASON_NAME_FN}() "
+                f"({source_rel}); every reason must print a readable name"))
+    for c in sorted(cases):
+        if c not in enumerators:
+            lineno = 1
+            for i, line in enumerate(stripped_source.splitlines(), 1):
+                if REASON_ENUM in line and c in line:
+                    lineno = i
+                    break
+            out.append(Violation(
+                source_rel, lineno, "would-block-sweep",
+                f"{REASON_NAME_FN}() has a case for {REASON_ENUM}::{c} "
+                f"which is not an enumerator in {header_rel}"))
+    return out
+
+
+def check_would_block_sweep(root):
+    """Repo-level rule pairing src/common/status.h with status.cc."""
+    header = os.path.join(root, STATUS_HEADER_RELPATH)
+    source = os.path.join(root, STATUS_SOURCE_RELPATH)
+    if not os.path.isfile(header) or not os.path.isfile(source):
+        return [Violation(STATUS_HEADER_RELPATH, 1, "would-block-sweep",
+                          "status.h/status.cc pair not found")]
+    with open(header, encoding="utf-8") as fh:
+        header_text = fh.read()
+    with open(source, encoding="utf-8") as fh:
+        source_text = fh.read()
+    return check_reason_sweep(header_text, source_text,
+                              STATUS_HEADER_RELPATH, STATUS_SOURCE_RELPATH)
+
+
 # --- bench gate registry ---------------------------------------------------
 
 TOLERANCES_RELPATH = os.path.join("tools", "bench_tolerances.json")
@@ -552,6 +631,7 @@ def run_lint(root):
         violations.extend(lint_file(
             root, relpath, registry,
             determinism_only=relpath not in src_files))
+    violations.extend(check_would_block_sweep(root))
     violations.extend(check_bench_registry(root))
     return violations
 
@@ -618,6 +698,26 @@ def run_self_test(root):
                 "to fire")
         else:
             print("self-test ok: bad_bench_registry.json -> bench-registry")
+    # The would-block-sweep rule pairs status.h with status.cc; its fixture
+    # carries both the enum and the name table in one file, checked against
+    # itself, and must fire in both drift directions.
+    sweep_fixture = os.path.join(fixture_root, "bad_reason_sweep.cc")
+    if not os.path.isfile(sweep_fixture):
+        failures.append(f"fixture missing: {sweep_fixture}")
+    else:
+        with open(sweep_fixture, encoding="utf-8") as fh:
+            text = fh.read()
+        pseudo = os.path.join(FIXTURE_DIR, "bad_reason_sweep.cc")
+        got = check_reason_sweep(text, text, pseudo, pseudo)
+        missing_case = any("has no case" in v.message for v in got)
+        stale_case = any("not an enumerator" in v.message for v in got)
+        if not (missing_case and stale_case):
+            failures.append(
+                "bad_reason_sweep.cc: expected would-block-sweep to fire on "
+                f"both a missing case and a stale case, got {len(got)} "
+                "violation(s)")
+        else:
+            print("self-test ok: bad_reason_sweep.cc -> would-block-sweep")
     # The real tree must be clean, or the lint gate is already red.
     tree = run_lint(root)
     for v in tree:

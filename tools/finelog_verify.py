@@ -28,6 +28,14 @@ Rule families
                          lifecycle flag and accounting wiring, not protocol
                          state.) The recovery plane (Rec*) is deliberately
                          unfenced -- crash recovery is how a zombie rejoins.
+  recovery-guard         Every non-Rec ServerEndpoint method that reaches
+                         the buffer pool must pass EnsurePageRecovered()
+                         first -- after the admission fence, expanded
+                         interprocedurally like admission-before-state --
+                         so instant-restart admission (DESIGN.md sec. 18)
+                         cannot serve a page whose lazy repair has not run.
+                         Pure lock/lease/heartbeat endpoints that never
+                         touch the page plane are exempt by construction.
   rpc-chokepoint         Direct Channel::Count / Channel::CountBatch calls
                          are banned outside src/net/ at the call-graph level
                          (the successor of the retired textual lint rule:
@@ -95,10 +103,19 @@ LOG_APPEND_CALLS = {"Append", "AppendLog", "AppendMembershipRecord"}
 # through) are deliberately absent.
 PROTECTED_STATE = {
     "glm_", "dct_", "pool_", "space_map_", "log_", "disk_", "token_holder_",
-    "crashed_clients_", "rec_in_progress_", "deferred_recoveries_",
+    "crashed_clients_", "page_rec_", "rec_priority_", "deferred_recoveries_",
     "dct_authoritative_", "clients_", "liveness_",
 }
 ADMISSION_CALL = "LivenessAdmission"
+# Instant restart (DESIGN.md sec. 18): any endpoint that reaches the page
+# pool must first pass the per-page recovery guard, or a request admitted
+# right after restart could read a page whose lazy repair has not run.
+# EnsurePageRecovered repairs on demand; PageRecoveryPending is the
+# accepted read-only form for paths that deliberately skip unrecovered
+# pages instead of repairing them (e.g. DCT retirement on lock release).
+GUARD_CALL = "EnsurePageRecovered"
+GUARD_CALLS = {GUARD_CALL, "PageRecoveryPending"}
+PAGE_PLANE_STATE = {"pool_"}
 ENDPOINT_IFACE = "ServerEndpoint"
 ENDPOINT_IMPL = "Server"
 RECOVERY_PLANE_PREFIX = "Rec"
@@ -841,6 +858,85 @@ def check_admission_before_state(program, strict_counts=True):
     return out
 
 
+def first_unguarded_page_touch(program, fn, stack, state):
+    """First PAGE_PLANE_STATE touch reached from `fn` (expanding same-class
+    helpers in body order) before GUARD_CALL has run. `state` carries the
+    admitted/guarded flags across the expansion. Returns a Violation-ready
+    (path, line, message-kind) tuple or None."""
+    if fn.qname in stack:
+        return None
+    stack.add(fn.qname)
+    events = sorted(
+        [(order, "call", name, line) for name, order, line in fn.calls]
+        + [(order, "touch", ident, line)
+           for ident, order, line in fn.state_idents])
+    result = None
+    for _order, kind, name, line in events:
+        if kind == "call":
+            if name == ADMISSION_CALL:
+                state["admitted"] = True
+                continue
+            if name in GUARD_CALLS:
+                if not state["admitted"]:
+                    result = (fn.path, line, "guard-before-admission")
+                    break
+                state["guarded"] = True
+                continue
+            callee = program.functions.get(f"{ENDPOINT_IMPL}::{name}")
+            if callee is not None:
+                sub = first_unguarded_page_touch(program, callee, stack,
+                                                 state)
+                if sub is not None:
+                    result = sub
+                    break
+            continue
+        if name in PAGE_PLANE_STATE and not state["guarded"]:
+            result = (fn.path, line, "unguarded-touch")
+            break
+    stack.discard(fn.qname)
+    return result
+
+
+def check_recovery_guard(program, strict_counts=True):
+    """recovery-guard: every non-Rec endpoint that reaches the buffer pool
+    must pass EnsurePageRecovered() first (and only after the liveness
+    admission fence), so instant-restart admission cannot expose a page
+    whose lazy repair has not run. Endpoints that never touch the page
+    plane (pure lock/lease/heartbeat traffic) are exempt by construction.
+    The recovery plane (Rec*) is the repair path itself and stays
+    unfenced."""
+    out = []
+    iface = program.classes.get(ENDPOINT_IFACE)
+    if iface is None:
+        return out  # admission-before-state already reports this.
+    endpoints = [m for m in iface.virtual_methods
+                 if not m.startswith(RECOVERY_PLANE_PREFIX)
+                 and m != f"~{ENDPOINT_IFACE}"]
+    for ep in endpoints:
+        fn = program.functions.get(f"{ENDPOINT_IMPL}::{ep}")
+        if fn is None:
+            continue  # admission-before-state reports missing definitions.
+        hit = first_unguarded_page_touch(program, fn, set(),
+                                         {"admitted": False,
+                                          "guarded": False})
+        if hit is None:
+            continue
+        path, line, kind = hit
+        if kind == "guard-before-admission":
+            out.append(Violation(
+                path, line, "recovery-guard",
+                f"endpoint {ENDPOINT_IMPL}::{ep} runs {GUARD_CALL}() before "
+                f"{ADMISSION_CALL}(); a zombie could drive page repair "
+                "through this path"))
+        else:
+            out.append(Violation(
+                path, line, "recovery-guard",
+                f"endpoint {ENDPOINT_IMPL}::{ep} reaches the buffer pool "
+                f"without {GUARD_CALL}(); after an instant restart this "
+                "serves a page whose lazy repair has not run"))
+    return out
+
+
 def check_rpc_chokepoint(program):
     out = []
     # libclang records receiver-typed calls directly; the internal frontend
@@ -900,6 +996,7 @@ def run_rules(program, strict=True):
     out = []
     out += check_wal_before_mutate(program)
     out += check_admission_before_state(program, strict_counts=strict)
+    out += check_recovery_guard(program, strict_counts=strict)
     out += check_rpc_chokepoint(program)
     out += check_shared_state_annotations(program, require_core=strict)
     return out
@@ -930,6 +1027,7 @@ def build_program(root, frontend, compdb):
 FIXTURES = {
     "bad_unlogged_mutate.cc": "wal-before-mutate",
     "bad_missing_admission.cc": "admission-before-state",
+    "bad_missing_recovery_guard.cc": "recovery-guard",
     "bad_raw_channel.cc": "rpc-chokepoint",
     "bad_unannotated_field.cc": "shared-state-annotations",
 }
