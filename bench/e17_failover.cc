@@ -1,0 +1,214 @@
+// E17 -- Hot-standby failover: the unavailability window when the primary
+// dies with a standby holding a replicated mirror (DESIGN.md section 19).
+//
+// N clients each commit txns_per_client transactions against private pages
+// and keep the dirty pages cached (client-local logging: nothing is shipped
+// or flushed), then the primary is killed mid-lease. The clients' next
+// commits run the full client-driven failover machinery: the router times
+// out against the dead primary, probes the standby, sits out the mastership
+// gap (kFailoverInProgress), and retries once the standby's takeover
+// finishes. The unavailability window is measured in simulated time from
+// the kill to the first post-kill commit (and to the last client's first
+// commit), separating the lease tail every failover pays from the takeover
+// recovery work that depends on the standby's restart mode.
+//
+// Each cell runs twice: an eager standby repairs every dirty page during
+// TakeOver before admitting anyone; an instant-restart standby opens
+// admission right after the membership + DCT replay and repairs pages on
+// first touch, so its window stays near the lease tail as the client count
+// grows. Reported per cell (clients x restart mode):
+//   unavail_first_us -- kill to first successful commit anywhere
+//   unavail_all_us   -- kill to every client's first post-kill commit
+//   lease_tail_us    -- kill to lease expiry (lower bound on the window)
+//   probes/blocked   -- failover probe traffic while the gap was open
+// All numbers are simulated and reruns are byte-identical; committed as
+// BENCH_e17_failover.json and gated by tools/bench_gate.py.
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench/bench_util.h"
+#include "util/metrics.h"
+
+using namespace finelog;
+using namespace finelog::bench;
+
+namespace {
+
+constexpr uint32_t kPagesPerClient = 2;
+constexpr uint32_t kTxnsPerClient = 8;
+constexpr uint64_t kLeaseUs = 30 * 1000;
+constexpr uint64_t kFailoverTimeoutUs = 4000;
+
+struct Cell {
+  uint32_t clients;
+  bool instant_restart;
+  uint64_t unavail_first_us;
+  uint64_t unavail_all_us;
+  uint64_t lease_tail_us;
+  uint64_t probes;
+  uint64_t blocked;
+  uint64_t takeovers;
+};
+
+SystemConfig CellConfig(uint32_t clients, bool instant) {
+  SystemConfig config = BenchConfig(
+      "e17_c" + std::to_string(clients) + (instant ? "_lazy" : "_eager"));
+  config.num_clients = clients;
+  config.num_pages = 4 * clients + 16;
+  config.preloaded_pages = 3 * clients + 8;
+  config.server_cache_pages = 4 * clients + 16;
+  config.hot_standby = true;
+  config.mastership_lease_us = kLeaseUs;
+  config.failover_timeout_us = kFailoverTimeoutUs;
+  config.instant_restart = instant;
+  return config;
+}
+
+void MustCommit(Client* c, TxnId txn, const char* what) {
+  if (Status st = c->Commit(txn); !st.ok()) {
+    std::fprintf(stderr, "e17: %s commit failed: %s\n", what,
+                 st.ToString().c_str());
+    std::abort();
+  }
+}
+
+// One post-kill commit on a page the client holds no cached lock on, so the
+// first write must reach the server (a cached lock plus client-local commit
+// would never notice the primary died). Retries ride out the mastership
+// gap: the router charges failover_timeout_us of simulated time per probe
+// round against the dead primary.
+void CommitThroughFailover(Client* c, PageId pid) {
+  TxnId txn = c->Begin().value();
+  Status w;
+  for (int attempt = 0; attempt < 100000; ++attempt) {
+    w = c->Write(txn, ObjectId{pid, SlotId{0}}, std::string(128, 'f'));
+    if (!w.IsWouldBlock()) break;
+  }
+  if (!w.ok()) {
+    std::fprintf(stderr, "e17: post-kill write failed: %s\n",
+                 w.ToString().c_str());
+    std::abort();
+  }
+  MustCommit(c, txn, "post-kill");
+}
+
+Cell RunCell(uint32_t clients, bool instant) {
+  SystemConfig config = CellConfig(clients, instant);
+  auto system = MustCreate(config);
+
+  // Load phase: private-page commits whose dirty pages stay cached at the
+  // clients -- that cache is exactly the repair backlog the standby's
+  // takeover has to (eagerly or lazily) work through.
+  for (uint32_t i = 0; i < clients; ++i) {
+    Client& c = system->client(i);
+    for (uint32_t t = 0; t < kTxnsPerClient; ++t) {
+      TxnId txn = c.Begin().value();
+      for (uint32_t p = 0; p < kPagesPerClient; ++p) {
+        ObjectId oid{PageId(i * kPagesPerClient + p),
+                     static_cast<SlotId>(t % 16)};
+        if (!c.Write(txn, oid, std::string(config.object_size,
+                                           char('a' + t % 26)))
+                 .ok()) {
+          std::fprintf(stderr, "e17: load write failed\n");
+          std::abort();
+        }
+      }
+      MustCommit(&c, txn, "load");
+    }
+  }
+
+  // Freshen the lease right before the kill (the last load commit may be a
+  // pure client-local force): one server-touching write pins the renewal,
+  // so every cell pays the same, maximal lease tail.
+  {
+    Client& c = system->client(0);
+    TxnId txn = c.Begin().value();
+    PageId fresh = PageId(kPagesPerClient * clients);
+    if (!c.Write(txn, ObjectId{fresh, SlotId{0}}, std::string(128, 'z'))
+             .ok()) {
+      std::fprintf(stderr, "e17: lease-freshen write failed\n");
+      std::abort();
+    }
+    MustCommit(&c, txn, "lease-freshen");
+  }
+
+  const uint64_t t_kill = system->clock().now_us();
+  if (Status st = system->CrashServer(); !st.ok()) {
+    std::fprintf(stderr, "e17: crash failed: %s\n", st.ToString().c_str());
+    std::abort();
+  }
+
+  Cell cell{};
+  cell.clients = clients;
+  cell.instant_restart = instant;
+  cell.lease_tail_us = kLeaseUs;
+
+  // Failover phase: client 0's commit drives the whole takeover; the rest
+  // measure how quickly the new primary admits a cold client afterwards.
+  for (uint32_t i = 0; i < clients; ++i) {
+    Client& c = system->client(i);
+    CommitThroughFailover(&c, PageId(kPagesPerClient * clients + 1 + i));
+    if (i == 0) cell.unavail_first_us = system->clock().now_us() - t_kill;
+  }
+  cell.unavail_all_us = system->clock().now_us() - t_kill;
+
+  Metrics& m = system->metrics();
+  cell.probes = m.Get(Counter::kFailoverProbes);
+  cell.blocked = m.Get(Counter::kFailoverBlocked);
+  cell.takeovers = m.Get(Counter::kFailoverTakeovers);
+  if (cell.takeovers != 1 || system->active_server_node() != 1) {
+    std::fprintf(stderr, "e17: cell clients=%u instant=%d did not fail over\n",
+                 clients, int(instant));
+    std::abort();
+  }
+  return cell;
+}
+
+}  // namespace
+
+int main() {
+  BenchJson json("e17_failover");
+  std::printf("E17: hot-standby failover -- unavailability window\n");
+  std::printf("%8s %8s %12s %12s %12s %7s %8s\n", "clients", "standby",
+              "first_us", "all_us", "lease_us", "probes", "blocked");
+  for (uint32_t clients : {4u, 16u, 64u}) {
+    Cell eager = RunCell(clients, /*instant=*/false);
+    Cell lazy = RunCell(clients, /*instant=*/true);
+    for (const Cell* c : {&eager, &lazy}) {
+      std::printf("%8u %8s %12llu %12llu %12llu %7llu %8llu\n", c->clients,
+                  c->instant_restart ? "lazy" : "eager",
+                  (unsigned long long)c->unavail_first_us,
+                  (unsigned long long)c->unavail_all_us,
+                  (unsigned long long)c->lease_tail_us,
+                  (unsigned long long)c->probes,
+                  (unsigned long long)c->blocked);
+    }
+    // The headline claim: an instant-restart standby keeps the window near
+    // the lease tail while the eager standby's window grows with the repair
+    // backlog, so the two must stay strictly ordered -- and both bounded
+    // (a window under the lease tail would mean the fencing math is wrong).
+    if (lazy.unavail_first_us >= eager.unavail_first_us ||
+        lazy.unavail_first_us < lazy.lease_tail_us ||
+        eager.unavail_first_us < eager.lease_tail_us) {
+      std::fprintf(stderr,
+                   "e17: cell clients=%u lost the lazy<eager ordering "
+                   "(lazy=%llu eager=%llu lease=%llu)\n",
+                   clients, (unsigned long long)lazy.unavail_first_us,
+                   (unsigned long long)eager.unavail_first_us,
+                   (unsigned long long)lazy.lease_tail_us);
+      return 1;
+    }
+    for (const Cell* c : {&eager, &lazy}) {
+      json.BeginRow();
+      json.Field("clients", uint64_t{c->clients});
+      json.Field("instant_restart", c->instant_restart ? uint64_t{1} : uint64_t{0});
+      json.Field("unavail_first_us", c->unavail_first_us);
+      json.Field("unavail_all_us", c->unavail_all_us);
+      json.Field("lease_tail_us", c->lease_tail_us);
+      json.Field("probes", c->probes);
+      json.Field("blocked", c->blocked);
+    }
+  }
+  return json.Write() ? 0 : 1;
+}

@@ -676,6 +676,15 @@ Status Client::MaybeHeartbeat() {
         lease_valid_until_ = now + config_.lease_duration_us;
       } else if (st.IsZombieFenced()) {
         return st;
+      } else if (st.IsFailoverInProgress()) {
+        // Mastership gap: no node is serving, so no node can give our locks
+        // away either -- the time-based self-fence below must not fire off a
+        // renewal we were never allowed to send. Re-arm the heartbeat so the
+        // next call retries it immediately, and surface the WouldBlock so
+        // the operation itself retries. If the takeover actually declared us
+        // dead, the first successful contact returns ZombieFenced.
+        last_heartbeat_us_ = 0;
+        return st;
       }
       // Any other failure (e.g. a dropped leg under partition) is non-fatal:
       // the next call retries, and the self-fence below takes over once the

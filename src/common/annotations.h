@@ -150,6 +150,22 @@ class FINELOG_CAPABILITY("mutex") SimMutex {
            std::this_thread::get_id();
   }
 
+  // Transport support: a frame body running on the reactor while its
+  // (parked) submitter holds this capability cooperatively can adopt the
+  // ownership for the body's duration, so nested endpoint re-entry from
+  // inside the body recurses instead of self-deadlocking. Returns the
+  // previous owner to restore before the submitter resumes. Safe because
+  // the real holder is parked for exactly the body's lifetime; reentrant
+  // (adopting a capability this thread already owns is a no-op pair).
+  std::thread::id AdoptOwner() FINELOG_NO_THREAD_SAFETY_ANALYSIS {
+    const std::thread::id prev = owner_.load(std::memory_order_relaxed);
+    owner_.store(std::this_thread::get_id(), std::memory_order_relaxed);
+    return prev;
+  }
+  void RestoreOwner(std::thread::id prev) FINELOG_NO_THREAD_SAFETY_ANALYSIS {
+    owner_.store(prev, std::memory_order_relaxed);
+  }
+
  private:
   std::mutex m_;
   // The owner id is written only by the thread that holds m_ (and cleared
@@ -158,6 +174,20 @@ class FINELOG_CAPABILITY("mutex") SimMutex {
   // never observe its own id there.
   std::atomic<std::thread::id> owner_{std::thread::id()};
   int depth_ = 0;  // Touched only by the owning thread.
+};
+
+// RAII pair for SimMutex::AdoptOwner/RestoreOwner.
+class SimMutexAdopt {
+ public:
+  explicit SimMutexAdopt(SimMutex& mu) : mu_(mu), prev_(mu.AdoptOwner()) {}
+  ~SimMutexAdopt() { mu_.RestoreOwner(prev_); }
+
+  SimMutexAdopt(const SimMutexAdopt&) = delete;
+  SimMutexAdopt& operator=(const SimMutexAdopt&) = delete;
+
+ private:
+  SimMutex& mu_;
+  std::thread::id prev_;
 };
 
 // RAII guard carrying the scoped_lockable attribute, so clang's analysis

@@ -235,6 +235,30 @@ struct SystemConfig {
   // against this budget.
   uint32_t recovery_sweep_batch = 1;
 
+  // Hot standby (DESIGN.md section 19): when true, System creates a second
+  // server instance as a cold standby, a mastership lease (PaxosLease-style,
+  // granted through the clock seam) decides which instance is primary, and
+  // clients reach the pair through a failover router: a primary crash or
+  // timeout probes the standby, which acquires the lease after it expires,
+  // fences the deposed epoch, reconstructs the DCT from the durable store
+  // plus client logs, and starts serving. When false (default) no standby,
+  // router, or mastership table exists and every schedule stays
+  // byte-identical to the single-server build.
+  bool hot_standby = false;
+
+  // How long each mastership grant/renewal is valid. The deposed primary
+  // self-fences once this horizon passes without a successful renewal, so
+  // the window also bounds how long a partitioned old primary can keep
+  // answering (split-brain exposure is zero: the standby cannot acquire
+  // until the same horizon has passed on the shared arbiter).
+  uint64_t mastership_lease_us = 400000;
+
+  // Per-attempt budget a client burns (on the clock) against a crashed or
+  // silent primary before probing the standby. Together with the caller's
+  // retry loop this paces how fast clients walk the mastership gap down to
+  // the lease horizon.
+  uint64_t failover_timeout_us = 4000;
+
   // Policies (paper defaults).
   LoggingPolicy logging_policy = LoggingPolicy::kClientLocal;
   LockGranularity lock_granularity = LockGranularity::kObject;

@@ -29,6 +29,7 @@ std::string_view WouldBlockReasonName(WouldBlockReason reason) {
     case WouldBlockReason::kRpcTimeout: return "RpcTimeout";
     case WouldBlockReason::kZombieFenced: return "ZombieFenced";
     case WouldBlockReason::kRecoveringPage: return "RecoveringPage";
+    case WouldBlockReason::kFailoverInProgress: return "FailoverInProgress";
   }
   return "Unknown";
 }

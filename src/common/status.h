@@ -43,6 +43,8 @@ enum class WouldBlockReason : uint8_t {
   kRpcTimeout,         // Network retries exhausted; degrade to a clean abort.
   kZombieFenced,       // Caller's lease expired; run crash recovery to rejoin.
   kRecoveringPage,     // Page still under lazy post-restart repair; retry.
+  kFailoverInProgress, // Mastership is changing hands; retry against the
+                       // standby once the lease settles (DESIGN.md sec. 19).
 };
 
 // Human-readable name of a WouldBlockReason ("LockConflict", ...).
@@ -114,6 +116,10 @@ class [[nodiscard]] Status {
   bool IsRecoveringPage() const {
     return code_ == StatusCode::kWouldBlock &&
            wb_reason_ == WouldBlockReason::kRecoveringPage;
+  }
+  bool IsFailoverInProgress() const {
+    return code_ == StatusCode::kWouldBlock &&
+           wb_reason_ == WouldBlockReason::kFailoverInProgress;
   }
 
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }

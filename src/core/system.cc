@@ -47,22 +47,51 @@ Result<std::unique_ptr<System>> System::Create(const SystemConfig& config) {
                                        cfg.fault_injector);
 
   FINELOG_ASSIGN_OR_RETURN(
-      system->server_,
-      Server::Create(cfg, system->channel_.get(), system->rpc_.get(),
-                     &system->metrics_));
-  bool fresh = system->server_->space_map().allocated_count() == 0;
+      auto primary, Server::Create(cfg, system->channel_.get(),
+                                   system->rpc_.get(), &system->metrics_));
+  system->servers_.push_back(std::move(primary));
+  if (cfg.hot_standby) {
+    // Hot standby (DESIGN.md section 19): a second server instance over the
+    // same durable store, a shared mastership arbiter on the same clock
+    // seam, and a failover router fronting the pair. The initial lease goes
+    // to node 0 before any client traffic exists.
+    system->mastership_ =
+        std::make_unique<MastershipTable>(cfg.mastership_lease_us);
+    FINELOG_ASSIGN_OR_RETURN(
+        auto standby,
+        Server::CreateStandby(cfg, system->channel_.get(), system->rpc_.get(),
+                              &system->metrics_));
+    system->servers_.push_back(std::move(standby));
+    system->servers_[0]->ConfigureMastership(0, system->mastership_.get(),
+                                             system->servers_[1].get());
+    system->servers_[1]->ConfigureMastership(1, system->mastership_.get(),
+                                             system->servers_[0].get());
+    FINELOG_RETURN_IF_ERROR(system->servers_[0]->AcquireMastership());
+    system->router_ = std::make_unique<ServerRouter>(
+        system->servers_[0].get(), system->servers_[1].get(),
+        system->channel_.get(), &system->metrics_, cfg.failover_timeout_us);
+  }
+  bool fresh = system->servers_[0]->space_map().allocated_count() == 0;
   if (fresh) {
-    FINELOG_RETURN_IF_ERROR(system->server_->Bootstrap(
+    FINELOG_RETURN_IF_ERROR(system->servers_[0]->Bootstrap(
         cfg.preloaded_pages, cfg.objects_per_page, cfg.object_size));
   }
 
+  // Clients talk to the router when a standby exists, so a primary death
+  // becomes a probe-and-retry instead of an outage.
+  ServerEndpoint* endpoint = system->router_ != nullptr
+                                 ? static_cast<ServerEndpoint*>(
+                                       system->router_.get())
+                                 : system->servers_[0].get();
   for (uint32_t i = 0; i < cfg.num_clients; ++i) {
     ClientId cid(i);
     FINELOG_ASSIGN_OR_RETURN(
         auto client,
-        Client::Create(cid, cfg, system->server_.get(), system->channel_.get(),
+        Client::Create(cid, cfg, endpoint, system->channel_.get(),
                        system->rpc_.get(), &system->metrics_));
-    system->server_->RegisterClient(cid, client.get());
+    for (auto& node : system->servers_) {
+      node->RegisterClient(cid, client.get());
+    }
     system->clients_.push_back(std::move(client));
   }
 
@@ -86,18 +115,23 @@ Status System::RunSerialized(const std::function<Status()>& fn) {
 Status System::CrashClient(size_t i) {
   return RunSerialized([&] {
     FINELOG_RETURN_IF_ERROR(clients_.at(i)->Crash());
-    server_->SetClientCrashed(static_cast<ClientId>(i), true);
+    // Every node learns of the crash, not just the active one: a standby
+    // that later takes over must treat the client as crashed or its restart
+    // recovery would consult a dead cache (oracle divergence).
+    for (auto& node : servers_) {
+      node->SetClientCrashed(static_cast<ClientId>(i), true);
+    }
     return Status::OK();
   });
 }
 
 Status System::CrashServer() {
-  return RunSerialized([&] { return server_->Crash(); });
+  return RunSerialized([&] { return ActiveServer().Crash(); });
 }
 
 Status System::RecoverClient(size_t i) {
   return RunSerialized([&] {
-    if (server_->crashed()) {
+    if (ActiveServer().crashed()) {
       return Status::FailedPrecondition("recover the server first");
     }
     return clients_.at(i)->Restart();
@@ -105,16 +139,25 @@ Status System::RecoverClient(size_t i) {
 }
 
 Status System::RecoverServer() {
-  return RunSerialized([&] { return server_->Restart(); });
+  return RunSerialized([&]() -> Status {
+    if (router_ == nullptr) return servers_[0]->Restart();
+    // Hot standby: a dead node comes back as a probeable cold standby; it
+    // rejoins service only by winning the lease through a client probe, so
+    // the harness never silently re-crowns an old primary.
+    for (auto& node : servers_) {
+      if (node->halted()) node->ProvisionStandby();
+    }
+    return Status::OK();
+  });
 }
 
 Status System::RecoverZombie(size_t i) {
   return RunSerialized([&]() -> Status {
-    if (server_->crashed()) {
+    if (ActiveServer().crashed()) {
       return Status::FailedPrecondition("recover the server first");
     }
     ClientId cid(static_cast<uint32_t>(i));
-    if (!server_->IsPresumedDead(cid)) {
+    if (!ActiveServer().IsPresumedDead(cid)) {
       return Status::FailedPrecondition("client is not presumed dead");
     }
     // Deliberately NOT SetClientCrashed: the server already ran the
@@ -127,8 +170,12 @@ Status System::RecoverZombie(size_t i) {
 
 Status System::RecoverAll() {
   return RunSerialized([&]() -> Status {
-    if (server_->crashed()) {
-      FINELOG_RETURN_IF_ERROR(server_->Restart());
+    if (router_ == nullptr && servers_[0]->crashed()) {
+      FINELOG_RETURN_IF_ERROR(servers_[0]->Restart());
+    } else if (router_ != nullptr) {
+      for (auto& node : servers_) {
+        if (node->halted()) node->ProvisionStandby();
+      }
     }
     // A restarting client may depend on another crashed client's recovered
     // state (a hand-off recorded in its log, Section 3.5): its restart
@@ -156,7 +203,7 @@ Status System::DrainRecovery(uint32_t max_pages) {
   return RunSerialized([&]() -> Status {
     const uint32_t budget =
         max_pages == 0 ? static_cast<uint32_t>(-1) : max_pages;
-    return server_->SweepRecovery(budget);
+    return ActiveServer().SweepRecovery(budget);
   });
 }
 
@@ -166,7 +213,34 @@ Status System::FlushEverything() {
       if (client->crashed()) continue;
       FINELOG_RETURN_IF_ERROR(client->ShipAllDirtyPages());
     }
-    return server_->FlushAllPages();
+    return ActiveServer().FlushAllPages();
+  });
+}
+
+Status System::PartitionServerNode(size_t i, bool partitioned) {
+  return RunSerialized([&]() -> Status {
+    if (router_ == nullptr) {
+      return Status::FailedPrecondition("hot_standby is not enabled");
+    }
+    if (i >= servers_.size()) {
+      return Status::InvalidArgument("no such server node");
+    }
+    // Both faces of the partition at once: clients cannot reach the node
+    // (requests burn their timeout budget at the router) and the node cannot
+    // reach the arbiter (renewals report kRpcTimeout, so it serves only down
+    // its locally known lease horizon -- the split-brain bound).
+    router_->SetNodeUnreachable(static_cast<int>(i), partitioned);
+    mastership_->SetUnreachable(static_cast<int>(i), partitioned);
+    return Status::OK();
+  });
+}
+
+Status System::Switchover() {
+  return RunSerialized([&]() -> Status {
+    if (router_ == nullptr) {
+      return Status::FailedPrecondition("hot_standby is not enabled");
+    }
+    return ActiveServer().StepDown();
   });
 }
 

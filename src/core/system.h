@@ -61,8 +61,30 @@ class System {
   static Result<std::unique_ptr<System>> Create(const SystemConfig& config);
 
   Client& client(size_t i) { return *clients_.at(i); }
-  Server& server() { return *server_; }
+  // The node currently fronting traffic: the single server by default; with
+  // hot_standby, whichever node the failover router points at.
+  Server& server() { return ActiveServer(); }
   size_t num_clients() const { return clients_.size(); }
+
+  // Hot standby (DESIGN.md section 19) ---------------------------------------
+
+  size_t num_server_nodes() const { return servers_.size(); }
+  Server& server_node(size_t i) { return *servers_.at(i); }
+  int active_server_node() const {
+    return router_ != nullptr ? router_->active_node() : 0;
+  }
+  // Null without hot_standby.
+  MastershipTable* mastership() { return mastership_.get(); }
+  ServerRouter* router() { return router_.get(); }
+
+  // Partitions server node `i` away from both the clients (requests burn
+  // their timeout budget) and the mastership arbiter (the node can only
+  // serve down its locally known lease horizon) -- the split-brain drill.
+  Status PartitionServerNode(size_t i, bool partitioned);
+
+  // Clean switchover: the active node releases the lease and drops to cold
+  // standby; the next client request probes and promotes the peer.
+  Status Switchover();
 
   Clock& clock() { return *clock_; }
   Channel& channel() { return *channel_; }
@@ -109,7 +131,9 @@ class System {
   // background sweeper; a no-op when nothing is pending. Pass 0 to drain
   // everything.
   Status DrainRecovery(uint32_t max_pages = 0);
-  size_t RecoveryPagesPending() const { return server_->RecoveryPagesPending(); }
+  size_t RecoveryPagesPending() const {
+    return ActiveServer().RecoveryPagesPending();
+  }
 
  private:
   static std::unique_ptr<Clock> MakeClock(ExecMode mode) {
@@ -125,13 +149,23 @@ class System {
   // body in flight while volatile state is being dropped or rebuilt).
   Status RunSerialized(const std::function<Status()>& fn);
 
+  Server& ActiveServer() const {
+    return *servers_.at(router_ != nullptr
+                            ? static_cast<size_t>(router_->active_node())
+                            : 0);
+  }
+
   SystemConfig config_;
   std::unique_ptr<Clock> clock_;
   Metrics metrics_;
   std::unique_ptr<DurableSink> owned_sink_;  // Real-clock default sink.
   std::unique_ptr<Channel> channel_;
   std::unique_ptr<Rpc> rpc_;
-  std::unique_ptr<Server> server_;
+  // servers_[0] is the initial primary; with hot_standby, servers_[1] is the
+  // standby and the roles float with the mastership lease.
+  std::vector<std::unique_ptr<Server>> servers_;
+  std::unique_ptr<MastershipTable> mastership_;  // hot_standby only.
+  std::unique_ptr<ServerRouter> router_;         // hot_standby only.
   std::vector<std::unique_ptr<Client>> clients_;
   std::unique_ptr<QueueTransport> transport_;  // Real-clock mode only.
 };

@@ -105,11 +105,26 @@ Status Workload::Step(size_t i) {
     ++stats_.zombie_fences;
     return true;
   };
+  auto count_would_block = [&](const Status& s) {
+    ++stats_.would_blocks;
+    if (s.IsFailoverInProgress()) ++stats_.failover_blocks;
+  };
 
   if (st.txn == kInvalidTxnId) {
     auto txn = client.Begin();
     if (!txn.ok()) {
       if (sideline_if_fenced(txn.status())) return Status::OK();
+      if (txn.status().IsWouldBlock()) {
+        // A mastership gap (or a recovering page touched by the heartbeat
+        // path) surfaces here too; retry on the client's next turn exactly
+        // like an operation-level WouldBlock.
+        count_would_block(txn.status());
+        if (++st.retries > options_.max_retries) {
+          last_failure_ = FailureInfo{i, kInvalidTxnId, false};
+          return txn.status();
+        }
+        return Status::OK();
+      }
       last_failure_ = FailureInfo{i, kInvalidTxnId, false};
       return txn.status();
     }
@@ -123,6 +138,17 @@ Status Workload::Step(size_t i) {
     Status s = client.Commit(st.txn);
     if (!s.ok()) {
       if (sideline_if_fenced(s)) return Status::OK();
+      if (s.IsWouldBlock()) {
+        // Commit cannot be unilaterally aborted here (the record may be
+        // mid-flight), but a WouldBlock commit made no durable progress:
+        // retry it on the next turn until the gap closes.
+        count_would_block(s);
+        if (++st.retries > options_.max_retries) {
+          last_failure_ = FailureInfo{i, st.txn, true};
+          return s;
+        }
+        return Status::OK();
+      }
       last_failure_ = FailureInfo{i, st.txn, true};
       return s;
     }
@@ -169,7 +195,7 @@ Status Workload::Step(size_t i) {
   }
   if (sideline_if_fenced(s)) return Status::OK();
   if (s.IsWouldBlock()) {
-    ++stats_.would_blocks;
+    count_would_block(s);
     if (++st.retries > options_.max_retries) {
       Status a = client.Abort(st.txn);
       if (!a.ok()) {

@@ -58,6 +58,9 @@ struct WorkloadStats {
   uint64_t commits = 0;
   uint64_t aborts = 0;
   uint64_t would_blocks = 0;
+  // Subset of would_blocks that carried kFailoverInProgress: retries spent
+  // waiting out a mastership gap rather than a lock conflict.
+  uint64_t failover_blocks = 0;
   uint64_t zombie_fences = 0;  // Clients sidelined by a kZombieFenced status.
   uint64_t ops = 0;
   uint64_t read_mismatches = 0;

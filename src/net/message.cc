@@ -44,6 +44,10 @@ const char* MessageTypeName(MessageType t) {
     case MessageType::kRecOrderedFetchReply: return "RecOrderedFetchReply";
     case MessageType::kHeartbeat: return "Heartbeat";
     case MessageType::kHeartbeatAck: return "HeartbeatAck";
+    case MessageType::kFailoverProbe: return "FailoverProbe";
+    case MessageType::kFailoverProbeReply: return "FailoverProbeReply";
+    case MessageType::kStandbyMembership: return "StandbyMembership";
+    case MessageType::kStandbyCheckpoint: return "StandbyCheckpoint";
     case MessageType::kMaxMessageType: break;
   }
   return "Unknown";

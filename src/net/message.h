@@ -60,6 +60,11 @@ enum class MessageType : uint8_t {
   // Liveness protocol (DESIGN.md section 14).
   kHeartbeat,             // Client -> server lease renewal.
   kHeartbeatAck,
+  // Hot standby / mastership (DESIGN.md section 19).
+  kFailoverProbe,         // Client -> standby: is the primary gone? Take over.
+  kFailoverProbeReply,
+  kStandbyMembership,     // Primary -> standby: replicated membership record.
+  kStandbyCheckpoint,     // Primary -> standby: replicated checkpoint marker.
   kMaxMessageType,
 };
 

@@ -69,6 +69,40 @@ class Transport {
   // guaranteed not to have run and not to run later.
   virtual Status Submit(ClientId from, const std::function<void()>& fn,
                         uint64_t timeout_us) = 0;
+
+  // The gate registered for `client`, or null if none (base transports keep
+  // no gate table). Lets GateGuard release a client capability over a scope
+  // wider than one parked frame.
+  virtual SimMutex* GateFor(ClientId /*client*/) const { return nullptr; }
+};
+
+// Releases a client's gate for a whole scope instead of a single parked
+// frame. Failover probes need this: a probe can escalate into a takeover
+// whose recovery sweep re-enters every client inline on the reactor, and
+// peer probers serialize on the standby's capability while it runs -- so a
+// prober blocked there must not be holding its own client gate, or the
+// sweep deadlocks on it. No-op without a transport, on the reactor itself,
+// or when the calling thread does not hold the gate.
+class GateGuard {
+ public:
+  GateGuard(Transport* transport, ClientId client) {
+    if (transport == nullptr || transport->OnServerThread()) return;
+    gate_ = transport->GateFor(client);
+    if (gate_ != nullptr && gate_->HeldByMe()) {
+      depth_ = gate_->FullRelease();
+    } else {
+      gate_ = nullptr;
+    }
+  }
+  ~GateGuard() {
+    if (gate_ != nullptr) gate_->Reacquire(depth_);
+  }
+  GateGuard(const GateGuard&) = delete;
+  GateGuard& operator=(const GateGuard&) = delete;
+
+ private:
+  SimMutex* gate_ = nullptr;
+  int depth_ = 0;
 };
 
 class QueueTransport final : public Transport {
@@ -92,6 +126,11 @@ class QueueTransport final : public Transport {
 
   Status Submit(ClientId from, const std::function<void()>& fn,
                 uint64_t timeout_us) override;
+
+  SimMutex* GateFor(ClientId client) const override {
+    auto it = gates_.find(client);
+    return it == gates_.end() ? nullptr : it->second;
+  }
 
   // Serialized harness operation (crash/recover/flush from a test thread):
   // runs `fn` on the reactor, waiting without limit.

@@ -1,0 +1,58 @@
+#include "server/mastership.h"
+
+namespace finelog {
+
+Result<MastershipTable::Grant> MastershipTable::Renew(int node,
+                                                      uint64_t now_us) {
+  SimMutexLock lock(mu_);
+  if ((unreachable_mask_ >> node) & 1) {
+    return Status::WouldBlock(WouldBlockReason::kRpcTimeout,
+                              "mastership arbiter unreachable");
+  }
+  if (holder_ != node) {
+    return Status::WouldBlock(WouldBlockReason::kFailoverInProgress,
+                              "not the mastership holder");
+  }
+  valid_until_us_ = now_us + lease_duration_us_;
+  return Grant{epoch_, valid_until_us_};
+}
+
+Result<MastershipTable::Grant> MastershipTable::Acquire(int node,
+                                                        uint64_t now_us) {
+  SimMutexLock lock(mu_);
+  if ((unreachable_mask_ >> node) & 1) {
+    return Status::WouldBlock(WouldBlockReason::kRpcTimeout,
+                              "mastership arbiter unreachable");
+  }
+  if (holder_ == node) {
+    valid_until_us_ = now_us + lease_duration_us_;
+    return Grant{epoch_, valid_until_us_};
+  }
+  if (holder_ != kNoHolder && now_us < valid_until_us_) {
+    return Status::WouldBlock(WouldBlockReason::kFailoverInProgress,
+                              "incumbent mastership lease still valid");
+  }
+  holder_ = node;
+  ++epoch_;
+  valid_until_us_ = now_us + lease_duration_us_;
+  return Grant{epoch_, valid_until_us_};
+}
+
+void MastershipTable::Release(int node) {
+  SimMutexLock lock(mu_);
+  if (holder_ == node) {
+    holder_ = kNoHolder;
+    valid_until_us_ = 0;
+  }
+}
+
+void MastershipTable::SetUnreachable(int node, bool unreachable) {
+  SimMutexLock lock(mu_);
+  if (unreachable) {
+    unreachable_mask_ |= uint64_t{1} << node;
+  } else {
+    unreachable_mask_ &= ~(uint64_t{1} << node);
+  }
+}
+
+}  // namespace finelog

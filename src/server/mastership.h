@@ -1,0 +1,103 @@
+// MastershipTable: the lease that decides which server instance is primary
+// (DESIGN.md section 19).
+//
+// Modeled on PaxosLease: a quorum of acceptors grants a time-bounded,
+// epoch-numbered mastership lease, and the safety argument is lease
+// non-overlap -- a new holder cannot be granted the lease until the previous
+// grant's horizon has passed on the acceptors' clocks. finelog collapses
+// the acceptor quorum into one in-process arbiter sharing the system Clock
+// (the same SimClock/RealClock seam leases already use), which preserves
+// exactly the property the protocol needs: the arbiter never grants a new
+// epoch while an unexpired grant is outstanding, and the holder's locally
+// known horizon can only be earlier than or equal to the arbiter's view.
+//
+// State machine per node:
+//
+//   (nobody) --Acquire--> holder @ epoch e --Renew--> holder, horizon moves
+//       ^                     |        \--Release--> (nobody), epoch kept
+//       |                     v
+//       +---- lease expires; a competitor's Acquire grants epoch e+1 and
+//             the old holder's Renew is refused (deposed)
+//
+// Renew never acquires: a stray data-plane request routed to the standby
+// must not steal mastership -- only an explicit Acquire (the failover probe
+// path) can, and only once the incumbent's grant has expired.
+
+#ifndef FINELOG_SERVER_MASTERSHIP_H_
+#define FINELOG_SERVER_MASTERSHIP_H_
+
+#include <cstdint>
+
+#include "common/annotations.h"
+#include "common/result.h"
+#include "common/status.h"
+
+namespace finelog {
+
+class FINELOG_SHARED_STATE_CLASS MastershipTable {
+ public:
+  // One grant: the epoch the holder serves under and the horizon up to
+  // which the arbiter promises not to grant anyone else.
+  struct Grant {
+    uint64_t epoch = 0;
+    uint64_t valid_until_us = 0;
+  };
+
+  static constexpr int kNoHolder = -1;
+
+  explicit MastershipTable(uint64_t lease_duration_us)
+      : lease_duration_us_(lease_duration_us) {}
+
+  MastershipTable(const MastershipTable&) = delete;
+  MastershipTable& operator=(const MastershipTable&) = delete;
+
+  // Extends `node`'s existing grant to now + lease duration. Refused
+  // (kFailoverInProgress) if `node` is not the current holder -- renewal
+  // never acquires. Refused with kRpcTimeout while the arbiter is
+  // unreachable from `node` (partition modeling; the holder then decides
+  // locally whether its last known horizon still covers `now`).
+  Result<Grant> Renew(int node, uint64_t now_us);
+
+  // Grants the lease to `node`: immediately if `node` already holds it
+  // (degenerates to Renew) or if nobody does; at epoch+1 once the
+  // incumbent's grant has expired. Refused (kFailoverInProgress) while an
+  // unexpired grant is held by another node -- this refusal IS the
+  // non-overlap guarantee.
+  Result<Grant> Acquire(int node, uint64_t now_us);
+
+  // Clean switchover: the holder gives the lease up. The epoch is not
+  // advanced here -- the next Acquire advances it, so every distinct
+  // holder tenure has a distinct epoch.
+  void Release(int node);
+
+  // Partition modeling: while unreachable, `node`'s Renew/Acquire calls
+  // fail with kRpcTimeout, exactly like a client whose legs are dropped.
+  void SetUnreachable(int node, bool unreachable);
+
+  // Introspection (tests / harness).
+  uint64_t epoch() const {
+    SimMutexLock lock(mu_);
+    return epoch_;
+  }
+  int holder() const {
+    SimMutexLock lock(mu_);
+    return holder_;
+  }
+  uint64_t valid_until_us() const {
+    SimMutexLock lock(mu_);
+    return valid_until_us_;
+  }
+
+ private:
+  mutable SimMutex mu_;
+  uint64_t lease_duration_us_ FINELOG_UNGUARDED("immutable after construction");
+  int holder_ FINELOG_GUARDED_BY(mu_) = kNoHolder;
+  uint64_t epoch_ FINELOG_GUARDED_BY(mu_) = 0;
+  uint64_t valid_until_us_ FINELOG_GUARDED_BY(mu_) = 0;
+  // Bitmask of nodes currently partitioned away from the arbiter.
+  uint64_t unreachable_mask_ FINELOG_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace finelog
+
+#endif  // FINELOG_SERVER_MASTERSHIP_H_

@@ -53,6 +53,20 @@ Result<std::unique_ptr<Server>> Server::Create(const SystemConfig& config,
   return server;
 }
 
+Result<std::unique_ptr<Server>> Server::CreateStandby(
+    const SystemConfig& config, Channel* channel, Rpc* rpc, Metrics* metrics) {
+  auto server =
+      std::unique_ptr<Server>(new Server(config, channel, rpc, metrics));
+  SimMutexLock lock(server->mu_);
+  // The store files stay closed: the primary owns them, and a second set of
+  // buffered stdio handles over the same files would serve stale bytes.
+  // TakeOver opens everything fresh once this node wins the lease.
+  server->store_open_ = false;
+  server->crashed_ = true;
+  server->pool_ = std::make_unique<BufferPool>(config.server_cache_pages);
+  return server;
+}
+
 DiskIoOptions Server::DiskIo() const {
   return DiskIoOptions{config_.fault_injector, config_.log_sink, "server.disk",
                        config_.debug_skip_journal_replay};
@@ -96,6 +110,15 @@ void Server::SetClientCrashed(ClientId id, bool crashed) {
 
 Status Server::Crash() {
   SimMutexLock lock(mu_);
+  FINELOG_RETURN_IF_ERROR(DropVolatileState());
+  // A crashed process is not probeable: failover probes are refused until
+  // the harness re-provisions the node (ProvisionStandby or Restart).
+  halted_ = true;
+  metrics_->Add(Counter::kServerCrashes);
+  return Status::OK();
+}
+
+Status Server::DropVolatileState() {
   crashed_ = true;
   dct_authoritative_ = false;
   pool_->Clear();
@@ -109,16 +132,22 @@ Status Server::Crash() {
   rec_priority_.clear();
   restart_begin_us_ = 0;
   repair_depth_ = 0;
+  // Deposed or stepping down: this node no longer serves any epoch.
+  mastership_epoch_ = 0;
+  mastership_valid_until_ = 0;
+  if (!store_open_) return Status::OK();
   // The server log is forced at every append site, so reopening loses
   // nothing; reopening models the post-crash process state. The database
   // file is reopened too: DiskManager::Open replays (or invalidates) the
   // doublewrite journal, resolving any write a fault injector left torn.
+  // (Safe even with a hot standby: at the instant this node stops serving
+  // it is still the sole store writer; a successor's TakeOver reopens its
+  // own handles fresh.)
   FINELOG_ASSIGN_OR_RETURN(
       disk_, DiskManager::Open(config_.dir + "/db.pages", config_.page_size,
                                DiskIo()));
   FINELOG_ASSIGN_OR_RETURN(
       log_, LogManager::Open(config_.dir + "/server.log", 0, LogIo()));
-  metrics_->Add(Counter::kServerCrashes);
   return Status::OK();
 }
 
@@ -472,6 +501,7 @@ Result<ObjectLockReply> Server::LockObject(ClientId client, ObjectId oid,
       MakeOpts(RpcDir::kClientToServer, "lock_object", client,
                MessageType::kLockRequest, 1, kSmallMsg),
       [&](RpcReply* rep) -> Result<ObjectLockReply> {
+        FINELOG_RETURN_IF_ERROR(MastershipAdmission());
         FINELOG_RETURN_IF_ERROR(LivenessAdmission(client));
         size_t reply_bytes = kSmallMsg;
         auto reply =
@@ -492,6 +522,7 @@ Result<std::vector<ObjectLockOutcome>> Server::LockObjectBatch(
                MessageType::kLockRequest, items.size(),
                items.size() * kSmallMsg),
       [&](RpcReply* rep) -> Result<std::vector<ObjectLockOutcome>> {
+        FINELOG_RETURN_IF_ERROR(MastershipAdmission());
         FINELOG_RETURN_IF_ERROR(LivenessAdmission(client));
         size_t reply_bytes = 0;
         std::vector<ObjectLockOutcome> out;
@@ -602,6 +633,7 @@ Result<PageLockReply> Server::LockPage(ClientId client, PageId pid,
       MakeOpts(RpcDir::kClientToServer, "lock_page", client,
                MessageType::kLockRequest, 1, kSmallMsg),
       [&](RpcReply* rep) -> Result<PageLockReply> {
+        FINELOG_RETURN_IF_ERROR(MastershipAdmission());
         FINELOG_RETURN_IF_ERROR(LivenessAdmission(client));
         return LockPageBody(client, pid, mode, cached_psn, rep);
       });
@@ -682,6 +714,7 @@ Result<PageFetchReply> Server::FetchPage(ClientId client, PageId pid) {
       MakeOpts(RpcDir::kClientToServer, "fetch_page", client,
                MessageType::kPageFetch, 1, kSmallMsg),
       [&](RpcReply* rep) -> Result<PageFetchReply> {
+        FINELOG_RETURN_IF_ERROR(MastershipAdmission());
         FINELOG_RETURN_IF_ERROR(LivenessAdmission(client));
         size_t reply_bytes = 0;
         auto reply = FetchPageInternal(client, pid, &reply_bytes);
@@ -700,6 +733,7 @@ Result<std::vector<PageFetchReply>> Server::FetchPages(
       MakeOpts(RpcDir::kClientToServer, "fetch_page", client,
                MessageType::kPageFetch, pids.size(), pids.size() * kSmallMsg),
       [&](RpcReply* rep) -> Result<std::vector<PageFetchReply>> {
+        FINELOG_RETURN_IF_ERROR(MastershipAdmission());
         FINELOG_RETURN_IF_ERROR(LivenessAdmission(client));
         size_t reply_bytes = 0;
         std::vector<PageFetchReply> out;
@@ -737,6 +771,7 @@ Status Server::ShipPage(ClientId client, const ShippedPage& page) {
       MakeOpts(RpcDir::kClientToServer, "ship_page", client,
                MessageType::kPageShip, 1, page.wire_size()),
       [&](RpcReply* rep) -> Status {
+        FINELOG_RETURN_IF_ERROR(MastershipAdmission());
         FINELOG_RETURN_IF_ERROR(LivenessAdmission(client));
         FINELOG_RETURN_IF_ERROR(EnsurePageRecovered(page.page));
         FINELOG_RETURN_IF_ERROR(ApplyShippedPage(client, page));
@@ -756,6 +791,7 @@ Status Server::ShipPages(ClientId client,
       MakeOpts(RpcDir::kClientToServer, "ship_page", client,
                MessageType::kPageShip, pages.size(), bytes),
       [&](RpcReply* rep) -> Status {
+        FINELOG_RETURN_IF_ERROR(MastershipAdmission());
         FINELOG_RETURN_IF_ERROR(LivenessAdmission(client));
         for (const ShippedPage& p : pages) {
           FINELOG_RETURN_IF_ERROR(EnsurePageRecovered(p.page));
@@ -775,6 +811,7 @@ Result<AllocReply> Server::AllocatePage(ClientId client) {
       MakeOpts(RpcDir::kClientToServer, "alloc_page", client,
                MessageType::kAllocRequest, 1, kSmallMsg),
       [&](RpcReply* rep) -> Result<AllocReply> {
+        FINELOG_RETURN_IF_ERROR(MastershipAdmission());
         FINELOG_RETURN_IF_ERROR(LivenessAdmission(client));
         auto alloc = space_map_->AllocatePage();
         if (!alloc.ok()) return alloc.status();
@@ -808,6 +845,7 @@ Status Server::ForcePage(ClientId client, PageId pid) {
       MakeOpts(RpcDir::kClientToServer, "force_page", client,
                MessageType::kForcePageRequest, 1, kSmallMsg),
       [&](RpcReply* rep) -> Status {
+        FINELOG_RETURN_IF_ERROR(MastershipAdmission());
         FINELOG_RETURN_IF_ERROR(LivenessAdmission(client));
         FINELOG_RETURN_IF_ERROR(EnsurePageRecovered(pid));
         metrics_->Add(Counter::kServerForcePageRequests);
@@ -853,6 +891,7 @@ Status Server::ReleaseLocksBody(ClientId client,
                                 const std::vector<ObjectId>& objects,
                                 const std::vector<PageId>& pages,
                                 RpcReply* rep) {
+  FINELOG_RETURN_IF_ERROR(MastershipAdmission());
   FINELOG_RETURN_IF_ERROR(LivenessAdmission(client));
   for (const ObjectId& oid : objects) {
     glm_.ReleaseObject(client, oid);
@@ -892,6 +931,7 @@ Status Server::CommitShipLogs(ClientId client, size_t log_bytes) {
       MakeOpts(RpcDir::kClientToServer, "commit_ship_logs", client,
                MessageType::kCommitShipLogs, 1, log_bytes),
       [&](RpcReply* rep) -> Status {
+        FINELOG_RETURN_IF_ERROR(MastershipAdmission());
         FINELOG_RETURN_IF_ERROR(LivenessAdmission(client));
         // ARIES/CSA: the server forces the shipped records to its log before
         // acknowledging. The records themselves are not interpreted (the
@@ -914,6 +954,7 @@ Status Server::CommitShipPages(ClientId client,
       MakeOpts(RpcDir::kClientToServer, "commit_ship_pages", client,
                MessageType::kCommitShipPages, 1, bytes),
       [&](RpcReply* rep) -> Status {
+        FINELOG_RETURN_IF_ERROR(MastershipAdmission());
         FINELOG_RETURN_IF_ERROR(LivenessAdmission(client));
         for (const ShippedPage& p : pages) {
           FINELOG_RETURN_IF_ERROR(EnsurePageRecovered(p.page));
@@ -939,6 +980,7 @@ Result<TokenReply> Server::AcquireToken(ClientId client, PageId pid) {
 
 Result<TokenReply> Server::AcquireTokenBody(ClientId client, PageId pid,
                                             RpcReply* rep) {
+  FINELOG_RETURN_IF_ERROR(MastershipAdmission());
   FINELOG_RETURN_IF_ERROR(LivenessAdmission(client));
   FINELOG_RETURN_IF_ERROR(EnsurePageRecovered(pid));
   metrics_->Add(Counter::kServerTokenRequests);
@@ -995,6 +1037,7 @@ Status Server::TakeCheckpoint() {
   channel_->clock()->Advance(channel_->costs().log_force_us);
   FINELOG_RETURN_IF_ERROR(log_->SetCheckpointLsn(lsn.value()));
   metrics_->Add(Counter::kServerCheckpoints);
+  ReplicateCheckpoint();
   return Status::OK();
 }
 
@@ -1209,6 +1252,10 @@ Status Server::RecComplete(ClientId client) {
                /*recovery_plane=*/true),
       [&](RpcReply*) -> Status {
         crashed_clients_.erase(client);
+        // The standby's crashed set (seeded by the same harness hooks) must
+        // not outlive this recovery, or a later takeover would treat the
+        // operational client as still down and drop its lock state.
+        ReplicateClientOperational(client);
         liveness_.CloseRecoveryWindow(client);
         if (liveness_.IsPresumedDead(client)) {
           // Balance the declaration with a durable clearing record *before*
@@ -1258,6 +1305,7 @@ Status Server::Heartbeat(ClientId client) {
                MessageType::kHeartbeat, 1, kSmallMsg),
       [&](RpcReply* rep) -> Status {
         metrics_->Add(Counter::kLivenessHeartbeatsReceived);
+        FINELOG_RETURN_IF_ERROR(MastershipAdmission());
         FINELOG_RETURN_IF_ERROR(LivenessAdmission(client));
         rep->Set(MessageType::kHeartbeatAck, kSmallMsg);
         return Status::OK();
@@ -1345,7 +1393,234 @@ Status Server::AppendMembershipRecord(ClientId member, bool presumed_dead) {
   if (!lsn.ok()) return lsn.status();
   FINELOG_RETURN_IF_ERROR(log_->Force());
   channel_->clock()->Advance(channel_->costs().log_force_us);
+  // Membership is the standby's hottest input: mirror the record right
+  // after the force, so a takeover can fence the declared-dead sessions
+  // before its own membership replay confirms them.
+  ReplicateMembership(member, presumed_dead);
   return Status::OK();
+}
+
+// Hot standby / mastership (DESIGN.md section 19) -----------------------------
+
+void Server::ConfigureMastership(int node, MastershipTable* table,
+                                 Server* peer) {
+  node_id_ = node;
+  mastership_ = table;
+  peer_ = peer;
+}
+
+Status Server::AcquireMastership() {
+  SimMutexLock lock(mu_);
+  if (mastership_ == nullptr) {
+    return Status::FailedPrecondition("mastership not configured");
+  }
+  auto grant = mastership_->Acquire(node_id_, channel_->clock()->now_us());
+  if (!grant.ok()) return grant.status();
+  mastership_epoch_ = grant.value().epoch;
+  mastership_valid_until_ = grant.value().valid_until_us;
+  return Status::OK();
+}
+
+Status Server::MastershipAdmission() {
+  if (mastership_ == nullptr) return Status::OK();
+  const uint64_t now = channel_->clock()->now_us();
+  auto grant = mastership_->Renew(node_id_, now);
+  if (grant.ok()) {
+    mastership_epoch_ = grant.value().epoch;
+    mastership_valid_until_ = grant.value().valid_until_us;
+    return Status::OK();
+  }
+  if (grant.status().IsWouldBlock() &&
+      grant.status().would_block_reason() == WouldBlockReason::kRpcTimeout &&
+      mastership_epoch_ != 0 && now < mastership_valid_until_) {
+    // Partitioned from the arbiter: lease non-overlap lets the incumbent
+    // keep serving up to its locally known horizon -- the arbiter cannot
+    // grant a successor an overlapping lease, so no second master exists
+    // before that horizon passes.
+    return Status::OK();
+  }
+  // Deposed (another node holds the lease), or the local horizon passed
+  // while partitioned: self-fence. Every grant this node could issue from
+  // here on would belong to a dead epoch.
+  mastership_epoch_ = 0;
+  mastership_valid_until_ = 0;
+  metrics_->Add(Counter::kFailoverDeposedFenced);
+  return Status::WouldBlock(WouldBlockReason::kFailoverInProgress,
+                            "node is not the serving master");
+}
+
+Result<uint64_t> Server::FailoverProbe(ClientId client) {
+  // The probe follows the standard endpoint protocol -- mu_ taken on the
+  // calling thread, held cooperatively across the park -- because the
+  // reactor must never acquire a node capability inside a frame body (the
+  // holder's own frame could be queued behind it: priority inversion until
+  // the holder's timeout). But unlike data endpoints, a probe can escalate
+  // into a takeover whose Rec sweep re-enters every client inline on the
+  // reactor, while peer probers are blocked right here on mu_. Releasing
+  // the prober's own gate for the whole probe (not just the parked frame)
+  // keeps those blocked peers from wedging the sweep.
+  GateGuard gate(rpc_->transport(), client);
+  SimMutexLock lock(mu_);
+  if (halted_) return Status::Crashed("standby node down");
+  if (mastership_ == nullptr) {
+    return Status::FailedPrecondition("mastership not configured");
+  }
+  return rpc_->Call(
+      MakeOpts(RpcDir::kClientToServer, "failover_probe", client,
+               MessageType::kFailoverProbe, 1, kSmallMsg),
+      [&](RpcReply* rep) -> Result<uint64_t> {
+        // The body may escalate into TakeOver -> Restart, whose Rec sweep
+        // re-enters this node's endpoints from client handlers (a fetched
+        // page ships back through ShipPage). Those re-entries must see the
+        // executing thread as mu_'s owner -- in real-clock mode that is the
+        // reactor, while the parked prober is the nominal holder.
+        SimMutexAdopt adopt(mu_);
+        metrics_->Add(Counter::kFailoverProbes);
+        rep->Set(MessageType::kFailoverProbeReply, kSmallMsg);
+        const uint64_t now = channel_->clock()->now_us();
+        if (!crashed_) {
+          // Already serving (the probe raced a recovery, or the client's
+          // timeout was spurious): renewing confirms the epoch.
+          auto renewed = mastership_->Renew(node_id_, now);
+          if (renewed.ok()) {
+            mastership_epoch_ = renewed.value().epoch;
+            mastership_valid_until_ = renewed.value().valid_until_us;
+            return mastership_epoch_;
+          }
+        }
+        auto grant = mastership_->Acquire(node_id_, now);
+        if (!grant.ok()) {
+          // The incumbent's lease is still valid: this IS the mastership
+          // gap the client sits out (kFailoverInProgress).
+          if (grant.status().IsFailoverInProgress()) {
+            metrics_->Add(Counter::kFailoverBlocked);
+          }
+          return grant.status();
+        }
+        FINELOG_RETURN_IF_ERROR(TakeOver(grant.value()));
+        return grant.value().epoch;
+      });
+}
+
+Status Server::TakeOver(const MastershipTable::Grant& grant) {
+  // Reopen the store fresh: the deposed peer wrote through its own handles,
+  // so inherited (or never-opened) handles could serve stale bytes.
+  // DiskManager::Open also resolves any torn write the dead primary left in
+  // the doublewrite journal.
+  FINELOG_ASSIGN_OR_RETURN(
+      disk_, DiskManager::Open(config_.dir + "/db.pages", config_.page_size,
+                               DiskIo()));
+  FINELOG_ASSIGN_OR_RETURN(
+      space_map_,
+      SpaceMap::Open(config_.dir + "/db.spacemap", config_.num_pages));
+  FINELOG_ASSIGN_OR_RETURN(
+      log_, LogManager::Open(config_.dir + "/server.log", 0, LogIo()));
+  store_open_ = true;
+  pool_->Clear();
+  glm_.Clear();
+  dct_.Clear();
+  token_holder_.clear();
+  page_rec_.clear();
+  rec_priority_.clear();
+  repair_depth_ = 0;
+  restart_begin_us_ = 0;
+  halted_ = false;
+  mastership_epoch_ = grant.epoch;
+  mastership_valid_until_ = grant.valid_until_us;
+  metrics_->Add(Counter::kFailoverTakeovers);
+  // Fence the deposed epoch before admission opens: sessions of clients the
+  // old primary declared dead (known from the replication mirror) must not
+  // slip a ghost in before the authoritative membership replay (Restart
+  // step 0) re-derives and re-fences the same set from the shared log.
+  for (ClientId id : repl_dead_) rpc_->BumpEpoch(id);
+  // Restart recovery (Sections 3.4-3.5): reconstructs the DCT from the
+  // durable store plus the clients' logs, honoring instant_restart so
+  // admission can open before every page is repaired. RestartLocked, not
+  // Restart: mu_ is already held (cooperatively by the parked prober in
+  // real-clock mode, where re-acquiring would deadlock the reactor).
+  return RestartLocked();
+}
+
+Status Server::StepDown() {
+  SimMutexLock lock(mu_);
+  if (crashed_) return Status::Crashed("server down");
+  if (mastership_ == nullptr || mastership_epoch_ == 0) {
+    return Status::FailedPrecondition("not the serving master");
+  }
+  // Hand the lease back first: the successor's Acquire then needs no wait
+  // (the epoch still advances, so the handover is fenced like any other).
+  mastership_->Release(node_id_);
+  FINELOG_RETURN_IF_ERROR(DropVolatileState());
+  // Unlike a crash, a stepped-down node remains a probeable cold standby.
+  // (kFailoverSwitchovers is counted by the router when its table flips.)
+  halted_ = false;
+  return Status::OK();
+}
+
+void Server::ReplicateMembership(ClientId member, bool presumed_dead) {
+  if (peer_ == nullptr || mastership_ == nullptr) return;
+  Server* peer = peer_;
+  const uint64_t epoch = mastership_epoch_;
+  rpc_->Send(MakeOpts(RpcDir::kClientToServer, "standby_membership", kServerId,
+                      MessageType::kStandbyMembership, 1, kSmallMsg),
+             [&] { peer->ApplyReplicatedMembership(member, presumed_dead,
+                                                   epoch); });
+  metrics_->Add(Counter::kFailoverReplRecordsShipped);
+}
+
+void Server::ReplicateCheckpoint() {
+  if (peer_ == nullptr || mastership_ == nullptr) return;
+  Server* peer = peer_;
+  const uint64_t epoch = mastership_epoch_;
+  rpc_->Send(MakeOpts(RpcDir::kClientToServer, "standby_checkpoint", kServerId,
+                      MessageType::kStandbyCheckpoint, 1, kSmallMsg),
+             [&] { peer->ApplyReplicatedCheckpoint(epoch); });
+  metrics_->Add(Counter::kFailoverReplRecordsShipped);
+}
+
+void Server::ApplyReplicatedMembership(ClientId member, bool presumed_dead,
+                                       uint64_t epoch) {
+  SimMutexLock lock(mu_);
+  // Split-brain fencing: a record stamped with an epoch older than the
+  // arbiter's current one comes from a deposed primary and is dropped.
+  if (mastership_ == nullptr || epoch < mastership_->epoch()) {
+    metrics_->Add(Counter::kFailoverReplEpochRejected);
+    return;
+  }
+  if (presumed_dead) {
+    repl_dead_.insert(member);
+  } else {
+    repl_dead_.erase(member);
+  }
+}
+
+void Server::ApplyReplicatedCheckpoint(uint64_t epoch) {
+  SimMutexLock lock(mu_);
+  if (mastership_ == nullptr || epoch < mastership_->epoch()) {
+    metrics_->Add(Counter::kFailoverReplEpochRejected);
+    return;
+  }
+  ++repl_checkpoints_;
+}
+
+void Server::ReplicateClientOperational(ClientId client) {
+  if (peer_ == nullptr || mastership_ == nullptr) return;
+  Server* peer = peer_;
+  const uint64_t epoch = mastership_epoch_;
+  rpc_->Send(MakeOpts(RpcDir::kClientToServer, "standby_membership", kServerId,
+                      MessageType::kStandbyMembership, 1, kSmallMsg),
+             [&] { peer->ApplyReplicatedOperational(client, epoch); });
+  metrics_->Add(Counter::kFailoverReplRecordsShipped);
+}
+
+void Server::ApplyReplicatedOperational(ClientId client, uint64_t epoch) {
+  SimMutexLock lock(mu_);
+  if (mastership_ == nullptr || epoch < mastership_->epoch()) {
+    metrics_->Add(Counter::kFailoverReplEpochRejected);
+    return;
+  }
+  crashed_clients_.erase(client);
+  repl_dead_.erase(client);
 }
 
 }  // namespace finelog

@@ -26,8 +26,10 @@
 #include "log/log_manager.h"
 #include "net/channel.h"
 #include "net/endpoints.h"
+#include "net/server_router.h"
 #include "server/dct.h"
 #include "server/liveness.h"
+#include "server/mastership.h"
 #include "storage/disk_manager.h"
 #include "storage/space_map.h"
 #include "util/metrics.h"
@@ -37,7 +39,7 @@ namespace finelog {
 class Rpc;
 class RpcReply;
 
-class FINELOG_SHARED_STATE_CLASS Server : public ServerEndpoint {
+class FINELOG_SHARED_STATE_CLASS Server : public FailoverNode {
  public:
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
@@ -48,6 +50,14 @@ class FINELOG_SHARED_STATE_CLASS Server : public ServerEndpoint {
   static Result<std::unique_ptr<Server>> Create(const SystemConfig& config,
                                                 Channel* channel, Rpc* rpc,
                                                 Metrics* metrics);
+
+  // Creates a cold hot-standby node over the same `config.dir`: the store
+  // files stay closed (the primary owns them; a second set of buffered
+  // handles would read stale bytes) and the node starts crashed. A failover
+  // probe that wins the mastership lease opens the store fresh and runs
+  // restart recovery (DESIGN.md section 19).
+  static Result<std::unique_ptr<Server>> CreateStandby(
+      const SystemConfig& config, Channel* channel, Rpc* rpc, Metrics* metrics);
 
   // Wiring ------------------------------------------------------------------
 
@@ -127,6 +137,63 @@ class FINELOG_SHARED_STATE_CLASS Server : public ServerEndpoint {
   // also renews the lease; the explicit heartbeat covers idle clients. A
   // presumed-dead caller is fenced with WouldBlockReason::kZombieFenced.
   Status Heartbeat(ClientId client) override;
+
+  // Hot standby / mastership (DESIGN.md section 19) --------------------------
+
+  // Wires this node into a two-node mastership group: `node` is its arbiter
+  // id, `table` the shared lease arbiter, `peer` the other node (replication
+  // target; may be null on the standby side). Leaves mastership disabled
+  // when `table` is null -- the default single-server deployment never pays
+  // a mastership check.
+  void ConfigureMastership(int node, MastershipTable* table, Server* peer);
+
+  // Bootstrap: takes the initial mastership lease (no takeover recovery;
+  // the store is already open). Used by System::Create on the first primary.
+  Status AcquireMastership();
+
+  // Client-driven failover entry point: a client that timed out against the
+  // primary asks this node to become master. Renews if this node already
+  // serves; otherwise tries to Acquire the lease and, on success, fences the
+  // old epoch and runs takeover recovery (reopen store, rebuild DCT from the
+  // durable store plus client logs). Refused while the incumbent's lease is
+  // still valid (kFailoverInProgress -- the mastership gap) or while this
+  // node is halted (Crashed). Returns the serving epoch.
+  Result<uint64_t> FailoverProbe(ClientId client) override;
+
+  // Clean switchover: releases the lease and drops to cold standby (volatile
+  // state discarded exactly as a crash would; the successor rebuilds it).
+  Status StepDown();
+
+  // Harness: makes a crashed node probeable again as a cold standby (the
+  // hot-standby replacement for Restart, which would seize the store while
+  // the surviving primary serves).
+  void ProvisionStandby() { halted_ = false; }
+  bool halted() const { return halted_; }
+
+  uint64_t mastership_epoch() const {
+    SimMutexLock lock(mu_);
+    return mastership_epoch_;
+  }
+
+  // Replication receivers: the primary mirrors membership records and
+  // checkpoint markers here right after forcing them. Records carrying an
+  // epoch older than the arbiter's current one come from a deposed primary
+  // and are rejected (split-brain fencing).
+  void ApplyReplicatedMembership(ClientId member, bool presumed_dead,
+                                 uint64_t epoch);
+  void ApplyReplicatedCheckpoint(uint64_t epoch);
+  // A client completed crash recovery at the primary: the standby drops it
+  // from its (harness-seeded) crashed set so a later takeover treats it as
+  // operational.
+  void ApplyReplicatedOperational(ClientId client, uint64_t epoch);
+  size_t ReplicatedDeadCountForTest() const {
+    SimMutexLock lock(mu_);
+    return repl_dead_.size();
+  }
+  uint64_t ReplicatedCheckpointsForTest() const {
+    SimMutexLock lock(mu_);
+    return repl_checkpoints_;
+  }
 
   // ARIES/CSA-baseline synchronized checkpoint: contacts every live client.
   Status TakeSynchronizedCheckpoint();
@@ -264,6 +331,41 @@ class FINELOG_SHARED_STATE_CLASS Server : public ServerEndpoint {
   Status CheckPageReachable(PageId pid, ClientId requester)
       FINELOG_REQUIRES(mu_);
 
+  // Mastership helpers (DESIGN.md section 19). All are no-ops with no
+  // mastership table wired, so the default single-server schedule is
+  // byte-identical.
+
+  // The epoch fence, checked before LivenessAdmission by every normal-plane
+  // and recovery-plane endpoint body. Renews this node's lease; a node that
+  // cannot renew because another node holds the lease is deposed (fenced
+  // with kFailoverInProgress). While the arbiter is unreachable (partition)
+  // the node keeps serving only up to its locally known lease horizon --
+  // lease non-overlap guarantees no successor serves before that horizon.
+  Status MastershipAdmission() FINELOG_REQUIRES(mu_);
+
+  // Installs a won grant: reopens the store fresh (the deposed peer wrote
+  // through its own handles), drops all volatile state, and runs restart
+  // recovery, which reconstructs the DCT from the durable store plus client
+  // logs and arms the configured (eager or instant-restart) repair policy.
+  Status TakeOver(const MastershipTable::Grant& grant) FINELOG_REQUIRES(mu_);
+
+  // Restart body for callers that already hold mu_. TakeOver runs inside a
+  // probe frame whose mu_ is held cooperatively by the parked prober, so it
+  // must not re-acquire (the owner is another thread: not a recursion).
+  Status RestartLocked() FINELOG_REQUIRES(mu_);
+
+  // Drops to cold standby: volatile protocol state gone, store handles
+  // released, crashed_ set. Shared tail of Crash() and StepDown().
+  Status DropVolatileState() FINELOG_REQUIRES(mu_);
+
+  // Primary-side replication: mirrors a just-forced membership record /
+  // checkpoint marker to the standby through the Rpc chokepoint. No-ops
+  // without a wired peer.
+  void ReplicateMembership(ClientId member, bool presumed_dead)
+      FINELOG_REQUIRES(mu_);
+  void ReplicateCheckpoint() FINELOG_REQUIRES(mu_);
+  void ReplicateClientOperational(ClientId client) FINELOG_REQUIRES(mu_);
+
   // Liveness helpers (DESIGN.md section 14). All are no-ops with the
   // heartbeat knob off, so the default message/clock schedule is untouched.
   bool liveness_enabled() const { return config_.liveness_enabled(); }
@@ -383,6 +485,30 @@ class FINELOG_SHARED_STATE_CLASS Server : public ServerEndpoint {
   LivenessTable liveness_ FINELOG_GUARDED_BY(mu_);
   bool crashed_ FINELOG_UNGUARDED("harness lifecycle flag, toggled while "
                                   "no request is in flight") = false;
+
+  // Hot standby / mastership (DESIGN.md section 19).
+  int node_id_ FINELOG_UNGUARDED("wiring, set once") = 0;
+  MastershipTable* mastership_ FINELOG_UNGUARDED(
+      "externally owned wiring, set once; null = mastership disabled") =
+      nullptr;
+  Server* peer_ FINELOG_UNGUARDED("externally owned wiring, set once") =
+      nullptr;
+  // The grant this node serves under; epoch 0 = not serving master.
+  uint64_t mastership_epoch_ FINELOG_GUARDED_BY(mu_) = 0;
+  uint64_t mastership_valid_until_ FINELOG_GUARDED_BY(mu_) = 0;
+  // True while the node's process is dead (crashed, not merely deposed):
+  // failover probes are refused. A cold standby is crashed_ but not halted_.
+  bool halted_ FINELOG_UNGUARDED("harness lifecycle flag, toggled while "
+                                 "no request is in flight") = false;
+  // False on a standby whose store handles were never opened (or were
+  // released at step-down); TakeOver opens them fresh.
+  bool store_open_ FINELOG_GUARDED_BY(mu_) = true;
+  // Standby-side mirror of the primary's presumed-dead set, fed by
+  // replicated membership records. Advisory: takeover replays the
+  // authoritative membership history from the shared durable log; the
+  // mirror lets tests observe replication and epoch fencing directly.
+  std::set<ClientId> repl_dead_ FINELOG_GUARDED_BY(mu_);
+  uint64_t repl_checkpoints_ FINELOG_GUARDED_BY(mu_) = 0;
   // False from a server crash until every client has completed restart: the
   // reconstructed DCT may be missing entries for crashed clients.
   bool dct_authoritative_ FINELOG_GUARDED_BY(mu_) = true;

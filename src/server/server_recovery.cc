@@ -51,6 +51,10 @@ CallOptions RecOpts(RpcDir dir, const char* endpoint, ClientId peer,
 
 Status Server::Restart() {
   SimMutexLock lock(mu_);
+  return RestartLocked();
+}
+
+Status Server::RestartLocked() {
   const uint64_t t0 = channel_->clock()->now_us();
   crashed_ = false;
   metrics_->Add(Counter::kServerRestarts);

@@ -73,6 +73,13 @@ namespace finelog {
   X(kClientUndos, "client.undos")                                            \
   X(kClientWalForcesOnReplace, "client.wal_forces_on_replace")               \
   X(kClientWrites, "client.writes")                                          \
+  X(kFailoverBlocked, "failover.blocked")                                    \
+  X(kFailoverDeposedFenced, "failover.deposed_fenced")                       \
+  X(kFailoverProbes, "failover.probes")                                      \
+  X(kFailoverReplEpochRejected, "failover.repl_epoch_rejected")              \
+  X(kFailoverReplRecordsShipped, "failover.repl_records_shipped")            \
+  X(kFailoverSwitchovers, "failover.switchovers")                            \
+  X(kFailoverTakeovers, "failover.takeovers")                                \
   X(kFaultInjected, "fault.injected")                                        \
   X(kLivenessHeartbeatsReceived, "liveness.heartbeats_received")             \
   X(kLivenessHeartbeatsSent, "liveness.heartbeats_sent")                     \

@@ -253,6 +253,80 @@ TEST_P(ExecModeTest, ContendedPagesSerializeThroughCallbacks) {
   EXPECT_EQ(verified, static_cast<int>(system->num_clients()) * 2);
 }
 
+TEST_P(ExecModeTest, HotStandbyFailoverServesThroughPrimaryKill) {
+  SystemConfig config = Config("rc_failover");
+  config.hot_standby = true;
+  config.mastership_lease_us = 30 * 1000;
+  config.failover_timeout_us = 4000;
+  auto system = System::Create(config).value();
+
+  // Phase 1: every client commits on its own page against node 0.
+  constexpr int kTxnsPerPhase = 3;
+  std::atomic<int> failures{0};
+  auto commit_phase = [&](char fill, size_t page_offset) {
+    PerClient(system->num_clients(), [&](size_t i) {
+      Client& c = system->client(i);
+      // Each phase touches a page the client has no cached lock on, so the
+      // first write must reach the server (a cached lock plus client-local
+      // commit would otherwise never notice the primary died).
+      PageId pid = static_cast<PageId>(i + page_offset);
+      for (int t = 0; t < kTxnsPerPhase; ++t) {
+        auto txn = c.Begin();
+        if (!txn.ok()) { failures.fetch_add(1); return; }
+        // Ride out the mastership gap: a WouldBlock op made no progress and
+        // is safe to retry (the router probes the standby underneath).
+        Status w;
+        for (int attempt = 0; attempt < 5000; ++attempt) {
+          w = c.Write(txn.value(), ObjectId{pid, 0},
+                      std::string(64, static_cast<char>(fill + t)));
+          if (!w.IsWouldBlock()) break;
+          PassTime(system.get(), 1000);
+        }
+        if (!w.ok()) { failures.fetch_add(1); return; }
+        Status cm;
+        for (int attempt = 0; attempt < 5000; ++attempt) {
+          cm = c.Commit(txn.value());
+          if (!cm.IsWouldBlock()) break;
+          PassTime(system.get(), 1000);
+        }
+        if (!cm.ok()) { failures.fetch_add(1); return; }
+      }
+    });
+  };
+  commit_phase('a', 0);
+  ASSERT_EQ(failures.load(), 0);
+  ASSERT_EQ(system->active_server_node(), 0);
+
+  // Kill the primary (client threads are quiesced between phases), then
+  // commit again: the first retries probe the standby, which takes over.
+  ASSERT_TRUE(system->CrashServer().ok());
+  commit_phase('n', system->num_clients());
+  EXPECT_EQ(failures.load(), 0);
+
+  EXPECT_EQ(system->active_server_node(), 1);
+  EXPECT_EQ(system->metrics().Get(Counter::kFailoverTakeovers), 1u);
+  for (size_t i = 0; i < system->num_clients(); ++i) {
+    EXPECT_EQ(system->client(i).commits(),
+              static_cast<uint64_t>(2 * kTxnsPerPhase));
+  }
+  // Both the pre-kill and post-failover data are readable through fresh
+  // transactions.
+  for (size_t i = 0; i < system->num_clients(); ++i) {
+    Client& c = system->client(i);
+    TxnId probe = c.Begin().value();
+    auto pre = c.Read(probe, ObjectId{static_cast<PageId>(i), 0});
+    ASSERT_TRUE(pre.ok()) << pre.status().ToString();
+    EXPECT_EQ(pre.value(),
+              std::string(64, static_cast<char>('a' + kTxnsPerPhase - 1)));
+    auto post = c.Read(
+        probe, ObjectId{static_cast<PageId>(i + system->num_clients()), 0});
+    ASSERT_TRUE(post.ok()) << post.status().ToString();
+    EXPECT_EQ(post.value(),
+              std::string(64, static_cast<char>('n' + kTxnsPerPhase - 1)));
+    EXPECT_TRUE(c.Commit(probe).ok());
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(BothModes, ExecModeTest,
                          ::testing::Values(ExecMode::kSimulated,
                                            ExecMode::kRealClock),

@@ -1,0 +1,40 @@
+// Seeded-bad fixture for the finelog-verify `mastership-fence` rule: every
+// non-Rec ServerEndpoint method must reach MastershipAdmission() (the hot-
+// standby epoch fence, DESIGN.md section 19) before LivenessAdmission().
+// A deposed primary that consulted per-client liveness first could keep
+// granting locks after the standby fenced its epoch -- split-brain.
+//
+// Parsed (not compiled) by `verify_self_test` as an isolated mini-program:
+// it carries its own miniature ServerEndpoint/Server pair so it cannot
+// collide with the real tree's classes.
+#include "common/annotations.h"
+
+namespace finelog {
+
+class ServerEndpoint {
+ public:
+  virtual ~ServerEndpoint() = default;
+  virtual Status LockObject(ClientId client, ObjectId oid) = 0;
+};
+
+class Server : public ServerEndpoint {
+ public:
+  Status LockObject(ClientId client, ObjectId oid) override;
+
+ private:
+  Status MastershipAdmission();
+  Status LivenessAdmission(ClientId client);
+  GlobalLockManager glm_;
+};
+
+// BAD: the liveness fence runs before the mastership fence. On a node the
+// standby has already deposed, the per-client lease check still passes (the
+// stale table says the client is alive), so this endpoint would grant the
+// lock under an epoch that is no longer serving.
+Status Server::LockObject(ClientId client, ObjectId oid) {
+  FINELOG_RETURN_IF_ERROR(LivenessAdmission(client));
+  FINELOG_RETURN_IF_ERROR(MastershipAdmission());
+  return glm_.Acquire(client, oid);
+}
+
+}  // namespace finelog

@@ -28,6 +28,14 @@ Rule families
                          lifecycle flag and accounting wiring, not protocol
                          state.) The recovery plane (Rec*) is deliberately
                          unfenced -- crash recovery is how a zombie rejoins.
+  mastership-fence       Every non-Rec ServerEndpoint method implemented by
+                         Server must reach MastershipAdmission() (the hot-
+                         standby epoch fence, DESIGN.md sec. 19) before
+                         LivenessAdmission() -- interprocedurally, like
+                         admission-before-state. A deposed primary that
+                         consulted per-client liveness first could still
+                         grant locks or admit state changes after the
+                         standby fenced its epoch.
   recovery-guard         Every non-Rec ServerEndpoint method that reaches
                          the buffer pool must pass EnsurePageRecovered()
                          first -- after the admission fence, expanded
@@ -107,6 +115,12 @@ PROTECTED_STATE = {
     "dct_authoritative_", "clients_", "liveness_",
 }
 ADMISSION_CALL = "LivenessAdmission"
+# Hot standby (DESIGN.md sec. 19): the epoch fence. A deposed primary must
+# refuse data-plane work *before* consulting per-client liveness, or a stale
+# master could keep granting locks after the standby took over. Deliberately
+# NOT in PROTECTED_STATE: MastershipAdmission runs before LivenessAdmission
+# and touches only the mastership fields, which are fenced by construction.
+MASTERSHIP_CALL = "MastershipAdmission"
 # Instant restart (DESIGN.md sec. 18): any endpoint that reaches the page
 # pool must first pass the per-page recovery guard, or a request admitted
 # right after restart could read a page whose lazy repair has not run.
@@ -858,6 +872,68 @@ def check_admission_before_state(program, strict_counts=True):
     return out
 
 
+def first_fence_event(program, fn, stack=None, memo=None):
+    """'fence' (MastershipAdmission) or 'admit' (LivenessAdmission):
+    whichever a path from `fn` reaches first, expanding same-class helper
+    calls in body order. None when neither is reachable."""
+    if memo is None:
+        memo = {}
+    if stack is None:
+        stack = set()
+    if fn.qname in memo:
+        return memo[fn.qname]
+    if fn.qname in stack:
+        return None
+    stack.add(fn.qname)
+    result = None
+    for name, _order, line in sorted(fn.calls, key=lambda c: c[1]):
+        if name == MASTERSHIP_CALL:
+            result = ("fence", name, line)
+            break
+        if name == ADMISSION_CALL:
+            result = ("admit", name, line)
+            break
+        callee = program.functions.get(f"{ENDPOINT_IMPL}::{name}")
+        if callee is not None:
+            sub = first_fence_event(program, callee, stack, memo)
+            if sub is not None:
+                result = sub
+                break
+    stack.discard(fn.qname)
+    memo[fn.qname] = result
+    return result
+
+
+def check_mastership_fence(program):
+    """mastership-fence: every standby-reachable (non-Rec) data-plane
+    endpoint must check mastership before per-client liveness. The recovery
+    plane stays unfenced for the same reason it skips the liveness fence:
+    it is how a client rejoins, and a takeover's own Restart() drives it.
+    Endpoints that never reach LivenessAdmission at all are
+    admission-before-state's problem, not this rule's."""
+    out = []
+    iface = program.classes.get(ENDPOINT_IFACE)
+    if iface is None:
+        return out  # admission-before-state already reports this.
+    endpoints = [m for m in iface.virtual_methods
+                 if not m.startswith(RECOVERY_PLANE_PREFIX)
+                 and m != f"~{ENDPOINT_IFACE}"]
+    memo = {}
+    for ep in endpoints:
+        fn = program.functions.get(f"{ENDPOINT_IMPL}::{ep}")
+        if fn is None:
+            continue  # admission-before-state reports missing definitions.
+        ev = first_fence_event(program, fn, memo=memo)
+        if ev is not None and ev[0] == "admit":
+            out.append(Violation(
+                fn.path, ev[2], "mastership-fence",
+                f"endpoint {ENDPOINT_IMPL}::{ep} reaches {ADMISSION_CALL}() "
+                f"without {MASTERSHIP_CALL}() first; a deposed primary "
+                "could keep serving this endpoint after the standby fenced "
+                "its epoch"))
+    return out
+
+
 def first_unguarded_page_touch(program, fn, stack, state):
     """First PAGE_PLANE_STATE touch reached from `fn` (expanding same-class
     helpers in body order) before GUARD_CALL has run. `state` carries the
@@ -996,6 +1072,7 @@ def run_rules(program, strict=True):
     out = []
     out += check_wal_before_mutate(program)
     out += check_admission_before_state(program, strict_counts=strict)
+    out += check_mastership_fence(program)
     out += check_recovery_guard(program, strict_counts=strict)
     out += check_rpc_chokepoint(program)
     out += check_shared_state_annotations(program, require_core=strict)
@@ -1027,6 +1104,7 @@ def build_program(root, frontend, compdb):
 FIXTURES = {
     "bad_unlogged_mutate.cc": "wal-before-mutate",
     "bad_missing_admission.cc": "admission-before-state",
+    "bad_missing_mastership.cc": "mastership-fence",
     "bad_missing_recovery_guard.cc": "recovery-guard",
     "bad_raw_channel.cc": "rpc-chokepoint",
     "bad_unannotated_field.cc": "shared-state-annotations",
